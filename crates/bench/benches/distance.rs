@@ -1,0 +1,62 @@
+//! Micro-benchmarks for the distance kernels — the paper stresses that the
+//! expected distance must stay `O(d)` because "distance function
+//! computation is the most repetitive of all operations".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use umicro::distance::{corrected_sq_distance, expected_sq_distance};
+use umicro::similarity::{dimension_counting_similarity, GlobalVariance};
+use umicro::Ecf;
+use ustream_common::point::sq_euclidean;
+use ustream_common::UncertainPoint;
+
+fn make_cluster(dims: usize, n: usize) -> Ecf {
+    let mut ecf = Ecf::empty(dims);
+    for i in 0..n {
+        let values: Vec<f64> = (0..dims).map(|j| (i * j % 13) as f64 * 0.1).collect();
+        let errors: Vec<f64> = (0..dims).map(|j| (j % 5) as f64 * 0.05).collect();
+        ecf.insert(&UncertainPoint::new(values, errors, i as u64, None));
+    }
+    ecf
+}
+
+fn make_point(dims: usize) -> UncertainPoint {
+    let values: Vec<f64> = (0..dims).map(|j| (j % 7) as f64 * 0.3).collect();
+    let errors: Vec<f64> = (0..dims).map(|j| (j % 3) as f64 * 0.1).collect();
+    UncertainPoint::new(values, errors, 0, None)
+}
+
+fn bench_distances(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance_kernels");
+    for &dims in &[10usize, 20, 50, 100] {
+        let ecf = make_cluster(dims, 64);
+        let point = make_point(dims);
+        let centroid = ustream_common::AdditiveFeature::centroid(&ecf);
+
+        group.bench_with_input(BenchmarkId::new("euclidean_sq", dims), &dims, |b, _| {
+            b.iter(|| black_box(sq_euclidean(point.values(), &centroid)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("expected_sq_lemma_2_2", dims),
+            &dims,
+            |b, _| b.iter(|| black_box(expected_sq_distance(&point, &ecf))),
+        );
+        group.bench_with_input(BenchmarkId::new("corrected_sq", dims), &dims, |b, _| {
+            b.iter(|| black_box(corrected_sq_distance(&point, &ecf)))
+        });
+
+        let mut global = GlobalVariance::new(dims);
+        global.refresh(std::iter::once(&ecf));
+        group.bench_with_input(
+            BenchmarkId::new("dimension_counting", dims),
+            &dims,
+            |b, _| {
+                b.iter(|| black_box(dimension_counting_similarity(&point, &ecf, &global, 2.0)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distances);
+criterion_main!(benches);

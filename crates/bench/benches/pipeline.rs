@@ -1,0 +1,97 @@
+//! End-to-end pipeline throughput: generator + noise + clustering +
+//! purity tracking for each dataset profile (the Criterion counterpart of
+//! the figure binaries, kept small enough for `cargo bench`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use umicro::{DecayedUMicro, UMicro, UMicroConfig};
+use ustream_common::{DataStream, UncertainPoint};
+use ustream_eval::ClusterPurity;
+use ustream_synth::profiles::profile_stream;
+use ustream_synth::{DatasetProfile, NoisyStream};
+
+const LEN: usize = 5_000;
+const N_MICRO: usize = 100;
+
+fn materialise(profile: DatasetProfile) -> (Vec<UncertainPoint>, usize) {
+    let clean = profile_stream(profile, LEN, 21);
+    let dims = clean.dims();
+    let pts = NoisyStream::new(clean, 0.5, StdRng::seed_from_u64(22)).collect();
+    (pts, dims)
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.throughput(Throughput::Elements(LEN as u64));
+    for profile in [
+        DatasetProfile::SynDrift,
+        DatasetProfile::NetworkIntrusion,
+        DatasetProfile::ForestCover,
+    ] {
+        let (pts, dims) = materialise(profile);
+        group.bench_with_input(
+            BenchmarkId::new("umicro", profile.name()),
+            &pts,
+            |b, pts| {
+                b.iter(|| {
+                    let mut alg = UMicro::new(UMicroConfig::new(N_MICRO, dims).unwrap());
+                    let mut purity = ClusterPurity::new();
+                    for p in pts {
+                        let out = alg.insert(p);
+                        if let Some(l) = p.label() {
+                            purity.observe(out.cluster_id, l);
+                        }
+                    }
+                    purity.purity()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("umicro_decayed", profile.name()),
+            &pts,
+            |b, pts| {
+                b.iter(|| {
+                    let mut alg = DecayedUMicro::with_half_life(
+                        UMicroConfig::new(N_MICRO, dims).unwrap(),
+                        2_000.0,
+                    );
+                    for p in pts {
+                        alg.insert(p);
+                    }
+                    alg.micro_clusters().len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.throughput(Throughput::Elements(LEN as u64));
+    for profile in [
+        DatasetProfile::SynDrift,
+        DatasetProfile::NetworkIntrusion,
+        DatasetProfile::ForestCover,
+        DatasetProfile::CharitableDonation,
+    ] {
+        group.bench_function(BenchmarkId::new("clean", profile.name()), |b| {
+            b.iter(|| profile_stream(profile, LEN, 3).count())
+        });
+        group.bench_function(BenchmarkId::new("noisy", profile.name()), |b| {
+            b.iter(|| {
+                NoisyStream::new(
+                    profile_stream(profile, LEN, 3),
+                    0.5,
+                    StdRng::seed_from_u64(4),
+                )
+                .count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_generators);
+criterion_main!(benches);

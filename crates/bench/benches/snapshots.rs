@@ -1,0 +1,63 @@
+//! Pyramidal time-frame costs: snapshot recording, horizon lookup and
+//! subtractive window reconstruction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use umicro::Ecf;
+use ustream_common::UncertainPoint;
+use ustream_snapshot::{ClusterSetSnapshot, PyramidConfig, SnapshotStore};
+
+fn snapshot(dims: usize, clusters: usize, tick: u64) -> ClusterSetSnapshot<Ecf> {
+    ClusterSetSnapshot::from_pairs((0..clusters as u64).map(|id| {
+        let mut e = Ecf::empty(dims);
+        for i in 0..4 {
+            let values: Vec<f64> = (0..dims).map(|j| (id + i + j as u64) as f64 * 0.1).collect();
+            let errors = vec![0.05; dims];
+            e.insert(&UncertainPoint::new(values, errors, tick, None));
+        }
+        (id, e)
+    }))
+}
+
+fn bench_record(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot_record");
+    for &clusters in &[10usize, 100] {
+        let snap = snapshot(20, clusters, 1);
+        group.bench_with_input(
+            BenchmarkId::new("record_1k_ticks", clusters),
+            &clusters,
+            |b, _| {
+                b.iter(|| {
+                    let mut store = SnapshotStore::new(PyramidConfig::default());
+                    for t in 1..=1_000u64 {
+                        store.record(t, snap.clone());
+                    }
+                    store.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_horizon(c: &mut Criterion) {
+    let mut store = SnapshotStore::new(PyramidConfig::new(2, 6).unwrap());
+    for t in 1..=10_000u64 {
+        store.record(t, snapshot(20, 100, t));
+    }
+    let mut group = c.benchmark_group("snapshot_horizon");
+    for &h in &[10u64, 100, 1_000] {
+        group.bench_with_input(BenchmarkId::new("lookup", h), &h, |b, &h| {
+            b.iter(|| black_box(store.horizon_base(10_000, h).unwrap().time))
+        });
+        group.bench_with_input(BenchmarkId::new("reconstruct", h), &h, |b, &h| {
+            let current = store.find_at_or_before(10_000).unwrap();
+            let base = store.horizon_base(10_000, h).unwrap();
+            b.iter(|| black_box(current.data.subtract_past(&base.data).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_record, bench_horizon);
+criterion_main!(benches);

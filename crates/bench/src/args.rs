@@ -1,0 +1,107 @@
+//! Minimal `--key value` argument parsing for the figure binaries.
+//! (No CLI-framework dependency: the binaries take a handful of flags.)
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    flags: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses `--key value` pairs from `std::env::args()`.
+    ///
+    /// # Panics
+    /// Panics (with a usage-style message) on stray positional arguments or
+    /// a trailing flag without a value.
+    pub fn parse() -> Self {
+        Self::from_flags(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (tests).
+    pub fn from_flags(mut iter: impl Iterator<Item = String>) -> Self {
+        let mut flags = BTreeMap::new();
+        while let Some(arg) = iter.next() {
+            let key = arg
+                .strip_prefix("--")
+                .unwrap_or_else(|| panic!("unexpected positional argument: {arg}"));
+            let value = iter
+                .next()
+                .unwrap_or_else(|| panic!("flag --{key} needs a value"));
+            flags.insert(key.to_string(), value);
+        }
+        Self { flags }
+    }
+
+    /// String flag with a default.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.flags
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// Parsed flag with a default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.flags.get(key) {
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|e| panic!("flag --{key}={v} invalid: {e}")),
+            None => default,
+        }
+    }
+
+    /// Whether a flag was supplied at all.
+    pub fn has(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::from_flags(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_flags() {
+        let a = parse("--dataset syndrift --eta 0.5 --len 1000");
+        assert_eq!(a.get_str("dataset", "x"), "syndrift");
+        assert_eq!(a.get("eta", 0.0_f64), 0.5);
+        assert_eq!(a.get("len", 0_usize), 1000);
+        assert!(a.has("eta"));
+        assert!(!a.has("seed"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse("");
+        assert_eq!(a.get("eta", 0.25_f64), 0.25);
+        assert_eq!(a.get_str("dataset", "syndrift"), "syndrift");
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a value")]
+    fn missing_value_panics() {
+        let _ = parse("--eta");
+    }
+
+    #[test]
+    #[should_panic(expected = "positional")]
+    fn positional_panics() {
+        let _ = parse("syndrift");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn bad_value_panics() {
+        let a = parse("--eta abc");
+        let _ = a.get("eta", 0.0_f64);
+    }
+}

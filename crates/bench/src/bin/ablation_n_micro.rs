@@ -1,0 +1,59 @@
+//! Ablation A6: the micro-cluster budget `n_micro` (the paper fixes 100).
+//! Sweeps the budget and reports mean purity and throughput for UMicro and
+//! CluStream — quantifying the granularity/cost trade-off.
+
+use std::path::PathBuf;
+use std::time::Instant;
+use ustream_bench::csv::{print_table, write_csv};
+use ustream_bench::{purity_progression, Args, Method, RunConfig};
+use ustream_synth::DatasetProfile;
+
+fn main() {
+    let args = Args::parse();
+    let profile = DatasetProfile::from_name(&args.get_str("dataset", "syndrift"))
+        .expect("unknown dataset");
+    let mut cfg = RunConfig::paper(profile);
+    cfg.len = args.get("len", 40_000);
+    cfg.eta = args.get("eta", 1.0);
+    cfg.seed = args.get("seed", cfg.seed);
+
+    let budgets: Vec<usize> = args
+        .get_str("budgets", "25,50,100,200,400")
+        .split(',')
+        .map(|s| s.trim().parse().expect("numeric budget"))
+        .collect();
+
+    let mut rows = Vec::new();
+    for &n in &budgets {
+        let mut c = cfg.clone();
+        c.n_micro = n;
+        let t0 = Instant::now();
+        let u = purity_progression(&c, Method::UMicro).mean_purity();
+        let u_rate = c.len as f64 / t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let cs = purity_progression(&c, Method::CluStream).mean_purity();
+        let c_rate = c.len as f64 / t0.elapsed().as_secs_f64();
+        rows.push(vec![n as f64, u, cs, u_rate, c_rate]);
+    }
+
+    let header = [
+        "n_micro",
+        "UMicro_purity",
+        "CluStream_purity",
+        "UMicro_pts_s",
+        "CluStream_pts_s",
+    ];
+    print_table(
+        &format!(
+            "Ablation A6: micro-cluster budget [{} eta={} len={}]",
+            profile.name(),
+            cfg.eta,
+            cfg.len
+        ),
+        &header,
+        &rows,
+    );
+    let out = PathBuf::from("results/ablation_n_micro.csv");
+    write_csv(&out, &header, &rows).expect("write results csv");
+    eprintln!("wrote {}", out.display());
+}

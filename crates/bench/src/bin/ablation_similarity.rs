@@ -1,0 +1,54 @@
+//! Ablation A1: how much of UMicro's accuracy comes from the
+//! dimension-counting similarity vs the raw expected distance (Lemma 2.2)?
+//! Sweeps η on SynDrift and reports mean purity for both ranking modes plus
+//! the CluStream baseline.
+
+use std::path::PathBuf;
+use ustream_bench::csv::{print_table, write_csv};
+use ustream_bench::{purity_vs_error, Args, Method, RunConfig};
+use ustream_synth::DatasetProfile;
+
+fn main() {
+    let args = Args::parse();
+    let profile = DatasetProfile::from_name(&args.get_str("dataset", "syndrift"))
+        .expect("unknown dataset");
+    let mut cfg = RunConfig::paper(profile);
+    cfg.len = args.get("len", 40_000);
+    cfg.n_micro = args.get("n-micro", cfg.n_micro);
+    cfg.seed = args.get("seed", cfg.seed);
+
+    let etas: Vec<f64> = args
+        .get_str("etas", "0.25,0.5,1.0,1.5,2.0")
+        .split(',')
+        .map(|s| s.trim().parse().expect("numeric eta"))
+        .collect();
+
+    let methods = [
+        Method::UMicro,
+        Method::UMicroExpectedDistance,
+        Method::CluStream,
+    ];
+    let sweep = purity_vs_error(&cfg, &etas, &methods);
+    let rows: Vec<Vec<f64>> = sweep
+        .iter()
+        .map(|(eta, p)| {
+            let mut row = vec![*eta];
+            row.extend(p.iter().copied());
+            row
+        })
+        .collect();
+    let header = ["eta", "dim-counting", "expected-dist", "CluStream"];
+    print_table(
+        &format!(
+            "Ablation A1: similarity function [{} len={}]",
+            profile.name(),
+            cfg.len
+        ),
+        &header,
+        &rows,
+    );
+
+    let out = PathBuf::from("results/ablation_similarity.csv");
+    write_csv(&out, &header, &rows).expect("write results csv");
+    eprintln!("wrote {}", out.display());
+}

@@ -1,0 +1,66 @@
+//! Ablation A4: pyramidal time-frame geometry (§II-D).
+//! Sweeps `(α, l)` and reports, for a stream of `len` ticks:
+//! snapshots retained (memory), the analytic horizon-error bound
+//! `1/α^(l−1)`, and the worst *measured* relative horizon error over a set
+//! of probe horizons — verifying Eq. 7 empirically and exposing the
+//! storage/accuracy trade-off.
+
+use std::path::PathBuf;
+use ustream_bench::csv::{print_table, write_csv};
+use ustream_bench::Args;
+use ustream_snapshot::{PyramidConfig, SnapshotStore};
+
+fn main() {
+    let args = Args::parse();
+    let len: u64 = args.get("len", 100_000);
+
+    let geometries = [(2u64, 2u32), (2, 4), (2, 6), (3, 3), (4, 2), (4, 4)];
+    let probes: Vec<u64> = (0..)
+        .map(|i| 1u64 << i)
+        .take_while(|h| *h < len / 2)
+        .collect();
+
+    let mut rows = Vec::new();
+    for (alpha, l) in geometries {
+        let cfg = PyramidConfig::new(alpha, l).expect("valid geometry");
+        let mut store = SnapshotStore::new(cfg);
+        for t in 1..=len {
+            store.record(t, t);
+        }
+        let mut worst = 0.0f64;
+        for &h in &probes {
+            if let Ok(base) = store.horizon_base(len, h) {
+                let h_eff = len - base.time;
+                let rel = (h_eff.saturating_sub(h)) as f64 / h as f64;
+                worst = worst.max(rel);
+            }
+        }
+        rows.push(vec![
+            alpha as f64,
+            l as f64,
+            store.len() as f64,
+            cfg.horizon_error_bound(),
+            worst,
+        ]);
+        assert!(
+            worst <= cfg.horizon_error_bound() + 1e-9,
+            "Eq. 7 violated for alpha={alpha}, l={l}: measured {worst}"
+        );
+    }
+
+    let header = [
+        "alpha",
+        "l",
+        "snapshots_stored",
+        "error_bound",
+        "worst_measured",
+    ];
+    print_table(
+        &format!("Ablation A4: pyramidal geometry [stream length {len}]"),
+        &header,
+        &rows,
+    );
+    let out = PathBuf::from("results/ablation_snapshots.csv");
+    write_csv(&out, &header, &rows).expect("write results csv");
+    eprintln!("wrote {}", out.display());
+}

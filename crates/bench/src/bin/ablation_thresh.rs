@@ -1,0 +1,65 @@
+//! Ablation A5: the dimension-counting threshold `thresh` (§II-B leaves it
+//! unspecified). Sweeps the multiplier on the global per-dimension variance
+//! and reports mean purity — showing the plateau that makes the parameter
+//! uncritical.
+
+use std::path::PathBuf;
+use umicro::{UMicro, UMicroConfig};
+use ustream_bench::csv::{print_table, write_csv};
+use ustream_bench::{Args, RunConfig};
+use ustream_eval::ProgressionTracker;
+use ustream_synth::profiles::profile_stream;
+use ustream_synth::{DatasetProfile, NoisyStream};
+
+fn main() {
+    let args = Args::parse();
+    let profile = DatasetProfile::from_name(&args.get_str("dataset", "syndrift"))
+        .expect("unknown dataset");
+    let mut cfg = RunConfig::paper(profile);
+    cfg.len = args.get("len", 40_000);
+    cfg.eta = args.get("eta", 1.0);
+    cfg.seed = args.get("seed", cfg.seed);
+
+    let thresholds: Vec<f64> = args
+        .get_str("thresholds", "0.5,1,2,4,8,16")
+        .split(',')
+        .map(|s| s.trim().parse().expect("numeric threshold"))
+        .collect();
+
+    let mut rows = Vec::new();
+    for &thresh in &thresholds {
+        use rand::SeedableRng;
+        let stream = NoisyStream::new(
+            profile_stream(cfg.profile, cfg.len, cfg.seed),
+            cfg.eta,
+            rand::rngs::StdRng::seed_from_u64(cfg.seed ^ 0x0e7a),
+        );
+        let mut alg = UMicro::new(
+            UMicroConfig::new(cfg.n_micro, profile.dims())
+                .expect("valid config")
+                .with_dimension_counting(thresh),
+        );
+        let mut tracker = ProgressionTracker::new(cfg.checkpoint_interval());
+        for p in stream {
+            let out = alg.insert(&p);
+            tracker.observe(out.cluster_id, p.label());
+        }
+        tracker.checkpoint();
+        rows.push(vec![thresh, tracker.mean_purity().unwrap_or(0.0)]);
+    }
+
+    let header = ["thresh", "mean_purity"];
+    print_table(
+        &format!(
+            "Ablation A5: dimension-counting threshold [{} eta={} len={}]",
+            profile.name(),
+            cfg.eta,
+            cfg.len
+        ),
+        &header,
+        &rows,
+    );
+    let out = PathBuf::from("results/ablation_thresh.csv");
+    write_csv(&out, &header, &rows).expect("write results csv");
+    eprintln!("wrote {}", out.display());
+}

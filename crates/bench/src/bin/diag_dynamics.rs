@@ -1,0 +1,93 @@
+//! Diagnostic: cluster-maintenance dynamics of UMicro vs CluStream on one
+//! stream — creations, evictions/merges, live cluster counts, and per-class
+//! cluster specialisation. Not a paper figure; used to understand runs.
+
+use clustream::{CluStream, CluStreamConfig};
+use umicro::{UMicro, UMicroConfig};
+use ustream_bench::{Args, RunConfig};
+use ustream_eval::ClusterPurity;
+use ustream_synth::profiles::profile_stream;
+use ustream_synth::{DatasetProfile, NoisyStream};
+
+fn main() {
+    let args = Args::parse();
+    let profile = DatasetProfile::from_name(&args.get_str("dataset", "network"))
+        .expect("unknown dataset");
+    let mut cfg = RunConfig::paper(profile);
+    cfg.len = args.get("len", 40_000);
+    cfg.eta = args.get("eta", 1.5);
+    cfg.seed = args.get("seed", cfg.seed);
+
+    let stream = |seed: u64| {
+        use rand::SeedableRng;
+        NoisyStream::new(
+            profile_stream(cfg.profile, cfg.len, seed),
+            cfg.eta,
+            rand::rngs::StdRng::seed_from_u64(seed ^ 0x0e7a),
+        )
+    };
+
+    // UMicro
+    let mut alg = UMicro::new(
+        UMicroConfig::new(cfg.n_micro, profile.dims())
+            .unwrap()
+            .with_dimension_counting(cfg.thresh),
+    );
+    let mut created = 0u64;
+    let mut purity = ClusterPurity::new();
+    for p in stream(cfg.seed) {
+        let out = alg.insert(&p);
+        if out.created {
+            created += 1;
+        }
+        if let Some(l) = p.label() {
+            purity.observe(out.cluster_id, l);
+        }
+    }
+    println!(
+        "UMicro:    created={created:6}  live={:3}  whole-stream purity={:.4} weighted={:.4}",
+        alg.micro_clusters().len(),
+        purity.purity().unwrap(),
+        purity.weighted_purity().unwrap()
+    );
+    let mut radii: Vec<f64> = alg
+        .micro_clusters()
+        .iter()
+        .map(|c| c.ecf.uncertain_radius())
+        .collect();
+    radii.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    println!(
+        "  radius p10={:.3} p50={:.3} p90={:.3}",
+        radii[radii.len() / 10],
+        radii[radii.len() / 2],
+        radii[radii.len() * 9 / 10]
+    );
+
+    // CluStream
+    let mut alg = CluStream::new(CluStreamConfig::new(cfg.n_micro, profile.dims()).unwrap());
+    let mut created = 0u64;
+    let mut merged = 0u64;
+    let mut deleted = 0u64;
+    let mut purity = ClusterPurity::new();
+    for p in stream(cfg.seed) {
+        let out = alg.insert(&p);
+        if out.created {
+            created += 1;
+        }
+        if out.merged.is_some() {
+            merged += 1;
+        }
+        if out.deleted.is_some() {
+            deleted += 1;
+        }
+        if let Some(l) = p.label() {
+            purity.observe(out.cluster_id, l);
+        }
+    }
+    println!(
+        "CluStream: created={created:6}  live={:3}  merged={merged}  deleted={deleted}  purity={:.4} weighted={:.4}",
+        alg.micro_clusters().len(),
+        purity.purity().unwrap(),
+        purity.weighted_purity().unwrap()
+    );
+}

@@ -1,0 +1,74 @@
+//! Regenerates Figures 2–4: cluster purity with progression of the stream,
+//! UMicro vs CluStream at a fixed noise level (paper: η = 0.5, 100
+//! micro-clusters).
+//!
+//! ```text
+//! cargo run -p ustream-bench --release --bin fig_purity_progression -- \
+//!     --dataset syndrift --eta 0.5 --len 600000 --n-micro 100
+//! ```
+//!
+//! Defaults run a scaled-down stream (60k points) so the figure regenerates
+//! in seconds; pass `--full true` for the paper-size stream.
+
+use std::path::PathBuf;
+use ustream_bench::csv::{print_table, write_csv};
+use ustream_bench::{purity_progression, Args, Method, RunConfig};
+use ustream_synth::DatasetProfile;
+
+fn main() {
+    let args = Args::parse();
+    let dataset = args.get_str("dataset", "syndrift");
+    let profile = DatasetProfile::from_name(&dataset)
+        .unwrap_or_else(|| panic!("unknown dataset: {dataset}"));
+
+    let mut cfg = RunConfig::paper(profile);
+    if !args.get("full", false) {
+        cfg.len = 60_000;
+    }
+    cfg.eta = args.get("eta", cfg.eta);
+    cfg.len = args.get("len", cfg.len);
+    cfg.n_micro = args.get("n-micro", cfg.n_micro);
+    cfg.checkpoint = args.get("checkpoint", cfg.checkpoint);
+    cfg.seed = args.get("seed", cfg.seed);
+
+    eprintln!(
+        "purity-vs-progression on {} (eta={}, len={}, n_micro={})",
+        profile.name(),
+        cfg.eta,
+        cfg.len,
+        cfg.n_micro
+    );
+
+    let umicro = purity_progression(&cfg, Method::UMicro);
+    let clustream = purity_progression(&cfg, Method::CluStream);
+
+    let rows: Vec<Vec<f64>> = umicro
+        .points
+        .iter()
+        .zip(&clustream.points)
+        .map(|(u, c)| vec![u.points as f64, u.purity, c.purity])
+        .collect();
+    let header = ["points", "UMicro", "CluStream"];
+    print_table(
+        &format!(
+            "Fig 2-4 analogue: purity vs progression [{} eta={}]",
+            profile.name(),
+            cfg.eta
+        ),
+        &header,
+        &rows,
+    );
+    println!(
+        "\nmean purity: UMicro={:.4}  CluStream={:.4}",
+        umicro.mean_purity(),
+        clustream.mean_purity()
+    );
+
+    let out = PathBuf::from(format!(
+        "results/purity_progression_{}_eta{}.csv",
+        profile.name().to_lowercase(),
+        cfg.eta
+    ));
+    write_csv(&out, &header, &rows).expect("write results csv");
+    eprintln!("wrote {}", out.display());
+}

@@ -1,0 +1,78 @@
+//! Regenerates Figures 5–7: whole-stream accuracy as the error level η
+//! grows, UMicro vs CluStream.
+//!
+//! ```text
+//! cargo run -p ustream-bench --release --bin fig_purity_vs_error -- \
+//!     --dataset forest --len 60000
+//! ```
+
+use std::path::PathBuf;
+use ustream_bench::csv::{print_table, write_csv};
+use ustream_bench::{purity_vs_error, Args, Method, RunConfig};
+use ustream_synth::DatasetProfile;
+
+fn main() {
+    let args = Args::parse();
+    let dataset = args.get_str("dataset", "syndrift");
+    let profile = DatasetProfile::from_name(&dataset)
+        .unwrap_or_else(|| panic!("unknown dataset: {dataset}"));
+
+    let mut cfg = RunConfig::paper(profile);
+    if !args.get("full", false) {
+        cfg.len = 40_000;
+    }
+    cfg.len = args.get("len", cfg.len);
+    cfg.n_micro = args.get("n-micro", cfg.n_micro);
+    cfg.seed = args.get("seed", cfg.seed);
+
+    let etas: Vec<f64> = args
+        .get_str("etas", "0.25,0.5,0.75,1.0,1.5,2.0")
+        .split(',')
+        .map(|s| s.trim().parse().expect("numeric eta"))
+        .collect();
+
+    eprintln!(
+        "purity-vs-error on {} (len={}, n_micro={}, etas={etas:?})",
+        profile.name(),
+        cfg.len,
+        cfg.n_micro
+    );
+
+    let methods = [Method::UMicro, Method::CluStream];
+    let sweep = purity_vs_error(&cfg, &etas, &methods);
+
+    let rows: Vec<Vec<f64>> = sweep
+        .iter()
+        .map(|(eta, purities)| {
+            let mut row = vec![*eta];
+            row.extend(purities.iter().copied());
+            row
+        })
+        .collect();
+    let header = ["eta", "UMicro", "CluStream"];
+    print_table(
+        &format!("Fig 5-7 analogue: purity vs error level [{}]", profile.name()),
+        &header,
+        &rows,
+    );
+
+    // The paper's qualitative claim: the gap grows with error level.
+    if rows.len() >= 2 {
+        let first_gap = rows.first().map(|r| r[1] - r[2]).unwrap_or(0.0);
+        let last_gap = rows.last().map(|r| r[1] - r[2]).unwrap_or(0.0);
+        println!(
+            "\nUMicro-CluStream gap: {:.4} at eta={} -> {:.4} at eta={}",
+            first_gap,
+            rows[0][0],
+            last_gap,
+            rows[rows.len() - 1][0]
+        );
+    }
+
+    let out = PathBuf::from(format!(
+        "results/purity_vs_error_{}.csv",
+        profile.name().to_lowercase()
+    ));
+    write_csv(&out, &header, &rows).expect("write results csv");
+    eprintln!("wrote {}", out.display());
+}

@@ -1,0 +1,73 @@
+//! Regenerates Figures 8–10: stream processing rate (points/second over the
+//! trailing 2 seconds) with progression of the stream — UMicro vs the
+//! "optimistic baseline" CluStream, which ignores the error information and
+//! therefore does strictly less work per point.
+//!
+//! ```text
+//! cargo run -p ustream-bench --release --bin fig_throughput -- \
+//!     --dataset network --len 200000
+//! ```
+//!
+//! Run with `--release`; debug-build rates are meaningless.
+
+use std::path::PathBuf;
+use ustream_bench::csv::{print_table, write_csv};
+use ustream_bench::{throughput_run, Args, Method, RunConfig};
+use ustream_synth::DatasetProfile;
+
+fn main() {
+    let args = Args::parse();
+    let dataset = args.get_str("dataset", "syndrift");
+    let profile = DatasetProfile::from_name(&dataset)
+        .unwrap_or_else(|| panic!("unknown dataset: {dataset}"));
+
+    let mut cfg = RunConfig::paper(profile);
+    if !args.get("full", false) {
+        cfg.len = 200_000;
+    }
+    cfg.eta = args.get("eta", cfg.eta);
+    cfg.len = args.get("len", cfg.len);
+    cfg.n_micro = args.get("n-micro", cfg.n_micro);
+    cfg.seed = args.get("seed", cfg.seed);
+    let sample_every: u64 = args.get("sample-every", (cfg.len / 10).max(1) as u64);
+
+    eprintln!(
+        "throughput on {} (eta={}, len={}, n_micro={})",
+        profile.name(),
+        cfg.eta,
+        cfg.len,
+        cfg.n_micro
+    );
+
+    let umicro = throughput_run(&cfg, Method::UMicro, sample_every);
+    let clustream = throughput_run(&cfg, Method::CluStream, sample_every);
+
+    let rows: Vec<Vec<f64>> = umicro
+        .samples
+        .iter()
+        .zip(&clustream.samples)
+        .map(|((pts, u), (_, c))| vec![*pts as f64, *u, *c])
+        .collect();
+    let header = ["points", "UMicro_pts_per_s", "CluStream_pts_per_s"];
+    print_table(
+        &format!(
+            "Fig 8-10 analogue: processing rate vs progression [{}]",
+            profile.name()
+        ),
+        &header,
+        &rows,
+    );
+    println!(
+        "\noverall: UMicro={:.0} pts/s, CluStream(optimistic baseline)={:.0} pts/s, ratio={:.2}",
+        umicro.overall,
+        clustream.overall,
+        umicro.overall / clustream.overall
+    );
+
+    let out = PathBuf::from(format!(
+        "results/throughput_{}.csv",
+        profile.name().to_lowercase()
+    ));
+    write_csv(&out, &header, &rows).expect("write results csv");
+    eprintln!("wrote {}", out.display());
+}

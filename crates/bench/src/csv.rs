@@ -1,0 +1,59 @@
+//! Tiny CSV writer for the `results/` outputs.
+
+use std::fs::{self, File};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// Writes rows of `f64` values with a header to `path`, creating parent
+/// directories as needed.
+pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<f64>]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut out = BufWriter::new(File::create(path)?);
+    writeln!(out, "{}", header.join(","))?;
+    for row in rows {
+        let line: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        writeln!(out, "{}", line.join(","))?;
+    }
+    out.flush()
+}
+
+/// Prints an aligned table to stdout (the "figure" in terminal form).
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<f64>]) {
+    println!("\n=== {title} ===");
+    let widths: Vec<usize> = header.iter().map(|h| h.len().max(12)).collect();
+    let head: Vec<String> = header
+        .iter()
+        .zip(&widths)
+        .map(|(h, w)| format!("{h:>w$}"))
+        .collect();
+    println!("{}", head.join("  "));
+    for row in rows {
+        let cells: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(v, w)| format!("{v:>w$.4}"))
+            .collect();
+        println!("{}", cells.join("  "));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_formats() {
+        let path = std::env::temp_dir().join("ustream_csv_test/out.csv");
+        write_csv(
+            &path,
+            &["x", "y"],
+            &[vec![1.0, 2.0], vec![3.0, 4.5]],
+        )
+        .unwrap();
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(contents, "x,y\n1,2\n3,4.5\n");
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+}

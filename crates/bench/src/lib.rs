@@ -1,0 +1,17 @@
+//! # ustream-bench
+//!
+//! Shared harness for the figure regenerators (one binary per figure of the
+//! ICDE'08 paper, see DESIGN.md §4) and the Criterion micro-benchmarks.
+//!
+//! The binaries print the same series the paper plots — one row per x-axis
+//! point, one column per method — and write CSV files under `results/`.
+
+pub mod args;
+pub mod csv;
+pub mod runner;
+
+pub use args::Args;
+pub use runner::{
+    purity_progression, purity_vs_error, throughput_run, Method, PurityCurve, RunConfig,
+    ThroughputCurve,
+};

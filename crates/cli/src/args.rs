@@ -1,0 +1,111 @@
+//! Flag parsing for the `ustream` CLI (no external dependency; a handful of
+//! typed `--key value` flags per subcommand).
+
+use std::collections::BTreeMap;
+
+/// The CLI's error type: a plain message.
+pub type CliError = Box<dyn std::error::Error>;
+
+/// Parsed `--key value` flags.
+#[derive(Debug, Clone, Default)]
+pub struct Flags {
+    values: BTreeMap<String, String>,
+}
+
+impl Flags {
+    /// Parses the remaining argv after the subcommand.
+    pub fn parse(mut argv: impl Iterator<Item = String>) -> Result<Self, CliError> {
+        let mut values = BTreeMap::new();
+        while let Some(arg) = argv.next() {
+            let key = arg
+                .strip_prefix("--")
+                .ok_or_else(|| format!("unexpected positional argument: {arg}"))?;
+            let value = argv
+                .next()
+                .ok_or_else(|| format!("flag --{key} needs a value"))?;
+            values.insert(key.to_string(), value);
+        }
+        Ok(Self { values })
+    }
+
+    /// A required string flag.
+    pub fn require(&self, key: &str) -> Result<&str, CliError> {
+        self.values
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required flag --{key}").into())
+    }
+
+    /// An optional string flag with a default.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.values
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// A typed flag with a default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.values.get(key) {
+            Some(v) => v
+                .parse()
+                .map_err(|e| format!("flag --{key}={v} invalid: {e}").into()),
+            None => Ok(default),
+        }
+    }
+
+    /// An optional typed flag.
+    pub fn get_opt<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, CliError>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.values.get(key) {
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|e| format!("flag --{key}={v} invalid: {e}").into()),
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Flags, CliError> {
+        Flags::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_typed_flags() {
+        let f = parse("--len 100 --eta 0.5 --out x.csv").unwrap();
+        assert_eq!(f.get("len", 0usize).unwrap(), 100);
+        assert_eq!(f.get("eta", 0.0f64).unwrap(), 0.5);
+        assert_eq!(f.require("out").unwrap(), "x.csv");
+        assert_eq!(f.get_str("profile", "syndrift"), "syndrift");
+        assert_eq!(f.get_opt::<f64>("per-record").unwrap(), None);
+    }
+
+    #[test]
+    fn missing_required_flag() {
+        let f = parse("").unwrap();
+        assert!(f.require("in").is_err());
+    }
+
+    #[test]
+    fn bad_value_reports_flag() {
+        let f = parse("--len abc").unwrap();
+        let err = f.get("len", 0usize).unwrap_err();
+        assert!(err.to_string().contains("--len"));
+    }
+
+    #[test]
+    fn positional_rejected() {
+        assert!(parse("generate").is_err());
+        assert!(parse("--eta").is_err());
+    }
+}

@@ -1,0 +1,75 @@
+//! `ustream classify` — train/evaluate the per-class micro-cluster
+//! classifier on a labelled stream CSV.
+
+use crate::args::{CliError, Flags};
+use crate::commands::load_stream;
+use std::collections::BTreeMap;
+use umicro::{MicroClassifier, UMicroConfig};
+use ustream_common::{ClassLabel, DataStream, UncertainPoint};
+
+/// Runs the command.
+pub fn run(flags: &Flags) -> Result<(), CliError> {
+    let input = flags.require("in")?;
+    let budget: usize = flags.get("budget", 25)?;
+    let train_frac: f64 = flags.get("train-frac", 0.7)?;
+    if !(0.0 < train_frac && train_frac < 1.0) {
+        return Err(format!("--train-frac {train_frac} must be in (0, 1)").into());
+    }
+
+    let stream = load_stream(input)?;
+    let dims = stream.dims();
+    let points: Vec<UncertainPoint> = stream.collect();
+    let labelled = points.iter().filter(|p| p.label().is_some()).count();
+    if labelled < points.len() {
+        return Err(format!(
+            "classification needs a fully labelled stream ({labelled}/{} labelled)",
+            points.len()
+        )
+        .into());
+    }
+    if points.len() < 10 {
+        return Err("stream too short for a train/test split".into());
+    }
+
+    let split = (points.len() as f64 * train_frac) as usize;
+    let mut clf = MicroClassifier::new(UMicroConfig::new(budget, dims)?);
+    for p in &points[..split] {
+        clf.train_labelled(p);
+    }
+    eprintln!(
+        "trained on {split} records, {} classes, {budget} micro-clusters per class",
+        clf.classes().count()
+    );
+
+    let mut per_class: BTreeMap<ClassLabel, (usize, usize)> = BTreeMap::new();
+    let mut correct = 0usize;
+    let mut confidence_sum = 0.0;
+    let test = &points[split..];
+    for p in test {
+        let truth = p.label().expect("labelled");
+        let entry = per_class.entry(truth).or_insert((0, 0));
+        entry.1 += 1;
+        if let Some(c) = clf.classify(p) {
+            confidence_sum += c.confidence();
+            if c.label == truth {
+                correct += 1;
+                entry.0 += 1;
+            }
+        }
+    }
+
+    println!(
+        "accuracy: {:.4} over {} held-out records (mean confidence {:.3})",
+        correct as f64 / test.len() as f64,
+        test.len(),
+        confidence_sum / test.len() as f64
+    );
+    println!("per-class recall:");
+    for (label, (ok, total)) in per_class {
+        println!(
+            "  {label}: {:.4} ({ok}/{total})",
+            ok as f64 / total.max(1) as f64
+        );
+    }
+    Ok(())
+}

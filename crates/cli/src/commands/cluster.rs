@@ -1,0 +1,229 @@
+//! `ustream cluster` — run a clustering algorithm over a stream CSV and
+//! report quality.
+
+use crate::args::{CliError, Flags};
+use crate::commands::load_stream;
+use clustream::{
+    CluStream, CluStreamConfig, DenStream, DenStreamConfig, StreamKMeans, StreamKMeansConfig,
+};
+use std::time::Instant;
+use umicro::{UMicro, UMicroConfig};
+use ustream_common::{AdditiveFeature, DataStream, UncertainPoint};
+use ustream_eval::{
+    adjusted_rand_index, normalized_mutual_information, simplified_silhouette, ClusterPurity,
+    ClusterSummary, ContingencyTable,
+};
+use ustream_kmeans::MacroClustering;
+
+/// Remaps a micro-level contingency table onto macro clusters via the
+/// micro→macro assignment; micro-clusters evicted before the offline phase
+/// keep their own (unmapped) ids so their points still count.
+fn macro_table(micro: &ContingencyTable, mac: &MacroClustering) -> ContingencyTable {
+    let lookup: std::collections::BTreeMap<u64, usize> =
+        mac.micro_assignments.iter().copied().collect();
+    let mut out = ContingencyTable::new();
+    for (micro_id, hist) in micro.clusters() {
+        let target = lookup
+            .get(&micro_id)
+            .map(|m| *m as u64)
+            .unwrap_or(u64::MAX - micro_id);
+        for (label, n) in hist {
+            out.observe_many(target, *label, *n);
+        }
+    }
+    out
+}
+
+/// Runs the command.
+pub fn run(flags: &Flags) -> Result<(), CliError> {
+    let input = flags.require("in")?;
+    let algorithm = flags.get_str("algorithm", "umicro");
+    let n_micro: usize = flags.get("n-micro", 100)?;
+    let k: usize = flags.get("k", 5)?;
+    let seed: u64 = flags.get("seed", 42)?;
+    let epsilon: f64 = flags.get("epsilon", 0.5)?;
+
+    let stream = load_stream(input)?;
+    let dims = stream.dims();
+    let points: Vec<UncertainPoint> = stream.collect();
+    if points.is_empty() {
+        return Err("stream is empty".into());
+    }
+    eprintln!(
+        "clustering {} records ({dims} dims) with {algorithm}",
+        points.len()
+    );
+
+    let started = Instant::now();
+    let (summaries, purity) = match algorithm.as_str() {
+        "umicro" => {
+            let mut alg = UMicro::new(UMicroConfig::new(n_micro, dims)?);
+            let mut purity = ClusterPurity::new();
+            for p in &points {
+                let out = alg.insert(p);
+                if let Some(l) = p.label() {
+                    purity.observe(out.cluster_id, l);
+                }
+            }
+            let mac = alg.macro_cluster(k, seed);
+            print_macro(&mac.centroids, &mac.weights);
+            print_macro_quality(&purity, &mac);
+            (cluster_summaries_umicro(&alg), purity)
+        }
+        "clustream" => {
+            let mut alg = CluStream::new(CluStreamConfig::new(n_micro, dims)?);
+            let mut purity = ClusterPurity::new();
+            for p in &points {
+                let out = alg.insert(p);
+                if let Some(l) = p.label() {
+                    purity.observe(out.cluster_id, l);
+                }
+            }
+            let mac = alg.macro_cluster(k, seed);
+            print_macro(&mac.centroids, &mac.weights);
+            print_macro_quality(&purity, &mac);
+            let summaries = alg
+                .micro_clusters()
+                .iter()
+                .map(|c| ClusterSummary::new(c.cf.centroid(), c.cf.rms_radius(), c.cf.n()))
+                .collect();
+            (summaries, purity)
+        }
+        "denstream" => {
+            let mut alg = DenStream::new(DenStreamConfig::new(dims, epsilon)?);
+            let mut purity = ClusterPurity::new();
+            for p in &points {
+                alg.insert(p);
+                // DenStream has no insert outcome; attribute by the nearest
+                // potential cluster after insertion for the purity readout.
+                if let Some(l) = p.label() {
+                    if let Some(c) = alg
+                        .potential_clusters()
+                        .iter()
+                        .min_by(|a, b| {
+                            let da = ustream_common::point::sq_euclidean(
+                                &a.centroid(),
+                                p.values(),
+                            );
+                            let db = ustream_common::point::sq_euclidean(
+                                &b.centroid(),
+                                p.values(),
+                            );
+                            da.partial_cmp(&db).unwrap()
+                        })
+                    {
+                        purity.observe(c.id, l);
+                    }
+                }
+            }
+            let centroids = alg.offline_centroids();
+            let weights = vec![0.0; centroids.len()];
+            print_macro(&centroids, &weights);
+            let summaries = alg
+                .potential_clusters()
+                .iter()
+                .map(|c| ClusterSummary::new(c.centroid(), c.radius(), c.weight()))
+                .collect();
+            (summaries, purity)
+        }
+        "stream-kmeans" => {
+            let chunk = (points.len() / 20).max(k + 1);
+            let mut alg = StreamKMeans::new(StreamKMeansConfig::new(k, chunk, dims, seed)?);
+            for p in &points {
+                alg.insert(p);
+            }
+            let res = alg.query();
+            let mut purity = ClusterPurity::new();
+            for p in &points {
+                if let Some(l) = p.label() {
+                    let (idx, _) =
+                        ustream_kmeans::sq_distance_to_nearest(p.values(), &res.centroids);
+                    purity.observe(idx as u64, l);
+                }
+            }
+            let weights = vec![0.0; res.centroids.len()];
+            print_macro(&res.centroids, &weights);
+            let summaries = res
+                .centroids
+                .iter()
+                .map(|c| ClusterSummary::new(c.clone(), 0.0, 1.0))
+                .collect();
+            (summaries, purity)
+        }
+        other => return Err(format!("unknown algorithm: {other}").into()),
+    };
+    let elapsed = started.elapsed();
+
+    println!(
+        "\nthroughput: {:.0} points/sec ({} points in {:.2?})",
+        points.len() as f64 / elapsed.as_secs_f64(),
+        points.len(),
+        elapsed
+    );
+    if purity.total() > 0 {
+        println!(
+            "purity: {:.4} (weighted {:.4})",
+            purity.purity().unwrap_or(0.0),
+            purity.weighted_purity().unwrap_or(0.0)
+        );
+        if let Some(nmi) = normalized_mutual_information(purity.table()) {
+            println!("NMI: {nmi:.4}");
+        }
+        if let Some(ari) = adjusted_rand_index(purity.table()) {
+            println!("ARI: {ari:.4}");
+        }
+    } else {
+        println!("no labels in stream; skipping external quality metrics");
+    }
+    if let Some(s) = simplified_silhouette(&summaries) {
+        println!("silhouette (micro-level): {s:.4}");
+    }
+    Ok(())
+}
+
+fn cluster_summaries_umicro(alg: &UMicro) -> Vec<ClusterSummary> {
+    alg.micro_clusters()
+        .iter()
+        .map(|c| {
+            ClusterSummary::new(
+                c.ecf.centroid(),
+                c.ecf.corrected_radius(),
+                c.ecf.weight(),
+            )
+        })
+        .collect()
+}
+
+fn print_macro_quality(purity: &ClusterPurity, mac: &MacroClustering) {
+    if purity.total() == 0 || mac.k() == 0 {
+        return;
+    }
+    let table = macro_table(purity.table(), mac);
+    if let Some(p) = ustream_eval::purity::purity_of(&table) {
+        print!("macro-level: purity {p:.4}");
+        if let Some(nmi) = normalized_mutual_information(&table) {
+            print!("  NMI {nmi:.4}");
+        }
+        if let Some(ari) = adjusted_rand_index(&table) {
+            print!("  ARI {ari:.4}");
+        }
+        println!();
+    }
+}
+
+fn print_macro(centroids: &[Vec<f64>], weights: &[f64]) {
+    println!("clusters:");
+    for (i, c) in centroids.iter().enumerate() {
+        let head: Vec<String> = c.iter().take(5).map(|v| format!("{v:.3}")).collect();
+        let w = weights.get(i).copied().unwrap_or(0.0);
+        if w > 0.0 {
+            println!("  #{i}: weight {w:>10.1}  centroid [{}{}]",
+                head.join(", "),
+                if c.len() > 5 { ", …" } else { "" });
+        } else {
+            println!("  #{i}: centroid [{}{}]",
+                head.join(", "),
+                if c.len() > 5 { ", …" } else { "" });
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! `ustream generate` — synthesize an uncertain stream to CSV.
+
+use crate::args::{CliError, Flags};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fs::File;
+use ustream_synth::io::write_stream;
+use ustream_synth::profiles::profile_stream;
+use ustream_synth::{DatasetProfile, NoiseVariant, NoisyStream};
+
+/// Runs the command.
+pub fn run(flags: &Flags) -> Result<(), CliError> {
+    let profile_name = flags.get_str("profile", "syndrift");
+    let profile = DatasetProfile::from_name(&profile_name)
+        .ok_or_else(|| format!("unknown profile: {profile_name}"))?;
+    let eta: f64 = flags.get("eta", 0.5)?;
+    let len: usize = flags.get("len", 100_000)?;
+    let seed: u64 = flags.get("seed", 42)?;
+    let out_path = flags.require("out")?;
+    let per_record: Option<f64> = flags.get_opt("per-record")?;
+
+    if !(0.0..=10.0).contains(&eta) {
+        return Err(format!("--eta {eta} out of range [0, 10]").into());
+    }
+
+    let clean = profile_stream(profile, len, seed);
+    let mut noisy = NoisyStream::new(clean, eta, StdRng::seed_from_u64(seed ^ 0x0e7a));
+    if let Some(spread) = per_record {
+        if !(0.0..1.0).contains(&spread) {
+            return Err(format!("--per-record {spread} must be in [0, 1)").into());
+        }
+        noisy = noisy.with_variant(NoiseVariant::PerRecord { spread });
+    }
+
+    let file = File::create(out_path).map_err(|e| format!("{out_path}: {e}"))?;
+    let written = write_stream(noisy, file)?;
+    eprintln!(
+        "wrote {written} records ({}, {} dims, eta={eta}) to {out_path}",
+        profile.name(),
+        profile.dims()
+    );
+    Ok(())
+}

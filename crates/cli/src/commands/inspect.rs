@@ -1,0 +1,65 @@
+//! `ustream inspect` — print structural statistics of a stream CSV.
+
+use crate::args::{CliError, Flags};
+use crate::commands::load_stream;
+use std::collections::BTreeMap;
+use ustream_common::stats::DimStats;
+use ustream_common::{ClassLabel, DataStream};
+
+/// Runs the command.
+pub fn run(flags: &Flags) -> Result<(), CliError> {
+    let input = flags.require("in")?;
+    let stream = load_stream(input)?;
+    let dims = stream.dims();
+
+    let mut value_stats = DimStats::new(dims);
+    let mut error_stats = DimStats::new(dims);
+    let mut classes: BTreeMap<ClassLabel, u64> = BTreeMap::new();
+    let mut unlabelled = 0u64;
+    let mut count = 0u64;
+    let mut first_t = u64::MAX;
+    let mut last_t = 0u64;
+
+    for p in stream {
+        count += 1;
+        value_stats.push(p.values());
+        error_stats.push(p.errors());
+        match p.label() {
+            Some(l) => *classes.entry(l).or_insert(0) += 1,
+            None => unlabelled += 1,
+        }
+        first_t = first_t.min(p.timestamp());
+        last_t = last_t.max(p.timestamp());
+    }
+    if count == 0 {
+        return Err("stream is empty".into());
+    }
+
+    println!("records: {count} ({dims} dims, ticks {first_t}..{last_t})");
+    println!("classes:");
+    for (label, n) in &classes {
+        println!(
+            "  {label}: {n} ({:.1}%)",
+            100.0 * *n as f64 / count as f64
+        );
+    }
+    if unlabelled > 0 {
+        println!("  unlabelled: {unlabelled}");
+    }
+
+    let vm = value_stats.means();
+    let vs = value_stats.std_devs();
+    let em = error_stats.means();
+    println!("per-dimension [mean ± std | mean ψ | relative noise ψ/σ]:");
+    for j in 0..dims.min(20) {
+        let rel = if vs[j] > 0.0 { em[j] / vs[j] } else { 0.0 };
+        println!(
+            "  dim {j:>2}: {:>12.4} ± {:<12.4} | ψ {:>10.4} | {:.2}",
+            vm[j], vs[j], em[j], rel
+        );
+    }
+    if dims > 20 {
+        println!("  … ({} more dimensions)", dims - 20);
+    }
+    Ok(())
+}

@@ -1,0 +1,19 @@
+//! Subcommand implementations.
+
+pub mod classify;
+pub mod cluster;
+pub mod evolve;
+pub mod generate;
+pub mod horizon;
+pub mod inspect;
+
+use crate::args::CliError;
+use std::fs::File;
+use std::path::Path;
+use ustream_common::VecStream;
+
+/// Opens and parses a stream CSV.
+pub fn load_stream(path: &str) -> Result<VecStream, CliError> {
+    let file = File::open(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+    ustream_synth::io::read_stream(file).map_err(|e| format!("{path}: {e}").into())
+}

@@ -1,0 +1,121 @@
+//! `ustream` — command-line front end for the uncertain-streams workspace.
+//!
+//! ```text
+//! ustream generate --profile syndrift --eta 0.5 --len 100000 --out stream.csv
+//! ustream cluster  --in stream.csv --algorithm umicro --n-micro 100 --k 5
+//! ustream classify --in stream.csv --budget 25 --train-frac 0.7
+//! ustream inspect  --in stream.csv
+//! ```
+//!
+//! Streams are the CSV dialect of `ustream_synth::io` (values + ψ columns);
+//! `generate` writes them, every other command reads them, so workloads are
+//! reproducible artifacts rather than in-process state.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+ustream <command> [--flag value]...
+
+commands:
+  generate   synthesize an uncertain stream to CSV
+             --profile syndrift|network|forest|donation  (default syndrift)
+             --eta <f64>           noise level               (default 0.5)
+             --len <usize>         records                   (default 100000)
+             --seed <u64>          RNG seed                  (default 42)
+             --per-record <f64>    per-record psi spread in [0,1) (default: off)
+             --out <path>          output CSV                (required)
+  cluster    cluster a stream and report quality
+             --in <path>           input CSV                 (required)
+             --algorithm umicro|clustream|denstream|stream-kmeans (default umicro)
+             --n-micro <usize>     micro-cluster budget      (default 100)
+             --k <usize>           macro clusters            (default 5)
+             --epsilon <f64>       DenStream radius          (default 0.5)
+             --seed <u64>          macro k-means seed        (default 42)
+  classify   train/test a per-class micro-cluster classifier
+             --in <path>           labelled input CSV        (required)
+             --budget <usize>      micro-clusters per class  (default 25)
+             --train-frac <f64>    training fraction         (default 0.7)
+  horizon    cluster and answer trailing-window queries (pyramidal frame)
+             --in <path>           input CSV                 (required)
+             --horizons <list>     comma-separated tick horizons (default 1000,10000)
+             --n-micro <usize>     micro-cluster budget      (default 100)
+             --k <usize>           macro clusters per window (default 5)
+             --alpha <u64> --l <u32>  pyramid geometry       (default 2, 6)
+  evolve     evolution report between the last two windows
+             --in <path>           input CSV                 (required)
+             --window <u64>        window length in ticks    (default 10000)
+             --min-weight <f64>    ignore lighter clusters   (default 5)
+  inspect    print stream statistics
+             --in <path>           input CSV                 (required)
+";
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let command = match argv.next() {
+        Some(c) => c,
+        None => {
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let flags = match args::Flags::parse(argv) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Downstream tools (`ustream inspect | head`) may close stdout early;
+    // treat the resulting broken-pipe print panic as a clean exit, and keep
+    // its backtrace out of stderr.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        if !msg.contains("Broken pipe") {
+            default_hook(info);
+        }
+    }));
+    let outcome = std::panic::catch_unwind(|| match command.as_str() {
+        "generate" => commands::generate::run(&flags),
+        "cluster" => commands::cluster::run(&flags),
+        "classify" => commands::classify::run(&flags),
+        "horizon" => commands::horizon::run(&flags),
+        "evolve" => commands::evolve::run(&flags),
+        "inspect" => commands::inspect::run(&flags),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command: {other}").into()),
+    });
+
+    match outcome {
+        Ok(Ok(())) => ExitCode::SUCCESS,
+        Ok(Err(e)) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if msg.contains("Broken pipe") {
+                ExitCode::SUCCESS
+            } else {
+                std::panic::resume_unwind(payload)
+            }
+        }
+    }
+}

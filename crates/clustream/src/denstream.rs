@@ -1,0 +1,496 @@
+//! DenStream (Cao, Ester, Qian & Zhou, SDM 2006): density-based clustering
+//! over an evolving stream with a damped window.
+//!
+//! The UMicro paper's related work highlights density-based clustering of
+//! error-prone data (\[16\], offline); DenStream is the streaming
+//! density-based contemporary every stream-clustering suite ships as a
+//! baseline, so we include it for completeness of the comparator set.
+//!
+//! Structure:
+//! * every micro-cluster is a decayed feature vector `(w, CF1, CF2)` with
+//!   weights `2^{−λ·age}`;
+//! * **p-micro-clusters** (potential core) carry weight ≥ `β·μ`;
+//!   **o-micro-clusters** (outlier buffer) are candidates that may grow
+//!   into p-clusters or fade away;
+//! * an arriving point merges into the nearest p-cluster if the resulting
+//!   radius stays ≤ ε, else into the nearest o-cluster under the same
+//!   test, else it seeds a new o-cluster;
+//! * every `T_p = ⌈(1/λ)·log₂(βμ/(βμ−1))⌉` ticks, p-clusters whose weight
+//!   decayed below `β·μ` are demoted/dropped and stale o-clusters are
+//!   pruned with the paper's ξ lower bound;
+//! * the offline phase connects p-clusters whose centroids lie within
+//!   `2ε` into final clusters (density-reachability on summaries).
+
+use serde::{Deserialize, Serialize};
+use ustream_common::feature::decay_factor;
+use ustream_common::point::sq_euclidean;
+use ustream_common::{Result, Timestamp, UStreamError, UncertainPoint};
+
+/// DenStream configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenStreamConfig {
+    /// Stream dimensionality.
+    pub dims: usize,
+    /// Neighbourhood radius ε.
+    pub epsilon: f64,
+    /// Core weight threshold μ.
+    pub mu: f64,
+    /// Outlier fraction β ∈ (0, 1]: p-clusters need weight ≥ β·μ.
+    pub beta: f64,
+    /// Decay rate λ (> 0).
+    pub lambda: f64,
+}
+
+impl DenStreamConfig {
+    /// Validated constructor with the original paper's default shape
+    /// (`β = 0.25`, `μ = 10`, `λ = 0.006`).
+    pub fn new(dims: usize, epsilon: f64) -> Result<Self> {
+        let cfg = Self {
+            dims,
+            epsilon,
+            mu: 10.0,
+            beta: 0.25,
+            lambda: 0.006,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Checks parameter domains.
+    pub fn validate(&self) -> Result<()> {
+        if self.dims == 0 {
+            return Err(UStreamError::InvalidConfig("dims must be >= 1".into()));
+        }
+        if !(self.epsilon.is_finite() && self.epsilon > 0.0) {
+            return Err(UStreamError::InvalidConfig(format!(
+                "epsilon must be positive, got {}",
+                self.epsilon
+            )));
+        }
+        if !(self.mu.is_finite() && self.mu > 1.0) {
+            return Err(UStreamError::InvalidConfig("mu must exceed 1".into()));
+        }
+        if !(0.0 < self.beta && self.beta <= 1.0) {
+            return Err(UStreamError::InvalidConfig("beta must be in (0, 1]".into()));
+        }
+        if !(self.lambda.is_finite() && self.lambda > 0.0) {
+            return Err(UStreamError::InvalidConfig("lambda must be positive".into()));
+        }
+        if self.beta * self.mu <= 1.0 {
+            return Err(UStreamError::InvalidConfig(
+                "beta*mu must exceed 1 (otherwise T_p is undefined)".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The pruning period `T_p` of the original paper.
+    pub fn pruning_period(&self) -> u64 {
+        let bm = self.beta * self.mu;
+        ((1.0 / self.lambda) * (bm / (bm - 1.0)).log2()).ceil().max(1.0) as u64
+    }
+}
+
+/// A decayed density micro-cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DensityMicroCluster {
+    /// Stable id.
+    pub id: u64,
+    w: f64,
+    cf1: Vec<f64>,
+    cf2: Vec<f64>,
+    /// Reference tick of the decayed statistics.
+    last_decay: Timestamp,
+    /// Creation tick (o-cluster staleness test).
+    created: Timestamp,
+}
+
+impl DensityMicroCluster {
+    fn new(id: u64, p: &UncertainPoint) -> Self {
+        let values = p.values();
+        Self {
+            id,
+            w: 1.0,
+            cf1: values.to_vec(),
+            cf2: values.iter().map(|x| x * x).collect(),
+            last_decay: p.timestamp(),
+            created: p.timestamp(),
+        }
+    }
+
+    fn decay_to(&mut self, now: Timestamp, lambda: f64) {
+        if now <= self.last_decay {
+            return;
+        }
+        let f = decay_factor(lambda, (now - self.last_decay) as f64);
+        self.w *= f;
+        for v in &mut self.cf1 {
+            *v *= f;
+        }
+        for v in &mut self.cf2 {
+            *v *= f;
+        }
+        self.last_decay = now;
+    }
+
+    fn insert(&mut self, p: &UncertainPoint) {
+        for (j, &x) in p.values().iter().enumerate() {
+            self.cf1[j] += x;
+            self.cf2[j] += x * x;
+        }
+        self.w += 1.0;
+    }
+
+    /// Decayed weight.
+    pub fn weight(&self) -> f64 {
+        self.w
+    }
+
+    /// Centroid.
+    pub fn centroid(&self) -> Vec<f64> {
+        self.cf1.iter().map(|v| v / self.w.max(1e-12)).collect()
+    }
+
+    /// RMS radius of the decayed members.
+    pub fn radius(&self) -> f64 {
+        if self.w <= 0.0 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for j in 0..self.cf1.len() {
+            let mean = self.cf1[j] / self.w;
+            acc += (self.cf2[j] / self.w - mean * mean).max(0.0);
+        }
+        acc.sqrt()
+    }
+
+    /// Radius if `p` were absorbed (the merge test of the paper).
+    fn radius_with(&self, p: &UncertainPoint) -> f64 {
+        let mut probe = self.clone();
+        probe.insert(p);
+        probe.radius()
+    }
+}
+
+/// The DenStream online algorithm plus its offline connect phase.
+#[derive(Debug, Clone)]
+pub struct DenStream {
+    config: DenStreamConfig,
+    potential: Vec<DensityMicroCluster>,
+    outliers: Vec<DensityMicroCluster>,
+    next_id: u64,
+    processed: u64,
+    last_prune: Timestamp,
+}
+
+impl DenStream {
+    /// Creates the algorithm.
+    pub fn new(config: DenStreamConfig) -> Self {
+        config.validate().expect("DenStreamConfig must be valid");
+        Self {
+            config,
+            potential: Vec::new(),
+            outliers: Vec::new(),
+            next_id: 0,
+            processed: 0,
+            last_prune: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &DenStreamConfig {
+        &self.config
+    }
+
+    /// Points processed.
+    pub fn points_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Potential-core micro-clusters.
+    pub fn potential_clusters(&self) -> &[DensityMicroCluster] {
+        &self.potential
+    }
+
+    /// Outlier-buffer micro-clusters.
+    pub fn outlier_clusters(&self) -> &[DensityMicroCluster] {
+        &self.outliers
+    }
+
+    /// Processes one point (errors ignored — deterministic baseline).
+    pub fn insert(&mut self, p: &UncertainPoint) {
+        debug_assert_eq!(p.dims(), self.config.dims);
+        self.processed += 1;
+        let now = p.timestamp();
+        let eps = self.config.epsilon;
+        let lambda = self.config.lambda;
+
+        // 1. Try the nearest p-micro-cluster.
+        if let Some(idx) = nearest(&self.potential, p.values()) {
+            let c = &mut self.potential[idx];
+            c.decay_to(now, lambda);
+            if c.radius_with(p) <= eps {
+                c.insert(p);
+                self.maybe_prune(now);
+                return;
+            }
+        }
+        // 2. Try the nearest o-micro-cluster.
+        if let Some(idx) = nearest(&self.outliers, p.values()) {
+            let c = &mut self.outliers[idx];
+            c.decay_to(now, lambda);
+            if c.radius_with(p) <= eps {
+                c.insert(p);
+                // Promotion test.
+                if c.weight() >= self.config.beta * self.config.mu {
+                    let promoted = self.outliers.swap_remove(idx);
+                    self.potential.push(promoted);
+                }
+                self.maybe_prune(now);
+                return;
+            }
+        }
+        // 3. New o-micro-cluster.
+        let id = self.next_id;
+        self.next_id += 1;
+        self.outliers.push(DensityMicroCluster::new(id, p));
+        self.maybe_prune(now);
+    }
+
+    fn maybe_prune(&mut self, now: Timestamp) {
+        let period = self.config.pruning_period();
+        if now < self.last_prune + period {
+            return;
+        }
+        self.last_prune = now;
+        let lambda = self.config.lambda;
+        let threshold = self.config.beta * self.config.mu;
+        for c in &mut self.potential {
+            c.decay_to(now, lambda);
+        }
+        self.potential.retain(|c| c.weight() >= threshold);
+
+        // o-cluster lower bound ξ(t_c, t_o) from the original paper: an
+        // o-cluster created at t_o must by now have at least
+        // (2^{−λ(t_c − t_o + T_p)} − 1) / (2^{−λ T_p} − 1) weight.
+        let tp = period as f64;
+        for c in &mut self.outliers {
+            c.decay_to(now, lambda);
+        }
+        self.outliers.retain(|c| {
+            let age = (now - c.created) as f64;
+            let xi = ((-lambda * (age + tp)).exp2() - 1.0) / ((-lambda * tp).exp2() - 1.0);
+            c.weight() >= xi
+        });
+    }
+
+    /// Offline phase: groups p-micro-clusters whose centroids lie within
+    /// `2ε` of each other into connected components; returns, per final
+    /// cluster, the member micro-cluster ids.
+    pub fn offline_clusters(&self) -> Vec<Vec<u64>> {
+        let n = self.potential.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let centroids: Vec<Vec<f64>> = self.potential.iter().map(|c| c.centroid()).collect();
+        let reach = 2.0 * self.config.epsilon;
+        // Union-find over the p-clusters.
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if sq_euclidean(&centroids[i], &centroids[j]).sqrt() <= reach {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    if ri != rj {
+                        parent[ri] = rj;
+                    }
+                }
+            }
+        }
+        let mut groups: std::collections::BTreeMap<usize, Vec<u64>> = Default::default();
+        for i in 0..n {
+            let root = find(&mut parent, i);
+            groups.entry(root).or_default().push(self.potential[i].id);
+        }
+        groups.into_values().collect()
+    }
+
+    /// Offline centroids: the weighted centroid of each connected component.
+    pub fn offline_centroids(&self) -> Vec<Vec<f64>> {
+        let by_id: std::collections::BTreeMap<u64, &DensityMicroCluster> =
+            self.potential.iter().map(|c| (c.id, c)).collect();
+        self.offline_clusters()
+            .into_iter()
+            .map(|ids| {
+                let mut acc = vec![0.0; self.config.dims];
+                let mut w = 0.0;
+                for id in ids {
+                    let c = by_id[&id];
+                    for (a, v) in acc.iter_mut().zip(c.centroid()) {
+                        *a += c.weight() * v;
+                    }
+                    w += c.weight();
+                }
+                acc.into_iter().map(|a| a / w.max(1e-12)).collect()
+            })
+            .collect()
+    }
+}
+
+fn nearest(clusters: &[DensityMicroCluster], values: &[f64]) -> Option<usize> {
+    clusters
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (i, sq_euclidean(&c.centroid(), values)))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(values: &[f64], t: Timestamp) -> UncertainPoint {
+        UncertainPoint::certain(values.to_vec(), t, None)
+    }
+
+    fn config() -> DenStreamConfig {
+        DenStreamConfig::new(2, 0.5).unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(DenStreamConfig::new(0, 0.5).is_err());
+        assert!(DenStreamConfig::new(2, 0.0).is_err());
+        let mut c = config();
+        c.beta = 0.05; // beta*mu = 0.5 <= 1
+        assert!(c.validate().is_err());
+        c.beta = 1.5;
+        assert!(c.validate().is_err());
+        assert!(config().pruning_period() >= 1);
+    }
+
+    #[test]
+    fn single_point_starts_as_outlier() {
+        let mut alg = DenStream::new(config());
+        alg.insert(&pt(&[0.0, 0.0], 1));
+        assert_eq!(alg.outlier_clusters().len(), 1);
+        assert!(alg.potential_clusters().is_empty());
+    }
+
+    #[test]
+    fn dense_region_promotes_to_potential() {
+        let mut alg = DenStream::new(config());
+        // beta*mu = 2.5 → three tight points promote.
+        for t in 1..=5u64 {
+            let w = (t % 3) as f64 * 0.05;
+            alg.insert(&pt(&[w, -w], t));
+        }
+        assert_eq!(alg.potential_clusters().len(), 1);
+        assert!(alg.potential_clusters()[0].weight() > 2.5);
+    }
+
+    #[test]
+    fn far_points_stay_separate() {
+        let mut alg = DenStream::new(config());
+        for t in 1..=10u64 {
+            alg.insert(&pt(&[0.0, 0.0], t));
+            alg.insert(&pt(&[10.0, 10.0], t));
+        }
+        // Two promoted p-clusters, one per blob.
+        assert_eq!(alg.potential_clusters().len(), 2);
+        let offline = alg.offline_clusters();
+        assert_eq!(offline.len(), 2);
+    }
+
+    #[test]
+    fn offline_connects_bridged_patches() {
+        let mut alg = DenStream::new(config());
+        // Patches at 0.0 and 1.4 (singleton merge test fails at radius
+        // 0.7 > ε) plus a distant patch: three p-clusters, three offline
+        // clusters.
+        let mut t = 0u64;
+        for _ in 0..10 {
+            t += 1;
+            alg.insert(&pt(&[0.0, 0.0], t));
+            t += 1;
+            alg.insert(&pt(&[1.4, 0.0], t));
+            t += 1;
+            alg.insert(&pt(&[50.0, 50.0], t));
+        }
+        assert_eq!(alg.potential_clusters().len(), 3);
+        assert_eq!(alg.offline_clusters().len(), 3);
+
+        // Bridge traffic between the two near patches drags their centroids
+        // within the 2ε reachability, connecting them offline.
+        for _ in 0..10 {
+            t += 1;
+            alg.insert(&pt(&[0.55, 0.0], t));
+            t += 1;
+            alg.insert(&pt(&[0.9, 0.0], t));
+        }
+        let offline = alg.offline_clusters();
+        assert_eq!(offline.len(), 2, "bridged patches should connect");
+        let sizes: Vec<usize> = offline.iter().map(Vec::len).collect();
+        assert!(sizes.contains(&2) && sizes.contains(&1), "sizes: {sizes:?}");
+        assert_eq!(alg.offline_centroids().len(), 2);
+    }
+
+    #[test]
+    fn stale_potential_cluster_pruned() {
+        let mut cfg = config();
+        cfg.lambda = 0.05; // fast decay → short pruning period.
+        let mut alg = DenStream::new(cfg);
+        for t in 1..=10u64 {
+            alg.insert(&pt(&[0.0, 0.0], t));
+        }
+        assert_eq!(alg.potential_clusters().len(), 1);
+        // Long silence, then activity elsewhere triggers pruning sweeps.
+        for t in 500..=600u64 {
+            alg.insert(&pt(&[30.0, 30.0], t));
+        }
+        assert!(
+            alg.potential_clusters()
+                .iter()
+                .all(|c| c.centroid()[0] > 10.0),
+            "stale cluster at origin should be gone"
+        );
+    }
+
+    #[test]
+    fn radius_merge_test_respected() {
+        let mut alg = DenStream::new(config());
+        for t in 1..=6u64 {
+            alg.insert(&pt(&[0.0, 0.0], t));
+        }
+        let before = alg.potential_clusters()[0].weight();
+        // A point 5 away cannot merge (radius would exceed ε = 0.5).
+        alg.insert(&pt(&[5.0, 0.0], 7));
+        let after = alg.potential_clusters()[0].weight();
+        assert!((after - before).abs() < 1.0 + 1e-9);
+        assert_eq!(alg.outlier_clusters().len(), 1);
+    }
+
+    #[test]
+    fn decay_shrinks_weight() {
+        let mut c = DensityMicroCluster::new(0, &pt(&[1.0, 1.0], 0));
+        c.decay_to(100, 0.01);
+        assert!((c.weight() - 0.5).abs() < 1e-12);
+        // Centroid invariant under decay.
+        let cen = c.centroid();
+        assert!((cen[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offline_empty_stream() {
+        let alg = DenStream::new(config());
+        assert!(alg.offline_clusters().is_empty());
+        assert!(alg.offline_centroids().is_empty());
+    }
+}

@@ -1,0 +1,303 @@
+//! The deterministic CluStream cluster feature vector.
+//!
+//! `CFT(C) = (CF2x, CF1x, CF2t, CF1t, n)`: per-dimension second and first
+//! moments of the values, plus second and first moments of the arrival
+//! timestamps and the point count. The temporal moments power the relevance
+//! stamp (an estimate of how recently the cluster was active); the spatial
+//! moments give centroid and RMS radius. Additive and subtractive like the
+//! uncertain ECF — CluStream invented the pyramidal-frame trick UMicro
+//! reuses.
+
+use serde::{Deserialize, Serialize};
+use ustream_common::{AdditiveFeature, Timestamp, UncertainPoint};
+
+/// Deterministic cluster feature vector (`2d + 3` entries).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CfVector {
+    cf2: Vec<f64>,
+    cf1: Vec<f64>,
+    /// Sum of arrival timestamps.
+    cf1_t: f64,
+    /// Sum of squared arrival timestamps.
+    cf2_t: f64,
+    n: f64,
+    last_update: Timestamp,
+}
+
+impl CfVector {
+    /// Empty summary over `d` dimensions.
+    pub fn empty(d: usize) -> Self {
+        Self {
+            cf2: vec![0.0; d],
+            cf1: vec![0.0; d],
+            cf1_t: 0.0,
+            cf2_t: 0.0,
+            n: 0.0,
+            last_update: 0,
+        }
+    }
+
+    /// Singleton summary (errors on the point, if any, are ignored — this
+    /// is the deterministic baseline).
+    pub fn from_point(p: &UncertainPoint) -> Self {
+        let mut f = Self::empty(p.dims());
+        f.insert(p);
+        f
+    }
+
+    /// Absorbs one point.
+    pub fn insert(&mut self, p: &UncertainPoint) {
+        debug_assert_eq!(p.dims(), self.dims());
+        for (j, &x) in p.values().iter().enumerate() {
+            self.cf1[j] += x;
+            self.cf2[j] += x * x;
+        }
+        let t = p.timestamp() as f64;
+        self.cf1_t += t;
+        self.cf2_t += t * t;
+        self.n += 1.0;
+        if p.timestamp() > self.last_update {
+            self.last_update = p.timestamp();
+        }
+    }
+
+    /// `CF1x`.
+    pub fn cf1(&self) -> &[f64] {
+        &self.cf1
+    }
+
+    /// `CF2x`.
+    pub fn cf2(&self) -> &[f64] {
+        &self.cf2
+    }
+
+    /// Point count.
+    pub fn n(&self) -> f64 {
+        self.n
+    }
+
+    /// Mean arrival timestamp `μ_t`.
+    pub fn mean_time(&self) -> f64 {
+        if self.n > 0.0 {
+            self.cf1_t / self.n
+        } else {
+            0.0
+        }
+    }
+
+    /// Standard deviation of arrival timestamps `σ_t`.
+    pub fn std_time(&self) -> f64 {
+        if self.n < 2.0 {
+            return 0.0;
+        }
+        let mean = self.cf1_t / self.n;
+        (self.cf2_t / self.n - mean * mean).max(0.0).sqrt()
+    }
+
+    /// The *relevance stamp*: the estimated arrival time of the
+    /// `m/(2n)`-th most recent point under a normal model of the arrival
+    /// times (VLDB'03 §3). Clusters whose stamp is old have not absorbed
+    /// recent points and are candidates for deletion.
+    ///
+    /// When fewer than `2m` points are present the mean arrival time is
+    /// used, as in the original paper.
+    pub fn relevance_stamp(&self, m: usize) -> f64 {
+        if self.n < (2 * m) as f64 {
+            return self.mean_time();
+        }
+        let p = 1.0 - (m as f64) / (2.0 * self.n);
+        // p ∈ (0.5, 1): z > 0; stamp sits above the mean arrival time.
+        let z = ustream_common::stats::inverse_normal_cdf(p);
+        self.mean_time() + z * self.std_time()
+    }
+
+    /// RMS deviation of the points about the centroid — the deterministic
+    /// radius used for the maximal boundary.
+    pub fn rms_radius(&self) -> f64 {
+        if self.n <= 0.0 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for j in 0..self.dims() {
+            let mean = self.cf1[j] / self.n;
+            acc += (self.cf2[j] / self.n - mean * mean).max(0.0);
+        }
+        acc.sqrt()
+    }
+
+    /// Squared Euclidean distance from `values` to the centroid.
+    pub fn sq_distance_to(&self, values: &[f64]) -> f64 {
+        debug_assert_eq!(values.len(), self.dims());
+        if self.n <= 0.0 {
+            return values.iter().map(|x| x * x).sum();
+        }
+        let mut acc = 0.0;
+        for (j, &x) in values.iter().enumerate() {
+            let diff = x - self.cf1[j] / self.n;
+            acc += diff * diff;
+        }
+        acc
+    }
+}
+
+impl AdditiveFeature for CfVector {
+    fn dims(&self) -> usize {
+        self.cf1.len()
+    }
+
+    fn count(&self) -> f64 {
+        self.n
+    }
+
+    fn last_update(&self) -> Timestamp {
+        self.last_update
+    }
+
+    fn merge(&mut self, other: &Self) {
+        debug_assert_eq!(self.dims(), other.dims());
+        for j in 0..self.cf1.len() {
+            self.cf1[j] += other.cf1[j];
+            self.cf2[j] += other.cf2[j];
+        }
+        self.cf1_t += other.cf1_t;
+        self.cf2_t += other.cf2_t;
+        self.n += other.n;
+        self.last_update = self.last_update.max(other.last_update);
+    }
+
+    fn subtract(&mut self, other: &Self) {
+        debug_assert_eq!(self.dims(), other.dims());
+        for j in 0..self.cf1.len() {
+            self.cf1[j] -= other.cf1[j];
+            self.cf2[j] = (self.cf2[j] - other.cf2[j]).max(0.0);
+        }
+        self.cf1_t -= other.cf1_t;
+        self.cf2_t = (self.cf2_t - other.cf2_t).max(0.0);
+        self.n = (self.n - other.n).max(0.0);
+    }
+
+    fn centroid(&self) -> Vec<f64> {
+        if self.n <= 0.0 {
+            return vec![0.0; self.dims()];
+        }
+        self.cf1.iter().map(|v| v / self.n).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(values: &[f64], t: Timestamp) -> UncertainPoint {
+        UncertainPoint::certain(values.to_vec(), t, None)
+    }
+
+    #[test]
+    fn singleton_and_accessors() {
+        let f = CfVector::from_point(&pt(&[3.0, -1.0], 7));
+        assert_eq!(f.n(), 1.0);
+        assert_eq!(f.cf1(), &[3.0, -1.0]);
+        assert_eq!(f.cf2(), &[9.0, 1.0]);
+        assert_eq!(f.mean_time(), 7.0);
+        assert_eq!(f.last_update(), 7);
+    }
+
+    #[test]
+    fn errors_ignored() {
+        let noisy = UncertainPoint::new(vec![1.0], vec![5.0], 1, None);
+        let clean = UncertainPoint::certain(vec![1.0], 1, None);
+        assert_eq!(CfVector::from_point(&noisy), CfVector::from_point(&clean));
+    }
+
+    #[test]
+    fn centroid_and_radius() {
+        let mut f = CfVector::empty(1);
+        f.insert(&pt(&[-2.0], 1));
+        f.insert(&pt(&[2.0], 2));
+        assert_eq!(f.centroid(), vec![0.0]);
+        assert!((f.rms_radius() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn additive_and_subtractive() {
+        let pts: Vec<UncertainPoint> = (0..8).map(|i| pt(&[i as f64], i as u64)).collect();
+        let mut all = CfVector::empty(1);
+        let mut head = CfVector::empty(1);
+        for (i, p) in pts.iter().enumerate() {
+            all.insert(p);
+            if i < 3 {
+                head.insert(p);
+            }
+        }
+        let mut merged = head.clone();
+        let mut tail = all.clone();
+        tail.subtract(&head);
+        merged.merge(&tail);
+        assert!((merged.cf1()[0] - all.cf1()[0]).abs() < 1e-9);
+        assert!((merged.cf2()[0] - all.cf2()[0]).abs() < 1e-9);
+        assert_eq!(merged.n(), 8.0);
+        // Tail equals direct summary of points 3..8.
+        let mut direct = CfVector::empty(1);
+        for p in &pts[3..] {
+            direct.insert(p);
+        }
+        assert!((tail.cf1()[0] - direct.cf1()[0]).abs() < 1e-9);
+        assert!((tail.mean_time() - direct.mean_time()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_statistics() {
+        let mut f = CfVector::empty(1);
+        for t in [10u64, 20, 30] {
+            f.insert(&pt(&[0.0], t));
+        }
+        assert!((f.mean_time() - 20.0).abs() < 1e-12);
+        let want_sd = ((100.0 + 0.0 + 100.0f64) / 3.0).sqrt();
+        assert!((f.std_time() - want_sd).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relevance_stamp_small_cluster_uses_mean() {
+        let mut f = CfVector::empty(1);
+        f.insert(&pt(&[0.0], 10));
+        f.insert(&pt(&[0.0], 30));
+        // n = 2 < 2m for m = 10.
+        assert_eq!(f.relevance_stamp(10), 20.0);
+    }
+
+    #[test]
+    fn relevance_stamp_recent_cluster_is_later() {
+        // Two clusters with the same spread; one stopped receiving points
+        // long ago. The stale one must have the smaller stamp.
+        let mut old = CfVector::empty(1);
+        let mut fresh = CfVector::empty(1);
+        for t in 0..100u64 {
+            old.insert(&pt(&[0.0], t));
+            fresh.insert(&pt(&[0.0], t + 500));
+        }
+        let m = 10;
+        assert!(old.relevance_stamp(m) < fresh.relevance_stamp(m));
+        // Stamp exceeds the mean for a large cluster (estimates a recent
+        // percentile).
+        assert!(old.relevance_stamp(m) > old.mean_time());
+    }
+
+    #[test]
+    fn sq_distance_to_centroid() {
+        let mut f = CfVector::empty(2);
+        f.insert(&pt(&[0.0, 0.0], 1));
+        f.insert(&pt(&[2.0, 2.0], 2));
+        // centroid (1, 1).
+        assert!((f.sq_distance_to(&[4.0, 5.0]) - (9.0 + 16.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_feature_defensive() {
+        let f = CfVector::empty(2);
+        assert_eq!(f.centroid(), vec![0.0, 0.0]);
+        assert_eq!(f.rms_radius(), 0.0);
+        assert_eq!(f.mean_time(), 0.0);
+        assert!(AdditiveFeature::is_empty(&f));
+        assert_eq!(f.sq_distance_to(&[3.0, 4.0]), 25.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # clustream
+//!
+//! Deterministic stream-clustering baselines the ICDE'08 paper compares
+//! UMicro against:
+//!
+//! * [`CluStream`] — the micro-clustering framework of Aggarwal, Han, Wang &
+//!   Yu (VLDB 2003): cluster feature vectors `(CF2x, CF1x, CF2t, CF1t, n)`,
+//!   an RMS-deviation maximal boundary, relevance-stamp based deletion of
+//!   stale clusters, closest-pair merging, and offline macro-clustering.
+//!   This is the "optimistic baseline" of the paper's efficiency plots: it
+//!   ignores the error vectors entirely, so both its input and its
+//!   arithmetic are smaller than UMicro's.
+//! * [`StreamKMeans`] — the STREAM algorithm of O'Callaghan et al. (ICDE
+//!   2002), cited as \[6\]: chunk-wise clustering with weighted
+//!   representatives and hierarchical re-clustering.
+//! * [`DenStream`] — the density-based damped-window contemporary (Cao et
+//!   al., SDM 2006), included to round out the comparator set.
+//!
+//! Both baselines consume the same [`ustream_common::UncertainPoint`] stream
+//! as UMicro but look only at the instantiated values.
+
+pub mod denstream;
+pub mod feature;
+pub mod horizon;
+pub mod macrocluster;
+pub mod micro;
+pub mod stream_kmeans;
+
+pub use denstream::{DenStream, DenStreamConfig, DensityMicroCluster};
+pub use feature::CfVector;
+pub use horizon::CluStreamHorizon;
+pub use macrocluster::macro_cluster_cfs;
+pub use micro::{CluStream, CluStreamConfig, CluStreamInsert};
+pub use stream_kmeans::{StreamKMeans, StreamKMeansConfig};

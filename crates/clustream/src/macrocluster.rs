@@ -1,0 +1,56 @@
+//! CluStream's offline macro-clustering phase: weighted k-means over the
+//! deterministic micro-cluster centroids, each carrying its point count.
+
+use crate::feature::CfVector;
+use ustream_common::AdditiveFeature;
+
+pub use ustream_kmeans::MacroClustering;
+
+/// Runs weighted k-means over `(id, CF)` pairs.
+pub fn macro_cluster_cfs<'a>(
+    clusters: impl Iterator<Item = (u64, &'a CfVector)>,
+    k: usize,
+    seed: u64,
+) -> MacroClustering {
+    ustream_kmeans::macro_cluster_weighted(
+        clusters.map(|(id, cf)| (id, cf.centroid(), cf.n())),
+        k,
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ustream_common::UncertainPoint;
+
+    fn cf_at(x: f64, n: usize) -> CfVector {
+        let mut f = CfVector::empty(1);
+        for i in 0..n {
+            f.insert(&UncertainPoint::certain(
+                vec![x + (i % 2) as f64 * 0.01],
+                i as u64,
+                None,
+            ));
+        }
+        f
+    }
+
+    #[test]
+    fn groups_cf_centroids() {
+        let micro = [(1u64, cf_at(0.0, 4)),
+            (2, cf_at(0.1, 4)),
+            (3, cf_at(20.0, 4))];
+        let mac = macro_cluster_cfs(micro.iter().map(|(i, f)| (*i, f)), 2, 3);
+        assert_eq!(mac.k(), 2);
+        assert_eq!(mac.macro_of_micro(1), mac.macro_of_micro(2));
+        assert_ne!(mac.macro_of_micro(1), mac.macro_of_micro(3));
+        assert!((mac.weights.iter().sum::<f64>() - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_input() {
+        let mac = macro_cluster_cfs(std::iter::empty(), 2, 0);
+        assert_eq!(mac.k(), 0);
+    }
+}

@@ -1,0 +1,251 @@
+//! The STREAM baseline (O'Callaghan, Meyerson, Motwani, Mishra & Guha,
+//! *Streaming-Data Algorithms for High-Quality Clustering*, ICDE 2002) —
+//! reference \[6\] of both the CluStream and UMicro papers.
+//!
+//! STREAM processes the stream in chunks. Each chunk of `m` points is
+//! clustered into `k` weighted representatives (we use k-means in place of
+//! the LSEARCH facility-location routine; the framework is identical). The
+//! representatives accumulate at level 1; whenever a level holds `m`
+//! representatives they are themselves clustered into `k` level-`i+1`
+//! representatives, giving a logarithmic-memory hierarchy. Querying clusters
+//! runs a final k-means over every retained representative.
+
+use ustream_common::{DeterministicPoint, Result, UStreamError, UncertainPoint};
+use ustream_kmeans::{kmeans, KMeansConfig, KMeansResult};
+
+/// STREAM configuration.
+#[derive(Debug, Clone)]
+pub struct StreamKMeansConfig {
+    /// Number of clusters `k` produced per chunk and at query time.
+    pub k: usize,
+    /// Chunk size `m` (also the per-level representative budget).
+    pub chunk_size: usize,
+    /// Stream dimensionality.
+    pub dims: usize,
+    /// RNG seed for the per-chunk k-means.
+    pub seed: u64,
+}
+
+impl StreamKMeansConfig {
+    /// Validated constructor.
+    pub fn new(k: usize, chunk_size: usize, dims: usize, seed: u64) -> Result<Self> {
+        if k == 0 {
+            return Err(UStreamError::InvalidConfig("k must be >= 1".into()));
+        }
+        if chunk_size <= k {
+            return Err(UStreamError::InvalidConfig(format!(
+                "chunk_size ({chunk_size}) must exceed k ({k})"
+            )));
+        }
+        if dims == 0 {
+            return Err(UStreamError::InvalidConfig("dims must be >= 1".into()));
+        }
+        Ok(Self {
+            k,
+            chunk_size,
+            dims,
+            seed,
+        })
+    }
+}
+
+/// The STREAM algorithm.
+#[derive(Debug, Clone)]
+pub struct StreamKMeans {
+    config: StreamKMeansConfig,
+    buffer: Vec<DeterministicPoint>,
+    /// `levels[i]` holds the weighted representatives of level `i + 1`.
+    levels: Vec<Vec<DeterministicPoint>>,
+    processed: u64,
+    chunk_counter: u64,
+}
+
+impl StreamKMeans {
+    /// Creates the algorithm.
+    pub fn new(config: StreamKMeansConfig) -> Self {
+        Self {
+            buffer: Vec::with_capacity(config.chunk_size),
+            levels: Vec::new(),
+            processed: 0,
+            chunk_counter: 0,
+            config,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &StreamKMeansConfig {
+        &self.config
+    }
+
+    /// Points processed so far.
+    pub fn points_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Processes one point (errors ignored — deterministic baseline).
+    pub fn insert(&mut self, point: &UncertainPoint) {
+        debug_assert_eq!(point.dims(), self.config.dims);
+        self.processed += 1;
+        self.buffer.push(DeterministicPoint::from(point));
+        if self.buffer.len() >= self.config.chunk_size {
+            self.flush_chunk();
+        }
+    }
+
+    /// Representatives currently retained across all levels (plus the
+    /// unflushed buffer tail), for inspection.
+    pub fn representative_count(&self) -> usize {
+        self.buffer.len() + self.levels.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Clusters everything retained so far into `k` final clusters.
+    pub fn query(&self) -> KMeansResult {
+        let mut reps: Vec<DeterministicPoint> = Vec::new();
+        reps.extend(self.buffer.iter().cloned());
+        for level in &self.levels {
+            reps.extend(level.iter().cloned());
+        }
+        kmeans(
+            &reps,
+            &KMeansConfig::new(self.config.k, self.config.seed ^ 0x5747_u64),
+        )
+    }
+
+    fn flush_chunk(&mut self) {
+        self.chunk_counter += 1;
+        let chunk = std::mem::take(&mut self.buffer);
+        let reps = Self::summarise(
+            &chunk,
+            self.config.k,
+            self.config.seed.wrapping_add(self.chunk_counter),
+        );
+        self.push_reps(0, reps);
+    }
+
+    /// Clusters a batch into `k` weighted representatives.
+    fn summarise(batch: &[DeterministicPoint], k: usize, seed: u64) -> Vec<DeterministicPoint> {
+        let res = kmeans(batch, &KMeansConfig::new(k, seed));
+        let mut weights = vec![0.0; res.centroids.len()];
+        for (p, &a) in batch.iter().zip(&res.assignments) {
+            weights[a] += p.weight;
+        }
+        res.centroids
+            .into_iter()
+            .zip(weights)
+            .filter(|(_, w)| *w > 0.0)
+            .map(|(c, w)| DeterministicPoint::weighted(c, w))
+            .collect()
+    }
+
+    /// Adds representatives to a level, recursively compacting full levels.
+    fn push_reps(&mut self, level: usize, reps: Vec<DeterministicPoint>) {
+        if self.levels.len() <= level {
+            self.levels.resize_with(level + 1, Vec::new);
+        }
+        self.levels[level].extend(reps);
+        if self.levels[level].len() >= self.config.chunk_size {
+            self.chunk_counter += 1;
+            let full = std::mem::take(&mut self.levels[level]);
+            let compacted = Self::summarise(
+                &full,
+                self.config.k,
+                self.config.seed.wrapping_add(self.chunk_counter),
+            );
+            self.push_reps(level + 1, compacted);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(x: f64, y: f64, t: u64) -> UncertainPoint {
+        UncertainPoint::certain(vec![x, y], t, None)
+    }
+
+    fn cfg(k: usize, chunk: usize) -> StreamKMeansConfig {
+        StreamKMeansConfig::new(k, chunk, 2, 11).unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(StreamKMeansConfig::new(0, 10, 2, 0).is_err());
+        assert!(StreamKMeansConfig::new(5, 5, 2, 0).is_err());
+        assert!(StreamKMeansConfig::new(2, 10, 0, 0).is_err());
+        assert!(StreamKMeansConfig::new(2, 10, 2, 0).is_ok());
+    }
+
+    #[test]
+    fn finds_two_blobs() {
+        let mut alg = StreamKMeans::new(cfg(2, 50));
+        for i in 0..500u64 {
+            let jitter = (i % 9) as f64 * 0.05;
+            if i % 2 == 0 {
+                alg.insert(&pt(jitter, -jitter, i));
+            } else {
+                alg.insert(&pt(25.0 + jitter, 25.0 - jitter, i));
+            }
+        }
+        let res = alg.query();
+        assert_eq!(res.centroids.len(), 2);
+        let mut near_a = false;
+        let mut near_b = false;
+        for c in &res.centroids {
+            if c[0] < 5.0 {
+                near_a = true;
+            }
+            if c[0] > 20.0 {
+                near_b = true;
+            }
+        }
+        assert!(near_a && near_b, "centroids: {:?}", res.centroids);
+    }
+
+    #[test]
+    fn memory_stays_logarithmic() {
+        let mut alg = StreamKMeans::new(cfg(4, 40));
+        for i in 0..10_000u64 {
+            alg.insert(&pt((i % 13) as f64, (i % 7) as f64, i));
+        }
+        // Representatives per level < chunk_size; levels ~ log(n/chunk).
+        assert!(
+            alg.representative_count() < 40 * 6,
+            "representatives: {}",
+            alg.representative_count()
+        );
+        assert_eq!(alg.points_processed(), 10_000);
+    }
+
+    #[test]
+    fn query_before_first_chunk_uses_buffer() {
+        let mut alg = StreamKMeans::new(cfg(2, 1000));
+        alg.insert(&pt(0.0, 0.0, 1));
+        alg.insert(&pt(10.0, 10.0, 2));
+        let res = alg.query();
+        assert_eq!(res.centroids.len(), 2);
+    }
+
+    #[test]
+    fn query_on_empty_stream() {
+        let alg = StreamKMeans::new(cfg(3, 10));
+        let res = alg.query();
+        assert!(res.centroids.is_empty());
+    }
+
+    #[test]
+    fn weights_preserved_through_hierarchy() {
+        let mut alg = StreamKMeans::new(cfg(2, 20));
+        for i in 0..400u64 {
+            alg.insert(&pt((i % 3) as f64, 0.0, i));
+        }
+        let total: f64 = alg
+            .levels
+            .iter()
+            .flat_map(|l| l.iter())
+            .map(|p| p.weight)
+            .sum::<f64>()
+            + alg.buffer.len() as f64;
+        assert!((total - 400.0).abs() < 1e-6, "total weight drifted: {total}");
+    }
+}

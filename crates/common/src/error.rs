@@ -1,0 +1,108 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Errors surfaced by the uncertain-streams crates.
+///
+/// The stream-clustering hot path is deliberately error-free (dimension
+/// mismatches there are programming errors and use debug assertions);
+/// `UStreamError` covers the fallible edges: configuration validation,
+/// dataset loading and snapshot persistence.
+#[derive(Debug)]
+pub enum UStreamError {
+    /// A point or feature vector had a different dimensionality than the
+    /// structure it was combined with.
+    DimensionMismatch {
+        /// Dimensionality expected by the receiving structure.
+        expected: usize,
+        /// Dimensionality of the offending input.
+        actual: usize,
+    },
+    /// A configuration parameter was outside its valid domain.
+    InvalidConfig(String),
+    /// A dataset file could not be read or parsed.
+    Dataset(String),
+    /// An I/O error bubbled up from persistence or loading.
+    Io(std::io::Error),
+    /// Snapshot (de)serialisation failed.
+    Serde(String),
+    /// The requested horizon has no stored snapshot that covers it.
+    HorizonUnavailable {
+        /// The horizon the caller asked for (in clock ticks).
+        requested: u64,
+    },
+}
+
+impl fmt::Display for UStreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UStreamError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            UStreamError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            UStreamError::Dataset(msg) => write!(f, "dataset error: {msg}"),
+            UStreamError::Io(e) => write!(f, "io error: {e}"),
+            UStreamError::Serde(msg) => write!(f, "serde error: {msg}"),
+            UStreamError::HorizonUnavailable { requested } => {
+                write!(f, "no snapshot available for horizon {requested}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UStreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            UStreamError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for UStreamError {
+    fn from(e: std::io::Error) -> Self {
+        UStreamError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = UStreamError::DimensionMismatch {
+            expected: 3,
+            actual: 5,
+        };
+        assert_eq!(e.to_string(), "dimension mismatch: expected 3, got 5");
+    }
+
+    #[test]
+    fn display_invalid_config() {
+        let e = UStreamError::InvalidConfig("n_micro must be positive".into());
+        assert!(e.to_string().contains("n_micro must be positive"));
+    }
+
+    #[test]
+    fn display_horizon() {
+        let e = UStreamError::HorizonUnavailable { requested: 42 };
+        assert!(e.to_string().contains("42"));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: UStreamError = io.into();
+        assert!(matches!(e, UStreamError::Io(_)));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn non_io_errors_have_no_source() {
+        use std::error::Error;
+        let e = UStreamError::Serde("bad".into());
+        assert!(e.source().is_none());
+    }
+}

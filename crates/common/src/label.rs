@@ -1,0 +1,114 @@
+//! Class labels used for evaluation.
+//!
+//! Labels never participate in clustering decisions: the algorithms are
+//! unsupervised. Labels travel alongside points so the evaluation crate can
+//! compute cluster purity exactly as the paper does ("the percentage presence
+//! of the dominant class label in the different clusters").
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A compact class identifier.
+///
+/// Synthetic generators use the generating-cluster index as the class, real
+/// dataset loaders map label strings (e.g. KDD'99 attack categories) onto
+/// small integers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ClassLabel(pub u32);
+
+impl ClassLabel {
+    /// The raw integer id.
+    #[inline]
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ClassLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "class#{}", self.0)
+    }
+}
+
+impl From<u32> for ClassLabel {
+    fn from(v: u32) -> Self {
+        ClassLabel(v)
+    }
+}
+
+impl From<usize> for ClassLabel {
+    fn from(v: usize) -> Self {
+        ClassLabel(v as u32)
+    }
+}
+
+/// An interner mapping string labels (dataset files) to [`ClassLabel`]s.
+#[derive(Debug, Default, Clone)]
+pub struct LabelInterner {
+    names: Vec<String>,
+}
+
+impl LabelInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the label for `name`, interning it on first sight.
+    pub fn intern(&mut self, name: &str) -> ClassLabel {
+        if let Some(idx) = self.names.iter().position(|n| n == name) {
+            return ClassLabel(idx as u32);
+        }
+        self.names.push(name.to_owned());
+        ClassLabel((self.names.len() - 1) as u32)
+    }
+
+    /// The name of a previously interned label.
+    pub fn name(&self, label: ClassLabel) -> Option<&str> {
+        self.names.get(label.0 as usize).map(String::as_str)
+    }
+
+    /// Number of distinct labels seen so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no labels have been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interner_round_trips() {
+        let mut i = LabelInterner::new();
+        let a = i.intern("normal");
+        let b = i.intern("dos");
+        let a2 = i.intern("normal");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.name(a), Some("normal"));
+        assert_eq!(i.name(b), Some("dos"));
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn interner_unknown_label() {
+        let i = LabelInterner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.name(ClassLabel(3)), None);
+    }
+
+    #[test]
+    fn label_display_and_conversions() {
+        let l: ClassLabel = 7u32.into();
+        assert_eq!(l.to_string(), "class#7");
+        assert_eq!(l.id(), 7);
+        let l2: ClassLabel = 7usize.into();
+        assert_eq!(l, l2);
+    }
+}

@@ -1,0 +1,235 @@
+//! Streaming quantile estimation (the P² algorithm of Jain & Chlamtac,
+//! CACM 1985): tracks a fixed quantile of an unbounded stream with five
+//! markers and O(1) memory/update — the right tool for baselining "how
+//! isolated are records usually?" without retaining observations.
+
+/// P² estimator for a single quantile `q ∈ (0, 1)`.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights (estimated quantile values).
+    heights: [f64; 5],
+    /// Marker positions (1-based ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments per observation.
+    increments: [f64; 5],
+    /// Observations seen; the first five are buffered raw.
+    count: usize,
+}
+
+impl P2Quantile {
+    /// Estimator for quantile `q`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < q < 1`.
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0, 1), got {q}");
+        Self {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// The tracked quantile.
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// Observations folded in so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Folds one observation in.
+    pub fn observe(&mut self, x: f64) {
+        debug_assert!(x.is_finite());
+        if self.count < 5 {
+            self.heights[self.count] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.heights
+                    .sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+            }
+            return;
+        }
+        self.count += 1;
+
+        // 1. Find the cell k containing x, adjusting extremes.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if self.heights[i] <= x && x < self.heights[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+
+        // 2. Increment positions of markers above the cell and desired
+        //    positions of all markers.
+        for i in (k + 1)..5 {
+            self.positions[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.increments[i];
+        }
+
+        // 3. Adjust the interior markers with the parabolic (or linear)
+        //    formula when they are off their desired positions.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right = self.positions[i + 1] - self.positions[i];
+            let left = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
+                let d = d.signum();
+                let candidate = self.parabolic(i, d);
+                let new_height = if self.heights[i - 1] < candidate
+                    && candidate < self.heights[i + 1]
+                {
+                    candidate
+                } else {
+                    self.linear(i, d)
+                };
+                self.heights[i] = new_height;
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let p = &self.positions;
+        let h = &self.heights;
+        h[i] + d / (p[i + 1] - p[i - 1])
+            * ((p[i] - p[i - 1] + d) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+                + (p[i + 1] - p[i] - d) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = (i as f64 + d) as usize;
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i])
+                / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current estimate of the tracked quantile; `None` before any
+    /// observation. With fewer than five observations, falls back to the
+    /// exact order statistic of the buffer.
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.count < 5 {
+            let mut buf: Vec<f64> = self.heights[..self.count].to_vec();
+            buf.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+            let rank = ((self.count as f64 - 1.0) * self.q).round() as usize;
+            return Some(buf[rank.min(self.count - 1)]);
+        }
+        Some(self.heights[2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+        let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+        sorted[rank]
+    }
+
+    #[test]
+    fn tracks_median_of_uniform_ramp() {
+        let mut est = P2Quantile::new(0.5);
+        for i in 0..10_001 {
+            est.observe(i as f64);
+        }
+        let got = est.estimate().unwrap();
+        assert!(
+            (got - 5_000.0).abs() < 150.0,
+            "median of 0..10000 ≈ 5000, got {got}"
+        );
+    }
+
+    #[test]
+    fn tracks_p99_of_shuffled_data() {
+        // Deterministic pseudo-shuffle via multiplicative hashing.
+        let n = 20_000u64;
+        let values: Vec<f64> = (0..n)
+            .map(|i| ((i.wrapping_mul(2654435761)) % n) as f64)
+            .collect();
+        let mut est = P2Quantile::new(0.99);
+        for &v in &values {
+            est.observe(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        let truth = exact_quantile(&sorted, 0.99);
+        let got = est.estimate().unwrap();
+        assert!(
+            (got - truth).abs() / truth < 0.02,
+            "p99 {truth} vs estimate {got}"
+        );
+    }
+
+    #[test]
+    fn small_sample_exact() {
+        let mut est = P2Quantile::new(0.5);
+        assert_eq!(est.estimate(), None);
+        est.observe(10.0);
+        assert_eq!(est.estimate(), Some(10.0));
+        est.observe(20.0);
+        est.observe(0.0);
+        // Median of {0, 10, 20} = 10.
+        assert_eq!(est.estimate(), Some(10.0));
+        assert_eq!(est.count(), 3);
+    }
+
+    #[test]
+    fn skewed_distribution() {
+        // 99% of mass at ~1, 1% at ~100: p90 must stay near 1, p999 near 100.
+        let mut p90 = P2Quantile::new(0.9);
+        let mut p999 = P2Quantile::new(0.999);
+        for i in 0..50_000u64 {
+            let v = if i % 100 == 7 { 100.0 } else { 1.0 + (i % 10) as f64 * 0.01 };
+            p90.observe(v);
+            p999.observe(v);
+        }
+        assert!(p90.estimate().unwrap() < 5.0);
+        assert!(p999.estimate().unwrap() > 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0, 1)")]
+    fn rejects_bad_q() {
+        let _ = P2Quantile::new(1.0);
+    }
+
+    #[test]
+    fn monotone_inputs_keep_marker_order() {
+        let mut est = P2Quantile::new(0.75);
+        for i in (0..5_000).rev() {
+            est.observe(i as f64);
+        }
+        let got = est.estimate().unwrap();
+        assert!(
+            (got - 3_750.0).abs() < 150.0,
+            "p75 of 0..5000 ≈ 3750, got {got}"
+        );
+        // Heights must remain sorted (internal invariant).
+        // (estimate() already depends on it; sanity-check through behaviour.)
+        assert!(est.count() == 5_000);
+    }
+}

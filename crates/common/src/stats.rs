@@ -1,0 +1,269 @@
+//! Small numerical/statistical helpers shared across crates:
+//! streaming mean/variance (Welford), per-dimension running statistics, and
+//! an inverse normal CDF used by CluStream's relevance stamps and the
+//! uncertainty-boundary confidence machinery.
+
+/// Numerically stable streaming mean/variance accumulator (Welford).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunningStats {
+    n: f64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one observation in.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.n += 1.0;
+        let delta = x - self.mean;
+        self.mean += delta / self.n;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Folds a weighted observation in (weight > 0).
+    #[inline]
+    pub fn push_weighted(&mut self, x: f64, w: f64) {
+        debug_assert!(w > 0.0);
+        self.n += w;
+        let delta = x - self.mean;
+        self.mean += w * delta / self.n;
+        self.m2 += w * delta * (x - self.mean);
+    }
+
+    /// Number of observations (or total weight).
+    #[inline]
+    pub fn count(&self) -> f64 {
+        self.n
+    }
+
+    /// Sample mean; 0 when empty.
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance; 0 when fewer than two observations.
+    #[inline]
+    pub fn variance(&self) -> f64 {
+        if self.n < 2.0 {
+            0.0
+        } else {
+            (self.m2 / self.n).max(0.0)
+        }
+    }
+
+    /// Population standard deviation.
+    #[inline]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// Per-dimension running statistics over a vector stream.
+#[derive(Debug, Clone)]
+pub struct DimStats {
+    dims: Vec<RunningStats>,
+}
+
+impl DimStats {
+    /// Accumulator for `d`-dimensional data.
+    pub fn new(d: usize) -> Self {
+        Self {
+            dims: vec![RunningStats::new(); d],
+        }
+    }
+
+    /// Folds one record in.
+    pub fn push(&mut self, values: &[f64]) {
+        debug_assert_eq!(values.len(), self.dims.len());
+        for (s, v) in self.dims.iter_mut().zip(values) {
+            s.push(*v);
+        }
+    }
+
+    /// Dimensionality.
+    pub fn dims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Per-dimension means.
+    pub fn means(&self) -> Vec<f64> {
+        self.dims.iter().map(RunningStats::mean).collect()
+    }
+
+    /// Per-dimension population standard deviations (the `σ_i⁰` of the
+    /// paper's noise model).
+    pub fn std_devs(&self) -> Vec<f64> {
+        self.dims.iter().map(RunningStats::std_dev).collect()
+    }
+
+    /// Per-dimension variances.
+    pub fn variances(&self) -> Vec<f64> {
+        self.dims.iter().map(RunningStats::variance).collect()
+    }
+}
+
+/// Inverse CDF of the standard normal distribution (Acklam's rational
+/// approximation, |relative error| < 1.15e-9 over (0, 1)).
+///
+/// CluStream uses this to estimate the arrival time of the `m/(2n)`-th
+/// percentile point of a micro-cluster under a normal assumption.
+pub fn inverse_normal_cdf(p: f64) -> f64 {
+    assert!(
+        p > 0.0 && p < 1.0,
+        "inverse_normal_cdf requires p in (0, 1), got {p}"
+    );
+
+    // Coefficients for the central and tail rational approximations.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// CDF of the standard normal (via `erf`-free Abramowitz–Stegun 7.1.26
+/// polynomial, |error| < 7.5e-8). Used by tests to cross-check the inverse.
+pub fn normal_cdf(x: f64) -> f64 {
+    let t = 1.0 / (1.0 + 0.2316419 * x.abs());
+    let poly = t
+        * (0.319381530
+            + t * (-0.356563782 + t * (1.781477937 + t * (-1.821255978 + t * 1.330274429))));
+    let pdf = (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt();
+    let tail = pdf * poly;
+    if x >= 0.0 {
+        1.0 - tail
+    } else {
+        tail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stats_matches_direct_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = RunningStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.count(), 8.0);
+    }
+
+    #[test]
+    fn running_stats_empty_and_single() {
+        let mut s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        s.push(3.0);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn weighted_equals_repeated() {
+        let mut a = RunningStats::new();
+        for _ in 0..5 {
+            a.push(2.0);
+        }
+        a.push(8.0);
+        let mut b = RunningStats::new();
+        b.push_weighted(2.0, 5.0);
+        b.push_weighted(8.0, 1.0);
+        assert!((a.mean() - b.mean()).abs() < 1e-12);
+        assert!((a.variance() - b.variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dim_stats_tracks_each_dimension() {
+        let mut d = DimStats::new(2);
+        d.push(&[0.0, 10.0]);
+        d.push(&[2.0, 10.0]);
+        d.push(&[4.0, 10.0]);
+        let means = d.means();
+        assert!((means[0] - 2.0).abs() < 1e-12);
+        assert!((means[1] - 10.0).abs() < 1e-12);
+        let sds = d.std_devs();
+        assert!(sds[0] > 0.0);
+        assert_eq!(sds[1], 0.0);
+        assert_eq!(d.dims(), 2);
+        assert_eq!(d.variances().len(), 2);
+    }
+
+    #[test]
+    fn inverse_normal_cdf_known_values() {
+        assert!((inverse_normal_cdf(0.5)).abs() < 1e-9);
+        assert!((inverse_normal_cdf(0.975) - 1.959964).abs() < 1e-4);
+        assert!((inverse_normal_cdf(0.025) + 1.959964).abs() < 1e-4);
+        assert!((inverse_normal_cdf(0.8413447) - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn inverse_is_inverse_of_cdf() {
+        for &p in &[0.001, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 0.999] {
+            let x = inverse_normal_cdf(p);
+            let back = normal_cdf(x);
+            assert!(
+                (back - p).abs() < 1e-6,
+                "round-trip failed at p={p}: x={x}, back={back}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires p in (0, 1)")]
+    fn inverse_normal_cdf_rejects_bounds() {
+        let _ = inverse_normal_cdf(0.0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Stream sources.
+//!
+//! A data stream is modelled as an iterator of [`UncertainPoint`]s with a
+//! known dimensionality. Records can be visited at most once — algorithms in
+//! this workspace consume streams strictly forward, mirroring the one-pass
+//! constraint the paper emphasises.
+
+use crate::point::UncertainPoint;
+
+/// A one-pass source of uncertain records.
+///
+/// Blanket-implemented details: a `DataStream` is just an
+/// `Iterator<Item = UncertainPoint>` that also announces its dimensionality
+/// up front so consumers can pre-allocate their summary structures.
+pub trait DataStream: Iterator<Item = UncertainPoint> {
+    /// Dimensionality `d` of every record the stream will yield.
+    fn dims(&self) -> usize;
+
+    /// A hint of the total number of records, when known (generators know,
+    /// live streams do not).
+    fn len_hint(&self) -> Option<usize> {
+        None
+    }
+
+    /// Adapter: yields only the first `n` records.
+    fn take_points(self, n: usize) -> TakeStream<Self>
+    where
+        Self: Sized,
+    {
+        TakeStream {
+            dims: self.dims(),
+            inner: self,
+            remaining: n,
+        }
+    }
+}
+
+impl<S: DataStream + ?Sized> DataStream for Box<S> {
+    fn dims(&self) -> usize {
+        (**self).dims()
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        (**self).len_hint()
+    }
+}
+
+/// An in-memory stream over a recorded vector of points; primarily used by
+/// tests, examples and dataset replays.
+#[derive(Debug, Clone)]
+pub struct VecStream {
+    points: std::vec::IntoIter<UncertainPoint>,
+    dims: usize,
+    remaining: usize,
+}
+
+impl VecStream {
+    /// Wraps a vector of points. All points must share one dimensionality.
+    ///
+    /// # Panics
+    /// Panics if points disagree on dimensionality.
+    pub fn new(points: Vec<UncertainPoint>) -> Self {
+        let dims = points.first().map(|p| p.dims()).unwrap_or(0);
+        assert!(
+            points.iter().all(|p| p.dims() == dims),
+            "all points in a VecStream must share one dimensionality"
+        );
+        let remaining = points.len();
+        Self {
+            points: points.into_iter(),
+            dims,
+            remaining,
+        }
+    }
+}
+
+impl Iterator for VecStream {
+    type Item = UncertainPoint;
+
+    fn next(&mut self) -> Option<UncertainPoint> {
+        let p = self.points.next();
+        if p.is_some() {
+            self.remaining -= 1;
+        }
+        p
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl DataStream for VecStream {
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+/// Adapter returned by [`DataStream::take_points`].
+#[derive(Debug, Clone)]
+pub struct TakeStream<S> {
+    inner: S,
+    dims: usize,
+    remaining: usize,
+}
+
+impl<S: DataStream> Iterator for TakeStream<S> {
+    type Item = UncertainPoint;
+
+    fn next(&mut self) -> Option<UncertainPoint> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let p = self.inner.next();
+        if p.is_some() {
+            self.remaining -= 1;
+        }
+        p
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let (lo, hi) = self.inner.size_hint();
+        (
+            lo.min(self.remaining),
+            Some(hi.map_or(self.remaining, |h| h.min(self.remaining))),
+        )
+    }
+}
+
+impl<S: DataStream> DataStream for TakeStream<S> {
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        self.inner.len_hint().map(|n| n.min(self.remaining))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(n: usize) -> Vec<UncertainPoint> {
+        (0..n)
+            .map(|i| UncertainPoint::certain(vec![i as f64, 0.0], i as u64, None))
+            .collect()
+    }
+
+    #[test]
+    fn vec_stream_yields_in_order() {
+        let mut s = VecStream::new(pts(3));
+        assert_eq!(s.dims(), 2);
+        assert_eq!(s.len_hint(), Some(3));
+        assert_eq!(s.next().unwrap().values()[0], 0.0);
+        assert_eq!(s.len_hint(), Some(2));
+        assert_eq!(s.next().unwrap().values()[0], 1.0);
+        assert_eq!(s.next().unwrap().values()[0], 2.0);
+        assert!(s.next().is_none());
+    }
+
+    #[test]
+    fn empty_vec_stream() {
+        let mut s = VecStream::new(vec![]);
+        assert_eq!(s.dims(), 0);
+        assert!(s.next().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "share one dimensionality")]
+    fn mixed_dims_panic() {
+        let _ = VecStream::new(vec![
+            UncertainPoint::certain(vec![1.0], 0, None),
+            UncertainPoint::certain(vec![1.0, 2.0], 1, None),
+        ]);
+    }
+
+    #[test]
+    fn take_points_limits() {
+        let s = VecStream::new(pts(10)).take_points(4);
+        assert_eq!(s.dims(), 2);
+        assert_eq!(s.len_hint(), Some(4));
+        let v: Vec<_> = s.collect();
+        assert_eq!(v.len(), 4);
+        assert_eq!(v[3].values()[0], 3.0);
+    }
+
+    #[test]
+    fn take_points_larger_than_stream() {
+        let s = VecStream::new(pts(2)).take_points(100);
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    fn size_hints_agree() {
+        let s = VecStream::new(pts(5)).take_points(3);
+        assert_eq!(s.size_hint(), (3, Some(3)));
+    }
+}

@@ -1,0 +1,91 @@
+//! Stream-clock abstractions.
+//!
+//! The paper's algorithms operate on a discrete stream clock: the `i`-th
+//! record arrives at tick `T_i` (usually `T_i = i`). Snapshots of the
+//! pyramidal time frame are taken at integer ticks, while exponential decay
+//! works on tick *differences* interpreted as real numbers.
+
+/// A point on the stream clock, measured in ticks since the stream started.
+///
+/// Ticks are arrival indices in every generator shipped with this workspace,
+/// but nothing prevents a caller from using wall-clock milliseconds.
+pub type Timestamp = u64;
+
+/// A monotone clock driven by the caller; used by algorithms that must know
+/// "now" (decay, snapshotting) without owning time themselves.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamClock {
+    now: Timestamp,
+}
+
+impl StreamClock {
+    /// Creates a clock at tick zero.
+    pub fn new() -> Self {
+        Self { now: 0 }
+    }
+
+    /// Creates a clock at a specific tick.
+    pub fn at(now: Timestamp) -> Self {
+        Self { now }
+    }
+
+    /// The current tick.
+    #[inline]
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// Advances the clock by one tick and returns the new time.
+    #[inline]
+    pub fn tick(&mut self) -> Timestamp {
+        self.now += 1;
+        self.now
+    }
+
+    /// Moves the clock forward to `t`. Ignored if `t` is in the past, so the
+    /// clock stays monotone even with out-of-order timestamp hints.
+    #[inline]
+    pub fn advance_to(&mut self, t: Timestamp) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+}
+
+/// Elapsed ticks between two timestamps as a float, saturating at zero when
+/// `later < earlier` (out-of-order arrivals never produce negative decay
+/// exponents).
+#[inline]
+pub fn elapsed(later: Timestamp, earlier: Timestamp) -> f64 {
+    later.saturating_sub(earlier) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_starts_at_zero_and_ticks() {
+        let mut c = StreamClock::new();
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.tick(), 1);
+        assert_eq!(c.tick(), 2);
+        assert_eq!(c.now(), 2);
+    }
+
+    #[test]
+    fn clock_at_and_advance() {
+        let mut c = StreamClock::at(10);
+        c.advance_to(5); // ignored: would move backwards
+        assert_eq!(c.now(), 10);
+        c.advance_to(20);
+        assert_eq!(c.now(), 20);
+    }
+
+    #[test]
+    fn elapsed_saturates() {
+        assert_eq!(elapsed(10, 4), 6.0);
+        assert_eq!(elapsed(4, 10), 0.0);
+        assert_eq!(elapsed(7, 7), 0.0);
+    }
+}

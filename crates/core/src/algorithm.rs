@@ -1,0 +1,645 @@
+//! The UMicro online loop (Figure 1 of the paper).
+//!
+//! ```text
+//! S = {}                                  // ≤ n_micro micro-clusters
+//! repeat
+//!     receive next stream point X
+//!     M    = closest micro-cluster by expected similarity
+//!     if X inside critical uncertainty boundary of M
+//!         add X to the statistics of M
+//!     else
+//!         add new singleton micro-cluster {X} to S
+//!         if |S| = n_micro + 1
+//!             remove least-recently-updated micro-cluster
+//! until stream ends
+//! ```
+
+use crate::boundary::{boundary_decision, BoundaryDecision};
+use crate::config::{BoundaryMode, SimilarityMode, UMicroConfig};
+use crate::distance::{corrected_sq_distance, expected_sq_distance};
+use crate::ecf::Ecf;
+use crate::macrocluster::{macro_cluster_ecfs, MacroClustering};
+use crate::similarity::{dimension_counting_similarity, GlobalVariance};
+use ustream_common::point::sq_euclidean;
+use ustream_common::{AdditiveFeature, DecayableFeature, UncertainPoint};
+use ustream_snapshot::ClusterSetSnapshot;
+
+/// A live micro-cluster: a stable identity plus its ECF statistics.
+///
+/// Ids are unique across the whole run (never recycled), which is what lets
+/// pyramidal snapshots match clusters across time for horizon subtraction.
+#[derive(Debug, Clone)]
+pub struct MicroCluster {
+    /// Stable, run-unique identifier.
+    pub id: u64,
+    /// The error-based cluster feature vector.
+    pub ecf: Ecf,
+}
+
+/// What happened to an inserted point — surfaced so evaluation layers can
+/// attribute class labels to clusters without re-querying the algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// Id of the micro-cluster that received the point.
+    pub cluster_id: u64,
+    /// Whether the point seeded a brand-new micro-cluster.
+    pub created: bool,
+    /// Id of the micro-cluster evicted to make room, if any.
+    pub evicted: Option<u64>,
+}
+
+/// The UMicro algorithm (undecayed form; see
+/// [`crate::DecayedUMicro`] for the §II-E time-decay variant).
+#[derive(Debug, Clone)]
+pub struct UMicro {
+    config: UMicroConfig,
+    clusters: Vec<MicroCluster>,
+    next_id: u64,
+    global: GlobalVariance,
+    since_refresh: usize,
+    inserted: u64,
+    /// Exponential decay rate λ; 0 disables decay.
+    lambda: f64,
+}
+
+impl UMicro {
+    /// Creates the algorithm with a validated configuration.
+    pub fn new(config: UMicroConfig) -> Self {
+        config
+            .validate()
+            .expect("UMicroConfig must be validated before use");
+        let dims = config.dims;
+        Self {
+            config,
+            clusters: Vec::new(),
+            next_id: 0,
+            global: GlobalVariance::new(dims),
+            since_refresh: 0,
+            inserted: 0,
+            lambda: 0.0,
+        }
+    }
+
+    /// Internal: same algorithm with exponential decay rate `lambda`.
+    pub(crate) fn with_lambda(config: UMicroConfig, lambda: f64) -> Self {
+        let mut alg = Self::new(config);
+        alg.lambda = lambda;
+        alg
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &UMicroConfig {
+        &self.config
+    }
+
+    /// Points processed so far.
+    pub fn points_processed(&self) -> u64 {
+        self.inserted
+    }
+
+    /// The live micro-clusters (at most `n_micro`).
+    pub fn micro_clusters(&self) -> &[MicroCluster] {
+        &self.clusters
+    }
+
+    /// The global per-dimension variance estimate currently in use by the
+    /// dimension-counting similarity.
+    pub fn global_variances(&self) -> &[f64] {
+        self.global.variances()
+    }
+
+    /// Processes one stream point and reports where it went.
+    ///
+    /// # Panics
+    /// Debug builds assert the point's dimensionality matches the
+    /// configuration.
+    pub fn insert(&mut self, point: &UncertainPoint) -> InsertOutcome {
+        debug_assert_eq!(point.dims(), self.config.dims);
+        let now = point.timestamp();
+        self.inserted += 1;
+        self.maybe_refresh_variances();
+
+        // Bootstrap (§II-A): "in the initial stages of the algorithm, the
+        // current number of micro-clusters is less than n_micro. If this is
+        // the case, then the new data point is added to the current set of
+        // micro-clusters as a separate micro-cluster with a singleton point
+        // in it." Filling the budget with spread-out singletons is what
+        // keeps micro-clusters *micro*: afterwards every point lands on a
+        // nearby seed instead of inflating one early cluster.
+        if self.clusters.len() < self.config.n_micro {
+            let id = self.create_cluster(point);
+            return InsertOutcome {
+                cluster_id: id,
+                created: true,
+                evicted: None,
+            };
+        }
+
+        let best = self.closest_cluster(point);
+        let best_ecf = &self.clusters[best].ecf;
+        // Radius/distance pair per the configured boundary mode.
+        let (radius, d2) = match self.config.boundary_mode {
+            BoundaryMode::UncertainRadius => (
+                best_ecf.uncertain_radius(),
+                expected_sq_distance(point, best_ecf),
+            ),
+            BoundaryMode::ErrorCorrected => (
+                best_ecf.corrected_radius(),
+                corrected_sq_distance(point, best_ecf),
+            ),
+        };
+
+        // A lone degenerate cluster has no neighbour to borrow a boundary
+        // from; under the corrected mode fall back to the uncertain-radius
+        // geometry so that n_micro = 1 configurations can still absorb
+        // noise-compatible points.
+        let (radius, d2) = if radius <= self.config.degenerate_radius
+            && self.clusters.len() == 1
+            && self.config.boundary_mode == BoundaryMode::ErrorCorrected
+        {
+            (
+                best_ecf.uncertain_radius(),
+                expected_sq_distance(point, best_ecf),
+            )
+        } else {
+            (radius, d2)
+        };
+
+        // The fallback boundary for degenerate clusters needs the distance
+        // to the nearest other centroid; compute it only when needed.
+        let needs_fallback = radius <= self.config.degenerate_radius;
+        let nearest_other_sq = if needs_fallback && self.clusters.len() > 1 {
+            Some(self.nearest_other_centroid_sq(best))
+        } else if needs_fallback {
+            None
+        } else {
+            Some(0.0) // unused by boundary_decision when radius is healthy
+        };
+
+        match boundary_decision(
+            radius,
+            d2,
+            self.config.boundary_factor,
+            self.config.degenerate_radius,
+            nearest_other_sq,
+        ) {
+            BoundaryDecision::Absorb => {
+                let cluster = &mut self.clusters[best];
+                if self.lambda > 0.0 {
+                    cluster.ecf.decay_to(now, self.lambda);
+                }
+                cluster.ecf.insert(point);
+                InsertOutcome {
+                    cluster_id: cluster.id,
+                    created: false,
+                    evicted: None,
+                }
+            }
+            BoundaryDecision::NewCluster => {
+                let id = self.create_cluster(point);
+                let evicted = self.enforce_budget(id);
+                InsertOutcome {
+                    cluster_id: id,
+                    created: true,
+                    evicted,
+                }
+            }
+        }
+    }
+
+    /// Snapshot of the current micro-cluster set, keyed by stable id, for
+    /// the pyramidal store.
+    pub fn snapshot(&self) -> ClusterSetSnapshot<Ecf> {
+        ClusterSetSnapshot::from_pairs(self.clusters.iter().map(|c| (c.id, c.ecf.clone())))
+    }
+
+    /// Rebuilds an algorithm from a configuration and a previously captured
+    /// snapshot — checkpoint/restore for long-running deployments. Cluster
+    /// ids are preserved (so pyramidal stores from before the restart stay
+    /// compatible) and fresh ids continue after the largest restored one.
+    ///
+    /// The restored instance refreshes its global variance estimate from
+    /// the snapshot immediately, so the first post-restore insertions rank
+    /// clusters the way a continuously-running instance would at its next
+    /// refresh boundary.
+    pub fn restore(config: UMicroConfig, snapshot: &ClusterSetSnapshot<Ecf>) -> Self {
+        let mut alg = Self::new(config);
+        for (id, ecf) in &snapshot.clusters {
+            debug_assert_eq!(ecf.dims(), alg.config.dims);
+            alg.clusters.push(MicroCluster {
+                id: *id,
+                ecf: ecf.clone(),
+            });
+            alg.next_id = alg.next_id.max(id + 1);
+        }
+        alg.inserted = alg.clusters.iter().map(|c| c.ecf.point_count()).sum();
+        alg.global.refresh(alg.clusters.iter().map(|c| &c.ecf));
+        alg
+    }
+
+    /// Offline macro-clustering of the live micro-clusters into `k`
+    /// higher-level clusters (weighted k-means over ECF centroids).
+    pub fn macro_cluster(&self, k: usize, seed: u64) -> MacroClustering {
+        macro_cluster_ecfs(self.clusters.iter().map(|c| (c.id, &c.ecf)), k, seed)
+    }
+
+    // --- internals -------------------------------------------------------
+
+    /// Mutable cluster access for the decayed wrapper (same crate only).
+    pub(crate) fn clusters_mut(&mut self) -> &mut Vec<MicroCluster> {
+        &mut self.clusters
+    }
+
+    fn create_cluster(&mut self, point: &UncertainPoint) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.clusters.push(MicroCluster {
+            id,
+            ecf: Ecf::from_point(point),
+        });
+        id
+    }
+
+    /// Evicts the least-recently-updated cluster if the budget is exceeded.
+    /// The just-created cluster (`protect`) is never the victim — it is by
+    /// definition the most recently updated, but floating ties at equal
+    /// timestamps must not delete it.
+    fn enforce_budget(&mut self, protect: u64) -> Option<u64> {
+        if self.clusters.len() <= self.config.n_micro {
+            return None;
+        }
+        let victim_idx = self
+            .clusters
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.id != protect)
+            .min_by_key(|(_, c)| (c.ecf.last_update(), c.id))
+            .map(|(i, _)| i)?;
+        let victim = self.clusters.swap_remove(victim_idx);
+        Some(victim.id)
+    }
+
+    /// Index of the closest cluster under the configured similarity.
+    fn closest_cluster(&self, point: &UncertainPoint) -> usize {
+        debug_assert!(!self.clusters.is_empty());
+        match self.config.similarity {
+            SimilarityMode::ExpectedDistance => self.closest_by_expected_distance(point),
+            SimilarityMode::DimensionCounting { thresh } => {
+                if !self.global.is_informative() {
+                    // Early stream: no variance estimate yet.
+                    return self.closest_by_expected_distance(point);
+                }
+                let mut best = 0usize;
+                let mut best_sim = f64::NEG_INFINITY;
+                for (i, c) in self.clusters.iter().enumerate() {
+                    let s = dimension_counting_similarity(point, &c.ecf, &self.global, thresh);
+                    if s > best_sim {
+                        best_sim = s;
+                        best = i;
+                    }
+                }
+                if best_sim <= 0.0 {
+                    // The point earned no credit anywhere (far from all
+                    // clusters on every informative dimension); rank by
+                    // expected distance instead so the boundary test sees
+                    // the genuinely nearest cluster.
+                    return self.closest_by_expected_distance(point);
+                }
+                best
+            }
+        }
+    }
+
+    fn closest_by_expected_distance(&self, point: &UncertainPoint) -> usize {
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (i, c) in self.clusters.iter().enumerate() {
+            let d = expected_sq_distance(point, &c.ecf);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+
+    fn nearest_other_centroid_sq(&self, idx: usize) -> f64 {
+        let me = self.clusters[idx].ecf.centroid();
+        let mut best = f64::INFINITY;
+        for (i, c) in self.clusters.iter().enumerate() {
+            if i == idx {
+                continue;
+            }
+            let d = sq_euclidean(&me, &c.ecf.centroid());
+            if d < best {
+                best = d;
+            }
+        }
+        best
+    }
+
+    fn maybe_refresh_variances(&mut self) {
+        self.since_refresh += 1;
+        if self.since_refresh >= self.config.variance_refresh_interval {
+            self.since_refresh = 0;
+            self.global.refresh(self.clusters.iter().map(|c| &c.ecf));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ustream_common::ClassLabel;
+
+    use ustream_common::Timestamp;
+
+    fn pt(values: &[f64], errors: &[f64], t: Timestamp) -> UncertainPoint {
+        UncertainPoint::new(values.to_vec(), errors.to_vec(), t, None)
+    }
+
+    fn config(n_micro: usize, dims: usize) -> UMicroConfig {
+        UMicroConfig::new(n_micro, dims).unwrap()
+    }
+
+    #[test]
+    fn first_point_seeds_cluster() {
+        let mut alg = UMicro::new(config(4, 2));
+        let out = alg.insert(&pt(&[1.0, 1.0], &[0.1, 0.1], 1));
+        assert!(out.created);
+        assert_eq!(out.evicted, None);
+        assert_eq!(alg.micro_clusters().len(), 1);
+        assert_eq!(alg.points_processed(), 1);
+    }
+
+    #[test]
+    fn nearby_uncertain_points_absorb_once_budget_full() {
+        let mut alg = UMicro::new(config(2, 2));
+        // Bootstrap: two singleton seeds fill the budget.
+        alg.insert(&pt(&[0.0, 0.0], &[0.5, 0.5], 1));
+        alg.insert(&pt(&[20.0, 20.0], &[0.5, 0.5], 2));
+        // A close noisy point now absorbs into the origin seed (its
+        // uncertain radius √(2Σψ²) = 1 gives a 3σ boundary of 3).
+        let out = alg.insert(&pt(&[0.3, -0.2], &[0.5, 0.5], 3));
+        assert!(!out.created, "close noisy point should absorb");
+        assert_eq!(alg.micro_clusters().len(), 2);
+        assert_eq!(alg.micro_clusters()[0].ecf.point_count(), 2);
+    }
+
+    #[test]
+    fn bootstrap_fills_budget_with_singletons() {
+        let mut alg = UMicro::new(config(3, 1));
+        // Identical points still seed separate clusters until the budget
+        // fills (§II-A).
+        for t in 1..=3u64 {
+            let out = alg.insert(&pt(&[0.0], &[0.2], t));
+            assert!(out.created);
+            assert_eq!(out.evicted, None);
+        }
+        assert_eq!(alg.micro_clusters().len(), 3);
+        // The next identical point absorbs instead.
+        let out = alg.insert(&pt(&[0.0], &[0.2], 4));
+        assert!(!out.created);
+    }
+
+    #[test]
+    fn distant_point_creates_cluster() {
+        let mut alg = UMicro::new(config(2, 2));
+        alg.insert(&pt(&[0.0, 0.0], &[0.1, 0.1], 1));
+        alg.insert(&pt(&[0.1, 0.1], &[0.1, 0.1], 2));
+        // Budget full; a distant point must evict the least recently
+        // updated seed rather than being absorbed.
+        let out = alg.insert(&pt(&[50.0, 50.0], &[0.1, 0.1], 3));
+        assert!(out.created);
+        assert_eq!(out.evicted, Some(0));
+        assert_eq!(alg.micro_clusters().len(), 2);
+    }
+
+    #[test]
+    fn distant_point_creates_cluster_uncorrected_mode() {
+        use crate::config::BoundaryMode;
+        let mut alg = UMicro::new(
+            config(2, 2).with_boundary_mode(BoundaryMode::UncertainRadius),
+        );
+        alg.insert(&pt(&[0.0, 0.0], &[0.1, 0.1], 1));
+        alg.insert(&pt(&[0.1, 0.1], &[0.1, 0.1], 2));
+        let out = alg.insert(&pt(&[50.0, 50.0], &[0.1, 0.1], 3));
+        assert!(out.created);
+        assert_eq!(out.evicted, Some(0));
+        assert_eq!(alg.micro_clusters().len(), 2);
+    }
+
+    #[test]
+    fn budget_enforced_by_lru_eviction() {
+        let mut alg = UMicro::new(config(2, 1));
+        // Three mutually distant singletons with tiny errors.
+        alg.insert(&pt(&[0.0], &[0.01], 1));
+        alg.insert(&pt(&[100.0], &[0.01], 2));
+        // 250 is farther from the nearest seed (150) than that seed's
+        // borrowed boundary (100), so a new cluster is created.
+        let out = alg.insert(&pt(&[250.0], &[0.01], 3));
+        assert!(out.created);
+        // The least recently updated cluster (t=1, centred at 0) is evicted.
+        assert_eq!(out.evicted, Some(0));
+        assert_eq!(alg.micro_clusters().len(), 2);
+        let centroids: Vec<f64> = alg
+            .micro_clusters()
+            .iter()
+            .map(|c| c.ecf.centroid()[0])
+            .collect();
+        assert!(centroids.contains(&100.0));
+        assert!(centroids.contains(&250.0));
+    }
+
+    #[test]
+    fn eviction_never_removes_the_new_cluster() {
+        let mut alg = UMicro::new(config(1, 1));
+        alg.insert(&pt(&[0.0], &[0.01], 5));
+        // Same timestamp as existing cluster: tie must evict the *old* one.
+        let out = alg.insert(&pt(&[100.0], &[0.01], 5));
+        assert!(out.created);
+        assert_eq!(out.evicted, Some(0));
+        assert_eq!(alg.micro_clusters()[0].id, 1);
+    }
+
+    #[test]
+    fn two_blobs_end_up_in_distinct_clusters() {
+        let mut alg = UMicro::new(config(8, 2));
+        let mut t = 0;
+        for i in 0..40 {
+            t += 1;
+            let wiggle = (i % 5) as f64 * 0.05;
+            alg.insert(&pt(&[wiggle, -wiggle], &[0.2, 0.2], t));
+            t += 1;
+            alg.insert(&pt(&[10.0 + wiggle, 10.0 - wiggle], &[0.2, 0.2], t));
+        }
+        // Both blobs must be represented and no cluster may straddle them.
+        assert!(alg.micro_clusters().len() >= 2);
+        for c in alg.micro_clusters() {
+            let cen = c.ecf.centroid();
+            let near_a = cen[0] < 5.0;
+            let near_b = cen[0] > 5.0;
+            assert!(near_a || near_b);
+            if c.ecf.point_count() > 1 {
+                // Multi-point clusters must sit tightly inside one blob.
+                assert!(
+                    cen[0] < 2.0 || cen[0] > 8.0,
+                    "straddling centroid: {cen:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ids_are_stable_and_unique() {
+        let mut alg = UMicro::new(config(3, 1));
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..20 {
+            let out = alg.insert(&pt(&[(i * 37 % 11) as f64 * 50.0], &[0.01], i as Timestamp));
+            if out.created {
+                assert!(seen.insert(out.cluster_id), "id reuse: {}", out.cluster_id);
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_matches_live_state() {
+        let mut alg = UMicro::new(config(4, 1));
+        alg.insert(&pt(&[0.0], &[0.1], 1));
+        alg.insert(&pt(&[100.0], &[0.1], 2));
+        let snap = alg.snapshot();
+        assert_eq!(snap.len(), 2);
+        for c in alg.micro_clusters() {
+            let in_snap = &snap.clusters[&c.id];
+            assert_eq!(in_snap.cf1(), c.ecf.cf1());
+        }
+    }
+
+    #[test]
+    fn macro_clustering_groups_micro_clusters() {
+        let mut alg = UMicro::new(config(20, 2));
+        let mut t = 0;
+        for i in 0..60 {
+            t += 1;
+            let (cx, cy) = match i % 3 {
+                0 => (0.0, 0.0),
+                1 => (20.0, 0.0),
+                _ => (0.0, 20.0),
+            };
+            let w = (i % 4) as f64 * 0.1;
+            alg.insert(&pt(&[cx + w, cy - w], &[0.3, 0.3], t));
+        }
+        let mac = alg.macro_cluster(3, 9);
+        assert_eq!(mac.centroids.len(), 3);
+        // Each macro centroid should land near one of the three blobs.
+        for c in &mac.centroids {
+            let near = [(0.0, 0.0), (20.0, 0.0), (0.0, 20.0)]
+                .iter()
+                .any(|(x, y)| (c[0] - x).abs() < 3.0 && (c[1] - y).abs() < 3.0);
+            assert!(near, "macro centroid {c:?} near no blob");
+        }
+    }
+
+    #[test]
+    fn expected_distance_mode_also_works() {
+        let mut alg = UMicro::new(config(2, 2).with_expected_distance());
+        alg.insert(&pt(&[0.0, 0.0], &[0.3, 0.3], 1));
+        alg.insert(&pt(&[0.2, 0.2], &[0.3, 0.3], 2));
+        let out = alg.insert(&pt(&[30.0, 30.0], &[0.3, 0.3], 3));
+        assert!(out.created);
+        assert_eq!(alg.micro_clusters().len(), 2);
+        // And a point near the surviving seeds absorbs.
+        let out = alg.insert(&pt(&[0.1, 0.1], &[0.3, 0.3], 4));
+        assert!(!out.created);
+    }
+
+    #[test]
+    fn labels_do_not_affect_clustering() {
+        let mut a = UMicro::new(config(4, 1));
+        let mut b = UMicro::new(config(4, 1));
+        for i in 0..30u64 {
+            let x = (i % 3) as f64 * 40.0;
+            let unl = pt(&[x], &[0.1], i);
+            let lab = unl.clone().with_label(ClassLabel((i % 2) as u32));
+            a.insert(&unl);
+            b.insert(&lab);
+        }
+        assert_eq!(a.micro_clusters().len(), b.micro_clusters().len());
+        for (ca, cb) in a.micro_clusters().iter().zip(b.micro_clusters()) {
+            assert_eq!(ca.ecf.cf1(), cb.ecf.cf1());
+        }
+    }
+
+    #[test]
+    fn restore_round_trips_state() {
+        let mut alg = UMicro::new(config(6, 2));
+        for i in 0..100u64 {
+            let x = (i % 3) as f64 * 30.0;
+            alg.insert(&pt(&[x, -x], &[0.4, 0.4], i));
+        }
+        let snap = alg.snapshot();
+        let restored = UMicro::restore(config(6, 2), &snap);
+        assert_eq!(restored.micro_clusters().len(), alg.micro_clusters().len());
+        assert_eq!(restored.points_processed(), 100);
+        for (a, b) in alg.micro_clusters().iter().zip(restored.micro_clusters()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.ecf.cf1(), b.ecf.cf1());
+        }
+        // Fresh ids continue past the restored ones.
+        let max_id = alg.micro_clusters().iter().map(|c| c.id).max().unwrap();
+        let mut restored = restored;
+        let out = restored.insert(&pt(&[999.0, 999.0], &[0.4, 0.4], 101));
+        assert!(out.created);
+        assert!(out.cluster_id > max_id, "id reuse after restore");
+        // Global variances were rebuilt from the snapshot.
+        assert!(restored.global_variances()[0] > 1.0);
+    }
+
+    #[test]
+    fn restore_then_stream_matches_continuous_run() {
+        // Split a stream at a variance-refresh boundary: restoring there
+        // and continuing must equal the uninterrupted run exactly.
+        let mut cfg = config(8, 1);
+        cfg.variance_refresh_interval = 50;
+        let points: Vec<UncertainPoint> = (0..200u64)
+            .map(|i| pt(&[(i % 4) as f64 * 25.0], &[0.3], i))
+            .collect();
+
+        let mut continuous = UMicro::new(cfg.clone());
+        for p in &points {
+            continuous.insert(p);
+        }
+
+        let mut first_half = UMicro::new(cfg.clone());
+        for p in &points[..100] {
+            first_half.insert(p);
+        }
+        let mut resumed = UMicro::restore(cfg, &first_half.snapshot());
+        for p in &points[100..] {
+            resumed.insert(p);
+        }
+        assert_eq!(
+            continuous.micro_clusters().len(),
+            resumed.micro_clusters().len()
+        );
+        let mut a: Vec<_> = continuous.micro_clusters().iter().map(|c| c.id).collect();
+        let mut b: Vec<_> = resumed.micro_clusters().iter().map(|c| c.id).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "cluster identity must survive restore");
+    }
+
+    #[test]
+    fn variance_refresh_populates_globals() {
+        let mut cfg = config(8, 2);
+        cfg.variance_refresh_interval = 5;
+        let mut alg = UMicro::new(cfg);
+        for i in 0..20u64 {
+            let x = if i % 2 == 0 { 0.0 } else { 10.0 };
+            alg.insert(&pt(&[x, 0.5], &[0.1, 0.1], i));
+        }
+        let vars = alg.global_variances();
+        assert!(vars[0] > 1.0, "dim 0 variance should be large: {vars:?}");
+        assert!(vars[1] < vars[0]);
+    }
+}

@@ -1,0 +1,188 @@
+//! The critical uncertainty boundary (§II-C).
+//!
+//! Once the closest micro-cluster `M` is known, UMicro must decide whether
+//! the incoming point belongs to `M` or should seed a new cluster: the
+//! point is absorbed when its distance to the centroid lies within `t`
+//! times the cluster's radius (paper default `t = 3`, motivated by the
+//! normal distribution assumption).
+//!
+//! Two radius/distance pairings are supported (see
+//! [`crate::config::BoundaryMode`]):
+//! * **UncertainRadius** — the literal Eq. 6 quantities: expected distance
+//!   (Lemma 2.2) vs the uncertain radius (both include the error terms);
+//! * **ErrorCorrected** (default) — de-noised quantities: the known error
+//!   variance is subtracted from both sides, so the boundary tracks the
+//!   cluster's *clean* patch geometry even when `Σψ²` dwarfs it.
+//!
+//! Degenerate clusters (radius ≈ 0: singletons, or patches whose observed
+//! spread is entirely explained by noise) borrow CluStream's convention:
+//! their boundary is the distance to the nearest *other* micro-cluster. A
+//! lone degenerate cluster has no neighbour to borrow from and splits,
+//! letting the stream bootstrap.
+
+/// Outcome of a boundary test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundaryDecision {
+    /// The point falls inside the uncertainty boundary: absorb it.
+    Absorb,
+    /// The point falls outside: create a new singleton micro-cluster.
+    NewCluster,
+}
+
+/// Tests whether a point at squared distance `sq_dist` lies within the
+/// boundary of a cluster with the given `radius`.
+///
+/// * `boundary_factor` — the `t` multiplier (paper default 3);
+/// * `degenerate_radius` — radii at or below this are treated as degenerate;
+/// * `nearest_other_sq` — squared distance from the cluster's centroid to
+///   the nearest other micro-cluster centroid; the fallback boundary for
+///   degenerate clusters (`None` when this is the only cluster, in which
+///   case a degenerate cluster rejects the point so the stream can
+///   bootstrap more than one cluster).
+pub fn boundary_decision(
+    radius: f64,
+    sq_dist: f64,
+    boundary_factor: f64,
+    degenerate_radius: f64,
+    nearest_other_sq: Option<f64>,
+) -> BoundaryDecision {
+    debug_assert!(sq_dist >= 0.0 && radius >= 0.0);
+    let boundary = if radius > degenerate_radius {
+        boundary_factor * radius
+    } else {
+        match nearest_other_sq {
+            Some(d2) => d2.max(0.0).sqrt(),
+            None => return BoundaryDecision::NewCluster,
+        }
+    };
+    if sq_dist.sqrt() <= boundary {
+        BoundaryDecision::Absorb
+    } else {
+        BoundaryDecision::NewCluster
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::{corrected_sq_distance, expected_sq_distance};
+    use crate::ecf::Ecf;
+    use ustream_common::UncertainPoint;
+
+    fn pt(values: &[f64], errors: &[f64]) -> UncertainPoint {
+        UncertainPoint::new(values.to_vec(), errors.to_vec(), 0, None)
+    }
+
+    fn cluster_around_origin(err: f64) -> Ecf {
+        let mut e = Ecf::empty(1);
+        e.insert(&pt(&[-1.0], &[err]));
+        e.insert(&pt(&[1.0], &[err]));
+        e
+    }
+
+    #[test]
+    fn inside_boundary_absorbs() {
+        let c = cluster_around_origin(0.0);
+        // uncertain radius = 1, t = 3: anything within distance 3 absorbs.
+        let d = boundary_decision(c.uncertain_radius(), 4.0, 3.0, 1e-9, Some(100.0));
+        assert_eq!(d, BoundaryDecision::Absorb);
+    }
+
+    #[test]
+    fn outside_boundary_creates() {
+        let c = cluster_around_origin(0.0);
+        let d = boundary_decision(c.uncertain_radius(), 16.0, 3.0, 1e-9, Some(100.0));
+        assert_eq!(d, BoundaryDecision::NewCluster);
+    }
+
+    #[test]
+    fn boundary_factor_scales() {
+        let c = cluster_around_origin(0.0);
+        // distance 2.5: inside t=3, outside t=2.
+        assert_eq!(
+            boundary_decision(c.uncertain_radius(), 6.25, 3.0, 1e-9, Some(100.0)),
+            BoundaryDecision::Absorb
+        );
+        assert_eq!(
+            boundary_decision(c.uncertain_radius(), 6.25, 2.0, 1e-9, Some(100.0)),
+            BoundaryDecision::NewCluster
+        );
+    }
+
+    #[test]
+    fn uncertainty_widens_uncorrected_boundary() {
+        // Same data spread, large per-point error: the uncertain radius
+        // exceeds the deterministic one, so a farther point still absorbs
+        // under the literal Eq. 6 reading.
+        let noisy = cluster_around_origin(2.0);
+        let clean = cluster_around_origin(0.0);
+        let d2 = 25.0; // distance 5.
+        assert_eq!(
+            boundary_decision(clean.uncertain_radius(), d2, 3.0, 1e-9, Some(1e6)),
+            BoundaryDecision::NewCluster
+        );
+        assert_eq!(
+            boundary_decision(noisy.uncertain_radius(), d2, 3.0, 1e-9, Some(1e6)),
+            BoundaryDecision::Absorb
+        );
+    }
+
+    #[test]
+    fn corrected_geometry_removes_the_noise_floor() {
+        // A cluster whose observed spread is pure noise: corrected radius
+        // collapses to ~0 while the uncertain radius stays large.
+        let mut e = Ecf::empty(1);
+        for v in [-2.0, 2.0, -1.5, 1.5] {
+            e.insert(&pt(&[v], &[2.0]));
+        }
+        assert!(e.uncertain_radius() > 2.0);
+        assert!(e.corrected_radius() < e.uncertain_radius());
+
+        // Corrected distance of a point sitting at the centroid with big
+        // error is ~0 (its realised offset is explained by noise).
+        let x = pt(&[0.5], &[2.0]);
+        let corrected = corrected_sq_distance(&x, &e);
+        let expected = expected_sq_distance(&x, &e);
+        assert!(corrected < expected);
+        assert_eq!(corrected, 0.0);
+    }
+
+    #[test]
+    fn degenerate_singleton_uses_nearest_other() {
+        let s = Ecf::from_point(&pt(&[0.0], &[0.0])); // radius 0.
+        // Nearest other cluster at distance 10 → boundary 10.
+        assert_eq!(
+            boundary_decision(s.uncertain_radius(), 81.0, 3.0, 1e-9, Some(100.0)),
+            BoundaryDecision::Absorb
+        );
+        assert_eq!(
+            boundary_decision(s.uncertain_radius(), 121.0, 3.0, 1e-9, Some(100.0)),
+            BoundaryDecision::NewCluster
+        );
+    }
+
+    #[test]
+    fn corrected_singleton_is_degenerate_even_with_error() {
+        // Under the corrected mode, a singleton's radius is 0 regardless of
+        // ψ — it borrows the nearest-other boundary and stays local.
+        let s = Ecf::from_point(&pt(&[0.0], &[3.0]));
+        assert_eq!(s.corrected_radius(), 0.0);
+        assert!(s.uncertain_radius() > 0.0);
+    }
+
+    #[test]
+    fn lone_degenerate_cluster_splits() {
+        let s = Ecf::from_point(&pt(&[0.0], &[0.0]));
+        assert_eq!(
+            boundary_decision(s.corrected_radius(), 1e12, 3.0, 1e-9, None),
+            BoundaryDecision::NewCluster
+        );
+        // A lone cluster with genuine (uncertain) radius still absorbs
+        // in-range points under the uncorrected mode.
+        let u = Ecf::from_point(&pt(&[0.0], &[1.0]));
+        assert_eq!(
+            boundary_decision(u.uncertain_radius(), 1.0, 3.0, 1e-9, None),
+            BoundaryDecision::Absorb
+        );
+    }
+}

@@ -1,0 +1,207 @@
+//! UMicro configuration.
+
+use serde::{Deserialize, Serialize};
+use ustream_common::{Result, UStreamError};
+
+/// How the "closest" micro-cluster for an incoming point is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SimilarityMode {
+    /// Rank clusters by the raw expected squared distance of Lemma 2.2
+    /// (smaller is closer).
+    ExpectedDistance,
+    /// The paper's *dimension-counting similarity*: per dimension `j`, add
+    /// `max{0, 1 − E[(X_j − Z_j)²]/(thresh · σ_j²)}` where `σ_j²` is the
+    /// global data variance along `j`; noisy dimensions contribute zero and
+    /// are thereby pruned. Larger is closer.
+    DimensionCounting {
+        /// The `thresh` multiplier on the global per-dimension variance.
+        thresh: f64,
+    },
+}
+
+impl Default for SimilarityMode {
+    fn default() -> Self {
+        SimilarityMode::DimensionCounting { thresh: 2.0 }
+    }
+}
+
+/// How the critical uncertainty boundary (§II-C) is evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum BoundaryMode {
+    /// Literal reading of Eq. 6: boundary = `t ×` the uncertain radius
+    /// (expected RMS deviation, *including* the error terms), tested
+    /// against the expected distance of Lemma 2.2. In high dimensions with
+    /// strong noise the shared `Σψ²` floor inflates every cluster's
+    /// boundary equally and absorption stops being local; kept for the
+    /// boundary-mode ablation.
+    UncertainRadius,
+    /// Error-corrected geometry (default): boundary = `t ×` the corrected
+    /// radius (observed spread minus the known error variance), tested
+    /// against the corrected distance. Uses the uncertainty information to
+    /// *de-noise* the boundary decision — the advantage a deterministic
+    /// algorithm cannot replicate.
+    #[default]
+    ErrorCorrected,
+}
+
+
+/// Configuration of the [`crate::UMicro`] algorithm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UMicroConfig {
+    /// Budget `n_micro` of concurrently maintained micro-clusters.
+    pub n_micro: usize,
+    /// Dimensionality `d` of the stream.
+    pub dims: usize,
+    /// Uncertainty-boundary width in units of the uncertain radius; the
+    /// paper recommends `t = 3` ("a high level of certainty … with the use
+    /// of the normal distribution assumption").
+    pub boundary_factor: f64,
+    /// Closest-cluster ranking strategy.
+    pub similarity: SimilarityMode,
+    /// Uncertainty-boundary evaluation mode.
+    pub boundary_mode: BoundaryMode,
+    /// The global per-dimension variances used by dimension counting are
+    /// recomputed from the aggregate of all micro-clusters every this many
+    /// insertions (they drift slowly; recomputing per point is wasted work).
+    pub variance_refresh_interval: usize,
+    /// Radius below which a cluster is treated as degenerate (e.g. a
+    /// deterministic singleton); its boundary then falls back to the
+    /// distance to the nearest other micro-cluster, as in CluStream.
+    pub degenerate_radius: f64,
+}
+
+impl UMicroConfig {
+    /// Validated constructor with the paper's defaults (`t = 3`,
+    /// dimension-counting similarity).
+    pub fn new(n_micro: usize, dims: usize) -> Result<Self> {
+        let cfg = Self {
+            n_micro,
+            dims,
+            boundary_factor: 3.0,
+            similarity: SimilarityMode::default(),
+            boundary_mode: BoundaryMode::default(),
+            variance_refresh_interval: 100,
+            degenerate_radius: 1e-9,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Uses raw expected distance instead of dimension counting.
+    pub fn with_expected_distance(mut self) -> Self {
+        self.similarity = SimilarityMode::ExpectedDistance;
+        self
+    }
+
+    /// Overrides the dimension-counting threshold.
+    pub fn with_dimension_counting(mut self, thresh: f64) -> Self {
+        self.similarity = SimilarityMode::DimensionCounting { thresh };
+        self
+    }
+
+    /// Overrides the boundary factor `t`.
+    pub fn with_boundary_factor(mut self, t: f64) -> Self {
+        self.boundary_factor = t;
+        self
+    }
+
+    /// Overrides the boundary evaluation mode.
+    pub fn with_boundary_mode(mut self, mode: BoundaryMode) -> Self {
+        self.boundary_mode = mode;
+        self
+    }
+
+    /// Checks parameter domains.
+    pub fn validate(&self) -> Result<()> {
+        if self.n_micro == 0 {
+            return Err(UStreamError::InvalidConfig(
+                "n_micro must be at least 1".into(),
+            ));
+        }
+        if self.dims == 0 {
+            return Err(UStreamError::InvalidConfig(
+                "stream dimensionality must be at least 1".into(),
+            ));
+        }
+        if !(self.boundary_factor.is_finite() && self.boundary_factor > 0.0) {
+            return Err(UStreamError::InvalidConfig(format!(
+                "boundary_factor must be positive, got {}",
+                self.boundary_factor
+            )));
+        }
+        if let SimilarityMode::DimensionCounting { thresh } = self.similarity {
+            if !(thresh.is_finite() && thresh > 0.0) {
+                return Err(UStreamError::InvalidConfig(format!(
+                    "dimension-counting thresh must be positive, got {thresh}"
+                )));
+            }
+        }
+        if self.variance_refresh_interval == 0 {
+            return Err(UStreamError::InvalidConfig(
+                "variance_refresh_interval must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_papers() {
+        let c = UMicroConfig::new(100, 20).unwrap();
+        assert_eq!(c.boundary_factor, 3.0);
+        assert!(matches!(
+            c.similarity,
+            SimilarityMode::DimensionCounting { .. }
+        ));
+        assert_eq!(c.boundary_mode, BoundaryMode::ErrorCorrected);
+    }
+
+    #[test]
+    fn boundary_mode_override() {
+        let c = UMicroConfig::new(10, 2)
+            .unwrap()
+            .with_boundary_mode(BoundaryMode::UncertainRadius);
+        assert_eq!(c.boundary_mode, BoundaryMode::UncertainRadius);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_zero_micro_budget() {
+        assert!(UMicroConfig::new(0, 5).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_dims() {
+        assert!(UMicroConfig::new(5, 0).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_boundary_factor() {
+        let c = UMicroConfig::new(5, 2).unwrap().with_boundary_factor(-1.0);
+        assert!(c.validate().is_err());
+        let c = UMicroConfig::new(5, 2).unwrap().with_boundary_factor(f64::NAN);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_thresh() {
+        let c = UMicroConfig::new(5, 2).unwrap().with_dimension_counting(0.0);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn builder_style_overrides() {
+        let c = UMicroConfig::new(10, 3)
+            .unwrap()
+            .with_expected_distance()
+            .with_boundary_factor(2.0);
+        assert_eq!(c.similarity, SimilarityMode::ExpectedDistance);
+        assert_eq!(c.boundary_factor, 2.0);
+        assert!(c.validate().is_ok());
+    }
+}

@@ -1,0 +1,517 @@
+//! The error-based cluster feature vector `ECF` (Definition 2.1 / 2.3).
+//!
+//! For a set of `d`-dimensional uncertain points the ECF is the `(3d + 2)`
+//! tuple `(CF2x, EF2x, CF1x, t, n)`:
+//!
+//! * `CF2x_j = Σ_i w_i · x_{ij}²` — (weighted) second moment of the values,
+//! * `EF2x_j = Σ_i w_i · ψ_j(X_i)²` — (weighted) error second moment,
+//! * `CF1x_j = Σ_i w_i · x_{ij}` — (weighted) first moment,
+//! * `t` — tick of the last update,
+//! * `n` / `W` — point count / total decayed weight.
+//!
+//! All non-temporal components are additive (Property 2.1) and subtractive,
+//! and scale uniformly under exponential decay, which makes the lazy decay
+//! of §II-E a single multiply per touch.
+
+use serde::{Deserialize, Serialize};
+use ustream_common::{AdditiveFeature, DecayableFeature, Timestamp, UncertainPoint};
+
+/// An error-based micro-cluster summary.
+///
+/// `weight` equals `count` while no decay is applied; under decay it is the
+/// total decayed weight `W(C)` of Definition 2.3, referenced to
+/// [`Ecf::last_decay`] (the tick the statistics were last brought current).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ecf {
+    cf2: Vec<f64>,
+    ef2: Vec<f64>,
+    cf1: Vec<f64>,
+    last_update: Timestamp,
+    last_decay: Timestamp,
+    weight: f64,
+    count: u64,
+}
+
+impl Ecf {
+    /// An empty summary over `d` dimensions.
+    pub fn empty(d: usize) -> Self {
+        Self {
+            cf2: vec![0.0; d],
+            ef2: vec![0.0; d],
+            cf1: vec![0.0; d],
+            last_update: 0,
+            last_decay: 0,
+            weight: 0.0,
+            count: 0,
+        }
+    }
+
+    /// A singleton summary for one point with unit weight.
+    pub fn from_point(p: &UncertainPoint) -> Self {
+        let mut e = Self::empty(p.dims());
+        e.insert(p);
+        e
+    }
+
+    /// Absorbs a point with unit weight (the undecayed algorithm).
+    pub fn insert(&mut self, p: &UncertainPoint) {
+        self.insert_weighted(p, 1.0);
+    }
+
+    /// Absorbs a point with an explicit weight (decayed algorithm: the
+    /// newly arrived point has weight `2⁰ = 1` relative to "now", but tests
+    /// and replay tooling use other weights).
+    pub fn insert_weighted(&mut self, p: &UncertainPoint, w: f64) {
+        debug_assert_eq!(p.dims(), self.dims(), "point/ECF dimension mismatch");
+        debug_assert!(w > 0.0);
+        let (values, errors) = (p.values(), p.errors());
+        for j in 0..self.cf1.len() {
+            let x = values[j];
+            let e = errors[j];
+            self.cf2[j] += w * x * x;
+            self.ef2[j] += w * e * e;
+            self.cf1[j] += w * x;
+        }
+        self.weight += w;
+        self.count += 1;
+        if p.timestamp() > self.last_update {
+            self.last_update = p.timestamp();
+        }
+        if p.timestamp() > self.last_decay {
+            self.last_decay = p.timestamp();
+        }
+    }
+
+    /// Dimensionality `d`.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.cf1.len()
+    }
+
+    /// Raw number of points ever absorbed (not decayed).
+    #[inline]
+    pub fn point_count(&self) -> u64 {
+        self.count
+    }
+
+    /// Total (decayed) weight `W(C)`.
+    #[inline]
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// `CF1x` — weighted first moment per dimension.
+    #[inline]
+    pub fn cf1(&self) -> &[f64] {
+        &self.cf1
+    }
+
+    /// `CF2x` — weighted second moment per dimension.
+    #[inline]
+    pub fn cf2(&self) -> &[f64] {
+        &self.cf2
+    }
+
+    /// `EF2x` — weighted error second moment per dimension.
+    #[inline]
+    pub fn ef2(&self) -> &[f64] {
+        &self.ef2
+    }
+
+    /// Tick at which decay was last applied (reference point of `weight`).
+    #[inline]
+    pub fn last_decay(&self) -> Timestamp {
+        self.last_decay
+    }
+
+    /// Centroid coordinate along dimension `j`: `CF1_j / W`.
+    #[inline]
+    pub fn centroid_dim(&self, j: usize) -> f64 {
+        if self.weight > 0.0 {
+            self.cf1[j] / self.weight
+        } else {
+            0.0
+        }
+    }
+
+    /// Per-dimension *data* variance of the cluster:
+    /// `CF2_j/W − (CF1_j/W)²`, clamped at zero.
+    pub fn variance_dim(&self, j: usize) -> f64 {
+        if self.weight <= 0.0 {
+            return 0.0;
+        }
+        let mean = self.cf1[j] / self.weight;
+        (self.cf2[j] / self.weight - mean * mean).max(0.0)
+    }
+
+    /// Expected squared norm of the (random) centroid, Lemma 2.1:
+    /// `E[‖Z‖²] = Σ_j CF1_j²/W² + Σ_j EF2_j/W²`.
+    pub fn expected_centroid_sq_norm(&self) -> f64 {
+        if self.weight <= 0.0 {
+            return 0.0;
+        }
+        let w2 = self.weight * self.weight;
+        let mut acc = 0.0;
+        for j in 0..self.dims() {
+            acc += self.cf1[j] * self.cf1[j] / w2 + self.ef2[j] / w2;
+        }
+        acc
+    }
+
+    /// Expected sum over the cluster's own points of their squared expected
+    /// deviation from the centroid (derived by summing Lemma 2.2 over the
+    /// cluster members):
+    ///
+    /// `Σ_j CF2_j − Σ_j CF1_j²/W + (1 + 1/W) Σ_j EF2_j`
+    ///
+    /// Clamped at zero against floating-point cancellation.
+    pub fn expected_deviation_ssq(&self) -> f64 {
+        if self.weight <= 0.0 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for j in 0..self.dims() {
+            acc += self.cf2[j] - self.cf1[j] * self.cf1[j] / self.weight
+                + (1.0 + 1.0 / self.weight) * self.ef2[j];
+        }
+        acc.max(0.0)
+    }
+
+    /// The *uncertain radius* (Eq. 6): the RMS expected deviation of the
+    /// cluster's points about its centroid,
+    /// `U = sqrt(expected_deviation_ssq / W)`.
+    pub fn uncertain_radius(&self) -> f64 {
+        if self.weight <= 0.0 {
+            return 0.0;
+        }
+        (self.expected_deviation_ssq() / self.weight).sqrt()
+    }
+
+    /// Error-corrected per-point deviation SSQ: the *observed* spread minus
+    /// the known error contribution,
+    /// `Σ_j max{0, CF2_j − CF1_j²/W − (1 − 1/W)·EF2_j}`.
+    ///
+    /// Observed values are `clean + noise`, so their scatter about the
+    /// sample mean over-estimates the clean scatter — by
+    /// `(1 − 1/W)·Σ_i ψ_i²` in expectation (the `1/W` term is the noise the
+    /// sample mean itself absorbs; for small clusters subtracting the full
+    /// `EF2` would systematically crush the radius). Subtracting the
+    /// correct share gives an approximately unbiased estimate of the clean
+    /// geometry — the de-noising that only an uncertainty-aware summary can
+    /// perform, in the spirit of the density transforms of Aggarwal
+    /// (ICDE 2007), the paper's reference \[1\].
+    pub fn corrected_deviation_ssq(&self) -> f64 {
+        if self.weight <= 0.0 {
+            return 0.0;
+        }
+        let noise_share = 1.0 - 1.0 / self.weight.max(1.0);
+        let mut acc = 0.0;
+        for j in 0..self.dims() {
+            let observed = self.cf2[j] - self.cf1[j] * self.cf1[j] / self.weight;
+            acc += (observed - noise_share * self.ef2[j]).max(0.0);
+        }
+        acc
+    }
+
+    /// Error-corrected RMS radius: `sqrt(corrected_deviation_ssq / W)` — an
+    /// estimate of the cluster's *clean* spread, free of the noise floor
+    /// that inflates [`Ecf::uncertain_radius`] on heavily uncertain data.
+    pub fn corrected_radius(&self) -> f64 {
+        if self.weight <= 0.0 {
+            return 0.0;
+        }
+        (self.corrected_deviation_ssq() / self.weight).sqrt()
+    }
+
+    /// Touch the temporal component without changing statistics.
+    pub fn touch(&mut self, t: Timestamp) {
+        if t > self.last_update {
+            self.last_update = t;
+        }
+    }
+}
+
+impl AdditiveFeature for Ecf {
+    fn dims(&self) -> usize {
+        self.cf1.len()
+    }
+
+    fn count(&self) -> f64 {
+        self.weight
+    }
+
+    fn last_update(&self) -> Timestamp {
+        self.last_update
+    }
+
+    fn merge(&mut self, other: &Self) {
+        debug_assert_eq!(self.dims(), other.dims());
+        for j in 0..self.cf1.len() {
+            self.cf2[j] += other.cf2[j];
+            self.ef2[j] += other.ef2[j];
+            self.cf1[j] += other.cf1[j];
+        }
+        self.weight += other.weight;
+        self.count += other.count;
+        self.last_update = self.last_update.max(other.last_update);
+        self.last_decay = self.last_decay.max(other.last_decay);
+    }
+
+    fn subtract(&mut self, other: &Self) {
+        debug_assert_eq!(self.dims(), other.dims());
+        for j in 0..self.cf1.len() {
+            // Second moments are non-negative by construction; clamp the
+            // tiny negative residues left by floating-point cancellation.
+            self.cf2[j] = (self.cf2[j] - other.cf2[j]).max(0.0);
+            self.ef2[j] = (self.ef2[j] - other.ef2[j]).max(0.0);
+            self.cf1[j] -= other.cf1[j];
+        }
+        self.weight = (self.weight - other.weight).max(0.0);
+        self.count = self.count.saturating_sub(other.count);
+    }
+
+    fn centroid(&self) -> Vec<f64> {
+        (0..self.dims()).map(|j| self.centroid_dim(j)).collect()
+    }
+}
+
+impl DecayableFeature for Ecf {
+    fn scale(&mut self, factor: f64) {
+        debug_assert!((0.0..=1.0).contains(&factor));
+        for j in 0..self.cf1.len() {
+            self.cf2[j] *= factor;
+            self.ef2[j] *= factor;
+            self.cf1[j] *= factor;
+        }
+        self.weight *= factor;
+    }
+
+    fn decay_to(&mut self, now: Timestamp, lambda: f64) {
+        if now <= self.last_decay || lambda == 0.0 {
+            return;
+        }
+        let dt = (now - self.last_decay) as f64;
+        self.scale(ustream_common::feature::decay_factor(lambda, dt));
+        self.last_decay = now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(values: &[f64], errors: &[f64], t: Timestamp) -> UncertainPoint {
+        UncertainPoint::new(values.to_vec(), errors.to_vec(), t, None)
+    }
+
+    #[test]
+    fn singleton_statistics() {
+        let e = Ecf::from_point(&pt(&[2.0, -3.0], &[0.5, 1.0], 7));
+        assert_eq!(e.dims(), 2);
+        assert_eq!(e.point_count(), 1);
+        assert_eq!(e.weight(), 1.0);
+        assert_eq!(e.cf1(), &[2.0, -3.0]);
+        assert_eq!(e.cf2(), &[4.0, 9.0]);
+        assert_eq!(e.ef2(), &[0.25, 1.0]);
+        assert_eq!(e.last_update(), 7);
+    }
+
+    #[test]
+    fn centroid_is_mean() {
+        let mut e = Ecf::empty(2);
+        e.insert(&pt(&[0.0, 0.0], &[0.1, 0.1], 1));
+        e.insert(&pt(&[4.0, 2.0], &[0.1, 0.1], 2));
+        assert_eq!(e.centroid(), vec![2.0, 1.0]);
+        assert_eq!(e.centroid_dim(0), 2.0);
+    }
+
+    #[test]
+    fn additive_property() {
+        // Property 2.1: ECF(C1 ∪ C2) = ECF(C1) + ECF(C2) componentwise,
+        // temporal component = max.
+        let p1 = pt(&[1.0, 2.0], &[0.2, 0.3], 5);
+        let p2 = pt(&[3.0, -1.0], &[0.1, 0.4], 9);
+        let p3 = pt(&[0.5, 0.5], &[0.0, 0.0], 2);
+
+        let mut whole = Ecf::empty(2);
+        for p in [&p1, &p2, &p3] {
+            whole.insert(p);
+        }
+        let mut a = Ecf::from_point(&p1);
+        let mut b = Ecf::from_point(&p2);
+        b.insert(&p3);
+        a.merge(&b);
+
+        for j in 0..2 {
+            assert!((a.cf1()[j] - whole.cf1()[j]).abs() < 1e-12);
+            assert!((a.cf2()[j] - whole.cf2()[j]).abs() < 1e-12);
+            assert!((a.ef2()[j] - whole.ef2()[j]).abs() < 1e-12);
+        }
+        assert_eq!(a.weight(), 3.0);
+        assert_eq!(a.point_count(), 3);
+        assert_eq!(a.last_update(), 9);
+    }
+
+    #[test]
+    fn subtractive_property_round_trip() {
+        let pts: Vec<UncertainPoint> = (0..10)
+            .map(|i| pt(&[i as f64, (i * i) as f64], &[0.1 * i as f64, 0.2], i as u64))
+            .collect();
+        let mut all = Ecf::empty(2);
+        let mut prefix = Ecf::empty(2);
+        for (i, p) in pts.iter().enumerate() {
+            all.insert(p);
+            if i < 4 {
+                prefix.insert(p);
+            }
+        }
+        let mut suffix = all.clone();
+        suffix.subtract(&prefix);
+
+        let mut direct = Ecf::empty(2);
+        for p in &pts[4..] {
+            direct.insert(p);
+        }
+        for j in 0..2 {
+            assert!((suffix.cf1()[j] - direct.cf1()[j]).abs() < 1e-9);
+            assert!((suffix.cf2()[j] - direct.cf2()[j]).abs() < 1e-9);
+            assert!((suffix.ef2()[j] - direct.ef2()[j]).abs() < 1e-9);
+        }
+        assert_eq!(suffix.weight(), 6.0);
+        assert_eq!(suffix.point_count(), 6);
+    }
+
+    #[test]
+    fn subtract_to_empty() {
+        let p = pt(&[1.0], &[0.5], 3);
+        let mut e = Ecf::from_point(&p);
+        let copy = e.clone();
+        e.subtract(&copy);
+        assert!(AdditiveFeature::is_empty(&e));
+        assert_eq!(e.point_count(), 0);
+    }
+
+    #[test]
+    fn lemma_2_1_matches_definition() {
+        // E[||Z||^2] = Σ CF1_j²/n² + Σ EF2_j/n².
+        let mut e = Ecf::empty(2);
+        e.insert(&pt(&[1.0, 2.0], &[0.5, 0.0], 1));
+        e.insert(&pt(&[3.0, 4.0], &[0.5, 1.0], 2));
+        // CF1 = [4, 6]; EF2 = [0.5, 1.0]; n = 2.
+        let want = (16.0 + 36.0) / 4.0 + (0.5 + 1.0) / 4.0;
+        assert!((e.expected_centroid_sq_norm() - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_error_centroid_norm_is_plain_norm() {
+        let mut e = Ecf::empty(2);
+        e.insert(&pt(&[3.0, 0.0], &[0.0, 0.0], 1));
+        e.insert(&pt(&[5.0, 0.0], &[0.0, 0.0], 2));
+        // centroid (4, 0): ||Z||² = 16 exactly when no error.
+        assert!((e.expected_centroid_sq_norm() - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deviation_ssq_zero_error_matches_classical_ssq() {
+        // With ψ = 0, expected_deviation_ssq must equal Σ (x - mean)².
+        let xs = [1.0f64, 2.0, 3.0, 10.0];
+        let mut e = Ecf::empty(1);
+        for (i, &x) in xs.iter().enumerate() {
+            e.insert(&pt(&[x], &[0.0], i as u64));
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let classical: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum();
+        assert!((e.expected_deviation_ssq() - classical).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deviation_ssq_grows_with_error() {
+        let mut clean = Ecf::empty(1);
+        let mut noisy = Ecf::empty(1);
+        for i in 0..5 {
+            clean.insert(&pt(&[i as f64], &[0.0], i as u64));
+            noisy.insert(&pt(&[i as f64], &[2.0], i as u64));
+        }
+        assert!(noisy.expected_deviation_ssq() > clean.expected_deviation_ssq());
+        assert!(noisy.uncertain_radius() > clean.uncertain_radius());
+    }
+
+    #[test]
+    fn singleton_uncertain_radius_reflects_error() {
+        // n = 1: SSQ_u = 2 Σ ψ² so radius = sqrt(2)·ψ in 1-d.
+        let e = Ecf::from_point(&pt(&[5.0], &[3.0], 1));
+        assert!((e.uncertain_radius() - (2.0f64 * 9.0).sqrt()).abs() < 1e-9);
+        // Deterministic singleton: zero radius.
+        let det = Ecf::from_point(&pt(&[5.0], &[0.0], 1));
+        assert_eq!(det.uncertain_radius(), 0.0);
+    }
+
+    #[test]
+    fn variance_per_dimension() {
+        let mut e = Ecf::empty(2);
+        e.insert(&pt(&[0.0, 5.0], &[0.0, 0.0], 1));
+        e.insert(&pt(&[2.0, 5.0], &[0.0, 0.0], 2));
+        assert!((e.variance_dim(0) - 1.0).abs() < 1e-12);
+        assert_eq!(e.variance_dim(1), 0.0);
+    }
+
+    #[test]
+    fn scale_preserves_centroid_and_radius_shape() {
+        let mut e = Ecf::empty(2);
+        e.insert(&pt(&[1.0, 4.0], &[0.3, 0.1], 1));
+        e.insert(&pt(&[3.0, 0.0], &[0.3, 0.1], 2));
+        let c_before = e.centroid();
+        let var_before = e.variance_dim(0);
+        e.scale(0.25);
+        // Uniform scaling cancels in every ratio statistic.
+        let c_after = e.centroid();
+        for j in 0..2 {
+            assert!((c_before[j] - c_after[j]).abs() < 1e-12);
+        }
+        assert!((e.variance_dim(0) - var_before).abs() < 1e-12);
+        assert!((e.weight() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lazy_decay_matches_half_life() {
+        let mut e = Ecf::from_point(&pt(&[4.0], &[0.2], 0));
+        e.decay_to(100, 0.01); // half-life 100 ticks.
+        assert!((e.weight() - 0.5).abs() < 1e-12);
+        assert_eq!(e.last_decay(), 100);
+        // Decaying again to the same tick is a no-op.
+        let w = e.weight();
+        e.decay_to(100, 0.01);
+        assert_eq!(e.weight(), w);
+    }
+
+    #[test]
+    fn lazy_decay_composes() {
+        let p = pt(&[4.0], &[0.2], 0);
+        let mut one_step = Ecf::from_point(&p);
+        one_step.decay_to(70, 0.02);
+        let mut two_steps = Ecf::from_point(&p);
+        two_steps.decay_to(30, 0.02);
+        two_steps.decay_to(70, 0.02);
+        assert!((one_step.weight() - two_steps.weight()).abs() < 1e-12);
+        assert!((one_step.cf2()[0] - two_steps.cf2()[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_accessors_are_safe() {
+        let e = Ecf::empty(3);
+        assert_eq!(e.centroid(), vec![0.0, 0.0, 0.0]);
+        assert_eq!(e.uncertain_radius(), 0.0);
+        assert_eq!(e.expected_centroid_sq_norm(), 0.0);
+        assert_eq!(e.variance_dim(1), 0.0);
+        assert!(AdditiveFeature::is_empty(&e));
+    }
+
+    #[test]
+    fn touch_moves_temporal_component_forward_only() {
+        let mut e = Ecf::from_point(&pt(&[1.0], &[0.1], 10));
+        e.touch(5);
+        assert_eq!(e.last_update(), 10);
+        e.touch(20);
+        assert_eq!(e.last_update(), 20);
+    }
+}

@@ -1,0 +1,280 @@
+//! Cluster-evolution analysis over the pyramidal time frame.
+//!
+//! The paper positions UMicro "as in \[3\] … to perform interactive and
+//! online clustering in a data stream environment"; the CluStream line of
+//! work uses exactly this machinery to characterise *evolution*: comparing
+//! the micro-cluster statistics of two horizons exposes clusters that were
+//! **created**, **faded**, **persisted** or **drifted** between them. The
+//! stable micro-cluster ids (plus the subtractive property) make the
+//! comparison exact rather than heuristic.
+
+use crate::ecf::Ecf;
+use ustream_common::point::sq_euclidean;
+use ustream_common::AdditiveFeature;
+use ustream_snapshot::ClusterSetSnapshot;
+
+/// How one micro-cluster changed between two windows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterChange {
+    /// Present in the recent window only: new structure appeared.
+    Emerged {
+        /// Cluster id.
+        id: u64,
+        /// Weight accumulated in the recent window.
+        weight: f64,
+    },
+    /// Present in the earlier window only: its region stopped receiving
+    /// points (or the cluster was evicted).
+    Faded {
+        /// Cluster id.
+        id: u64,
+        /// Weight it had in the earlier window.
+        weight: f64,
+    },
+    /// Present in both windows.
+    Persisted {
+        /// Cluster id.
+        id: u64,
+        /// Weight in the earlier window.
+        weight_before: f64,
+        /// Weight in the recent window.
+        weight_after: f64,
+        /// Euclidean displacement of the centroid between the windows.
+        centroid_shift: f64,
+    },
+}
+
+impl ClusterChange {
+    /// The cluster id the change describes.
+    pub fn id(&self) -> u64 {
+        match self {
+            ClusterChange::Emerged { id, .. }
+            | ClusterChange::Faded { id, .. }
+            | ClusterChange::Persisted { id, .. } => *id,
+        }
+    }
+}
+
+/// Summary of the evolution between two windows.
+#[derive(Debug, Clone, Default)]
+pub struct EvolutionReport {
+    /// Per-cluster changes, emerged first, then persisted, then faded.
+    pub changes: Vec<ClusterChange>,
+    /// Total weight that arrived in clusters absent from the earlier window.
+    pub emerged_weight: f64,
+    /// Total weight of clusters absent from the recent window.
+    pub faded_weight: f64,
+    /// Weight-averaged centroid shift of persisted clusters.
+    pub mean_drift: f64,
+}
+
+impl EvolutionReport {
+    /// Number of emerged clusters.
+    pub fn emerged(&self) -> usize {
+        self.changes
+            .iter()
+            .filter(|c| matches!(c, ClusterChange::Emerged { .. }))
+            .count()
+    }
+
+    /// Number of faded clusters.
+    pub fn faded(&self) -> usize {
+        self.changes
+            .iter()
+            .filter(|c| matches!(c, ClusterChange::Faded { .. }))
+            .count()
+    }
+
+    /// Number of persisted clusters.
+    pub fn persisted(&self) -> usize {
+        self.changes
+            .iter()
+            .filter(|c| matches!(c, ClusterChange::Persisted { .. }))
+            .count()
+    }
+
+    /// A scalar "how much did the stream change" score in [0, 1]:
+    /// the fraction of total weight involved in emergence/fading.
+    pub fn turbulence(&self) -> f64 {
+        let persisted_weight: f64 = self
+            .changes
+            .iter()
+            .filter_map(|c| match c {
+                ClusterChange::Persisted {
+                    weight_before,
+                    weight_after,
+                    ..
+                } => Some(weight_before + weight_after),
+                _ => None,
+            })
+            .sum();
+        let churn = self.emerged_weight + self.faded_weight;
+        let total = churn + persisted_weight;
+        if total <= 0.0 {
+            0.0
+        } else {
+            churn / total
+        }
+    }
+}
+
+/// Compares the micro-cluster statistics of two windows (each produced by
+/// horizon subtraction or direct snapshots).
+///
+/// Clusters below `min_weight` in both windows are ignored — they carry too
+/// little evidence to classify.
+pub fn compare_windows(
+    earlier: &ClusterSetSnapshot<Ecf>,
+    recent: &ClusterSetSnapshot<Ecf>,
+    min_weight: f64,
+) -> EvolutionReport {
+    let mut report = EvolutionReport::default();
+    let mut drift_acc = 0.0;
+    let mut drift_weight = 0.0;
+
+    for (id, now) in &recent.clusters {
+        let w_now = now.weight();
+        match earlier.clusters.get(id) {
+            Some(then) => {
+                let w_then = then.weight();
+                if w_now < min_weight && w_then < min_weight {
+                    continue;
+                }
+                let shift = sq_euclidean(&then.centroid(), &now.centroid()).sqrt();
+                drift_acc += (w_then + w_now) * shift;
+                drift_weight += w_then + w_now;
+                report.changes.push(ClusterChange::Persisted {
+                    id: *id,
+                    weight_before: w_then,
+                    weight_after: w_now,
+                    centroid_shift: shift,
+                });
+            }
+            None => {
+                if w_now < min_weight {
+                    continue;
+                }
+                report.emerged_weight += w_now;
+                report.changes.push(ClusterChange::Emerged {
+                    id: *id,
+                    weight: w_now,
+                });
+            }
+        }
+    }
+    for (id, then) in &earlier.clusters {
+        if recent.clusters.contains_key(id) {
+            continue;
+        }
+        let w_then = then.weight();
+        if w_then < min_weight {
+            continue;
+        }
+        report.faded_weight += w_then;
+        report.changes.push(ClusterChange::Faded {
+            id: *id,
+            weight: w_then,
+        });
+    }
+
+    report.mean_drift = if drift_weight > 0.0 {
+        drift_acc / drift_weight
+    } else {
+        0.0
+    };
+    // Emerged first, then persisted, then faded; stable by id within kind.
+    report.changes.sort_by_key(|c| {
+        let kind = match c {
+            ClusterChange::Emerged { .. } => 0,
+            ClusterChange::Persisted { .. } => 1,
+            ClusterChange::Faded { .. } => 2,
+        };
+        (kind, c.id())
+    });
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ustream_common::UncertainPoint;
+
+    fn ecf(values: &[(f64, f64)]) -> Ecf {
+        let mut e = Ecf::empty(2);
+        for (i, (x, y)) in values.iter().enumerate() {
+            e.insert(&UncertainPoint::new(
+                vec![*x, *y],
+                vec![0.1, 0.1],
+                i as u64,
+                None,
+            ));
+        }
+        e
+    }
+
+    fn snap(entries: Vec<(u64, Ecf)>) -> ClusterSetSnapshot<Ecf> {
+        ClusterSetSnapshot::from_pairs(entries)
+    }
+
+    #[test]
+    fn detects_emerged_faded_persisted() {
+        let earlier = snap(vec![
+            (1, ecf(&[(0.0, 0.0), (0.2, 0.0)])),
+            (2, ecf(&[(5.0, 5.0), (5.2, 5.0)])),
+        ]);
+        let recent = snap(vec![
+            (1, ecf(&[(1.0, 0.0), (1.2, 0.0)])), // persisted, drifted by ~1
+            (3, ecf(&[(9.0, 9.0), (9.1, 9.0)])), // emerged
+        ]);
+        let report = compare_windows(&earlier, &recent, 0.0);
+        assert_eq!(report.emerged(), 1);
+        assert_eq!(report.faded(), 1);
+        assert_eq!(report.persisted(), 1);
+        assert_eq!(report.changes.len(), 3);
+        // Order: emerged, persisted, faded.
+        assert!(matches!(report.changes[0], ClusterChange::Emerged { id: 3, .. }));
+        assert!(matches!(report.changes[1], ClusterChange::Persisted { id: 1, .. }));
+        assert!(matches!(report.changes[2], ClusterChange::Faded { id: 2, .. }));
+        if let ClusterChange::Persisted { centroid_shift, .. } = &report.changes[1] {
+            assert!((centroid_shift - 1.0).abs() < 1e-9);
+        }
+        assert!((report.emerged_weight - 2.0).abs() < 1e-9);
+        assert!((report.faded_weight - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_windows_are_calm() {
+        let a = snap(vec![(1, ecf(&[(0.0, 0.0), (1.0, 1.0)]))]);
+        let report = compare_windows(&a, &a.clone(), 0.0);
+        assert_eq!(report.emerged(), 0);
+        assert_eq!(report.faded(), 0);
+        assert_eq!(report.persisted(), 1);
+        assert_eq!(report.mean_drift, 0.0);
+        assert_eq!(report.turbulence(), 0.0);
+    }
+
+    #[test]
+    fn full_replacement_is_maximally_turbulent() {
+        let earlier = snap(vec![(1, ecf(&[(0.0, 0.0), (0.1, 0.1)]))]);
+        let recent = snap(vec![(2, ecf(&[(8.0, 8.0), (8.1, 8.1)]))]);
+        let report = compare_windows(&earlier, &recent, 0.0);
+        assert_eq!(report.turbulence(), 1.0);
+    }
+
+    #[test]
+    fn min_weight_filters_noise_clusters() {
+        let earlier = snap(vec![(1, ecf(&[(0.0, 0.0)]))]); // weight 1
+        let recent = snap(vec![(2, ecf(&[(5.0, 5.0)]))]); // weight 1
+        let report = compare_windows(&earlier, &recent, 2.0);
+        assert!(report.changes.is_empty());
+        assert_eq!(report.turbulence(), 0.0);
+    }
+
+    #[test]
+    fn empty_windows() {
+        let empty = ClusterSetSnapshot::<Ecf>::default();
+        let report = compare_windows(&empty, &empty, 0.0);
+        assert!(report.changes.is_empty());
+        assert_eq!(report.mean_drift, 0.0);
+    }
+}

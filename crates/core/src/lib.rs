@@ -1,0 +1,63 @@
+//! # umicro
+//!
+//! The primary contribution of *"A Framework for Clustering Uncertain Data
+//! Streams"* (Charu C. Aggarwal & Philip S. Yu, ICDE 2008): **UMicro**, a
+//! one-pass micro-clustering algorithm for streams of uncertain records.
+//!
+//! Every record is a pair `(X, ψ(X))`: an instantiation plus per-dimension
+//! error standard deviations. UMicro maintains up to `n_micro` *error-based
+//! micro-clusters*, each summarised by an [`Ecf`] vector
+//! `(CF2x, EF2x, CF1x, t, n)` — the classic cluster feature vector extended
+//! with the error second moment `EF2x`. The ECF is additive and
+//! subtractive, which powers both constant-time insertion and horizon
+//! queries over a pyramidal snapshot store.
+//!
+//! Algorithmic pipeline per arriving point (Figure 1 of the paper):
+//!
+//! 1. find the closest micro-cluster under the *expected* distance
+//!    (Lemma 2.2) or the noise-robust *dimension-counting similarity*;
+//! 2. test the point against the cluster's *uncertainty boundary* —
+//!    `t` standard deviations of the expected point-to-centroid distance;
+//! 3. inside → absorb the point into the ECF; outside → create a singleton
+//!    micro-cluster, evicting the least-recently-updated one if the budget
+//!    `n_micro` is exhausted.
+//!
+//! The [`decayed`] module adds the paper's exponential time-decay variant
+//! (Definition 2.3) with lazy weight maintenance, and [`horizon`] implements
+//! the pyramidal-time-frame integration for interactive horizon-specific
+//! clustering.
+//!
+//! ```
+//! use umicro::{UMicro, UMicroConfig};
+//! use ustream_common::UncertainPoint;
+//!
+//! let mut alg = UMicro::new(UMicroConfig::new(2, 2).unwrap());
+//! // Two seed readings fill the micro-cluster budget …
+//! alg.insert(&UncertainPoint::new(vec![0.1, -0.2], vec![0.3, 0.3], 1, None));
+//! alg.insert(&UncertainPoint::new(vec![10.0, 10.0], vec![0.3, 0.3], 2, None));
+//! // … and a third noisy reading near the first is absorbed into it.
+//! let outcome = alg.insert(&UncertainPoint::new(vec![-0.1, 0.2], vec![0.3, 0.3], 3, None));
+//! assert!(!outcome.created);
+//! assert_eq!(alg.micro_clusters().len(), 2);
+//! ```
+
+pub mod algorithm;
+pub mod boundary;
+pub mod classify;
+pub mod config;
+pub mod decayed;
+pub mod distance;
+pub mod ecf;
+pub mod evolution;
+pub mod horizon;
+pub mod macrocluster;
+pub mod similarity;
+
+pub use algorithm::{InsertOutcome, MicroCluster, UMicro};
+pub use classify::{Classification, MicroClassifier};
+pub use config::{BoundaryMode, SimilarityMode, UMicroConfig};
+pub use decayed::DecayedUMicro;
+pub use ecf::Ecf;
+pub use evolution::{compare_windows, ClusterChange, EvolutionReport};
+pub use horizon::HorizonAnalyzer;
+pub use macrocluster::MacroClustering;

@@ -1,0 +1,87 @@
+//! Offline macro-clustering over uncertain micro-cluster summaries.
+//!
+//! Micro-clusters are an intermediate statistical representation; the
+//! user-facing clusters ("higher level macro-clusters", §II-D) are obtained
+//! by clustering the micro-cluster centroids with a weighted k-means where
+//! each centroid carries the weight of its micro-cluster — exactly the
+//! CluStream offline phase, reused for the uncertain setting.
+
+use crate::ecf::Ecf;
+use ustream_common::AdditiveFeature;
+
+pub use ustream_kmeans::MacroClustering;
+
+/// Runs weighted k-means over `(id, ECF)` pairs; the ECF centroid carries
+/// the cluster's (possibly decayed) weight.
+pub fn macro_cluster_ecfs<'a>(
+    clusters: impl Iterator<Item = (u64, &'a Ecf)>,
+    k: usize,
+    seed: u64,
+) -> MacroClustering {
+    ustream_kmeans::macro_cluster_weighted(
+        clusters.map(|(id, ecf)| (id, ecf.centroid(), ecf.weight())),
+        k,
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ustream_common::UncertainPoint;
+
+    fn ecf_at(x: f64, y: f64, n: usize) -> Ecf {
+        let mut e = Ecf::empty(2);
+        for i in 0..n {
+            e.insert(&UncertainPoint::new(
+                vec![x + (i % 3) as f64 * 0.01, y],
+                vec![0.1, 0.1],
+                i as u64,
+                None,
+            ));
+        }
+        e
+    }
+
+    #[test]
+    fn groups_micro_centroids() {
+        let micro = [(1u64, ecf_at(0.0, 0.0, 5)),
+            (2, ecf_at(0.2, 0.1, 5)),
+            (3, ecf_at(10.0, 10.0, 5)),
+            (4, ecf_at(10.1, 9.9, 5))];
+        let mac = macro_cluster_ecfs(micro.iter().map(|(i, e)| (*i, e)), 2, 7);
+        assert_eq!(mac.k(), 2);
+        assert_eq!(mac.micro_assignments.len(), 4);
+        assert_eq!(mac.macro_of_micro(1), mac.macro_of_micro(2));
+        assert_eq!(mac.macro_of_micro(3), mac.macro_of_micro(4));
+        assert_ne!(mac.macro_of_micro(1), mac.macro_of_micro(3));
+        // Weights: 10 points per side.
+        assert!((mac.weights.iter().sum::<f64>() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn assign_routes_points_to_nearest_macro() {
+        let micro = [(1u64, ecf_at(0.0, 0.0, 4)), (2, ecf_at(10.0, 10.0, 4))];
+        let mac = macro_cluster_ecfs(micro.iter().map(|(i, e)| (*i, e)), 2, 1);
+        let near_origin = mac.assign(&[0.5, -0.5]);
+        let near_ten = mac.assign(&[9.0, 11.0]);
+        assert_ne!(near_origin, near_ten);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_result() {
+        let mac = macro_cluster_ecfs(std::iter::empty(), 3, 0);
+        assert_eq!(mac.k(), 0);
+        assert!(mac.micro_assignments.is_empty());
+    }
+
+    #[test]
+    fn zero_weight_clusters_skipped() {
+        let empty = Ecf::empty(2);
+        let full = ecf_at(1.0, 1.0, 3);
+        let micro = [(1u64, empty), (2, full)];
+        let mac = macro_cluster_ecfs(micro.iter().map(|(i, e)| (*i, e)), 2, 0);
+        assert_eq!(mac.micro_assignments.len(), 1);
+        assert_eq!(mac.micro_assignments[0].0, 2);
+    }
+}

@@ -1,0 +1,144 @@
+//! Engine configuration.
+
+use umicro::UMicroConfig;
+use ustream_snapshot::PyramidConfig;
+
+/// How the novelty detector baselines "ordinary" isolation levels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NoveltyBaseline {
+    /// Running mean of non-alerting isolations (cheap; sensitive to skew).
+    Mean,
+    /// A streaming quantile (P² sketch) of non-alerting isolations —
+    /// robust to heavy-tailed isolation distributions; `q` is typically
+    /// 0.95–0.99.
+    Quantile(f64),
+}
+
+/// Configuration of a [`crate::StreamEngine`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// The clustering configuration (budget, dimensionality, similarity,
+    /// boundary mode).
+    pub umicro: UMicroConfig,
+    /// Pyramidal time-frame geometry for the snapshot store.
+    pub pyramid: PyramidConfig,
+    /// Ticks between snapshots (1 = every tick; larger values trade horizon
+    /// resolution for memory/CPU).
+    pub snapshot_every: u64,
+    /// Optional exponential decay half-life in ticks (§II-E); `None`
+    /// disables decay.
+    pub decay_half_life: Option<f64>,
+    /// Novelty alerting: a record is flagged when its error-corrected
+    /// distance to the nearest micro-cluster exceeds `novelty_factor ×` the
+    /// baseline isolation. `None` disables the (O(k·d)-per-point) monitor.
+    pub novelty_factor: Option<f64>,
+    /// Baseline statistic the factor multiplies.
+    pub novelty_baseline: NoveltyBaseline,
+    /// Capacity of the ingestion channel (backpressure bound).
+    pub channel_capacity: usize,
+    /// Maximum retained (undrained) novelty alerts.
+    pub max_alerts: usize,
+}
+
+impl EngineConfig {
+    /// Defaults: snapshot every tick, no decay, novelty at 8× the running
+    /// isolation level, 4 096-record channel.
+    pub fn new(umicro: UMicroConfig) -> Self {
+        Self {
+            umicro,
+            pyramid: PyramidConfig::default(),
+            snapshot_every: 1,
+            decay_half_life: None,
+            novelty_factor: Some(8.0),
+            novelty_baseline: NoveltyBaseline::Mean,
+            channel_capacity: 4_096,
+            max_alerts: 1_024,
+        }
+    }
+
+    /// Overrides the snapshot cadence.
+    pub fn with_snapshot_every(mut self, ticks: u64) -> Self {
+        assert!(ticks > 0, "snapshot cadence must be positive");
+        self.snapshot_every = ticks;
+        self
+    }
+
+    /// Enables exponential decay.
+    pub fn with_decay_half_life(mut self, half_life: f64) -> Self {
+        assert!(half_life > 0.0, "half-life must be positive");
+        self.decay_half_life = Some(half_life);
+        self
+    }
+
+    /// Overrides (or disables, with `None`) novelty alerting.
+    pub fn with_novelty_factor(mut self, factor: Option<f64>) -> Self {
+        if let Some(f) = factor {
+            assert!(f > 1.0, "novelty factor must exceed 1");
+        }
+        self.novelty_factor = factor;
+        self
+    }
+
+    /// Overrides the pyramid geometry.
+    pub fn with_pyramid(mut self, pyramid: PyramidConfig) -> Self {
+        self.pyramid = pyramid;
+        self
+    }
+
+    /// Switches the novelty baseline to a streaming quantile.
+    pub fn with_novelty_quantile(mut self, q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0, 1)");
+        self.novelty_baseline = NoveltyBaseline::Quantile(q);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> EngineConfig {
+        EngineConfig::new(UMicroConfig::new(8, 2).unwrap())
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = base()
+            .with_snapshot_every(16)
+            .with_decay_half_life(500.0)
+            .with_novelty_factor(Some(5.0));
+        assert_eq!(c.snapshot_every, 16);
+        assert_eq!(c.decay_half_life, Some(500.0));
+        assert_eq!(c.novelty_factor, Some(5.0));
+    }
+
+    #[test]
+    fn novelty_can_be_disabled() {
+        let c = base().with_novelty_factor(None);
+        assert_eq!(c.novelty_factor, None);
+    }
+
+    #[test]
+    fn quantile_baseline_override() {
+        let c = base().with_novelty_quantile(0.99);
+        assert_eq!(c.novelty_baseline, NoveltyBaseline::Quantile(0.99));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0, 1)")]
+    fn bad_quantile_rejected() {
+        let _ = base().with_novelty_quantile(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cadence must be positive")]
+    fn zero_cadence_rejected() {
+        let _ = base().with_snapshot_every(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed 1")]
+    fn tiny_novelty_factor_rejected() {
+        let _ = base().with_novelty_factor(Some(0.5));
+    }
+}

@@ -1,0 +1,503 @@
+//! The engine proper: worker thread, shared state and query API.
+
+use crate::config::{EngineConfig, NoveltyBaseline};
+use crate::report::{EngineReport, NoveltyAlert};
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use umicro::distance::corrected_sq_distance;
+use umicro::{
+    compare_windows, DecayedUMicro, Ecf, EvolutionReport, HorizonAnalyzer, MacroClustering,
+    MicroCluster, UMicro,
+};
+use ustream_common::{Result, Timestamp, UncertainPoint};
+use ustream_snapshot::ClusterSetSnapshot;
+
+enum Command {
+    Point(Box<UncertainPoint>),
+    /// Barrier: reply once every previously pushed point is clustered.
+    Flush(Sender<()>),
+    Shutdown,
+}
+
+/// Either clustering variant behind one interface.
+enum Clusterer {
+    Plain(UMicro),
+    Decayed(DecayedUMicro),
+}
+
+impl Clusterer {
+    fn insert(&mut self, p: &UncertainPoint) -> umicro::InsertOutcome {
+        match self {
+            Clusterer::Plain(a) => a.insert(p),
+            Clusterer::Decayed(a) => a.insert(p),
+        }
+    }
+
+    fn micro_clusters(&self) -> &[MicroCluster] {
+        match self {
+            Clusterer::Plain(a) => a.micro_clusters(),
+            Clusterer::Decayed(a) => a.micro_clusters(),
+        }
+    }
+
+    fn snapshot(&mut self, now: Timestamp) -> ClusterSetSnapshot<Ecf> {
+        match self {
+            Clusterer::Plain(a) => a.snapshot(),
+            Clusterer::Decayed(a) => a.snapshot_at(now),
+        }
+    }
+
+    fn macro_cluster(&mut self, k: usize, seed: u64) -> MacroClustering {
+        match self {
+            Clusterer::Plain(a) => a.macro_cluster(k, seed),
+            Clusterer::Decayed(a) => a.macro_cluster(k, seed),
+        }
+    }
+}
+
+struct State {
+    alg: Clusterer,
+    horizons: HorizonAnalyzer,
+    config: EngineConfig,
+    processed: u64,
+    created: u64,
+    evicted: u64,
+    last_tick: Timestamp,
+    // Novelty tracking.
+    isolation_mean: f64,
+    isolation_quantile: ustream_common::P2Quantile,
+    isolation_samples: u64,
+    alerts: VecDeque<NoveltyAlert>,
+    alerts_raised: u64,
+}
+
+impl State {
+    fn ingest(&mut self, p: &UncertainPoint) {
+        self.processed += 1;
+        if p.timestamp() > self.last_tick {
+            self.last_tick = p.timestamp();
+        }
+
+        // Novelty check before insertion (the cluster set the record met).
+        let isolation = match self.config.novelty_factor {
+            Some(_) if !self.alg.micro_clusters().is_empty() => Some(
+                self.alg
+                    .micro_clusters()
+                    .iter()
+                    .map(|c| corrected_sq_distance(p, &c.ecf))
+                    .fold(f64::INFINITY, f64::min)
+                    .sqrt(),
+            ),
+            _ => None,
+        };
+
+        let out = self.alg.insert(p);
+        if out.created {
+            self.created += 1;
+        }
+        if out.evicted.is_some() {
+            self.evicted += 1;
+        }
+
+        if let (Some(factor), Some(isolation)) = (self.config.novelty_factor, isolation) {
+            let baseline = match self.config.novelty_baseline {
+                NoveltyBaseline::Mean => self.isolation_mean,
+                NoveltyBaseline::Quantile(_) => {
+                    self.isolation_quantile.estimate().unwrap_or(0.0)
+                }
+            };
+            // Warm-up: need a stable baseline before alerting.
+            if self.isolation_samples >= 100 && isolation > factor * baseline.max(1e-12) {
+                self.alerts_raised += 1;
+                self.alerts.push_back(NoveltyAlert {
+                    timestamp: p.timestamp(),
+                    position: self.processed,
+                    isolation,
+                    baseline,
+                    cluster_id: out.cluster_id,
+                });
+                while self.alerts.len() > self.config.max_alerts {
+                    self.alerts.pop_front();
+                }
+            } else {
+                // Only non-alerting records update the baseline, so a burst
+                // of outliers cannot talk the monitor into accepting them.
+                self.isolation_samples += 1;
+                let n = self.isolation_samples as f64;
+                self.isolation_mean += (isolation - self.isolation_mean) / n;
+                self.isolation_quantile.observe(isolation);
+            }
+        }
+
+        if self.processed.is_multiple_of(self.config.snapshot_every) {
+            let now = self.last_tick;
+            let snap = self.alg.snapshot(now);
+            self.horizons.record_snapshot(now, snap);
+        }
+    }
+
+    fn report(&self) -> EngineReport {
+        EngineReport {
+            points_processed: self.processed,
+            live_clusters: self.alg.micro_clusters().len(),
+            clusters_created: self.created,
+            clusters_evicted: self.evicted,
+            snapshots_retained: self.horizons.store().len(),
+            alerts_raised: self.alerts_raised,
+            last_tick: self.last_tick,
+        }
+    }
+}
+
+/// The embeddable analytics engine. See the crate docs for an example.
+///
+/// All query methods are callable from any thread while ingestion is in
+/// flight; they take the state lock briefly and never block on the channel.
+pub struct StreamEngine {
+    state: Arc<Mutex<State>>,
+    tx: Sender<Command>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl StreamEngine {
+    /// Starts the worker thread.
+    pub fn start(config: EngineConfig) -> Self {
+        let alg = match config.decay_half_life {
+            Some(hl) => Clusterer::Decayed(DecayedUMicro::with_half_life(
+                config.umicro.clone(),
+                hl,
+            )),
+            None => Clusterer::Plain(UMicro::new(config.umicro.clone())),
+        };
+        let state = Arc::new(Mutex::new(State {
+            alg,
+            horizons: HorizonAnalyzer::new(config.pyramid),
+            processed: 0,
+            created: 0,
+            evicted: 0,
+            last_tick: 0,
+            isolation_mean: 0.0,
+            isolation_quantile: ustream_common::P2Quantile::new(
+                match config.novelty_baseline {
+                    NoveltyBaseline::Quantile(q) => q,
+                    NoveltyBaseline::Mean => 0.95, // unused but kept warm
+                },
+            ),
+            isolation_samples: 0,
+            alerts: VecDeque::new(),
+            alerts_raised: 0,
+            config,
+        }));
+
+        let (tx, rx) = bounded::<Command>(state.lock().config.channel_capacity);
+        let worker_state = Arc::clone(&state);
+        let handle = std::thread::Builder::new()
+            .name("ustream-engine".into())
+            .spawn(move || {
+                for cmd in rx {
+                    match cmd {
+                        Command::Point(p) => worker_state.lock().ingest(&p),
+                        Command::Flush(reply) => {
+                            // Everything pushed before the flush has been
+                            // drained from the channel by now.
+                            let _ = reply.send(());
+                        }
+                        Command::Shutdown => break,
+                    }
+                }
+            })
+            .expect("spawn engine worker");
+
+        Self {
+            state,
+            tx,
+            worker: Mutex::new(Some(handle)),
+        }
+    }
+
+    /// Enqueues one record for clustering (blocks only on backpressure).
+    pub fn push(&self, point: UncertainPoint) {
+        self.tx
+            .send(Command::Point(Box::new(point)))
+            .expect("engine worker alive");
+    }
+
+    /// Blocks until every previously pushed record has been clustered.
+    pub fn flush(&self) {
+        let (reply_tx, reply_rx) = bounded(1);
+        if self.tx.send(Command::Flush(reply_tx)).is_ok() {
+            let _ = reply_rx.recv();
+        }
+    }
+
+    /// Records processed so far.
+    pub fn points_processed(&self) -> u64 {
+        self.state.lock().processed
+    }
+
+    /// Snapshot of the live micro-clusters (cloned out of the engine).
+    pub fn micro_clusters(&self) -> Vec<MicroCluster> {
+        self.state.lock().alg.micro_clusters().to_vec()
+    }
+
+    /// Macro-clusters of the live state.
+    pub fn macro_clusters(&self, k: usize, seed: u64) -> MacroClustering {
+        self.state.lock().alg.macro_cluster(k, seed)
+    }
+
+    /// Micro-cluster statistics of the trailing window of `h` ticks.
+    pub fn horizon_clusters(&self, h: u64) -> Result<ClusterSetSnapshot<Ecf>> {
+        let state = self.state.lock();
+        let now = state.last_tick;
+        state.horizons.horizon_clusters(now, h)
+    }
+
+    /// Macro-clusters of the trailing window of `h` ticks.
+    pub fn horizon_macro_clusters(&self, h: u64, k: usize, seed: u64) -> Result<MacroClustering> {
+        let state = self.state.lock();
+        let now = state.last_tick;
+        state.horizons.macro_cluster_horizon(now, h, k, seed)
+    }
+
+    /// Evolution between the two most recent windows of `h` ticks each:
+    /// `(now − 2h, now − h]` vs `(now − h, now]`.
+    pub fn evolution(&self, h: u64, min_weight: f64) -> Result<EvolutionReport> {
+        let state = self.state.lock();
+        let now = state.last_tick;
+        let recent = state.horizons.horizon_clusters(now, h)?;
+        let earlier_end = now.saturating_sub(h);
+        // When the earlier window would reach past the stream origin, the
+        // whole prefix up to `earlier_end` *is* that window.
+        let earlier = match state.horizons.horizon_clusters(earlier_end, h) {
+            Ok(w) => w,
+            Err(_) => state
+                .horizons
+                .clusters_at(earlier_end)
+                .cloned()
+                .ok_or(ustream_common::UStreamError::HorizonUnavailable { requested: h })?,
+        };
+        Ok(compare_windows(&earlier, &recent, min_weight))
+    }
+
+    /// Drains the pending novelty alerts.
+    pub fn drain_alerts(&self) -> Vec<NoveltyAlert> {
+        self.state.lock().alerts.drain(..).collect()
+    }
+
+    /// Current run statistics (without stopping the engine).
+    pub fn stats(&self) -> EngineReport {
+        self.state.lock().report()
+    }
+
+    /// Stops the worker and returns the final accounting. Subsequent calls
+    /// return the report of the already-stopped engine.
+    pub fn shutdown(&self) -> EngineReport {
+        let _ = self.tx.send(Command::Shutdown);
+        if let Some(handle) = self.worker.lock().take() {
+            let _ = handle.join();
+        }
+        self.state.lock().report()
+    }
+}
+
+impl Drop for StreamEngine {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Command::Shutdown);
+        if let Some(handle) = self.worker.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use umicro::UMicroConfig;
+
+    fn pt(x: f64, y: f64, t: Timestamp) -> UncertainPoint {
+        UncertainPoint::new(vec![x, y], vec![0.3, 0.3], t, None)
+    }
+
+    fn engine(n_micro: usize) -> StreamEngine {
+        StreamEngine::start(EngineConfig::new(UMicroConfig::new(n_micro, 2).unwrap()))
+    }
+
+    #[test]
+    fn ingests_and_counts() {
+        let e = engine(8);
+        for t in 1..=500u64 {
+            let x = if t % 2 == 0 { 0.0 } else { 20.0 };
+            e.push(pt(x, x, t));
+        }
+        e.flush();
+        assert_eq!(e.points_processed(), 500);
+        assert!(!e.micro_clusters().is_empty());
+        let report = e.shutdown();
+        assert_eq!(report.points_processed, 500);
+        assert_eq!(report.last_tick, 500);
+        assert!(report.snapshots_retained > 0);
+    }
+
+    #[test]
+    fn macro_query_during_ingestion() {
+        let e = engine(8);
+        for t in 1..=200u64 {
+            let x = if t % 2 == 0 { 0.0 } else { 30.0 };
+            e.push(pt(x, -x, t));
+        }
+        e.flush();
+        let mac = e.macro_clusters(2, 3);
+        assert_eq!(mac.k(), 2);
+        let mut lo = false;
+        let mut hi = false;
+        for c in &mac.centroids {
+            if c[0] < 15.0 {
+                lo = true;
+            } else {
+                hi = true;
+            }
+        }
+        assert!(lo && hi, "centroids: {:?}", mac.centroids);
+    }
+
+    #[test]
+    fn horizon_query_sees_recent_regime() {
+        let e = engine(8);
+        for t in 1..=1_024u64 {
+            let x = if t <= 768 { 0.0 } else { 50.0 };
+            e.push(pt(x, 0.0, t));
+        }
+        e.flush();
+        let window = e.horizon_clusters(128).unwrap();
+        let total = window.total_count();
+        let new_mass: f64 = window
+            .clusters
+            .values()
+            .filter(|c| ustream_common::AdditiveFeature::centroid(*c)[0] > 25.0)
+            .map(ustream_common::AdditiveFeature::count)
+            .sum();
+        assert!(new_mass / total > 0.9, "{new_mass}/{total}");
+        e.shutdown();
+    }
+
+    #[test]
+    fn evolution_detects_regime_change() {
+        let e = engine(12);
+        for t in 1..=1_024u64 {
+            let x = if t <= 512 { 0.0 } else { 60.0 };
+            e.push(pt(x, 0.0, t));
+        }
+        e.flush();
+        // Windows (0,512] vs (512,1024]: complete replacement.
+        let report = e.evolution(512, 1.0).unwrap();
+        assert!(report.emerged() > 0, "no emerged clusters: {report:?}");
+        assert!(
+            report.turbulence() > 0.5,
+            "regime change should be turbulent: {}",
+            report.turbulence()
+        );
+        e.shutdown();
+    }
+
+    #[test]
+    fn novelty_alert_fires_on_outlier() {
+        let e = StreamEngine::start(
+            EngineConfig::new(UMicroConfig::new(8, 2).unwrap())
+                .with_novelty_factor(Some(4.0)),
+        );
+        // Stable traffic, then one wild outlier.
+        for t in 1..=400u64 {
+            let x = (t % 7) as f64 * 0.1;
+            e.push(pt(x, -x, t));
+        }
+        e.push(pt(10_000.0, -10_000.0, 401));
+        for t in 402..=420u64 {
+            e.push(pt(0.2, -0.2, t));
+        }
+        e.flush();
+        let alerts = e.drain_alerts();
+        assert!(
+            alerts.iter().any(|a| a.timestamp == 401),
+            "outlier not flagged: {alerts:?}"
+        );
+        let report = e.shutdown();
+        assert!(report.alerts_raised >= 1);
+    }
+
+    #[test]
+    fn quantile_baseline_novelty_alerting() {
+        let e = StreamEngine::start(
+            EngineConfig::new(UMicroConfig::new(8, 2).unwrap())
+                .with_novelty_factor(Some(4.0))
+                .with_novelty_quantile(0.95),
+        );
+        for t in 1..=400u64 {
+            let x = (t % 7) as f64 * 0.1;
+            e.push(pt(x, -x, t));
+        }
+        e.push(pt(5_000.0, -5_000.0, 401));
+        e.flush();
+        let alerts = e.drain_alerts();
+        assert!(
+            alerts.iter().any(|a| a.timestamp == 401),
+            "quantile baseline missed the outlier: {alerts:?}"
+        );
+        // The quantile baseline is far sturdier than the mean against a
+        // heavy tail: regular traffic raised no alerts.
+        assert!(alerts.len() <= 3, "too many false alerts: {}", alerts.len());
+        e.shutdown();
+    }
+
+    #[test]
+    fn decayed_engine_runs() {
+        let e = StreamEngine::start(
+            EngineConfig::new(UMicroConfig::new(8, 2).unwrap())
+                .with_decay_half_life(200.0)
+                .with_snapshot_every(8),
+        );
+        for t in 1..=300u64 {
+            e.push(pt((t % 3) as f64, 0.0, t));
+        }
+        e.flush();
+        let stats = e.stats();
+        assert_eq!(stats.points_processed, 300);
+        // Snapshot cadence of 8 → roughly 300/8 recordings (retention caps).
+        assert!(stats.snapshots_retained > 0);
+        e.shutdown();
+    }
+
+    #[test]
+    fn multi_producer_ingestion() {
+        let e = Arc::new(engine(16));
+        let mut handles = Vec::new();
+        for producer in 0..4u64 {
+            let e = Arc::clone(&e);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..250u64 {
+                    let t = producer * 250 + i + 1;
+                    let x = (producer * 25) as f64;
+                    e.push(pt(x, x, t));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        e.flush();
+        assert_eq!(e.points_processed(), 1_000);
+        let report = e.shutdown();
+        assert_eq!(report.points_processed, 1_000);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let e = engine(4);
+        e.push(pt(0.0, 0.0, 1));
+        let a = e.shutdown();
+        let b = e.shutdown();
+        assert_eq!(a.points_processed, b.points_processed);
+    }
+}

@@ -1,0 +1,46 @@
+//! # ustream-engine
+//!
+//! A high-level, thread-backed analytics engine over the UMicro algorithm —
+//! the "interactive and online clustering in a data stream environment" the
+//! paper's §II-D motivates, packaged as a component an application can
+//! embed:
+//!
+//! * **concurrent ingestion** — producers push `(X, ψ(X))` records through
+//!   a bounded crossbeam channel; a dedicated worker thread runs the
+//!   one-pass clustering so producers never block on clustering work
+//!   (beyond backpressure);
+//! * **pyramidal snapshots** — the worker files micro-cluster snapshots
+//!   into the pyramidal time frame at a configurable cadence;
+//! * **interactive queries** — at any moment, any thread can ask for the
+//!   live micro-clusters, macro-clusters, an arbitrary-horizon view, or an
+//!   [`umicro::EvolutionReport`] comparing two adjacent windows;
+//! * **novelty alerts** — records whose error-corrected distance to every
+//!   known cluster exceeds a configurable multiple of the running isolation
+//!   level are surfaced as [`NoveltyAlert`]s.
+//!
+//! ```
+//! use ustream_engine::{EngineConfig, StreamEngine};
+//! use umicro::UMicroConfig;
+//! use ustream_common::UncertainPoint;
+//!
+//! let config = EngineConfig::new(UMicroConfig::new(16, 2).unwrap());
+//! let engine = StreamEngine::start(config);
+//! for t in 1..=100u64 {
+//!     let x = if t % 2 == 0 { 0.0 } else { 8.0 };
+//!     engine.push(UncertainPoint::new(vec![x, -x], vec![0.3, 0.3], t, None));
+//! }
+//! engine.flush();
+//! assert_eq!(engine.points_processed(), 100);
+//! let macros = engine.macro_clusters(2, 7);
+//! assert_eq!(macros.k(), 2);
+//! let report = engine.shutdown();
+//! assert_eq!(report.points_processed, 100);
+//! ```
+
+mod config;
+mod engine;
+mod report;
+
+pub use config::{EngineConfig, NoveltyBaseline};
+pub use engine::StreamEngine;
+pub use report::{EngineReport, NoveltyAlert};

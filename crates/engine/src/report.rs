@@ -1,0 +1,55 @@
+//! Alert and shutdown-report types.
+
+use ustream_common::Timestamp;
+
+/// A record flagged as unlike anything the clustering currently knows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoveltyAlert {
+    /// Arrival tick of the offending record.
+    pub timestamp: Timestamp,
+    /// Ordinal position in the stream (1-based).
+    pub position: u64,
+    /// Error-corrected distance to the nearest micro-cluster at arrival.
+    pub isolation: f64,
+    /// The running mean isolation the record was compared against.
+    pub baseline: f64,
+    /// Id of the micro-cluster the record ended up in.
+    pub cluster_id: u64,
+}
+
+/// Final accounting returned by [`crate::StreamEngine::shutdown`].
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Total records processed.
+    pub points_processed: u64,
+    /// Micro-clusters alive at shutdown.
+    pub live_clusters: usize,
+    /// Micro-clusters created over the run.
+    pub clusters_created: u64,
+    /// Micro-clusters evicted over the run.
+    pub clusters_evicted: u64,
+    /// Snapshots retained in the pyramidal store.
+    pub snapshots_retained: usize,
+    /// Novelty alerts raised (including drained ones).
+    pub alerts_raised: u64,
+    /// Last stream tick observed.
+    pub last_tick: Timestamp,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alert_fields_accessible() {
+        let a = NoveltyAlert {
+            timestamp: 10,
+            position: 3,
+            isolation: 42.0,
+            baseline: 2.0,
+            cluster_id: 7,
+        };
+        assert_eq!(a.timestamp, 10);
+        assert!(a.isolation > a.baseline);
+    }
+}

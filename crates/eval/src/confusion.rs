@@ -1,0 +1,142 @@
+//! Cluster × class contingency counts.
+
+use std::collections::BTreeMap;
+use ustream_common::ClassLabel;
+
+/// Sparse contingency table: for every cluster id, how many points of each
+/// ground-truth class it received.
+#[derive(Debug, Clone, Default)]
+pub struct ContingencyTable {
+    counts: BTreeMap<u64, BTreeMap<ClassLabel, u64>>,
+    total: u64,
+}
+
+impl ContingencyTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one point of class `label` landing in cluster `cluster_id`.
+    pub fn observe(&mut self, cluster_id: u64, label: ClassLabel) {
+        self.observe_many(cluster_id, label, 1);
+    }
+
+    /// Records `n` points at once (bulk attribution, e.g. when remapping a
+    /// micro-level table onto macro clusters).
+    pub fn observe_many(&mut self, cluster_id: u64, label: ClassLabel, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self
+            .counts
+            .entry(cluster_id)
+            .or_default()
+            .entry(label)
+            .or_insert(0) += n;
+        self.total += n;
+    }
+
+    /// Forgets a cluster (e.g. after eviction) — its points no longer count.
+    pub fn remove_cluster(&mut self, cluster_id: u64) {
+        if let Some(hist) = self.counts.remove(&cluster_id) {
+            let removed: u64 = hist.values().sum();
+            self.total -= removed;
+        }
+    }
+
+    /// Clears everything (start of a new evaluation segment).
+    pub fn reset(&mut self) {
+        self.counts.clear();
+        self.total = 0;
+    }
+
+    /// Total observed points.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of non-empty clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Iterates `(cluster_id, class histogram)`.
+    pub fn clusters(&self) -> impl Iterator<Item = (u64, &BTreeMap<ClassLabel, u64>)> {
+        self.counts.iter().map(|(id, h)| (*id, h))
+    }
+
+    /// Per-class totals across all clusters.
+    pub fn class_totals(&self) -> BTreeMap<ClassLabel, u64> {
+        let mut out: BTreeMap<ClassLabel, u64> = BTreeMap::new();
+        for hist in self.counts.values() {
+            for (label, n) in hist {
+                *out.entry(*label).or_insert(0) += n;
+            }
+        }
+        out
+    }
+
+    /// Per-cluster totals.
+    pub fn cluster_totals(&self) -> BTreeMap<u64, u64> {
+        self.counts
+            .iter()
+            .map(|(id, h)| (*id, h.values().sum()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u32) -> ClassLabel {
+        ClassLabel(i)
+    }
+
+    #[test]
+    fn observe_and_totals() {
+        let mut t = ContingencyTable::new();
+        t.observe(1, l(0));
+        t.observe(1, l(0));
+        t.observe(1, l(1));
+        t.observe(2, l(1));
+        assert_eq!(t.total(), 4);
+        assert_eq!(t.cluster_count(), 2);
+        assert_eq!(t.class_totals()[&l(0)], 2);
+        assert_eq!(t.class_totals()[&l(1)], 2);
+        assert_eq!(t.cluster_totals()[&1], 3);
+    }
+
+    #[test]
+    fn remove_cluster_updates_total() {
+        let mut t = ContingencyTable::new();
+        t.observe(1, l(0));
+        t.observe(2, l(1));
+        t.observe(2, l(1));
+        t.remove_cluster(2);
+        assert_eq!(t.total(), 1);
+        assert_eq!(t.cluster_count(), 1);
+        // Removing again is a no-op.
+        t.remove_cluster(2);
+        assert_eq!(t.total(), 1);
+    }
+
+    #[test]
+    fn observe_many_bulk() {
+        let mut t = ContingencyTable::new();
+        t.observe_many(1, l(0), 5);
+        t.observe_many(1, l(0), 0);
+        assert_eq!(t.total(), 5);
+        assert_eq!(t.class_totals()[&l(0)], 5);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut t = ContingencyTable::new();
+        t.observe(1, l(0));
+        t.reset();
+        assert_eq!(t.total(), 0);
+        assert_eq!(t.cluster_count(), 0);
+    }
+}

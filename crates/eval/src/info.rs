@@ -1,0 +1,128 @@
+//! Information-theoretic clustering quality: entropy and normalized mutual
+//! information (NMI). Purity rewards many tiny clusters; NMI penalises
+//! over-fragmentation, so EXPERIMENTS.md reports both.
+
+use crate::confusion::ContingencyTable;
+
+/// Shannon entropy (nats) of a count distribution.
+pub fn entropy(counts: impl Iterator<Item = u64>) -> f64 {
+    let counts: Vec<u64> = counts.filter(|c| *c > 0).collect();
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total = total as f64;
+    -counts
+        .iter()
+        .map(|&c| {
+            let p = c as f64 / total;
+            p * p.ln()
+        })
+        .sum::<f64>()
+}
+
+/// Normalized mutual information between the cluster assignment and the
+/// class labels: `NMI = 2·I(C; K) / (H(C) + H(K))`, in `[0, 1]`.
+///
+/// Returns `None` for an empty table; 1.0 when either partition has zero
+/// entropy *and* the table is consistent with perfect agreement (single
+/// cluster + single class), else the standard formula.
+pub fn normalized_mutual_information(table: &ContingencyTable) -> Option<f64> {
+    let n = table.total();
+    if n == 0 {
+        return None;
+    }
+    let n = n as f64;
+    let cluster_totals = table.cluster_totals();
+    let class_totals = table.class_totals();
+
+    let h_cluster = entropy(cluster_totals.values().copied());
+    let h_class = entropy(class_totals.values().copied());
+    if h_cluster + h_class == 0.0 {
+        // One cluster and one class: trivially perfect agreement.
+        return Some(1.0);
+    }
+
+    let mut mi = 0.0;
+    for (cid, hist) in table.clusters() {
+        let nc = cluster_totals[&cid] as f64;
+        for (label, &count) in hist {
+            if count == 0 {
+                continue;
+            }
+            let nk = class_totals[label] as f64;
+            let nij = count as f64;
+            mi += (nij / n) * ((n * nij) / (nc * nk)).ln();
+        }
+    }
+    Some((2.0 * mi / (h_cluster + h_class)).clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ustream_common::ClassLabel;
+
+    fn l(i: u32) -> ClassLabel {
+        ClassLabel(i)
+    }
+
+    #[test]
+    fn entropy_basics() {
+        assert_eq!(entropy([].into_iter()), 0.0);
+        assert_eq!(entropy([10].into_iter()), 0.0);
+        // Uniform over 2: ln 2.
+        assert!((entropy([5, 5].into_iter()) - (2.0f64).ln()).abs() < 1e-12);
+        // Skewed distribution has lower entropy than uniform.
+        assert!(entropy([9, 1].into_iter()) < entropy([5, 5].into_iter()));
+    }
+
+    #[test]
+    fn nmi_perfect_agreement() {
+        let mut t = ContingencyTable::new();
+        for _ in 0..10 {
+            t.observe(1, l(0));
+            t.observe(2, l(1));
+        }
+        assert!((normalized_mutual_information(&t).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nmi_independent_partitions_near_zero() {
+        let mut t = ContingencyTable::new();
+        // Every cluster sees both classes equally: MI = 0.
+        for _ in 0..10 {
+            t.observe(1, l(0));
+            t.observe(1, l(1));
+            t.observe(2, l(0));
+            t.observe(2, l(1));
+        }
+        assert!(normalized_mutual_information(&t).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn nmi_penalises_fragmentation_less_than_purity_rewards_it() {
+        // Splitting a pure class into many singleton clusters keeps purity
+        // at 1.0 but drops NMI below 1.0.
+        let mut t = ContingencyTable::new();
+        for i in 0..10u64 {
+            t.observe(i, l(0));
+        }
+        for i in 10..20u64 {
+            t.observe(i, l(1));
+        }
+        let nmi = normalized_mutual_information(&t).unwrap();
+        assert!(nmi < 1.0, "fragmented NMI should be < 1: {nmi}");
+        assert!(nmi > 0.0);
+    }
+
+    #[test]
+    fn nmi_empty_and_trivial() {
+        let t = ContingencyTable::new();
+        assert_eq!(normalized_mutual_information(&t), None);
+        let mut t = ContingencyTable::new();
+        t.observe(1, l(0));
+        t.observe(1, l(0));
+        assert_eq!(normalized_mutual_information(&t), Some(1.0));
+    }
+}

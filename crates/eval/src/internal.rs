@@ -1,0 +1,173 @@
+//! Label-free (internal) clustering quality: simplified silhouette and the
+//! Davies–Bouldin index.
+//!
+//! The paper evaluates with labelled purity, but a production library needs
+//! internal metrics for streams without ground truth. Both metrics here
+//! operate on centroid summaries (micro- or macro-clusters) rather than raw
+//! points, which is the only thing a one-pass algorithm retains.
+
+use ustream_common::point::sq_euclidean;
+
+/// A weighted cluster summary for internal metrics: centroid, RMS radius
+/// and weight.
+#[derive(Debug, Clone)]
+pub struct ClusterSummary {
+    /// Cluster centroid.
+    pub centroid: Vec<f64>,
+    /// RMS deviation of members about the centroid.
+    pub radius: f64,
+    /// Number of points (or decayed weight).
+    pub weight: f64,
+}
+
+impl ClusterSummary {
+    /// Convenience constructor.
+    pub fn new(centroid: Vec<f64>, radius: f64, weight: f64) -> Self {
+        debug_assert!(radius >= 0.0 && weight >= 0.0);
+        Self {
+            centroid,
+            radius,
+            weight,
+        }
+    }
+}
+
+/// Simplified silhouette over cluster summaries: for each cluster, compare
+/// its radius `a` (intra-cluster cohesion proxy) with the distance `b` to
+/// the nearest other centroid; silhouette = `(b − a)/max(a, b)`, averaged
+/// with cluster weights. Result in `[−1, 1]`, higher is better-separated.
+///
+/// Returns `None` with fewer than two clusters.
+pub fn simplified_silhouette(clusters: &[ClusterSummary]) -> Option<f64> {
+    if clusters.len() < 2 {
+        return None;
+    }
+    let mut acc = 0.0;
+    let mut weight = 0.0;
+    for (i, c) in clusters.iter().enumerate() {
+        if c.weight <= 0.0 {
+            continue;
+        }
+        let b = clusters
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, o)| sq_euclidean(&c.centroid, &o.centroid))
+            .fold(f64::INFINITY, f64::min)
+            .sqrt();
+        let a = c.radius;
+        let denom = a.max(b);
+        let s = if denom > 0.0 { (b - a) / denom } else { 0.0 };
+        acc += c.weight * s;
+        weight += c.weight;
+    }
+    if weight <= 0.0 {
+        None
+    } else {
+        Some(acc / weight)
+    }
+}
+
+/// Davies–Bouldin index over cluster summaries:
+/// `DB = (1/k) Σ_i max_{j≠i} (r_i + r_j) / d(c_i, c_j)`.
+/// Lower is better; 0 for perfectly separated point clusters.
+///
+/// Returns `None` with fewer than two clusters; coincident centroids yield
+/// `f64::INFINITY` contributions (maximally confusable).
+pub fn davies_bouldin(clusters: &[ClusterSummary]) -> Option<f64> {
+    let live: Vec<&ClusterSummary> = clusters.iter().filter(|c| c.weight > 0.0).collect();
+    if live.len() < 2 {
+        return None;
+    }
+    let mut acc = 0.0;
+    for (i, c) in live.iter().enumerate() {
+        let mut worst: f64 = 0.0;
+        for (j, o) in live.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let d = sq_euclidean(&c.centroid, &o.centroid).sqrt();
+            let ratio = if d > 0.0 {
+                (c.radius + o.radius) / d
+            } else if c.radius + o.radius > 0.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            };
+            worst = worst.max(ratio);
+        }
+        acc += worst;
+    }
+    Some(acc / live.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(x: f64, y: f64, r: f64, w: f64) -> ClusterSummary {
+        ClusterSummary::new(vec![x, y], r, w)
+    }
+
+    #[test]
+    fn well_separated_scores_high_silhouette() {
+        let tight = vec![
+            summary(0.0, 0.0, 0.1, 10.0),
+            summary(100.0, 0.0, 0.1, 10.0),
+        ];
+        let s = simplified_silhouette(&tight).unwrap();
+        assert!(s > 0.99, "tight separation should be ~1: {s}");
+    }
+
+    #[test]
+    fn overlapping_scores_low_silhouette() {
+        let blurred = vec![
+            summary(0.0, 0.0, 5.0, 10.0),
+            summary(1.0, 0.0, 5.0, 10.0),
+        ];
+        let s = simplified_silhouette(&blurred).unwrap();
+        assert!(s < 0.0, "overlap should score negative: {s}");
+    }
+
+    #[test]
+    fn silhouette_ranking_matches_geometry() {
+        let good = vec![summary(0.0, 0.0, 0.5, 5.0), summary(10.0, 0.0, 0.5, 5.0)];
+        let bad = vec![summary(0.0, 0.0, 3.0, 5.0), summary(4.0, 0.0, 3.0, 5.0)];
+        assert!(simplified_silhouette(&good).unwrap() > simplified_silhouette(&bad).unwrap());
+    }
+
+    #[test]
+    fn silhouette_needs_two_clusters() {
+        assert_eq!(simplified_silhouette(&[summary(0.0, 0.0, 1.0, 1.0)]), None);
+        assert_eq!(simplified_silhouette(&[]), None);
+    }
+
+    #[test]
+    fn davies_bouldin_lower_for_better_clusterings() {
+        let good = vec![summary(0.0, 0.0, 0.5, 5.0), summary(10.0, 0.0, 0.5, 5.0)];
+        let bad = vec![summary(0.0, 0.0, 3.0, 5.0), summary(4.0, 0.0, 3.0, 5.0)];
+        let db_good = davies_bouldin(&good).unwrap();
+        let db_bad = davies_bouldin(&bad).unwrap();
+        assert!(db_good < db_bad, "good {db_good} vs bad {db_bad}");
+        assert!((db_good - 0.1).abs() < 1e-9); // (0.5+0.5)/10
+    }
+
+    #[test]
+    fn davies_bouldin_coincident_centroids_infinite() {
+        let degenerate = vec![summary(1.0, 1.0, 0.5, 2.0), summary(1.0, 1.0, 0.5, 2.0)];
+        assert_eq!(davies_bouldin(&degenerate), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn zero_weight_clusters_skipped() {
+        let clusters = vec![
+            summary(0.0, 0.0, 0.2, 5.0),
+            summary(50.0, 0.0, 0.2, 5.0),
+            summary(25.0, 25.0, 99.0, 0.0), // ghost cluster
+        ];
+        let s = simplified_silhouette(&clusters).unwrap();
+        assert!(s > 0.9);
+        let db = davies_bouldin(&clusters).unwrap();
+        assert!(db < 0.1);
+    }
+}

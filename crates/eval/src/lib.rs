@@ -1,0 +1,32 @@
+//! # ustream-eval
+//!
+//! Evaluation suite for stream clustering:
+//!
+//! * [`ClusterPurity`] — the paper's quality metric: "the percentage
+//!   presence of the dominant class label in the different clusters ...
+//!   averaged over all clusters";
+//! * [`ContingencyTable`] — cluster × class counts underlying purity, NMI
+//!   and the adjusted Rand index;
+//! * [`ThroughputMeter`] — points/second over a trailing window, matching
+//!   the paper's "average number of points processed per second in the last
+//!   2 seconds";
+//! * [`ProgressionTracker`] — checkpointed purity along the stream
+//!   (x-axis of Figures 2–4);
+//! * [`ssq`] — within-cluster sum of squares diagnostics.
+
+pub mod confusion;
+pub mod info;
+pub mod internal;
+pub mod progression;
+pub mod purity;
+pub mod rand_index;
+pub mod ssq;
+pub mod throughput;
+
+pub use confusion::ContingencyTable;
+pub use info::{entropy, normalized_mutual_information};
+pub use internal::{davies_bouldin, simplified_silhouette, ClusterSummary};
+pub use progression::{ProgressionPoint, ProgressionTracker};
+pub use purity::ClusterPurity;
+pub use rand_index::adjusted_rand_index;
+pub use throughput::ThroughputMeter;

@@ -1,0 +1,160 @@
+//! Checkpointed purity along the stream — the x-axis of Figures 2–4.
+//!
+//! The tracker accumulates (cluster, class) observations and, every
+//! `checkpoint_interval` points, records the purity of the segment since
+//! the previous checkpoint and starts a fresh segment. Segment-local purity
+//! is what makes the progression curves meaningful on evolving streams: a
+//! cluster that was pure an hour ago but is now absorbing a different class
+//! should show up as a drop *now*.
+
+use crate::confusion::ContingencyTable;
+use crate::purity::purity_of;
+use ustream_common::ClassLabel;
+
+/// One recorded checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgressionPoint {
+    /// Stream position (total points processed when the checkpoint fired).
+    pub points: u64,
+    /// Segment purity at this checkpoint (unweighted over clusters).
+    pub purity: f64,
+    /// Number of distinct clusters that received points in the segment.
+    pub clusters: usize,
+}
+
+/// Accumulates per-segment purity checkpoints.
+#[derive(Debug, Clone)]
+pub struct ProgressionTracker {
+    interval: u64,
+    seen: u64,
+    segment: ContingencyTable,
+    history: Vec<ProgressionPoint>,
+}
+
+impl ProgressionTracker {
+    /// Tracker that checkpoints every `interval` points.
+    ///
+    /// # Panics
+    /// Panics if `interval` is zero.
+    pub fn new(interval: u64) -> Self {
+        assert!(interval > 0, "checkpoint interval must be positive");
+        Self {
+            interval,
+            seen: 0,
+            segment: ContingencyTable::new(),
+            history: Vec::new(),
+        }
+    }
+
+    /// Records one labelled point; unlabelled points still advance the
+    /// stream position (pass `None`).
+    pub fn observe(&mut self, cluster_id: u64, label: Option<ClassLabel>) {
+        self.seen += 1;
+        if let Some(l) = label {
+            self.segment.observe(cluster_id, l);
+        }
+        if self.seen.is_multiple_of(self.interval) {
+            self.checkpoint();
+        }
+    }
+
+    /// Forces a checkpoint now (used at stream end for the partial tail).
+    pub fn checkpoint(&mut self) {
+        if let Some(purity) = purity_of(&self.segment) {
+            self.history.push(ProgressionPoint {
+                points: self.seen,
+                purity,
+                clusters: self.segment.cluster_count(),
+            });
+        }
+        self.segment.reset();
+    }
+
+    /// Recorded checkpoints so far.
+    pub fn history(&self) -> &[ProgressionPoint] {
+        &self.history
+    }
+
+    /// Points observed so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Mean purity across all recorded checkpoints (the "accuracy over the
+    /// entire data stream" of Figures 5–7).
+    pub fn mean_purity(&self) -> Option<f64> {
+        if self.history.is_empty() {
+            return None;
+        }
+        Some(self.history.iter().map(|p| p.purity).sum::<f64>() / self.history.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u32) -> ClassLabel {
+        ClassLabel(i)
+    }
+
+    #[test]
+    fn checkpoints_fire_on_interval() {
+        let mut t = ProgressionTracker::new(10);
+        for i in 0..35u64 {
+            t.observe(i % 2, Some(l((i % 2) as u32)));
+        }
+        assert_eq!(t.history().len(), 3);
+        assert_eq!(t.history()[0].points, 10);
+        assert_eq!(t.history()[2].points, 30);
+        assert_eq!(t.seen(), 35);
+        // Pure assignment → purity 1 at every checkpoint.
+        assert!(t.history().iter().all(|p| (p.purity - 1.0).abs() < 1e-12));
+        assert_eq!(t.mean_purity(), Some(1.0));
+    }
+
+    #[test]
+    fn final_checkpoint_flushes_tail() {
+        let mut t = ProgressionTracker::new(100);
+        for _ in 0..5 {
+            t.observe(1, Some(l(0)));
+        }
+        assert!(t.history().is_empty());
+        t.checkpoint();
+        assert_eq!(t.history().len(), 1);
+        assert_eq!(t.history()[0].points, 5);
+    }
+
+    #[test]
+    fn segments_are_independent() {
+        let mut t = ProgressionTracker::new(4);
+        // Segment 1: pure. Segment 2: 50/50 in one cluster.
+        for _ in 0..4 {
+            t.observe(1, Some(l(0)));
+        }
+        for i in 0..4u64 {
+            t.observe(1, Some(l((i % 2) as u32)));
+        }
+        assert_eq!(t.history().len(), 2);
+        assert!((t.history()[0].purity - 1.0).abs() < 1e-12);
+        assert!((t.history()[1].purity - 0.5).abs() < 1e-12);
+        assert_eq!(t.mean_purity(), Some(0.75));
+    }
+
+    #[test]
+    fn unlabelled_points_advance_position_only() {
+        let mut t = ProgressionTracker::new(3);
+        t.observe(1, None);
+        t.observe(1, None);
+        t.observe(1, None);
+        // Checkpoint fired but had no labelled data → no history entry.
+        assert!(t.history().is_empty());
+        assert_eq!(t.seen(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_panics() {
+        let _ = ProgressionTracker::new(0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Cluster purity — the paper's accuracy metric.
+//!
+//! "We computed the percentage presence of the dominant class label in the
+//! different clusters and averaged them over all clusters. We refer to this
+//! measure as *cluster purity*."
+//!
+//! Note the *unweighted* average over clusters (not over points): a tiny
+//! impure cluster drags the score as much as a huge one, matching the
+//! paper's definition.
+
+use crate::confusion::ContingencyTable;
+use ustream_common::ClassLabel;
+
+/// Streaming purity accumulator built on a [`ContingencyTable`].
+#[derive(Debug, Clone, Default)]
+pub struct ClusterPurity {
+    table: ContingencyTable,
+}
+
+impl ClusterPurity {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one labelled point landing in a cluster.
+    pub fn observe(&mut self, cluster_id: u64, label: ClassLabel) {
+        self.table.observe(cluster_id, label);
+    }
+
+    /// Forgets an evicted cluster.
+    pub fn remove_cluster(&mut self, cluster_id: u64) {
+        self.table.remove_cluster(cluster_id);
+    }
+
+    /// Clears all state.
+    pub fn reset(&mut self) {
+        self.table.reset();
+    }
+
+    /// Number of points currently attributed.
+    pub fn total(&self) -> u64 {
+        self.table.total()
+    }
+
+    /// The underlying contingency table.
+    pub fn table(&self) -> &ContingencyTable {
+        &self.table
+    }
+
+    /// Average over clusters of the dominant-class fraction; `None` when no
+    /// points have been observed.
+    pub fn purity(&self) -> Option<f64> {
+        purity_of(&self.table)
+    }
+
+    /// Point-weighted purity (fraction of all points whose cluster's
+    /// dominant class matches theirs) — a common alternative reported for
+    /// comparison in EXPERIMENTS.md, not the paper's headline metric.
+    pub fn weighted_purity(&self) -> Option<f64> {
+        if self.table.total() == 0 {
+            return None;
+        }
+        let mut dominant = 0u64;
+        for (_, hist) in self.table.clusters() {
+            dominant += hist.values().copied().max().unwrap_or(0);
+        }
+        Some(dominant as f64 / self.table.total() as f64)
+    }
+}
+
+/// Unweighted-average purity of a contingency table.
+pub fn purity_of(table: &ContingencyTable) -> Option<f64> {
+    if table.cluster_count() == 0 {
+        return None;
+    }
+    let mut acc = 0.0;
+    let mut clusters = 0usize;
+    for (_, hist) in table.clusters() {
+        let total: u64 = hist.values().sum();
+        if total == 0 {
+            continue;
+        }
+        let dominant = hist.values().copied().max().unwrap_or(0);
+        acc += dominant as f64 / total as f64;
+        clusters += 1;
+    }
+    if clusters == 0 {
+        None
+    } else {
+        Some(acc / clusters as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u32) -> ClassLabel {
+        ClassLabel(i)
+    }
+
+    #[test]
+    fn perfect_purity() {
+        let mut p = ClusterPurity::new();
+        for _ in 0..5 {
+            p.observe(1, l(0));
+            p.observe(2, l(1));
+        }
+        assert_eq!(p.purity(), Some(1.0));
+        assert_eq!(p.weighted_purity(), Some(1.0));
+    }
+
+    #[test]
+    fn mixed_cluster_purity() {
+        let mut p = ClusterPurity::new();
+        // Cluster 1: 3 of class 0, 1 of class 1 → 0.75.
+        for _ in 0..3 {
+            p.observe(1, l(0));
+        }
+        p.observe(1, l(1));
+        // Cluster 2: pure → 1.0.
+        p.observe(2, l(1));
+        let got = p.purity().unwrap();
+        assert!((got - (0.75 + 1.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unweighted_vs_weighted() {
+        let mut p = ClusterPurity::new();
+        // Huge pure cluster + tiny 50/50 cluster.
+        for _ in 0..98 {
+            p.observe(1, l(0));
+        }
+        p.observe(2, l(0));
+        p.observe(2, l(1));
+        let unweighted = p.purity().unwrap();
+        let weighted = p.weighted_purity().unwrap();
+        assert!((unweighted - 0.75).abs() < 1e-12);
+        assert!((weighted - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_gives_none() {
+        let p = ClusterPurity::new();
+        assert_eq!(p.purity(), None);
+        assert_eq!(p.weighted_purity(), None);
+    }
+
+    #[test]
+    fn eviction_removes_contribution() {
+        let mut p = ClusterPurity::new();
+        p.observe(1, l(0));
+        p.observe(2, l(0));
+        p.observe(2, l(1));
+        p.remove_cluster(2);
+        assert_eq!(p.purity(), Some(1.0));
+        assert_eq!(p.total(), 1);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut p = ClusterPurity::new();
+        p.observe(1, l(0));
+        p.reset();
+        assert_eq!(p.purity(), None);
+    }
+}

@@ -1,0 +1,108 @@
+//! Adjusted Rand index over a contingency table.
+
+use crate::confusion::ContingencyTable;
+
+#[inline]
+fn choose2(n: u64) -> f64 {
+    let n = n as f64;
+    n * (n - 1.0) / 2.0
+}
+
+/// Adjusted Rand index: chance-corrected pairwise agreement between the
+/// cluster assignment and the class labels. 1.0 = identical partitions,
+/// ≈0 = random, can be negative for worse-than-random.
+///
+/// Returns `None` when fewer than two points have been observed.
+pub fn adjusted_rand_index(table: &ContingencyTable) -> Option<f64> {
+    let n = table.total();
+    if n < 2 {
+        return None;
+    }
+
+    let sum_ij: f64 = table
+        .clusters()
+        .flat_map(|(_, hist)| hist.values())
+        .map(|&c| choose2(c))
+        .sum();
+    let sum_i: f64 = table.cluster_totals().values().map(|&c| choose2(c)).sum();
+    let sum_j: f64 = table.class_totals().values().map(|&c| choose2(c)).sum();
+    let total_pairs = choose2(n);
+
+    let expected = sum_i * sum_j / total_pairs;
+    let max_index = 0.5 * (sum_i + sum_j);
+    if (max_index - expected).abs() < 1e-12 {
+        // Degenerate: both partitions trivial (all-one-cluster, all-one-class).
+        return Some(1.0);
+    }
+    Some((sum_ij - expected) / (max_index - expected))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ustream_common::ClassLabel;
+
+    fn l(i: u32) -> ClassLabel {
+        ClassLabel(i)
+    }
+
+    #[test]
+    fn perfect_partition() {
+        let mut t = ContingencyTable::new();
+        for _ in 0..20 {
+            t.observe(1, l(0));
+            t.observe(2, l(1));
+        }
+        assert!((adjusted_rand_index(&t).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_partition_near_zero() {
+        let mut t = ContingencyTable::new();
+        for _ in 0..50 {
+            t.observe(1, l(0));
+            t.observe(1, l(1));
+            t.observe(2, l(0));
+            t.observe(2, l(1));
+        }
+        let ari = adjusted_rand_index(&t).unwrap();
+        assert!(ari.abs() < 0.05, "ARI for independent split: {ari}");
+    }
+
+    #[test]
+    fn too_few_points() {
+        let mut t = ContingencyTable::new();
+        assert_eq!(adjusted_rand_index(&t), None);
+        t.observe(1, l(0));
+        assert_eq!(adjusted_rand_index(&t), None);
+    }
+
+    #[test]
+    fn degenerate_single_cluster_single_class() {
+        let mut t = ContingencyTable::new();
+        for _ in 0..5 {
+            t.observe(1, l(0));
+        }
+        assert_eq!(adjusted_rand_index(&t), Some(1.0));
+    }
+
+    #[test]
+    fn better_clustering_scores_higher() {
+        // Clean split vs noisy split of the same data.
+        let mut clean = ContingencyTable::new();
+        let mut noisy = ContingencyTable::new();
+        for _ in 0..40 {
+            clean.observe(1, l(0));
+            clean.observe(2, l(1));
+            noisy.observe(1, l(0));
+            noisy.observe(2, l(1));
+        }
+        for _ in 0..10 {
+            noisy.observe(1, l(1));
+            noisy.observe(2, l(0));
+        }
+        assert!(
+            adjusted_rand_index(&clean).unwrap() > adjusted_rand_index(&noisy).unwrap()
+        );
+    }
+}

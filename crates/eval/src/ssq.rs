@@ -1,0 +1,63 @@
+//! Within-cluster sum-of-squares diagnostics over raw points.
+
+use ustream_common::point::sq_euclidean;
+
+/// Sum over points of the squared distance to their assigned centroid.
+///
+/// `assignments[i]` indexes into `centroids`; points and centroids must
+/// agree on dimensionality.
+pub fn ssq(points: &[Vec<f64>], assignments: &[usize], centroids: &[Vec<f64>]) -> f64 {
+    debug_assert_eq!(points.len(), assignments.len());
+    points
+        .iter()
+        .zip(assignments)
+        .map(|(p, &a)| sq_euclidean(p, &centroids[a]))
+        .sum()
+}
+
+/// SSQ with each point assigned to its *nearest* centroid (the usual
+/// clustering objective).
+pub fn ssq_nearest(points: &[Vec<f64>], centroids: &[Vec<f64>]) -> f64 {
+    if centroids.is_empty() {
+        return 0.0;
+    }
+    points
+        .iter()
+        .map(|p| {
+            centroids
+                .iter()
+                .map(|c| sq_euclidean(p, c))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assigned_ssq() {
+        let pts = vec![vec![0.0], vec![2.0], vec![10.0]];
+        let cents = vec![vec![1.0], vec![10.0]];
+        let got = ssq(&pts, &[0, 0, 1], &cents);
+        assert!((got - (1.0 + 1.0 + 0.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_ssq_le_assigned() {
+        let pts = vec![vec![0.0], vec![9.0]];
+        let cents = vec![vec![0.0], vec![10.0]];
+        // Deliberately bad assignment.
+        let bad = ssq(&pts, &[1, 0], &cents);
+        let best = ssq_nearest(&pts, &cents);
+        assert!(best < bad);
+        assert!((best - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(ssq(&[], &[], &[vec![0.0]]), 0.0);
+        assert_eq!(ssq_nearest(&[vec![1.0]], &[]), 0.0);
+    }
+}

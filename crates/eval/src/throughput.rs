@@ -1,0 +1,149 @@
+//! Trailing-window throughput measurement.
+//!
+//! The paper reports "the number of points processed per second at
+//! particular points of the data stream progression ... computed by using
+//! the average number of points processed per second in the last 2
+//! seconds". [`ThroughputMeter`] reproduces that: it logs `(t, n)` samples
+//! and reports the rate over a trailing window.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// Points/second meter over a trailing wall-clock window.
+#[derive(Debug, Clone)]
+pub struct ThroughputMeter {
+    window: Duration,
+    samples: VecDeque<(Instant, u64)>,
+    total: u64,
+    started: Instant,
+}
+
+impl ThroughputMeter {
+    /// Meter with the paper's 2-second trailing window.
+    pub fn new() -> Self {
+        Self::with_window(Duration::from_secs(2))
+    }
+
+    /// Meter with a custom trailing window.
+    pub fn with_window(window: Duration) -> Self {
+        let now = Instant::now();
+        Self {
+            window,
+            samples: VecDeque::new(),
+            total: 0,
+            started: now,
+        }
+    }
+
+    /// Records that `n` points were processed "now".
+    pub fn record(&mut self, n: u64) {
+        self.record_at(Instant::now(), n);
+    }
+
+    /// Records with an explicit timestamp (tests inject virtual clocks).
+    pub fn record_at(&mut self, at: Instant, n: u64) {
+        self.total += n;
+        self.samples.push_back((at, n));
+        self.evict(at);
+    }
+
+    /// Total points recorded since construction.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Points/second over the trailing window ending "now".
+    pub fn rate(&mut self) -> f64 {
+        self.rate_at(Instant::now())
+    }
+
+    /// Points/second over the trailing window ending at `at`.
+    pub fn rate_at(&mut self, at: Instant) -> f64 {
+        self.evict(at);
+        let in_window: u64 = self.samples.iter().map(|(_, n)| n).sum();
+        // Use the true covered span (≤ window) so early readings are not
+        // diluted by the empty part of the window.
+        let span = match self.samples.front() {
+            Some((first, _)) => at.saturating_duration_since(*first),
+            None => return 0.0,
+        };
+        let span = span.max(Duration::from_millis(1)).min(self.window);
+        in_window as f64 / span.as_secs_f64()
+    }
+
+    /// Average points/second since construction.
+    pub fn overall_rate(&self) -> f64 {
+        let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
+        self.total as f64 / elapsed
+    }
+
+    fn evict(&mut self, now: Instant) {
+        while let Some((t, _)) = self.samples.front() {
+            if now.saturating_duration_since(*t) > self.window {
+                self.samples.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+impl Default for ThroughputMeter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_over_virtual_clock() {
+        let mut m = ThroughputMeter::with_window(Duration::from_secs(2));
+        let t0 = Instant::now();
+        // 1000 points spread over 1 second, in 10 batches.
+        for i in 0..10 {
+            m.record_at(t0 + Duration::from_millis(i * 100), 100);
+        }
+        let rate = m.rate_at(t0 + Duration::from_millis(1000));
+        assert!(
+            (rate - 1000.0).abs() < 150.0,
+            "expected ≈1000 pts/s, got {rate}"
+        );
+        assert_eq!(m.total(), 1000);
+    }
+
+    #[test]
+    fn old_samples_evicted() {
+        let mut m = ThroughputMeter::with_window(Duration::from_secs(2));
+        let t0 = Instant::now();
+        m.record_at(t0, 1_000_000);
+        // 10 seconds later the burst is outside the window.
+        let rate = m.rate_at(t0 + Duration::from_secs(10));
+        assert_eq!(rate, 0.0);
+        assert_eq!(m.total(), 1_000_000);
+    }
+
+    #[test]
+    fn steady_stream_rate() {
+        let mut m = ThroughputMeter::with_window(Duration::from_secs(2));
+        let t0 = Instant::now();
+        // 500 pts per 100 ms for 4 s → 5000 pts/s steady.
+        for i in 0..40 {
+            m.record_at(t0 + Duration::from_millis(i * 100), 500);
+        }
+        let rate = m.rate_at(t0 + Duration::from_millis(4000));
+        assert!(
+            (rate - 5000.0).abs() < 600.0,
+            "expected ≈5000 pts/s, got {rate}"
+        );
+    }
+
+    #[test]
+    fn empty_meter() {
+        let mut m = ThroughputMeter::new();
+        assert_eq!(m.rate(), 0.0);
+        assert_eq!(m.total(), 0);
+    }
+}

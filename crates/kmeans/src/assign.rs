@@ -1,0 +1,84 @@
+//! Point-to-centroid assignment and SSQ computation.
+
+use ustream_common::point::sq_euclidean;
+use ustream_common::DeterministicPoint;
+
+/// Result of assigning every point to its nearest centroid.
+#[derive(Debug, Clone)]
+pub struct Assignments {
+    /// `owner[i]` = index of the centroid nearest to point `i`.
+    pub owner: Vec<usize>,
+    /// Weighted sum over points of squared distance to their owner.
+    pub weighted_ssq: f64,
+}
+
+/// Squared distance from `point` to the nearest of `centroids`, together
+/// with the winning index. Centroids must be non-empty.
+#[inline]
+pub fn sq_distance_to_nearest(point: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+    debug_assert!(!centroids.is_empty());
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    for (i, c) in centroids.iter().enumerate() {
+        let d = sq_euclidean(point, c);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    (best, best_d)
+}
+
+/// Assigns every weighted point to its nearest centroid.
+pub fn assign_all(points: &[DeterministicPoint], centroids: &[Vec<f64>]) -> Assignments {
+    let mut owner = Vec::with_capacity(points.len());
+    let mut ssq = 0.0;
+    for p in points {
+        let (idx, d) = sq_distance_to_nearest(&p.values, centroids);
+        owner.push(idx);
+        ssq += p.weight * d;
+    }
+    Assignments {
+        owner,
+        weighted_ssq: ssq,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_picks_minimum() {
+        let cents = vec![vec![0.0, 0.0], vec![10.0, 0.0], vec![5.0, 5.0]];
+        let (idx, d) = sq_distance_to_nearest(&[9.0, 1.0], &cents);
+        assert_eq!(idx, 1);
+        assert!((d - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_tie_goes_to_first() {
+        let cents = vec![vec![-1.0], vec![1.0]];
+        let (idx, _) = sq_distance_to_nearest(&[0.0], &cents);
+        assert_eq!(idx, 0);
+    }
+
+    #[test]
+    fn assign_all_computes_weighted_ssq() {
+        let pts = vec![
+            DeterministicPoint::weighted(vec![1.0], 2.0), // d²=1 to centroid 0
+            DeterministicPoint::weighted(vec![11.0], 3.0), // d²=1 to centroid 1
+        ];
+        let cents = vec![vec![0.0], vec![10.0]];
+        let a = assign_all(&pts, &cents);
+        assert_eq!(a.owner, vec![0, 1]);
+        assert!((a.weighted_ssq - (2.0 + 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assign_all_empty_points() {
+        let a = assign_all(&[], &[vec![0.0]]);
+        assert!(a.owner.is_empty());
+        assert_eq!(a.weighted_ssq, 0.0);
+    }
+}

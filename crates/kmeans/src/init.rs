@@ -1,0 +1,141 @@
+//! Seeding strategies: weighted k-means++ and weighted random sampling.
+
+use crate::assign::sq_distance_to_nearest;
+use rand::Rng;
+use ustream_common::DeterministicPoint;
+
+/// Samples an index with probability proportional to `weights[i]`.
+///
+/// Falls back to uniform sampling when every weight is zero (e.g. all
+/// candidate points coincide with already-chosen seeds).
+pub fn sample_weighted_index<R: Rng>(weights: &[f64], rng: &mut R) -> usize {
+    debug_assert!(!weights.is_empty());
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return rng.gen_range(0..weights.len());
+    }
+    let mut target = rng.gen_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        target -= w;
+        if target < 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// k-means++ seeding over weighted points.
+///
+/// The first seed is drawn with probability proportional to point weight (the
+/// CluStream modification); subsequent seeds proportional to
+/// `weight · D(x)²` where `D(x)` is the distance to the nearest chosen seed.
+pub fn kmeans_pp_seeds<R: Rng>(
+    points: &[DeterministicPoint],
+    k: usize,
+    rng: &mut R,
+) -> Vec<Vec<f64>> {
+    assert!(!points.is_empty(), "cannot seed k-means on empty input");
+    let k = k.min(points.len());
+    let mut seeds: Vec<Vec<f64>> = Vec::with_capacity(k);
+
+    let weights: Vec<f64> = points.iter().map(|p| p.weight.max(0.0)).collect();
+    let first = sample_weighted_index(&weights, rng);
+    seeds.push(points[first].values.clone());
+
+    let mut d2: Vec<f64> = points
+        .iter()
+        .map(|p| p.sq_distance_to(&seeds[0]))
+        .collect();
+    while seeds.len() < k {
+        let scores: Vec<f64> = d2
+            .iter()
+            .zip(&weights)
+            .map(|(d, w)| d * w)
+            .collect();
+        let next = sample_weighted_index(&scores, rng);
+        let seed = points[next].values.clone();
+        // Incremental D² update: only distances to the new seed can shrink.
+        for (dist, p) in d2.iter_mut().zip(points) {
+            let nd = p.sq_distance_to(&seed);
+            if nd < *dist {
+                *dist = nd;
+            }
+        }
+        seeds.push(seed);
+    }
+    debug_assert_eq!(
+        seeds.len(),
+        k,
+        "seeding must produce exactly k centroids"
+    );
+    let _ = sq_distance_to_nearest; // re-exported for callers; silence unused in some cfgs
+    seeds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weighted_sampling_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let weights = [0.0, 0.0, 1.0, 0.0];
+        for _ in 0..50 {
+            assert_eq!(sample_weighted_index(&weights, &mut rng), 2);
+        }
+    }
+
+    #[test]
+    fn weighted_sampling_all_zero_falls_back_to_uniform() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let weights = [0.0, 0.0, 0.0];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[sample_weighted_index(&weights, &mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn weighted_sampling_distribution_roughly_proportional() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let weights = [1.0, 3.0];
+        let mut counts = [0usize; 2];
+        for _ in 0..4000 {
+            counts[sample_weighted_index(&weights, &mut rng)] += 1;
+        }
+        let frac = counts[1] as f64 / 4000.0;
+        assert!((frac - 0.75).abs() < 0.05, "frac={frac}");
+    }
+
+    #[test]
+    fn seeds_spread_across_separated_blobs() {
+        let mut pts: Vec<DeterministicPoint> = (0..20)
+            .map(|i| DeterministicPoint::new(vec![(i % 4) as f64 * 0.01, 0.0]))
+            .collect();
+        pts.extend((0..20).map(|i| DeterministicPoint::new(vec![100.0 + (i % 4) as f64 * 0.01, 0.0])));
+        let mut rng = StdRng::seed_from_u64(4);
+        let seeds = kmeans_pp_seeds(&pts, 2, &mut rng);
+        assert_eq!(seeds.len(), 2);
+        // With D² weighting the two seeds must land in different blobs.
+        let sides: Vec<bool> = seeds.iter().map(|s| s[0] > 50.0).collect();
+        assert_ne!(sides[0], sides[1], "seeds: {seeds:?}");
+    }
+
+    #[test]
+    fn k_clamped_to_points() {
+        let pts = vec![DeterministicPoint::new(vec![1.0]); 2];
+        let mut rng = StdRng::seed_from_u64(5);
+        let seeds = kmeans_pp_seeds(&pts, 6, &mut rng);
+        assert_eq!(seeds.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty input")]
+    fn empty_input_panics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = kmeans_pp_seeds(&[], 2, &mut rng);
+    }
+}

@@ -1,0 +1,273 @@
+//! # ustream-kmeans
+//!
+//! A weighted k-means substrate. Stream micro-clustering frameworks
+//! (CluStream, UMicro) produce a few hundred weighted summary points which an
+//! *offline* macro-clustering phase groups into the user-requested number of
+//! higher-level clusters; the STREAM baseline also repeatedly clusters
+//! weighted chunk representatives. Both uses need exactly one primitive:
+//! Lloyd's algorithm over weighted points with k-means++ seeding.
+//!
+//! The implementation follows the description in the CluStream paper
+//! (Aggarwal, Han, Wang & Yu, VLDB 2003, §4) of its modified k-means, where
+//! "the seeds are no longer picked randomly, but are sampled with probability
+//! proportional to the number of points in a given micro-cluster" and
+//! centroid updates use weighted means.
+
+pub mod assign;
+pub mod init;
+pub mod macrocluster;
+pub mod uncertain;
+
+pub use assign::{assign_all, sq_distance_to_nearest, Assignments};
+pub use init::{kmeans_pp_seeds, sample_weighted_index};
+pub use macrocluster::{macro_cluster_weighted, MacroClustering};
+pub use uncertain::{uk_means, UkMeansConfig, UkMeansResult};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ustream_common::DeterministicPoint;
+
+/// Configuration for a [`kmeans`] run.
+#[derive(Debug, Clone)]
+pub struct KMeansConfig {
+    /// Number of clusters `k` (clamped to the number of input points).
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on total centroid movement (squared L2).
+    pub tolerance: f64,
+    /// RNG seed for k-means++ initialisation.
+    pub seed: u64,
+}
+
+impl KMeansConfig {
+    /// Sensible defaults: 50 iterations, 1e-9 tolerance.
+    pub fn new(k: usize, seed: u64) -> Self {
+        Self {
+            k,
+            max_iters: 50,
+            tolerance: 1e-9,
+            seed,
+        }
+    }
+}
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Final centroids, `k × d`.
+    pub centroids: Vec<Vec<f64>>,
+    /// Index of the centroid owning each input point.
+    pub assignments: Vec<usize>,
+    /// Weighted within-cluster sum of squared distances.
+    pub ssq: f64,
+    /// Number of Lloyd iterations performed.
+    pub iterations: usize,
+}
+
+impl KMeansResult {
+    /// Total weight assigned to each centroid.
+    pub fn cluster_weights(&self, points: &[DeterministicPoint]) -> Vec<f64> {
+        let mut w = vec![0.0; self.centroids.len()];
+        for (p, &a) in points.iter().zip(&self.assignments) {
+            w[a] += p.weight;
+        }
+        w
+    }
+}
+
+/// Weighted k-means with k-means++ seeding.
+///
+/// Empty input yields an empty result; `k` larger than the number of points
+/// is clamped. Zero-weight points participate in assignment but not in
+/// centroid updates or SSQ.
+pub fn kmeans(points: &[DeterministicPoint], config: &KMeansConfig) -> KMeansResult {
+    if points.is_empty() || config.k == 0 {
+        return KMeansResult {
+            centroids: Vec::new(),
+            assignments: vec![0; points.len()],
+            ssq: 0.0,
+            iterations: 0,
+        };
+    }
+    let d = points[0].dims();
+    debug_assert!(points.iter().all(|p| p.dims() == d));
+    let k = config.k.min(points.len());
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut centroids = kmeans_pp_seeds(points, k, &mut rng);
+
+    let mut assignments = vec![0usize; points.len()];
+    let mut iterations = 0;
+    for _ in 0..config.max_iters {
+        iterations += 1;
+        let assigned = assign_all(points, &centroids);
+        assignments = assigned.owner;
+
+        // Weighted centroid update.
+        let mut sums = vec![vec![0.0; d]; k];
+        let mut weights = vec![0.0; k];
+        for (p, &a) in points.iter().zip(&assignments) {
+            weights[a] += p.weight;
+            for (s, v) in sums[a].iter_mut().zip(&p.values) {
+                *s += p.weight * v;
+            }
+        }
+        let mut movement = 0.0;
+        for c in 0..k {
+            if weights[c] > 0.0 {
+                let new: Vec<f64> = sums[c].iter().map(|s| s / weights[c]).collect();
+                movement += ustream_common::point::sq_euclidean(&centroids[c], &new);
+                centroids[c] = new;
+            } else {
+                // Empty cluster: re-seed on the weighted point farthest from
+                // its current centroid, a standard Lloyd repair step.
+                if let Some((idx, _)) = points
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.weight > 0.0)
+                    .max_by(|(i, p), (j, q)| {
+                        let di = p.weight * p.sq_distance_to(&centroids[assignments[*i]]);
+                        let dj = q.weight * q.sq_distance_to(&centroids[assignments[*j]]);
+                        di.partial_cmp(&dj).unwrap()
+                    })
+                {
+                    movement +=
+                        ustream_common::point::sq_euclidean(&centroids[c], &points[idx].values);
+                    centroids[c] = points[idx].values.clone();
+                }
+            }
+        }
+        if movement <= config.tolerance {
+            break;
+        }
+    }
+
+    // Final assignment + SSQ against the converged centroids.
+    let assigned = assign_all(points, &centroids);
+    KMeansResult {
+        ssq: assigned.weighted_ssq,
+        assignments: assigned.owner,
+        centroids,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(cx: f64, cy: f64, n: usize, spread: f64) -> Vec<DeterministicPoint> {
+        // Deterministic pseudo-blob: points on a small grid around (cx, cy).
+        (0..n)
+            .map(|i| {
+                let dx = ((i % 5) as f64 - 2.0) * spread;
+                let dy = ((i / 5 % 5) as f64 - 2.0) * spread;
+                DeterministicPoint::new(vec![cx + dx, cy + dy])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let mut pts = blob(0.0, 0.0, 25, 0.05);
+        pts.extend(blob(10.0, 10.0, 25, 0.05));
+        let res = kmeans(&pts, &KMeansConfig::new(2, 1));
+        assert_eq!(res.centroids.len(), 2);
+        // One centroid near each blob centre.
+        let mut near_origin = false;
+        let mut near_ten = false;
+        for c in &res.centroids {
+            if c[0].abs() < 1.0 && c[1].abs() < 1.0 {
+                near_origin = true;
+            }
+            if (c[0] - 10.0).abs() < 1.0 && (c[1] - 10.0).abs() < 1.0 {
+                near_ten = true;
+            }
+        }
+        assert!(near_origin && near_ten, "centroids: {:?}", res.centroids);
+        // All points in a blob share an assignment.
+        let first = res.assignments[0];
+        assert!(res.assignments[..25].iter().all(|&a| a == first));
+        assert!(res.assignments[25..].iter().all(|&a| a != first));
+    }
+
+    #[test]
+    fn respects_weights() {
+        // A heavy point drags the centroid.
+        let pts = vec![
+            DeterministicPoint::weighted(vec![0.0], 99.0),
+            DeterministicPoint::weighted(vec![10.0], 1.0),
+        ];
+        let res = kmeans(&pts, &KMeansConfig::new(1, 3));
+        assert!((res.centroids[0][0] - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_clamped_to_point_count() {
+        let pts = blob(0.0, 0.0, 3, 0.1);
+        let res = kmeans(&pts, &KMeansConfig::new(10, 7));
+        assert_eq!(res.centroids.len(), 3);
+    }
+
+    #[test]
+    fn empty_input() {
+        let res = kmeans(&[], &KMeansConfig::new(3, 0));
+        assert!(res.centroids.is_empty());
+        assert_eq!(res.ssq, 0.0);
+    }
+
+    #[test]
+    fn k_zero() {
+        let pts = blob(0.0, 0.0, 5, 0.1);
+        let res = kmeans(&pts, &KMeansConfig::new(0, 0));
+        assert!(res.centroids.is_empty());
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_weighted_mean() {
+        let pts = vec![
+            DeterministicPoint::weighted(vec![1.0, 2.0], 2.0),
+            DeterministicPoint::weighted(vec![4.0, 8.0], 1.0),
+        ];
+        let res = kmeans(&pts, &KMeansConfig::new(1, 0));
+        assert!((res.centroids[0][0] - 2.0).abs() < 1e-9);
+        assert!((res.centroids[0][1] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ssq_zero_for_duplicate_points() {
+        let pts = vec![DeterministicPoint::new(vec![5.0, 5.0]); 10];
+        let res = kmeans(&pts, &KMeansConfig::new(1, 0));
+        assert!(res.ssq < 1e-12);
+    }
+
+    #[test]
+    fn more_clusters_never_increase_ssq() {
+        let mut pts = blob(0.0, 0.0, 25, 0.3);
+        pts.extend(blob(5.0, 0.0, 25, 0.3));
+        pts.extend(blob(0.0, 5.0, 25, 0.3));
+        let mut prev = f64::INFINITY;
+        for k in 1..=4 {
+            let res = kmeans(&pts, &KMeansConfig::new(k, 11));
+            assert!(
+                res.ssq <= prev + 1e-9,
+                "k={k}: ssq {} > previous {prev}",
+                res.ssq
+            );
+            prev = res.ssq;
+        }
+    }
+
+    #[test]
+    fn cluster_weights_sum_to_total() {
+        let mut pts = blob(0.0, 0.0, 10, 0.1);
+        pts.extend(blob(8.0, 8.0, 10, 0.1));
+        for (i, p) in pts.iter_mut().enumerate() {
+            p.weight = (i + 1) as f64;
+        }
+        let total: f64 = pts.iter().map(|p| p.weight).sum();
+        let res = kmeans(&pts, &KMeansConfig::new(2, 5));
+        let w = res.cluster_weights(&pts);
+        assert!((w.iter().sum::<f64>() - total).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,113 @@
+//! Generic macro-clustering result shared by the micro-clustering
+//! frameworks: weighted k-means over micro-cluster centroids, keeping the
+//! micro→macro assignment keyed by stable micro-cluster id.
+
+use crate::{kmeans, sq_distance_to_nearest, KMeansConfig};
+use ustream_common::DeterministicPoint;
+
+/// Result of clustering weighted micro-cluster representatives into `k`
+/// user-facing macro-clusters.
+#[derive(Debug, Clone)]
+pub struct MacroClustering {
+    /// Macro-cluster centroids (`k × d`).
+    pub centroids: Vec<Vec<f64>>,
+    /// Total micro-cluster weight under each macro centroid.
+    pub weights: Vec<f64>,
+    /// `(micro_cluster_id, macro_index)` for every input micro-cluster.
+    pub micro_assignments: Vec<(u64, usize)>,
+    /// Weighted SSQ of micro-centroids about their macro centroids.
+    pub ssq: f64,
+}
+
+impl MacroClustering {
+    /// Number of macro clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Index of the macro cluster nearest to `values`.
+    pub fn assign(&self, values: &[f64]) -> usize {
+        sq_distance_to_nearest(values, &self.centroids).0
+    }
+
+    /// The macro index a given micro-cluster id was assigned, if present.
+    pub fn macro_of_micro(&self, micro_id: u64) -> Option<usize> {
+        self.micro_assignments
+            .iter()
+            .find(|(id, _)| *id == micro_id)
+            .map(|(_, m)| *m)
+    }
+}
+
+/// Clusters `(id, centroid, weight)` triples into `k` macro clusters.
+/// Zero-weight entries are skipped.
+pub fn macro_cluster_weighted(
+    reps: impl Iterator<Item = (u64, Vec<f64>, f64)>,
+    k: usize,
+    seed: u64,
+) -> MacroClustering {
+    let mut ids = Vec::new();
+    let mut points = Vec::new();
+    for (id, centroid, weight) in reps {
+        if weight <= 0.0 {
+            continue;
+        }
+        ids.push(id);
+        points.push(DeterministicPoint::weighted(centroid, weight));
+    }
+    let res = kmeans(&points, &KMeansConfig::new(k, seed));
+    let mut weights = vec![0.0; res.centroids.len()];
+    for (p, &a) in points.iter().zip(&res.assignments) {
+        weights[a] += p.weight;
+    }
+    MacroClustering {
+        centroids: res.centroids,
+        weights,
+        micro_assignments: ids.into_iter().zip(res.assignments).collect(),
+        ssq: res.ssq,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_weighted_representatives() {
+        let reps = vec![
+            (1u64, vec![0.0, 0.0], 5.0),
+            (2, vec![0.2, 0.1], 5.0),
+            (3, vec![10.0, 10.0], 5.0),
+            (4, vec![10.1, 9.9], 5.0),
+        ];
+        let mac = macro_cluster_weighted(reps.into_iter(), 2, 7);
+        assert_eq!(mac.k(), 2);
+        assert_eq!(mac.macro_of_micro(1), mac.macro_of_micro(2));
+        assert_eq!(mac.macro_of_micro(3), mac.macro_of_micro(4));
+        assert_ne!(mac.macro_of_micro(1), mac.macro_of_micro(3));
+        assert!((mac.weights.iter().sum::<f64>() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_weight_skipped_and_unknown_none() {
+        let reps = vec![(1u64, vec![0.0], 0.0), (2, vec![1.0], 3.0)];
+        let mac = macro_cluster_weighted(reps.into_iter(), 2, 0);
+        assert_eq!(mac.micro_assignments.len(), 1);
+        assert_eq!(mac.macro_of_micro(1), None);
+        assert_eq!(mac.macro_of_micro(2), Some(0));
+    }
+
+    #[test]
+    fn assign_routes_to_nearest() {
+        let reps = vec![(1u64, vec![0.0], 1.0), (2, vec![10.0], 1.0)];
+        let mac = macro_cluster_weighted(reps.into_iter(), 2, 1);
+        assert_ne!(mac.assign(&[-1.0]), mac.assign(&[11.0]));
+    }
+
+    #[test]
+    fn empty_input() {
+        let mac = macro_cluster_weighted(std::iter::empty(), 3, 0);
+        assert_eq!(mac.k(), 0);
+        assert!(mac.micro_assignments.is_empty());
+    }
+}

@@ -1,0 +1,209 @@
+//! UK-means: offline k-means over *uncertain* objects (Ngai, Kao, Chui,
+//! Cheng, Chau & Yip, *Efficient Clustering of Uncertain Data*, ICDM 2006 —
+//! reference \[22\] of the UMicro paper).
+//!
+//! Each object is a distribution; assignment minimises the **expected**
+//! squared distance to a candidate centroid. Under the moment model used
+//! throughout this workspace (instantiation `x`, per-dimension error
+//! std-dev `ψ`), the expected squared distance to a deterministic centroid
+//! `c` decomposes as
+//!
+//! ```text
+//! E[‖X − c‖²] = ‖x − c‖² + Σ_j ψ_j²
+//! ```
+//!
+//! The `Σψ²` term does not depend on `c`, which recovers (and makes
+//! testable) the classic UK-means insight: with moment-level uncertainty
+//! the *partition* equals that of k-means on the instantiations, while the
+//! *objective value* is inflated by the total uncertainty mass. The full
+//! pdf-level algorithm differs only when distributions are multi-modal —
+//! richer than the paper's error model. We therefore expose:
+//!
+//! * [`uk_means`] — expected-distance k-means with the uncertainty-aware
+//!   objective (partition provably identical to the deterministic run);
+//! * the centroid update uses confidence weights `1/(1 + Σψ²/d)` as an
+//!   optional refinement ([`UkMeansConfig::confidence_weighting`]), which
+//!   *does* change the partition: uncertain objects pull centroids less.
+
+use crate::{kmeans, KMeansConfig};
+use ustream_common::{DeterministicPoint, UncertainPoint};
+
+/// UK-means configuration.
+#[derive(Debug, Clone)]
+pub struct UkMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Seed for k-means++ initialisation.
+    pub seed: u64,
+    /// Weight objects by `1/(1 + Σψ²/d)` during centroid updates, so noisy
+    /// objects influence centroids less. Off by default (the literal
+    /// UK-means).
+    pub confidence_weighting: bool,
+}
+
+impl UkMeansConfig {
+    /// Literal UK-means defaults.
+    pub fn new(k: usize, seed: u64) -> Self {
+        Self {
+            k,
+            max_iters: 50,
+            seed,
+            confidence_weighting: false,
+        }
+    }
+
+    /// Enables confidence weighting.
+    pub fn with_confidence_weighting(mut self) -> Self {
+        self.confidence_weighting = true;
+        self
+    }
+}
+
+/// Result of a UK-means run.
+#[derive(Debug, Clone)]
+pub struct UkMeansResult {
+    /// Final centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Cluster index per input object.
+    pub assignments: Vec<usize>,
+    /// Expected-distance objective: `Σ_i E[‖X_i − c_{a(i)}‖²]`, i.e. the
+    /// deterministic SSQ plus the total error mass `Σ_i Σ_j ψ_ij²`.
+    pub expected_ssq: f64,
+    /// The deterministic component of the objective.
+    pub deterministic_ssq: f64,
+    /// The irreducible uncertainty component `Σ_i Σ_j ψ_ij²`.
+    pub uncertainty_mass: f64,
+}
+
+/// Clusters uncertain objects by expected distance.
+pub fn uk_means(objects: &[UncertainPoint], config: &UkMeansConfig) -> UkMeansResult {
+    let uncertainty_mass: f64 = objects.iter().map(UncertainPoint::error_energy).sum();
+    let points: Vec<DeterministicPoint> = objects
+        .iter()
+        .map(|o| {
+            let weight = if config.confidence_weighting {
+                let d = o.dims().max(1) as f64;
+                1.0 / (1.0 + o.error_energy() / d)
+            } else {
+                1.0
+            };
+            DeterministicPoint::weighted(o.values().to_vec(), weight)
+        })
+        .collect();
+
+    let mut km_cfg = KMeansConfig::new(config.k, config.seed);
+    km_cfg.max_iters = config.max_iters;
+    let res = kmeans(&points, &km_cfg);
+
+    // The reported objective uses *unweighted* expected distances — the
+    // weighting only shapes the centroids.
+    let deterministic_ssq: f64 = objects
+        .iter()
+        .zip(&res.assignments)
+        .map(|(o, &a)| {
+            if res.centroids.is_empty() {
+                0.0
+            } else {
+                ustream_common::point::sq_euclidean(o.values(), &res.centroids[a])
+            }
+        })
+        .sum();
+
+    UkMeansResult {
+        centroids: res.centroids,
+        assignments: res.assignments,
+        expected_ssq: deterministic_ssq + uncertainty_mass,
+        deterministic_ssq,
+        uncertainty_mass,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(values: &[f64], err: f64) -> UncertainPoint {
+        UncertainPoint::new(values.to_vec(), vec![err; values.len()], 0, None)
+    }
+
+    fn blobs(err: f64) -> Vec<UncertainPoint> {
+        let mut v = Vec::new();
+        for i in 0..20 {
+            let w = (i % 4) as f64 * 0.05;
+            v.push(obj(&[w, -w], err));
+            v.push(obj(&[10.0 + w, 10.0 - w], err));
+        }
+        v
+    }
+
+    #[test]
+    fn partition_matches_deterministic_kmeans() {
+        // The classic UK-means equivalence: moment-level uncertainty does
+        // not change the partition.
+        let noisy = blobs(3.0);
+        let clean = blobs(0.0);
+        let res_noisy = uk_means(&noisy, &UkMeansConfig::new(2, 5));
+        let res_clean = uk_means(&clean, &UkMeansConfig::new(2, 5));
+        assert_eq!(res_noisy.assignments, res_clean.assignments);
+        for (a, b) in res_noisy.centroids.iter().zip(&res_clean.centroids) {
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn objective_decomposes() {
+        let objects = blobs(2.0);
+        let res = uk_means(&objects, &UkMeansConfig::new(2, 1));
+        // Σψ² = 40 objects × 2 dims × 4.
+        assert!((res.uncertainty_mass - 40.0 * 2.0 * 4.0).abs() < 1e-9);
+        assert!(
+            (res.expected_ssq - res.deterministic_ssq - res.uncertainty_mass).abs() < 1e-9
+        );
+        assert!(res.expected_ssq > res.deterministic_ssq);
+    }
+
+    #[test]
+    fn separates_blobs() {
+        let res = uk_means(&blobs(0.5), &UkMeansConfig::new(2, 9));
+        assert_eq!(res.centroids.len(), 2);
+        let first = res.assignments[0];
+        for (i, &a) in res.assignments.iter().enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(a, first);
+            } else {
+                assert_ne!(a, first);
+            }
+        }
+    }
+
+    #[test]
+    fn confidence_weighting_discounts_noisy_objects() {
+        // One cluster: 5 precise objects at x=0, 5 very noisy at x=10.
+        let mut objects: Vec<UncertainPoint> = (0..5).map(|_| obj(&[0.0], 0.01)).collect();
+        objects.extend((0..5).map(|_| obj(&[10.0], 20.0)));
+        let plain = uk_means(&objects, &UkMeansConfig::new(1, 2));
+        let weighted = uk_means(
+            &objects,
+            &UkMeansConfig::new(1, 2).with_confidence_weighting(),
+        );
+        // Plain centroid: 5. Weighted centroid pulled towards the precise
+        // objects at 0.
+        assert!((plain.centroids[0][0] - 5.0).abs() < 1e-9);
+        assert!(
+            weighted.centroids[0][0] < 1.0,
+            "confidence weighting should discount noisy objects: {}",
+            weighted.centroids[0][0]
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        let res = uk_means(&[], &UkMeansConfig::new(3, 0));
+        assert!(res.centroids.is_empty());
+        assert_eq!(res.expected_ssq, 0.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Snapshot persistence as JSON lines.
+//!
+//! CluStream-style frameworks persist snapshots so that offline horizon
+//! analysis can run long after the stream ended. We use one JSON object per
+//! line — human-greppable and appendable, which matters for a store that is
+//! written continuously while a stream runs.
+
+use crate::store::{SnapshotStore, StoredSnapshot};
+use crate::PyramidConfig;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use ustream_common::{Result, UStreamError};
+
+/// Writes every retained snapshot, oldest first, one JSON object per line.
+pub fn write_snapshots<S, W>(store: &SnapshotStore<S>, writer: W) -> Result<()>
+where
+    S: Serialize + Clone,
+    W: Write,
+{
+    let mut out = BufWriter::new(writer);
+    for snap in store.iter_chronological() {
+        let line =
+            serde_json::to_string(snap).map_err(|e| UStreamError::Serde(e.to_string()))?;
+        writeln!(out, "{line}")?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Reads snapshots (as written by [`write_snapshots`]) into a fresh store.
+///
+/// Snapshots must appear in chronological order, which `write_snapshots`
+/// guarantees.
+pub fn read_snapshots<S, R>(config: PyramidConfig, reader: R) -> Result<SnapshotStore<S>>
+where
+    S: DeserializeOwned + Clone,
+    R: Read,
+{
+    let mut store = SnapshotStore::new(config);
+    for (lineno, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let snap: StoredSnapshot<S> = serde_json::from_str(&line).map_err(|e| {
+            UStreamError::Serde(format!("line {}: {e}", lineno + 1))
+        })?;
+        store.record(snap.time, snap.data);
+    }
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let cfg = PyramidConfig::new(2, 3).unwrap();
+        let mut store = SnapshotStore::new(cfg);
+        for t in 1..=50u64 {
+            store.record(t, vec![t as f64, (t * 2) as f64]);
+        }
+        let mut buf = Vec::new();
+        write_snapshots(&store, &mut buf).unwrap();
+        assert!(!buf.is_empty());
+
+        let restored: SnapshotStore<Vec<f64>> =
+            read_snapshots(cfg, buf.as_slice()).unwrap();
+        assert_eq!(restored.len(), store.len());
+        for (a, b) in store.iter_chronological().zip(restored.iter_chronological()) {
+            assert_eq!(a.time, b.time);
+            assert_eq!(a.order, b.order);
+            assert_eq!(a.data, b.data);
+        }
+    }
+
+    #[test]
+    fn empty_store_round_trips() {
+        let cfg = PyramidConfig::default();
+        let store: SnapshotStore<u64> = SnapshotStore::new(cfg);
+        let mut buf = Vec::new();
+        write_snapshots(&store, &mut buf).unwrap();
+        let restored: SnapshotStore<u64> = read_snapshots(cfg, buf.as_slice()).unwrap();
+        assert!(restored.is_empty());
+    }
+
+    #[test]
+    fn blank_lines_ignored() {
+        let cfg = PyramidConfig::default();
+        let input = b"\n\n".to_vec();
+        let restored: SnapshotStore<u64> = read_snapshots(cfg, input.as_slice()).unwrap();
+        assert!(restored.is_empty());
+    }
+
+    #[test]
+    fn corrupt_line_reports_position() {
+        let cfg = PyramidConfig::default();
+        let input = b"{not json}\n".to_vec();
+        let err = read_snapshots::<u64, _>(cfg, input.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+    }
+}

@@ -1,0 +1,146 @@
+//! Pyramidal frame geometry: orders, capacities and the horizon guarantee.
+
+use serde::{Deserialize, Serialize};
+use ustream_common::{Result, Timestamp, UStreamError};
+
+/// Geometry of the pyramidal time frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PyramidConfig {
+    /// Base `α ≥ 2`: snapshots of order `i` are spaced `α^i` ticks apart.
+    pub alpha: u64,
+    /// Retention exponent `l ≥ 1`: each order keeps `α^l + 1` snapshots.
+    pub l: u32,
+}
+
+impl Default for PyramidConfig {
+    fn default() -> Self {
+        // α = 2, l = 4: 17 snapshots per order; horizon error ≤ 1/α^{l-1} = 1/8.
+        Self { alpha: 2, l: 4 }
+    }
+}
+
+impl PyramidConfig {
+    /// Validated constructor.
+    pub fn new(alpha: u64, l: u32) -> Result<Self> {
+        if alpha < 2 {
+            return Err(UStreamError::InvalidConfig(format!(
+                "pyramid base alpha must be >= 2, got {alpha}"
+            )));
+        }
+        if l < 1 {
+            return Err(UStreamError::InvalidConfig(
+                "pyramid retention exponent l must be >= 1".into(),
+            ));
+        }
+        // alpha^l must fit comfortably in u64 capacity arithmetic.
+        if (alpha as f64).powi(l as i32) > 1e15 {
+            return Err(UStreamError::InvalidConfig(format!(
+                "alpha^l too large: {alpha}^{l}"
+            )));
+        }
+        Ok(Self { alpha, l })
+    }
+
+    /// Snapshots retained per order: `α^l + 1`.
+    pub fn per_order_capacity(&self) -> usize {
+        self.alpha.pow(self.l) as usize + 1
+    }
+
+    /// Upper bound on the relative horizon error: `1/α^{l−1}`.
+    ///
+    /// For any horizon `h` covered by the retained snapshots there is a
+    /// stored snapshot at `h'` with `(h' − h)/h ≤ 1/α^{l−1}` (Eq. 7 of the
+    /// paper, restated).
+    pub fn horizon_error_bound(&self) -> f64 {
+        1.0 / (self.alpha as f64).powi(self.l as i32 - 1)
+    }
+
+    /// Maximum order needed for a stream of length `t`: `⌊log_α t⌋`.
+    pub fn max_order_for(&self, t: Timestamp) -> u32 {
+        if t == 0 {
+            return 0;
+        }
+        let mut order = 0u32;
+        let mut p = self.alpha;
+        while p <= t {
+            order += 1;
+            match p.checked_mul(self.alpha) {
+                Some(next) => p = next,
+                None => break,
+            }
+        }
+        order
+    }
+}
+
+/// The order of the snapshot taken at tick `t`: the largest `i` with
+/// `α^i | t`. Tick 0 is defined to have order 0 (it is the stream origin and
+/// never re-taken).
+pub fn snapshot_order(t: Timestamp, alpha: u64) -> u32 {
+    debug_assert!(alpha >= 2);
+    if t == 0 {
+        return 0;
+    }
+    let mut order = 0u32;
+    let mut rest = t;
+    while rest.is_multiple_of(alpha) {
+        order += 1;
+        rest /= alpha;
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        let c = PyramidConfig::default();
+        assert_eq!(c.per_order_capacity(), 17);
+        assert!((c.horizon_error_bound() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_alpha() {
+        assert!(PyramidConfig::new(1, 2).is_err());
+        assert!(PyramidConfig::new(0, 2).is_err());
+        assert!(PyramidConfig::new(2, 0).is_err());
+    }
+
+    #[test]
+    fn order_of_powers() {
+        assert_eq!(snapshot_order(1, 2), 0);
+        assert_eq!(snapshot_order(2, 2), 1);
+        assert_eq!(snapshot_order(4, 2), 2);
+        assert_eq!(snapshot_order(6, 2), 1);
+        assert_eq!(snapshot_order(8, 2), 3);
+        assert_eq!(snapshot_order(12, 2), 2);
+        assert_eq!(snapshot_order(1024, 2), 10);
+        assert_eq!(snapshot_order(0, 2), 0);
+    }
+
+    #[test]
+    fn order_base_three() {
+        assert_eq!(snapshot_order(9, 3), 2);
+        assert_eq!(snapshot_order(27, 3), 3);
+        assert_eq!(snapshot_order(10, 3), 0);
+    }
+
+    #[test]
+    fn max_order() {
+        let c = PyramidConfig::new(2, 2).unwrap();
+        assert_eq!(c.max_order_for(0), 0);
+        assert_eq!(c.max_order_for(1), 0);
+        assert_eq!(c.max_order_for(2), 1);
+        assert_eq!(c.max_order_for(1024), 10);
+        assert_eq!(c.max_order_for(1023), 9);
+    }
+
+    #[test]
+    fn error_bound_shrinks_with_l() {
+        let e1 = PyramidConfig::new(2, 2).unwrap().horizon_error_bound();
+        let e2 = PyramidConfig::new(2, 6).unwrap().horizon_error_bound();
+        assert!(e2 < e1);
+    }
+}

@@ -1,0 +1,409 @@
+//! The snapshot store proper, plus keyed cluster-set subtraction.
+
+use crate::pyramid::{snapshot_order, PyramidConfig};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use ustream_common::{AdditiveFeature, Result, Timestamp, UStreamError};
+
+/// A snapshot stored in the pyramid, tagged with its capture tick and order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StoredSnapshot<S> {
+    /// Clock tick at which the snapshot was taken.
+    pub time: Timestamp,
+    /// The pyramid order it was filed under.
+    pub order: u32,
+    /// The snapshot payload (typically a [`ClusterSetSnapshot`]).
+    pub data: S,
+}
+
+/// A pyramidal time-frame store of snapshots.
+///
+/// `record` decides by itself whether tick `t` deserves a snapshot (it does
+/// if the caller provides one — every tick qualifies for order 0), files it
+/// at its highest qualifying order, and evicts the oldest snapshot of that
+/// order beyond the `α^l + 1` retention cap.
+#[derive(Debug, Clone)]
+pub struct SnapshotStore<S> {
+    config: PyramidConfig,
+    /// `orders[i]` holds snapshots of order `i`, oldest first.
+    orders: Vec<VecDeque<StoredSnapshot<S>>>,
+    taken: u64,
+}
+
+impl<S: Clone> SnapshotStore<S> {
+    /// Creates an empty store with the given geometry.
+    pub fn new(config: PyramidConfig) -> Self {
+        Self {
+            config,
+            orders: Vec::new(),
+            taken: 0,
+        }
+    }
+
+    /// Store geometry.
+    pub fn config(&self) -> &PyramidConfig {
+        &self.config
+    }
+
+    /// Total snapshots currently retained.
+    pub fn len(&self) -> usize {
+        self.orders.iter().map(VecDeque::len).sum()
+    }
+
+    /// Whether no snapshots are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of snapshots ever recorded (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.taken
+    }
+
+    /// Records the snapshot taken at tick `t`.
+    ///
+    /// Callers normally invoke this once per tick (or once per batch of
+    /// ticks); the store files the snapshot at order `max{i : α^i | t}` and
+    /// enforces per-order retention.
+    pub fn record(&mut self, t: Timestamp, data: S) {
+        let order = snapshot_order(t, self.config.alpha);
+        let order_idx = order as usize;
+        if self.orders.len() <= order_idx {
+            self.orders.resize_with(order_idx + 1, VecDeque::new);
+        }
+        let ring = &mut self.orders[order_idx];
+        // Monotone capture times within an order; replace on duplicate tick.
+        if let Some(last) = ring.back() {
+            debug_assert!(last.time <= t, "snapshots must be recorded in order");
+            if last.time == t {
+                ring.pop_back();
+            }
+        }
+        ring.push_back(StoredSnapshot {
+            time: t,
+            order,
+            data,
+        });
+        let cap = self.config.per_order_capacity();
+        while ring.len() > cap {
+            ring.pop_front();
+        }
+        self.taken += 1;
+    }
+
+    /// The most recent stored snapshot with `time ≤ t`, across all orders.
+    ///
+    /// This is the lookup the horizon query needs: asking for horizon `h` at
+    /// current time `t_c` resolves to `find_at_or_before(t_c − h)`, and the
+    /// pyramid geometry guarantees the returned snapshot is at most a factor
+    /// `1/α^{l−1}` older than requested (while the target tick is still
+    /// within retention).
+    pub fn find_at_or_before(&self, t: Timestamp) -> Option<&StoredSnapshot<S>> {
+        let mut best: Option<&StoredSnapshot<S>> = None;
+        for ring in &self.orders {
+            // Rings are sorted by time; binary-search the last element ≤ t.
+            let (lo, hi) = ring.as_slices();
+            for slice in [lo, hi] {
+                let idx = slice.partition_point(|s| s.time <= t);
+                if idx > 0 {
+                    let cand = &slice[idx - 1];
+                    if best.is_none_or(|b| cand.time > b.time) {
+                        best = Some(cand);
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// The oldest snapshot still retained.
+    pub fn oldest(&self) -> Option<&StoredSnapshot<S>> {
+        self.orders
+            .iter()
+            .filter_map(|r| r.front())
+            .min_by_key(|s| s.time)
+    }
+
+    /// The most recent snapshot retained.
+    pub fn newest(&self) -> Option<&StoredSnapshot<S>> {
+        self.orders
+            .iter()
+            .filter_map(|r| r.back())
+            .max_by_key(|s| s.time)
+    }
+
+    /// All retained snapshots ordered by capture time.
+    pub fn iter_chronological(&self) -> impl Iterator<Item = &StoredSnapshot<S>> {
+        let mut all: Vec<&StoredSnapshot<S>> = self
+            .orders
+            .iter()
+            .flat_map(|r| r.iter())
+            .collect();
+        all.sort_by_key(|s| s.time);
+        all.into_iter()
+    }
+
+    /// Resolves a horizon query: returns the stored snapshot to subtract for
+    /// horizon `h` at current time `now`, or an error when the horizon
+    /// reaches past the retained history.
+    pub fn horizon_base(&self, now: Timestamp, h: u64) -> Result<&StoredSnapshot<S>> {
+        let target = now.saturating_sub(h);
+        self.find_at_or_before(target)
+            .ok_or(UStreamError::HorizonUnavailable { requested: h })
+    }
+}
+
+/// A snapshot of a complete micro-cluster set: feature vectors keyed by
+/// stable cluster id.
+///
+/// The id keying is what makes the paper's subtraction semantics precise:
+/// "the statistics for each micro-cluster in `S(t_c − h')` is subtracted from
+/// the statistics of the *corresponding* micro-clusters in `S(t_c)`.
+/// Micro-clusters which are removed ... are discarded, and micro-clusters
+/// which are created in the period are retained in their current form."
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterSetSnapshot<F> {
+    /// Feature vectors keyed by cluster id.
+    pub clusters: BTreeMap<u64, F>,
+}
+
+impl<F> Default for ClusterSetSnapshot<F> {
+    fn default() -> Self {
+        Self {
+            clusters: BTreeMap::new(),
+        }
+    }
+}
+
+impl<F: AdditiveFeature> ClusterSetSnapshot<F> {
+    /// Builds a snapshot from `(id, feature)` pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (u64, F)>) -> Self {
+        Self {
+            clusters: pairs.into_iter().collect(),
+        }
+    }
+
+    /// Number of micro-clusters captured.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Whether the snapshot holds no clusters.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// Horizon reconstruction: statistics of the window `(t_past, t_now]`.
+    ///
+    /// For each cluster id in `self` (the current snapshot): if the id also
+    /// exists in `past`, its past statistics are subtracted; otherwise the
+    /// cluster was created inside the window and is kept as-is. Ids that
+    /// exist only in `past` were evicted during the window and are
+    /// discarded. Clusters that end up empty (no points in the window) are
+    /// dropped.
+    pub fn subtract_past(&self, past: &ClusterSetSnapshot<F>) -> ClusterSetSnapshot<F> {
+        let mut out = BTreeMap::new();
+        for (id, current) in &self.clusters {
+            let mut f = current.clone();
+            if let Some(old) = past.clusters.get(id) {
+                f.subtract(old);
+            }
+            if !f.is_empty() {
+                out.insert(*id, f);
+            }
+        }
+        ClusterSetSnapshot { clusters: out }
+    }
+
+    /// Total point count (or weight) across all captured clusters.
+    pub fn total_count(&self) -> f64 {
+        self.clusters.values().map(AdditiveFeature::count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ustream_common::Timestamp as Ts;
+
+    /// Minimal additive feature for store tests: a 1-d sum + count.
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Toy {
+        sum: f64,
+        n: f64,
+        t: Ts,
+    }
+
+    impl Toy {
+        fn new(sum: f64, n: f64, t: Ts) -> Self {
+            Self { sum, n, t }
+        }
+    }
+
+    impl AdditiveFeature for Toy {
+        fn dims(&self) -> usize {
+            1
+        }
+        fn count(&self) -> f64 {
+            self.n
+        }
+        fn last_update(&self) -> Ts {
+            self.t
+        }
+        fn merge(&mut self, other: &Self) {
+            self.sum += other.sum;
+            self.n += other.n;
+            self.t = self.t.max(other.t);
+        }
+        fn subtract(&mut self, other: &Self) {
+            self.sum -= other.sum;
+            self.n = (self.n - other.n).max(0.0);
+        }
+        fn centroid(&self) -> Vec<f64> {
+            vec![self.sum / self.n.max(1e-12)]
+        }
+    }
+
+    fn store_with(ticks: impl IntoIterator<Item = Ts>) -> SnapshotStore<Ts> {
+        let mut s = SnapshotStore::new(PyramidConfig::new(2, 2).unwrap());
+        for t in ticks {
+            s.record(t, t);
+        }
+        s
+    }
+
+    #[test]
+    fn files_by_highest_order() {
+        let s = store_with(1..=8);
+        // order 0: odd ticks; order 1: 2,6; order 2: 4; order 3: 8.
+        assert_eq!(s.orders[0].iter().map(|x| x.time).collect::<Vec<_>>(), vec![1, 3, 5, 7]);
+        assert_eq!(s.orders[1].iter().map(|x| x.time).collect::<Vec<_>>(), vec![2, 6]);
+        assert_eq!(s.orders[2].iter().map(|x| x.time).collect::<Vec<_>>(), vec![4]);
+        assert_eq!(s.orders[3].iter().map(|x| x.time).collect::<Vec<_>>(), vec![8]);
+    }
+
+    #[test]
+    fn retention_cap_per_order() {
+        // alpha=2, l=2 → 5 snapshots per order.
+        let s = store_with(1..=100);
+        for ring in &s.orders {
+            assert!(ring.len() <= 5, "ring too long: {}", ring.len());
+        }
+        // Order 0 keeps the 5 most recent odd ticks.
+        assert_eq!(
+            s.orders[0].iter().map(|x| x.time).collect::<Vec<_>>(),
+            vec![91, 93, 95, 97, 99]
+        );
+    }
+
+    #[test]
+    fn find_at_or_before_exact_and_between() {
+        let s = store_with(1..=32);
+        assert_eq!(s.find_at_or_before(32).unwrap().time, 32);
+        assert_eq!(s.find_at_or_before(31).unwrap().time, 31);
+        // Tick 17 was evicted from order 0 (only 23..31 odd retained);
+        // the best ≤ 18 is 18? 18 = 2·9 → order 1. Order-1 ring holds
+        // last 5 of {2,6,10,14,18,22,26,30} = {14,18,22,26,30}.
+        assert_eq!(s.find_at_or_before(18).unwrap().time, 18);
+        assert_eq!(s.find_at_or_before(17).unwrap().time, 16);
+    }
+
+    #[test]
+    fn find_before_start_returns_none() {
+        let s = store_with(5..=10);
+        assert!(s.find_at_or_before(4).is_none());
+    }
+
+    #[test]
+    fn oldest_and_newest() {
+        let s = store_with(1..=64);
+        assert_eq!(s.newest().unwrap().time, 64);
+        // Oldest retained is the order-⌈max⌉ snapshot: 64 is order 6, but
+        // earlier high-order snapshots (16, 32, 48) persist in their rings.
+        let oldest = s.oldest().unwrap().time;
+        assert!(oldest <= 16, "oldest retained: {oldest}");
+    }
+
+    #[test]
+    fn chronological_iteration_sorted() {
+        let s = store_with(1..=40);
+        let times: Vec<Ts> = s.iter_chronological().map(|x| x.time).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted);
+        assert!(!times.is_empty());
+    }
+
+    #[test]
+    fn horizon_guarantee_holds_within_retention() {
+        // alpha=2, l=4 → 17 per order; error bound 1/8.
+        let cfg = PyramidConfig::new(2, 4).unwrap();
+        let mut s = SnapshotStore::new(cfg);
+        let now: Ts = 1000;
+        for t in 1..=now {
+            s.record(t, t);
+        }
+        let bound = cfg.horizon_error_bound();
+        // Horizons within the well-covered range.
+        for h in [1u64, 2, 5, 10, 17, 33, 100, 250, 500, 900] {
+            let base = s.horizon_base(now, h).unwrap();
+            let h_eff = now - base.time;
+            assert!(h_eff >= h, "h_eff {h_eff} < h {h}");
+            let rel = (h_eff - h) as f64 / h as f64;
+            assert!(
+                rel <= bound + 1e-9,
+                "horizon {h}: effective {h_eff}, rel error {rel} > bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn horizon_unavailable_error() {
+        let s = store_with(990..=1000);
+        let err = s.horizon_base(1000, 500).unwrap_err();
+        assert!(matches!(
+            err,
+            UStreamError::HorizonUnavailable { requested: 500 }
+        ));
+    }
+
+    #[test]
+    fn duplicate_tick_replaces() {
+        let mut s = SnapshotStore::new(PyramidConfig::new(2, 2).unwrap());
+        s.record(3, 30);
+        s.record(3, 31);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.find_at_or_before(3).unwrap().data, 31);
+    }
+
+    #[test]
+    fn cluster_set_subtraction_semantics() {
+        // Past: clusters 1, 2. Current: clusters 1 (grown), 3 (new).
+        let past = ClusterSetSnapshot::from_pairs([
+            (1, Toy::new(10.0, 5.0, 100)),
+            (2, Toy::new(4.0, 2.0, 90)),
+        ]);
+        let current = ClusterSetSnapshot::from_pairs([
+            (1, Toy::new(30.0, 9.0, 200)),
+            (3, Toy::new(7.0, 3.0, 150)),
+        ]);
+        let window = current.subtract_past(&past);
+        // Cluster 1: in-window contribution only.
+        assert_eq!(window.clusters[&1].sum, 20.0);
+        assert_eq!(window.clusters[&1].n, 4.0);
+        // Cluster 2 (evicted in window): discarded.
+        assert!(!window.clusters.contains_key(&2));
+        // Cluster 3 (created in window): retained as-is.
+        assert_eq!(window.clusters[&3].sum, 7.0);
+        assert_eq!(window.total_count(), 7.0);
+    }
+
+    #[test]
+    fn subtraction_drops_empty_clusters() {
+        let past = ClusterSetSnapshot::from_pairs([(1, Toy::new(10.0, 5.0, 100))]);
+        let current = ClusterSetSnapshot::from_pairs([(1, Toy::new(10.0, 5.0, 100))]);
+        let window = current.subtract_past(&past);
+        assert!(window.is_empty());
+    }
+}

@@ -1,0 +1,136 @@
+//! A feature-generic horizon tracker.
+//!
+//! [`HorizonTracker`] packages the recurring pattern on top of
+//! [`SnapshotStore`]: record keyed cluster-set snapshots as the stream
+//! advances, and answer "clusters of the window `(now − h, now]`" by keyed
+//! subtraction. Both the deterministic CluStream feature vector and the
+//! uncertain ECF run through the same tracker — the subtractive property is
+//! all it needs.
+
+use crate::pyramid::PyramidConfig;
+use crate::store::{ClusterSetSnapshot, SnapshotStore};
+use ustream_common::{AdditiveFeature, Result, Timestamp, UStreamError};
+
+/// Records snapshots and answers horizon queries for any additive feature.
+#[derive(Debug, Clone)]
+pub struct HorizonTracker<F> {
+    store: SnapshotStore<ClusterSetSnapshot<F>>,
+    last_recorded: Timestamp,
+}
+
+impl<F: AdditiveFeature> HorizonTracker<F> {
+    /// Tracker with the given pyramid geometry.
+    pub fn new(config: PyramidConfig) -> Self {
+        Self {
+            store: SnapshotStore::new(config),
+            last_recorded: 0,
+        }
+    }
+
+    /// Tracker with the default geometry (α = 2, l = 4).
+    pub fn with_defaults() -> Self {
+        Self::new(PyramidConfig::default())
+    }
+
+    /// The underlying snapshot store (persistence, inspection).
+    pub fn store(&self) -> &SnapshotStore<ClusterSetSnapshot<F>> {
+        &self.store
+    }
+
+    /// Records the cluster set active at tick `now`.
+    pub fn record_snapshot(&mut self, now: Timestamp, snap: ClusterSetSnapshot<F>) {
+        self.store.record(now, snap);
+        self.last_recorded = now;
+    }
+
+    /// Tick of the most recent recorded snapshot.
+    pub fn last_recorded(&self) -> Timestamp {
+        self.last_recorded
+    }
+
+    /// The full snapshot at (or just before) `t`.
+    pub fn clusters_at(&self, t: Timestamp) -> Option<&ClusterSetSnapshot<F>> {
+        self.store.find_at_or_before(t).map(|s| &s.data)
+    }
+
+    /// The cluster statistics of the window `(now − h, now]` via keyed
+    /// subtraction (see [`ClusterSetSnapshot::subtract_past`]).
+    pub fn horizon_clusters(&self, now: Timestamp, h: u64) -> Result<ClusterSetSnapshot<F>> {
+        let current = self
+            .store
+            .find_at_or_before(now)
+            .ok_or(UStreamError::HorizonUnavailable { requested: h })?;
+        let base = self.store.horizon_base(current.time, h)?;
+        Ok(current.data.subtract_past(&base.data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Toy {
+        sum: f64,
+        n: f64,
+        t: Timestamp,
+    }
+
+    impl AdditiveFeature for Toy {
+        fn dims(&self) -> usize {
+            1
+        }
+        fn count(&self) -> f64 {
+            self.n
+        }
+        fn last_update(&self) -> Timestamp {
+            self.t
+        }
+        fn merge(&mut self, other: &Self) {
+            self.sum += other.sum;
+            self.n += other.n;
+            self.t = self.t.max(other.t);
+        }
+        fn subtract(&mut self, other: &Self) {
+            self.sum -= other.sum;
+            self.n = (self.n - other.n).max(0.0);
+        }
+        fn centroid(&self) -> Vec<f64> {
+            vec![self.sum / self.n.max(1e-12)]
+        }
+    }
+
+    #[test]
+    fn generic_tracker_round_trip() {
+        let mut tracker: HorizonTracker<Toy> =
+            HorizonTracker::new(PyramidConfig::new(2, 5).unwrap());
+        // One cluster accumulating one unit per tick.
+        for t in 1..=256u64 {
+            tracker.record_snapshot(
+                t,
+                ClusterSetSnapshot::from_pairs([(
+                    1u64,
+                    Toy {
+                        sum: t as f64,
+                        n: t as f64,
+                        t,
+                    },
+                )]),
+            );
+        }
+        assert_eq!(tracker.last_recorded(), 256);
+        let window = tracker.horizon_clusters(256, 64).unwrap();
+        // The window holds exactly the last 64 units (256 and 192 are both
+        // stored exactly).
+        assert!((window.clusters[&1].n - 64.0).abs() < 1e-9);
+        assert!(tracker.clusters_at(256).is_some());
+        assert!(tracker.clusters_at(0).is_none());
+    }
+
+    #[test]
+    fn unavailable_horizon_errors() {
+        let tracker: HorizonTracker<Toy> = HorizonTracker::with_defaults();
+        assert!(tracker.horizon_clusters(10, 5).is_err());
+    }
+}

@@ -1,0 +1,29 @@
+//! # ustream-synth
+//!
+//! Workload generation for the uncertain-stream clustering evaluation:
+//!
+//! * [`NoiseModel`] / [`NoisyStream`] — the paper's η uncertainty model
+//!   (§III): per dimension `i` an error standard deviation
+//!   `σ_i ~ U[0, 2·η·σ_i⁰]` is drawn (where `σ_i⁰` is the base standard
+//!   deviation of the data along dimension `i`), then every record's
+//!   dimension-`i` value is perturbed with zero-mean Gaussian noise of that
+//!   standard deviation, and `ψ_i = σ_i` is reported to the algorithm;
+//! * [`SynDriftConfig`] — the paper's *SynDrift* generator: continuously
+//!   drifting Gaussian clusters in the unit cube;
+//! * [`profiles`] — statistical simulators of the paper's real datasets
+//!   (Network Intrusion / KDD'99, Forest CoverType, Charitable Donation) —
+//!   see DESIGN.md §3 for the substitution argument;
+//! * [`loader`] — parsers for the real `kddcup.data` / `covtype.data`
+//!   files, used automatically when present.
+
+pub mod io;
+pub mod loader;
+pub mod mixture;
+pub mod noise;
+pub mod profiles;
+pub mod syndrift;
+
+pub use mixture::{ArrivalModel, ClusterSpec, MixtureConfig, MixtureStream};
+pub use noise::{NoiseModel, NoiseVariant, NoisyStream};
+pub use profiles::DatasetProfile;
+pub use syndrift::{SynDriftConfig, SynDriftStream};

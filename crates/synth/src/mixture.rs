@@ -1,0 +1,367 @@
+//! Labelled Gaussian-mixture stream machinery.
+//!
+//! Every synthetic workload in the evaluation is, at its core, a mixture of
+//! multivariate Gaussian clusters with per-dimension radii, a class label
+//! per cluster, and an arrival model (i.i.d. sampling, or bursty arrivals
+//! for the network-intrusion profile where attacks come in runs).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+use ustream_common::{ClassLabel, DataStream, Timestamp, UncertainPoint};
+
+/// One generating cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSpec {
+    /// Cluster centre.
+    pub centroid: Vec<f64>,
+    /// Per-dimension standard deviations.
+    pub radii: Vec<f64>,
+    /// Relative arrival fraction (normalised internally).
+    pub fraction: f64,
+    /// Ground-truth class emitted with each point. Several clusters may
+    /// share a class (e.g. sub-clusters of one attack category).
+    pub class: ClassLabel,
+}
+
+impl ClusterSpec {
+    /// Validated constructor.
+    pub fn new(centroid: Vec<f64>, radii: Vec<f64>, fraction: f64, class: ClassLabel) -> Self {
+        assert_eq!(centroid.len(), radii.len(), "centroid/radii length mismatch");
+        assert!(fraction > 0.0 && fraction.is_finite(), "fraction must be positive");
+        assert!(radii.iter().all(|r| *r >= 0.0), "radii must be non-negative");
+        Self {
+            centroid,
+            radii,
+            fraction,
+            class,
+        }
+    }
+}
+
+/// How points from different clusters interleave.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalModel {
+    /// Each point drawn independently by cluster fraction.
+    Iid,
+    /// Mostly i.i.d., but with probability `burst_prob` per point the
+    /// stream locks onto one *non-dominant* cluster for a geometric-length
+    /// run with the given mean — the bursty attack pattern of network
+    /// traffic ("occasionally there could be a burst of attacks").
+    Bursty {
+        /// Per-point probability of entering a burst.
+        burst_prob: f64,
+        /// Mean burst length (geometric distribution).
+        mean_len: f64,
+    },
+}
+
+/// Mixture stream configuration.
+#[derive(Debug, Clone)]
+pub struct MixtureConfig {
+    /// The generating clusters.
+    pub clusters: Vec<ClusterSpec>,
+    /// Total number of points to emit.
+    pub len: usize,
+    /// Arrival model.
+    pub arrivals: ArrivalModel,
+}
+
+impl MixtureConfig {
+    /// Builds the stream with a seed.
+    pub fn build(self, seed: u64) -> MixtureStream {
+        MixtureStream::new(self, seed)
+    }
+}
+
+/// The labelled clean (zero-error) stream; wrap in
+/// [`crate::NoisyStream`] to apply the η uncertainty model.
+#[derive(Debug)]
+pub struct MixtureStream {
+    specs: Vec<ClusterSpec>,
+    cumulative: Vec<f64>,
+    dims: usize,
+    len: usize,
+    emitted: usize,
+    clock: Timestamp,
+    rng: StdRng,
+    arrivals: ArrivalModel,
+    /// Index of the dominant (largest-fraction) cluster — bursts lock onto
+    /// the others.
+    dominant: usize,
+    burst_remaining: usize,
+    burst_target: usize,
+}
+
+impl MixtureStream {
+    /// Creates the stream.
+    ///
+    /// # Panics
+    /// Panics on empty cluster lists or mismatched dimensionalities.
+    pub fn new(config: MixtureConfig, seed: u64) -> Self {
+        assert!(!config.clusters.is_empty(), "mixture needs at least one cluster");
+        let dims = config.clusters[0].centroid.len();
+        assert!(
+            config.clusters.iter().all(|c| c.centroid.len() == dims),
+            "all clusters must share one dimensionality"
+        );
+        let total: f64 = config.clusters.iter().map(|c| c.fraction).sum();
+        let mut acc = 0.0;
+        let cumulative = config
+            .clusters
+            .iter()
+            .map(|c| {
+                acc += c.fraction / total;
+                acc
+            })
+            .collect();
+        let dominant = config
+            .clusters
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.fraction.partial_cmp(&b.1.fraction).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        Self {
+            specs: config.clusters,
+            cumulative,
+            dims,
+            len: config.len,
+            emitted: 0,
+            clock: 0,
+            rng: StdRng::seed_from_u64(seed),
+            arrivals: config.arrivals,
+            dominant,
+            burst_remaining: 0,
+            burst_target: 0,
+        }
+    }
+
+    /// The generating specs (tests verify sampling statistics against them).
+    pub fn specs(&self) -> &[ClusterSpec] {
+        &self.specs
+    }
+
+    fn pick_cluster(&mut self) -> usize {
+        if let ArrivalModel::Bursty {
+            burst_prob,
+            mean_len,
+        } = self.arrivals
+        {
+            if self.burst_remaining > 0 {
+                self.burst_remaining -= 1;
+                return self.burst_target;
+            }
+            if self.specs.len() > 1 && self.rng.gen::<f64>() < burst_prob {
+                // Enter a burst on a uniformly chosen non-dominant cluster.
+                let mut idx = self.rng.gen_range(0..self.specs.len() - 1);
+                if idx >= self.dominant {
+                    idx += 1;
+                }
+                self.burst_target = idx;
+                // Geometric length with the requested mean.
+                let p = 1.0 / mean_len.max(1.0);
+                let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+                self.burst_remaining = ((u.ln() / (1.0 - p).ln()).ceil() as usize).max(1);
+                self.burst_remaining -= 1;
+                return self.burst_target;
+            }
+        }
+        let u: f64 = self.rng.gen();
+        match self
+            .cumulative
+            .iter()
+            .position(|&c| u <= c)
+        {
+            Some(i) => i,
+            None => self.specs.len() - 1,
+        }
+    }
+
+    fn sample(&mut self, cluster: usize) -> UncertainPoint {
+        let spec = &self.specs[cluster];
+        let mut values = Vec::with_capacity(self.dims);
+        for j in 0..self.dims {
+            let base = spec.centroid[j];
+            let r = spec.radii[j];
+            let v = if r > 0.0 {
+                let n = Normal::new(base, r).expect("finite positive radius");
+                n.sample(&mut self.rng)
+            } else {
+                base
+            };
+            values.push(v);
+        }
+        self.clock += 1;
+        UncertainPoint::certain(values, self.clock, Some(spec.class))
+    }
+}
+
+impl Iterator for MixtureStream {
+    type Item = UncertainPoint;
+
+    fn next(&mut self) -> Option<UncertainPoint> {
+        if self.emitted >= self.len {
+            return None;
+        }
+        self.emitted += 1;
+        let cluster = self.pick_cluster();
+        Some(self.sample(cluster))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.len - self.emitted;
+        (rem, Some(rem))
+    }
+}
+
+impl DataStream for MixtureStream {
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.len - self.emitted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn two_cluster_config(len: usize, arrivals: ArrivalModel) -> MixtureConfig {
+        MixtureConfig {
+            clusters: vec![
+                ClusterSpec::new(vec![0.0, 0.0], vec![0.1, 0.1], 0.8, ClassLabel(0)),
+                ClusterSpec::new(vec![10.0, 10.0], vec![0.1, 0.1], 0.2, ClassLabel(1)),
+            ],
+            len,
+            arrivals,
+        }
+    }
+
+    #[test]
+    fn emits_exactly_len_points() {
+        let s = two_cluster_config(500, ArrivalModel::Iid).build(1);
+        assert_eq!(s.count(), 500);
+    }
+
+    #[test]
+    fn fractions_respected_iid() {
+        let s = two_cluster_config(20_000, ArrivalModel::Iid).build(2);
+        let mut counts: BTreeMap<ClassLabel, usize> = BTreeMap::new();
+        for p in s {
+            *counts.entry(p.label().unwrap()).or_insert(0) += 1;
+        }
+        let frac0 = counts[&ClassLabel(0)] as f64 / 20_000.0;
+        assert!((frac0 - 0.8).abs() < 0.02, "class 0 fraction {frac0}");
+    }
+
+    #[test]
+    fn samples_concentrate_near_centroids() {
+        let s = two_cluster_config(2_000, ArrivalModel::Iid).build(3);
+        for p in s {
+            let near0 = p.values()[0].abs() < 1.0;
+            let near10 = (p.values()[0] - 10.0).abs() < 1.0;
+            assert!(near0 || near10, "stray point: {:?}", p.values());
+            // Label agrees with location.
+            let expect = if near0 { ClassLabel(0) } else { ClassLabel(1) };
+            assert_eq!(p.label(), Some(expect));
+        }
+    }
+
+    #[test]
+    fn timestamps_are_sequential() {
+        let s = two_cluster_config(50, ArrivalModel::Iid).build(4);
+        for (i, p) in s.enumerate() {
+            assert_eq!(p.timestamp(), (i + 1) as u64);
+        }
+    }
+
+    #[test]
+    fn bursty_arrivals_produce_runs() {
+        let s = two_cluster_config(
+            50_000,
+            ArrivalModel::Bursty {
+                burst_prob: 0.002,
+                mean_len: 100.0,
+            },
+        )
+        .build(5);
+        // Measure the longest run of the minority class; bursts should make
+        // it far longer than i.i.d. sampling would.
+        let mut longest = 0usize;
+        let mut run = 0usize;
+        let mut minority_total = 0usize;
+        for p in s {
+            if p.label() == Some(ClassLabel(1)) {
+                run += 1;
+                minority_total += 1;
+                longest = longest.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        assert!(
+            longest >= 30,
+            "bursty stream should contain long minority runs, longest={longest}"
+        );
+        assert!(minority_total > 0);
+    }
+
+    #[test]
+    fn zero_radius_cluster_emits_exact_centroid() {
+        let cfg = MixtureConfig {
+            clusters: vec![ClusterSpec::new(
+                vec![3.0, -1.0],
+                vec![0.0, 0.0],
+                1.0,
+                ClassLabel(0),
+            )],
+            len: 10,
+            arrivals: ArrivalModel::Iid,
+        };
+        for p in cfg.build(6) {
+            assert_eq!(p.values(), &[3.0, -1.0]);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a: Vec<_> = two_cluster_config(100, ArrivalModel::Iid)
+            .build(42)
+            .map(|p| p.values().to_vec())
+            .collect();
+        let b: Vec<_> = two_cluster_config(100, ArrivalModel::Iid)
+            .build(42)
+            .map(|p| p.values().to_vec())
+            .collect();
+        assert_eq!(a, b);
+        let c: Vec<_> = two_cluster_config(100, ArrivalModel::Iid)
+            .build(43)
+            .map(|p| p.values().to_vec())
+            .collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn empty_mixture_panics() {
+        let cfg = MixtureConfig {
+            clusters: vec![],
+            len: 10,
+            arrivals: ArrivalModel::Iid,
+        };
+        let _ = cfg.build(0);
+    }
+
+    #[test]
+    fn len_and_size_hints() {
+        let mut s = two_cluster_config(10, ArrivalModel::Iid).build(7);
+        assert_eq!(s.len_hint(), Some(10));
+        assert_eq!(s.size_hint(), (10, Some(10)));
+        let _ = s.next();
+        assert_eq!(s.len_hint(), Some(9));
+    }
+}

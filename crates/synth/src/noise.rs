@@ -1,0 +1,433 @@
+//! The η uncertainty model (§III of the paper).
+//!
+//! > "We used a noise parameter η to determine the amount of noise to be
+//! > added to each dimension in the data. ... we first defined the standard
+//! > deviation σ_i along dimension i as a uniform random variable drawn
+//! > from the range [0, 2·η·σ_i⁰]. Then, for the dimension i, we add error
+//! > from a random distribution with standard deviation σ_i."
+//!
+//! `σ_i⁰` is the base standard deviation of the clean data along dimension
+//! `i`. The expected noise level per dimension is therefore `η·σ_i⁰`, and
+//! — crucially for the dimension-counting similarity — different dimensions
+//! get *different* noise levels, so some dimensions stay informative while
+//! others drown.
+
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+use ustream_common::stats::DimStats;
+use ustream_common::{DataStream, UncertainPoint};
+
+/// How per-record error levels relate to the frozen per-dimension sigmas.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NoiseVariant {
+    /// The paper's model: every record on dimension `i` carries the same
+    /// `ψ_i = σ_i`.
+    Fixed,
+    /// Heteroscedastic records: each record draws a multiplier
+    /// `u ~ U[1 − spread, 1 + spread]` per dimension, is perturbed with
+    /// `σ_i·u` and reports `ψ_i = σ_i·u`. Models sensor fleets whose
+    /// per-reading error estimates genuinely differ — the setting where a
+    /// per-record ψ carries information beyond the per-dimension level.
+    PerRecord {
+        /// Relative spread of the multiplier, in `[0, 1)`.
+        spread: f64,
+    },
+}
+
+/// Per-dimension error standard deviations, frozen for a whole stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseModel {
+    sigmas: Vec<f64>,
+    eta: f64,
+}
+
+impl NoiseModel {
+    /// Draws `σ_i ~ U[0, 2·η·σ_i⁰]` per dimension.
+    pub fn from_base_sigmas<R: Rng>(eta: f64, base_sigmas: &[f64], rng: &mut R) -> Self {
+        assert!(eta >= 0.0 && eta.is_finite(), "eta must be non-negative");
+        let sigmas = base_sigmas
+            .iter()
+            .map(|s0| {
+                let hi = 2.0 * eta * s0.max(0.0);
+                if hi > 0.0 {
+                    rng.gen_range(0.0..hi)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        Self { sigmas, eta }
+    }
+
+    /// A zero-noise model (η = 0).
+    pub fn noiseless(dims: usize) -> Self {
+        Self {
+            sigmas: vec![0.0; dims],
+            eta: 0.0,
+        }
+    }
+
+    /// The frozen per-dimension error standard deviations.
+    pub fn sigmas(&self) -> &[f64] {
+        &self.sigmas
+    }
+
+    /// The η the model was drawn with.
+    pub fn eta(&self) -> f64 {
+        self.eta
+    }
+
+    /// Dimensionality.
+    pub fn dims(&self) -> usize {
+        self.sigmas.len()
+    }
+
+    /// Perturbs a clean point in place and returns the error vector `ψ` the
+    /// algorithm will be told about (equal to the true noise std-devs).
+    pub fn perturb<R: Rng>(&self, values: &mut [f64], rng: &mut R) -> Vec<f64> {
+        self.perturb_with(values, rng, NoiseVariant::Fixed)
+    }
+
+    /// Perturbs under an explicit [`NoiseVariant`], returning the ψ vector
+    /// the record will report (always equal to the std-dev of the noise
+    /// actually injected).
+    pub fn perturb_with<R: Rng>(
+        &self,
+        values: &mut [f64],
+        rng: &mut R,
+        variant: NoiseVariant,
+    ) -> Vec<f64> {
+        debug_assert_eq!(values.len(), self.sigmas.len());
+        let mut psis = Vec::with_capacity(self.sigmas.len());
+        for (v, &s) in values.iter_mut().zip(&self.sigmas) {
+            let psi = match variant {
+                NoiseVariant::Fixed => s,
+                NoiseVariant::PerRecord { spread } => {
+                    debug_assert!((0.0..1.0).contains(&spread));
+                    if s > 0.0 {
+                        s * rng.gen_range(1.0 - spread..=1.0 + spread)
+                    } else {
+                        0.0
+                    }
+                }
+            };
+            if psi > 0.0 {
+                let n = Normal::new(0.0, psi).expect("positive finite std-dev");
+                *v += n.sample(rng);
+            }
+            psis.push(psi);
+        }
+        psis
+    }
+}
+
+/// Stream adapter that applies the η noise model to a clean labelled stream.
+///
+/// The base standard deviations `σ_i⁰` are estimated from the first
+/// `calibration_len` points (which are buffered, perturbed and then
+/// re-emitted, so no data is lost and the stream stays one-pass for the
+/// consumer).
+#[derive(Debug)]
+pub struct NoisyStream<S, R> {
+    inner: S,
+    rng: R,
+    eta: f64,
+    calibration_len: usize,
+    variant: NoiseVariant,
+    state: State,
+}
+
+#[derive(Debug)]
+enum State {
+    /// Still filling the calibration buffer.
+    Calibrating { buffer: Vec<UncertainPoint> },
+    /// Calibrated: replaying the buffered prefix, then passing through.
+    Running {
+        model: NoiseModel,
+        replay: std::vec::IntoIter<UncertainPoint>,
+    },
+}
+
+impl<S: DataStream, R: Rng> NoisyStream<S, R> {
+    /// Wraps `inner` with noise level `eta`, calibrating `σ⁰` on the first
+    /// 2 000 points.
+    pub fn new(inner: S, eta: f64, rng: R) -> Self {
+        Self::with_calibration(inner, eta, rng, 2_000)
+    }
+
+    /// Wraps with an explicit calibration length.
+    pub fn with_calibration(inner: S, eta: f64, rng: R, calibration_len: usize) -> Self {
+        assert!(calibration_len > 0, "calibration length must be positive");
+        Self {
+            inner,
+            rng,
+            eta,
+            calibration_len,
+            variant: NoiseVariant::Fixed,
+            state: State::Calibrating { buffer: Vec::new() },
+        }
+    }
+
+    /// Switches to heteroscedastic per-record error levels.
+    pub fn with_variant(mut self, variant: NoiseVariant) -> Self {
+        if let NoiseVariant::PerRecord { spread } = variant {
+            assert!((0.0..1.0).contains(&spread), "spread must be in [0, 1)");
+        }
+        self.variant = variant;
+        self
+    }
+
+    /// The frozen noise model, once calibration has completed.
+    pub fn model(&self) -> Option<&NoiseModel> {
+        match &self.state {
+            State::Running { model, .. } => Some(model),
+            State::Calibrating { .. } => None,
+        }
+    }
+
+    fn calibrate(&mut self, buffer: Vec<UncertainPoint>) -> Option<UncertainPoint> {
+        let mut stats = DimStats::new(self.inner.dims());
+        for p in &buffer {
+            stats.push(p.values());
+        }
+        let model = NoiseModel::from_base_sigmas(self.eta, &stats.std_devs(), &mut self.rng);
+        let variant = self.variant;
+        let perturbed: Vec<UncertainPoint> = buffer
+            .into_iter()
+            .map(|p| apply(&model, p, &mut self.rng, variant))
+            .collect();
+        let mut replay = perturbed.into_iter();
+        let first = replay.next();
+        self.state = State::Running { model, replay };
+        first
+    }
+}
+
+fn apply<R: Rng>(
+    model: &NoiseModel,
+    p: UncertainPoint,
+    rng: &mut R,
+    variant: NoiseVariant,
+) -> UncertainPoint {
+    let mut values = p.values().to_vec();
+    let errors = model.perturb_with(&mut values, rng, variant);
+    UncertainPoint::new(values, errors, p.timestamp(), p.label())
+}
+
+impl<S: DataStream, R: Rng> Iterator for NoisyStream<S, R> {
+    type Item = UncertainPoint;
+
+    fn next(&mut self) -> Option<UncertainPoint> {
+        loop {
+            match &mut self.state {
+                State::Calibrating { buffer } => match self.inner.next() {
+                    Some(p) => {
+                        buffer.push(p);
+                        if buffer.len() >= self.calibration_len {
+                            let buf = std::mem::take(buffer);
+                            return self.calibrate(buf);
+                        }
+                    }
+                    None => {
+                        // Short stream: calibrate on whatever arrived.
+                        let buf = std::mem::take(buffer);
+                        if buf.is_empty() {
+                            return None;
+                        }
+                        return self.calibrate(buf);
+                    }
+                },
+                State::Running { model, replay } => {
+                    if let Some(p) = replay.next() {
+                        return Some(p);
+                    }
+                    let p = self.inner.next()?;
+                    let model = model.clone();
+                    let variant = self.variant;
+                    return Some(apply(&model, p, &mut self.rng, variant));
+                }
+            }
+        }
+    }
+}
+
+impl<S: DataStream, R: Rng> DataStream for NoisyStream<S, R> {
+    fn dims(&self) -> usize {
+        self.inner.dims()
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        let buffered = match &self.state {
+            State::Calibrating { buffer } => buffer.len(),
+            State::Running { replay, .. } => replay.len(),
+        };
+        self.inner.len_hint().map(|n| n + buffered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ustream_common::VecStream;
+
+    fn clean_stream(n: usize) -> VecStream {
+        // Two dimensions: dim 0 varies (σ⁰ ≈ 1), dim 1 constant (σ⁰ = 0).
+        let pts = (0..n)
+            .map(|i| {
+                let x = if i % 2 == 0 { -1.0 } else { 1.0 };
+                UncertainPoint::certain(vec![x, 5.0], i as u64, None)
+            })
+            .collect();
+        VecStream::new(pts)
+    }
+
+    #[test]
+    fn sigma_range_respects_eta() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let m = NoiseModel::from_base_sigmas(0.5, &[1.0, 2.0, 0.0], &mut rng);
+            assert!(m.sigmas()[0] >= 0.0 && m.sigmas()[0] < 1.0);
+            assert!(m.sigmas()[1] >= 0.0 && m.sigmas()[1] < 2.0);
+            assert_eq!(m.sigmas()[2], 0.0);
+        }
+    }
+
+    #[test]
+    fn eta_zero_is_noiseless() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = NoiseModel::from_base_sigmas(0.0, &[1.0, 1.0], &mut rng);
+        assert_eq!(m.sigmas(), &[0.0, 0.0]);
+        let mut vals = vec![3.0, 4.0];
+        let errs = m.perturb(&mut vals, &mut rng);
+        assert_eq!(vals, vec![3.0, 4.0]);
+        assert_eq!(errs, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn perturbation_statistics_match_sigma() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = NoiseModel {
+            sigmas: vec![2.0],
+            eta: 1.0,
+        };
+        let mut acc = ustream_common::stats::RunningStats::new();
+        for _ in 0..20_000 {
+            let mut v = vec![0.0];
+            m.perturb(&mut v, &mut rng);
+            acc.push(v[0]);
+        }
+        assert!(acc.mean().abs() < 0.05, "mean {}", acc.mean());
+        assert!(
+            (acc.std_dev() - 2.0).abs() < 0.05,
+            "std {}",
+            acc.std_dev()
+        );
+    }
+
+    #[test]
+    fn noisy_stream_preserves_count_order_and_labels() {
+        let pts: Vec<UncertainPoint> = (0..100)
+            .map(|i| {
+                UncertainPoint::certain(vec![i as f64], i as u64, None)
+                    .with_label(ustream_common::ClassLabel((i % 3) as u32))
+            })
+            .collect();
+        let inner = VecStream::new(pts);
+        let rng = StdRng::seed_from_u64(4);
+        let noisy = NoisyStream::with_calibration(inner, 0.5, rng, 10);
+        let out: Vec<UncertainPoint> = noisy.collect();
+        assert_eq!(out.len(), 100);
+        for (i, p) in out.iter().enumerate() {
+            assert_eq!(p.timestamp(), i as u64);
+            assert_eq!(p.label(), Some(ustream_common::ClassLabel((i % 3) as u32)));
+        }
+    }
+
+    #[test]
+    fn errors_reported_match_injected_noise_level() {
+        let inner = clean_stream(5_000);
+        let rng = StdRng::seed_from_u64(5);
+        let mut noisy = NoisyStream::with_calibration(inner, 1.0, rng, 500);
+        let first = noisy.next().unwrap();
+        let model = noisy.model().unwrap().clone();
+        // ψ on each record equals the frozen per-dimension sigma.
+        assert_eq!(first.errors(), model.sigmas());
+        // Dim 1 was constant → σ⁰ = 0 → no noise there.
+        assert_eq!(model.sigmas()[1], 0.0);
+        // Dim 0 had σ⁰ ≈ 1 → σ ∈ [0, 2).
+        assert!(model.sigmas()[0] < 2.0);
+        // Actual perturbations on dim 0 match the reported sigma.
+        let mut acc = ustream_common::stats::RunningStats::new();
+        for (i, p) in (1usize..).zip(noisy.by_ref().take(3_000)) {
+            let clean = if i.is_multiple_of(2) { -1.0 } else { 1.0 };
+            acc.push(p.values()[0] - clean);
+        }
+        let expected = model.sigmas()[0];
+        assert!(
+            (acc.std_dev() - expected).abs() < 0.1 * expected.max(0.1),
+            "injected std {} vs reported {}",
+            acc.std_dev(),
+            expected
+        );
+    }
+
+    #[test]
+    fn per_record_variant_varies_psi() {
+        let inner = clean_stream(2_000);
+        let rng = StdRng::seed_from_u64(11);
+        let mut noisy = NoisyStream::with_calibration(inner, 1.0, rng, 200)
+            .with_variant(NoiseVariant::PerRecord { spread: 0.5 });
+        let first = noisy.next().unwrap();
+        let base = noisy.model().unwrap().sigmas().to_vec();
+        let mut distinct = std::collections::BTreeSet::new();
+        let mut within_band = true;
+        for p in noisy.take(500) {
+            let psi = p.errors()[0];
+            distinct.insert((psi * 1e9) as i64);
+            if base[0] > 0.0 && !(0.5 * base[0] <= psi && psi <= 1.5 * base[0]) {
+                within_band = false;
+            }
+        }
+        assert!(distinct.len() > 100, "psi should vary per record");
+        assert!(within_band, "psi must stay within the spread band");
+        // The constant dimension stays noiseless even per-record.
+        assert_eq!(first.errors()[1], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "spread must be in [0, 1)")]
+    fn per_record_spread_validated() {
+        let inner = clean_stream(10);
+        let rng = StdRng::seed_from_u64(12);
+        let _ = NoisyStream::new(inner, 0.5, rng)
+            .with_variant(NoiseVariant::PerRecord { spread: 1.0 });
+    }
+
+    #[test]
+    fn short_stream_still_calibrates() {
+        let inner = clean_stream(5);
+        let rng = StdRng::seed_from_u64(6);
+        let noisy = NoisyStream::with_calibration(inner, 0.5, rng, 1_000);
+        assert_eq!(noisy.count(), 5);
+    }
+
+    #[test]
+    fn empty_stream_yields_nothing() {
+        let inner = VecStream::new(vec![]);
+        let rng = StdRng::seed_from_u64(7);
+        let mut noisy = NoisyStream::new(inner, 0.5, rng);
+        assert!(noisy.next().is_none());
+    }
+
+    #[test]
+    fn len_hint_consistent() {
+        let inner = clean_stream(50);
+        let rng = StdRng::seed_from_u64(8);
+        let mut noisy = NoisyStream::with_calibration(inner, 0.5, rng, 10);
+        assert_eq!(noisy.len_hint(), Some(50));
+        let _ = noisy.next();
+        assert_eq!(noisy.len_hint(), Some(49));
+    }
+}

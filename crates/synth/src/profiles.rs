@@ -1,0 +1,351 @@
+//! Statistical simulators of the paper's real datasets.
+//!
+//! The evaluation uses three real datasets we cannot redistribute: Network
+//! Intrusion (KDD Cup'99), Forest CoverType (UCI) and Charitable Donation
+//! (KDD Cup'98). Each profile below reproduces the statistical properties
+//! the paper's *analysis* actually leans on — dimensionality, number of
+//! classes, class skew, burstiness and per-dimension scale diversity — so
+//! the relative algorithm behaviour (who wins, and by how much) carries
+//! over. See DESIGN.md §3 for the substitution table. When the real files
+//! are available, [`crate::loader`] parses them instead.
+
+use crate::mixture::{ArrivalModel, ClusterSpec, MixtureConfig, MixtureStream};
+use crate::syndrift::SynDriftConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ustream_common::ClassLabel;
+
+/// The four workloads of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetProfile {
+    /// SynDrift — drifting synthetic clusters (Figures 2, 5, 8).
+    SynDrift,
+    /// Network Intrusion / KDD'99-like (Figures 3, 6, 9).
+    NetworkIntrusion,
+    /// Forest CoverType-like (Figures 7, 10).
+    ForestCover,
+    /// Charitable Donation / KDD'98-like (Figure 4).
+    CharitableDonation,
+}
+
+impl DatasetProfile {
+    /// Human-readable name used in result tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetProfile::SynDrift => "SynDrift",
+            DatasetProfile::NetworkIntrusion => "Network",
+            DatasetProfile::ForestCover => "ForestCover",
+            DatasetProfile::CharitableDonation => "Donation",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "syndrift" | "synthetic" => Some(DatasetProfile::SynDrift),
+            "network" | "kdd99" | "intrusion" => Some(DatasetProfile::NetworkIntrusion),
+            "forest" | "forestcover" | "covtype" => Some(DatasetProfile::ForestCover),
+            "donation" | "charitable" | "kdd98" => Some(DatasetProfile::CharitableDonation),
+            _ => None,
+        }
+    }
+
+    /// Dimensionality of the profile's stream.
+    pub fn dims(&self) -> usize {
+        match self {
+            DatasetProfile::SynDrift => 20,
+            // 34 continuous attributes, as the paper uses for KDD'99.
+            DatasetProfile::NetworkIntrusion => 34,
+            // The 10 quantitative CoverType variables.
+            DatasetProfile::ForestCover => 10,
+            // KDD'98 quantitative fields (following [3], 54 are used here).
+            DatasetProfile::CharitableDonation => 54,
+        }
+    }
+
+    /// Number of ground-truth classes.
+    pub fn classes(&self) -> usize {
+        match self {
+            DatasetProfile::SynDrift => 10,
+            DatasetProfile::NetworkIntrusion => 5, // normal + 4 attack types
+            DatasetProfile::ForestCover => 7,
+            DatasetProfile::CharitableDonation => 6,
+        }
+    }
+
+    /// Default stream length used by the figure regenerators.
+    pub fn default_len(&self) -> usize {
+        match self {
+            DatasetProfile::SynDrift => 600_000,
+            DatasetProfile::NetworkIntrusion => 494_021,
+            DatasetProfile::ForestCover => 581_012,
+            DatasetProfile::CharitableDonation => 95_412,
+        }
+    }
+}
+
+/// Builds the clean (zero-error) stream for a profile. The caller wraps it
+/// in [`crate::NoisyStream`] to add the η uncertainty.
+pub fn profile_stream(
+    profile: DatasetProfile,
+    len: usize,
+    seed: u64,
+) -> Box<dyn ustream_common::DataStream + Send> {
+    match profile {
+        DatasetProfile::SynDrift => {
+            let mut cfg = SynDriftConfig::paper();
+            cfg.len = len;
+            Box::new(cfg.build(seed))
+        }
+        DatasetProfile::NetworkIntrusion => Box::new(network_intrusion(len, seed)),
+        DatasetProfile::ForestCover => Box::new(forest_cover(len, seed)),
+        DatasetProfile::CharitableDonation => Box::new(charitable_donation(len, seed)),
+    }
+}
+
+/// Heavy-tailed per-dimension scale factors: network features span orders
+/// of magnitude (durations in seconds vs byte counts in the millions).
+fn heavy_tailed_scales(dims: usize, rng: &mut StdRng) -> Vec<f64> {
+    (0..dims)
+        .map(|_| {
+            let z: f64 = rng.gen_range(-1.5..2.5);
+            10f64.powf(z) // scales from ~0.03 to ~300
+        })
+        .collect()
+}
+
+/// KDD'99-like stream: 34 continuous dimensions, 5 classes dominated by
+/// `normal` (~60%), with attacks arriving in bursts. The small UMicro
+/// advantage the paper reports on this dataset comes precisely from the
+/// dominant-class skew, which this simulator reproduces.
+pub fn network_intrusion(len: usize, seed: u64) -> MixtureStream {
+    let dims = DatasetProfile::NetworkIntrusion.dims();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6b64_6439);
+    let scales = heavy_tailed_scales(dims, &mut rng);
+
+    // (class, fraction, how many sub-clusters, spread multiplier)
+    // normal, dos, probe, r2l, u2r — proportions inspired by the 10% KDD set
+    // but with normal dominant as the paper describes for the full stream.
+    let blueprint: [(u32, f64, usize, f64); 5] = [
+        (0, 0.60, 3, 1.0),  // normal traffic, a few modes
+        (1, 0.25, 2, 0.6),  // DOS: tight, voluminous bursts
+        (2, 0.08, 2, 0.8),  // probing
+        (3, 0.05, 1, 0.7),  // r2l
+        (4, 0.02, 1, 0.5),  // u2r: rare
+    ];
+
+    let mut clusters = Vec::new();
+    for (class, fraction, subs, spread) in blueprint {
+        for _ in 0..subs {
+            let centroid: Vec<f64> = scales
+                .iter()
+                .map(|s| rng.gen_range(0.0..1.0) * s)
+                .collect();
+            let radii: Vec<f64> = scales
+                .iter()
+                .map(|s| rng.gen_range(0.02..0.12) * s * spread)
+                .collect();
+            clusters.push(ClusterSpec::new(
+                centroid,
+                radii,
+                fraction / subs as f64,
+                ClassLabel(class),
+            ));
+        }
+    }
+
+    MixtureConfig {
+        clusters,
+        len,
+        arrivals: ArrivalModel::Bursty {
+            burst_prob: 0.0015,
+            mean_len: 150.0,
+        },
+    }
+    .build(seed)
+}
+
+/// Forest CoverType-like stream: 10 quantitative dimensions, 7 classes with
+/// the real dataset's class proportions (two dominant, five minor) and
+/// moderate per-dimension scale diversity. The diverse class distribution
+/// is what drives the larger UMicro gap on this dataset.
+pub fn forest_cover(len: usize, seed: u64) -> MixtureStream {
+    let dims = DatasetProfile::ForestCover.dims();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x636f_7674);
+    // Real covtype class proportions.
+    let fractions = [0.365, 0.488, 0.062, 0.005, 0.016, 0.030, 0.034];
+    // Elevation-like scales: some dimensions span thousands of metres,
+    // others are small angles.
+    let scales: Vec<f64> = (0..dims)
+        .map(|j| if j < 3 { 1000.0 } else { 50.0 * (j as f64 + 1.0) })
+        .collect();
+
+    let mut clusters = Vec::new();
+    for (class, &fraction) in fractions.iter().enumerate() {
+        // Each cover type gets two terrain modes.
+        for _ in 0..2 {
+            let centroid: Vec<f64> = scales
+                .iter()
+                .map(|s| rng.gen_range(0.2..0.8) * s)
+                .collect();
+            let radii: Vec<f64> = scales
+                .iter()
+                .map(|s| rng.gen_range(0.02..0.10) * s)
+                .collect();
+            clusters.push(ClusterSpec::new(
+                centroid,
+                radii,
+                fraction / 2.0,
+                ClassLabel(class as u32),
+            ));
+        }
+    }
+
+    MixtureConfig {
+        clusters,
+        len,
+        arrivals: ArrivalModel::Iid,
+    }
+    .build(seed)
+}
+
+/// KDD'98 Charitable-Donation-like stream: 54 quantitative dimensions, six
+/// donor sub-populations with mixed skew.
+pub fn charitable_donation(len: usize, seed: u64) -> MixtureStream {
+    let dims = DatasetProfile::CharitableDonation.dims();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x646f_6e61);
+    let fractions = [0.35, 0.25, 0.15, 0.12, 0.08, 0.05];
+    let scales: Vec<f64> = (0..dims)
+        .map(|_| 10f64.powf(rng.gen_range(-0.5..1.5)))
+        .collect();
+
+    let mut clusters = Vec::new();
+    for (class, &fraction) in fractions.iter().enumerate() {
+        let centroid: Vec<f64> = scales
+            .iter()
+            .map(|s| rng.gen_range(0.0..1.0) * s)
+            .collect();
+        let radii: Vec<f64> = scales
+            .iter()
+            .map(|s| rng.gen_range(0.03..0.15) * s)
+            .collect();
+        clusters.push(ClusterSpec::new(
+            centroid,
+            radii,
+            fraction,
+            ClassLabel(class as u32),
+        ));
+    }
+
+    MixtureConfig {
+        clusters,
+        len,
+        arrivals: ArrivalModel::Iid,
+    }
+    .build(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use ustream_common::DataStream;
+
+    fn class_fractions(
+        stream: impl Iterator<Item = ustream_common::UncertainPoint>,
+    ) -> BTreeMap<ClassLabel, f64> {
+        let mut counts: BTreeMap<ClassLabel, usize> = BTreeMap::new();
+        let mut total = 0usize;
+        for p in stream {
+            *counts.entry(p.label().unwrap()).or_insert(0) += 1;
+            total += 1;
+        }
+        counts
+            .into_iter()
+            .map(|(k, v)| (k, v as f64 / total as f64))
+            .collect()
+    }
+
+    #[test]
+    fn profile_metadata() {
+        assert_eq!(DatasetProfile::NetworkIntrusion.dims(), 34);
+        assert_eq!(DatasetProfile::NetworkIntrusion.classes(), 5);
+        assert_eq!(DatasetProfile::ForestCover.dims(), 10);
+        assert_eq!(DatasetProfile::ForestCover.classes(), 7);
+        assert_eq!(DatasetProfile::SynDrift.dims(), 20);
+        assert_eq!(DatasetProfile::CharitableDonation.dims(), 54);
+    }
+
+    #[test]
+    fn from_name_round_trip() {
+        for p in [
+            DatasetProfile::SynDrift,
+            DatasetProfile::NetworkIntrusion,
+            DatasetProfile::ForestCover,
+            DatasetProfile::CharitableDonation,
+        ] {
+            assert_eq!(DatasetProfile::from_name(p.name()), Some(p));
+        }
+        assert_eq!(DatasetProfile::from_name("kdd99"), Some(DatasetProfile::NetworkIntrusion));
+        assert_eq!(DatasetProfile::from_name("nope"), None);
+    }
+
+    #[test]
+    fn network_dominated_by_normal_class() {
+        let s = network_intrusion(30_000, 7);
+        let fr = class_fractions(s);
+        assert!(
+            fr[&ClassLabel(0)] > 0.45,
+            "normal class should dominate: {:?}",
+            fr
+        );
+        assert_eq!(fr.len(), 5, "all 5 classes present: {fr:?}");
+    }
+
+    #[test]
+    fn forest_has_seven_classes_with_real_skew() {
+        let s = forest_cover(50_000, 8);
+        let fr = class_fractions(s);
+        assert_eq!(fr.len(), 7);
+        // Class 1 (lodgepole pine) is the largest.
+        let max_class = fr
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        assert_eq!(*max_class.0, ClassLabel(1));
+        assert!((fr[&ClassLabel(1)] - 0.488).abs() < 0.03);
+    }
+
+    #[test]
+    fn donation_six_subpopulations() {
+        let s = charitable_donation(20_000, 9);
+        let fr = class_fractions(s);
+        assert_eq!(fr.len(), 6);
+    }
+
+    #[test]
+    fn profile_stream_dims_agree() {
+        for p in [
+            DatasetProfile::SynDrift,
+            DatasetProfile::NetworkIntrusion,
+            DatasetProfile::ForestCover,
+            DatasetProfile::CharitableDonation,
+        ] {
+            let s = profile_stream(p, 100, 1);
+            assert_eq!(s.dims(), p.dims(), "{}", p.name());
+            assert_eq!(s.count(), 100);
+        }
+    }
+
+    #[test]
+    fn network_scales_are_heavy_tailed() {
+        let s = network_intrusion(1, 3);
+        let radii0: Vec<f64> = s.specs()[0].radii.clone();
+        let max = radii0.iter().cloned().fold(0.0, f64::max);
+        let min = radii0.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(
+            max / min > 20.0,
+            "network dimensions should span scales: max={max}, min={min}"
+        );
+    }
+}

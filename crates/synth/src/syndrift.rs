@@ -1,0 +1,317 @@
+//! The paper's *SynDrift* generator (§III):
+//!
+//! > "The synthetic data sets were generated using continuously drifting
+//! > clusters. The relative fraction of data points which belong to the
+//! > cluster i is denoted by f_i. The relative value of f_i is drawn as a
+//! > uniform random variable in the range [0, 1]. ... The centroids of each
+//! > of the clusters are initially chosen from the unit cube. Subsequently,
+//! > each centroid drifts along a dimension by an amount which is drawn
+//! > from the uniform distribution in the range [−ε, ε]. The radius of each
+//! > cluster along a given dimension is chosen as a variable which is
+//! > picked as an instantiation of the uniform random variable in the range
+//! > [0, 0.3]. A 20-dimensional data stream containing 600,000 points was
+//! > generated using this methodology."
+//!
+//! The class label of each point is the generating-cluster index ("the
+//! class label was assumed to be the cluster identifier").
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+use ustream_common::{ClassLabel, DataStream, Timestamp, UncertainPoint};
+
+/// SynDrift configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynDriftConfig {
+    /// Dimensionality (paper: 20).
+    pub dims: usize,
+    /// Number of drifting clusters (the paper does not state it; we default
+    /// to 10, large enough for diverse class structure under 100
+    /// micro-clusters).
+    pub n_clusters: usize,
+    /// Stream length (paper: 600 000).
+    pub len: usize,
+    /// Per-step drift amplitude ε: every `drift_interval` points each
+    /// centroid moves by `U[−ε, ε]` along every dimension.
+    pub epsilon: f64,
+    /// Points between drift steps.
+    pub drift_interval: usize,
+    /// Upper bound of the per-dimension radius range `U[0, max_radius]`
+    /// (paper: 0.3).
+    pub max_radius: f64,
+}
+
+impl Default for SynDriftConfig {
+    fn default() -> Self {
+        Self {
+            dims: 20,
+            n_clusters: 10,
+            len: 600_000,
+            epsilon: 0.002,
+            drift_interval: 100,
+            max_radius: 0.3,
+        }
+    }
+}
+
+impl SynDriftConfig {
+    /// The paper's full-size stream.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// A scaled-down preset for unit tests and examples: 5 dimensions,
+    /// 4 clusters, 10 000 points.
+    pub fn small_test() -> Self {
+        Self {
+            dims: 5,
+            n_clusters: 4,
+            len: 10_000,
+            epsilon: 0.002,
+            drift_interval: 50,
+            max_radius: 0.15,
+        }
+    }
+
+    /// Builds the (clean) stream; wrap in [`crate::NoisyStream`] for the η
+    /// uncertainty model.
+    pub fn build(self, seed: u64) -> SynDriftStream {
+        SynDriftStream::new(self, seed)
+    }
+}
+
+/// The drifting-cluster stream.
+#[derive(Debug)]
+pub struct SynDriftStream {
+    config: SynDriftConfig,
+    centroids: Vec<Vec<f64>>,
+    radii: Vec<Vec<f64>>,
+    cumulative: Vec<f64>,
+    emitted: usize,
+    clock: Timestamp,
+    rng: StdRng,
+}
+
+impl SynDriftStream {
+    /// Instantiates cluster fractions, centroids and radii from the seed.
+    pub fn new(config: SynDriftConfig, seed: u64) -> Self {
+        assert!(config.dims > 0 && config.n_clusters > 0 && config.len > 0);
+        assert!(config.drift_interval > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // f_i ~ U[0,1], normalised. Reject near-zero fractions so every
+        // class actually appears.
+        let mut fractions: Vec<f64> = (0..config.n_clusters)
+            .map(|_| rng.gen_range(0.05..1.0))
+            .collect();
+        let total: f64 = fractions.iter().sum();
+        for f in &mut fractions {
+            *f /= total;
+        }
+        let mut acc = 0.0;
+        let cumulative = fractions
+            .iter()
+            .map(|f| {
+                acc += f;
+                acc
+            })
+            .collect();
+
+        let centroids = (0..config.n_clusters)
+            .map(|_| (0..config.dims).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
+        let radii = (0..config.n_clusters)
+            .map(|_| {
+                (0..config.dims)
+                    .map(|_| rng.gen_range(0.0..config.max_radius))
+                    .collect()
+            })
+            .collect();
+
+        Self {
+            config,
+            centroids,
+            radii,
+            cumulative,
+            emitted: 0,
+            clock: 0,
+            rng,
+        }
+    }
+
+    /// Current cluster centroids (tests verify drift).
+    pub fn centroids(&self) -> &[Vec<f64>] {
+        &self.centroids
+    }
+
+    /// Number of generating clusters.
+    pub fn n_clusters(&self) -> usize {
+        self.config.n_clusters
+    }
+
+    fn drift(&mut self) {
+        let eps = self.config.epsilon;
+        for c in &mut self.centroids {
+            for v in c.iter_mut() {
+                *v += self.rng.gen_range(-eps..=eps);
+                // Reflect at the unit cube so clusters stay in range over
+                // very long streams.
+                if *v < 0.0 {
+                    *v = -*v;
+                }
+                if *v > 1.0 {
+                    *v = 2.0 - *v;
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for SynDriftStream {
+    type Item = UncertainPoint;
+
+    fn next(&mut self) -> Option<UncertainPoint> {
+        if self.emitted >= self.config.len {
+            return None;
+        }
+        if self.emitted > 0 && self.emitted.is_multiple_of(self.config.drift_interval) {
+            self.drift();
+        }
+        self.emitted += 1;
+        self.clock += 1;
+
+        let u: f64 = self.rng.gen();
+        let cluster = self
+            .cumulative
+            .iter()
+            .position(|&c| u <= c)
+            .unwrap_or(self.config.n_clusters - 1);
+
+        let mut values = Vec::with_capacity(self.config.dims);
+        for j in 0..self.config.dims {
+            let r = self.radii[cluster][j];
+            let base = self.centroids[cluster][j];
+            let v = if r > 0.0 {
+                Normal::new(base, r).expect("finite radius").sample(&mut self.rng)
+            } else {
+                base
+            };
+            values.push(v);
+        }
+        Some(UncertainPoint::certain(
+            values,
+            self.clock,
+            Some(ClassLabel(cluster as u32)),
+        ))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.config.len - self.emitted;
+        (rem, Some(rem))
+    }
+}
+
+impl DataStream for SynDriftStream {
+    fn dims(&self) -> usize {
+        self.config.dims
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.config.len - self.emitted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn paper_defaults() {
+        let c = SynDriftConfig::paper();
+        assert_eq!(c.dims, 20);
+        assert_eq!(c.len, 600_000);
+        assert!((c.max_radius - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn emits_len_points_with_labels() {
+        let s = SynDriftConfig::small_test().build(1);
+        let pts: Vec<_> = s.collect();
+        assert_eq!(pts.len(), 10_000);
+        let mut classes: BTreeMap<ClassLabel, usize> = BTreeMap::new();
+        for p in &pts {
+            assert_eq!(p.dims(), 5);
+            *classes.entry(p.label().unwrap()).or_insert(0) += 1;
+        }
+        // Every cluster contributes points.
+        assert_eq!(classes.len(), 4);
+    }
+
+    #[test]
+    fn centroids_start_inside_unit_cube() {
+        let s = SynDriftConfig::small_test().build(2);
+        for c in s.centroids() {
+            assert!(c.iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn centroids_drift_over_time() {
+        let mut s = SynDriftConfig::small_test().build(3);
+        let initial = s.centroids().to_vec();
+        for _ in 0..5_000 {
+            let _ = s.next();
+        }
+        let moved = s
+            .centroids()
+            .iter()
+            .zip(&initial)
+            .any(|(a, b)| ustream_common::point::sq_euclidean(a, b) > 1e-8);
+        assert!(moved, "centroids never drifted");
+        // But remain in the unit cube (reflection).
+        for c in s.centroids() {
+            assert!(c.iter().all(|v| (-1e-9..=1.0 + 1e-9).contains(v)));
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a: Vec<_> = SynDriftConfig::small_test()
+            .build(9)
+            .take(200)
+            .map(|p| p.values().to_vec())
+            .collect();
+        let b: Vec<_> = SynDriftConfig::small_test()
+            .build(9)
+            .take(200)
+            .map(|p| p.values().to_vec())
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn points_near_generating_centroids() {
+        // With small radii, most points lie within a few radii of *some*
+        // initial centroid early in the stream.
+        let mut cfg = SynDriftConfig::small_test();
+        cfg.max_radius = 0.05;
+        let mut s = cfg.build(4);
+        let centroids = s.centroids().to_vec();
+        for p in (&mut s).take(500) {
+            let nearest = centroids
+                .iter()
+                .map(|c| ustream_common::point::sq_euclidean(c, p.values()))
+                .fold(f64::INFINITY, f64::min);
+            assert!(nearest < 0.5, "point far from every centroid: {nearest}");
+        }
+    }
+
+    #[test]
+    fn size_hints() {
+        let mut s = SynDriftConfig::small_test().build(5);
+        assert_eq!(s.len_hint(), Some(10_000));
+        let _ = s.next();
+        assert_eq!(s.size_hint(), (9_999, Some(9_999)));
+    }
+}

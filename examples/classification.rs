@@ -1,0 +1,92 @@
+//! Streaming classification of uncertain records.
+//!
+//! ```text
+//! cargo run --release --example classification
+//! ```
+//!
+//! A labelled uncertain stream (forest-cover profile, heterogeneous
+//! per-record error levels) trains a per-class micro-cluster classifier on
+//! the fly; held-out records are labelled by the nearest micro-cluster
+//! under the error-corrected distance. The example contrasts that with the
+//! uncertainty-blind Euclidean prediction, echoing the finding of the
+//! paper's reference [1] that error information sharpens classification.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use umicro::{MicroClassifier, UMicroConfig};
+use ustream_common::UncertainPoint;
+use ustream_synth::profiles::forest_cover;
+use ustream_synth::{NoiseVariant, NoisyStream};
+
+const LEN: usize = 30_000;
+const ETA: f64 = 1.25;
+const BUDGET: usize = 25; // micro-clusters per class
+
+fn main() {
+    let clean = forest_cover(LEN, 77);
+    let dims = ustream_common::DataStream::dims(&clean);
+    let stream = NoisyStream::new(clean, ETA, StdRng::seed_from_u64(78))
+        .with_variant(NoiseVariant::PerRecord { spread: 0.9 });
+    let points: Vec<UncertainPoint> = stream.collect();
+    let split = points.len() * 7 / 10;
+
+    println!(
+        "forest-cover-like stream: {} records, {dims} dims, eta = {ETA}, \
+         per-record error spread 0.9\n",
+        points.len()
+    );
+
+    let mut clf = MicroClassifier::new(
+        UMicroConfig::new(BUDGET, dims).expect("valid config"),
+    );
+    for p in &points[..split] {
+        clf.train_labelled(p);
+    }
+    println!(
+        "trained on {split} records across {} classes ({BUDGET} micro-clusters per class)",
+        clf.classes().count()
+    );
+
+    let test = &points[split..];
+    let mut corrected_ok = 0usize;
+    let mut euclid_ok = 0usize;
+    let mut confident_correct = 0usize;
+    let mut confident_total = 0usize;
+    for p in test {
+        let truth = p.label().expect("labelled stream");
+        if let Some(c) = clf.classify(p) {
+            if c.label == truth {
+                corrected_ok += 1;
+            }
+            if c.confidence() > 0.5 {
+                confident_total += 1;
+                if c.label == truth {
+                    confident_correct += 1;
+                }
+            }
+        }
+        if clf.classify_euclidean(p).map(|c| c.label) == Some(truth) {
+            euclid_ok += 1;
+        }
+    }
+
+    let n = test.len() as f64;
+    println!("\nheld-out accuracy ({} records):", test.len());
+    println!(
+        "  error-corrected distance : {:.4}",
+        corrected_ok as f64 / n
+    );
+    println!("  plain Euclidean          : {:.4}", euclid_ok as f64 / n);
+    if confident_total > 0 {
+        println!(
+            "\nhigh-confidence predictions (margin > 0.5): {:.4} accurate over {} records",
+            confident_correct as f64 / confident_total as f64,
+            confident_total
+        );
+    }
+    println!(
+        "\nThe corrected metric subtracts the *known* error variance from the\n\
+         realized distances, so records with honest large ψ are not pushed to\n\
+         the wrong class by their own noise."
+    );
+}

@@ -1,0 +1,174 @@
+//! Network-intrusion stream monitoring — the paper's flagship real
+//! workload.
+//!
+//! ```text
+//! cargo run --release --example intrusion_detection
+//! ```
+//!
+//! Connection records arrive as 34-dimensional uncertain points (error
+//! estimates from the collection pipeline). Normal traffic dominates, with
+//! bursty attack episodes. The example runs UMicro and the CluStream
+//! baseline side by side and shows:
+//!
+//! * cluster purity against the ground-truth traffic classes (UMicro's
+//!   uncertainty handling pays off at realistic noise levels),
+//! * a simple novelty detector: a spike in the isolation of arriving
+//!   records (error-corrected distance to the nearest micro-cluster) marks
+//!   traffic unlike anything recently seen — a zero-day episode is spliced
+//!   into the stream to demonstrate it.
+//!
+//! If a real KDD Cup'99 file is available, point the example at it with
+//! `KDD99_PATH=/path/to/kddcup.data`; otherwise the statistical simulator
+//! from `ustream-synth` is used.
+
+use clustream::{CluStream, CluStreamConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use umicro::{UMicro, UMicroConfig};
+use ustream_common::{DataStream, UncertainPoint};
+use ustream_eval::ClusterPurity;
+use ustream_synth::loader::load_kdd99;
+use ustream_synth::profiles::network_intrusion;
+use ustream_synth::NoisyStream;
+
+const ETA: f64 = 0.5;
+const N_MICRO: usize = 100;
+const LEN: usize = 60_000;
+
+fn load_stream() -> (Vec<UncertainPoint>, usize) {
+    if let Ok(path) = std::env::var("KDD99_PATH") {
+        match load_kdd99(std::path::Path::new(&path), LEN) {
+            Ok(stream) => {
+                let dims = stream.dims();
+                println!("using real KDD'99 data from {path}");
+                let noisy = NoisyStream::new(stream, ETA, StdRng::seed_from_u64(99));
+                return (noisy.collect(), dims);
+            }
+            Err(e) => eprintln!("could not load {path}: {e}; falling back to simulator"),
+        }
+    }
+    let clean = network_intrusion(LEN, 1234);
+    let dims = clean.dims();
+    let noisy = NoisyStream::new(clean, ETA, StdRng::seed_from_u64(99));
+    (noisy.collect(), dims)
+}
+
+/// Splices a "zero-day" episode into the stream: 800 records from a traffic
+/// pattern no cluster has seen, starting at two-thirds of the stream.
+fn inject_zero_day(points: &mut Vec<UncertainPoint>, dims: usize) -> usize {
+    use rand_distr::{Distribution, Normal};
+    let mut rng = StdRng::seed_from_u64(0xdead);
+    let start = points.len() * 2 / 3;
+    let scale = 500.0; // far outside the normal feature ranges.
+    let psi = vec![1.0; dims];
+    let episode: Vec<UncertainPoint> = (0..800)
+        .map(|i| {
+            let values: Vec<f64> = (0..dims)
+                .map(|j| scale + Normal::new(0.0, 5.0).unwrap().sample(&mut rng) * (j % 3 + 1) as f64)
+                .collect();
+            UncertainPoint::new(
+                values,
+                psi.clone(),
+                points[start + i].timestamp(),
+                Some(ustream_common::ClassLabel(9)), // novel class
+            )
+        })
+        .collect();
+    points.splice(start..start, episode);
+    start
+}
+
+fn main() {
+    let (mut points, dims) = load_stream();
+    let zero_day_at = inject_zero_day(&mut points, dims);
+    let points = points;
+    println!(
+        "monitoring {} connection records ({dims} continuous attributes, eta = {ETA})\n",
+        points.len()
+    );
+
+    let mut umicro = UMicro::new(UMicroConfig::new(N_MICRO, dims).expect("valid config"));
+    let mut clustream =
+        CluStream::new(CluStreamConfig::new(N_MICRO, dims).expect("valid config"));
+
+    let mut u_purity = ClusterPurity::new();
+    let mut c_purity = ClusterPurity::new();
+
+    // Novelty detector: per 1 000-point window, track the *isolation* of the
+    // most isolated arriving record — its error-corrected distance to the
+    // nearest existing micro-cluster, measured before insertion. Ordinary
+    // traffic (and bursts of known attack types) lands near some cluster;
+    // a zero-day pattern sits far from everything.
+    let window = 1_000usize;
+    let mut max_isolation = 0.0f64;
+    let mut baseline: f64 = 0.0;
+    let mut windows_seen = 0usize;
+    let mut alerts = Vec::new();
+
+    for (i, p) in points.iter().enumerate() {
+        let isolation = umicro
+            .micro_clusters()
+            .iter()
+            .map(|c| umicro::distance::corrected_sq_distance(p, &c.ecf))
+            .fold(f64::INFINITY, f64::min)
+            .sqrt();
+        if isolation.is_finite() {
+            max_isolation = max_isolation.max(isolation);
+        }
+        let out = umicro.insert(p);
+        if let Some(l) = p.label() {
+            u_purity.observe(out.cluster_id, l);
+        }
+
+        let out_c = clustream.insert(p);
+        if let Some(l) = p.label() {
+            c_purity.observe(out_c.cluster_id, l);
+        }
+
+        if (i + 1) % window == 0 {
+            windows_seen += 1;
+            let rate = max_isolation;
+            // Alert when the most isolated record sits 3x farther from every
+            // cluster than usual (after a warm-up of 5 windows).
+            if windows_seen > 5 && rate > 3.0 * baseline.max(1e-9) {
+                alerts.push((i + 1, rate));
+            }
+            if std::env::var("DEBUG_WINDOWS").is_ok() {
+                eprintln!("window {windows_seen}: max isolation {rate:.1}, baseline {baseline:.1}");
+            }
+            let n = windows_seen as f64;
+            baseline += (rate - baseline) / n;
+            max_isolation = 0.0;
+        }
+    }
+
+    println!("cluster purity against traffic classes:");
+    println!(
+        "  UMicro    : {:.4} (weighted {:.4})",
+        u_purity.purity().unwrap_or(0.0),
+        u_purity.weighted_purity().unwrap_or(0.0)
+    );
+    println!(
+        "  CluStream : {:.4} (weighted {:.4})",
+        c_purity.purity().unwrap_or(0.0),
+        c_purity.weighted_purity().unwrap_or(0.0)
+    );
+
+    println!(
+        "\nnovelty alerts (isolation spikes; a zero-day episode was injected \
+         at point {zero_day_at}):"
+    );
+    if alerts.is_empty() {
+        println!("  none — traffic structure stayed stable");
+    }
+    for (pos, rate) in alerts.iter().take(10) {
+        println!(
+            "  at point {pos:>6}: a record {rate:>7.0} units from every known cluster"
+        );
+    }
+
+    // Macro view: the five traffic categories.
+    let mac = umicro.macro_cluster(5, 3);
+    println!("\nmacro-clusters (k = 5) weights: {:?}",
+        mac.weights.iter().map(|w| *w as u64).collect::<Vec<_>>());
+}

@@ -1,0 +1,66 @@
+//! Quickstart: cluster an uncertain data stream with UMicro.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Generates a small drifting synthetic stream, perturbs it with the η
+//! uncertainty model (each record arrives as `(values, ψ)`), feeds it to
+//! UMicro, and prints the micro-cluster summary, a 5-way macro-clustering
+//! and the cluster purity against the generator's ground truth.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use uncertain_streams::prelude::*;
+use ustream_common::AdditiveFeature;
+
+fn main() {
+    // 1. A 10k-point, 5-dimensional stream with 4 drifting clusters...
+    let clean = SynDriftConfig::small_test().build(42);
+    let dims = clean.dims();
+    // ...with measurement noise at η = 0.75 and the true error std-devs
+    // attached to every record.
+    let stream = ustream_synth::NoisyStream::new(clean, 0.75, StdRng::seed_from_u64(7));
+
+    // 2. One-pass clustering under a 50 micro-cluster budget.
+    let mut alg = UMicro::new(UMicroConfig::new(50, dims).expect("valid config"));
+    let mut purity = ClusterPurity::new();
+    for point in stream {
+        let outcome = alg.insert(&point);
+        if let Some(label) = point.label() {
+            purity.observe(outcome.cluster_id, label);
+        }
+    }
+
+    // 3. Inspect the result.
+    println!("processed {} points", alg.points_processed());
+    println!("live micro-clusters: {}", alg.micro_clusters().len());
+    let mut sizes: Vec<u64> = alg
+        .micro_clusters()
+        .iter()
+        .map(|c| c.ecf.point_count())
+        .collect();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    println!("largest micro-clusters (points): {:?}", &sizes[..sizes.len().min(8)]);
+
+    println!(
+        "cluster purity vs generator labels: {:.3} (weighted {:.3})",
+        purity.purity().unwrap_or(0.0),
+        purity.weighted_purity().unwrap_or(0.0)
+    );
+
+    // 4. Offline macro-clustering of the summaries into 4 user clusters.
+    let mac = alg.macro_cluster(4, 1);
+    println!("\nmacro-clusters (k = 4):");
+    for (i, (centroid, weight)) in mac.centroids.iter().zip(&mac.weights).enumerate() {
+        let head: Vec<String> = centroid.iter().take(3).map(|v| format!("{v:.2}")).collect();
+        println!("  #{i}: weight {weight:>8.1}, centroid [{}, ...]", head.join(", "));
+    }
+
+    // 5. Any point can be routed to its macro-cluster.
+    let probe = alg.micro_clusters()[0].ecf.centroid();
+    println!(
+        "\nfirst micro-cluster centroid routes to macro-cluster #{}",
+        mac.assign(&probe)
+    );
+}

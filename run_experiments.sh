@@ -1,0 +1,23 @@
+#!/bin/bash
+# Regenerates every figure of the paper at recorded scale.
+set -x
+cd /root/repo
+mkdir -p results
+B="cargo run --release -q -p ustream-bench --bin"
+$B fig_purity_progression -- --dataset syndrift --full true          > results/fig2_syndrift.txt 2>&1
+$B fig_purity_progression -- --dataset network  --full true          > results/fig3_network.txt 2>&1
+$B fig_purity_progression -- --dataset donation --full true          > results/fig4_donation.txt 2>&1
+$B fig_purity_vs_error    -- --dataset syndrift --len 150000         > results/fig5_syndrift.txt 2>&1
+$B fig_purity_vs_error    -- --dataset network  --len 150000         > results/fig6_network.txt 2>&1
+$B fig_purity_vs_error    -- --dataset forest   --len 150000         > results/fig7_forest.txt 2>&1
+$B fig_throughput         -- --dataset syndrift --full true          > results/fig8_syndrift.txt 2>&1
+$B fig_throughput         -- --dataset network  --full true          > results/fig9_network.txt 2>&1
+$B fig_throughput         -- --dataset forest   --full true          > results/fig10_forest.txt 2>&1
+$B ablation_similarity    -- --len 80000                             > results/a1_similarity.txt 2>&1
+$B ablation_boundary      -- --len 80000                             > results/a2_boundary.txt 2>&1
+$B ablation_decay         -- --len 80000                             > results/a3_decay.txt 2>&1
+$B ablation_snapshots     -- --len 200000                            > results/a4_snapshots.txt 2>&1
+$B ablation_thresh        -- --len 80000                             > results/a5_thresh.txt 2>&1
+$B ablation_n_micro       -- --len 80000                             > results/a6_n_micro.txt 2>&1
+$B ablation_classify      -- --len 60000                             > results/a7_classify.txt 2>&1
+echo ALL_DONE

@@ -1,0 +1,67 @@
+//! # uncertain-streams
+//!
+//! A production-quality Rust reproduction of *"A Framework for Clustering
+//! Uncertain Data Streams"* (Charu C. Aggarwal & Philip S. Yu, ICDE 2008).
+//!
+//! The paper introduces **UMicro**, a one-pass micro-clustering algorithm for
+//! streams whose records carry per-dimension error estimates `ψ(X)`.
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! * [`umicro`] — the paper's contribution: error-based cluster features
+//!   (`ECF`), expected-distance computation, dimension-counting similarity,
+//!   uncertainty boundaries, exponential time decay and horizon analysis.
+//! * [`clustream`] — the deterministic CluStream baseline (VLDB 2003) and the
+//!   STREAM k-means baseline (ICDE 2002) the paper compares against.
+//! * [`ustream_synth`] — the paper's SynDrift generator, the η noise model,
+//!   and statistical simulators of the real datasets used in the evaluation.
+//! * [`ustream_eval`] — cluster purity (the paper's quality metric), SSQ,
+//!   NMI, ARI and throughput meters.
+//! * [`ustream_engine`] — an embeddable analytics engine: concurrent
+//!   ingestion, pyramidal snapshots, horizon/evolution queries, novelty
+//!   alerts.
+//! * [`ustream_kmeans`], [`ustream_snapshot`], [`ustream_common`] —
+//!   substrates: weighted k-means (plus the UK-means comparator), the
+//!   pyramidal time frame, and shared point/feature abstractions.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use uncertain_streams::prelude::*;
+//!
+//! // A tiny uncertain stream: two well-separated blobs, one noisy dimension.
+//! let mut gen = SynDriftConfig::small_test().build(7);
+//! let mut alg = UMicro::new(UMicroConfig::new(10, gen.dims()).unwrap());
+//! for point in (&mut gen).take(500) {
+//!     alg.insert(&point);
+//! }
+//! assert!(alg.micro_clusters().len() > 1);
+//! let macro_clusters = alg.macro_cluster(4, 42);
+//! assert_eq!(macro_clusters.centroids.len(), 4);
+//! ```
+
+pub use clustream;
+pub use umicro;
+pub use ustream_engine;
+pub use ustream_common;
+pub use ustream_eval;
+pub use ustream_kmeans;
+pub use ustream_snapshot;
+pub use ustream_synth;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use clustream::{CluStream, CluStreamConfig, StreamKMeans, StreamKMeansConfig};
+    pub use umicro::{
+        DecayedUMicro, Ecf, HorizonAnalyzer, MacroClustering, UMicro, UMicroConfig,
+    };
+    pub use ustream_common::{
+        ClassLabel, DataStream, DeterministicPoint, Timestamp, UncertainPoint, VecStream,
+    };
+    pub use ustream_engine::{EngineConfig, StreamEngine};
+    pub use ustream_eval::{
+        ClusterPurity, ProgressionTracker, ThroughputMeter,
+    };
+    pub use ustream_synth::{
+        DatasetProfile, NoiseModel, SynDriftConfig,
+    };
+}

@@ -1,0 +1,149 @@
+//! Cross-algorithm integration: every comparator in the workspace runs on
+//! the same streams and produces sane, comparable output.
+
+use clustream::{
+    CluStream, CluStreamConfig, DenStream, DenStreamConfig, StreamKMeans, StreamKMeansConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use umicro::{UMicro, UMicroConfig};
+use ustream_common::{DataStream, UncertainPoint};
+use ustream_eval::ClusterPurity;
+use ustream_kmeans::{uk_means, UkMeansConfig};
+use ustream_synth::{NoisyStream, SynDriftConfig};
+
+/// A compact, well-separated noisy stream shared by all comparisons.
+fn stream(eta: f64, len: usize) -> (Vec<UncertainPoint>, usize) {
+    let mut cfg = SynDriftConfig::small_test();
+    cfg.len = len;
+    cfg.max_radius = 0.06;
+    cfg.epsilon = 0.0005;
+    let clean = cfg.build(17);
+    let dims = clean.dims();
+    let pts = NoisyStream::new(clean, eta, StdRng::seed_from_u64(18)).collect();
+    (pts, dims)
+}
+
+fn purity_of_assignments(pairs: impl Iterator<Item = (u64, ustream_common::ClassLabel)>) -> f64 {
+    let mut p = ClusterPurity::new();
+    for (cid, label) in pairs {
+        p.observe(cid, label);
+    }
+    p.purity().unwrap_or(0.0)
+}
+
+#[test]
+fn all_online_algorithms_recover_separated_structure() {
+    let (points, dims) = stream(0.25, 6_000);
+
+    // UMicro.
+    let mut umicro = UMicro::new(UMicroConfig::new(30, dims).unwrap());
+    let u_purity = purity_of_assignments(points.iter().map(|p| {
+        let out = umicro.insert(p);
+        (out.cluster_id, p.label().unwrap())
+    }));
+    assert!(u_purity > 0.9, "UMicro purity {u_purity}");
+
+    // CluStream.
+    let mut cs = CluStream::new(CluStreamConfig::new(30, dims).unwrap());
+    let c_purity = purity_of_assignments(points.iter().map(|p| {
+        let out = cs.insert(p);
+        (out.cluster_id, p.label().unwrap())
+    }));
+    assert!(c_purity > 0.9, "CluStream purity {c_purity}");
+
+    // DenStream: potential clusters must reflect the generating structure.
+    let mut den = DenStream::new(DenStreamConfig::new(dims, 0.4).unwrap());
+    for p in &points {
+        den.insert(p);
+    }
+    assert!(
+        !den.potential_clusters().is_empty(),
+        "DenStream formed no potential clusters"
+    );
+    assert!(den.offline_clusters().len() >= 2);
+
+    // STREAM.
+    let mut sk = StreamKMeans::new(StreamKMeansConfig::new(4, 300, dims, 3).unwrap());
+    for p in &points {
+        sk.insert(p);
+    }
+    assert_eq!(sk.query().centroids.len(), 4);
+
+    // UK-means (offline) on a sample.
+    let res = uk_means(&points[..2_000], &UkMeansConfig::new(4, 5));
+    assert_eq!(res.centroids.len(), 4);
+    let uk_purity = purity_of_assignments(
+        points[..2_000]
+            .iter()
+            .zip(&res.assignments)
+            .map(|(p, &a)| (a as u64, p.label().unwrap())),
+    );
+    assert!(uk_purity > 0.8, "UK-means purity {uk_purity}");
+}
+
+#[test]
+fn umicro_degrades_most_gracefully_with_noise() {
+    // At strong heterogeneous noise, the uncertainty-aware algorithm holds
+    // the highest purity of the online methods.
+    let (points, dims) = stream(1.5, 8_000);
+
+    let mut umicro = UMicro::new(UMicroConfig::new(30, dims).unwrap());
+    let u = purity_of_assignments(points.iter().map(|p| {
+        let out = umicro.insert(p);
+        (out.cluster_id, p.label().unwrap())
+    }));
+
+    let mut cs = CluStream::new(CluStreamConfig::new(30, dims).unwrap());
+    let c = purity_of_assignments(points.iter().map(|p| {
+        let out = cs.insert(p);
+        (out.cluster_id, p.label().unwrap())
+    }));
+
+    assert!(u > c, "UMicro {u:.4} should beat CluStream {c:.4} at eta=1.5");
+}
+
+#[test]
+fn denstream_prunes_under_drifting_regimes() {
+    // Feed one regime, then another far away: after enough pruning cycles
+    // the old regime's potential clusters must be gone.
+    let dims = 2;
+    let mut den = DenStream::new({
+        let mut c = DenStreamConfig::new(dims, 0.5).unwrap();
+        c.lambda = 0.02;
+        c
+    });
+    for t in 1..=300u64 {
+        den.insert(&UncertainPoint::certain(vec![0.0, 0.0], t, None));
+    }
+    for t in 2_000..=2_300u64 {
+        den.insert(&UncertainPoint::certain(vec![40.0, 40.0], t, None));
+    }
+    let stale: usize = den
+        .potential_clusters()
+        .iter()
+        .filter(|c| c.centroid()[0] < 20.0)
+        .count();
+    assert_eq!(stale, 0, "old regime should be pruned");
+    assert!(!den.potential_clusters().is_empty());
+}
+
+#[test]
+fn classifier_matches_clustering_structure() {
+    // Training a classifier on the generator's labels and classifying the
+    // stream back must align with the generating clusters.
+    let (points, dims) = stream(0.5, 6_000);
+    let split = 4_000;
+    let mut clf = umicro::MicroClassifier::new(UMicroConfig::new(10, dims).unwrap());
+    for p in &points[..split] {
+        clf.train_labelled(p);
+    }
+    let mut ok = 0usize;
+    for p in &points[split..] {
+        if clf.classify(p).map(|c| c.label) == p.label() {
+            ok += 1;
+        }
+    }
+    let acc = ok as f64 / (points.len() - split) as f64;
+    assert!(acc > 0.85, "classification accuracy {acc}");
+}

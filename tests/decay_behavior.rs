@@ -1,0 +1,207 @@
+//! Integration tests for the time-decayed variant on evolving streams.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use umicro::{DecayedUMicro, UMicro, UMicroConfig};
+use ustream_common::point::sq_euclidean;
+use ustream_common::{AdditiveFeature, UncertainPoint};
+use ustream_synth::{NoisyStream, SynDriftConfig};
+
+fn config(n: usize, d: usize) -> UMicroConfig {
+    UMicroConfig::new(n, d).unwrap()
+}
+
+/// Weighted mean distance of micro-centroids to the nearest truth centre.
+fn tracking_error(clusters: &[umicro::MicroCluster], truth: &[Vec<f64>]) -> f64 {
+    let mut acc = 0.0;
+    let mut w = 0.0;
+    for c in clusters {
+        if c.ecf.weight() <= 1.0 {
+            continue;
+        }
+        let d2 = truth
+            .iter()
+            .map(|t| sq_euclidean(&c.ecf.centroid(), t))
+            .fold(f64::INFINITY, f64::min);
+        acc += c.ecf.weight() * d2.sqrt();
+        w += c.ecf.weight();
+    }
+    acc / w.max(1e-12)
+}
+
+#[test]
+fn decay_tracks_fast_drift_better_than_no_decay() {
+    let mut gen_cfg = SynDriftConfig::paper();
+    gen_cfg.dims = 6;
+    gen_cfg.n_clusters = 5;
+    gen_cfg.len = 15_000;
+    gen_cfg.epsilon = 0.1;
+    gen_cfg.drift_interval = 20;
+
+    // Learn where clusters end up.
+    let mut probe = gen_cfg.clone().build(31);
+    for _ in probe.by_ref() {}
+    let truth = probe.centroids().to_vec();
+
+    let run = |half_life: Option<f64>| -> f64 {
+        let stream = NoisyStream::new(
+            gen_cfg.clone().build(31),
+            0.5,
+            StdRng::seed_from_u64(32),
+        );
+        match half_life {
+            None => {
+                let mut alg = UMicro::new(config(40, 6));
+                for p in stream {
+                    alg.insert(&p);
+                }
+                tracking_error(alg.micro_clusters(), &truth)
+            }
+            Some(hl) => {
+                let mut alg = DecayedUMicro::with_half_life(config(40, 6), hl);
+                let mut last = 0;
+                for p in stream {
+                    last = p.timestamp();
+                    alg.insert(&p);
+                }
+                alg.synchronize(last);
+                tracking_error(alg.micro_clusters(), &truth)
+            }
+        }
+    };
+
+    let plain = run(None);
+    let decayed = run(Some(800.0));
+    // Micro-centroid tracking is noisy, so only require that decay does not
+    // hurt materially; the decisive semantic test is the weight-forgetting
+    // check below.
+    assert!(
+        decayed < plain + 0.05,
+        "decayed tracking error {decayed:.4} much worse than undecayed {plain:.4}"
+    );
+}
+
+#[test]
+fn decay_forgets_stale_regions() {
+    // Phase 1 fills region A, phase 2 fills a distant region B. Without
+    // decay the final state weights A and B equally; with decay, A's
+    // residual weight must be a small fraction of B's.
+    let phase = 2_000u64;
+    let region_weight = |alg_clusters: &[umicro::MicroCluster], lo: f64, hi: f64| -> f64 {
+        alg_clusters
+            .iter()
+            .filter(|c| {
+                let x = c.ecf.centroid()[0];
+                x >= lo && x < hi
+            })
+            .map(|c| c.ecf.weight())
+            .sum()
+    };
+    let points: Vec<UncertainPoint> = (1..=2 * phase)
+        .map(|t| {
+            let x = if t <= phase { 0.0 } else { 100.0 };
+            let jitter = (t % 7) as f64 * 0.1;
+            UncertainPoint::new(vec![x + jitter], vec![0.3], t, None)
+        })
+        .collect();
+
+    let mut plain = UMicro::new(config(8, 1));
+    for p in &points {
+        plain.insert(p);
+    }
+    let plain_a = region_weight(plain.micro_clusters(), -10.0, 50.0);
+    let plain_b = region_weight(plain.micro_clusters(), 50.0, 150.0);
+    assert!(
+        (plain_a - plain_b).abs() / plain_b < 0.1,
+        "undecayed phases should weigh equally: A={plain_a}, B={plain_b}"
+    );
+
+    let mut decayed = DecayedUMicro::with_half_life(config(8, 1), phase as f64 / 8.0);
+    for p in &points {
+        decayed.insert(p);
+    }
+    decayed.synchronize(2 * phase);
+    let dec_a = region_weight(decayed.micro_clusters(), -10.0, 50.0);
+    let dec_b = region_weight(decayed.micro_clusters(), 50.0, 150.0);
+    assert!(
+        dec_a < 0.05 * dec_b,
+        "decay should forget the stale region: A={dec_a:.3}, B={dec_b:.3}"
+    );
+}
+
+#[test]
+fn decayed_weights_sum_to_geometric_series() {
+    // n identical points, one per tick: after synchronising at tick n, the
+    // total weight must equal sum_{k=1..n} 2^(-lambda (n - k)).
+    let n = 200u64;
+    let lambda = 0.02;
+    let mut alg = DecayedUMicro::with_lambda(config(1, 1), lambda);
+    for t in 1..=n {
+        alg.insert(&UncertainPoint::new(vec![0.0], vec![0.5], t, None));
+    }
+    alg.synchronize(n);
+    let got: f64 = alg.micro_clusters().iter().map(|c| c.ecf.weight()).sum();
+    let want: f64 = (1..=n).map(|k| (-(lambda * (n - k) as f64)).exp2()).sum();
+    assert!(
+        (got - want).abs() < 1e-6,
+        "decayed weight {got} vs analytic {want}"
+    );
+}
+
+#[test]
+fn lazy_and_eager_decay_agree() {
+    // Inserting with lazy decay must equal maintaining the weights eagerly:
+    // process the same points, but synchronise after every insertion in the
+    // "eager" run.
+    let points: Vec<UncertainPoint> = (1..=100u64)
+        .map(|t| {
+            let x = if t % 2 == 0 { 0.0 } else { 0.4 };
+            UncertainPoint::new(vec![x], vec![0.5], t, None)
+        })
+        .collect();
+
+    let mut lazy = DecayedUMicro::with_half_life(config(2, 1), 50.0);
+    for p in &points {
+        lazy.insert(p);
+    }
+    lazy.synchronize(100);
+
+    let mut eager = DecayedUMicro::with_half_life(config(2, 1), 50.0);
+    for p in &points {
+        eager.insert(p);
+        eager.synchronize(p.timestamp());
+    }
+    eager.synchronize(100);
+
+    assert_eq!(lazy.micro_clusters().len(), eager.micro_clusters().len());
+    for (a, b) in lazy.micro_clusters().iter().zip(eager.micro_clusters()) {
+        assert_eq!(a.id, b.id);
+        assert!(
+            (a.ecf.weight() - b.ecf.weight()).abs() < 1e-9,
+            "cluster {}: lazy {} vs eager {}",
+            a.id,
+            a.ecf.weight(),
+            b.ecf.weight()
+        );
+        assert!((a.ecf.cf1()[0] - b.ecf.cf1()[0]).abs() < 1e-9);
+        assert!((a.ecf.cf2()[0] - b.ecf.cf2()[0]).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn half_life_controls_forgetting_rate() {
+    // After the same gap, a shorter half-life leaves strictly less weight.
+    let weights: Vec<f64> = [20.0, 100.0, 1_000.0]
+        .iter()
+        .map(|&hl| {
+            let mut alg = DecayedUMicro::with_half_life(config(1, 1), hl);
+            alg.insert(&UncertainPoint::new(vec![0.0], vec![0.3], 0, None));
+            alg.synchronize(200);
+            alg.micro_clusters()
+                .first()
+                .map(|c| c.ecf.weight())
+                .unwrap_or(0.0)
+        })
+        .collect();
+    assert!(weights[0] < weights[1] && weights[1] < weights[2]);
+}

@@ -1,0 +1,155 @@
+//! End-to-end quality tests: generator → noise model → algorithms →
+//! evaluation, asserting the paper's qualitative claims on scaled-down
+//! streams.
+
+use clustream::{CluStream, CluStreamConfig, StreamKMeans, StreamKMeansConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use umicro::{UMicro, UMicroConfig};
+use ustream_common::{DataStream, UncertainPoint};
+use ustream_eval::{adjusted_rand_index, normalized_mutual_information, ClusterPurity};
+use ustream_synth::profiles::{forest_cover, network_intrusion};
+use ustream_synth::{NoisyStream, SynDriftConfig};
+
+const N_MICRO: usize = 60;
+const LEN: usize = 12_000;
+
+fn noisy_syndrift(eta: f64, seed: u64) -> Vec<UncertainPoint> {
+    let mut cfg = SynDriftConfig::paper();
+    cfg.len = LEN;
+    NoisyStream::new(cfg.build(seed), eta, StdRng::seed_from_u64(seed ^ 0xabc)).collect()
+}
+
+fn run_umicro(points: &[UncertainPoint], dims: usize) -> ClusterPurity {
+    let mut alg = UMicro::new(UMicroConfig::new(N_MICRO, dims).unwrap());
+    let mut purity = ClusterPurity::new();
+    for p in points {
+        let out = alg.insert(p);
+        if let Some(l) = p.label() {
+            purity.observe(out.cluster_id, l);
+        }
+    }
+    purity
+}
+
+fn run_clustream(points: &[UncertainPoint], dims: usize) -> ClusterPurity {
+    let mut alg = CluStream::new(CluStreamConfig::new(N_MICRO, dims).unwrap());
+    let mut purity = ClusterPurity::new();
+    for p in points {
+        let out = alg.insert(p);
+        if let Some(l) = p.label() {
+            purity.observe(out.cluster_id, l);
+        }
+    }
+    purity
+}
+
+#[test]
+fn umicro_beats_clustream_under_heavy_noise_syndrift() {
+    // The paper's central claim (Figures 2 & 5): with significant
+    // uncertainty, the error-aware algorithm clusters more accurately.
+    let mut umicro_wins = 0;
+    for seed in [11u64, 22, 33] {
+        let points = noisy_syndrift(1.25, seed);
+        let u = run_umicro(&points, 20).purity().unwrap();
+        let c = run_clustream(&points, 20).purity().unwrap();
+        if u > c {
+            umicro_wins += 1;
+        }
+    }
+    assert!(umicro_wins >= 2, "UMicro won only {umicro_wins}/3 seeds");
+}
+
+#[test]
+fn gap_grows_with_error_level() {
+    // Figures 5–7: the accuracy gap widens as eta increases.
+    let gaps: Vec<f64> = [0.25, 1.5]
+        .iter()
+        .map(|&eta| {
+            let points = noisy_syndrift(eta, 77);
+            let u = run_umicro(&points, 20).purity().unwrap();
+            let c = run_clustream(&points, 20).purity().unwrap();
+            u - c
+        })
+        .collect();
+    assert!(
+        gaps[1] > gaps[0],
+        "gap should grow with noise: low-eta {:.4}, high-eta {:.4}",
+        gaps[0],
+        gaps[1]
+    );
+    assert!(gaps[1] > 0.02, "high-eta gap too small: {:.4}", gaps[1]);
+}
+
+#[test]
+fn umicro_advantage_holds_on_forest_profile() {
+    let clean = forest_cover(LEN, 5);
+    let dims = clean.dims();
+    let points: Vec<UncertainPoint> =
+        NoisyStream::new(clean, 1.5, StdRng::seed_from_u64(6)).collect();
+    let u = run_umicro(&points, dims).purity().unwrap();
+    let c = run_clustream(&points, dims).purity().unwrap();
+    assert!(u > c, "UMicro {u:.4} should beat CluStream {c:.4}");
+}
+
+#[test]
+fn network_profile_all_methods_reasonable() {
+    // On the normal-dominated network stream even the deterministic
+    // baseline does fine (the paper's explanation for the smaller gap);
+    // both must stay above the naive single-cluster purity.
+    let clean = network_intrusion(LEN, 9);
+    let dims = clean.dims();
+    let points: Vec<UncertainPoint> =
+        NoisyStream::new(clean, 0.5, StdRng::seed_from_u64(10)).collect();
+    let u = run_umicro(&points, dims).purity().unwrap();
+    let c = run_clustream(&points, dims).purity().unwrap();
+    assert!(u > 0.8, "UMicro purity {u:.4}");
+    assert!(c > 0.7, "CluStream purity {c:.4}");
+    assert!(u >= c - 0.02, "UMicro should not lose: {u:.4} vs {c:.4}");
+}
+
+#[test]
+fn information_metrics_agree_with_purity_ranking() {
+    // NMI and ARI must tell the same story as purity at high noise.
+    let points = noisy_syndrift(1.25, 44);
+    let u = run_umicro(&points, 20);
+    let c = run_clustream(&points, 20);
+    let u_nmi = normalized_mutual_information(u.table()).unwrap();
+    let c_nmi = normalized_mutual_information(c.table()).unwrap();
+    let u_ari = adjusted_rand_index(u.table()).unwrap();
+    let c_ari = adjusted_rand_index(c.table()).unwrap();
+    assert!(u_nmi > c_nmi, "NMI: UMicro {u_nmi:.4} vs CluStream {c_nmi:.4}");
+    assert!(u_ari > c_ari, "ARI: UMicro {u_ari:.4} vs CluStream {c_ari:.4}");
+}
+
+#[test]
+fn stream_kmeans_baseline_recovers_structure() {
+    // The STREAM comparator groups a clean, well-separated stream roughly
+    // as well as its chunked design allows.
+    let mut cfg = SynDriftConfig::small_test();
+    cfg.max_radius = 0.05;
+    let clean = cfg.build(3);
+    let dims = clean.dims();
+    let mut alg = StreamKMeans::new(StreamKMeansConfig::new(4, 200, dims, 1).unwrap());
+    let points: Vec<UncertainPoint> = clean.collect();
+    for p in &points {
+        alg.insert(p);
+    }
+    let res = alg.query();
+    assert_eq!(res.centroids.len(), 4);
+    // Assign each point to its nearest final centroid and measure purity.
+    let mut purity = ClusterPurity::new();
+    for p in &points {
+        let (idx, _) = ustream_kmeans::sq_distance_to_nearest(p.values(), &res.centroids);
+        purity.observe(idx as u64, p.label().unwrap());
+    }
+    let score = purity.purity().unwrap();
+    assert!(score > 0.8, "STREAM purity too low: {score:.4}");
+}
+
+#[test]
+fn deterministic_given_seeds() {
+    let a = run_umicro(&noisy_syndrift(0.75, 123), 20).purity().unwrap();
+    let b = run_umicro(&noisy_syndrift(0.75, 123), 20).purity().unwrap();
+    assert_eq!(a, b, "same seed must give identical results");
+}

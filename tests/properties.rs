@@ -1,0 +1,216 @@
+//! Cross-crate property-based tests (proptest) on the core invariants:
+//! ECF additivity/subtractivity, expected-distance algebra, decay laws,
+//! pyramid guarantees, purity bounds and k-means behaviour.
+
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use umicro::distance::{corrected_sq_distance, expected_sq_distance};
+use umicro::Ecf;
+use ustream_common::point::sq_euclidean;
+use ustream_common::{AdditiveFeature, ClassLabel, DecayableFeature, DeterministicPoint, UncertainPoint};
+use ustream_eval::ClusterPurity;
+use ustream_kmeans::{kmeans, KMeansConfig};
+use ustream_snapshot::{PyramidConfig, SnapshotStore};
+
+const DIMS: usize = 3;
+
+fn arb_point() -> impl Strategy<Value = UncertainPoint> {
+    (
+        pvec(-100.0..100.0f64, DIMS),
+        pvec(0.0..10.0f64, DIMS),
+        0u64..1000,
+    )
+        .prop_map(|(values, errors, t)| UncertainPoint::new(values, errors, t, None))
+}
+
+fn arb_points(min: usize, max: usize) -> impl Strategy<Value = Vec<UncertainPoint>> {
+    pvec(arb_point(), min..max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Property 2.1: merging per-point singletons in any order equals the
+    /// bulk summary.
+    #[test]
+    fn ecf_additivity_order_invariant(points in arb_points(1, 12), split in 0usize..12) {
+        let split = split.min(points.len());
+        let mut bulk = Ecf::empty(DIMS);
+        for p in &points {
+            bulk.insert(p);
+        }
+        let mut left = Ecf::empty(DIMS);
+        for p in &points[..split] {
+            left.insert(p);
+        }
+        let mut right = Ecf::empty(DIMS);
+        for p in &points[split..] {
+            right.insert(p);
+        }
+        // Merge in the *opposite* order too.
+        let mut merged_a = left.clone();
+        merged_a.merge(&right);
+        let mut merged_b = right.clone();
+        merged_b.merge(&left);
+        for j in 0..DIMS {
+            prop_assert!((merged_a.cf1()[j] - bulk.cf1()[j]).abs() < 1e-6);
+            prop_assert!((merged_a.cf2()[j] - bulk.cf2()[j]).abs() < 1e-6);
+            prop_assert!((merged_a.ef2()[j] - bulk.ef2()[j]).abs() < 1e-6);
+            prop_assert!((merged_b.cf1()[j] - merged_a.cf1()[j]).abs() < 1e-6);
+        }
+        prop_assert_eq!(merged_a.point_count(), bulk.point_count());
+        prop_assert_eq!(merged_a.last_update(), bulk.last_update());
+    }
+
+    /// Subtracting a prefix summary leaves exactly the suffix summary.
+    #[test]
+    fn ecf_subtractivity_round_trip(points in arb_points(2, 12), split in 1usize..11) {
+        let split = split.min(points.len() - 1);
+        let mut all = Ecf::empty(DIMS);
+        let mut prefix = Ecf::empty(DIMS);
+        let mut suffix = Ecf::empty(DIMS);
+        for (i, p) in points.iter().enumerate() {
+            all.insert(p);
+            if i < split {
+                prefix.insert(p);
+            } else {
+                suffix.insert(p);
+            }
+        }
+        let mut derived = all.clone();
+        derived.subtract(&prefix);
+        for j in 0..DIMS {
+            prop_assert!((derived.cf1()[j] - suffix.cf1()[j]).abs() < 1e-5);
+            prop_assert!((derived.cf2()[j] - suffix.cf2()[j]).abs() < 1e-4);
+            prop_assert!((derived.ef2()[j] - suffix.ef2()[j]).abs() < 1e-5);
+        }
+        prop_assert!((derived.weight() - suffix.weight()).abs() < 1e-9);
+    }
+
+    /// Lemma 2.2 degenerates to the plain squared Euclidean distance when
+    /// every error is zero.
+    #[test]
+    fn expected_distance_equals_euclidean_when_certain(
+        cluster_vals in pvec(pvec(-50.0..50.0f64, DIMS), 1..8),
+        point_vals in pvec(-50.0..50.0f64, DIMS),
+    ) {
+        let mut ecf = Ecf::empty(DIMS);
+        for v in &cluster_vals {
+            ecf.insert(&UncertainPoint::certain(v.clone(), 0, None));
+        }
+        let p = UncertainPoint::certain(point_vals, 0, None);
+        let expected = expected_sq_distance(&p, &ecf);
+        let direct = sq_euclidean(p.values(), &ecf.centroid());
+        prop_assert!((expected - direct).abs() < 1e-6 * (1.0 + direct),
+            "expected {expected} vs euclidean {direct}");
+    }
+
+    /// Expected distance is never below the corrected distance, and both
+    /// are non-negative.
+    #[test]
+    fn distances_ordered_and_non_negative(points in arb_points(1, 8), probe in arb_point()) {
+        let mut ecf = Ecf::empty(DIMS);
+        for p in &points {
+            ecf.insert(p);
+        }
+        let e = expected_sq_distance(&probe, &ecf);
+        let c = corrected_sq_distance(&probe, &ecf);
+        prop_assert!(e >= 0.0 && c >= 0.0);
+        prop_assert!(e >= c - 1e-9, "expected {e} < corrected {c}");
+    }
+
+    /// Growing the error vector of the probe point never shrinks the
+    /// expected distance.
+    #[test]
+    fn expected_distance_monotone_in_point_error(
+        points in arb_points(1, 8),
+        values in pvec(-50.0..50.0f64, DIMS),
+        err in 0.0..5.0f64,
+    ) {
+        let mut ecf = Ecf::empty(DIMS);
+        for p in &points {
+            ecf.insert(p);
+        }
+        let lo = UncertainPoint::new(values.clone(), vec![err; DIMS], 0, None);
+        let hi = UncertainPoint::new(values, vec![err + 1.0; DIMS], 0, None);
+        prop_assert!(
+            expected_sq_distance(&hi, &ecf) >= expected_sq_distance(&lo, &ecf) - 1e-9
+        );
+    }
+
+    /// Uniform scaling (decay) preserves centroid and per-dim variance.
+    #[test]
+    fn decay_preserves_ratio_statistics(points in arb_points(2, 10), dt in 1u64..500) {
+        let mut ecf = Ecf::empty(DIMS);
+        for p in &points {
+            ecf.insert(p);
+        }
+        let centroid_before = ecf.centroid();
+        let var_before: Vec<f64> = (0..DIMS).map(|j| ecf.variance_dim(j)).collect();
+        let w_before = ecf.weight();
+        let last = ecf.last_decay();
+        ecf.decay_to(last + dt, 0.01);
+        let centroid_after = ecf.centroid();
+        for j in 0..DIMS {
+            prop_assert!((centroid_before[j] - centroid_after[j]).abs()
+                < 1e-6 * (1.0 + centroid_before[j].abs()));
+            prop_assert!((var_before[j] - ecf.variance_dim(j)).abs()
+                < 1e-6 * (1.0 + var_before[j]));
+        }
+        prop_assert!(ecf.weight() < w_before);
+        prop_assert!(ecf.weight() > 0.0);
+    }
+
+    /// Pyramid: Eq. 7's horizon guarantee holds for every geometry.
+    #[test]
+    fn pyramid_horizon_guarantee(
+        alpha in 2u64..5,
+        l in 1u32..5,
+        len in 50u64..400,
+        h_frac in 0.05..0.5f64,
+    ) {
+        let cfg = PyramidConfig::new(alpha, l).unwrap();
+        let mut store = SnapshotStore::new(cfg);
+        for t in 1..=len {
+            store.record(t, t);
+        }
+        let h = ((len as f64 * h_frac) as u64).max(1);
+        if let Ok(base) = store.horizon_base(len, h) {
+            let h_eff = len - base.time;
+            prop_assert!(h_eff >= h);
+            let rel = (h_eff - h) as f64 / h as f64;
+            prop_assert!(rel <= cfg.horizon_error_bound() + 1e-9,
+                "alpha={alpha} l={l} h={h}: rel {rel}");
+        }
+    }
+
+    /// Purity is always in (0, 1] and removing clusters never lowers the
+    /// count below zero.
+    #[test]
+    fn purity_bounds(assignments in pvec((0u64..6, 0u32..4), 1..100)) {
+        let mut p = ClusterPurity::new();
+        for (cid, class) in &assignments {
+            p.observe(*cid, ClassLabel(*class));
+        }
+        let score = p.purity().unwrap();
+        prop_assert!(score > 0.0 && score <= 1.0);
+        let weighted = p.weighted_purity().unwrap();
+        prop_assert!(weighted > 0.0 && weighted <= 1.0);
+        // Unweighted >= each cluster's worst case 1/classes.
+        prop_assert!(score >= 0.25 - 1e-12);
+    }
+
+    /// k-means: final SSQ never exceeds the single-cluster SSQ, and every
+    /// assignment indexes a real centroid.
+    #[test]
+    fn kmeans_sane(raw in pvec(pvec(-10.0..10.0f64, 2), 2..40), k in 1usize..6) {
+        let points: Vec<DeterministicPoint> =
+            raw.into_iter().map(DeterministicPoint::new).collect();
+        let res_k = kmeans(&points, &KMeansConfig::new(k, 1));
+        let res_1 = kmeans(&points, &KMeansConfig::new(1, 1));
+        prop_assert!(res_k.ssq <= res_1.ssq + 1e-6);
+        for &a in &res_k.assignments {
+            prop_assert!(a < res_k.centroids.len());
+        }
+    }
+}

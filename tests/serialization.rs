@@ -1,0 +1,122 @@
+//! Serialization integration: feature vectors, snapshots and whole-run
+//! state survive a disk round trip and remain operational.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use umicro::{Ecf, UMicro, UMicroConfig};
+use ustream_common::{DataStream, UncertainPoint};
+use ustream_snapshot::persist::{read_snapshots, write_snapshots};
+use ustream_snapshot::{ClusterSetSnapshot, PyramidConfig, SnapshotStore};
+use ustream_synth::{NoisyStream, SynDriftConfig};
+
+#[test]
+fn ecf_serde_round_trip() {
+    let mut ecf = Ecf::empty(3);
+    for i in 0..10u64 {
+        ecf.insert(&UncertainPoint::new(
+            vec![i as f64, -(i as f64), 0.5],
+            vec![0.1, 0.2, 0.3],
+            i,
+            None,
+        ));
+    }
+    let json = serde_json::to_string(&ecf).unwrap();
+    let back: Ecf = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, ecf);
+    assert_eq!(back.uncertain_radius(), ecf.uncertain_radius());
+}
+
+#[test]
+fn cfvector_serde_round_trip() {
+    let mut cf = clustream::CfVector::empty(2);
+    for i in 0..7u64 {
+        cf.insert(&UncertainPoint::certain(vec![i as f64, 1.0], i, None));
+    }
+    let json = serde_json::to_string(&cf).unwrap();
+    let back: clustream::CfVector = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, cf);
+    assert_eq!(back.relevance_stamp(3), cf.relevance_stamp(3));
+}
+
+#[test]
+fn umicro_checkpoint_restore_via_disk() {
+    // Run half a stream, persist the snapshot store to bytes, "restart" by
+    // reading it back and restoring the algorithm from the latest snapshot,
+    // then finish the stream. The restored run must stay sane and keep the
+    // pyramidal store compatible (ids preserved).
+    let mut gen = SynDriftConfig::small_test();
+    gen.len = 4_000;
+    gen.max_radius = 0.1;
+    // Mild noise relative to cluster radii keeps churn low, so the
+    // reconstructed window retains most of its points.
+    let stream = NoisyStream::new(gen.build(5), 0.1, StdRng::seed_from_u64(6));
+    let dims = stream.dims();
+    let points: Vec<UncertainPoint> = stream.collect();
+
+    let cfg = UMicroConfig::new(30, dims).unwrap();
+    let pyramid = PyramidConfig::new(2, 6).unwrap();
+    let mut alg = UMicro::new(cfg.clone());
+    let mut store: SnapshotStore<ClusterSetSnapshot<Ecf>> = SnapshotStore::new(pyramid);
+    for p in &points[..2_000] {
+        alg.insert(p);
+        store.record(p.timestamp(), alg.snapshot());
+    }
+
+    // Persist + reload ("process restart").
+    let mut bytes = Vec::new();
+    write_snapshots(&store, &mut bytes).unwrap();
+    let reloaded: SnapshotStore<ClusterSetSnapshot<Ecf>> =
+        read_snapshots(pyramid, bytes.as_slice()).unwrap();
+    let latest = reloaded.newest().unwrap();
+    assert_eq!(latest.time, points[1_999].timestamp());
+
+    let mut resumed = UMicro::restore(cfg, &latest.data);
+    assert_eq!(resumed.micro_clusters().len(), alg.micro_clusters().len());
+
+    let mut store2 = reloaded;
+    for p in &points[2_000..] {
+        resumed.insert(p);
+        store2.record(p.timestamp(), resumed.snapshot());
+    }
+    assert_eq!(resumed.micro_clusters().len(), 30);
+
+    // Horizon queries spanning the restart boundary still work: a window
+    // reaching back into the pre-restart history resolves fine.
+    let now = points.last().unwrap().timestamp();
+    let base = store2.horizon_base(now, 3_000).unwrap();
+    assert!(base.time <= now - 3_000);
+    let current = store2.find_at_or_before(now).unwrap();
+    let window = current.data.subtract_past(&base.data);
+    // Contributions of clusters evicted *inside* the window are discarded
+    // by the paper's subtraction semantics, so the count is a lower-bounded
+    // approximation of the 3 000-point window, not an exact tally.
+    assert!(
+        window.total_count() > 1_000.0,
+        "window count {}",
+        window.total_count()
+    );
+    assert!(!window.is_empty());
+}
+
+#[test]
+fn stream_csv_to_clustering_pipeline() {
+    // generate → serialize → parse → cluster, entirely through public APIs.
+    let mut gen = SynDriftConfig::small_test();
+    gen.len = 2_000;
+    let stream = NoisyStream::new(gen.build(8), 0.5, StdRng::seed_from_u64(9));
+    let mut csv = Vec::new();
+    let written = ustream_synth::io::write_stream(stream, &mut csv).unwrap();
+    assert_eq!(written, 2_000);
+
+    let parsed = ustream_synth::io::read_stream(csv.as_slice()).unwrap();
+    let dims = parsed.dims();
+    let mut alg = UMicro::new(UMicroConfig::new(20, dims).unwrap());
+    let mut purity = ustream_eval::ClusterPurity::new();
+    for p in parsed {
+        let out = alg.insert(&p);
+        if let Some(l) = p.label() {
+            purity.observe(out.cluster_id, l);
+        }
+    }
+    assert!(purity.purity().unwrap() > 0.85);
+}

@@ -50,9 +50,7 @@ fn bench_distances(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("dimension_counting", dims),
             &dims,
-            |b, _| {
-                b.iter(|| black_box(dimension_counting_similarity(&point, &ecf, &global, 2.0)))
-            },
+            |b, _| b.iter(|| black_box(dimension_counting_similarity(&point, &ecf, &global, 2.0))),
         );
     }
     group.finish();

@@ -79,8 +79,7 @@ fn bench_insertion(c: &mut Criterion) {
 
     group.bench_function("stream_kmeans", |b| {
         b.iter(|| {
-            let mut alg =
-                StreamKMeans::new(StreamKMeansConfig::new(10, 500, DIMS, 13).unwrap());
+            let mut alg = StreamKMeans::new(StreamKMeansConfig::new(10, 500, DIMS, 13).unwrap());
             for p in &pts {
                 alg.insert(p);
             }

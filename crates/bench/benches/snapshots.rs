@@ -11,7 +11,9 @@ fn snapshot(dims: usize, clusters: usize, tick: u64) -> ClusterSetSnapshot<Ecf> 
     ClusterSetSnapshot::from_pairs((0..clusters as u64).map(|id| {
         let mut e = Ecf::empty(dims);
         for i in 0..4 {
-            let values: Vec<f64> = (0..dims).map(|j| (id + i + j as u64) as f64 * 0.1).collect();
+            let values: Vec<f64> = (0..dims)
+                .map(|j| (id + i + j as u64) as f64 * 0.1)
+                .collect();
             let errors = vec![0.05; dims];
             e.insert(&UncertainPoint::new(values, errors, tick, None));
         }

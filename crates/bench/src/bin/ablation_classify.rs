@@ -18,8 +18,8 @@ use ustream_synth::{DatasetProfile, NoiseVariant, NoisyStream};
 
 fn main() {
     let args = Args::parse();
-    let profile = DatasetProfile::from_name(&args.get_str("dataset", "forest"))
-        .expect("unknown dataset");
+    let profile =
+        DatasetProfile::from_name(&args.get_str("dataset", "forest")).expect("unknown dataset");
     let len: usize = args.get("len", 30_000);
     let train_frac: f64 = args.get("train-frac", 0.7);
     let per_class_budget: usize = args.get("budget", 25);

@@ -10,8 +10,8 @@ use ustream_synth::DatasetProfile;
 
 fn main() {
     let args = Args::parse();
-    let profile = DatasetProfile::from_name(&args.get_str("dataset", "syndrift"))
-        .expect("unknown dataset");
+    let profile =
+        DatasetProfile::from_name(&args.get_str("dataset", "syndrift")).expect("unknown dataset");
     let mut cfg = RunConfig::paper(profile);
     cfg.len = args.get("len", 40_000);
     cfg.eta = args.get("eta", 1.0);

@@ -14,8 +14,8 @@ use ustream_synth::DatasetProfile;
 fn main() {
     let args = Args::parse();
     let dataset = args.get_str("dataset", "syndrift");
-    let profile = DatasetProfile::from_name(&dataset)
-        .unwrap_or_else(|| panic!("unknown dataset: {dataset}"));
+    let profile =
+        DatasetProfile::from_name(&dataset).unwrap_or_else(|| panic!("unknown dataset: {dataset}"));
 
     let mut cfg = RunConfig::paper(profile);
     if !args.get("full", false) {
@@ -51,7 +51,10 @@ fn main() {
         .collect();
     let header = ["eta", "UMicro", "CluStream"];
     print_table(
-        &format!("Fig 5-7 analogue: purity vs error level [{}]", profile.name()),
+        &format!(
+            "Fig 5-7 analogue: purity vs error level [{}]",
+            profile.name()
+        ),
         &header,
         &rows,
     );

@@ -18,8 +18,8 @@ use ustream_synth::DatasetProfile;
 fn main() {
     let args = Args::parse();
     let dataset = args.get_str("dataset", "syndrift");
-    let profile = DatasetProfile::from_name(&dataset)
-        .unwrap_or_else(|| panic!("unknown dataset: {dataset}"));
+    let profile =
+        DatasetProfile::from_name(&dataset).unwrap_or_else(|| panic!("unknown dataset: {dataset}"));
 
     let mut cfg = RunConfig::paper(profile);
     if !args.get("full", false) {

@@ -46,12 +46,7 @@ mod tests {
     #[test]
     fn writes_and_formats() {
         let path = std::env::temp_dir().join("ustream_csv_test/out.csv");
-        write_csv(
-            &path,
-            &["x", "y"],
-            &[vec![1.0, 2.0], vec![3.0, 4.5]],
-        )
-        .unwrap();
+        write_csv(&path, &["x", "y"], &[vec![1.0, 2.0], vec![3.0, 4.5]]).unwrap();
         let contents = std::fs::read_to_string(&path).unwrap();
         assert_eq!(contents, "x,y\n1,2\n3,4.5\n");
         std::fs::remove_dir_all(path.parent().unwrap()).ok();

@@ -60,7 +60,7 @@ impl RunConfig {
             eta: 0.5,
             len: profile.default_len(),
             n_micro: 100,
-            checkpoint: 0, // derived: len / 12 checkpoints
+            checkpoint: 0,  // derived: len / 12 checkpoints
             seed: 20080407, // ICDE 2008 :)
             boundary_factor: 3.0,
             thresh: 2.0,
@@ -130,8 +130,7 @@ pub fn purity_progression(config: &RunConfig, method: Method) -> PurityCurve {
         }
         Method::CluStream => {
             let mut alg = CluStream::new(
-                CluStreamConfig::new(config.n_micro, config.profile.dims())
-                    .expect("valid config"),
+                CluStreamConfig::new(config.n_micro, config.profile.dims()).expect("valid config"),
             );
             for p in stream {
                 let out = alg.insert(&p);
@@ -147,11 +146,7 @@ pub fn purity_progression(config: &RunConfig, method: Method) -> PurityCurve {
 }
 
 /// Sweeps η and reports whole-stream mean purity per level (Figures 5–7).
-pub fn purity_vs_error(
-    base: &RunConfig,
-    etas: &[f64],
-    methods: &[Method],
-) -> Vec<(f64, Vec<f64>)> {
+pub fn purity_vs_error(base: &RunConfig, etas: &[f64], methods: &[Method]) -> Vec<(f64, Vec<f64>)> {
     etas.iter()
         .map(|&eta| {
             let mut cfg = base.clone();
@@ -205,8 +200,7 @@ pub fn throughput_run(config: &RunConfig, method: Method, sample_every: u64) -> 
         }
         Method::CluStream => {
             let mut alg = CluStream::new(
-                CluStreamConfig::new(config.n_micro, config.profile.dims())
-                    .expect("valid config"),
+                CluStreamConfig::new(config.n_micro, config.profile.dims()).expect("valid config"),
             );
             for p in &points {
                 alg.insert(p);

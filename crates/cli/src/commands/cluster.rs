@@ -97,21 +97,11 @@ pub fn run(flags: &Flags) -> Result<(), CliError> {
                 // DenStream has no insert outcome; attribute by the nearest
                 // potential cluster after insertion for the purity readout.
                 if let Some(l) = p.label() {
-                    if let Some(c) = alg
-                        .potential_clusters()
-                        .iter()
-                        .min_by(|a, b| {
-                            let da = ustream_common::point::sq_euclidean(
-                                &a.centroid(),
-                                p.values(),
-                            );
-                            let db = ustream_common::point::sq_euclidean(
-                                &b.centroid(),
-                                p.values(),
-                            );
-                            da.partial_cmp(&db).unwrap()
-                        })
-                    {
+                    if let Some(c) = alg.potential_clusters().iter().min_by(|a, b| {
+                        let da = ustream_common::point::sq_euclidean(&a.centroid(), p.values());
+                        let db = ustream_common::point::sq_euclidean(&b.centroid(), p.values());
+                        da.partial_cmp(&db).unwrap()
+                    }) {
                         purity.observe(c.id, l);
                     }
                 }
@@ -184,13 +174,7 @@ pub fn run(flags: &Flags) -> Result<(), CliError> {
 fn cluster_summaries_umicro(alg: &UMicro) -> Vec<ClusterSummary> {
     alg.micro_clusters()
         .iter()
-        .map(|c| {
-            ClusterSummary::new(
-                c.ecf.centroid(),
-                c.ecf.corrected_radius(),
-                c.ecf.weight(),
-            )
-        })
+        .map(|c| ClusterSummary::new(c.ecf.centroid(), c.ecf.corrected_radius(), c.ecf.weight()))
         .collect()
 }
 
@@ -217,13 +201,17 @@ fn print_macro(centroids: &[Vec<f64>], weights: &[f64]) {
         let head: Vec<String> = c.iter().take(5).map(|v| format!("{v:.3}")).collect();
         let w = weights.get(i).copied().unwrap_or(0.0);
         if w > 0.0 {
-            println!("  #{i}: weight {w:>10.1}  centroid [{}{}]",
+            println!(
+                "  #{i}: weight {w:>10.1}  centroid [{}{}]",
                 head.join(", "),
-                if c.len() > 5 { ", …" } else { "" });
+                if c.len() > 5 { ", …" } else { "" }
+            );
         } else {
-            println!("  #{i}: centroid [{}{}]",
+            println!(
+                "  #{i}: centroid [{}{}]",
                 head.join(", "),
-                if c.len() > 5 { ", …" } else { "" });
+                if c.len() > 5 { ", …" } else { "" }
+            );
         }
     }
 }

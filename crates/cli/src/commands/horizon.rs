@@ -5,7 +5,7 @@
 use crate::args::{CliError, Flags};
 use crate::commands::load_stream;
 use umicro::{HorizonAnalyzer, UMicro, UMicroConfig};
-use ustream_common::{AdditiveFeature, DataStream};
+use ustream_common::DataStream;
 use ustream_snapshot::PyramidConfig;
 
 /// Runs the command.
@@ -48,9 +48,7 @@ pub fn run(flags: &Flags) -> Result<(), CliError> {
                 );
                 match hz.macro_cluster_horizon(now, h, k, seed) {
                     Ok(mac) => {
-                        for (i, (c, w)) in
-                            mac.centroids.iter().zip(&mac.weights).enumerate()
-                        {
+                        for (i, (c, w)) in mac.centroids.iter().zip(&mac.weights).enumerate() {
                             let head: Vec<String> =
                                 c.iter().take(5).map(|v| format!("{v:.3}")).collect();
                             println!(

@@ -38,10 +38,7 @@ pub fn run(flags: &Flags) -> Result<(), CliError> {
     println!("records: {count} ({dims} dims, ticks {first_t}..{last_t})");
     println!("classes:");
     for (label, n) in &classes {
-        println!(
-            "  {label}: {n} ({:.1}%)",
-            100.0 * *n as f64 / count as f64
-        );
+        println!("  {label}: {n} ({:.1}%)", 100.0 * *n as f64 / count as f64);
     }
     if unlabelled > 0 {
         println!("  unlabelled: {unlabelled}");

@@ -6,6 +6,7 @@ pub mod evolve;
 pub mod generate;
 pub mod horizon;
 pub mod inspect;
+pub mod stream;
 
 use crate::args::CliError;
 use std::fs::File;

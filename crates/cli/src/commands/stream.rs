@@ -1,0 +1,107 @@
+//! `ustream stream` — replay a stream CSV through the sharded
+//! [`StreamEngine`]: concurrent ingestion, periodic exact ECF merges,
+//! novelty alerts and a per-shard throughput breakdown from the command
+//! line.
+
+use crate::args::{CliError, Flags};
+use crate::commands::load_stream;
+use umicro::UMicroConfig;
+use ustream_common::DataStream;
+use ustream_engine::{EngineConfig, StreamEngine};
+use ustream_snapshot::PyramidConfig;
+
+/// Runs the command.
+pub fn run(flags: &Flags) -> Result<(), CliError> {
+    let input = flags.require("in")?;
+    let shards: usize = flags.get("shards", 4)?;
+    let n_micro: usize = flags.get("n-micro", 100)?;
+    let k: usize = flags.get("k", 5)?;
+    let seed: u64 = flags.get("seed", 42)?;
+    let snapshot_every: u64 = flags.get("snapshot-every", 1_024)?;
+    let batch: usize = flags.get("batch", 4_096)?;
+    let novelty: f64 = flags.get("novelty-factor", 8.0)?;
+    let alpha: u64 = flags.get("alpha", 2)?;
+    let l: u32 = flags.get("l", 6)?;
+    let horizon: Option<u64> = flags.get_opt("horizon")?;
+    if shards == 0 || shards > 1 << 16 {
+        return Err(format!("--shards must be in 1..={} (got {shards})", 1u32 << 16).into());
+    }
+    if snapshot_every == 0 {
+        return Err("--snapshot-every must be positive".into());
+    }
+
+    let stream = load_stream(input)?;
+    let dims = stream.dims();
+    let points: Vec<_> = stream.collect();
+
+    let mut config = EngineConfig::new(UMicroConfig::new(n_micro, dims)?)
+        .with_shards(shards)
+        .with_snapshot_every(snapshot_every)
+        .with_pyramid(PyramidConfig::new(alpha, l)?);
+    config = if novelty > 1.0 {
+        config.with_novelty_factor(Some(novelty))
+    } else {
+        config.with_novelty_factor(None)
+    };
+
+    let engine = StreamEngine::start(config);
+    for part in points.chunks(batch) {
+        engine
+            .push_slice(part)
+            .map_err(|e| format!("ingestion failed: {e}"))?;
+    }
+    engine.flush();
+
+    let mac = engine.macro_clusters(k, seed);
+    println!("macro-clusters (k = {k}):");
+    for (i, (c, w)) in mac.centroids.iter().zip(&mac.weights).enumerate() {
+        let head: Vec<String> = c.iter().take(5).map(|v| format!("{v:.3}")).collect();
+        println!(
+            "  #{i}: weight {w:>9.1}  centroid [{}{}]",
+            head.join(", "),
+            if c.len() > 5 { ", …" } else { "" }
+        );
+    }
+
+    if let Some(h) = horizon {
+        match engine.horizon_clusters(h) {
+            Ok(window) => println!(
+                "\nwindow (last {h} ticks): {} micro-clusters, {:.0} points",
+                window.len(),
+                window.total_count()
+            ),
+            Err(e) => println!("\nwindow (last {h} ticks): unavailable ({e})"),
+        }
+    }
+
+    let alerts = engine.drain_alerts();
+    if !alerts.is_empty() {
+        println!("\nnovelty alerts: {}", alerts.len());
+        for a in alerts.iter().take(5) {
+            println!(
+                "  tick {:>8}: isolation {:.2} (baseline {:.2})",
+                a.timestamp, a.isolation, a.baseline
+            );
+        }
+    }
+
+    let report = engine.shutdown();
+    println!(
+        "\nprocessed {} records to tick {}; {} live micro-clusters, \
+         {} snapshots retained",
+        report.points_processed, report.last_tick, report.live_clusters, report.snapshots_retained
+    );
+    println!(
+        "{} shard(s), {} exact merges @ {:.0} µs mean:",
+        report.per_shard.len(),
+        report.merges,
+        report.mean_merge_micros
+    );
+    for s in &report.per_shard {
+        println!(
+            "  shard {}: {:>9} records ({:>9.0} pts/s), {:>4} live clusters, {} alerts",
+            s.shard, s.processed, s.points_per_sec, s.live_clusters, s.alerts_raised
+        );
+    }
+    Ok(())
+}

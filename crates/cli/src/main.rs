@@ -48,6 +48,16 @@ commands:
              --in <path>           input CSV                 (required)
              --window <u64>        window length in ticks    (default 10000)
              --min-weight <f64>    ignore lighter clusters   (default 5)
+  stream     replay through the sharded analytics engine
+             --in <path>           input CSV                 (required)
+             --shards <usize>      ingestion shard workers   (default 4)
+             --n-micro <usize>     global micro-cluster budget (default 100)
+             --k <usize>           macro clusters            (default 5)
+             --snapshot-every <u64> ticks between merges     (default 1024)
+             --novelty-factor <f64> alert threshold; <=1 disables (default 8)
+             --horizon <u64>       also report a trailing window (default: off)
+             --batch <usize>       push-slice batch size     (default 4096)
+             --alpha <u64> --l <u32>  pyramid geometry       (default 2, 6)
   inspect    print stream statistics
              --in <path>           input CSV                 (required)
 ";
@@ -91,6 +101,7 @@ fn main() -> ExitCode {
         "classify" => commands::classify::run(&flags),
         "horizon" => commands::horizon::run(&flags),
         "evolve" => commands::evolve::run(&flags),
+        "stream" => commands::stream::run(&flags),
         "inspect" => commands::inspect::run(&flags),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");

@@ -74,7 +74,9 @@ impl DenStreamConfig {
             return Err(UStreamError::InvalidConfig("beta must be in (0, 1]".into()));
         }
         if !(self.lambda.is_finite() && self.lambda > 0.0) {
-            return Err(UStreamError::InvalidConfig("lambda must be positive".into()));
+            return Err(UStreamError::InvalidConfig(
+                "lambda must be positive".into(),
+            ));
         }
         if self.beta * self.mu <= 1.0 {
             return Err(UStreamError::InvalidConfig(
@@ -87,7 +89,9 @@ impl DenStreamConfig {
     /// The pruning period `T_p` of the original paper.
     pub fn pruning_period(&self) -> u64 {
         let bm = self.beta * self.mu;
-        ((1.0 / self.lambda) * (bm / (bm - 1.0)).log2()).ceil().max(1.0) as u64
+        ((1.0 / self.lambda) * (bm / (bm - 1.0)).log2())
+            .ceil()
+            .max(1.0) as u64
     }
 }
 

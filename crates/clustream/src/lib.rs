@@ -24,6 +24,7 @@ pub mod feature;
 pub mod horizon;
 pub mod macrocluster;
 pub mod micro;
+pub mod online;
 pub mod stream_kmeans;
 
 pub use denstream::{DenStream, DenStreamConfig, DensityMicroCluster};

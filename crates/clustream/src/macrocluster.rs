@@ -38,9 +38,11 @@ mod tests {
 
     #[test]
     fn groups_cf_centroids() {
-        let micro = [(1u64, cf_at(0.0, 4)),
+        let micro = [
+            (1u64, cf_at(0.0, 4)),
             (2, cf_at(0.1, 4)),
-            (3, cf_at(20.0, 4))];
+            (3, cf_at(20.0, 4)),
+        ];
         let mac = macro_cluster_cfs(micro.iter().map(|(i, f)| (*i, f)), 2, 3);
         assert_eq!(mac.k(), 2);
         assert_eq!(mac.macro_of_micro(1), mac.macro_of_micro(2));

@@ -288,8 +288,7 @@ impl CluStream {
         // 2. Merge the two closest micro-clusters.
         let mut best_pair = (0usize, 1usize);
         let mut best_d = f64::INFINITY;
-        let centroids: Vec<Vec<f64>> =
-            self.clusters.iter().map(|c| c.cf.centroid()).collect();
+        let centroids: Vec<Vec<f64>> = self.clusters.iter().map(|c| c.cf.centroid()).collect();
         for i in 0..self.clusters.len() {
             for j in (i + 1)..self.clusters.len() {
                 let d = sq_euclidean(&centroids[i], &centroids[j]);
@@ -301,12 +300,11 @@ impl CluStream {
         }
         let (i, j) = best_pair;
         // Survivor = larger cluster; keeps its id and records the other's.
-        let (survivor_idx, absorbed_idx) =
-            if self.clusters[i].cf.n() >= self.clusters[j].cf.n() {
-                (i, j)
-            } else {
-                (j, i)
-            };
+        let (survivor_idx, absorbed_idx) = if self.clusters[i].cf.n() >= self.clusters[j].cf.n() {
+            (i, j)
+        } else {
+            (j, i)
+        };
         let absorbed = self.clusters.swap_remove(absorbed_idx);
         // swap_remove may have moved the survivor.
         let survivor_idx = if survivor_idx == self.clusters.len() {

@@ -246,6 +246,9 @@ mod tests {
             .map(|p| p.weight)
             .sum::<f64>()
             + alg.buffer.len() as f64;
-        assert!((total - 400.0).abs() < 1e-6, "total weight drifted: {total}");
+        assert!(
+            (total - 400.0).abs() < 1e-6,
+            "total weight drifted: {total}"
+        );
     }
 }

@@ -31,6 +31,9 @@ pub enum UStreamError {
         /// The horizon the caller asked for (in clock ticks).
         requested: u64,
     },
+    /// A record was pushed at an engine whose workers have stopped
+    /// (shutdown already ran or a worker died).
+    EngineStopped,
 }
 
 impl fmt::Display for UStreamError {
@@ -45,6 +48,12 @@ impl fmt::Display for UStreamError {
             UStreamError::Serde(msg) => write!(f, "serde error: {msg}"),
             UStreamError::HorizonUnavailable { requested } => {
                 write!(f, "no snapshot available for horizon {requested}")
+            }
+            UStreamError::EngineStopped => {
+                write!(
+                    f,
+                    "engine workers have stopped; no further records accepted"
+                )
             }
         }
     }

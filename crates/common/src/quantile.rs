@@ -96,13 +96,12 @@ impl P2Quantile {
             if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
                 let d = d.signum();
                 let candidate = self.parabolic(i, d);
-                let new_height = if self.heights[i - 1] < candidate
-                    && candidate < self.heights[i + 1]
-                {
-                    candidate
-                } else {
-                    self.linear(i, d)
-                };
+                let new_height =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, d)
+                    };
                 self.heights[i] = new_height;
                 self.positions[i] += d;
             }
@@ -120,8 +119,7 @@ impl P2Quantile {
     fn linear(&self, i: usize, d: f64) -> f64 {
         let j = (i as f64 + d) as usize;
         self.heights[i]
-            + d * (self.heights[j] - self.heights[i])
-                / (self.positions[j] - self.positions[i])
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
     }
 
     /// Current estimate of the tracked quantile; `None` before any
@@ -203,7 +201,11 @@ mod tests {
         let mut p90 = P2Quantile::new(0.9);
         let mut p999 = P2Quantile::new(0.999);
         for i in 0..50_000u64 {
-            let v = if i % 100 == 7 { 100.0 } else { 1.0 + (i % 10) as f64 * 0.01 };
+            let v = if i % 100 == 7 {
+                100.0
+            } else {
+                1.0 + (i % 10) as f64 * 0.01
+            };
             p90.observe(v);
             p999.observe(v);
         }

@@ -21,7 +21,7 @@ use crate::ecf::Ecf;
 use crate::macrocluster::{macro_cluster_ecfs, MacroClustering};
 use crate::similarity::{dimension_counting_similarity, GlobalVariance};
 use ustream_common::point::sq_euclidean;
-use ustream_common::{AdditiveFeature, DecayableFeature, UncertainPoint};
+use ustream_common::{AdditiveFeature, DecayableFeature, Timestamp, UncertainPoint};
 use ustream_snapshot::ClusterSetSnapshot;
 
 /// A live micro-cluster: a stable identity plus its ECF statistics.
@@ -211,6 +211,13 @@ impl UMicro {
     /// the pyramidal store.
     pub fn snapshot(&self) -> ClusterSetSnapshot<Ecf> {
         ClusterSetSnapshot::from_pairs(self.clusters.iter().map(|c| (c.id, c.ecf.clone())))
+    }
+
+    /// Snapshot naming unified with [`crate::DecayedUMicro::snapshot_at`]:
+    /// undecayed statistics are time-invariant, so `now` is accepted for
+    /// interface symmetry and ignored.
+    pub fn snapshot_at(&self, _now: Timestamp) -> ClusterSetSnapshot<Ecf> {
+        self.snapshot()
     }
 
     /// Rebuilds an algorithm from a configuration and a previously captured
@@ -418,9 +425,7 @@ mod tests {
     #[test]
     fn distant_point_creates_cluster_uncorrected_mode() {
         use crate::config::BoundaryMode;
-        let mut alg = UMicro::new(
-            config(2, 2).with_boundary_mode(BoundaryMode::UncertainRadius),
-        );
+        let mut alg = UMicro::new(config(2, 2).with_boundary_mode(BoundaryMode::UncertainRadius));
         alg.insert(&pt(&[0.0, 0.0], &[0.1, 0.1], 1));
         alg.insert(&pt(&[0.1, 0.1], &[0.1, 0.1], 2));
         let out = alg.insert(&pt(&[50.0, 50.0], &[0.1, 0.1], 3));
@@ -482,10 +487,7 @@ mod tests {
             assert!(near_a || near_b);
             if c.ecf.point_count() > 1 {
                 // Multi-point clusters must sit tightly inside one blob.
-                assert!(
-                    cen[0] < 2.0 || cen[0] > 8.0,
-                    "straddling centroid: {cen:?}"
-                );
+                assert!(cen[0] < 2.0 || cen[0] > 8.0, "straddling centroid: {cen:?}");
             }
         }
     }

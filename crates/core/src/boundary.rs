@@ -150,7 +150,7 @@ mod tests {
     #[test]
     fn degenerate_singleton_uses_nearest_other() {
         let s = Ecf::from_point(&pt(&[0.0], &[0.0])); // radius 0.
-        // Nearest other cluster at distance 10 → boundary 10.
+                                                      // Nearest other cluster at distance 10 → boundary 10.
         assert_eq!(
             boundary_decision(s.uncertain_radius(), 81.0, 3.0, 1e-9, Some(100.0)),
             BoundaryDecision::Absorb

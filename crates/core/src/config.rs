@@ -26,8 +26,7 @@ impl Default for SimilarityMode {
 }
 
 /// How the critical uncertainty boundary (§II-C) is evaluated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum BoundaryMode {
     /// Literal reading of Eq. 6: boundary = `t ×` the uncertain radius
     /// (expected RMS deviation, *including* the error terms), tested
@@ -44,7 +43,6 @@ pub enum BoundaryMode {
     #[default]
     ErrorCorrected,
 }
-
 
 /// Configuration of the [`crate::UMicro`] algorithm.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -184,13 +182,17 @@ mod tests {
     fn rejects_bad_boundary_factor() {
         let c = UMicroConfig::new(5, 2).unwrap().with_boundary_factor(-1.0);
         assert!(c.validate().is_err());
-        let c = UMicroConfig::new(5, 2).unwrap().with_boundary_factor(f64::NAN);
+        let c = UMicroConfig::new(5, 2)
+            .unwrap()
+            .with_boundary_factor(f64::NAN);
         assert!(c.validate().is_err());
     }
 
     #[test]
     fn rejects_bad_thresh() {
-        let c = UMicroConfig::new(5, 2).unwrap().with_dimension_counting(0.0);
+        let c = UMicroConfig::new(5, 2)
+            .unwrap()
+            .with_dimension_counting(0.0);
         assert!(c.validate().is_err());
     }
 

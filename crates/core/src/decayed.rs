@@ -52,7 +52,10 @@ impl DecayedUMicro {
 
     /// Creates the decayed algorithm from a raw decay rate `λ > 0`.
     pub fn with_lambda(config: UMicroConfig, lambda: f64) -> Self {
-        assert!(lambda.is_finite() && lambda > 0.0, "lambda must be positive");
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "lambda must be positive"
+        );
         Self {
             inner: UMicro::with_lambda(config, lambda),
             lambda,
@@ -117,6 +120,13 @@ impl DecayedUMicro {
     pub fn snapshot_at(&mut self, now: Timestamp) -> ClusterSetSnapshot<Ecf> {
         self.synchronize(now);
         self.inner.snapshot()
+    }
+
+    /// Snapshot synchronised to the last observed tick — naming symmetry
+    /// with [`UMicro::snapshot`]; prefer [`Self::snapshot_at`] when the
+    /// caller knows the current clock.
+    pub fn snapshot(&mut self) -> ClusterSetSnapshot<Ecf> {
+        self.snapshot_at(self.last_seen)
     }
 
     /// Macro-clustering of the decayed micro-clusters (weights are the

@@ -35,8 +35,7 @@ pub fn expected_sq_distance(point: &UncertainPoint, ecf: &Ecf) -> f64 {
     for j in 0..values.len() {
         let x = values[j];
         let psi = errors[j];
-        acc += cf1[j] * cf1[j] / w2 + ef2[j] / w2 + psi * psi + x * x
-            - 2.0 * x * cf1[j] / w;
+        acc += cf1[j] * cf1[j] / w2 + ef2[j] / w2 + psi * psi + x * x - 2.0 * x * cf1[j] / w;
     }
     acc.max(0.0)
 }
@@ -137,7 +136,10 @@ mod tests {
         let x = pt(&[0.0, 3.0, 1.0], &[0.5, 0.0, 0.2]);
         let total = expected_sq_distance(&x, &ecf);
         let summed: f64 = (0..3).map(|j| expected_sq_distance_dim(&x, &ecf, j)).sum();
-        assert!((total - summed).abs() < 1e-10, "total={total} summed={summed}");
+        assert!(
+            (total - summed).abs() < 1e-10,
+            "total={total} summed={summed}"
+        );
     }
 
     #[test]

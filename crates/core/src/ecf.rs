@@ -355,7 +355,13 @@ mod tests {
     #[test]
     fn subtractive_property_round_trip() {
         let pts: Vec<UncertainPoint> = (0..10)
-            .map(|i| pt(&[i as f64, (i * i) as f64], &[0.1 * i as f64, 0.2], i as u64))
+            .map(|i| {
+                pt(
+                    &[i as f64, (i * i) as f64],
+                    &[0.1 * i as f64, 0.2],
+                    i as u64,
+                )
+            })
             .collect();
         let mut all = Ecf::empty(2);
         let mut prefix = Ecf::empty(2);

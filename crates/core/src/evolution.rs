@@ -8,7 +8,6 @@
 //! stable micro-cluster ids (plus the subtractive property) make the
 //! comparison exact rather than heuristic.
 
-use crate::ecf::Ecf;
 use ustream_common::point::sq_euclidean;
 use ustream_common::AdditiveFeature;
 use ustream_snapshot::ClusterSetSnapshot;
@@ -123,9 +122,15 @@ impl EvolutionReport {
 ///
 /// Clusters below `min_weight` in both windows are ignored — they carry too
 /// little evidence to classify.
-pub fn compare_windows(
-    earlier: &ClusterSetSnapshot<Ecf>,
-    recent: &ClusterSetSnapshot<Ecf>,
+///
+/// Generic over any additive summary (a cluster's weight is its
+/// [`AdditiveFeature::count`], which for the ECF is the possibly-decayed
+/// point weight), so evolution analysis works for UMicro and CluStream
+/// windows alike — including the merged cluster sets the sharded engine
+/// produces.
+pub fn compare_windows<F: AdditiveFeature>(
+    earlier: &ClusterSetSnapshot<F>,
+    recent: &ClusterSetSnapshot<F>,
     min_weight: f64,
 ) -> EvolutionReport {
     let mut report = EvolutionReport::default();
@@ -133,10 +138,10 @@ pub fn compare_windows(
     let mut drift_weight = 0.0;
 
     for (id, now) in &recent.clusters {
-        let w_now = now.weight();
+        let w_now = now.count();
         match earlier.clusters.get(id) {
             Some(then) => {
-                let w_then = then.weight();
+                let w_then = then.count();
                 if w_now < min_weight && w_then < min_weight {
                     continue;
                 }
@@ -166,7 +171,7 @@ pub fn compare_windows(
         if recent.clusters.contains_key(id) {
             continue;
         }
-        let w_then = then.weight();
+        let w_then = then.count();
         if w_then < min_weight {
             continue;
         }
@@ -197,6 +202,7 @@ pub fn compare_windows(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ecf::Ecf;
     use ustream_common::UncertainPoint;
 
     fn ecf(values: &[(f64, f64)]) -> Ecf {
@@ -232,9 +238,18 @@ mod tests {
         assert_eq!(report.persisted(), 1);
         assert_eq!(report.changes.len(), 3);
         // Order: emerged, persisted, faded.
-        assert!(matches!(report.changes[0], ClusterChange::Emerged { id: 3, .. }));
-        assert!(matches!(report.changes[1], ClusterChange::Persisted { id: 1, .. }));
-        assert!(matches!(report.changes[2], ClusterChange::Faded { id: 2, .. }));
+        assert!(matches!(
+            report.changes[0],
+            ClusterChange::Emerged { id: 3, .. }
+        ));
+        assert!(matches!(
+            report.changes[1],
+            ClusterChange::Persisted { id: 1, .. }
+        ));
+        assert!(matches!(
+            report.changes[2],
+            ClusterChange::Faded { id: 2, .. }
+        ));
         if let ClusterChange::Persisted { centroid_shift, .. } = &report.changes[1] {
             assert!((centroid_shift - 1.0).abs() < 1e-9);
         }

@@ -13,9 +13,7 @@ use crate::algorithm::UMicro;
 use crate::ecf::Ecf;
 use crate::macrocluster::{macro_cluster_ecfs, MacroClustering};
 use ustream_common::{Result, Timestamp};
-use ustream_snapshot::{
-    ClusterSetSnapshot, HorizonTracker, PyramidConfig, SnapshotStore,
-};
+use ustream_snapshot::{ClusterSetSnapshot, HorizonTracker, PyramidConfig, SnapshotStore};
 
 /// Records UMicro snapshots and answers horizon queries (a thin UMicro-
 /// flavoured wrapper over the feature-generic
@@ -70,11 +68,7 @@ impl HorizonAnalyzer {
     /// an error is returned. If the resolved base *is* the stream origin
     /// (nothing recorded before it), the caller should use
     /// [`Self::clusters_at`] instead — the whole history is the window.
-    pub fn horizon_clusters(
-        &self,
-        now: Timestamp,
-        h: u64,
-    ) -> Result<ClusterSetSnapshot<Ecf>> {
+    pub fn horizon_clusters(&self, now: Timestamp, h: u64) -> Result<ClusterSetSnapshot<Ecf>> {
         self.tracker.horizon_clusters(now, h)
     }
 

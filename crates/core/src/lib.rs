@@ -51,6 +51,7 @@ pub mod ecf;
 pub mod evolution;
 pub mod horizon;
 pub mod macrocluster;
+pub mod online;
 pub mod similarity;
 
 pub use algorithm::{InsertOutcome, MicroCluster, UMicro};
@@ -61,3 +62,4 @@ pub use ecf::Ecf;
 pub use evolution::{compare_windows, ClusterChange, EvolutionReport};
 pub use horizon::HorizonAnalyzer;
 pub use macrocluster::MacroClustering;
+pub use online::OnlineClusterer;

@@ -45,10 +45,12 @@ mod tests {
 
     #[test]
     fn groups_micro_centroids() {
-        let micro = [(1u64, ecf_at(0.0, 0.0, 5)),
+        let micro = [
+            (1u64, ecf_at(0.0, 0.0, 5)),
             (2, ecf_at(0.2, 0.1, 5)),
             (3, ecf_at(10.0, 10.0, 5)),
-            (4, ecf_at(10.1, 9.9, 5))];
+            (4, ecf_at(10.1, 9.9, 5)),
+        ];
         let mac = macro_cluster_ecfs(micro.iter().map(|(i, e)| (*i, e)), 2, 7);
         assert_eq!(mac.k(), 2);
         assert_eq!(mac.micro_assignments.len(), 4);

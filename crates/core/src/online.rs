@@ -1,0 +1,250 @@
+//! The public online-clustering abstraction behind the sharded engine.
+//!
+//! Every stream clusterer in this workspace — [`UMicro`], the decayed
+//! variant [`DecayedUMicro`], and the deterministic `clustream::CluStream`
+//! baseline — follows the same operational contract: absorb one point at a
+//! time, expose additive micro-cluster summaries keyed by stable ids,
+//! produce snapshots for the pyramidal time frame, and compress its
+//! micro-clusters into user-facing macro-clusters on demand.
+//! [`OnlineClusterer`] names that contract so the ingestion engine, shard
+//! workers, and evaluation harnesses can be written once and driven by any
+//! of the algorithms.
+//!
+//! The trait is object-safe: the engine's default worker type is
+//! `Box<dyn OnlineClusterer<Summary = Ecf>>`, and a blanket impl forwards
+//! through `Box` so boxed and unboxed clusterers are interchangeable.
+
+use crate::algorithm::{InsertOutcome, UMicro};
+use crate::decayed::DecayedUMicro;
+use crate::distance::corrected_sq_distance;
+use crate::macrocluster::MacroClustering;
+use ustream_common::{AdditiveFeature, Timestamp, UncertainPoint};
+use ustream_snapshot::ClusterSetSnapshot;
+
+/// A one-pass stream clusterer maintaining additive micro-cluster
+/// summaries.
+///
+/// The contract mirrors the paper's Figure 1 loop: [`insert`] is the hot
+/// path, everything else is a query. Implementations must keep cluster ids
+/// stable across the run (never recycled) — the pyramidal store relies on
+/// id identity for horizon subtraction, and the sharded engine namespaces
+/// ids per shard under the same assumption.
+///
+/// [`insert`]: OnlineClusterer::insert
+pub trait OnlineClusterer: Send {
+    /// The additive per-cluster summary (ECF for UMicro, CF for CluStream).
+    type Summary: AdditiveFeature + Send + 'static;
+
+    /// Processes one stream point and reports where it went.
+    fn insert(&mut self, point: &UncertainPoint) -> InsertOutcome;
+
+    /// The live micro-clusters as `(stable id, summary)` pairs.
+    fn micro_clusters(&self) -> Vec<(u64, Self::Summary)>;
+
+    /// Number of live micro-clusters.
+    fn num_clusters(&self) -> usize;
+
+    /// Points processed so far.
+    fn points_processed(&self) -> u64;
+
+    /// Distance from `point` to the nearest micro-cluster, in the
+    /// algorithm's own geometry (error-corrected for UMicro, Euclidean for
+    /// CluStream). `None` while no clusters exist — the caller cannot judge
+    /// isolation against an empty model.
+    ///
+    /// This powers novelty detection: the engine compares the pre-insertion
+    /// isolation of each arrival against a running baseline.
+    fn isolation(&self, point: &UncertainPoint) -> Option<f64>;
+
+    /// Snapshot of the current micro-cluster set with statistics brought
+    /// current to tick `now`, keyed by stable id, for the pyramidal store.
+    ///
+    /// Takes `&mut self` because decayed implementations synchronise their
+    /// lazily-maintained weights to `now` first; undecayed implementations
+    /// ignore `now`.
+    fn snapshot_at(&mut self, now: Timestamp) -> ClusterSetSnapshot<Self::Summary>;
+
+    /// Offline macro-clustering of the live micro-clusters into `k`
+    /// higher-level clusters (weighted k-means over summary centroids).
+    fn macro_cluster(&mut self, k: usize, seed: u64) -> MacroClustering;
+}
+
+/// Error-corrected distance from `point` to the nearest of `clusters`,
+/// shared by both UMicro variants.
+fn min_corrected_distance<'a>(
+    point: &UncertainPoint,
+    ecfs: impl Iterator<Item = &'a crate::ecf::Ecf>,
+) -> Option<f64> {
+    let mut best = f64::INFINITY;
+    for ecf in ecfs {
+        best = best.min(corrected_sq_distance(point, ecf));
+    }
+    best.is_finite().then(|| best.sqrt())
+}
+
+impl OnlineClusterer for UMicro {
+    type Summary = crate::ecf::Ecf;
+
+    fn insert(&mut self, point: &UncertainPoint) -> InsertOutcome {
+        UMicro::insert(self, point)
+    }
+
+    fn micro_clusters(&self) -> Vec<(u64, Self::Summary)> {
+        UMicro::micro_clusters(self)
+            .iter()
+            .map(|c| (c.id, c.ecf.clone()))
+            .collect()
+    }
+
+    fn num_clusters(&self) -> usize {
+        UMicro::micro_clusters(self).len()
+    }
+
+    fn points_processed(&self) -> u64 {
+        UMicro::points_processed(self)
+    }
+
+    fn isolation(&self, point: &UncertainPoint) -> Option<f64> {
+        min_corrected_distance(point, UMicro::micro_clusters(self).iter().map(|c| &c.ecf))
+    }
+
+    fn snapshot_at(&mut self, now: Timestamp) -> ClusterSetSnapshot<Self::Summary> {
+        UMicro::snapshot_at(self, now)
+    }
+
+    fn macro_cluster(&mut self, k: usize, seed: u64) -> MacroClustering {
+        UMicro::macro_cluster(self, k, seed)
+    }
+}
+
+impl OnlineClusterer for DecayedUMicro {
+    type Summary = crate::ecf::Ecf;
+
+    fn insert(&mut self, point: &UncertainPoint) -> InsertOutcome {
+        DecayedUMicro::insert(self, point)
+    }
+
+    fn micro_clusters(&self) -> Vec<(u64, Self::Summary)> {
+        DecayedUMicro::micro_clusters(self)
+            .iter()
+            .map(|c| (c.id, c.ecf.clone()))
+            .collect()
+    }
+
+    fn num_clusters(&self) -> usize {
+        DecayedUMicro::micro_clusters(self).len()
+    }
+
+    fn points_processed(&self) -> u64 {
+        DecayedUMicro::points_processed(self)
+    }
+
+    fn isolation(&self, point: &UncertainPoint) -> Option<f64> {
+        min_corrected_distance(
+            point,
+            DecayedUMicro::micro_clusters(self).iter().map(|c| &c.ecf),
+        )
+    }
+
+    fn snapshot_at(&mut self, now: Timestamp) -> ClusterSetSnapshot<Self::Summary> {
+        DecayedUMicro::snapshot_at(self, now)
+    }
+
+    fn macro_cluster(&mut self, k: usize, seed: u64) -> MacroClustering {
+        DecayedUMicro::macro_cluster(self, k, seed)
+    }
+}
+
+impl<T: OnlineClusterer + ?Sized> OnlineClusterer for Box<T> {
+    type Summary = T::Summary;
+
+    fn insert(&mut self, point: &UncertainPoint) -> InsertOutcome {
+        (**self).insert(point)
+    }
+
+    fn micro_clusters(&self) -> Vec<(u64, Self::Summary)> {
+        (**self).micro_clusters()
+    }
+
+    fn num_clusters(&self) -> usize {
+        (**self).num_clusters()
+    }
+
+    fn points_processed(&self) -> u64 {
+        (**self).points_processed()
+    }
+
+    fn isolation(&self, point: &UncertainPoint) -> Option<f64> {
+        (**self).isolation(point)
+    }
+
+    fn snapshot_at(&mut self, now: Timestamp) -> ClusterSetSnapshot<Self::Summary> {
+        (**self).snapshot_at(now)
+    }
+
+    fn macro_cluster(&mut self, k: usize, seed: u64) -> MacroClustering {
+        (**self).macro_cluster(k, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::UMicroConfig;
+    use crate::ecf::Ecf;
+
+    fn pt(x: f64, y: f64, t: Timestamp) -> UncertainPoint {
+        UncertainPoint::new(vec![x, y], vec![0.2, 0.2], t, None)
+    }
+
+    fn drive<A: OnlineClusterer>(alg: &mut A) {
+        for t in 1..=60u64 {
+            let x = if t % 2 == 0 { 0.0 } else { 9.0 };
+            alg.insert(&pt(x, -x, t));
+        }
+    }
+
+    #[test]
+    fn trait_drives_umicro() {
+        let mut alg = UMicro::new(UMicroConfig::new(8, 2).unwrap());
+        drive(&mut alg);
+        assert_eq!(OnlineClusterer::points_processed(&alg), 60);
+        assert!(alg.num_clusters() >= 2);
+        let clusters = OnlineClusterer::micro_clusters(&alg);
+        assert_eq!(clusters.len(), alg.num_clusters());
+        let snap = OnlineClusterer::snapshot_at(&mut alg, 60);
+        assert_eq!(snap.len(), alg.num_clusters());
+        let mac = OnlineClusterer::macro_cluster(&mut alg, 2, 7);
+        assert_eq!(mac.k(), 2);
+    }
+
+    #[test]
+    fn trait_drives_decayed_umicro() {
+        let mut alg = DecayedUMicro::with_half_life(UMicroConfig::new(8, 2).unwrap(), 500.0);
+        drive(&mut alg);
+        assert_eq!(OnlineClusterer::points_processed(&alg), 60);
+        let snap = OnlineClusterer::snapshot_at(&mut alg, 60);
+        assert!(!snap.is_empty());
+    }
+
+    #[test]
+    fn isolation_is_none_on_empty_model_then_tracks_distance() {
+        let mut alg = UMicro::new(UMicroConfig::new(4, 2).unwrap());
+        assert!(alg.isolation(&pt(0.0, 0.0, 1)).is_none());
+        alg.insert(&pt(0.0, 0.0, 1));
+        let near = alg.isolation(&pt(0.1, 0.0, 2)).unwrap();
+        let far = alg.isolation(&pt(50.0, 50.0, 2)).unwrap();
+        assert!(far > near);
+    }
+
+    #[test]
+    fn boxed_dyn_clusterer_works() {
+        let mut alg: Box<dyn OnlineClusterer<Summary = Ecf>> =
+            Box::new(UMicro::new(UMicroConfig::new(8, 2).unwrap()));
+        drive(&mut alg);
+        assert_eq!(alg.points_processed(), 60);
+        assert!(alg.macro_cluster(2, 3).k() == 2);
+        let snap = alg.snapshot_at(60);
+        assert_eq!(snap.len(), alg.num_clusters());
+    }
+}

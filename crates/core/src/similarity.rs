@@ -156,14 +156,8 @@ mod tests {
     #[test]
     fn noisy_dimension_is_pruned() {
         // Dimension 0 is informative, dimension 1 is swamped by error.
-        let a = cluster(&[
-            (&[0.0, 0.0], &[0.05, 5.0]),
-            (&[1.0, 1.0], &[0.05, 5.0]),
-        ]);
-        let b = cluster(&[
-            (&[10.0, 0.5], &[0.05, 5.0]),
-            (&[11.0, 0.7], &[0.05, 5.0]),
-        ]);
+        let a = cluster(&[(&[0.0, 0.0], &[0.05, 5.0]), (&[1.0, 1.0], &[0.05, 5.0])]);
+        let b = cluster(&[(&[10.0, 0.5], &[0.05, 5.0]), (&[11.0, 0.7], &[0.05, 5.0])]);
         let mut g = GlobalVariance::new(2);
         g.refresh([&a, &b].into_iter());
 

@@ -34,10 +34,17 @@ pub struct EngineConfig {
     pub novelty_factor: Option<f64>,
     /// Baseline statistic the factor multiplies.
     pub novelty_baseline: NoveltyBaseline,
-    /// Capacity of the ingestion channel (backpressure bound).
+    /// Capacity of each shard's ingestion channel (backpressure bound).
     pub channel_capacity: usize,
     /// Maximum retained (undrained) novelty alerts.
     pub max_alerts: usize,
+    /// Number of shard workers. The micro-cluster budget `umicro.n_micro`
+    /// is a *global* budget divided evenly across shards (ceiling division,
+    /// at least 1 per shard); records are routed round-robin and each shard
+    /// clusters its slice independently, with periodic exact ECF merges
+    /// producing the global view. `1` (the default) reproduces the
+    /// single-worker engine byte-for-byte.
+    pub shards: usize,
 }
 
 impl EngineConfig {
@@ -53,7 +60,22 @@ impl EngineConfig {
             novelty_baseline: NoveltyBaseline::Mean,
             channel_capacity: 4_096,
             max_alerts: 1_024,
+            shards: 1,
         }
+    }
+
+    /// Overrides the shard-worker count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "engine needs at least one shard");
+        assert!(shards <= 1 << 16, "shard count exceeds the id namespace");
+        self.shards = shards;
+        self
+    }
+
+    /// The per-shard micro-cluster budget: the global budget split evenly
+    /// (ceiling division, at least 1).
+    pub fn shard_n_micro(&self) -> usize {
+        self.umicro.n_micro.div_ceil(self.shards).max(1)
     }
 
     /// Overrides the snapshot cadence.
@@ -140,5 +162,23 @@ mod tests {
     #[should_panic(expected = "must exceed 1")]
     fn tiny_novelty_factor_rejected() {
         let _ = base().with_novelty_factor(Some(0.5));
+    }
+
+    #[test]
+    fn shard_budget_splits_evenly_with_floor_of_one() {
+        assert_eq!(base().shards, 1);
+        assert_eq!(base().shard_n_micro(), 8);
+        let c = base().with_shards(4);
+        assert_eq!(c.shard_n_micro(), 2);
+        let c = base().with_shards(3);
+        assert_eq!(c.shard_n_micro(), 3); // ceil(8/3)
+        let c = base().with_shards(64);
+        assert_eq!(c.shard_n_micro(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = base().with_shards(0);
     }
 }

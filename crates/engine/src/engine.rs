@@ -1,312 +1,611 @@
-//! The engine proper: worker thread, shared state and query API.
+//! The engine proper: shard workers, shared state and query API.
+//!
+//! ## Sharded topology
+//!
+//! Ingestion is spread across `config.shards` independent workers. Each
+//! shard owns a bounded channel, a clusterer (any
+//! [`OnlineClusterer<Summary = Ecf>`], boxed), and a novelty monitor; the
+//! hot path locks only the shard's own mutex, so shards never contend with
+//! each other while clustering. Records are routed round-robin.
+//!
+//! Because the ECF is additive (Property 2.1 of the paper), folding the
+//! shard cluster sets into one global view is *exact*: the periodic merge
+//! (every `snapshot_every` records, globally counted) unions the per-shard
+//! summaries under namespaced ids ([`ustream_snapshot::namespaced_id`]) and
+//! files the result in the pyramidal store, which serves all horizon and
+//! evolution queries. With `shards = 1` the engine reproduces the classic
+//! single-worker behaviour exactly (shard 0's ids are the identity
+//! mapping).
+//!
+//! Lock ordering (deadlock freedom): a worker's ingest takes its own shard
+//! lock, then at most the alert queue lock; the merge takes the horizon
+//! lock first and then shard locks one at a time, never while an ingest
+//! lock is held by the same thread. No path acquires the horizon lock while
+//! holding a shard lock.
 
 use crate::config::{EngineConfig, NoveltyBaseline};
-use crate::report::{EngineReport, NoveltyAlert};
-use crossbeam::channel::{bounded, Sender};
+use crate::report::{EngineReport, NoveltyAlert, ShardStats};
+use crossbeam::channel::{bounded, Sender, TrySendError};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use umicro::distance::corrected_sq_distance;
+use std::time::Instant;
+use umicro::macrocluster::macro_cluster_ecfs;
 use umicro::{
     compare_windows, DecayedUMicro, Ecf, EvolutionReport, HorizonAnalyzer, MacroClustering,
-    MicroCluster, UMicro,
+    MicroCluster, OnlineClusterer, UMicro,
 };
-use ustream_common::{Result, Timestamp, UncertainPoint};
-use ustream_snapshot::ClusterSetSnapshot;
+use ustream_common::{P2Quantile, Result, UStreamError, UncertainPoint};
+use ustream_snapshot::{merge_namespaced, namespaced_id, ClusterSetSnapshot};
+
+/// The boxed clusterer type each shard runs by default.
+pub type DynClusterer = Box<dyn OnlineClusterer<Summary = Ecf>>;
 
 enum Command {
     Point(Box<UncertainPoint>),
-    /// Barrier: reply once every previously pushed point is clustered.
+    /// A batch routed to this shard in one channel hop.
+    Batch(Vec<UncertainPoint>),
+    /// Barrier: reply once every previously routed record is clustered.
     Flush(Sender<()>),
     Shutdown,
 }
 
-/// Either clustering variant behind one interface.
-enum Clusterer {
-    Plain(UMicro),
-    Decayed(DecayedUMicro),
+/// Per-shard novelty baseline state.
+///
+/// The P² quantile sketch is allocated only when the configuration actually
+/// baselines on a quantile — under [`NoveltyBaseline::Mean`] no sketch
+/// exists and no per-point quantile bookkeeping runs.
+struct NoveltyMonitor {
+    factor: Option<f64>,
+    baseline: NoveltyBaseline,
+    mean: f64,
+    quantile: Option<P2Quantile>,
+    samples: u64,
 }
 
-impl Clusterer {
-    fn insert(&mut self, p: &UncertainPoint) -> umicro::InsertOutcome {
-        match self {
-            Clusterer::Plain(a) => a.insert(p),
-            Clusterer::Decayed(a) => a.insert(p),
-        }
-    }
-
-    fn micro_clusters(&self) -> &[MicroCluster] {
-        match self {
-            Clusterer::Plain(a) => a.micro_clusters(),
-            Clusterer::Decayed(a) => a.micro_clusters(),
-        }
-    }
-
-    fn snapshot(&mut self, now: Timestamp) -> ClusterSetSnapshot<Ecf> {
-        match self {
-            Clusterer::Plain(a) => a.snapshot(),
-            Clusterer::Decayed(a) => a.snapshot_at(now),
-        }
-    }
-
-    fn macro_cluster(&mut self, k: usize, seed: u64) -> MacroClustering {
-        match self {
-            Clusterer::Plain(a) => a.macro_cluster(k, seed),
-            Clusterer::Decayed(a) => a.macro_cluster(k, seed),
-        }
-    }
-}
-
-struct State {
-    alg: Clusterer,
-    horizons: HorizonAnalyzer,
-    config: EngineConfig,
-    processed: u64,
-    created: u64,
-    evicted: u64,
-    last_tick: Timestamp,
-    // Novelty tracking.
-    isolation_mean: f64,
-    isolation_quantile: ustream_common::P2Quantile,
-    isolation_samples: u64,
-    alerts: VecDeque<NoveltyAlert>,
-    alerts_raised: u64,
-}
-
-impl State {
-    fn ingest(&mut self, p: &UncertainPoint) {
-        self.processed += 1;
-        if p.timestamp() > self.last_tick {
-            self.last_tick = p.timestamp();
-        }
-
-        // Novelty check before insertion (the cluster set the record met).
-        let isolation = match self.config.novelty_factor {
-            Some(_) if !self.alg.micro_clusters().is_empty() => Some(
-                self.alg
-                    .micro_clusters()
-                    .iter()
-                    .map(|c| corrected_sq_distance(p, &c.ecf))
-                    .fold(f64::INFINITY, f64::min)
-                    .sqrt(),
-            ),
+impl NoveltyMonitor {
+    fn new(config: &EngineConfig) -> Self {
+        let quantile = match (config.novelty_factor, config.novelty_baseline) {
+            (Some(_), NoveltyBaseline::Quantile(q)) => Some(P2Quantile::new(q)),
             _ => None,
         };
+        Self {
+            factor: config.novelty_factor,
+            baseline: config.novelty_baseline,
+            mean: 0.0,
+            quantile,
+            samples: 0,
+        }
+    }
 
-        let out = self.alg.insert(p);
+    fn baseline_estimate(&self) -> f64 {
+        match self.baseline {
+            NoveltyBaseline::Mean => self.mean,
+            NoveltyBaseline::Quantile(_) => self
+                .quantile
+                .as_ref()
+                .and_then(P2Quantile::estimate)
+                .unwrap_or(0.0),
+        }
+    }
+
+    fn observe_ordinary(&mut self, isolation: f64) {
+        self.samples += 1;
+        let n = self.samples as f64;
+        self.mean += (isolation - self.mean) / n;
+        if let Some(q) = self.quantile.as_mut() {
+            q.observe(isolation);
+        }
+    }
+}
+
+/// State a shard worker mutates under its own lock.
+struct ShardState {
+    alg: DynClusterer,
+    created: u64,
+    evicted: u64,
+    novelty: NoveltyMonitor,
+}
+
+/// Lock-free per-shard instrumentation, readable from any thread.
+#[derive(Default)]
+struct ShardCounters {
+    enqueued: AtomicU64,
+    processed: AtomicU64,
+    alerts: AtomicU64,
+}
+
+/// The shareable part of a shard: state + counters, no channel end.
+struct ShardHandle {
+    state: Mutex<ShardState>,
+    counters: ShardCounters,
+}
+
+/// State shared by all shards and the query API.
+struct Global {
+    config: EngineConfig,
+    /// Global records-processed ordinal; drives the merge cadence.
+    processed: AtomicU64,
+    last_tick: AtomicU64,
+    alerts_raised: AtomicU64,
+    merges: AtomicU64,
+    merge_nanos: AtomicU64,
+    horizons: Mutex<HorizonAnalyzer>,
+    alerts: Mutex<VecDeque<NoveltyAlert>>,
+}
+
+/// Clusters one record on its shard; returns `true` when this record
+/// crossed a merge boundary (the caller then runs the merge with no shard
+/// lock held).
+fn ingest(global: &Global, shard: &ShardHandle, shard_idx: usize, p: &UncertainPoint) -> bool {
+    let position = global.processed.fetch_add(1, Ordering::Relaxed) + 1;
+    global.last_tick.fetch_max(p.timestamp(), Ordering::Relaxed);
+
+    {
+        let mut st = shard.state.lock();
+        // Novelty check before insertion (the cluster set the record met),
+        // in the clusterer's own geometry.
+        let isolation = match st.novelty.factor {
+            Some(_) => st.alg.isolation(p),
+            None => None,
+        };
+
+        let out = st.alg.insert(p);
         if out.created {
-            self.created += 1;
+            st.created += 1;
         }
         if out.evicted.is_some() {
-            self.evicted += 1;
+            st.evicted += 1;
         }
 
-        if let (Some(factor), Some(isolation)) = (self.config.novelty_factor, isolation) {
-            let baseline = match self.config.novelty_baseline {
-                NoveltyBaseline::Mean => self.isolation_mean,
-                NoveltyBaseline::Quantile(_) => {
-                    self.isolation_quantile.estimate().unwrap_or(0.0)
-                }
-            };
+        if let (Some(factor), Some(isolation)) = (st.novelty.factor, isolation) {
+            let baseline = st.novelty.baseline_estimate();
             // Warm-up: need a stable baseline before alerting.
-            if self.isolation_samples >= 100 && isolation > factor * baseline.max(1e-12) {
-                self.alerts_raised += 1;
-                self.alerts.push_back(NoveltyAlert {
+            if st.novelty.samples >= 100 && isolation > factor * baseline.max(1e-12) {
+                shard.counters.alerts.fetch_add(1, Ordering::Relaxed);
+                global.alerts_raised.fetch_add(1, Ordering::Relaxed);
+                let mut alerts = global.alerts.lock();
+                alerts.push_back(NoveltyAlert {
                     timestamp: p.timestamp(),
-                    position: self.processed,
+                    position,
                     isolation,
                     baseline,
-                    cluster_id: out.cluster_id,
+                    cluster_id: namespaced_id(shard_idx, out.cluster_id),
                 });
-                while self.alerts.len() > self.config.max_alerts {
-                    self.alerts.pop_front();
+                while alerts.len() > global.config.max_alerts {
+                    alerts.pop_front();
                 }
             } else {
                 // Only non-alerting records update the baseline, so a burst
                 // of outliers cannot talk the monitor into accepting them.
-                self.isolation_samples += 1;
-                let n = self.isolation_samples as f64;
-                self.isolation_mean += (isolation - self.isolation_mean) / n;
-                self.isolation_quantile.observe(isolation);
+                st.novelty.observe_ordinary(isolation);
             }
-        }
-
-        if self.processed.is_multiple_of(self.config.snapshot_every) {
-            let now = self.last_tick;
-            let snap = self.alg.snapshot(now);
-            self.horizons.record_snapshot(now, snap);
         }
     }
 
-    fn report(&self) -> EngineReport {
-        EngineReport {
-            points_processed: self.processed,
-            live_clusters: self.alg.micro_clusters().len(),
-            clusters_created: self.created,
-            clusters_evicted: self.evicted,
-            snapshots_retained: self.horizons.store().len(),
-            alerts_raised: self.alerts_raised,
-            last_tick: self.last_tick,
+    shard.counters.processed.fetch_add(1, Ordering::Relaxed);
+    position.is_multiple_of(global.config.snapshot_every)
+}
+
+/// Folds every shard's cluster set into one namespaced global snapshot and
+/// files it in the pyramidal store. Serialised on the horizon lock; shard
+/// locks are taken one at a time, so ingestion on other shards stalls only
+/// for its own shard's brief snapshot.
+fn merge_and_record(global: &Global, shards: &[Arc<ShardHandle>]) {
+    let started = Instant::now();
+    let mut horizons = global.horizons.lock();
+    let now = global.last_tick.load(Ordering::Relaxed);
+    let merged = merge_namespaced(
+        shards
+            .iter()
+            .enumerate()
+            .map(|(i, h)| (i, h.state.lock().alg.snapshot_at(now))),
+    );
+    horizons.record_snapshot(now, merged);
+    drop(horizons);
+    global.merges.fetch_add(1, Ordering::Relaxed);
+    global
+        .merge_nanos
+        .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+}
+
+/// Why a [`StreamEngine::try_push`] could not enqueue; the record is handed
+/// back in both variants.
+#[derive(Debug)]
+pub enum TryPushError {
+    /// Every shard channel is at capacity (backpressure).
+    Full(UncertainPoint),
+    /// The engine has shut down.
+    Stopped(UncertainPoint),
+}
+
+impl TryPushError {
+    /// Recovers the record that could not be enqueued.
+    pub fn into_inner(self) -> UncertainPoint {
+        match self {
+            TryPushError::Full(p) | TryPushError::Stopped(p) => p,
+        }
+    }
+
+    /// Whether the failure was backpressure (retry later) rather than
+    /// shutdown (permanent).
+    pub fn is_full(&self) -> bool {
+        matches!(self, TryPushError::Full(_))
+    }
+}
+
+impl std::fmt::Display for TryPushError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TryPushError::Full(_) => f.write_str("all shard channels are full"),
+            TryPushError::Stopped(_) => f.write_str("engine workers have stopped"),
         }
     }
 }
+
+impl std::error::Error for TryPushError {}
 
 /// The embeddable analytics engine. See the crate docs for an example.
 ///
 /// All query methods are callable from any thread while ingestion is in
-/// flight; they take the state lock briefly and never block on the channel.
+/// flight; they take shard/horizon locks briefly and never block on the
+/// channels.
 pub struct StreamEngine {
-    state: Arc<Mutex<State>>,
-    tx: Sender<Command>,
-    worker: Mutex<Option<JoinHandle<()>>>,
+    txs: Vec<Sender<Command>>,
+    shards: Vec<Arc<ShardHandle>>,
+    global: Arc<Global>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    router: AtomicU64,
+    started: Instant,
 }
 
 impl StreamEngine {
-    /// Starts the worker thread.
+    /// Starts the shard workers with the default UMicro clusterers (decayed
+    /// when `config.decay_half_life` is set), each holding an even share of
+    /// the global `n_micro` budget.
     pub fn start(config: EngineConfig) -> Self {
-        let alg = match config.decay_half_life {
-            Some(hl) => Clusterer::Decayed(DecayedUMicro::with_half_life(
-                config.umicro.clone(),
-                hl,
-            )),
-            None => Clusterer::Plain(UMicro::new(config.umicro.clone())),
-        };
-        let state = Arc::new(Mutex::new(State {
-            alg,
-            horizons: HorizonAnalyzer::new(config.pyramid),
-            processed: 0,
-            created: 0,
-            evicted: 0,
-            last_tick: 0,
-            isolation_mean: 0.0,
-            isolation_quantile: ustream_common::P2Quantile::new(
-                match config.novelty_baseline {
-                    NoveltyBaseline::Quantile(q) => q,
-                    NoveltyBaseline::Mean => 0.95, // unused but kept warm
-                },
-            ),
-            isolation_samples: 0,
-            alerts: VecDeque::new(),
-            alerts_raised: 0,
-            config,
-        }));
+        let mut shard_umicro = config.umicro.clone();
+        shard_umicro.n_micro = config.shard_n_micro();
+        let decay = config.decay_half_life;
+        Self::start_with(config, move |_shard| -> DynClusterer {
+            match decay {
+                Some(hl) => Box::new(DecayedUMicro::with_half_life(shard_umicro.clone(), hl)),
+                None => Box::new(UMicro::new(shard_umicro.clone())),
+            }
+        })
+    }
 
-        let (tx, rx) = bounded::<Command>(state.lock().config.channel_capacity);
-        let worker_state = Arc::clone(&state);
-        let handle = std::thread::Builder::new()
-            .name("ustream-engine".into())
-            .spawn(move || {
-                for cmd in rx {
-                    match cmd {
-                        Command::Point(p) => worker_state.lock().ingest(&p),
-                        Command::Flush(reply) => {
-                            // Everything pushed before the flush has been
-                            // drained from the channel by now.
-                            let _ = reply.send(());
-                        }
-                        Command::Shutdown => break,
-                    }
-                }
+    /// Starts the shard workers with caller-supplied clusterers — any
+    /// [`OnlineClusterer`] over ECF summaries. The factory is invoked once
+    /// per shard index; it is responsible for sizing each shard's budget.
+    pub fn start_with(
+        config: EngineConfig,
+        mut clusterer: impl FnMut(usize) -> DynClusterer,
+    ) -> Self {
+        let n_shards = config.shards.max(1);
+        let global = Arc::new(Global {
+            processed: AtomicU64::new(0),
+            last_tick: AtomicU64::new(0),
+            alerts_raised: AtomicU64::new(0),
+            merges: AtomicU64::new(0),
+            merge_nanos: AtomicU64::new(0),
+            horizons: Mutex::new(HorizonAnalyzer::new(config.pyramid)),
+            alerts: Mutex::new(VecDeque::new()),
+            config,
+        });
+
+        let shards: Vec<Arc<ShardHandle>> = (0..n_shards)
+            .map(|i| {
+                Arc::new(ShardHandle {
+                    state: Mutex::new(ShardState {
+                        alg: clusterer(i),
+                        created: 0,
+                        evicted: 0,
+                        novelty: NoveltyMonitor::new(&global.config),
+                    }),
+                    counters: ShardCounters::default(),
+                })
             })
-            .expect("spawn engine worker");
+            .collect();
+
+        let mut txs = Vec::with_capacity(n_shards);
+        let mut workers = Vec::with_capacity(n_shards);
+        for i in 0..n_shards {
+            let (tx, rx) = bounded::<Command>(global.config.channel_capacity);
+            let global = Arc::clone(&global);
+            let all_shards = shards.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("ustream-shard-{i}"))
+                .spawn(move || {
+                    let own = &all_shards[i];
+                    for cmd in rx {
+                        match cmd {
+                            Command::Point(p) => {
+                                if ingest(&global, own, i, &p) {
+                                    merge_and_record(&global, &all_shards);
+                                }
+                            }
+                            Command::Batch(points) => {
+                                for p in &points {
+                                    if ingest(&global, own, i, p) {
+                                        merge_and_record(&global, &all_shards);
+                                    }
+                                }
+                            }
+                            Command::Flush(reply) => {
+                                // Everything routed to this shard before the
+                                // flush has been drained by now.
+                                let _ = reply.send(());
+                            }
+                            Command::Shutdown => break,
+                        }
+                    }
+                })
+                .expect("spawn engine shard worker");
+            txs.push(tx);
+            workers.push(handle);
+        }
 
         Self {
-            state,
-            tx,
-            worker: Mutex::new(Some(handle)),
+            txs,
+            shards,
+            global,
+            workers: Mutex::new(workers),
+            router: AtomicU64::new(0),
+            started: Instant::now(),
         }
+    }
+
+    /// The next shard index in round-robin order.
+    fn route(&self) -> usize {
+        (self.router.fetch_add(1, Ordering::Relaxed) % self.txs.len() as u64) as usize
     }
 
     /// Enqueues one record for clustering (blocks only on backpressure).
-    pub fn push(&self, point: UncertainPoint) {
-        self.tx
+    ///
+    /// Errors with [`UStreamError::EngineStopped`] after shutdown instead of
+    /// panicking; the record is dropped in that case — use
+    /// [`Self::try_push`] when the caller needs the record back.
+    pub fn push(&self, point: UncertainPoint) -> Result<()> {
+        let s = self.route();
+        self.txs[s]
             .send(Command::Point(Box::new(point)))
-            .expect("engine worker alive");
+            .map_err(|_| UStreamError::EngineStopped)?;
+        self.shards[s]
+            .counters
+            .enqueued
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
-    /// Blocks until every previously pushed record has been clustered.
-    pub fn flush(&self) {
-        let (reply_tx, reply_rx) = bounded(1);
-        if self.tx.send(Command::Flush(reply_tx)).is_ok() {
-            let _ = reply_rx.recv();
+    /// Non-blocking push: tries every shard once (starting at the round-robin
+    /// cursor) and hands the record back if all channels are full or the
+    /// engine has stopped.
+    pub fn try_push(&self, point: UncertainPoint) -> std::result::Result<(), TryPushError> {
+        let n = self.txs.len();
+        let start = self.route();
+        let mut cmd = Command::Point(Box::new(point));
+        for off in 0..n {
+            let s = (start + off) % n;
+            match self.txs[s].try_send(cmd) {
+                Ok(()) => {
+                    self.shards[s]
+                        .counters
+                        .enqueued
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Ok(());
+                }
+                Err(TrySendError::Full(c)) => cmd = c,
+                Err(TrySendError::Disconnected(c)) => {
+                    return Err(TryPushError::Stopped(Self::unwrap_point(c)));
+                }
+            }
+        }
+        Err(TryPushError::Full(Self::unwrap_point(cmd)))
+    }
+
+    fn unwrap_point(cmd: Command) -> UncertainPoint {
+        match cmd {
+            Command::Point(p) => *p,
+            _ => unreachable!("only points travel through try_push"),
         }
     }
 
-    /// Records processed so far.
+    /// Batch push: splits the slice into one contiguous chunk per shard and
+    /// enqueues each chunk in a single channel hop — amortising the per-record
+    /// routing and channel cost for bulk producers.
+    pub fn push_slice(&self, points: &[UncertainPoint]) -> Result<()> {
+        if points.is_empty() {
+            return Ok(());
+        }
+        let n = self.txs.len();
+        let chunk = points.len().div_ceil(n);
+        let start = self.route();
+        for (off, part) in points.chunks(chunk).enumerate() {
+            let s = (start + off) % n;
+            let len = part.len() as u64;
+            self.txs[s]
+                .send(Command::Batch(part.to_vec()))
+                .map_err(|_| UStreamError::EngineStopped)?;
+            self.shards[s]
+                .counters
+                .enqueued
+                .fetch_add(len, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Blocks until every previously pushed record has been clustered on
+    /// every shard.
+    pub fn flush(&self) {
+        let replies: Vec<_> = self
+            .txs
+            .iter()
+            .filter_map(|tx| {
+                let (reply_tx, reply_rx) = bounded(1);
+                tx.send(Command::Flush(reply_tx)).ok().map(|_| reply_rx)
+            })
+            .collect();
+        for rx in replies {
+            let _ = rx.recv();
+        }
+    }
+
+    /// Records processed so far (across all shards).
     pub fn points_processed(&self) -> u64 {
-        self.state.lock().processed
+        self.global.processed.load(Ordering::Relaxed)
     }
 
-    /// Snapshot of the live micro-clusters (cloned out of the engine).
+    /// Number of shard workers.
+    pub fn shards(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Snapshot of the live micro-clusters across all shards, with
+    /// shard-namespaced ids (cloned out of the engine).
     pub fn micro_clusters(&self) -> Vec<MicroCluster> {
-        self.state.lock().alg.micro_clusters().to_vec()
+        let mut out = Vec::new();
+        for (i, shard) in self.shards.iter().enumerate() {
+            let st = shard.state.lock();
+            for (id, ecf) in st.alg.micro_clusters() {
+                out.push(MicroCluster {
+                    id: namespaced_id(i, id),
+                    ecf,
+                });
+            }
+        }
+        out
     }
 
-    /// Macro-clusters of the live state.
+    /// Macro-clusters of the merged live state.
     pub fn macro_clusters(&self, k: usize, seed: u64) -> MacroClustering {
-        self.state.lock().alg.macro_cluster(k, seed)
+        if self.shards.len() == 1 {
+            // Single shard: delegate so decayed synchronisation and k-means
+            // seeding match the unsharded engine exactly.
+            return self.shards[0].state.lock().alg.macro_cluster(k, seed);
+        }
+        let now = self.global.last_tick.load(Ordering::Relaxed);
+        let mut pairs: Vec<(u64, Ecf)> = Vec::new();
+        for (i, shard) in self.shards.iter().enumerate() {
+            let snap = shard.state.lock().alg.snapshot_at(now);
+            pairs.extend(
+                snap.clusters
+                    .into_iter()
+                    .map(|(id, ecf)| (namespaced_id(i, id), ecf)),
+            );
+        }
+        macro_cluster_ecfs(pairs.iter().map(|(id, ecf)| (*id, ecf)), k, seed)
     }
 
-    /// Micro-cluster statistics of the trailing window of `h` ticks.
+    /// Micro-cluster statistics of the trailing window of `h` ticks,
+    /// reconstructed from the merged pyramidal snapshots.
     pub fn horizon_clusters(&self, h: u64) -> Result<ClusterSetSnapshot<Ecf>> {
-        let state = self.state.lock();
-        let now = state.last_tick;
-        state.horizons.horizon_clusters(now, h)
+        let now = self.global.last_tick.load(Ordering::Relaxed);
+        self.global.horizons.lock().horizon_clusters(now, h)
     }
 
     /// Macro-clusters of the trailing window of `h` ticks.
     pub fn horizon_macro_clusters(&self, h: u64, k: usize, seed: u64) -> Result<MacroClustering> {
-        let state = self.state.lock();
-        let now = state.last_tick;
-        state.horizons.macro_cluster_horizon(now, h, k, seed)
+        let now = self.global.last_tick.load(Ordering::Relaxed);
+        self.global
+            .horizons
+            .lock()
+            .macro_cluster_horizon(now, h, k, seed)
     }
 
     /// Evolution between the two most recent windows of `h` ticks each:
     /// `(now − 2h, now − h]` vs `(now − h, now]`.
     pub fn evolution(&self, h: u64, min_weight: f64) -> Result<EvolutionReport> {
-        let state = self.state.lock();
-        let now = state.last_tick;
-        let recent = state.horizons.horizon_clusters(now, h)?;
+        let now = self.global.last_tick.load(Ordering::Relaxed);
+        let horizons = self.global.horizons.lock();
+        let recent = horizons.horizon_clusters(now, h)?;
         let earlier_end = now.saturating_sub(h);
         // When the earlier window would reach past the stream origin, the
         // whole prefix up to `earlier_end` *is* that window.
-        let earlier = match state.horizons.horizon_clusters(earlier_end, h) {
+        let earlier = match horizons.horizon_clusters(earlier_end, h) {
             Ok(w) => w,
-            Err(_) => state
-                .horizons
+            Err(_) => horizons
                 .clusters_at(earlier_end)
                 .cloned()
-                .ok_or(ustream_common::UStreamError::HorizonUnavailable { requested: h })?,
+                .ok_or(UStreamError::HorizonUnavailable { requested: h })?,
         };
         Ok(compare_windows(&earlier, &recent, min_weight))
     }
 
     /// Drains the pending novelty alerts.
     pub fn drain_alerts(&self) -> Vec<NoveltyAlert> {
-        self.state.lock().alerts.drain(..).collect()
+        self.global.alerts.lock().drain(..).collect()
     }
 
     /// Current run statistics (without stopping the engine).
     pub fn stats(&self) -> EngineReport {
-        self.state.lock().report()
+        self.report()
     }
 
-    /// Stops the worker and returns the final accounting. Subsequent calls
+    fn report(&self) -> EngineReport {
+        let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
+        let mut live_clusters = 0;
+        let mut created = 0;
+        let mut evicted = 0;
+        let mut per_shard = Vec::with_capacity(self.shards.len());
+        for (i, shard) in self.shards.iter().enumerate() {
+            let st = shard.state.lock();
+            let processed = shard.counters.processed.load(Ordering::Relaxed);
+            let enqueued = shard.counters.enqueued.load(Ordering::Relaxed);
+            let live = st.alg.num_clusters();
+            live_clusters += live;
+            created += st.created;
+            evicted += st.evicted;
+            per_shard.push(ShardStats {
+                shard: i,
+                processed,
+                queue_depth: enqueued.saturating_sub(processed),
+                live_clusters: live,
+                alerts_raised: shard.counters.alerts.load(Ordering::Relaxed),
+                points_per_sec: processed as f64 / elapsed,
+            });
+        }
+        let merges = self.global.merges.load(Ordering::Relaxed);
+        let merge_nanos = self.global.merge_nanos.load(Ordering::Relaxed);
+        EngineReport {
+            points_processed: self.global.processed.load(Ordering::Relaxed),
+            live_clusters,
+            clusters_created: created,
+            clusters_evicted: evicted,
+            snapshots_retained: self.global.horizons.lock().store().len(),
+            alerts_raised: self.global.alerts_raised.load(Ordering::Relaxed),
+            last_tick: self.global.last_tick.load(Ordering::Relaxed),
+            merges,
+            mean_merge_micros: if merges > 0 {
+                merge_nanos as f64 / 1_000.0 / merges as f64
+            } else {
+                0.0
+            },
+            per_shard,
+        }
+    }
+
+    /// Stops the workers and returns the final accounting. Subsequent calls
     /// return the report of the already-stopped engine.
     pub fn shutdown(&self) -> EngineReport {
-        let _ = self.tx.send(Command::Shutdown);
-        if let Some(handle) = self.worker.lock().take() {
+        for tx in &self.txs {
+            let _ = tx.send(Command::Shutdown);
+        }
+        for handle in self.workers.lock().drain(..) {
             let _ = handle.join();
         }
-        self.state.lock().report()
+        self.report()
     }
 }
 
 impl Drop for StreamEngine {
     fn drop(&mut self) {
-        let _ = self.tx.send(Command::Shutdown);
-        if let Some(handle) = self.worker.lock().take() {
+        for tx in &self.txs {
+            let _ = tx.send(Command::Shutdown);
+        }
+        for handle in self.workers.lock().drain(..) {
             let _ = handle.join();
         }
     }
@@ -316,6 +615,7 @@ impl Drop for StreamEngine {
 mod tests {
     use super::*;
     use umicro::UMicroConfig;
+    use ustream_common::Timestamp;
 
     fn pt(x: f64, y: f64, t: Timestamp) -> UncertainPoint {
         UncertainPoint::new(vec![x, y], vec![0.3, 0.3], t, None)
@@ -330,7 +630,7 @@ mod tests {
         let e = engine(8);
         for t in 1..=500u64 {
             let x = if t % 2 == 0 { 0.0 } else { 20.0 };
-            e.push(pt(x, x, t));
+            e.push(pt(x, x, t)).unwrap();
         }
         e.flush();
         assert_eq!(e.points_processed(), 500);
@@ -346,7 +646,7 @@ mod tests {
         let e = engine(8);
         for t in 1..=200u64 {
             let x = if t % 2 == 0 { 0.0 } else { 30.0 };
-            e.push(pt(x, -x, t));
+            e.push(pt(x, -x, t)).unwrap();
         }
         e.flush();
         let mac = e.macro_clusters(2, 3);
@@ -368,7 +668,7 @@ mod tests {
         let e = engine(8);
         for t in 1..=1_024u64 {
             let x = if t <= 768 { 0.0 } else { 50.0 };
-            e.push(pt(x, 0.0, t));
+            e.push(pt(x, 0.0, t)).unwrap();
         }
         e.flush();
         let window = e.horizon_clusters(128).unwrap();
@@ -388,7 +688,7 @@ mod tests {
         let e = engine(12);
         for t in 1..=1_024u64 {
             let x = if t <= 512 { 0.0 } else { 60.0 };
-            e.push(pt(x, 0.0, t));
+            e.push(pt(x, 0.0, t)).unwrap();
         }
         e.flush();
         // Windows (0,512] vs (512,1024]: complete replacement.
@@ -405,17 +705,16 @@ mod tests {
     #[test]
     fn novelty_alert_fires_on_outlier() {
         let e = StreamEngine::start(
-            EngineConfig::new(UMicroConfig::new(8, 2).unwrap())
-                .with_novelty_factor(Some(4.0)),
+            EngineConfig::new(UMicroConfig::new(8, 2).unwrap()).with_novelty_factor(Some(4.0)),
         );
         // Stable traffic, then one wild outlier.
         for t in 1..=400u64 {
             let x = (t % 7) as f64 * 0.1;
-            e.push(pt(x, -x, t));
+            e.push(pt(x, -x, t)).unwrap();
         }
-        e.push(pt(10_000.0, -10_000.0, 401));
+        e.push(pt(10_000.0, -10_000.0, 401)).unwrap();
         for t in 402..=420u64 {
-            e.push(pt(0.2, -0.2, t));
+            e.push(pt(0.2, -0.2, t)).unwrap();
         }
         e.flush();
         let alerts = e.drain_alerts();
@@ -436,9 +735,9 @@ mod tests {
         );
         for t in 1..=400u64 {
             let x = (t % 7) as f64 * 0.1;
-            e.push(pt(x, -x, t));
+            e.push(pt(x, -x, t)).unwrap();
         }
-        e.push(pt(5_000.0, -5_000.0, 401));
+        e.push(pt(5_000.0, -5_000.0, 401)).unwrap();
         e.flush();
         let alerts = e.drain_alerts();
         assert!(
@@ -452,6 +751,21 @@ mod tests {
     }
 
     #[test]
+    fn mean_baseline_allocates_no_quantile_sketch() {
+        // The default configuration baselines on the mean; the P² sketch
+        // must not exist (and therefore cannot cost anything per point).
+        let config = EngineConfig::new(UMicroConfig::new(4, 2).unwrap());
+        assert!(NoveltyMonitor::new(&config).quantile.is_none());
+        let config = config.with_novelty_quantile(0.9);
+        assert!(NoveltyMonitor::new(&config).quantile.is_some());
+        // Novelty disabled → no sketch either, whatever the baseline says.
+        let config = EngineConfig::new(UMicroConfig::new(4, 2).unwrap())
+            .with_novelty_factor(None)
+            .with_novelty_quantile(0.9);
+        assert!(NoveltyMonitor::new(&config).quantile.is_none());
+    }
+
+    #[test]
     fn decayed_engine_runs() {
         let e = StreamEngine::start(
             EngineConfig::new(UMicroConfig::new(8, 2).unwrap())
@@ -459,7 +773,7 @@ mod tests {
                 .with_snapshot_every(8),
         );
         for t in 1..=300u64 {
-            e.push(pt((t % 3) as f64, 0.0, t));
+            e.push(pt((t % 3) as f64, 0.0, t)).unwrap();
         }
         e.flush();
         let stats = e.stats();
@@ -479,7 +793,7 @@ mod tests {
                 for i in 0..250u64 {
                     let t = producer * 250 + i + 1;
                     let x = (producer * 25) as f64;
-                    e.push(pt(x, x, t));
+                    e.push(pt(x, x, t)).unwrap();
                 }
             }));
         }
@@ -495,9 +809,157 @@ mod tests {
     #[test]
     fn shutdown_is_idempotent() {
         let e = engine(4);
-        e.push(pt(0.0, 0.0, 1));
+        e.push(pt(0.0, 0.0, 1)).unwrap();
         let a = e.shutdown();
         let b = e.shutdown();
         assert_eq!(a.points_processed, b.points_processed);
+    }
+
+    #[test]
+    fn push_after_shutdown_errors_instead_of_panicking() {
+        let e = engine(4);
+        e.shutdown();
+        assert!(matches!(
+            e.push(pt(0.0, 0.0, 1)),
+            Err(UStreamError::EngineStopped)
+        ));
+        assert!(matches!(
+            e.try_push(pt(0.0, 0.0, 1)),
+            Err(TryPushError::Stopped(_))
+        ));
+        assert!(e.push_slice(&[pt(0.0, 0.0, 1)]).is_err());
+    }
+
+    #[test]
+    fn sharded_engine_processes_everything() {
+        let e = StreamEngine::start(
+            EngineConfig::new(UMicroConfig::new(16, 2).unwrap())
+                .with_shards(4)
+                .with_snapshot_every(64),
+        );
+        assert_eq!(e.shards(), 4);
+        for t in 1..=2_000u64 {
+            let x = if t % 2 == 0 { 0.0 } else { 40.0 };
+            e.push(pt(x, x, t)).unwrap();
+        }
+        e.flush();
+        assert_eq!(e.points_processed(), 2_000);
+        let report = e.shutdown();
+        assert_eq!(report.points_processed, 2_000);
+        assert_eq!(report.per_shard.len(), 4);
+        // Round-robin: every shard saw an even quarter of the stream.
+        for s in &report.per_shard {
+            assert_eq!(s.processed, 500, "shard {} uneven: {s:?}", s.shard);
+            assert_eq!(s.queue_depth, 0);
+        }
+        assert!(report.merges >= 2_000 / 64);
+        assert!(report.mean_merge_micros > 0.0);
+    }
+
+    #[test]
+    fn sharded_ids_are_namespaced_and_disjoint() {
+        let e = StreamEngine::start(
+            EngineConfig::new(UMicroConfig::new(8, 2).unwrap())
+                .with_shards(2)
+                .with_snapshot_every(32),
+        );
+        for t in 1..=400u64 {
+            let x = if t % 2 == 0 { 0.0 } else { 25.0 };
+            e.push(pt(x, -x, t)).unwrap();
+        }
+        e.flush();
+        let clusters = e.micro_clusters();
+        let mut seen = std::collections::BTreeSet::new();
+        for c in &clusters {
+            assert!(seen.insert(c.id), "duplicate global id {}", c.id);
+        }
+        let shards_seen: std::collections::BTreeSet<usize> = clusters
+            .iter()
+            .map(|c| ustream_snapshot::shard_of_id(c.id))
+            .collect();
+        assert_eq!(shards_seen.len(), 2, "both shards hold clusters");
+        e.shutdown();
+    }
+
+    #[test]
+    fn sharded_merge_preserves_total_weight() {
+        // Exactness of the shard merge: with a budget large enough that no
+        // shard evicts, the merged live view carries every clustered point.
+        let e = StreamEngine::start(
+            EngineConfig::new(UMicroConfig::new(64, 2).unwrap())
+                .with_shards(4)
+                .with_snapshot_every(100),
+        );
+        for t in 1..=1_000u64 {
+            e.push(pt((t % 5) as f64, (t % 3) as f64, t)).unwrap();
+        }
+        e.flush();
+        let total: f64 = e
+            .micro_clusters()
+            .iter()
+            .map(|c| ustream_common::AdditiveFeature::count(&c.ecf))
+            .sum();
+        assert!(
+            (total - 1_000.0).abs() < 1e-6,
+            "merged view lost weight: {total}"
+        );
+        e.shutdown();
+    }
+
+    #[test]
+    fn push_slice_batches_across_shards() {
+        let e = StreamEngine::start(
+            EngineConfig::new(UMicroConfig::new(8, 2).unwrap())
+                .with_shards(2)
+                .with_snapshot_every(50),
+        );
+        let batch: Vec<UncertainPoint> = (1..=600u64).map(|t| pt((t % 4) as f64, 0.0, t)).collect();
+        e.push_slice(&batch).unwrap();
+        e.flush();
+        assert_eq!(e.points_processed(), 600);
+        let report = e.shutdown();
+        // Contiguous halves: both shards got exactly half the batch.
+        assert_eq!(report.per_shard[0].processed, 300);
+        assert_eq!(report.per_shard[1].processed, 300);
+    }
+
+    #[test]
+    fn try_push_hands_point_back_when_full() {
+        let e = StreamEngine::start(
+            EngineConfig::new(UMicroConfig::new(4, 2).unwrap()).with_snapshot_every(1_000),
+        );
+        // The success path, then the deterministic Stopped path with the
+        // record handed back intact.
+        assert!(e.try_push(pt(0.0, 0.0, 1)).is_ok());
+        e.flush();
+        e.shutdown();
+        match e.try_push(pt(7.0, 7.0, 2)) {
+            Err(err) => {
+                assert!(!err.is_full());
+                let p = err.into_inner();
+                assert_eq!(p.values(), &[7.0, 7.0]);
+            }
+            Ok(()) => panic!("push into a stopped engine must fail"),
+        }
+    }
+
+    #[test]
+    fn custom_clusterer_factory() {
+        // start_with lets callers supply their own OnlineClusterer stack.
+        let config = EngineConfig::new(UMicroConfig::new(6, 2).unwrap());
+        let shard_cfg = {
+            let mut c = config.umicro.clone();
+            c.n_micro = config.shard_n_micro();
+            c
+        };
+        let e = StreamEngine::start_with(config, move |_i| {
+            Box::new(UMicro::new(shard_cfg.clone())) as DynClusterer
+        });
+        for t in 1..=100u64 {
+            e.push(pt((t % 2) as f64 * 10.0, 0.0, t)).unwrap();
+        }
+        e.flush();
+        assert_eq!(e.points_processed(), 100);
+        e.shutdown();
     }
 }

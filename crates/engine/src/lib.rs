@@ -18,16 +18,27 @@
 //!   known cluster exceeds a configurable multiple of the running isolation
 //!   level are surfaced as [`NoveltyAlert`]s.
 //!
+//! Ingestion is **sharded**: `EngineConfig::with_shards(n)` spreads the
+//! stream round-robin across `n` independent workers, each clustering an
+//! even share of the global micro-cluster budget behind its own lock. The
+//! additive ECF (Property 2.1) makes the periodic fold of shard states into
+//! the global snapshot view *exact*, so horizon and evolution queries are
+//! unchanged by sharding. Every shard clusterer is a boxed
+//! [`umicro::OnlineClusterer`], so the same engine can drive UMicro, the
+//! decayed variant, or any custom implementation ([`StreamEngine::start_with`]).
+//!
 //! ```
 //! use ustream_engine::{EngineConfig, StreamEngine};
 //! use umicro::UMicroConfig;
 //! use ustream_common::UncertainPoint;
 //!
-//! let config = EngineConfig::new(UMicroConfig::new(16, 2).unwrap());
+//! let config = EngineConfig::new(UMicroConfig::new(16, 2).unwrap()).with_shards(2);
 //! let engine = StreamEngine::start(config);
 //! for t in 1..=100u64 {
 //!     let x = if t % 2 == 0 { 0.0 } else { 8.0 };
-//!     engine.push(UncertainPoint::new(vec![x, -x], vec![0.3, 0.3], t, None));
+//!     engine
+//!         .push(UncertainPoint::new(vec![x, -x], vec![0.3, 0.3], t, None))
+//!         .expect("engine accepts records until shutdown");
 //! }
 //! engine.flush();
 //! assert_eq!(engine.points_processed(), 100);
@@ -35,6 +46,7 @@
 //! assert_eq!(macros.k(), 2);
 //! let report = engine.shutdown();
 //! assert_eq!(report.points_processed, 100);
+//! assert_eq!(report.per_shard.len(), 2);
 //! ```
 
 mod config;
@@ -42,5 +54,5 @@ mod engine;
 mod report;
 
 pub use config::{EngineConfig, NoveltyBaseline};
-pub use engine::StreamEngine;
-pub use report::{EngineReport, NoveltyAlert};
+pub use engine::{DynClusterer, StreamEngine, TryPushError};
+pub use report::{EngineReport, NoveltyAlert, ShardStats};

@@ -17,12 +17,29 @@ pub struct NoveltyAlert {
     pub cluster_id: u64,
 }
 
+/// Per-shard accounting inside an [`EngineReport`].
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// Shard index (also the high bits of its global cluster ids).
+    pub shard: usize,
+    /// Records this shard has clustered.
+    pub processed: u64,
+    /// Records routed to this shard but not yet clustered (channel depth).
+    pub queue_depth: u64,
+    /// Micro-clusters alive on this shard.
+    pub live_clusters: usize,
+    /// Novelty alerts this shard raised.
+    pub alerts_raised: u64,
+    /// Clustered records per second of engine wall-clock.
+    pub points_per_sec: f64,
+}
+
 /// Final accounting returned by [`crate::StreamEngine::shutdown`].
 #[derive(Debug, Clone)]
 pub struct EngineReport {
     /// Total records processed.
     pub points_processed: u64,
-    /// Micro-clusters alive at shutdown.
+    /// Micro-clusters alive at shutdown (summed across shards).
     pub live_clusters: usize,
     /// Micro-clusters created over the run.
     pub clusters_created: u64,
@@ -34,6 +51,13 @@ pub struct EngineReport {
     pub alerts_raised: u64,
     /// Last stream tick observed.
     pub last_tick: Timestamp,
+    /// Exact ECF merges folding shard states into the global view.
+    pub merges: u64,
+    /// Mean wall-clock cost of one merge, in microseconds (0 when no merge
+    /// has run).
+    pub mean_merge_micros: f64,
+    /// Per-shard breakdown (one entry per shard worker).
+    pub per_shard: Vec<ShardStats>,
 }
 
 #[cfg(test)]

@@ -111,20 +111,14 @@ mod tests {
 
     #[test]
     fn well_separated_scores_high_silhouette() {
-        let tight = vec![
-            summary(0.0, 0.0, 0.1, 10.0),
-            summary(100.0, 0.0, 0.1, 10.0),
-        ];
+        let tight = vec![summary(0.0, 0.0, 0.1, 10.0), summary(100.0, 0.0, 0.1, 10.0)];
         let s = simplified_silhouette(&tight).unwrap();
         assert!(s > 0.99, "tight separation should be ~1: {s}");
     }
 
     #[test]
     fn overlapping_scores_low_silhouette() {
-        let blurred = vec![
-            summary(0.0, 0.0, 5.0, 10.0),
-            summary(1.0, 0.0, 5.0, 10.0),
-        ];
+        let blurred = vec![summary(0.0, 0.0, 5.0, 10.0), summary(1.0, 0.0, 5.0, 10.0)];
         let s = simplified_silhouette(&blurred).unwrap();
         assert!(s < 0.0, "overlap should score negative: {s}");
     }

@@ -101,8 +101,6 @@ mod tests {
             noisy.observe(1, l(1));
             noisy.observe(2, l(0));
         }
-        assert!(
-            adjusted_rand_index(&clean).unwrap() > adjusted_rand_index(&noisy).unwrap()
-        );
+        assert!(adjusted_rand_index(&clean).unwrap() > adjusted_rand_index(&noisy).unwrap());
     }
 }

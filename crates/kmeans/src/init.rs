@@ -42,16 +42,9 @@ pub fn kmeans_pp_seeds<R: Rng>(
     let first = sample_weighted_index(&weights, rng);
     seeds.push(points[first].values.clone());
 
-    let mut d2: Vec<f64> = points
-        .iter()
-        .map(|p| p.sq_distance_to(&seeds[0]))
-        .collect();
+    let mut d2: Vec<f64> = points.iter().map(|p| p.sq_distance_to(&seeds[0])).collect();
     while seeds.len() < k {
-        let scores: Vec<f64> = d2
-            .iter()
-            .zip(&weights)
-            .map(|(d, w)| d * w)
-            .collect();
+        let scores: Vec<f64> = d2.iter().zip(&weights).map(|(d, w)| d * w).collect();
         let next = sample_weighted_index(&scores, rng);
         let seed = points[next].values.clone();
         // Incremental D² update: only distances to the new seed can shrink.
@@ -63,11 +56,7 @@ pub fn kmeans_pp_seeds<R: Rng>(
         }
         seeds.push(seed);
     }
-    debug_assert_eq!(
-        seeds.len(),
-        k,
-        "seeding must produce exactly k centroids"
-    );
+    debug_assert_eq!(seeds.len(), k, "seeding must produce exactly k centroids");
     let _ = sq_distance_to_nearest; // re-exported for callers; silence unused in some cfgs
     seeds
 }
@@ -115,7 +104,9 @@ mod tests {
         let mut pts: Vec<DeterministicPoint> = (0..20)
             .map(|i| DeterministicPoint::new(vec![(i % 4) as f64 * 0.01, 0.0]))
             .collect();
-        pts.extend((0..20).map(|i| DeterministicPoint::new(vec![100.0 + (i % 4) as f64 * 0.01, 0.0])));
+        pts.extend(
+            (0..20).map(|i| DeterministicPoint::new(vec![100.0 + (i % 4) as f64 * 0.01, 0.0])),
+        );
         let mut rng = StdRng::seed_from_u64(4);
         let seeds = kmeans_pp_seeds(&pts, 2, &mut rng);
         assert_eq!(seeds.len(), 2);

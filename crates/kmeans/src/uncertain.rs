@@ -160,9 +160,7 @@ mod tests {
         let res = uk_means(&objects, &UkMeansConfig::new(2, 1));
         // Σψ² = 40 objects × 2 dims × 4.
         assert!((res.uncertainty_mass - 40.0 * 2.0 * 4.0).abs() < 1e-9);
-        assert!(
-            (res.expected_ssq - res.deterministic_ssq - res.uncertainty_mass).abs() < 1e-9
-        );
+        assert!((res.expected_ssq - res.deterministic_ssq - res.uncertainty_mass).abs() < 1e-9);
         assert!(res.expected_ssq > res.deterministic_ssq);
     }
 

@@ -20,8 +20,7 @@ where
 {
     let mut out = BufWriter::new(writer);
     for snap in store.iter_chronological() {
-        let line =
-            serde_json::to_string(snap).map_err(|e| UStreamError::Serde(e.to_string()))?;
+        let line = serde_json::to_string(snap).map_err(|e| UStreamError::Serde(e.to_string()))?;
         writeln!(out, "{line}")?;
     }
     out.flush()?;
@@ -43,9 +42,8 @@ where
         if line.trim().is_empty() {
             continue;
         }
-        let snap: StoredSnapshot<S> = serde_json::from_str(&line).map_err(|e| {
-            UStreamError::Serde(format!("line {}: {e}", lineno + 1))
-        })?;
+        let snap: StoredSnapshot<S> = serde_json::from_str(&line)
+            .map_err(|e| UStreamError::Serde(format!("line {}: {e}", lineno + 1)))?;
         store.record(snap.time, snap.data);
     }
     Ok(store)
@@ -66,10 +64,12 @@ mod tests {
         write_snapshots(&store, &mut buf).unwrap();
         assert!(!buf.is_empty());
 
-        let restored: SnapshotStore<Vec<f64>> =
-            read_snapshots(cfg, buf.as_slice()).unwrap();
+        let restored: SnapshotStore<Vec<f64>> = read_snapshots(cfg, buf.as_slice()).unwrap();
         assert_eq!(restored.len(), store.len());
-        for (a, b) in store.iter_chronological().zip(restored.iter_chronological()) {
+        for (a, b) in store
+            .iter_chronological()
+            .zip(restored.iter_chronological())
+        {
             assert_eq!(a.time, b.time);
             assert_eq!(a.order, b.order);
             assert_eq!(a.data, b.data);

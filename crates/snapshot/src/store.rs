@@ -135,11 +135,7 @@ impl<S: Clone> SnapshotStore<S> {
 
     /// All retained snapshots ordered by capture time.
     pub fn iter_chronological(&self) -> impl Iterator<Item = &StoredSnapshot<S>> {
-        let mut all: Vec<&StoredSnapshot<S>> = self
-            .orders
-            .iter()
-            .flat_map(|r| r.iter())
-            .collect();
+        let mut all: Vec<&StoredSnapshot<S>> = self.orders.iter().flat_map(|r| r.iter()).collect();
         all.sort_by_key(|s| s.time);
         all.into_iter()
     }
@@ -277,10 +273,22 @@ mod tests {
     fn files_by_highest_order() {
         let s = store_with(1..=8);
         // order 0: odd ticks; order 1: 2,6; order 2: 4; order 3: 8.
-        assert_eq!(s.orders[0].iter().map(|x| x.time).collect::<Vec<_>>(), vec![1, 3, 5, 7]);
-        assert_eq!(s.orders[1].iter().map(|x| x.time).collect::<Vec<_>>(), vec![2, 6]);
-        assert_eq!(s.orders[2].iter().map(|x| x.time).collect::<Vec<_>>(), vec![4]);
-        assert_eq!(s.orders[3].iter().map(|x| x.time).collect::<Vec<_>>(), vec![8]);
+        assert_eq!(
+            s.orders[0].iter().map(|x| x.time).collect::<Vec<_>>(),
+            vec![1, 3, 5, 7]
+        );
+        assert_eq!(
+            s.orders[1].iter().map(|x| x.time).collect::<Vec<_>>(),
+            vec![2, 6]
+        );
+        assert_eq!(
+            s.orders[2].iter().map(|x| x.time).collect::<Vec<_>>(),
+            vec![4]
+        );
+        assert_eq!(
+            s.orders[3].iter().map(|x| x.time).collect::<Vec<_>>(),
+            vec![8]
+        );
     }
 
     #[test]

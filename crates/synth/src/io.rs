@@ -27,10 +27,7 @@ where
     let mut written = 0u64;
     for p in stream.by_ref() {
         debug_assert_eq!(p.dims(), dims);
-        let label = p
-            .label()
-            .map(|l| l.id().to_string())
-            .unwrap_or_default();
+        let label = p.label().map(|l| l.id().to_string()).unwrap_or_default();
         write!(out, "{},{label}", p.timestamp())?;
         for v in p.values() {
             write!(out, ",{v}")?;
@@ -80,9 +77,8 @@ pub fn read_stream<R: Read>(reader: R) -> Result<VecStream> {
             })?))
         };
         let parse_f64 = |s: &str, what: &str| -> Result<f64> {
-            s.parse().map_err(|e| {
-                UStreamError::Dataset(format!("line {}: bad {what}: {e}", lineno + 2))
-            })
+            s.parse()
+                .map_err(|e| UStreamError::Dataset(format!("line {}: bad {what}: {e}", lineno + 2)))
         };
         let mut values = Vec::with_capacity(dims);
         for f in &fields[2..2 + dims] {

@@ -33,8 +33,7 @@ pub fn kdd99_category(label: &str) -> ClassLabel {
         | "warezclient" | "spy" | "xlock" | "xsnoop" | "snmpguess" | "snmpgetattack"
         | "httptunnel" | "sendmail" | "named" => 3,
         // U2R
-        "buffer_overflow" | "loadmodule" | "rootkit" | "perl" | "sqlattack" | "xterm"
-        | "ps" => 4,
+        "buffer_overflow" | "loadmodule" | "rootkit" | "perl" | "sqlattack" | "xterm" | "ps" => 4,
         // Unknown attack names: bucket as DOS-like anomalies.
         _ => 1,
     };
@@ -44,8 +43,8 @@ pub fn kdd99_category(label: &str) -> ClassLabel {
 /// Loads a KDD'99 file into a labelled stream. `limit` caps the record
 /// count (0 = everything).
 pub fn load_kdd99(path: &Path, limit: usize) -> Result<VecStream> {
-    let file = File::open(path)
-        .map_err(|e| UStreamError::Dataset(format!("{}: {e}", path.display())))?;
+    let file =
+        File::open(path).map_err(|e| UStreamError::Dataset(format!("{}: {e}", path.display())))?;
     let reader = BufReader::new(file);
 
     let mut numeric_cols: Option<Vec<usize>> = None;
@@ -101,8 +100,8 @@ pub fn load_kdd99(path: &Path, limit: usize) -> Result<VecStream> {
 /// Loads the UCI CoverType file (first `quantitative_dims` columns + last
 /// column as 1-based class). `limit` caps the record count (0 = all).
 pub fn load_covtype(path: &Path, quantitative_dims: usize, limit: usize) -> Result<VecStream> {
-    let file = File::open(path)
-        .map_err(|e| UStreamError::Dataset(format!("{}: {e}", path.display())))?;
+    let file =
+        File::open(path).map_err(|e| UStreamError::Dataset(format!("{}: {e}", path.display())))?;
     let reader = BufReader::new(file);
     let mut points = Vec::new();
     for (lineno, line) in reader.lines().enumerate() {
@@ -191,7 +190,10 @@ mod tests {
 
     #[test]
     fn kdd_limit_respected() {
-        let path = temp_file("kdd_limit.csv", "1,a,2,normal.\n2,b,3,smurf.\n3,c,4,normal.\n");
+        let path = temp_file(
+            "kdd_limit.csv",
+            "1,a,2,normal.\n2,b,3,smurf.\n3,c,4,normal.\n",
+        );
         let s = load_kdd99(&path, 2).unwrap();
         assert_eq!(s.count(), 2);
         std::fs::remove_file(&path).ok();

@@ -27,9 +27,19 @@ pub struct ClusterSpec {
 impl ClusterSpec {
     /// Validated constructor.
     pub fn new(centroid: Vec<f64>, radii: Vec<f64>, fraction: f64, class: ClassLabel) -> Self {
-        assert_eq!(centroid.len(), radii.len(), "centroid/radii length mismatch");
-        assert!(fraction > 0.0 && fraction.is_finite(), "fraction must be positive");
-        assert!(radii.iter().all(|r| *r >= 0.0), "radii must be non-negative");
+        assert_eq!(
+            centroid.len(),
+            radii.len(),
+            "centroid/radii length mismatch"
+        );
+        assert!(
+            fraction > 0.0 && fraction.is_finite(),
+            "fraction must be positive"
+        );
+        assert!(
+            radii.iter().all(|r| *r >= 0.0),
+            "radii must be non-negative"
+        );
         Self {
             centroid,
             radii,
@@ -99,7 +109,10 @@ impl MixtureStream {
     /// # Panics
     /// Panics on empty cluster lists or mismatched dimensionalities.
     pub fn new(config: MixtureConfig, seed: u64) -> Self {
-        assert!(!config.clusters.is_empty(), "mixture needs at least one cluster");
+        assert!(
+            !config.clusters.is_empty(),
+            "mixture needs at least one cluster"
+        );
         let dims = config.clusters[0].centroid.len();
         assert!(
             config.clusters.iter().all(|c| c.centroid.len() == dims),
@@ -168,11 +181,7 @@ impl MixtureStream {
             }
         }
         let u: f64 = self.rng.gen();
-        match self
-            .cumulative
-            .iter()
-            .position(|&c| u <= c)
-        {
+        match self.cumulative.iter().position(|&c| u <= c) {
             Some(i) => i,
             None => self.specs.len() - 1,
         }

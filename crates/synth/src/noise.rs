@@ -319,11 +319,7 @@ mod tests {
             acc.push(v[0]);
         }
         assert!(acc.mean().abs() < 0.05, "mean {}", acc.mean());
-        assert!(
-            (acc.std_dev() - 2.0).abs() < 0.05,
-            "std {}",
-            acc.std_dev()
-        );
+        assert!((acc.std_dev() - 2.0).abs() < 0.05, "std {}", acc.std_dev());
     }
 
     #[test]
@@ -401,8 +397,8 @@ mod tests {
     fn per_record_spread_validated() {
         let inner = clean_stream(10);
         let rng = StdRng::seed_from_u64(12);
-        let _ = NoisyStream::new(inner, 0.5, rng)
-            .with_variant(NoiseVariant::PerRecord { spread: 1.0 });
+        let _ =
+            NoisyStream::new(inner, 0.5, rng).with_variant(NoiseVariant::PerRecord { spread: 1.0 });
     }
 
     #[test]

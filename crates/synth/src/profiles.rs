@@ -127,20 +127,17 @@ pub fn network_intrusion(len: usize, seed: u64) -> MixtureStream {
     // normal, dos, probe, r2l, u2r — proportions inspired by the 10% KDD set
     // but with normal dominant as the paper describes for the full stream.
     let blueprint: [(u32, f64, usize, f64); 5] = [
-        (0, 0.60, 3, 1.0),  // normal traffic, a few modes
-        (1, 0.25, 2, 0.6),  // DOS: tight, voluminous bursts
-        (2, 0.08, 2, 0.8),  // probing
-        (3, 0.05, 1, 0.7),  // r2l
-        (4, 0.02, 1, 0.5),  // u2r: rare
+        (0, 0.60, 3, 1.0), // normal traffic, a few modes
+        (1, 0.25, 2, 0.6), // DOS: tight, voluminous bursts
+        (2, 0.08, 2, 0.8), // probing
+        (3, 0.05, 1, 0.7), // r2l
+        (4, 0.02, 1, 0.5), // u2r: rare
     ];
 
     let mut clusters = Vec::new();
     for (class, fraction, subs, spread) in blueprint {
         for _ in 0..subs {
-            let centroid: Vec<f64> = scales
-                .iter()
-                .map(|s| rng.gen_range(0.0..1.0) * s)
-                .collect();
+            let centroid: Vec<f64> = scales.iter().map(|s| rng.gen_range(0.0..1.0) * s).collect();
             let radii: Vec<f64> = scales
                 .iter()
                 .map(|s| rng.gen_range(0.02..0.12) * s * spread)
@@ -177,17 +174,20 @@ pub fn forest_cover(len: usize, seed: u64) -> MixtureStream {
     // Elevation-like scales: some dimensions span thousands of metres,
     // others are small angles.
     let scales: Vec<f64> = (0..dims)
-        .map(|j| if j < 3 { 1000.0 } else { 50.0 * (j as f64 + 1.0) })
+        .map(|j| {
+            if j < 3 {
+                1000.0
+            } else {
+                50.0 * (j as f64 + 1.0)
+            }
+        })
         .collect();
 
     let mut clusters = Vec::new();
     for (class, &fraction) in fractions.iter().enumerate() {
         // Each cover type gets two terrain modes.
         for _ in 0..2 {
-            let centroid: Vec<f64> = scales
-                .iter()
-                .map(|s| rng.gen_range(0.2..0.8) * s)
-                .collect();
+            let centroid: Vec<f64> = scales.iter().map(|s| rng.gen_range(0.2..0.8) * s).collect();
             let radii: Vec<f64> = scales
                 .iter()
                 .map(|s| rng.gen_range(0.02..0.10) * s)
@@ -221,10 +221,7 @@ pub fn charitable_donation(len: usize, seed: u64) -> MixtureStream {
 
     let mut clusters = Vec::new();
     for (class, &fraction) in fractions.iter().enumerate() {
-        let centroid: Vec<f64> = scales
-            .iter()
-            .map(|s| rng.gen_range(0.0..1.0) * s)
-            .collect();
+        let centroid: Vec<f64> = scales.iter().map(|s| rng.gen_range(0.0..1.0) * s).collect();
         let radii: Vec<f64> = scales
             .iter()
             .map(|s| rng.gen_range(0.03..0.15) * s)
@@ -286,7 +283,10 @@ mod tests {
         ] {
             assert_eq!(DatasetProfile::from_name(p.name()), Some(p));
         }
-        assert_eq!(DatasetProfile::from_name("kdd99"), Some(DatasetProfile::NetworkIntrusion));
+        assert_eq!(
+            DatasetProfile::from_name("kdd99"),
+            Some(DatasetProfile::NetworkIntrusion)
+        );
         assert_eq!(DatasetProfile::from_name("nope"), None);
     }
 

@@ -192,7 +192,9 @@ impl Iterator for SynDriftStream {
             let r = self.radii[cluster][j];
             let base = self.centroids[cluster][j];
             let v = if r > 0.0 {
-                Normal::new(base, r).expect("finite radius").sample(&mut self.rng)
+                Normal::new(base, r)
+                    .expect("finite radius")
+                    .sample(&mut self.rng)
             } else {
                 base
             };

@@ -36,9 +36,7 @@ fn main() {
         points.len()
     );
 
-    let mut clf = MicroClassifier::new(
-        UMicroConfig::new(BUDGET, dims).expect("valid config"),
-    );
+    let mut clf = MicroClassifier::new(UMicroConfig::new(BUDGET, dims).expect("valid config"));
     for p in &points[..split] {
         clf.train_labelled(p);
     }

@@ -13,16 +13,16 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use uncertain_streams::prelude::*;
 use umicro::UMicroConfig;
+use uncertain_streams::prelude::*;
 use ustream_snapshot::PyramidConfig;
 
 fn main() {
-    let config = EngineConfig::new(
-        UMicroConfig::new(32, 3).expect("valid config"),
-    )
-    .with_pyramid(PyramidConfig::new(2, 6).expect("valid geometry"))
-    .with_novelty_factor(Some(6.0));
+    let config = EngineConfig::new(UMicroConfig::new(32, 3).expect("valid config"))
+        .with_pyramid(PyramidConfig::new(2, 6).expect("valid geometry"))
+        .with_novelty_factor(Some(6.0))
+        .with_shards(2)
+        .with_snapshot_every(16);
     let engine = Arc::new(StreamEngine::start(config));
     let clock = Arc::new(AtomicU64::new(0));
 
@@ -59,7 +59,9 @@ fn main() {
                         clean + noise
                     })
                     .collect();
-                engine.push(UncertainPoint::new(values, errors.to_vec(), t, None));
+                engine
+                    .push(UncertainPoint::new(values, errors.to_vec(), t, None))
+                    .expect("engine accepts records until shutdown");
                 if i % 500 == 0 {
                     std::thread::yield_now();
                 }
@@ -75,6 +77,12 @@ fn main() {
             "frame {frame}: {} points, {} live micro-clusters, {} snapshots",
             stats.points_processed, stats.live_clusters, stats.snapshots_retained
         );
+        for s in &stats.per_shard {
+            println!(
+                "  shard {}: {:>6} clustered, {:>4} queued, {} clusters, {:>8.0} pts/s",
+                s.shard, s.processed, s.queue_depth, s.live_clusters, s.points_per_sec
+            );
+        }
     }
 
     for p in producers {
@@ -128,7 +136,19 @@ fn main() {
     let report = engine.shutdown();
     println!(
         "\nshutdown: {} points, {} created / {} evicted micro-clusters, {} alerts total",
-        report.points_processed, report.clusters_created, report.clusters_evicted,
+        report.points_processed,
+        report.clusters_created,
+        report.clusters_evicted,
         report.alerts_raised
     );
+    println!(
+        "shards: {} exact merges, {:.1} µs mean merge latency",
+        report.merges, report.mean_merge_micros
+    );
+    for s in &report.per_shard {
+        println!(
+            "  shard {}: {} records ({:.0} pts/s), {} live clusters, {} alerts",
+            s.shard, s.processed, s.points_per_sec, s.live_clusters, s.alerts_raised
+        );
+    }
 }

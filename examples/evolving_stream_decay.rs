@@ -38,7 +38,10 @@ fn tracking_error(centroids: &[(Vec<f64>, f64)], truth: &[Vec<f64>]) -> f64 {
     acc / weight.max(1e-12)
 }
 
-fn stream() -> (NoisyStream<ustream_synth::SynDriftStream, StdRng>, Vec<Vec<f64>>) {
+fn stream() -> (
+    NoisyStream<ustream_synth::SynDriftStream, StdRng>,
+    Vec<Vec<f64>>,
+) {
     let mut cfg = SynDriftConfig::paper();
     cfg.dims = 8;
     cfg.n_clusters = 6;
@@ -50,10 +53,7 @@ fn stream() -> (NoisyStream<ustream_synth::SynDriftStream, StdRng>, Vec<Vec<f64>
     while probe.next().is_some() {}
     let truth = probe.centroids().to_vec();
     let gen = cfg.build(77);
-    (
-        NoisyStream::new(gen, ETA, StdRng::seed_from_u64(5)),
-        truth,
-    )
+    (NoisyStream::new(gen, ETA, StdRng::seed_from_u64(5)), truth)
 }
 
 fn final_centroids(clusters: &[umicro::MicroCluster]) -> Vec<(Vec<f64>, f64)> {
@@ -65,9 +65,7 @@ fn final_centroids(clusters: &[umicro::MicroCluster]) -> Vec<(Vec<f64>, f64)> {
 }
 
 fn main() {
-    println!(
-        "fast-drifting stream: {LEN} points, eta = {ETA}, {N_MICRO} micro-clusters\n"
-    );
+    println!("fast-drifting stream: {LEN} points, eta = {ETA}, {N_MICRO} micro-clusters\n");
 
     // Baseline: no decay.
     let (s, truth) = stream();

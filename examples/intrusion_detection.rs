@@ -64,7 +64,9 @@ fn inject_zero_day(points: &mut Vec<UncertainPoint>, dims: usize) -> usize {
     let episode: Vec<UncertainPoint> = (0..800)
         .map(|i| {
             let values: Vec<f64> = (0..dims)
-                .map(|j| scale + Normal::new(0.0, 5.0).unwrap().sample(&mut rng) * (j % 3 + 1) as f64)
+                .map(|j| {
+                    scale + Normal::new(0.0, 5.0).unwrap().sample(&mut rng) * (j % 3 + 1) as f64
+                })
                 .collect();
             UncertainPoint::new(
                 values,
@@ -88,8 +90,7 @@ fn main() {
     );
 
     let mut umicro = UMicro::new(UMicroConfig::new(N_MICRO, dims).expect("valid config"));
-    let mut clustream =
-        CluStream::new(CluStreamConfig::new(N_MICRO, dims).expect("valid config"));
+    let mut clustream = CluStream::new(CluStreamConfig::new(N_MICRO, dims).expect("valid config"));
 
     let mut u_purity = ClusterPurity::new();
     let mut c_purity = ClusterPurity::new();
@@ -162,13 +163,13 @@ fn main() {
         println!("  none — traffic structure stayed stable");
     }
     for (pos, rate) in alerts.iter().take(10) {
-        println!(
-            "  at point {pos:>6}: a record {rate:>7.0} units from every known cluster"
-        );
+        println!("  at point {pos:>6}: a record {rate:>7.0} units from every known cluster");
     }
 
     // Macro view: the five traffic categories.
     let mac = umicro.macro_cluster(5, 3);
-    println!("\nmacro-clusters (k = 5) weights: {:?}",
-        mac.weights.iter().map(|w| *w as u64).collect::<Vec<_>>());
+    println!(
+        "\nmacro-clusters (k = 5) weights: {:?}",
+        mac.weights.iter().map(|w| *w as u64).collect::<Vec<_>>()
+    );
 }

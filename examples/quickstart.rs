@@ -41,7 +41,10 @@ fn main() {
         .map(|c| c.ecf.point_count())
         .collect();
     sizes.sort_unstable_by(|a, b| b.cmp(a));
-    println!("largest micro-clusters (points): {:?}", &sizes[..sizes.len().min(8)]);
+    println!(
+        "largest micro-clusters (points): {:?}",
+        &sizes[..sizes.len().min(8)]
+    );
 
     println!(
         "cluster purity vs generator labels: {:.3} (weighted {:.3})",
@@ -54,7 +57,10 @@ fn main() {
     println!("\nmacro-clusters (k = 4):");
     for (i, (centroid, weight)) in mac.centroids.iter().zip(&mac.weights).enumerate() {
         let head: Vec<String> = centroid.iter().take(3).map(|v| format!("{v:.2}")).collect();
-        println!("  #{i}: weight {weight:>8.1}, centroid [{}, ...]", head.join(", "));
+        println!(
+            "  #{i}: weight {weight:>8.1}, centroid [{}, ...]",
+            head.join(", ")
+        );
     }
 
     // 5. Any point can be routed to its macro-cluster.

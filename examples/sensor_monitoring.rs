@@ -148,7 +148,10 @@ fn main() {
         .expect("macro over window");
     println!("window macro-centroids (k = 2):");
     for c in &mac.centroids {
-        println!("  temp {:>5.1}  humidity {:>5.1}  vibration {:>4.2}", c[0], c[1], c[2]);
+        println!(
+            "  temp {:>5.1}  humidity {:>5.1}  vibration {:>4.2}",
+            c[0], c[1], c[2]
+        );
     }
 
     // Persist the pyramidal store and reload it — offline analysis later.

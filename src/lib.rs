@@ -41,8 +41,8 @@
 
 pub use clustream;
 pub use umicro;
-pub use ustream_engine;
 pub use ustream_common;
+pub use ustream_engine;
 pub use ustream_eval;
 pub use ustream_kmeans;
 pub use ustream_snapshot;
@@ -52,16 +52,12 @@ pub use ustream_synth;
 pub mod prelude {
     pub use clustream::{CluStream, CluStreamConfig, StreamKMeans, StreamKMeansConfig};
     pub use umicro::{
-        DecayedUMicro, Ecf, HorizonAnalyzer, MacroClustering, UMicro, UMicroConfig,
+        DecayedUMicro, Ecf, HorizonAnalyzer, MacroClustering, OnlineClusterer, UMicro, UMicroConfig,
     };
     pub use ustream_common::{
         ClassLabel, DataStream, DeterministicPoint, Timestamp, UncertainPoint, VecStream,
     };
     pub use ustream_engine::{EngineConfig, StreamEngine};
-    pub use ustream_eval::{
-        ClusterPurity, ProgressionTracker, ThroughputMeter,
-    };
-    pub use ustream_synth::{
-        DatasetProfile, NoiseModel, SynDriftConfig,
-    };
+    pub use ustream_eval::{ClusterPurity, ProgressionTracker, ThroughputMeter};
+    pub use ustream_synth::{DatasetProfile, NoiseModel, SynDriftConfig};
 }

@@ -100,7 +100,10 @@ fn umicro_degrades_most_gracefully_with_noise() {
         (out.cluster_id, p.label().unwrap())
     }));
 
-    assert!(u > c, "UMicro {u:.4} should beat CluStream {c:.4} at eta=1.5");
+    assert!(
+        u > c,
+        "UMicro {u:.4} should beat CluStream {c:.4} at eta=1.5"
+    );
 }
 
 #[test]

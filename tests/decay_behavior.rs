@@ -44,11 +44,7 @@ fn decay_tracks_fast_drift_better_than_no_decay() {
     let truth = probe.centroids().to_vec();
 
     let run = |half_life: Option<f64>| -> f64 {
-        let stream = NoisyStream::new(
-            gen_cfg.clone().build(31),
-            0.5,
-            StdRng::seed_from_u64(32),
-        );
+        let stream = NoisyStream::new(gen_cfg.clone().build(31), 0.5, StdRng::seed_from_u64(32));
         match half_life {
             None => {
                 let mut alg = UMicro::new(config(40, 6));

@@ -28,7 +28,7 @@ fn engine_processes_generated_workload() {
             .with_pyramid(PyramidConfig::new(2, 6).unwrap()),
     );
     for p in points {
-        engine.push(p);
+        engine.push(p).expect("engine accepts records");
     }
     engine.flush();
     assert_eq!(engine.points_processed(), 8_000);
@@ -55,7 +55,7 @@ fn engine_multi_producer_totals_are_exact() {
         let engine = Arc::clone(&engine);
         handles.push(std::thread::spawn(move || {
             for p in chunk {
-                engine.push(p);
+                engine.push(p).expect("engine accepts records");
             }
         }));
     }
@@ -95,7 +95,7 @@ fn engine_detects_regime_change_on_real_profile() {
             .with_novelty_quantile(0.99),
     );
     for p in points {
-        engine.push(p);
+        engine.push(p).expect("engine accepts records");
     }
     engine.flush();
 
@@ -123,17 +123,18 @@ fn engine_detects_regime_change_on_real_profile() {
 fn decayed_engine_forgets_old_regimes_in_horizon_queries() {
     let dims = 2;
     let engine = StreamEngine::start(
-        EngineConfig::new(UMicroConfig::new(16, dims).unwrap())
-            .with_decay_half_life(512.0),
+        EngineConfig::new(UMicroConfig::new(16, dims).unwrap()).with_decay_half_life(512.0),
     );
     for t in 1..=4_096u64 {
         let x = if t <= 3_072 { 0.0 } else { 64.0 };
-        engine.push(UncertainPoint::new(
-            vec![x + (t % 5) as f64 * 0.1, -x],
-            vec![0.3, 0.3],
-            t,
-            None,
-        ));
+        engine
+            .push(UncertainPoint::new(
+                vec![x + (t % 5) as f64 * 0.1, -x],
+                vec![0.3, 0.3],
+                t,
+                None,
+            ))
+            .expect("engine accepts records");
     }
     engine.flush();
     let window = engine.horizon_clusters(512).unwrap();

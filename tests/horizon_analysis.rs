@@ -9,11 +9,7 @@ use ustream_snapshot::persist::{read_snapshots, write_snapshots};
 use ustream_snapshot::{ClusterSetSnapshot, PyramidConfig, SnapshotStore};
 use ustream_synth::{NoisyStream, SynDriftConfig};
 
-fn drive(
-    len: u64,
-    switch: u64,
-    pyramid: PyramidConfig,
-) -> (UMicro, HorizonAnalyzer) {
+fn drive(len: u64, switch: u64, pyramid: PyramidConfig) -> (UMicro, HorizonAnalyzer) {
     let mut alg = UMicro::new(UMicroConfig::new(12, 2).unwrap());
     let mut hz = HorizonAnalyzer::new(pyramid);
     for t in 1..=len {
@@ -116,10 +112,7 @@ fn horizon_statistics_match_direct_suffix_summary() {
     // the window is exactly the last 128 points.
     let mut direct: std::collections::BTreeMap<u64, Ecf> = std::collections::BTreeMap::new();
     for (id, p) in &suffix_points {
-        direct
-            .entry(*id)
-            .or_insert_with(|| Ecf::empty(1))
-            .insert(p);
+        direct.entry(*id).or_insert_with(|| Ecf::empty(1)).insert(p);
     }
     assert_eq!(window.len(), direct.len());
     for (id, got) in &window.clusters {

@@ -118,8 +118,14 @@ fn information_metrics_agree_with_purity_ranking() {
     let c_nmi = normalized_mutual_information(c.table()).unwrap();
     let u_ari = adjusted_rand_index(u.table()).unwrap();
     let c_ari = adjusted_rand_index(c.table()).unwrap();
-    assert!(u_nmi > c_nmi, "NMI: UMicro {u_nmi:.4} vs CluStream {c_nmi:.4}");
-    assert!(u_ari > c_ari, "ARI: UMicro {u_ari:.4} vs CluStream {c_ari:.4}");
+    assert!(
+        u_nmi > c_nmi,
+        "NMI: UMicro {u_nmi:.4} vs CluStream {c_nmi:.4}"
+    );
+    assert!(
+        u_ari > c_ari,
+        "ARI: UMicro {u_ari:.4} vs CluStream {c_ari:.4}"
+    );
 }
 
 #[test]

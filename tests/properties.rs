@@ -7,7 +7,9 @@ use proptest::prelude::*;
 use umicro::distance::{corrected_sq_distance, expected_sq_distance};
 use umicro::Ecf;
 use ustream_common::point::sq_euclidean;
-use ustream_common::{AdditiveFeature, ClassLabel, DecayableFeature, DeterministicPoint, UncertainPoint};
+use ustream_common::{
+    AdditiveFeature, ClassLabel, DecayableFeature, DeterministicPoint, UncertainPoint,
+};
 use ustream_eval::ClusterPurity;
 use ustream_kmeans::{kmeans, KMeansConfig};
 use ustream_snapshot::{PyramidConfig, SnapshotStore};

@@ -1,0 +1,251 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the macro and group/bencher surface this workspace's benches
+//! use (`criterion_group!`, `criterion_main!`, `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `Throughput::Elements`,
+//! `BenchmarkId`) with a simple adaptive wall-clock harness: each benchmark
+//! is calibrated to a short measurement window, then reported as mean time
+//! per iteration plus derived throughput. No statistics, plots, or saved
+//! baselines — the point is that `cargo bench` runs offline and prints
+//! comparable numbers.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock budget for measuring one benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+
+/// The benchmark context handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name} ==");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            throughput: None,
+        }
+    }
+}
+
+/// How many logical items one benchmark iteration processes.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements per iteration (reported as elem/s).
+    Elements(u64),
+    /// Bytes per iteration (reported as MiB/s).
+    Bytes(u64),
+}
+
+/// A labelled benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    /// An id `function/parameter`, mirroring criterion's display form.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            repr: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            repr: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { repr: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { repr: s }
+    }
+}
+
+/// A group of benchmarks sharing a throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { result: None };
+        f(&mut bencher);
+        self.report(&id.repr, bencher.result);
+        self
+    }
+
+    /// Runs one benchmark that receives an input by reference.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { result: None };
+        f(&mut bencher, input);
+        self.report(&id.repr, bencher.result);
+        self
+    }
+
+    /// Ends the group (printing is already done incrementally).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, result: Option<Measurement>) {
+        let Some(m) = result else {
+            println!("{}/{id}: no measurement (b.iter never called)", self.name);
+            return;
+        };
+        let mut line = format!(
+            "{}/{id}: {} per iter ({} iters)",
+            self.name,
+            format_duration(m.mean),
+            m.iters
+        );
+        if let Some(tp) = self.throughput {
+            let secs = m.mean.as_secs_f64();
+            if secs > 0.0 {
+                match tp {
+                    Throughput::Elements(n) => {
+                        let _ = write!(line, ", {:.0} elem/s", n as f64 / secs);
+                    }
+                    Throughput::Bytes(n) => {
+                        let _ = write!(line, ", {:.2} MiB/s", n as f64 / secs / (1024.0 * 1024.0));
+                    }
+                }
+            }
+        }
+        println!("{line}");
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Measurement {
+    mean: Duration,
+    iters: u64,
+}
+
+/// Times closures: the `b` in `|b| b.iter(...)`.
+pub struct Bencher {
+    result: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Measures `routine`, adaptively choosing an iteration count that fills
+    /// the measurement budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: time a single call.
+        let start = Instant::now();
+        black_box(routine());
+        let single = start.elapsed().max(Duration::from_nanos(1));
+
+        let iters = (MEASURE_BUDGET.as_nanos() / single.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let total = start.elapsed();
+        self.result = Some(Measurement {
+            mean: total / u32::try_from(iters).unwrap_or(u32::MAX),
+            iters,
+        });
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro. Any
+/// harness arguments passed by `cargo bench` are ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes `--bench`; a bare `--test` smoke-run
+            // must not execute the full measurement loop.
+            if ::std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("busy_loop", |b| {
+            b.iter(|| (0..100u64).map(black_box).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", 3), &3u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 42).repr, "f/42");
+        assert_eq!(BenchmarkId::from_parameter("x").repr, "x");
+    }
+}

@@ -1,0 +1,320 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only [`channel`] is provided — bounded/unbounded MPSC channels with the
+//! crossbeam surface (`send`, `try_send`, `recv`, iteration), backed by
+//! `std::sync::mpsc`. Unlike real crossbeam the receiver is single-consumer,
+//! which is all this workspace's engine topology (one receiver per worker
+//! thread) requires.
+
+pub mod channel {
+    use std::fmt;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    /// The sending half; cheap to clone, shareable across threads.
+    pub struct Sender<T> {
+        inner: Flavor<T>,
+    }
+
+    enum Flavor<T> {
+        Bounded(mpsc::SyncSender<T>),
+        Unbounded(mpsc::Sender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            let inner = match &self.inner {
+                Flavor::Bounded(s) => Flavor::Bounded(s.clone()),
+                Flavor::Unbounded(s) => Flavor::Unbounded(s.clone()),
+            };
+            Self { inner }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `msg`, blocking while a bounded channel is full. Fails only
+        /// when the receiver is gone, handing the message back.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            match &self.inner {
+                Flavor::Bounded(s) => s.send(msg).map_err(|e| SendError(e.0)),
+                Flavor::Unbounded(s) => s.send(msg).map_err(|e| SendError(e.0)),
+            }
+        }
+
+        /// Non-blocking send: fails immediately when the channel is full or
+        /// disconnected, handing the message back either way.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            match &self.inner {
+                Flavor::Bounded(s) => s.try_send(msg).map_err(|e| match e {
+                    mpsc::TrySendError::Full(m) => TrySendError::Full(m),
+                    mpsc::TrySendError::Disconnected(m) => TrySendError::Disconnected(m),
+                }),
+                Flavor::Unbounded(s) => s.send(msg).map_err(|e| TrySendError::Disconnected(e.0)),
+            }
+        }
+    }
+
+    /// The receiving half (single consumer in this stand-in).
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Blocks up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+
+        /// A blocking iterator over received messages; ends when all senders
+        /// are dropped.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.inner.iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.inner.into_iter()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::Iter<'a, T>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.inner.iter()
+        }
+    }
+
+    /// A channel holding at most `cap` in-flight messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (
+            Sender {
+                inner: Flavor::Bounded(tx),
+            },
+            Receiver { inner: rx },
+        )
+    }
+
+    /// A channel with no capacity bound.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender {
+                inner: Flavor::Unbounded(tx),
+            },
+            Receiver { inner: rx },
+        )
+    }
+
+    /// The receiver disconnected; the unsent message is handed back.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T> std::error::Error for SendError<T> {}
+
+    /// Why a [`Sender::try_send`] failed; the message is handed back.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The bounded channel is at capacity.
+        Full(T),
+        /// The receiver is gone.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// Recovers the message that could not be sent.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(m) | TrySendError::Disconnected(m) => m,
+            }
+        }
+
+        /// Whether the failure was a full channel (backpressure).
+        pub fn is_full(&self) -> bool {
+            matches!(self, TrySendError::Full(_))
+        }
+
+        /// Whether the failure was a disconnected receiver.
+        pub fn is_disconnected(&self) -> bool {
+            matches!(self, TrySendError::Disconnected(_))
+        }
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+            }
+        }
+    }
+
+    impl<T> std::error::Error for TrySendError<T> {}
+
+    /// All senders disconnected and the channel is drained.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Why a [`Receiver::try_recv`] produced nothing.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message is currently queued.
+        Empty,
+        /// All senders are gone and the queue is drained.
+        Disconnected,
+    }
+
+    impl fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+                TryRecvError::Disconnected => {
+                    f.write_str("receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for TryRecvError {}
+
+    /// Why a [`Receiver::recv_timeout`] produced nothing.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed first.
+        Timeout,
+        /// All senders are gone and the queue is drained.
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => {
+                    f.write_str("receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded, TrySendError};
+
+    #[test]
+    fn bounded_round_trip_and_iteration() {
+        let (tx, rx) = bounded(8);
+        let producer = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<i32> = rx.into_iter().collect();
+        producer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_send_reports_full_and_hands_back() {
+        let (tx, _rx) = bounded(1);
+        tx.try_send(1).unwrap();
+        match tx.try_send(2) {
+            Err(TrySendError::Full(v)) => assert_eq!(v, 2),
+            other => panic!("expected Full, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drop() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert!(tx.send(5).is_err());
+        assert!(matches!(tx.try_send(5), Err(TrySendError::Disconnected(5))));
+    }
+
+    #[test]
+    fn cloned_senders_feed_one_receiver() {
+        let (tx, rx) = bounded(4);
+        let mut handles = Vec::new();
+        for p in 0..4 {
+            let tx = tx.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..25 {
+                    tx.send(p * 100 + i).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let got: Vec<i32> = rx.into_iter().collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(got.len(), 100);
+    }
+}

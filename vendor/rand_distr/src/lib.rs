@@ -1,0 +1,123 @@
+//! Offline stand-in for the `rand_distr` crate: the [`Normal`] distribution
+//! and the [`Distribution`] trait, which is all this workspace samples.
+
+use rand::Rng;
+
+/// Types that can produce samples of `T` from a generic [`Rng`].
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a [`Normal`] with invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalError {
+    /// The mean was not finite.
+    MeanTooSmall,
+    /// The standard deviation was negative or not finite.
+    BadVariance,
+}
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NormalError::MeanTooSmall => write!(f, "mean is not finite"),
+            NormalError::BadVariance => {
+                write!(f, "standard deviation is negative or not finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// The normal (Gaussian) distribution `N(mean, std_dev²)`, sampled with the
+/// Box-Muller transform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Validated constructor; `std_dev` must be finite and non-negative.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if !mean.is_finite() {
+            return Err(NormalError::MeanTooSmall);
+        }
+        if !(std_dev.is_finite() && std_dev >= 0.0) {
+            return Err(NormalError::BadVariance);
+        }
+        Ok(Self { mean, std_dev })
+    }
+
+    /// The configured mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The configured standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box-Muller: u1 uniform in (0, 1] so ln(u1) is finite.
+        let u1: f64 = 1.0 - f64::sample_uniform(rng);
+        let u2: f64 = f64::sample_uniform(rng);
+        let mag = (-2.0 * u1.ln()).sqrt();
+        let z = mag * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+/// Internal helper so `sample` can take `R: Rng + ?Sized` while the vendored
+/// `Rng::gen` surface requires `Self: Sized`.
+trait SampleUniform {
+    fn sample_uniform<R: Rng + ?Sized>(rng: &mut R) -> f64;
+}
+
+impl SampleUniform for f64 {
+    fn sample_uniform<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Distribution, Normal, NormalError};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert_eq!(Normal::new(0.0, -1.0), Err(NormalError::BadVariance));
+        assert_eq!(Normal::new(0.0, f64::NAN), Err(NormalError::BadVariance));
+        assert_eq!(
+            Normal::new(f64::INFINITY, 1.0),
+            Err(NormalError::MeanTooSmall)
+        );
+    }
+
+    #[test]
+    fn sample_moments_are_close() {
+        let n = Normal::new(3.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let draws: Vec<f64> = (0..50_000).map(|_| n.sample(&mut rng)).collect();
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        let var = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / draws.len() as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "variance {var}");
+    }
+
+    #[test]
+    fn zero_std_dev_is_constant() {
+        let n = Normal::new(7.0, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(n.sample(&mut rng), 7.0);
+        }
+    }
+}

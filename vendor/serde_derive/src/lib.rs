@@ -1,0 +1,500 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! vendored value-model `serde` crate (`to_value` / `from_value`), parsing
+//! the item with the bare `proc_macro` API — no `syn`/`quote`, so it builds
+//! with zero dependencies. Supported shapes are exactly what this workspace
+//! derives on: structs with named fields (optionally generic), tuple
+//! structs, and enums with unit or struct-like variants. `#[serde(...)]`
+//! attributes are not supported and will simply be ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+/// Derives `serde::Serialize` (the vendored `to_value` form).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` (the vendored `from_value` form).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it = input.into_iter().peekable();
+
+    // Skip outer attributes (incl. doc comments) and the visibility.
+    let keyword = loop {
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // The bracketed attribute body.
+                let _ = it.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        let _ = it.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                panic!("serde_derive: unsupported item keyword `{s}`");
+            }
+            other => panic!("serde_derive: unexpected token before item: {other:?}"),
+        }
+    };
+
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+
+    // Optional generics: collect the first ident of each comma-separated
+    // parameter at depth 1 (no bounds/lifetimes/const generics supported).
+    let mut generics = Vec::new();
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            let _ = it.next();
+            let mut depth = 1usize;
+            let mut expect_param = true;
+            for tt in it.by_ref() {
+                match tt {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                        expect_param = true;
+                    }
+                    TokenTree::Ident(id) if depth == 1 && expect_param => {
+                        generics.push(id.to_string());
+                        expect_param = false;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    let kind = if keyword == "struct" {
+        match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Unit,
+            other => panic!("serde_derive: unexpected struct body: {other:?}"),
+        }
+    } else {
+        match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: expected enum body, got {other:?}"),
+        }
+    };
+
+    Item {
+        name,
+        generics,
+        kind,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut it = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility ahead of the field name.
+        loop {
+            match it.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    let _ = it.next();
+                    let _ = it.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    let _ = it.next();
+                    if let Some(TokenTree::Group(g)) = it.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            let _ = it.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tt) = it.next() else { break };
+        let TokenTree::Ident(id) = tt else {
+            panic!("serde_derive: expected field name, got {tt:?}");
+        };
+        fields.push(id.to_string());
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field, got {other:?}"),
+        }
+        // Skip the type up to the next top-level comma (angle-depth aware).
+        let mut depth = 0usize;
+        for tt in it.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut depth = 0usize;
+    let mut in_field = false;
+    for tt in stream {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => in_field = false,
+            _ => {
+                if !in_field {
+                    count += 1;
+                    in_field = true;
+                }
+            }
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut it = stream.into_iter().peekable();
+    loop {
+        // Skip variant attributes such as `#[default]` and doc comments.
+        while let Some(TokenTree::Punct(p)) = it.peek() {
+            if p.as_char() == '#' {
+                let _ = it.next();
+                let _ = it.next();
+            } else {
+                break;
+            }
+        }
+        let Some(tt) = it.next() else { break };
+        let TokenTree::Ident(id) = tt else {
+            panic!("serde_derive: expected variant name, got {tt:?}");
+        };
+        let name = id.to_string();
+        let fields = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                let _ = it.next();
+                VariantFields::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                let _ = it.next();
+                VariantFields::Tuple(count_tuple_fields(g))
+            }
+            _ => VariantFields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        // Skip a possible explicit discriminant, then the separating comma.
+        for tt in it.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn impl_header(item: &Item, bound: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        (String::new(), item.name.clone())
+    } else {
+        let params: Vec<String> = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: {bound}"))
+            .collect();
+        (
+            format!("<{}>", params.join(", ")),
+            format!("{}<{}>", item.name, item.generics.join(", ")),
+        )
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (params, ty) = impl_header(item, "::serde::Serialize");
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Obj(vec![{}])", pairs.join(", "))
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Arr(vec![{}])", elems.join(", "))
+        }
+        Kind::Unit => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => format!(
+                            "Self::{vname} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                        ),
+                        VariantFields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let pairs: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "Self::{vname} {{ {binds} }} => ::serde::Value::Obj(vec![\
+                                 (::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Value::Obj(vec![{}]))]),",
+                                pairs.join(", ")
+                            )
+                        }
+                        VariantFields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            let inner = if *n == 1 {
+                                elems[0].clone()
+                            } else {
+                                format!("::serde::Value::Arr(vec![{}])", elems.join(", "))
+                            };
+                            format!(
+                                "Self::{vname}({}) => ::serde::Value::Obj(vec![\
+                                 (::std::string::String::from(\"{vname}\"), {inner})]),",
+                                binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_variables, clippy::all)]\n\
+         impl{params} ::serde::Serialize for {ty} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let (params, ty) = impl_header(item, "::serde::Deserialize");
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::field(fields, \"{f}\", \"{name}\")?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "let fields = value.as_obj().ok_or_else(|| \
+                 ::serde::Error::msg(\"expected object for `{name}`\"))?;\n\
+                 ::std::result::Result::Ok(Self {{ {} }})",
+                inits.join(" ")
+            )
+        }
+        Kind::TupleStruct(1) => {
+            "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(value)?))".to_string()
+        }
+        Kind::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(items.get({i}).ok_or_else(|| \
+                         ::serde::Error::msg(\"missing tuple element in `{name}`\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let items = value.as_arr().ok_or_else(|| \
+                 ::serde::Error::msg(\"expected array for `{name}`\"))?;\n\
+                 ::std::result::Result::Ok(Self({}))",
+                inits.join(", ")
+            )
+        }
+        Kind::Unit => "::std::result::Result::Ok(Self)".to_string(),
+        Kind::Enum(variants) => {
+            let mut code = String::new();
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, VariantFields::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("\"{vname}\" => return ::std::result::Result::Ok(Self::{vname}),")
+                })
+                .collect();
+            if !unit_arms.is_empty() {
+                code.push_str(&format!(
+                    "if let ::serde::Value::Str(s) = value {{\n\
+                         match s.as_str() {{ {} _ => {{}} }}\n\
+                     }}\n",
+                    unit_arms.join(" ")
+                ));
+            }
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => None,
+                        VariantFields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         ::serde::field(vf, \"{f}\", \"{name}::{vname}\")?)?,"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{\n\
+                                     let vf = inner.as_obj().ok_or_else(|| \
+                                     ::serde::Error::msg(\
+                                     \"expected object for `{name}::{vname}`\"))?;\n\
+                                     return ::std::result::Result::Ok(\
+                                     Self::{vname} {{ {} }});\n\
+                                 }}",
+                                inits.join(" ")
+                            ))
+                        }
+                        VariantFields::Tuple(1) => Some(format!(
+                            "\"{vname}\" => return ::std::result::Result::Ok(\
+                             Self::{vname}(::serde::Deserialize::from_value(inner)?)),"
+                        )),
+                        VariantFields::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(\
+                                         items.get({i}).ok_or_else(|| ::serde::Error::msg(\
+                                         \"missing element in `{name}::{vname}`\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{\n\
+                                     let items = inner.as_arr().ok_or_else(|| \
+                                     ::serde::Error::msg(\
+                                     \"expected array for `{name}::{vname}`\"))?;\n\
+                                     return ::std::result::Result::Ok(Self::{vname}({}));\n\
+                                 }}",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            if !data_arms.is_empty() {
+                code.push_str(&format!(
+                    "if let ::std::option::Option::Some(fields) = value.as_obj() {{\n\
+                         if fields.len() == 1 {{\n\
+                             let (tag, inner) = (&fields[0].0, &fields[0].1);\n\
+                             match tag.as_str() {{ {} _ => {{}} }}\n\
+                         }}\n\
+                     }}\n",
+                    data_arms.join(" ")
+                ));
+            }
+            code.push_str(&format!(
+                "::std::result::Result::Err(::serde::Error::msg(\
+                 \"unrecognized variant for `{name}`\"))"
+            ));
+            code
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_variables, clippy::all)]\n\
+         impl{params} ::serde::Deserialize for {ty} {{\n\
+             fn from_value(value: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}

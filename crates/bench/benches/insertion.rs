@@ -39,6 +39,30 @@ fn bench_insertion(c: &mut Criterion) {
         })
     });
 
+    group.bench_function("umicro_corrected_scalar_path", |b| {
+        b.iter(|| {
+            let mut alg = UMicro::new(UMicroConfig::new(N_MICRO, DIMS).unwrap());
+            alg.set_kernel_enabled(false);
+            for p in &pts {
+                black_box(alg.insert(p));
+            }
+            alg.micro_clusters().len()
+        })
+    });
+
+    group.bench_function("umicro_corrected_batched", |b| {
+        b.iter(|| {
+            let mut alg = UMicro::new(UMicroConfig::new(N_MICRO, DIMS).unwrap());
+            let mut out = Vec::with_capacity(256);
+            for chunk in pts.chunks(256) {
+                out.clear();
+                alg.insert_batch(chunk, &mut out);
+                black_box(out.len());
+            }
+            alg.micro_clusters().len()
+        })
+    });
+
     group.bench_function("umicro_uncertain_radius", |b| {
         b.iter(|| {
             let mut alg = UMicro::new(

@@ -1,0 +1,162 @@
+//! Measures what the SoA distance kernel buys: single-shard insertion
+//! throughput (points/second) with the kernel disabled (scalar per-cluster
+//! distance loops), enabled (packed centroid/noise matrices with cached
+//! invariants), and enabled with mini-batch insertion, across
+//! dimensionalities and micro-cluster budgets.
+//!
+//! ```text
+//! cargo run -p ustream-bench --release --bin fig_kernel_speedup -- \
+//!     --len 50000 --reps 3
+//! ```
+//!
+//! Emits `results/BENCH_kernel.json` plus a table on stdout. Run with
+//! `--release`; debug-build rates are meaningless.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+use umicro::{UMicro, UMicroConfig};
+use ustream_bench::Args;
+use ustream_common::UncertainPoint;
+use ustream_synth::{NoisyStream, SynDriftConfig};
+
+/// Mini-batch size for the batched variant — large enough to amortise the
+/// per-call kernel synchronisation check, small enough to stay cache-warm.
+const BATCH: usize = 256;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    dims: usize,
+    n_micro: usize,
+    scalar_pps: f64,
+    kernel_pps: f64,
+    batched_pps: f64,
+    kernel_speedup: f64,
+    batched_speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    bench: String,
+    len: usize,
+    reps: usize,
+    eta: f64,
+    rows: Vec<Row>,
+}
+
+fn stream(dims: usize, len: usize, eta: f64, seed: u64) -> Vec<UncertainPoint> {
+    let mut cfg = SynDriftConfig::paper();
+    cfg.dims = dims;
+    cfg.len = len;
+    NoisyStream::new(cfg.build(seed), eta, StdRng::seed_from_u64(seed ^ 0x0e7a)).collect()
+}
+
+fn config(n_micro: usize, dims: usize) -> UMicroConfig {
+    UMicroConfig::new(n_micro, dims).expect("valid config")
+}
+
+fn main() {
+    let args = Args::parse();
+    let len: usize = args.get("len", 50_000);
+    let reps: usize = args.get("reps", 3);
+    let eta: f64 = args.get("eta", 0.5);
+    let seed: u64 = args.get("seed", 11);
+
+    let dims_sweep = [5usize, 20, 50];
+    let micro_sweep = [25usize, 100];
+
+    let mut rows = Vec::new();
+    println!(
+        "{:>5} {:>8} {:>12} {:>12} {:>12} {:>8} {:>8}",
+        "dims", "n_micro", "scalar_pps", "kernel_pps", "batched_pps", "k_spd", "b_spd"
+    );
+    for &dims in &dims_sweep {
+        let points = stream(dims, len, eta, seed);
+        for &n_micro in &micro_sweep {
+            let scalar_pps = {
+                let mut best = 0.0f64;
+                for _ in 0..reps {
+                    let mut alg = UMicro::new(config(n_micro, dims));
+                    alg.set_kernel_enabled(false);
+                    let started = Instant::now();
+                    for p in &points {
+                        black_box(alg.insert(p));
+                    }
+                    let rate = points.len() as f64 / started.elapsed().as_secs_f64().max(1e-9);
+                    best = best.max(rate);
+                }
+                best
+            };
+            let kernel_pps = {
+                let mut best = 0.0f64;
+                for _ in 0..reps {
+                    let mut alg = UMicro::new(config(n_micro, dims));
+                    let started = Instant::now();
+                    for p in &points {
+                        black_box(alg.insert(p));
+                    }
+                    let rate = points.len() as f64 / started.elapsed().as_secs_f64().max(1e-9);
+                    best = best.max(rate);
+                }
+                best
+            };
+            let batched_pps = {
+                let mut best = 0.0f64;
+                let mut out = Vec::with_capacity(BATCH);
+                for _ in 0..reps {
+                    let mut alg = UMicro::new(config(n_micro, dims));
+                    let started = Instant::now();
+                    for chunk in points.chunks(BATCH) {
+                        out.clear();
+                        alg.insert_batch(chunk, &mut out);
+                        black_box(out.len());
+                    }
+                    let rate = points.len() as f64 / started.elapsed().as_secs_f64().max(1e-9);
+                    best = best.max(rate);
+                }
+                best
+            };
+            let row = Row {
+                dims,
+                n_micro,
+                scalar_pps,
+                kernel_pps,
+                batched_pps,
+                kernel_speedup: kernel_pps / scalar_pps,
+                batched_speedup: batched_pps / scalar_pps,
+            };
+            println!(
+                "{:>5} {:>8} {:>12.0} {:>12.0} {:>12.0} {:>8.2} {:>8.2}",
+                row.dims,
+                row.n_micro,
+                row.scalar_pps,
+                row.kernel_pps,
+                row.batched_pps,
+                row.kernel_speedup,
+                row.batched_speedup
+            );
+            rows.push(row);
+        }
+    }
+
+    let report = Report {
+        bench: "kernel_speedup".to_string(),
+        len,
+        reps,
+        eta,
+        rows,
+    };
+    let out = PathBuf::from("results/BENCH_kernel.json");
+    if let Some(parent) = out.parent() {
+        std::fs::create_dir_all(parent).expect("create results dir");
+    }
+    std::fs::write(
+        &out,
+        serde_json::to_string(&report).expect("serialize report"),
+    )
+    .expect("write BENCH_kernel.json");
+    eprintln!("wrote {}", out.display());
+}

@@ -125,6 +125,19 @@ impl CfVector {
         acc.sqrt()
     }
 
+    /// Writes the centroid `CF1/n` into `out` without allocating. An empty
+    /// summary writes zeros, matching [`AdditiveFeature::centroid`].
+    pub fn centroid_into(&self, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.dims());
+        if self.n <= 0.0 {
+            out.fill(0.0);
+            return;
+        }
+        for (o, &c) in out.iter_mut().zip(&self.cf1) {
+            *o = c / self.n;
+        }
+    }
+
     /// Squared Euclidean distance from `values` to the centroid.
     pub fn sq_distance_to(&self, values: &[f64]) -> f64 {
         debug_assert_eq!(values.len(), self.dims());
@@ -181,6 +194,21 @@ impl AdditiveFeature for CfVector {
             return vec![0.0; self.dims()];
         }
         self.cf1.iter().map(|v| v / self.n).collect()
+    }
+}
+
+/// Deterministic summaries publish a zero noise row and use the RMS radius
+/// for both boundary radii, so the shared SoA kernel serves CluStream's
+/// plain Euclidean geometry unchanged.
+impl umicro::kernel::KernelRow for CfVector {
+    fn write_row(&self, centroid: &mut [f64], noise: &mut [f64]) {
+        self.centroid_into(centroid);
+        noise.fill(0.0);
+    }
+
+    fn radii(&self) -> (f64, f64) {
+        let r = self.rms_radius();
+        (r, r)
     }
 }
 

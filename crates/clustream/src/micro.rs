@@ -13,6 +13,7 @@
 use crate::feature::CfVector;
 use crate::macrocluster::{macro_cluster_cfs, MacroClustering};
 use serde::{Deserialize, Serialize};
+use umicro::kernel::ClusterKernel;
 use ustream_common::point::sq_euclidean;
 use ustream_common::{AdditiveFeature, Result, Timestamp, UStreamError, UncertainPoint};
 use ustream_snapshot::ClusterSetSnapshot;
@@ -101,6 +102,11 @@ pub struct CluStream {
     clusters: Vec<CluMicroCluster>,
     next_id: u64,
     inserted: u64,
+    /// SoA mirror of `clusters` (zero noise rows) serving nearest-centroid
+    /// ranking, closest-pair merges and cached RMS radii.
+    kernel: ClusterKernel,
+    kernel_stale: bool,
+    kernel_enabled: bool,
 }
 
 impl CluStream {
@@ -109,11 +115,15 @@ impl CluStream {
         config
             .validate()
             .expect("CluStreamConfig must be validated before use");
+        let dims = config.dims;
         Self {
             config,
             clusters: Vec::new(),
             next_id: 0,
             inserted: 0,
+            kernel: ClusterKernel::new(dims),
+            kernel_stale: false,
+            kernel_enabled: true,
         }
     }
 
@@ -132,11 +142,30 @@ impl CluStream {
         &self.clusters
     }
 
+    /// Toggles the SoA distance kernel at runtime (benches use this to
+    /// isolate its contribution); re-enabling rebuilds at the next insert.
+    pub fn set_kernel_enabled(&mut self, enabled: bool) {
+        self.kernel_enabled = enabled;
+        self.kernel_stale = true;
+    }
+
+    /// The kernel, synchronised with the live cluster set — rebuilds first
+    /// when stale. Row `i` mirrors `micro_clusters()[i]`.
+    pub fn kernel_synced(&mut self) -> &ClusterKernel {
+        if self.kernel_stale {
+            self.sync_kernel();
+        }
+        &self.kernel
+    }
+
     /// Processes one stream point (error vector ignored).
     pub fn insert(&mut self, point: &UncertainPoint) -> CluStreamInsert {
         debug_assert_eq!(point.dims(), self.config.dims);
         self.inserted += 1;
         let now = point.timestamp();
+        if self.kernel_enabled && self.kernel_stale {
+            self.sync_kernel();
+        }
 
         // Bootstrap: fill the budget with singleton seeds (the VLDB'03
         // paper seeds its micro-clusters with an offline k-means over the
@@ -152,18 +181,28 @@ impl CluStream {
             };
         }
 
-        // Nearest centroid by plain Euclidean distance.
-        let (best, d2) = self
-            .clusters
-            .iter()
-            .enumerate()
-            .map(|(i, c)| (i, c.cf.sq_distance_to(point.values())))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-            .expect("non-empty cluster list");
+        // Nearest centroid by plain Euclidean distance — cached kernel rows
+        // when live, the per-CF scalar loop otherwise.
+        let (best, d2) = if self.kernel_live() {
+            self.kernel
+                .nearest_deterministic(point.values())
+                .expect("non-empty cluster list")
+        } else {
+            self.clusters
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (i, c.cf.sq_distance_to(point.values())))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .expect("non-empty cluster list")
+        };
 
         // Maximal boundary: t × RMS deviation; singletons borrow the
         // distance to the nearest other cluster.
-        let radius = self.clusters[best].cf.rms_radius();
+        let radius = if self.kernel_live() {
+            self.kernel.uncertain_radius(best)
+        } else {
+            self.clusters[best].cf.rms_radius()
+        };
         let boundary = if self.clusters[best].cf.n() > 1.0 && radius > 1e-9 {
             self.config.boundary_factor * radius
         } else if self.clusters.len() > 1 {
@@ -176,8 +215,14 @@ impl CluStream {
 
         if d2.sqrt() <= boundary {
             self.clusters[best].cf.insert(point);
+            let cluster_id = self.clusters[best].id;
+            if self.kernel_live() {
+                self.kernel.refresh(best, &self.clusters[best].cf);
+            } else {
+                self.kernel_stale = true;
+            }
             return CluStreamInsert {
-                cluster_id: self.clusters[best].id,
+                cluster_id,
                 created: false,
                 deleted: None,
                 merged: None,
@@ -191,6 +236,18 @@ impl CluStream {
             created: true,
             deleted,
             merged,
+        }
+    }
+
+    /// Processes a mini-batch of stream points, appending one outcome per
+    /// point to `out`; any pending kernel rebuild is paid once per block.
+    pub fn insert_batch(&mut self, points: &[UncertainPoint], out: &mut Vec<CluStreamInsert>) {
+        out.reserve(points.len());
+        if self.kernel_enabled && self.kernel_stale {
+            self.sync_kernel();
+        }
+        for p in points {
+            out.push(self.insert(p));
         }
     }
 
@@ -232,6 +289,8 @@ impl CluStream {
             });
         }
         self.inserted += init_points.len() as u64;
+        // Seeding bypassed the incremental kernel updates.
+        self.kernel_stale = true;
     }
 
     /// Snapshot keyed by stable id, for pyramidal storage.
@@ -246,13 +305,31 @@ impl CluStream {
 
     // --- internals -------------------------------------------------------
 
+    /// Whether kernel rows may be consulted and incrementally maintained.
+    #[inline]
+    fn kernel_live(&self) -> bool {
+        self.kernel_enabled && !self.kernel_stale
+    }
+
+    /// Rebuilds the kernel mirror from the live cluster set.
+    fn sync_kernel(&mut self) {
+        self.kernel.rebuild(self.clusters.iter().map(|c| &c.cf));
+        self.kernel_stale = false;
+    }
+
     fn create_cluster(&mut self, point: &UncertainPoint) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
+        let cf = CfVector::from_point(point);
+        if self.kernel_live() {
+            self.kernel.push(&cf);
+        } else {
+            self.kernel_stale = true;
+        }
         self.clusters.push(CluMicroCluster {
             id,
             merged_ids: Vec::new(),
-            cf: CfVector::from_point(point),
+            cf,
         });
         id
     }
@@ -281,24 +358,39 @@ impl CluStream {
         if let Some((idx, stamp)) = stale {
             if stamp < threshold {
                 let victim = self.clusters.swap_remove(idx);
+                if self.kernel_live() {
+                    self.kernel.swap_remove(idx);
+                } else {
+                    self.kernel_stale = true;
+                }
                 return (Some(victim.id), None);
             }
         }
 
-        // 2. Merge the two closest micro-clusters.
-        let mut best_pair = (0usize, 1usize);
-        let mut best_d = f64::INFINITY;
-        let centroids: Vec<Vec<f64>> = self.clusters.iter().map(|c| c.cf.centroid()).collect();
-        for i in 0..self.clusters.len() {
-            for j in (i + 1)..self.clusters.len() {
-                let d = sq_euclidean(&centroids[i], &centroids[j]);
-                if d < best_d {
-                    best_d = d;
-                    best_pair = (i, j);
+        // 2. Merge the two closest micro-clusters — from cached kernel rows
+        // when live (no centroid allocations), the scalar O(k²·d) sweep
+        // otherwise.
+        let (i, j) = if self.kernel_live() {
+            let (i, j, _) = self
+                .kernel
+                .closest_pair()
+                .expect("budget overflow implies at least two clusters");
+            (i, j)
+        } else {
+            let mut best_pair = (0usize, 1usize);
+            let mut best_d = f64::INFINITY;
+            let centroids: Vec<Vec<f64>> = self.clusters.iter().map(|c| c.cf.centroid()).collect();
+            for i in 0..self.clusters.len() {
+                for j in (i + 1)..self.clusters.len() {
+                    let d = sq_euclidean(&centroids[i], &centroids[j]);
+                    if d < best_d {
+                        best_d = d;
+                        best_pair = (i, j);
+                    }
                 }
             }
-        }
-        let (i, j) = best_pair;
+            best_pair
+        };
         // Survivor = larger cluster; keeps its id and records the other's.
         let (survivor_idx, absorbed_idx) = if self.clusters[i].cf.n() >= self.clusters[j].cf.n() {
             (i, j)
@@ -306,6 +398,11 @@ impl CluStream {
             (j, i)
         };
         let absorbed = self.clusters.swap_remove(absorbed_idx);
+        if self.kernel_live() {
+            self.kernel.swap_remove(absorbed_idx);
+        } else {
+            self.kernel_stale = true;
+        }
         // swap_remove may have moved the survivor.
         let survivor_idx = if survivor_idx == self.clusters.len() {
             absorbed_idx
@@ -316,17 +413,38 @@ impl CluStream {
         survivor.cf.merge(&absorbed.cf);
         survivor.merged_ids.push(absorbed.id);
         survivor.merged_ids.extend(absorbed.merged_ids);
-        (None, Some((survivor.id, absorbed.id)))
+        let (survivor_id, absorbed_id) = (survivor.id, absorbed.id);
+        if self.kernel_live() {
+            self.kernel
+                .refresh(survivor_idx, &self.clusters[survivor_idx].cf);
+        }
+        (None, Some((survivor_id, absorbed_id)))
     }
 
     fn nearest_other_centroid_sq(&self, idx: usize) -> f64 {
-        let me = self.clusters[idx].cf.centroid();
-        self.clusters
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| *i != idx)
-            .map(|(_, c)| sq_euclidean(&me, &c.cf.centroid()))
-            .fold(f64::INFINITY, f64::min)
+        if self.kernel_live() {
+            return self
+                .kernel
+                .nearest_other_centroid_sq(idx)
+                .unwrap_or(f64::INFINITY);
+        }
+        // Scalar fallback: two reusable buffers instead of one fresh `Vec`
+        // per cluster visited.
+        let mut me = vec![0.0; self.config.dims];
+        self.clusters[idx].cf.centroid_into(&mut me);
+        let mut other = vec![0.0; self.config.dims];
+        let mut best = f64::INFINITY;
+        for (i, c) in self.clusters.iter().enumerate() {
+            if i == idx {
+                continue;
+            }
+            c.cf.centroid_into(&mut other);
+            let d = sq_euclidean(&me, &other);
+            if d < best {
+                best = d;
+            }
+        }
+        best
     }
 }
 

@@ -11,7 +11,7 @@ use crate::micro::CluStream;
 use umicro::online::OnlineClusterer;
 use umicro::{InsertOutcome, MacroClustering};
 use ustream_common::point::sq_euclidean;
-use ustream_common::{AdditiveFeature, Timestamp, UncertainPoint};
+use ustream_common::{Timestamp, UncertainPoint};
 use ustream_snapshot::ClusterSetSnapshot;
 
 impl OnlineClusterer for CluStream {
@@ -31,6 +31,17 @@ impl OnlineClusterer for CluStream {
         }
     }
 
+    fn insert_batch(&mut self, points: &[UncertainPoint], out: &mut Vec<InsertOutcome>) {
+        let mut native = Vec::with_capacity(points.len());
+        CluStream::insert_batch(self, points, &mut native);
+        out.reserve(native.len());
+        out.extend(native.into_iter().map(|o| InsertOutcome {
+            cluster_id: o.cluster_id,
+            created: o.created,
+            evicted: o.deleted.or(o.merged.map(|(_survivor, absorbed)| absorbed)),
+        }));
+    }
+
     fn micro_clusters(&self) -> Vec<(u64, Self::Summary)> {
         CluStream::micro_clusters(self)
             .iter()
@@ -48,10 +59,13 @@ impl OnlineClusterer for CluStream {
 
     fn isolation(&self, point: &UncertainPoint) -> Option<f64> {
         // CluStream ignores error vectors, so its native geometry is plain
-        // Euclidean distance to the nearest centroid.
+        // Euclidean distance to the nearest centroid. One reusable buffer
+        // instead of a fresh `Vec` per cluster.
+        let mut centroid = vec![0.0; point.dims()];
         let mut best = f64::INFINITY;
         for c in CluStream::micro_clusters(self) {
-            best = best.min(sq_euclidean(point.values(), &c.cf.centroid()));
+            c.cf.centroid_into(&mut centroid);
+            best = best.min(sq_euclidean(point.values(), &centroid));
         }
         best.is_finite().then(|| best.sqrt())
     }

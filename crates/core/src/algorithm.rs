@@ -18,6 +18,7 @@ use crate::boundary::{boundary_decision, BoundaryDecision};
 use crate::config::{BoundaryMode, SimilarityMode, UMicroConfig};
 use crate::distance::{corrected_sq_distance, expected_sq_distance};
 use crate::ecf::Ecf;
+use crate::kernel::ClusterKernel;
 use crate::macrocluster::{macro_cluster_ecfs, MacroClustering};
 use crate::similarity::{dimension_counting_similarity, GlobalVariance};
 use ustream_common::point::sq_euclidean;
@@ -60,6 +61,18 @@ pub struct UMicro {
     inserted: u64,
     /// Exponential decay rate λ; 0 disables decay.
     lambda: f64,
+    /// SoA mirror of `clusters` serving the hot ranking loop.
+    kernel: ClusterKernel,
+    /// Set whenever `clusters` may have changed without the kernel being
+    /// told (bulk restore, decay synchronisation, kernel toggling); the next
+    /// ranking rebuilds before consulting any row.
+    kernel_stale: bool,
+    /// Runtime switch; disabling falls back to the scalar per-ECF loops
+    /// (used by benches to measure the kernel's contribution).
+    kernel_enabled: bool,
+    /// Cached `1/(thresh·σ_j²)` similarity coefficients (∞ = skip), kept in
+    /// lockstep with `global`.
+    scratch_inv: Vec<f64>,
 }
 
 impl UMicro {
@@ -77,6 +90,10 @@ impl UMicro {
             since_refresh: 0,
             inserted: 0,
             lambda: 0.0,
+            kernel: ClusterKernel::new(dims),
+            kernel_stale: false,
+            kernel_enabled: true,
+            scratch_inv: vec![f64::INFINITY; dims],
         }
     }
 
@@ -108,6 +125,25 @@ impl UMicro {
         self.global.variances()
     }
 
+    /// Toggles the SoA distance kernel at runtime. Disabling routes ranking
+    /// through the scalar per-ECF loops; re-enabling rebuilds the kernel at
+    /// the next insertion. Benches use this to isolate the kernel's
+    /// contribution — production code leaves it on (the default).
+    pub fn set_kernel_enabled(&mut self, enabled: bool) {
+        self.kernel_enabled = enabled;
+        self.kernel_stale = true;
+    }
+
+    /// The kernel, synchronised with the live cluster set — rebuilds first
+    /// when stale. Row `i` mirrors `micro_clusters()[i]`; parity tests and
+    /// diagnostics read cached invariants through this.
+    pub fn kernel_synced(&mut self) -> &ClusterKernel {
+        if self.kernel_stale {
+            self.sync_kernel();
+        }
+        &self.kernel
+    }
+
     /// Processes one stream point and reports where it went.
     ///
     /// # Panics
@@ -118,6 +154,9 @@ impl UMicro {
         let now = point.timestamp();
         self.inserted += 1;
         self.maybe_refresh_variances();
+        if self.kernel_enabled && self.kernel_stale {
+            self.sync_kernel();
+        }
 
         // Bootstrap (§II-A): "in the initial stages of the algorithm, the
         // current number of micro-clusters is less than n_micro. If this is
@@ -137,16 +176,26 @@ impl UMicro {
 
         let best = self.closest_cluster(point);
         let best_ecf = &self.clusters[best].ecf;
-        // Radius/distance pair per the configured boundary mode.
+        let live = self.kernel_live();
+        // Radius/distance pair per the configured boundary mode; the kernel
+        // serves both radii and the expected distance from cached rows.
         let (radius, d2) = match self.config.boundary_mode {
-            BoundaryMode::UncertainRadius => (
-                best_ecf.uncertain_radius(),
-                expected_sq_distance(point, best_ecf),
-            ),
-            BoundaryMode::ErrorCorrected => (
-                best_ecf.corrected_radius(),
-                corrected_sq_distance(point, best_ecf),
-            ),
+            BoundaryMode::UncertainRadius => {
+                let r = if live {
+                    self.kernel.uncertain_radius(best)
+                } else {
+                    best_ecf.uncertain_radius()
+                };
+                (r, self.expected_sq_distance_to(point, best))
+            }
+            BoundaryMode::ErrorCorrected => {
+                let r = if live {
+                    self.kernel.corrected_radius(best)
+                } else {
+                    best_ecf.corrected_radius()
+                };
+                (r, corrected_sq_distance(point, best_ecf))
+            }
         };
 
         // A lone degenerate cluster has no neighbour to borrow a boundary
@@ -157,10 +206,12 @@ impl UMicro {
             && self.clusters.len() == 1
             && self.config.boundary_mode == BoundaryMode::ErrorCorrected
         {
-            (
-                best_ecf.uncertain_radius(),
-                expected_sq_distance(point, best_ecf),
-            )
+            let r = if live {
+                self.kernel.uncertain_radius(best)
+            } else {
+                best_ecf.uncertain_radius()
+            };
+            (r, self.expected_sq_distance_to(point, best))
         } else {
             (radius, d2)
         };
@@ -189,8 +240,14 @@ impl UMicro {
                     cluster.ecf.decay_to(now, self.lambda);
                 }
                 cluster.ecf.insert(point);
+                let cluster_id = cluster.id;
+                if self.kernel_live() {
+                    self.kernel.refresh(best, &self.clusters[best].ecf);
+                } else {
+                    self.kernel_stale = true;
+                }
                 InsertOutcome {
-                    cluster_id: cluster.id,
+                    cluster_id,
                     created: false,
                     evicted: None,
                 }
@@ -204,6 +261,23 @@ impl UMicro {
                     evicted,
                 }
             }
+        }
+    }
+
+    /// Processes a mini-batch of stream points, appending one outcome per
+    /// point to `out`.
+    ///
+    /// Equivalent to calling [`UMicro::insert`] in a loop, but any pending
+    /// kernel rebuild is paid once for the whole block and the outcome
+    /// buffer is reserved up front — the shape [`crate::OnlineClusterer`]
+    /// batch ingestion routes through.
+    pub fn insert_batch(&mut self, points: &[UncertainPoint], out: &mut Vec<InsertOutcome>) {
+        out.reserve(points.len());
+        if self.kernel_enabled && self.kernel_stale {
+            self.sync_kernel();
+        }
+        for p in points {
+            out.push(self.insert(p));
         }
     }
 
@@ -241,6 +315,9 @@ impl UMicro {
         }
         alg.inserted = alg.clusters.iter().map(|c| c.ecf.point_count()).sum();
         alg.global.refresh(alg.clusters.iter().map(|c| &c.ecf));
+        alg.refresh_inv_coefficients();
+        // Clusters were pushed behind the kernel's back.
+        alg.kernel_stale = true;
         alg
     }
 
@@ -253,17 +330,46 @@ impl UMicro {
     // --- internals -------------------------------------------------------
 
     /// Mutable cluster access for the decayed wrapper (same crate only).
+    /// Hands out raw statistics, so the kernel mirror is written off until
+    /// the next synchronisation.
     pub(crate) fn clusters_mut(&mut self) -> &mut Vec<MicroCluster> {
+        self.kernel_stale = true;
         &mut self.clusters
+    }
+
+    /// Whether kernel rows may be consulted and incrementally maintained.
+    #[inline]
+    fn kernel_live(&self) -> bool {
+        self.kernel_enabled && !self.kernel_stale
+    }
+
+    /// Rebuilds the kernel mirror from the live cluster set.
+    fn sync_kernel(&mut self) {
+        self.kernel.rebuild(self.clusters.iter().map(|c| &c.ecf));
+        self.kernel_stale = false;
+    }
+
+    /// Expected squared distance to cluster `idx` — cached rows when live,
+    /// the scalar Lemma 2.2 evaluation otherwise.
+    fn expected_sq_distance_to(&self, point: &UncertainPoint, idx: usize) -> f64 {
+        if self.kernel_live() {
+            self.kernel
+                .expected_sq_distance(point.values(), point.errors(), idx)
+        } else {
+            expected_sq_distance(point, &self.clusters[idx].ecf)
+        }
     }
 
     fn create_cluster(&mut self, point: &UncertainPoint) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
-        self.clusters.push(MicroCluster {
-            id,
-            ecf: Ecf::from_point(point),
-        });
+        let ecf = Ecf::from_point(point);
+        if self.kernel_live() {
+            self.kernel.push(&ecf);
+        } else {
+            self.kernel_stale = true;
+        }
+        self.clusters.push(MicroCluster { id, ecf });
         id
     }
 
@@ -283,6 +389,12 @@ impl UMicro {
             .min_by_key(|(_, c)| (c.ecf.last_update(), c.id))
             .map(|(i, _)| i)?;
         let victim = self.clusters.swap_remove(victim_idx);
+        if self.kernel_live() {
+            // Mirror the swap-remove so row i keeps tracking cluster i.
+            self.kernel.swap_remove(victim_idx);
+        } else {
+            self.kernel_stale = true;
+        }
         Some(victim.id)
     }
 
@@ -296,15 +408,26 @@ impl UMicro {
                     // Early stream: no variance estimate yet.
                     return self.closest_by_expected_distance(point);
                 }
-                let mut best = 0usize;
-                let mut best_sim = f64::NEG_INFINITY;
-                for (i, c) in self.clusters.iter().enumerate() {
-                    let s = dimension_counting_similarity(point, &c.ecf, &self.global, thresh);
-                    if s > best_sim {
-                        best_sim = s;
-                        best = i;
+                let (best, best_sim) = if self.kernel_live() {
+                    self.kernel
+                        .best_by_dimension_counting(
+                            point.values(),
+                            point.errors(),
+                            &self.scratch_inv,
+                        )
+                        .expect("ranking requires a non-empty cluster set")
+                } else {
+                    let mut best = 0usize;
+                    let mut best_sim = f64::NEG_INFINITY;
+                    for (i, c) in self.clusters.iter().enumerate() {
+                        let s = dimension_counting_similarity(point, &c.ecf, &self.global, thresh);
+                        if s > best_sim {
+                            best_sim = s;
+                            best = i;
+                        }
                     }
-                }
+                    (best, best_sim)
+                };
                 if best_sim <= 0.0 {
                     // The point earned no credit anywhere (far from all
                     // clusters on every informative dimension); rank by
@@ -318,6 +441,11 @@ impl UMicro {
     }
 
     fn closest_by_expected_distance(&self, point: &UncertainPoint) -> usize {
+        if self.kernel_live() {
+            if let Some((best, _)) = self.kernel.nearest_expected(point.values(), point.errors()) {
+                return best;
+            }
+        }
         let mut best = 0usize;
         let mut best_d = f64::INFINITY;
         for (i, c) in self.clusters.iter().enumerate() {
@@ -331,13 +459,24 @@ impl UMicro {
     }
 
     fn nearest_other_centroid_sq(&self, idx: usize) -> f64 {
-        let me = self.clusters[idx].ecf.centroid();
+        if self.kernel_live() {
+            return self
+                .kernel
+                .nearest_other_centroid_sq(idx)
+                .unwrap_or(f64::INFINITY);
+        }
+        // Scalar fallback: two reusable buffers instead of one fresh `Vec`
+        // per cluster visited.
+        let mut me = vec![0.0; self.config.dims];
+        self.clusters[idx].ecf.centroid_into(&mut me);
+        let mut other = vec![0.0; self.config.dims];
         let mut best = f64::INFINITY;
         for (i, c) in self.clusters.iter().enumerate() {
             if i == idx {
                 continue;
             }
-            let d = sq_euclidean(&me, &c.ecf.centroid());
+            c.ecf.centroid_into(&mut other);
+            let d = sq_euclidean(&me, &other);
             if d < best {
                 best = d;
             }
@@ -350,6 +489,16 @@ impl UMicro {
         if self.since_refresh >= self.config.variance_refresh_interval {
             self.since_refresh = 0;
             self.global.refresh(self.clusters.iter().map(|c| &c.ecf));
+            self.refresh_inv_coefficients();
+        }
+    }
+
+    /// Re-derives the cached `1/(thresh·σ_j²)` coefficients after a global
+    /// variance refresh.
+    fn refresh_inv_coefficients(&mut self) {
+        if let SimilarityMode::DimensionCounting { thresh } = self.config.similarity {
+            self.global
+                .inverse_coefficients_into(thresh, &mut self.scratch_inv);
         }
     }
 }

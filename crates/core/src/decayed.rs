@@ -99,6 +99,29 @@ impl DecayedUMicro {
         self.inner.insert(point)
     }
 
+    /// Processes a mini-batch of stream points; see [`UMicro::insert_batch`].
+    pub fn insert_batch(&mut self, points: &[UncertainPoint], out: &mut Vec<InsertOutcome>) {
+        if let Some(last) = points.iter().map(|p| p.timestamp()).max() {
+            if last > self.last_seen {
+                self.last_seen = last;
+            }
+        }
+        self.inner.insert_batch(points, out);
+    }
+
+    /// Toggles the SoA distance kernel; see [`UMicro::set_kernel_enabled`].
+    pub fn set_kernel_enabled(&mut self, enabled: bool) {
+        self.inner.set_kernel_enabled(enabled);
+    }
+
+    /// The kernel, synchronised with the live cluster set; see
+    /// [`UMicro::kernel_synced`]. (Synchronised with the *statistics as
+    /// stored* — lazily decayed clusters are mirrored at their own reference
+    /// ticks, exactly as the scalar ranking sees them.)
+    pub fn kernel_synced(&mut self) -> &crate::kernel::ClusterKernel {
+        self.inner.kernel_synced()
+    }
+
     /// Brings every micro-cluster's statistics current to tick `now` and
     /// drops clusters whose decayed weight fell below the floor.
     pub fn synchronize(&mut self, now: Timestamp) {

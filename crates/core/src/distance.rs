@@ -60,6 +60,36 @@ pub fn expected_sq_distance_dim(point: &UncertainPoint, ecf: &Ecf, j: usize) -> 
     (diff * diff + psi * psi + ecf.ef2()[j] / (w * w)).max(0.0)
 }
 
+/// Writes every dimension component of the expected squared distance into
+/// `out` in one pass: `out[j] = E[(X_j − Z_j)²]`.
+///
+/// Equivalent to calling [`expected_sq_distance_dim`] for each `j`, but the
+/// weight load, the `w <= 0` branch and the `1/w`, `1/w²` divisions are
+/// hoisted out of the per-dimension loop — this is the form the
+/// dimension-counting similarity consumes.
+pub fn expected_sq_distance_dims(point: &UncertainPoint, ecf: &Ecf, out: &mut [f64]) {
+    debug_assert_eq!(point.dims(), ecf.dims());
+    debug_assert_eq!(out.len(), ecf.dims());
+    let (values, errors) = (point.values(), point.errors());
+    let w = ecf.weight();
+    if w <= 0.0 {
+        for j in 0..out.len() {
+            let x = values[j];
+            let psi = errors[j];
+            out[j] = x * x + psi * psi;
+        }
+        return;
+    }
+    let (cf1, ef2) = (ecf.cf1(), ecf.ef2());
+    let inv_w = 1.0 / w;
+    let inv_w2 = inv_w * inv_w;
+    for j in 0..out.len() {
+        let diff = values[j] - cf1[j] * inv_w;
+        let psi = errors[j];
+        out[j] = (diff * diff + psi * psi + ef2[j] * inv_w2).max(0.0);
+    }
+}
+
 /// Error-corrected squared distance between a point's *clean* position and
 /// the cluster centroid: per dimension,
 /// `max{0, (x_j − c_j)² − ψ_j² − EF2_j/W²}`.
@@ -140,6 +170,27 @@ mod tests {
             (total - summed).abs() < 1e-10,
             "total={total} summed={summed}"
         );
+    }
+
+    #[test]
+    fn one_pass_components_match_per_dim_calls() {
+        let mut ecf = Ecf::empty(3);
+        ecf.insert(&pt(&[1.0, -2.0, 0.5], &[0.3, 0.1, 0.0]));
+        ecf.insert(&pt(&[2.0, 1.0, -0.5], &[0.2, 0.4, 0.1]));
+        let x = pt(&[0.0, 3.0, 1.0], &[0.5, 0.0, 0.2]);
+        let mut out = [0.0; 3];
+        expected_sq_distance_dims(&x, &ecf, &mut out);
+        for (j, &got) in out.iter().enumerate() {
+            let want = expected_sq_distance_dim(&x, &ecf, j);
+            assert!((got - want).abs() < 1e-12, "dim {j}: {got} vs {want}");
+        }
+        // Empty-cluster defensive path agrees too.
+        let empty = Ecf::empty(3);
+        expected_sq_distance_dims(&x, &empty, &mut out);
+        for (j, &got) in out.iter().enumerate() {
+            let want = expected_sq_distance_dim(&x, &empty, j);
+            assert!((got - want).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -124,6 +124,35 @@ impl Ecf {
         self.last_decay
     }
 
+    /// Writes the centroid `CF1/W` into `out` without allocating. An empty
+    /// summary writes zeros, matching [`Ecf::centroid_dim`].
+    pub fn centroid_into(&self, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.dims());
+        if self.weight <= 0.0 {
+            out.fill(0.0);
+            return;
+        }
+        let inv_w = 1.0 / self.weight;
+        for (o, &c) in out.iter_mut().zip(&self.cf1) {
+            *o = c * inv_w;
+        }
+    }
+
+    /// Writes the per-dimension centroid-noise term `EF2_j/W²` (the error
+    /// variance the centroid inherits, Lemma 2.1) into `out` without
+    /// allocating. An empty summary writes zeros.
+    pub fn noise_into(&self, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.dims());
+        if self.weight <= 0.0 {
+            out.fill(0.0);
+            return;
+        }
+        let inv_w2 = 1.0 / (self.weight * self.weight);
+        for (o, &e) in out.iter_mut().zip(&self.ef2) {
+            *o = e * inv_w2;
+        }
+    }
+
     /// Centroid coordinate along dimension `j`: `CF1_j / W`.
     #[inline]
     pub fn centroid_dim(&self, j: usize) -> f64 {
@@ -510,6 +539,27 @@ mod tests {
         assert_eq!(e.expected_centroid_sq_norm(), 0.0);
         assert_eq!(e.variance_dim(1), 0.0);
         assert!(AdditiveFeature::is_empty(&e));
+    }
+
+    #[test]
+    fn centroid_into_matches_allocating_accessor() {
+        let mut e = Ecf::empty(2);
+        e.insert(&pt(&[0.0, 0.0], &[0.5, 0.0], 1));
+        e.insert(&pt(&[4.0, 2.0], &[0.5, 1.0], 2));
+        let mut c = [f64::NAN; 2];
+        e.centroid_into(&mut c);
+        assert_eq!(c.to_vec(), e.centroid());
+        let mut n = [f64::NAN; 2];
+        e.noise_into(&mut n);
+        // EF2 = [0.5, 1.0]; W = 2 → EF2/W² = [0.125, 0.25].
+        assert!((n[0] - 0.125).abs() < 1e-12);
+        assert!((n[1] - 0.25).abs() < 1e-12);
+
+        let empty = Ecf::empty(2);
+        empty.centroid_into(&mut c);
+        empty.noise_into(&mut n);
+        assert_eq!(c, [0.0, 0.0]);
+        assert_eq!(n, [0.0, 0.0]);
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub mod distance;
 pub mod ecf;
 pub mod evolution;
 pub mod horizon;
+pub mod kernel;
 pub mod macrocluster;
 pub mod online;
 pub mod similarity;
@@ -61,5 +62,6 @@ pub use decayed::DecayedUMicro;
 pub use ecf::Ecf;
 pub use evolution::{compare_windows, ClusterChange, EvolutionReport};
 pub use horizon::HorizonAnalyzer;
+pub use kernel::{ClusterKernel, KernelRow};
 pub use macrocluster::MacroClustering;
 pub use online::OnlineClusterer;

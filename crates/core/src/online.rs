@@ -38,6 +38,22 @@ pub trait OnlineClusterer: Send {
     /// Processes one stream point and reports where it went.
     fn insert(&mut self, point: &UncertainPoint) -> InsertOutcome;
 
+    /// Processes a mini-batch of stream points in arrival order, appending
+    /// one outcome per point to `out`.
+    ///
+    /// Semantically identical to calling [`insert`] in a loop — the default
+    /// implementation does exactly that — but implementations amortise
+    /// per-call setup (kernel synchronisation, buffer reservation) over the
+    /// block. The sharded engine routes `push_slice` chunks through this.
+    ///
+    /// [`insert`]: OnlineClusterer::insert
+    fn insert_batch(&mut self, points: &[UncertainPoint], out: &mut Vec<InsertOutcome>) {
+        out.reserve(points.len());
+        for p in points {
+            out.push(self.insert(p));
+        }
+    }
+
     /// The live micro-clusters as `(stable id, summary)` pairs.
     fn micro_clusters(&self) -> Vec<(u64, Self::Summary)>;
 
@@ -89,6 +105,10 @@ impl OnlineClusterer for UMicro {
         UMicro::insert(self, point)
     }
 
+    fn insert_batch(&mut self, points: &[UncertainPoint], out: &mut Vec<InsertOutcome>) {
+        UMicro::insert_batch(self, points, out)
+    }
+
     fn micro_clusters(&self) -> Vec<(u64, Self::Summary)> {
         UMicro::micro_clusters(self)
             .iter()
@@ -122,6 +142,10 @@ impl OnlineClusterer for DecayedUMicro {
 
     fn insert(&mut self, point: &UncertainPoint) -> InsertOutcome {
         DecayedUMicro::insert(self, point)
+    }
+
+    fn insert_batch(&mut self, points: &[UncertainPoint], out: &mut Vec<InsertOutcome>) {
+        DecayedUMicro::insert_batch(self, points, out)
     }
 
     fn micro_clusters(&self) -> Vec<(u64, Self::Summary)> {
@@ -160,6 +184,10 @@ impl<T: OnlineClusterer + ?Sized> OnlineClusterer for Box<T> {
 
     fn insert(&mut self, point: &UncertainPoint) -> InsertOutcome {
         (**self).insert(point)
+    }
+
+    fn insert_batch(&mut self, points: &[UncertainPoint], out: &mut Vec<InsertOutcome>) {
+        (**self).insert_batch(points, out)
     }
 
     fn micro_clusters(&self) -> Vec<(u64, Self::Summary)> {
@@ -225,6 +253,23 @@ mod tests {
         assert_eq!(OnlineClusterer::points_processed(&alg), 60);
         let snap = OnlineClusterer::snapshot_at(&mut alg, 60);
         assert!(!snap.is_empty());
+    }
+
+    #[test]
+    fn insert_batch_matches_insert_loop() {
+        let mut looped = UMicro::new(UMicroConfig::new(8, 2).unwrap());
+        let mut batched = UMicro::new(UMicroConfig::new(8, 2).unwrap());
+        let points: Vec<UncertainPoint> = (1..=60u64)
+            .map(|t| {
+                let x = if t % 2 == 0 { 0.0 } else { 9.0 };
+                pt(x, -x, t)
+            })
+            .collect();
+        let loop_out: Vec<_> = points.iter().map(|p| looped.insert(p)).collect();
+        let mut batch_out = Vec::new();
+        OnlineClusterer::insert_batch(&mut batched, &points, &mut batch_out);
+        assert_eq!(loop_out, batch_out);
+        assert_eq!(looped.num_clusters(), batched.num_clusters());
     }
 
     #[test]

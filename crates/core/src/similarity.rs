@@ -9,7 +9,6 @@
 //! happens on heavily uncertain dimensions — contribute nothing, so the
 //! comparison concentrates on informative dimensions.
 
-use crate::distance::expected_sq_distance_dim;
 use crate::ecf::Ecf;
 use ustream_common::UncertainPoint;
 
@@ -74,6 +73,30 @@ impl GlobalVariance {
     pub fn variances(&self) -> &[f64] {
         &self.variances
     }
+
+    /// The zero-variance floor below which a dimension is considered
+    /// uninformative and skipped.
+    #[inline]
+    pub fn floor(&self) -> f64 {
+        self.floor
+    }
+
+    /// Writes the inverse similarity coefficients `1/(thresh · σ_j²)` into
+    /// `out`, using `f64::INFINITY` as the sentinel for dimensions at or
+    /// below the variance floor. The kernel's dimension-counting ranking
+    /// consumes this: an infinite coefficient forces the per-dimension
+    /// credit to clamp to zero, reproducing the scalar path's skip.
+    pub fn inverse_coefficients_into(&self, thresh: f64, out: &mut [f64]) {
+        debug_assert!(thresh > 0.0);
+        debug_assert_eq!(out.len(), self.variances.len());
+        for (o, &sigma2) in out.iter_mut().zip(&self.variances) {
+            *o = if sigma2 <= self.floor {
+                f64::INFINITY
+            } else {
+                1.0 / (thresh * sigma2)
+            };
+        }
+    }
 }
 
 /// Dimension-counting similarity of `point` to `ecf`:
@@ -89,14 +112,30 @@ pub fn dimension_counting_similarity(
     thresh: f64,
 ) -> f64 {
     debug_assert!(thresh > 0.0);
+    debug_assert_eq!(point.dims(), ecf.dims());
     let vars = global.variances();
+    let floor = global.floor;
+    let (values, errors) = (point.values(), point.errors());
+    let w = ecf.weight();
+    // Hoist the weight load, the `w <= 0` branch and the reciprocals out of
+    // the per-dimension loop; the body is then pure multiply-adds.
+    let (inv_w, inv_w2) = if w > 0.0 {
+        let inv_w = 1.0 / w;
+        (inv_w, inv_w * inv_w)
+    } else {
+        (0.0, 0.0)
+    };
+    let (cf1, ef2) = (ecf.cf1(), ecf.ef2());
+    let inv_thresh = 1.0 / thresh;
     let mut sim = 0.0;
     for (j, &sigma2) in vars.iter().enumerate() {
-        if sigma2 <= global.floor {
+        if sigma2 <= floor {
             continue;
         }
-        let vj = expected_sq_distance_dim(point, ecf, j);
-        let credit = 1.0 - vj / (thresh * sigma2);
+        let diff = values[j] - cf1[j] * inv_w;
+        let psi = errors[j];
+        let vj = (diff * diff + psi * psi + ef2[j] * inv_w2).max(0.0);
+        let credit = 1.0 - vj * inv_thresh / sigma2;
         if credit > 0.0 {
             sim += credit;
         }

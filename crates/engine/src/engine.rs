@@ -136,6 +136,57 @@ struct Global {
     alerts: Mutex<VecDeque<NoveltyAlert>>,
 }
 
+/// Clusters one record under an already-held shard lock, maintaining the
+/// shard's creation/eviction tallies and novelty monitor. `position` is the
+/// record's global ordinal (used in alert records).
+fn cluster_one(
+    global: &Global,
+    shard: &ShardHandle,
+    shard_idx: usize,
+    st: &mut ShardState,
+    p: &UncertainPoint,
+    position: u64,
+) {
+    // Novelty check before insertion (the cluster set the record met),
+    // in the clusterer's own geometry.
+    let isolation = match st.novelty.factor {
+        Some(_) => st.alg.isolation(p),
+        None => None,
+    };
+
+    let out = st.alg.insert(p);
+    if out.created {
+        st.created += 1;
+    }
+    if out.evicted.is_some() {
+        st.evicted += 1;
+    }
+
+    if let (Some(factor), Some(isolation)) = (st.novelty.factor, isolation) {
+        let baseline = st.novelty.baseline_estimate();
+        // Warm-up: need a stable baseline before alerting.
+        if st.novelty.samples >= 100 && isolation > factor * baseline.max(1e-12) {
+            shard.counters.alerts.fetch_add(1, Ordering::Relaxed);
+            global.alerts_raised.fetch_add(1, Ordering::Relaxed);
+            let mut alerts = global.alerts.lock();
+            alerts.push_back(NoveltyAlert {
+                timestamp: p.timestamp(),
+                position,
+                isolation,
+                baseline,
+                cluster_id: namespaced_id(shard_idx, out.cluster_id),
+            });
+            while alerts.len() > global.config.max_alerts {
+                alerts.pop_front();
+            }
+        } else {
+            // Only non-alerting records update the baseline, so a burst
+            // of outliers cannot talk the monitor into accepting them.
+            st.novelty.observe_ordinary(isolation);
+        }
+    }
+}
+
 /// Clusters one record on its shard; returns `true` when this record
 /// crossed a merge boundary (the caller then runs the merge with no shard
 /// lock held).
@@ -145,48 +196,66 @@ fn ingest(global: &Global, shard: &ShardHandle, shard_idx: usize, p: &UncertainP
 
     {
         let mut st = shard.state.lock();
-        // Novelty check before insertion (the cluster set the record met),
-        // in the clusterer's own geometry.
-        let isolation = match st.novelty.factor {
-            Some(_) => st.alg.isolation(p),
-            None => None,
-        };
-
-        let out = st.alg.insert(p);
-        if out.created {
-            st.created += 1;
-        }
-        if out.evicted.is_some() {
-            st.evicted += 1;
-        }
-
-        if let (Some(factor), Some(isolation)) = (st.novelty.factor, isolation) {
-            let baseline = st.novelty.baseline_estimate();
-            // Warm-up: need a stable baseline before alerting.
-            if st.novelty.samples >= 100 && isolation > factor * baseline.max(1e-12) {
-                shard.counters.alerts.fetch_add(1, Ordering::Relaxed);
-                global.alerts_raised.fetch_add(1, Ordering::Relaxed);
-                let mut alerts = global.alerts.lock();
-                alerts.push_back(NoveltyAlert {
-                    timestamp: p.timestamp(),
-                    position,
-                    isolation,
-                    baseline,
-                    cluster_id: namespaced_id(shard_idx, out.cluster_id),
-                });
-                while alerts.len() > global.config.max_alerts {
-                    alerts.pop_front();
-                }
-            } else {
-                // Only non-alerting records update the baseline, so a burst
-                // of outliers cannot talk the monitor into accepting them.
-                st.novelty.observe_ordinary(isolation);
-            }
-        }
+        cluster_one(global, shard, shard_idx, &mut st, p, position);
     }
 
     shard.counters.processed.fetch_add(1, Ordering::Relaxed);
     position.is_multiple_of(global.config.snapshot_every)
+}
+
+/// Clusters a routed batch in sub-chunks: one global-ordinal reservation,
+/// one shard-lock acquisition and — when novelty detection is off — one
+/// [`OnlineClusterer::insert_batch`] call per sub-chunk, instead of one of
+/// each per point. Sub-chunks are capped at `snapshot_every` records so the
+/// merge cadence stays within one chunk of the per-point path; any merge
+/// boundary the chunk crosses triggers [`merge_and_record`] after the shard
+/// lock is released.
+fn ingest_batch(
+    global: &Global,
+    shard: &ShardHandle,
+    shard_idx: usize,
+    points: &[UncertainPoint],
+    all_shards: &[Arc<ShardHandle>],
+) {
+    let cap = global.config.snapshot_every.clamp(1, 4_096) as usize;
+    let mut outcomes = Vec::with_capacity(cap);
+    for chunk in points.chunks(cap) {
+        let len = chunk.len() as u64;
+        let start = global.processed.fetch_add(len, Ordering::Relaxed);
+        let end = start + len;
+        if let Some(max_tick) = chunk.iter().map(UncertainPoint::timestamp).max() {
+            global.last_tick.fetch_max(max_tick, Ordering::Relaxed);
+        }
+
+        {
+            let mut st = shard.state.lock();
+            if st.novelty.factor.is_some() {
+                // Novelty needs the pre-insertion isolation of every record,
+                // so the chunk still walks point by point — but under a
+                // single lock acquisition.
+                for (i, p) in chunk.iter().enumerate() {
+                    cluster_one(global, shard, shard_idx, &mut st, p, start + i as u64 + 1);
+                }
+            } else {
+                outcomes.clear();
+                st.alg.insert_batch(chunk, &mut outcomes);
+                for out in &outcomes {
+                    if out.created {
+                        st.created += 1;
+                    }
+                    if out.evicted.is_some() {
+                        st.evicted += 1;
+                    }
+                }
+            }
+        }
+
+        shard.counters.processed.fetch_add(len, Ordering::Relaxed);
+        let every = global.config.snapshot_every;
+        if end / every != start / every {
+            merge_and_record(global, all_shards);
+        }
+    }
 }
 
 /// Folds every shard's cluster set into one namespaced global snapshot and
@@ -328,11 +397,7 @@ impl StreamEngine {
                                 }
                             }
                             Command::Batch(points) => {
-                                for p in &points {
-                                    if ingest(&global, own, i, p) {
-                                        merge_and_record(&global, &all_shards);
-                                    }
-                                }
+                                ingest_batch(&global, own, i, &points, &all_shards);
                             }
                             Command::Flush(reply) => {
                                 // Everything routed to this shard before the

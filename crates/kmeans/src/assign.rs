@@ -1,7 +1,98 @@
 //! Point-to-centroid assignment and SSQ computation.
+//!
+//! The hot loop of Lloyd's algorithm is the nearest-centroid scan. For that
+//! scan the centroids are packed once per iteration into a [`CentroidBlock`]
+//! — a row-major `k × d` matrix plus cached squared norms — so the distance
+//! `‖x − c‖² = ‖x‖² + ‖c‖² − 2⟨x, c⟩` reduces to one fused dot product per
+//! centroid over contiguous memory, mirroring the SoA distance kernel the
+//! `umicro` crate uses for its micro-cluster ranking.
 
 use ustream_common::point::sq_euclidean;
 use ustream_common::DeterministicPoint;
+
+/// Dot product with four independent accumulators so the autovectorizer can
+/// keep several FMA chains in flight.
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f64; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        acc[0] += a[j] * b[j];
+        acc[1] += a[j + 1] * b[j + 1];
+        acc[2] += a[j + 2] * b[j + 2];
+        acc[3] += a[j + 3] * b[j + 3];
+    }
+    let mut tail = 0.0;
+    for j in (chunks * 4)..a.len() {
+        tail += a[j] * b[j];
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// Centroids packed for the nearest-centroid scan: row-major `k × d` values
+/// with each row's squared norm cached, so scanning a point against all `k`
+/// centroids is `k` dot products over contiguous memory.
+#[derive(Debug, Clone)]
+pub struct CentroidBlock {
+    dims: usize,
+    data: Vec<f64>,
+    sq_norms: Vec<f64>,
+}
+
+impl CentroidBlock {
+    /// Packs `centroids` (all of equal dimensionality) into a block.
+    pub fn from_centroids(centroids: &[Vec<f64>]) -> Self {
+        let dims = centroids.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(dims * centroids.len());
+        let mut sq_norms = Vec::with_capacity(centroids.len());
+        for c in centroids {
+            debug_assert_eq!(c.len(), dims);
+            data.extend_from_slice(c);
+            sq_norms.push(dot(c, c));
+        }
+        Self {
+            dims,
+            data,
+            sq_norms,
+        }
+    }
+
+    /// Number of centroids in the block.
+    pub fn len(&self) -> usize {
+        self.sq_norms.len()
+    }
+
+    /// Whether the block holds no centroids.
+    pub fn is_empty(&self) -> bool {
+        self.sq_norms.is_empty()
+    }
+
+    /// Index of the nearest centroid and the squared distance to it, via
+    /// `‖x‖² + ‖c_i‖² − 2⟨x, c_i⟩` (clamped at zero against rounding). Ties
+    /// keep the lowest index, like the scalar scan. The block must be
+    /// non-empty.
+    #[inline]
+    pub fn nearest(&self, point: &[f64]) -> (usize, f64) {
+        debug_assert!(!self.is_empty());
+        debug_assert_eq!(point.len(), self.dims);
+        if self.dims == 0 {
+            return (0, 0.0);
+        }
+        let point_norm = dot(point, point);
+        let mut best = 0usize;
+        let mut best_score = f64::INFINITY;
+        for (i, row) in self.data.chunks_exact(self.dims).enumerate() {
+            let score = self.sq_norms[i] - 2.0 * dot(point, row);
+            if score < best_score {
+                best_score = score;
+                best = i;
+            }
+        }
+        (best, (point_norm + best_score).max(0.0))
+    }
+}
 
 /// Result of assigning every point to its nearest centroid.
 #[derive(Debug, Clone)]
@@ -29,12 +120,22 @@ pub fn sq_distance_to_nearest(point: &[f64], centroids: &[Vec<f64>]) -> (usize, 
     (best, best_d)
 }
 
-/// Assigns every weighted point to its nearest centroid.
+/// Assigns every weighted point to its nearest centroid. The centroids are
+/// packed into a [`CentroidBlock`] once and every point is scanned against
+/// the block.
 pub fn assign_all(points: &[DeterministicPoint], centroids: &[Vec<f64>]) -> Assignments {
     let mut owner = Vec::with_capacity(points.len());
     let mut ssq = 0.0;
+    if centroids.is_empty() {
+        owner.resize(points.len(), 0);
+        return Assignments {
+            owner,
+            weighted_ssq: ssq,
+        };
+    }
+    let block = CentroidBlock::from_centroids(centroids);
     for p in points {
-        let (idx, d) = sq_distance_to_nearest(&p.values, centroids);
+        let (idx, d) = block.nearest(&p.values);
         owner.push(idx);
         ssq += p.weight * d;
     }
@@ -80,5 +181,39 @@ mod tests {
         let a = assign_all(&[], &[vec![0.0]]);
         assert!(a.owner.is_empty());
         assert_eq!(a.weighted_ssq, 0.0);
+    }
+
+    #[test]
+    fn block_nearest_matches_scalar_scan() {
+        let cents: Vec<Vec<f64>> = (0..7)
+            .map(|i| {
+                (0..5)
+                    .map(|j| ((i * 5 + j) as f64 * 0.37).sin() * 3.0)
+                    .collect()
+            })
+            .collect();
+        let block = CentroidBlock::from_centroids(&cents);
+        assert_eq!(block.len(), 7);
+        for s in 0..40 {
+            let p: Vec<f64> = (0..5)
+                .map(|j| ((s * 5 + j) as f64 * 0.71).cos() * 4.0)
+                .collect();
+            let (scalar_idx, scalar_d) = sq_distance_to_nearest(&p, &cents);
+            let (block_idx, block_d) = block.nearest(&p);
+            assert_eq!(block_idx, scalar_idx);
+            assert!(
+                (block_d - scalar_d).abs() <= 1e-9 * scalar_d.max(1.0),
+                "d mismatch: block {block_d} scalar {scalar_d}"
+            );
+        }
+    }
+
+    #[test]
+    fn block_tie_goes_to_first_and_clamps() {
+        let block = CentroidBlock::from_centroids(&[vec![-1.0], vec![1.0]]);
+        let (idx, _) = block.nearest(&[0.0]);
+        assert_eq!(idx, 0);
+        let (_, d) = block.nearest(&[-1.0]);
+        assert!((0.0..1e-12).contains(&d));
     }
 }

@@ -18,7 +18,7 @@ pub mod init;
 pub mod macrocluster;
 pub mod uncertain;
 
-pub use assign::{assign_all, sq_distance_to_nearest, Assignments};
+pub use assign::{assign_all, sq_distance_to_nearest, Assignments, CentroidBlock};
 pub use init::{kmeans_pp_seeds, sample_weighted_index};
 pub use macrocluster::{macro_cluster_weighted, MacroClustering};
 pub use uncertain::{uk_means, UkMeansConfig, UkMeansResult};

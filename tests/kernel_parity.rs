@@ -1,0 +1,193 @@
+//! Property-based parity tests for the SoA distance kernel: the packed
+//! kernel must rank the same nearest cluster and report the same distances
+//! as the scalar `expected_sq_distance` path, within 1e-9 relative, across
+//! random streams for UMicro, DecayedUMicro and CluStream — including after
+//! budget-driven merges and retirements and after decay synchronisation
+//! marks the kernel stale.
+
+use clustream::{CluStream, CluStreamConfig};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use umicro::distance::expected_sq_distance;
+use umicro::{DecayedUMicro, UMicro, UMicroConfig};
+use ustream_common::UncertainPoint;
+
+const DIMS: usize = 3;
+const REL_TOL: f64 = 1e-9;
+
+fn arb_point() -> impl Strategy<Value = UncertainPoint> {
+    (
+        pvec(-100.0..100.0f64, DIMS),
+        pvec(0.0..10.0f64, DIMS),
+        1u64..1000,
+    )
+        .prop_map(|(values, errors, t)| UncertainPoint::new(values, errors, t, None))
+}
+
+fn arb_points(min: usize, max: usize) -> impl Strategy<Value = Vec<UncertainPoint>> {
+    pvec(arb_point(), min..max)
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= REL_TOL * a.abs().max(b.abs()).max(1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// UMicro: after a random stream through a tight budget (forcing
+    /// retirements), every kernel distance and the kernel-ranked nearest
+    /// cluster agree with the scalar Lemma 2.2 evaluation.
+    #[test]
+    fn umicro_kernel_matches_scalar(
+        stream in arb_points(4, 40),
+        probes in arb_points(1, 6),
+    ) {
+        let mut alg = UMicro::new(UMicroConfig::new(4, DIMS).unwrap());
+        for p in &stream {
+            alg.insert(p);
+        }
+        let kernel = alg.kernel_synced().clone();
+        let clusters = alg.micro_clusters();
+        prop_assert_eq!(kernel.len(), clusters.len());
+        for probe in &probes {
+            let scalar: Vec<f64> = clusters
+                .iter()
+                .map(|c| expected_sq_distance(probe, &c.ecf))
+                .collect();
+            for (i, &s) in scalar.iter().enumerate() {
+                let k = kernel.expected_sq_distance(probe.values(), probe.errors(), i);
+                prop_assert!(close(k, s), "cluster {i}: kernel {k} vs scalar {s}");
+            }
+            let (idx, kd) = kernel
+                .nearest_expected(probe.values(), probe.errors())
+                .expect("non-empty cluster set");
+            let min_scalar = scalar.iter().cloned().fold(f64::INFINITY, f64::min);
+            prop_assert!(close(kd, min_scalar),
+                "nearest distance: kernel {kd} vs scalar min {min_scalar}");
+            prop_assert!(close(scalar[idx], min_scalar),
+                "kernel picked cluster {idx} at scalar {} but min is {min_scalar}",
+                scalar[idx]);
+        }
+    }
+
+    /// Disabling the kernel and re-enabling it must leave the insertion
+    /// trajectory identical to an always-scalar run: the kernel path is an
+    /// implementation detail, not a semantic switch.
+    #[test]
+    fn umicro_trajectory_independent_of_kernel(stream in arb_points(4, 40)) {
+        let mut with_kernel = UMicro::new(UMicroConfig::new(4, DIMS).unwrap());
+        let mut scalar_only = UMicro::new(UMicroConfig::new(4, DIMS).unwrap());
+        scalar_only.set_kernel_enabled(false);
+        for p in &stream {
+            let a = with_kernel.insert(p);
+            let b = scalar_only.insert(p);
+            prop_assert_eq!(a, b, "diverged at t={}", p.timestamp());
+        }
+        prop_assert_eq!(with_kernel.micro_clusters().len(), scalar_only.micro_clusters().len());
+        for (x, y) in with_kernel.micro_clusters().iter().zip(scalar_only.micro_clusters()) {
+            prop_assert_eq!(x.id, y.id);
+            prop_assert_eq!(x.ecf.cf1(), y.ecf.cf1());
+        }
+    }
+
+    /// Batched insertion must follow the exact same trajectory as the
+    /// per-point loop.
+    #[test]
+    fn umicro_batch_matches_loop(stream in arb_points(4, 40)) {
+        let mut looped = UMicro::new(UMicroConfig::new(4, DIMS).unwrap());
+        let mut batched = UMicro::new(UMicroConfig::new(4, DIMS).unwrap());
+        let loop_out: Vec<_> = stream.iter().map(|p| looped.insert(p)).collect();
+        let mut batch_out = Vec::new();
+        batched.insert_batch(&stream, &mut batch_out);
+        prop_assert_eq!(loop_out, batch_out);
+        prop_assert_eq!(looped.micro_clusters().len(), batched.micro_clusters().len());
+    }
+
+    /// DecayedUMicro: a mid-stream `synchronize` rescales every cluster and
+    /// marks the kernel stale; after the rebuild the kernel must still match
+    /// the scalar distances over the decayed statistics.
+    #[test]
+    fn decayed_kernel_matches_scalar_after_synchronize(
+        head in arb_points(3, 20),
+        tail in arb_points(3, 20),
+        probes in arb_points(1, 5),
+    ) {
+        let mut alg = DecayedUMicro::with_half_life(UMicroConfig::new(4, DIMS).unwrap(), 300.0);
+        for p in &head {
+            alg.insert(p);
+        }
+        let mid = head.iter().map(|p| p.timestamp()).max().unwrap_or(0) + 50;
+        alg.synchronize(mid);
+        for p in &tail {
+            alg.insert(p);
+        }
+        let kernel = alg.kernel_synced().clone();
+        let clusters = alg.micro_clusters();
+        prop_assert_eq!(kernel.len(), clusters.len());
+        for probe in &probes {
+            for (i, c) in clusters.iter().enumerate() {
+                let s = expected_sq_distance(probe, &c.ecf);
+                let k = kernel.expected_sq_distance(probe.values(), probe.errors(), i);
+                prop_assert!(close(k, s), "cluster {i}: kernel {k} vs scalar {s}");
+            }
+            if let Some((idx, kd)) = kernel.nearest_expected(probe.values(), probe.errors()) {
+                let scalar: Vec<f64> = clusters
+                    .iter()
+                    .map(|c| expected_sq_distance(probe, &c.ecf))
+                    .collect();
+                let min_scalar = scalar.iter().cloned().fold(f64::INFINITY, f64::min);
+                prop_assert!(close(kd, min_scalar));
+                prop_assert!(close(scalar[idx], min_scalar));
+            }
+        }
+    }
+
+    /// CluStream: the deterministic geometry (zero noise rows) must agree
+    /// with the scalar centroid distance after budget-driven merges and
+    /// deletions.
+    #[test]
+    fn clustream_kernel_matches_scalar(
+        stream in arb_points(6, 50),
+        probes in arb_points(1, 6),
+    ) {
+        let mut alg = CluStream::new(CluStreamConfig::new(4, DIMS).unwrap());
+        for p in &stream {
+            alg.insert(p);
+        }
+        let kernel = alg.kernel_synced().clone();
+        let clusters = alg.micro_clusters();
+        prop_assert_eq!(kernel.len(), clusters.len());
+        for probe in &probes {
+            let scalar: Vec<f64> = clusters
+                .iter()
+                .map(|c| c.cf.sq_distance_to(probe.values()))
+                .collect();
+            for (i, &s) in scalar.iter().enumerate() {
+                // Deterministic rows publish zero noise, so the expected
+                // distance with zero probe error is the plain Euclidean one.
+                let k = kernel.expected_sq_distance(probe.values(), &[0.0; DIMS], i);
+                prop_assert!(close(k, s), "cluster {i}: kernel {k} vs scalar {s}");
+            }
+            let (idx, kd) = kernel
+                .nearest_deterministic(probe.values())
+                .expect("non-empty cluster set");
+            let min_scalar = scalar.iter().cloned().fold(f64::INFINITY, f64::min);
+            prop_assert!(close(kd, min_scalar),
+                "nearest distance: kernel {kd} vs scalar min {min_scalar}");
+            prop_assert!(close(scalar[idx], min_scalar));
+        }
+    }
+
+    /// CluStream batched insertion follows the per-point trajectory exactly.
+    #[test]
+    fn clustream_batch_matches_loop(stream in arb_points(6, 50)) {
+        let mut looped = CluStream::new(CluStreamConfig::new(4, DIMS).unwrap());
+        let mut batched = CluStream::new(CluStreamConfig::new(4, DIMS).unwrap());
+        let loop_out: Vec<_> = stream.iter().map(|p| looped.insert(p)).collect();
+        let mut batch_out = Vec::new();
+        batched.insert_batch(&stream, &mut batch_out);
+        prop_assert_eq!(loop_out, batch_out);
+        prop_assert_eq!(looped.micro_clusters().len(), batched.micro_clusters().len());
+    }
+}

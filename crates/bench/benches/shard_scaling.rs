@@ -34,7 +34,7 @@ fn bench_shard_scaling(c: &mut Criterion) {
                     .with_shards(shards)
                     .with_snapshot_every(2_048)
                     .with_novelty_factor(None);
-                let engine = StreamEngine::start(config);
+                let engine = StreamEngine::start(config).expect("engine starts");
                 for part in pts.chunks(2_048) {
                     engine.push_slice(part).expect("engine accepts records");
                 }

@@ -60,7 +60,7 @@ fn main() {
             .with_shards(shards)
             .with_snapshot_every(snapshot_every)
             .with_novelty_factor(novelty.then_some(8.0));
-        let engine = StreamEngine::start(config);
+        let engine = StreamEngine::start(config).expect("engine starts");
 
         let started = Instant::now();
         for part in points.chunks(batch) {

@@ -7,8 +7,20 @@ use crate::args::{CliError, Flags};
 use crate::commands::load_stream;
 use umicro::UMicroConfig;
 use ustream_common::DataStream;
-use ustream_engine::{EngineConfig, StreamEngine};
+use ustream_engine::{EngineConfig, StreamEngine, ValidationPolicy};
 use ustream_snapshot::PyramidConfig;
+
+fn parse_validation(s: &str) -> Result<Option<ValidationPolicy>, CliError> {
+    match s {
+        "reject" => Ok(Some(ValidationPolicy::Reject)),
+        "clamp" => Ok(Some(ValidationPolicy::Clamp)),
+        "quarantine" => Ok(Some(ValidationPolicy::Quarantine)),
+        "off" => Ok(None),
+        other => {
+            Err(format!("--validation must be reject|clamp|quarantine|off (got {other})").into())
+        }
+    }
+}
 
 /// Runs the command.
 pub fn run(flags: &Flags) -> Result<(), CliError> {
@@ -23,34 +35,68 @@ pub fn run(flags: &Flags) -> Result<(), CliError> {
     let alpha: u64 = flags.get("alpha", 2)?;
     let l: u32 = flags.get("l", 6)?;
     let horizon: Option<u64> = flags.get_opt("horizon")?;
+    let validation = parse_validation(&flags.get_str("validation", "reject"))?;
+    let checkpoint: Option<String> = flags.get_opt("checkpoint")?;
+    let checkpoint_every: Option<u64> = flags.get_opt("checkpoint-every")?;
+    let resume: Option<String> = flags.get_opt("resume")?;
     if shards == 0 || shards > 1 << 16 {
         return Err(format!("--shards must be in 1..={} (got {shards})", 1u32 << 16).into());
     }
     if snapshot_every == 0 {
         return Err("--snapshot-every must be positive".into());
     }
+    if checkpoint_every.is_some() && checkpoint.is_none() {
+        return Err("--checkpoint-every needs --checkpoint <path>".into());
+    }
 
     let stream = load_stream(input)?;
     let dims = stream.dims();
     let points: Vec<_> = stream.collect();
 
-    let mut config = EngineConfig::new(UMicroConfig::new(n_micro, dims)?)
-        .with_shards(shards)
-        .with_snapshot_every(snapshot_every)
-        .with_pyramid(PyramidConfig::new(alpha, l)?);
-    config = if novelty > 1.0 {
-        config.with_novelty_factor(Some(novelty))
-    } else {
-        config.with_novelty_factor(None)
+    let engine = match resume {
+        Some(ref path) => {
+            // The checkpoint carries the full engine configuration; the
+            // clustering flags are ignored on resume.
+            let engine = StreamEngine::restore(path)
+                .map_err(|e| format!("cannot resume from {path}: {e}"))?;
+            println!(
+                "resumed from {path}: {} records already processed",
+                engine.points_processed()
+            );
+            engine
+        }
+        None => {
+            let mut config = EngineConfig::new(UMicroConfig::new(n_micro, dims)?)
+                .with_shards(shards)
+                .with_snapshot_every(snapshot_every)
+                .with_pyramid(PyramidConfig::new(alpha, l)?)
+                .with_validation(validation);
+            config = if novelty > 1.0 {
+                config.with_novelty_factor(Some(novelty))
+            } else {
+                config.with_novelty_factor(None)
+            };
+            if let (Some(every), Some(path)) = (checkpoint_every, checkpoint.as_deref()) {
+                if every == 0 {
+                    return Err("--checkpoint-every must be positive".into());
+                }
+                config = config.with_auto_checkpoint(every, path);
+            }
+            StreamEngine::start(config).map_err(|e| format!("cannot start engine: {e}"))?
+        }
     };
-
-    let engine = StreamEngine::start(config);
     for part in points.chunks(batch) {
         engine
             .push_slice(part)
             .map_err(|e| format!("ingestion failed: {e}"))?;
     }
     engine.flush();
+    if let Some(ref path) = checkpoint {
+        engine
+            .checkpoint(path)
+            .map_err(|e| format!("checkpoint failed: {e}"))?;
+        println!("checkpoint written to {path}");
+    }
 
     let mac = engine.macro_clusters(k, seed);
     println!("macro-clusters (k = {k}):");
@@ -85,12 +131,36 @@ pub fn run(flags: &Flags) -> Result<(), CliError> {
         }
     }
 
+    let quarantined = engine.drain_quarantine();
+    if !quarantined.is_empty() {
+        println!("\nquarantined records: {}", quarantined.len());
+        for q in quarantined.iter().take(5) {
+            println!("  tick {:>8}: {}", q.point.timestamp(), q.fault);
+        }
+    }
+
     let report = engine.shutdown();
     println!(
         "\nprocessed {} records to tick {}; {} live micro-clusters, \
          {} snapshots retained",
         report.points_processed, report.last_tick, report.live_clusters, report.snapshots_retained
     );
+    println!("health: {}", report.health);
+    if report.points_rejected + report.points_clamped + report.points_quarantined > 0 {
+        println!(
+            "validation: {} rejected, {} clamped, {} quarantined ({} dropped from quarantine)",
+            report.points_rejected,
+            report.points_clamped,
+            report.points_quarantined,
+            report.quarantine_dropped
+        );
+    }
+    if report.checkpoints_written > 0 {
+        println!("auto-checkpoints written: {}", report.checkpoints_written);
+    }
+    if let Some(e) = &report.last_checkpoint_error {
+        println!("last checkpoint error: {e}");
+    }
     println!(
         "{} shard(s), {} exact merges @ {:.0} µs mean:",
         report.per_shard.len(),

@@ -58,6 +58,10 @@ commands:
              --horizon <u64>       also report a trailing window (default: off)
              --batch <usize>       push-slice batch size     (default 4096)
              --alpha <u64> --l <u32>  pyramid geometry       (default 2, 6)
+             --validation reject|clamp|quarantine|off  malformed-record policy (default reject)
+             --checkpoint <path>   write engine state after the replay
+             --checkpoint-every <u64>  also auto-checkpoint every n records
+             --resume <path>       restore engine state before the replay
   inspect    print stream statistics
              --in <path>           input CSV                 (required)
 ";

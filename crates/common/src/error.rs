@@ -34,6 +34,16 @@ pub enum UStreamError {
     /// A record was pushed at an engine whose workers have stopped
     /// (shutdown already ran or a worker died).
     EngineStopped,
+    /// A stream point failed validation (non-finite coordinate, invalid
+    /// error vector, dimension mismatch, or policy violation) and the active
+    /// `ValidationPolicy` rejects such points.
+    InvalidPoint(String),
+    /// The engine's ingestion channels are full and the active backpressure
+    /// policy surfaces overload to the producer instead of blocking.
+    Backpressure,
+    /// A checkpoint file is malformed, truncated, corrupted (checksum
+    /// mismatch), or has an unsupported version.
+    Checkpoint(String),
 }
 
 impl fmt::Display for UStreamError {
@@ -55,6 +65,11 @@ impl fmt::Display for UStreamError {
                     "engine workers have stopped; no further records accepted"
                 )
             }
+            UStreamError::InvalidPoint(msg) => write!(f, "invalid point: {msg}"),
+            UStreamError::Backpressure => {
+                write!(f, "engine ingestion channels are full (backpressure)")
+            }
+            UStreamError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
         }
     }
 }

@@ -106,6 +106,27 @@ impl UncertainPoint {
         self
     }
 
+    /// `true` when every instantiated coordinate is finite.
+    ///
+    /// [`UncertainPoint::new`] does *not* enforce this (a NaN reading is a
+    /// data-quality problem, not a programming error), so ingestion layers
+    /// that must keep non-finite values out of additive statistics check
+    /// here.
+    #[inline]
+    pub fn values_finite(&self) -> bool {
+        self.values.iter().all(|v| v.is_finite())
+    }
+
+    /// `true` when every error standard deviation is finite and
+    /// non-negative.
+    ///
+    /// [`UncertainPoint::new`] asserts this, but deserialised points bypass
+    /// the constructor, so defensive layers re-check.
+    #[inline]
+    pub fn errors_valid(&self) -> bool {
+        self.errors.iter().all(|e| e.is_finite() && *e >= 0.0)
+    }
+
     /// Sum over dimensions of squared error std-devs, `Σ_j ψ_j(X)²` — the
     /// point's contribution to a cluster's `EF2` vector.
     pub fn error_energy(&self) -> f64 {

@@ -21,8 +21,9 @@ use crate::ecf::Ecf;
 use crate::kernel::ClusterKernel;
 use crate::macrocluster::{macro_cluster_ecfs, MacroClustering};
 use crate::similarity::{dimension_counting_similarity, GlobalVariance};
+use crate::state::ClustererState;
 use ustream_common::point::sq_euclidean;
-use ustream_common::{AdditiveFeature, DecayableFeature, Timestamp, UncertainPoint};
+use ustream_common::{AdditiveFeature, DecayableFeature, Timestamp, UStreamError, UncertainPoint};
 use ustream_snapshot::ClusterSetSnapshot;
 
 /// A live micro-cluster: a stable identity plus its ECF statistics.
@@ -41,12 +42,35 @@ pub struct MicroCluster {
 /// attribute class labels to clusters without re-querying the algorithm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InsertOutcome {
-    /// Id of the micro-cluster that received the point.
+    /// Id of the micro-cluster that received the point, or
+    /// [`InsertOutcome::REJECTED_ID`] when the point was refused.
     pub cluster_id: u64,
     /// Whether the point seeded a brand-new micro-cluster.
     pub created: bool,
     /// Id of the micro-cluster evicted to make room, if any.
     pub evicted: Option<u64>,
+}
+
+impl InsertOutcome {
+    /// Sentinel id reported when a point was rejected rather than
+    /// clustered. Real ids are allocated sequentially from zero and can
+    /// never reach this value within a run.
+    pub const REJECTED_ID: u64 = u64::MAX;
+
+    /// The outcome for a point refused before touching any statistics
+    /// (non-finite coordinate or invalid error vector).
+    pub fn rejected() -> Self {
+        Self {
+            cluster_id: Self::REJECTED_ID,
+            created: false,
+            evicted: None,
+        }
+    }
+
+    /// Whether this outcome reports a rejected point.
+    pub fn is_rejected(&self) -> bool {
+        self.cluster_id == Self::REJECTED_ID && !self.created
+    }
 }
 
 /// The UMicro algorithm (undecayed form; see
@@ -151,6 +175,15 @@ impl UMicro {
     /// configuration.
     pub fn insert(&mut self, point: &UncertainPoint) -> InsertOutcome {
         debug_assert_eq!(point.dims(), self.config.dims);
+        // Last line of defence against poison points: a NaN/∞ coordinate
+        // absorbed into an ECF contaminates every derived statistic
+        // (centroid, radii, global variances) irreversibly, and the distance
+        // guards alone cannot stop a non-finite point from *seeding* a new
+        // cluster. Engines validate earlier with richer policy; this keeps
+        // direct users safe too.
+        if !point.values_finite() || !point.errors_valid() {
+            return InsertOutcome::rejected();
+        }
         let now = point.timestamp();
         self.inserted += 1;
         self.maybe_refresh_variances();
@@ -325,6 +358,63 @@ impl UMicro {
     /// higher-level clusters (weighted k-means over ECF centroids).
     pub fn macro_cluster(&self, k: usize, seed: u64) -> MacroClustering {
         macro_cluster_ecfs(self.clusters.iter().map(|c| (c.id, &c.ecf)), k, seed)
+    }
+
+    /// Exports the complete mutable state for checkpointing — unlike
+    /// [`UMicro::snapshot`] this includes the id allocator, the insertion
+    /// counter, the variance-refresh phase and the cached global variances,
+    /// so [`UMicro::import_state`] continues the stream exactly where this
+    /// instance left off.
+    pub fn export_state(&self) -> ClustererState<Ecf> {
+        ClustererState {
+            ids: self.clusters.iter().map(|c| c.id).collect(),
+            summaries: self.clusters.iter().map(|c| c.ecf.clone()).collect(),
+            next_id: self.next_id,
+            points_processed: self.inserted,
+            since_refresh: self.since_refresh as u64,
+            variances: self.global.variances().to_vec(),
+            last_seen: 0,
+        }
+    }
+
+    /// Replaces this instance's state with a previously exported one.
+    ///
+    /// The configuration is *not* part of the state — the caller constructs
+    /// the instance with the intended configuration first. Fails without
+    /// modifying `self` when the state is structurally invalid or its
+    /// summaries disagree with the configured dimensionality.
+    pub fn import_state(&mut self, state: &ClustererState<Ecf>) -> Result<(), UStreamError> {
+        state.validate().map_err(UStreamError::Checkpoint)?;
+        for ecf in &state.summaries {
+            if ecf.dims() != self.config.dims {
+                return Err(UStreamError::DimensionMismatch {
+                    expected: self.config.dims,
+                    actual: ecf.dims(),
+                });
+            }
+        }
+        self.clusters = state
+            .ids
+            .iter()
+            .zip(&state.summaries)
+            .map(|(id, ecf)| MicroCluster {
+                id: *id,
+                ecf: ecf.clone(),
+            })
+            .collect();
+        self.next_id = state.next_id;
+        self.inserted = state.points_processed;
+        self.since_refresh = state.since_refresh as usize;
+        if state.variances.len() == self.config.dims {
+            self.global.restore_variances(&state.variances);
+        } else {
+            // Older or partial states: rebuild from the summaries, same as
+            // the snapshot-based `restore`.
+            self.global.refresh(self.clusters.iter().map(|c| &c.ecf));
+        }
+        self.refresh_inv_coefficients();
+        self.kernel_stale = true;
+        Ok(())
     }
 
     // --- internals -------------------------------------------------------
@@ -778,6 +868,92 @@ mod tests {
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b, "cluster identity must survive restore");
+    }
+
+    #[test]
+    fn nan_point_is_rejected_not_absorbed() {
+        let mut alg = UMicro::new(config(4, 2));
+        alg.insert(&pt(&[0.0, 0.0], &[0.1, 0.1], 1));
+        alg.insert(&pt(&[5.0, 5.0], &[0.1, 0.1], 2));
+        let before: Vec<_> = alg
+            .micro_clusters()
+            .iter()
+            .map(|c| (c.id, c.ecf.cf1().to_vec()))
+            .collect();
+        let out = alg.insert(&pt(&[f64::NAN, 1.0], &[0.1, 0.1], 3));
+        assert!(out.is_rejected());
+        assert_eq!(out.cluster_id, InsertOutcome::REJECTED_ID);
+        // No statistic moved and the counter did not advance.
+        assert_eq!(alg.points_processed(), 2);
+        let after: Vec<_> = alg
+            .micro_clusters()
+            .iter()
+            .map(|c| (c.id, c.ecf.cf1().to_vec()))
+            .collect();
+        assert_eq!(before, after);
+        // Infinity is rejected the same way.
+        assert!(alg
+            .insert(&pt(&[f64::INFINITY, 0.0], &[0.1, 0.1], 4))
+            .is_rejected());
+        // A sane point still clusters normally afterwards.
+        assert!(!alg.insert(&pt(&[0.1, 0.1], &[0.1, 0.1], 5)).is_rejected());
+    }
+
+    #[test]
+    fn export_import_state_continues_identically() {
+        let mut cfg = config(8, 1);
+        cfg.variance_refresh_interval = 37; // deliberately misaligned split
+        let points: Vec<UncertainPoint> = (0..200u64)
+            .map(|i| pt(&[(i % 4) as f64 * 25.0 + (i % 7) as f64 * 0.1], &[0.3], i))
+            .collect();
+
+        let mut continuous = UMicro::new(cfg.clone());
+        for p in &points {
+            continuous.insert(p);
+        }
+
+        let mut first_half = UMicro::new(cfg.clone());
+        for p in &points[..101] {
+            first_half.insert(p);
+        }
+        let state = first_half.export_state();
+        let mut resumed = UMicro::new(cfg);
+        resumed.import_state(&state).unwrap();
+        for p in &points[101..] {
+            resumed.insert(p);
+        }
+        // Bit-for-bit identical final state — the split point was NOT on a
+        // variance-refresh boundary, which snapshot-based restore cannot
+        // survive but full-state restore must.
+        assert_eq!(
+            continuous.micro_clusters().len(),
+            resumed.micro_clusters().len()
+        );
+        for (a, b) in continuous
+            .micro_clusters()
+            .iter()
+            .zip(resumed.micro_clusters())
+        {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.ecf.cf1(), b.ecf.cf1());
+            assert_eq!(a.ecf.cf2(), b.ecf.cf2());
+            assert_eq!(a.ecf.ef2(), b.ecf.ef2());
+        }
+        assert_eq!(continuous.points_processed(), resumed.points_processed());
+    }
+
+    #[test]
+    fn import_state_rejects_corrupt_states() {
+        let mut alg = UMicro::new(config(4, 2));
+        alg.insert(&pt(&[0.0, 0.0], &[0.1, 0.1], 1));
+        let mut state = alg.export_state();
+        state.summaries.pop();
+        let mut target = UMicro::new(config(4, 2));
+        assert!(target.import_state(&state).is_err());
+        // Dimension mismatch is caught too.
+        let state = alg.export_state();
+        let mut wrong_dims = UMicro::new(config(4, 3));
+        assert!(wrong_dims.import_state(&state).is_err());
     }
 
     #[test]

@@ -158,6 +158,28 @@ impl DecayedUMicro {
         self.synchronize(self.last_seen);
         self.inner.macro_cluster(k, seed)
     }
+
+    /// Exports the complete mutable state for checkpointing — raw lazily
+    /// decayed statistics (each ECF keeps its own reference tick), *not*
+    /// synchronised, so the restored instance resumes with bit-identical
+    /// arithmetic. See [`UMicro::export_state`].
+    pub fn export_state(&self) -> crate::state::ClustererState<Ecf> {
+        let mut state = self.inner.export_state();
+        state.last_seen = self.last_seen;
+        state
+    }
+
+    /// Replaces this instance's state with a previously exported one; the
+    /// decay rate comes from this instance's construction, not the state.
+    /// See [`UMicro::import_state`].
+    pub fn import_state(
+        &mut self,
+        state: &crate::state::ClustererState<Ecf>,
+    ) -> Result<(), ustream_common::UStreamError> {
+        self.inner.import_state(state)?;
+        self.last_seen = state.last_seen;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -17,9 +17,26 @@
 use crate::ecf::Ecf;
 use ustream_common::UncertainPoint;
 
+/// Maps a possibly-poisoned squared distance to a rankable value.
+///
+/// `f64::max(NaN, 0.0)` evaluates to `0.0`, so the cancellation clamps in
+/// this module would silently turn a NaN-bearing point into the *nearest*
+/// candidate at distance zero. NaN therefore maps to `+∞` (a non-finite
+/// input can never win a nearest scan or be absorbed); genuine negative
+/// cancellation residue still clamps to zero.
+#[inline]
+pub(crate) fn sanitize_sq(d: f64) -> f64 {
+    if d.is_nan() {
+        f64::INFINITY
+    } else {
+        d.max(0.0)
+    }
+}
+
 /// Expected squared distance between an uncertain point and the centroid of
 /// an uncertain cluster (Lemma 2.2). Clamped at zero: the exact expression
 /// is non-negative, but floating-point cancellation can leave `−1e-16`.
+/// NaN inputs rank at `+∞` — see [`sanitize_sq`].
 pub fn expected_sq_distance(point: &UncertainPoint, ecf: &Ecf) -> f64 {
     debug_assert_eq!(point.dims(), ecf.dims());
     let w = ecf.weight();
@@ -37,7 +54,7 @@ pub fn expected_sq_distance(point: &UncertainPoint, ecf: &Ecf) -> f64 {
         let psi = errors[j];
         acc += cf1[j] * cf1[j] / w2 + ef2[j] / w2 + psi * psi + x * x - 2.0 * x * cf1[j] / w;
     }
-    acc.max(0.0)
+    sanitize_sq(acc)
 }
 
 /// The dimension-`j` component of the expected squared distance:
@@ -57,7 +74,7 @@ pub fn expected_sq_distance_dim(point: &UncertainPoint, ecf: &Ecf, j: usize) -> 
     let psi = point.errors()[j];
     let c = ecf.cf1()[j] / w;
     let diff = x - c;
-    (diff * diff + psi * psi + ecf.ef2()[j] / (w * w)).max(0.0)
+    sanitize_sq(diff * diff + psi * psi + ecf.ef2()[j] / (w * w))
 }
 
 /// Writes every dimension component of the expected squared distance into
@@ -86,7 +103,7 @@ pub fn expected_sq_distance_dims(point: &UncertainPoint, ecf: &Ecf, out: &mut [f
     for j in 0..out.len() {
         let diff = values[j] - cf1[j] * inv_w;
         let psi = errors[j];
-        out[j] = (diff * diff + psi * psi + ef2[j] * inv_w2).max(0.0);
+        out[j] = sanitize_sq(diff * diff + psi * psi + ef2[j] * inv_w2);
     }
 }
 
@@ -111,7 +128,15 @@ pub fn corrected_sq_distance(point: &UncertainPoint, ecf: &Ecf) -> f64 {
     for j in 0..values.len() {
         let diff = values[j] - cf1[j] / w;
         let psi = errors[j];
-        acc += (diff * diff - psi * psi - ef2[j] / w2).max(0.0);
+        let c = diff * diff - psi * psi - ef2[j] / w2;
+        if c.is_nan() || c == f64::NEG_INFINITY {
+            // A non-finite coordinate or error makes the correction
+            // undefined for this dimension; rank the point infinitely far
+            // instead of letting the clamp below read the poisoned
+            // dimension as distance zero.
+            return f64::INFINITY;
+        }
+        acc += c.max(0.0);
     }
     acc
 }
@@ -133,7 +158,7 @@ pub fn expected_centroid_sq_distance(a: &Ecf, b: &Ecf) -> f64 {
         let diff = ca - cb;
         acc += diff * diff + a.ef2()[j] / (wa * wa) + b.ef2()[j] / (wb * wb);
     }
-    acc.max(0.0)
+    sanitize_sq(acc)
 }
 
 #[cfg(test)]
@@ -286,6 +311,52 @@ mod tests {
         let dba = expected_centroid_sq_distance(&b, &a);
         assert!((dab - dba).abs() < 1e-12);
         assert!(dab > 0.0);
+    }
+
+    #[test]
+    fn nan_coordinate_never_ranks_at_zero() {
+        // Regression: `f64::max(NaN, 0.0) == 0.0`, so before the sanitize
+        // guard a NaN-bearing point scored distance 0 against every cluster
+        // and won every nearest scan.
+        let mut ecf = Ecf::empty(2);
+        ecf.insert(&pt(&[0.0, 0.0], &[0.1, 0.1]));
+        ecf.insert(&pt(&[1.0, 1.0], &[0.1, 0.1]));
+        let poison = pt(&[f64::NAN, 0.5], &[0.1, 0.1]);
+        assert_eq!(expected_sq_distance(&poison, &ecf), f64::INFINITY);
+        assert_eq!(corrected_sq_distance(&poison, &ecf), f64::INFINITY);
+        let mut out = [0.0; 2];
+        expected_sq_distance_dims(&poison, &ecf, &mut out);
+        assert_eq!(out[0], f64::INFINITY);
+        assert!(out[1].is_finite());
+        assert_eq!(expected_sq_distance_dim(&poison, &ecf, 0), f64::INFINITY);
+    }
+
+    #[test]
+    fn infinite_error_never_ranks_at_zero() {
+        // ψ = +∞ makes the corrected per-dimension term −∞, which the old
+        // clamp read as zero. `UncertainPoint::new` rejects non-finite ψ,
+        // but serde bypasses the constructor — emulate that path.
+        use serde::{Deserialize, Serialize};
+        let mut ecf = Ecf::empty(1);
+        ecf.insert(&pt(&[0.0], &[0.1]));
+        ecf.insert(&pt(&[1.0], &[0.1]));
+        let sane = corrected_sq_distance(&pt(&[100.0], &[0.0]), &ecf);
+        assert!(sane.is_finite() && sane > 0.0);
+        let mut v = pt(&[100.0], &[0.0]).to_value();
+        if let serde::Value::Obj(fields) = &mut v {
+            for (name, val) in fields.iter_mut() {
+                if name == "errors" {
+                    *val = serde::Value::Arr(vec![serde::Value::Float(f64::INFINITY)]);
+                }
+            }
+        }
+        let poison = UncertainPoint::from_value(&v).expect("bypass construction");
+        assert!(!poison.errors_valid());
+        assert_eq!(
+            corrected_sq_distance(&poison, &ecf),
+            f64::INFINITY,
+            "infinite ψ must rank infinitely far, not at zero"
+        );
     }
 
     #[test]

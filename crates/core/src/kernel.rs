@@ -29,6 +29,7 @@
 //! clusters mark the kernel stale and rebuild before the next ranking, so a
 //! stale row can never be consulted.
 
+use crate::distance::sanitize_sq;
 use crate::ecf::Ecf;
 
 /// A summary that can publish a kernel row: its centroid, its per-dimension
@@ -244,14 +245,14 @@ impl ClusterKernel {
     /// the scalar ranking loop. `None` when empty.
     pub fn nearest_expected(&self, values: &[f64], errors: &[f64]) -> Option<(usize, f64)> {
         let (best, score) = self.nearest_by_score(values)?;
-        Some((best, (point_moment(values, errors) + score).max(0.0)))
+        Some((best, sanitize_sq(point_moment(values, errors) + score)))
     }
 
     /// Index and squared Euclidean distance of the centroid nearest to a
     /// deterministic point (`noise ≡ 0` rows). `None` when empty.
     pub fn nearest_deterministic(&self, values: &[f64]) -> Option<(usize, f64)> {
         let (best, score) = self.nearest_by_score(values)?;
-        Some((best, (dot(values, values) + score).max(0.0)))
+        Some((best, sanitize_sq(dot(values, values) + score)))
     }
 
     /// Shared ranking core: minimises `self_moment_i − 2·x·c_i`, the only
@@ -279,7 +280,7 @@ impl ClusterKernel {
     /// from cached invariants alone.
     pub fn expected_sq_distance(&self, values: &[f64], errors: &[f64], i: usize) -> f64 {
         let pm = point_moment(values, errors);
-        (pm + self.self_moment[i] - 2.0 * dot(values, self.centroid_row(i))).max(0.0)
+        sanitize_sq(pm + self.self_moment[i] - 2.0 * dot(values, self.centroid_row(i)))
     }
 
     /// Index and dimension-counting similarity of the best cluster.
@@ -507,6 +508,27 @@ mod tests {
         let mut one = ClusterKernel::new(1);
         one.push(&rows[0]);
         assert!(one.nearest_other_centroid_sq(0).is_none());
+    }
+
+    #[test]
+    fn nan_point_never_wins_nearest_scan() {
+        // Regression: the `.max(0.0)` clamps in the nearest scans turned a
+        // NaN point moment into distance zero, so a poisoned point was
+        // reported as sitting exactly on the nearest centroid.
+        let a = cluster(&[(&[0.0, 0.0], &[0.1, 0.1]), (&[1.0, 1.0], &[0.1, 0.1])]);
+        let mut k = ClusterKernel::new(2);
+        k.push(&a);
+        let (_, d2) = k.nearest_expected(&[f64::NAN, 0.5], &[0.1, 0.1]).unwrap();
+        assert_eq!(d2, f64::INFINITY);
+        let (_, d2) = k.nearest_deterministic(&[f64::NAN, 0.5]).unwrap();
+        assert_eq!(d2, f64::INFINITY);
+        assert_eq!(
+            k.expected_sq_distance(&[f64::NAN, 0.5], &[0.1, 0.1], 0),
+            f64::INFINITY
+        );
+        // NaN in the error vector poisons the point moment the same way.
+        let (_, d2) = k.nearest_expected(&[0.5, 0.5], &[f64::NAN, 0.1]).unwrap();
+        assert_eq!(d2, f64::INFINITY);
     }
 
     #[test]

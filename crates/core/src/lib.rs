@@ -54,6 +54,7 @@ pub mod kernel;
 pub mod macrocluster;
 pub mod online;
 pub mod similarity;
+pub mod state;
 
 pub use algorithm::{InsertOutcome, MicroCluster, UMicro};
 pub use classify::{Classification, MicroClassifier};
@@ -65,3 +66,4 @@ pub use horizon::HorizonAnalyzer;
 pub use kernel::{ClusterKernel, KernelRow};
 pub use macrocluster::MacroClustering;
 pub use online::OnlineClusterer;
+pub use state::ClustererState;

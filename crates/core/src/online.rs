@@ -18,7 +18,8 @@ use crate::algorithm::{InsertOutcome, UMicro};
 use crate::decayed::DecayedUMicro;
 use crate::distance::corrected_sq_distance;
 use crate::macrocluster::MacroClustering;
-use ustream_common::{AdditiveFeature, Timestamp, UncertainPoint};
+use crate::state::ClustererState;
+use ustream_common::{AdditiveFeature, Timestamp, UStreamError, UncertainPoint};
 use ustream_snapshot::ClusterSetSnapshot;
 
 /// A one-pass stream clusterer maintaining additive micro-cluster
@@ -83,6 +84,28 @@ pub trait OnlineClusterer: Send {
     /// Offline macro-clustering of the live micro-clusters into `k`
     /// higher-level clusters (weighted k-means over summary centroids).
     fn macro_cluster(&mut self, k: usize, seed: u64) -> MacroClustering;
+
+    /// Exports the complete mutable state for checkpoint/restore, when the
+    /// implementation supports it (`None` otherwise, the default).
+    ///
+    /// Unlike [`snapshot_at`], the exported state must be sufficient for
+    /// [`import_state`] to continue the stream exactly where this instance
+    /// left off — id allocator, counters and cached estimates included.
+    ///
+    /// [`snapshot_at`]: OnlineClusterer::snapshot_at
+    /// [`import_state`]: OnlineClusterer::import_state
+    fn export_state(&self) -> Option<ClustererState<Self::Summary>> {
+        None
+    }
+
+    /// Replaces this instance's state with a previously exported one.
+    /// Implementations that cannot restore report an error (the default) so
+    /// engines can fall back to summary-level reseeding.
+    fn import_state(&mut self, _state: &ClustererState<Self::Summary>) -> Result<(), UStreamError> {
+        Err(UStreamError::InvalidConfig(
+            "this clusterer does not support state restore".into(),
+        ))
+    }
 }
 
 /// Error-corrected distance from `point` to the nearest of `clusters`,
@@ -135,6 +158,14 @@ impl OnlineClusterer for UMicro {
     fn macro_cluster(&mut self, k: usize, seed: u64) -> MacroClustering {
         UMicro::macro_cluster(self, k, seed)
     }
+
+    fn export_state(&self) -> Option<ClustererState<Self::Summary>> {
+        Some(UMicro::export_state(self))
+    }
+
+    fn import_state(&mut self, state: &ClustererState<Self::Summary>) -> Result<(), UStreamError> {
+        UMicro::import_state(self, state)
+    }
 }
 
 impl OnlineClusterer for DecayedUMicro {
@@ -177,6 +208,14 @@ impl OnlineClusterer for DecayedUMicro {
     fn macro_cluster(&mut self, k: usize, seed: u64) -> MacroClustering {
         DecayedUMicro::macro_cluster(self, k, seed)
     }
+
+    fn export_state(&self) -> Option<ClustererState<Self::Summary>> {
+        Some(DecayedUMicro::export_state(self))
+    }
+
+    fn import_state(&mut self, state: &ClustererState<Self::Summary>) -> Result<(), UStreamError> {
+        DecayedUMicro::import_state(self, state)
+    }
 }
 
 impl<T: OnlineClusterer + ?Sized> OnlineClusterer for Box<T> {
@@ -212,6 +251,14 @@ impl<T: OnlineClusterer + ?Sized> OnlineClusterer for Box<T> {
 
     fn macro_cluster(&mut self, k: usize, seed: u64) -> MacroClustering {
         (**self).macro_cluster(k, seed)
+    }
+
+    fn export_state(&self) -> Option<ClustererState<Self::Summary>> {
+        (**self).export_state()
+    }
+
+    fn import_state(&mut self, state: &ClustererState<Self::Summary>) -> Result<(), UStreamError> {
+        (**self).import_state(state)
     }
 }
 

@@ -64,6 +64,21 @@ impl GlobalVariance {
         }
     }
 
+    /// Overwrites the tracked variances with previously exported values —
+    /// the checkpoint/restore path. Negative or non-finite entries clamp to
+    /// zero (uninformative) so a corrupted checkpoint cannot poison the
+    /// similarity ranking.
+    pub fn restore_variances(&mut self, variances: &[f64]) {
+        debug_assert_eq!(variances.len(), self.variances.len());
+        for (dst, &src) in self.variances.iter_mut().zip(variances) {
+            *dst = if src.is_finite() && src > 0.0 {
+                src
+            } else {
+                0.0
+            };
+        }
+    }
+
     /// Whether any dimension has accumulated usable variance.
     pub fn is_informative(&self) -> bool {
         self.variances.iter().any(|v| *v > self.floor)

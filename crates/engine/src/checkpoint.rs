@@ -1,0 +1,354 @@
+//! Durable engine checkpoints: full state to a single file, atomically.
+//!
+//! A checkpoint captures everything a [`crate::StreamEngine`] needs to
+//! resume as if never interrupted: the complete per-shard clusterer states
+//! (via [`ClustererState`], which includes the id allocators and
+//! variance-refresh phase, not just the summaries), the retained pyramidal
+//! snapshots, the configuration, and the global counters. Restoring from a
+//! checkpoint therefore reproduces horizon queries *exactly* — the
+//! round-trip property `tests/checkpoint_roundtrip.rs` verifies bit for
+//! bit.
+//!
+//! ## File format
+//!
+//! One ASCII header line, then a JSON payload:
+//!
+//! ```text
+//! USTREAMCKPT <version> <payload-bytes> <fnv1a64-hex>\n
+//! {...}
+//! ```
+//!
+//! The checksum is FNV-1a (64-bit) over the payload, so any torn or
+//! bit-flipped write is detected at load time and reported as
+//! [`UStreamError::Checkpoint`] — never undefined behaviour, never a
+//! half-restored engine. Writes go to `<path>.tmp` first and are renamed
+//! into place, so a crash mid-write leaves the previous checkpoint intact.
+
+use crate::config::EngineConfig;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use umicro::{ClustererState, Ecf};
+use ustream_common::{Result, Timestamp, UStreamError};
+use ustream_snapshot::ClusterSetSnapshot;
+
+/// Magic token opening every checkpoint file.
+pub const MAGIC: &str = "USTREAMCKPT";
+/// Format version written by this build.
+pub const VERSION: u32 = 1;
+
+/// One shard's complete saved state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardCheckpoint {
+    /// The clusterer's full mutable state.
+    pub state: ClustererState<Ecf>,
+    /// Micro-clusters created on this shard so far.
+    pub created: u64,
+    /// Micro-clusters evicted on this shard so far.
+    pub evicted: u64,
+    /// Records clustered on this shard so far.
+    pub processed: u64,
+    /// Novelty alerts raised on this shard so far.
+    pub alerts: u64,
+}
+
+/// One retained pyramidal snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SnapshotEntry {
+    /// Capture tick.
+    pub time: Timestamp,
+    /// The merged, namespaced cluster set at that tick.
+    pub clusters: ClusterSetSnapshot<Ecf>,
+}
+
+/// The complete persisted engine state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineCheckpoint {
+    /// Engine configuration at checkpoint time; a restore reuses it.
+    pub config: EngineConfig,
+    /// Per-shard states, indexed by shard.
+    pub shards: Vec<ShardCheckpoint>,
+    /// Retained pyramidal snapshots, chronological.
+    pub snapshots: Vec<SnapshotEntry>,
+    /// Global records-processed ordinal.
+    pub points_processed: u64,
+    /// Engine clock (latest stream tick observed).
+    pub last_tick: Timestamp,
+    /// Total novelty alerts raised.
+    pub alerts_raised: u64,
+    /// Exact merges performed.
+    pub merges: u64,
+    /// Round-robin router cursor, so routing resumes in phase.
+    pub router: u64,
+}
+
+/// FNV-1a, 64-bit — tiny, dependency-free, and plenty to catch torn writes
+/// and bit flips (this is corruption *detection*, not an adversarial MAC).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Serialises a checkpoint to its on-disk byte form (header + payload).
+pub fn encode(ckpt: &EngineCheckpoint) -> Result<Vec<u8>> {
+    let payload =
+        serde_json::to_string(ckpt).map_err(|e| UStreamError::Checkpoint(e.to_string()))?;
+    let payload = payload.into_bytes();
+    let header = format!(
+        "{MAGIC} {VERSION} {} {:016x}\n",
+        payload.len(),
+        fnv1a64(&payload)
+    );
+    let mut out = header.into_bytes();
+    out.extend_from_slice(&payload);
+    Ok(out)
+}
+
+/// Parses and verifies the on-disk byte form.
+///
+/// Every failure mode — wrong magic, unsupported version, truncated file,
+/// checksum mismatch, malformed JSON — comes back as
+/// [`UStreamError::Checkpoint`] with a message saying which check failed.
+pub fn decode(bytes: &[u8]) -> Result<EngineCheckpoint> {
+    let newline = bytes
+        .iter()
+        .position(|b| *b == b'\n')
+        .ok_or_else(|| UStreamError::Checkpoint("missing header line".into()))?;
+    let header = std::str::from_utf8(&bytes[..newline])
+        .map_err(|_| UStreamError::Checkpoint("header is not UTF-8".into()))?;
+    let mut fields = header.split_ascii_whitespace();
+    let magic = fields.next().unwrap_or_default();
+    if magic != MAGIC {
+        return Err(UStreamError::Checkpoint(format!(
+            "bad magic {magic:?} (not a checkpoint file)"
+        )));
+    }
+    let version: u32 = fields
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| UStreamError::Checkpoint("unparseable version".into()))?;
+    if version != VERSION {
+        return Err(UStreamError::Checkpoint(format!(
+            "unsupported checkpoint version {version} (this build reads {VERSION})"
+        )));
+    }
+    let declared_len: usize = fields
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| UStreamError::Checkpoint("unparseable payload length".into()))?;
+    let declared_sum = fields
+        .next()
+        .and_then(|v| u64::from_str_radix(v, 16).ok())
+        .ok_or_else(|| UStreamError::Checkpoint("unparseable checksum".into()))?;
+
+    let payload = &bytes[newline + 1..];
+    if payload.len() != declared_len {
+        return Err(UStreamError::Checkpoint(format!(
+            "payload is {} bytes, header declares {declared_len} (truncated write?)",
+            payload.len()
+        )));
+    }
+    let actual_sum = fnv1a64(payload);
+    if actual_sum != declared_sum {
+        return Err(UStreamError::Checkpoint(format!(
+            "checksum mismatch: computed {actual_sum:016x}, header declares {declared_sum:016x} \
+             (file corrupt)"
+        )));
+    }
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| UStreamError::Checkpoint("payload is not UTF-8".into()))?;
+    let ckpt: EngineCheckpoint = serde_json::from_str(text)
+        .map_err(|e| UStreamError::Checkpoint(format!("payload parse: {e}")))?;
+    if let Err(msg) = ckpt.validate() {
+        return Err(UStreamError::Checkpoint(msg));
+    }
+    Ok(ckpt)
+}
+
+impl EngineCheckpoint {
+    /// Structural sanity checks beyond what the parser enforces.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        if self.shards.is_empty() {
+            return Err("checkpoint holds no shards".into());
+        }
+        if self.shards.len() != self.config.shards {
+            return Err(format!(
+                "checkpoint holds {} shard states but its config declares {}",
+                self.shards.len(),
+                self.config.shards
+            ));
+        }
+        for (i, shard) in self.shards.iter().enumerate() {
+            shard
+                .state
+                .validate()
+                .map_err(|e| format!("shard {i} state: {e}"))?;
+        }
+        if self.snapshots.windows(2).any(|w| w[0].time > w[1].time) {
+            return Err("snapshots are not chronological".into());
+        }
+        Ok(())
+    }
+}
+
+/// Writes the checkpoint to `path` atomically: the full byte stream goes to
+/// `<path>.tmp`, which is then renamed over `path`.
+pub fn write_atomic(path: &str, ckpt: &EngineCheckpoint) -> Result<()> {
+    #[allow(unused_mut)]
+    let mut bytes = encode(ckpt)?;
+    #[cfg(feature = "failpoints")]
+    if crate::failpoints::should_fire(crate::failpoints::CHECKPOINT_CORRUPT) {
+        if let Some(last) = bytes.last_mut() {
+            *last ^= 0xFF;
+        }
+    }
+    let tmp = format!("{path}.tmp");
+    fs::write(&tmp, &bytes)?;
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Reads and verifies a checkpoint from `path`.
+pub fn read(path: &str) -> Result<EngineCheckpoint> {
+    let bytes = fs::read(path)?;
+    decode(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use umicro::UMicroConfig;
+
+    fn tiny_checkpoint() -> EngineCheckpoint {
+        EngineCheckpoint {
+            config: EngineConfig::new(UMicroConfig::new(4, 2).unwrap()),
+            shards: vec![ShardCheckpoint {
+                state: ClustererState {
+                    ids: Vec::new(),
+                    summaries: Vec::new(),
+                    next_id: 0,
+                    points_processed: 0,
+                    since_refresh: 0,
+                    variances: Vec::new(),
+                    last_seen: 0,
+                },
+                created: 0,
+                evicted: 0,
+                processed: 0,
+                alerts: 0,
+            }],
+            snapshots: Vec::new(),
+            points_processed: 0,
+            last_tick: 0,
+            alerts_raised: 0,
+            merges: 0,
+            router: 0,
+        }
+    }
+
+    #[test]
+    fn fnv_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let ckpt = tiny_checkpoint();
+        let bytes = encode(&ckpt).unwrap();
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back.shards.len(), 1);
+        assert_eq!(back.config.umicro.n_micro, 4);
+    }
+
+    #[test]
+    fn corrupt_payload_detected() {
+        let mut bytes = encode(&tiny_checkpoint()).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        let err = decode(&bytes).unwrap_err();
+        assert!(
+            err.to_string().contains("checksum mismatch"),
+            "wrong error: {err}"
+        );
+    }
+
+    #[test]
+    fn truncated_payload_detected() {
+        let mut bytes = encode(&tiny_checkpoint()).unwrap();
+        bytes.truncate(bytes.len() - 10);
+        let err = decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "wrong error: {err}");
+    }
+
+    #[test]
+    fn wrong_magic_detected() {
+        let err = decode(b"NOTACKPT 1 0 0\n").unwrap_err();
+        assert!(err.to_string().contains("bad magic"), "wrong error: {err}");
+    }
+
+    #[test]
+    fn future_version_refused() {
+        let payload = b"{}";
+        let header = format!("{MAGIC} 999 {} {:016x}\n", payload.len(), fnv1a64(payload));
+        let mut bytes = header.into_bytes();
+        bytes.extend_from_slice(payload);
+        let err = decode(&bytes).unwrap_err();
+        assert!(
+            err.to_string().contains("unsupported checkpoint version"),
+            "wrong error: {err}"
+        );
+    }
+
+    #[test]
+    fn garbage_file_is_an_error_not_a_panic() {
+        for garbage in [
+            &b""[..],
+            &b"\n"[..],
+            &b"\xff\xfe\x00\x01"[..],
+            &b"USTREAMCKPT\n"[..],
+            &b"USTREAMCKPT 1 oops zzzz\n"[..],
+        ] {
+            assert!(decode(garbage).is_err());
+        }
+    }
+
+    #[test]
+    fn shard_count_mismatch_rejected() {
+        let mut ckpt = tiny_checkpoint();
+        ckpt.config = ckpt.config.with_shards(2);
+        let bytes = encode(&ckpt).unwrap();
+        let err = decode(&bytes).unwrap_err();
+        assert!(
+            err.to_string().contains("shard states"),
+            "wrong error: {err}"
+        );
+    }
+
+    #[test]
+    fn atomic_write_and_read_back() {
+        let dir = std::env::temp_dir();
+        let path = dir
+            .join(format!("ustream-ckpt-test-{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let ckpt = tiny_checkpoint();
+        write_atomic(&path, &ckpt).unwrap();
+        // No stray temp file left behind.
+        assert!(!std::path::Path::new(&format!("{path}.tmp")).exists());
+        let back = read(&path).unwrap();
+        assert_eq!(back.shards.len(), 1);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = read("/nonexistent/dir/engine.ckpt").unwrap_err();
+        assert!(matches!(err, UStreamError::Io(_)));
+    }
+}

@@ -1,10 +1,12 @@
 //! Engine configuration.
 
+use crate::validate::{BackpressurePolicy, ValidationPolicy};
+use serde::{Deserialize, Serialize};
 use umicro::UMicroConfig;
 use ustream_snapshot::PyramidConfig;
 
 /// How the novelty detector baselines "ordinary" isolation levels.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum NoveltyBaseline {
     /// Running mean of non-alerting isolations (cheap; sensitive to skew).
     Mean,
@@ -15,7 +17,7 @@ pub enum NoveltyBaseline {
 }
 
 /// Configuration of a [`crate::StreamEngine`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EngineConfig {
     /// The clustering configuration (budget, dimensionality, similarity,
     /// boundary mode).
@@ -45,6 +47,27 @@ pub struct EngineConfig {
     /// producing the global view. `1` (the default) reproduces the
     /// single-worker engine byte-for-byte.
     pub shards: usize,
+    /// What to do with points that fail validation (NaN coordinates,
+    /// invalid error vectors, dimension mismatches). `None` disables
+    /// producer-side validation entirely — only safe when the producer
+    /// guarantees well-formed input (e.g. the synthetic benchmarks).
+    pub validation: Option<ValidationPolicy>,
+    /// When validating, also require timestamps to be non-decreasing with
+    /// respect to the engine clock (`last_tick`). Off by default: many real
+    /// streams are mildly out of order and the pyramid tolerates it.
+    pub monotone_timestamps: bool,
+    /// Capacity of the quarantine buffer under
+    /// [`ValidationPolicy::Quarantine`].
+    pub quarantine_capacity: usize,
+    /// What producers experience when every shard channel is full.
+    pub backpressure: BackpressurePolicy,
+    /// Automatic checkpoint cadence: every `n` ingested points the engine
+    /// writes its full state to [`checkpoint_path`](Self::checkpoint_path).
+    /// `None` (default) disables auto-checkpointing.
+    pub checkpoint_every: Option<u64>,
+    /// Destination for automatic checkpoints; required when
+    /// [`checkpoint_every`](Self::checkpoint_every) is set.
+    pub checkpoint_path: Option<String>,
 }
 
 impl EngineConfig {
@@ -61,7 +84,47 @@ impl EngineConfig {
             channel_capacity: 4_096,
             max_alerts: 1_024,
             shards: 1,
+            validation: Some(ValidationPolicy::Reject),
+            monotone_timestamps: false,
+            quarantine_capacity: 256,
+            backpressure: BackpressurePolicy::Block,
+            checkpoint_every: None,
+            checkpoint_path: None,
         }
+    }
+
+    /// Overrides (or disables, with `None`) producer-side validation.
+    pub fn with_validation(mut self, policy: Option<ValidationPolicy>) -> Self {
+        self.validation = policy;
+        self
+    }
+
+    /// Requires non-decreasing timestamps (validated against the engine
+    /// clock).
+    pub fn with_monotone_timestamps(mut self, enforce: bool) -> Self {
+        self.monotone_timestamps = enforce;
+        self
+    }
+
+    /// Overrides the quarantine buffer capacity.
+    pub fn with_quarantine_capacity(mut self, capacity: usize) -> Self {
+        self.quarantine_capacity = capacity;
+        self
+    }
+
+    /// Overrides the backpressure policy.
+    pub fn with_backpressure(mut self, policy: BackpressurePolicy) -> Self {
+        self.backpressure = policy;
+        self
+    }
+
+    /// Enables automatic checkpoints every `every` points, written to
+    /// `path`.
+    pub fn with_auto_checkpoint(mut self, every: u64, path: impl Into<String>) -> Self {
+        assert!(every > 0, "checkpoint cadence must be positive");
+        self.checkpoint_every = Some(every);
+        self.checkpoint_path = Some(path.into());
+        self
     }
 
     /// Overrides the shard-worker count.
@@ -180,5 +243,51 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         let _ = base().with_shards(0);
+    }
+
+    #[test]
+    fn validation_defaults_to_reject() {
+        let c = base();
+        assert_eq!(c.validation, Some(ValidationPolicy::Reject));
+        assert_eq!(c.backpressure, BackpressurePolicy::Block);
+        assert!(!c.monotone_timestamps);
+        assert_eq!(c.checkpoint_every, None);
+    }
+
+    #[test]
+    fn robustness_builders() {
+        let c = base()
+            .with_validation(Some(ValidationPolicy::Quarantine))
+            .with_quarantine_capacity(32)
+            .with_monotone_timestamps(true)
+            .with_backpressure(BackpressurePolicy::DropNewest)
+            .with_auto_checkpoint(1_000, "/tmp/engine.ckpt");
+        assert_eq!(c.validation, Some(ValidationPolicy::Quarantine));
+        assert_eq!(c.quarantine_capacity, 32);
+        assert!(c.monotone_timestamps);
+        assert_eq!(c.backpressure, BackpressurePolicy::DropNewest);
+        assert_eq!(c.checkpoint_every, Some(1_000));
+        assert_eq!(c.checkpoint_path.as_deref(), Some("/tmp/engine.ckpt"));
+    }
+
+    #[test]
+    fn config_serde_round_trip() {
+        use serde::{Deserialize, Serialize};
+        let c = base()
+            .with_shards(4)
+            .with_decay_half_life(250.0)
+            .with_novelty_quantile(0.95)
+            .with_validation(Some(ValidationPolicy::Clamp))
+            .with_auto_checkpoint(500, "ckpt.bin");
+        let v = c.to_value();
+        let back = EngineConfig::from_value(&v).unwrap();
+        assert_eq!(back.shards, 4);
+        assert_eq!(back.decay_half_life, Some(250.0));
+        assert_eq!(back.novelty_baseline, NoveltyBaseline::Quantile(0.95));
+        assert_eq!(back.validation, Some(ValidationPolicy::Clamp));
+        assert_eq!(back.checkpoint_every, Some(500));
+        assert_eq!(back.checkpoint_path.as_deref(), Some("ckpt.bin"));
+        assert_eq!(back.umicro.n_micro, c.umicro.n_micro);
+        assert_eq!(back.snapshot_every, c.snapshot_every);
     }
 }

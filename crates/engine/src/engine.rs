@@ -17,31 +17,62 @@
 //! single-worker behaviour exactly (shard 0's ids are the identity
 //! mapping).
 //!
+//! ## Fault tolerance
+//!
+//! Three independent defences keep a long-running engine alive:
+//!
+//! * **Shard supervision** — each worker's command loop runs under
+//!   [`std::panic::catch_unwind`]. A panic is recorded (restart count +
+//!   payload in [`ShardStats`]), the shard's clusterer is rebuilt from the
+//!   factory and re-seeded from the last globally merged snapshot, and the
+//!   worker resumes draining its channel. At most the in-flight record is
+//!   lost. [`EngineReport::health`] surfaces the aggregate state.
+//! * **Poison-point validation** — producers pass through
+//!   [`crate::validate::check_point`] before a record reaches a channel;
+//!   the configured [`ValidationPolicy`] rejects, repairs or quarantines
+//!   malformed input, so a NaN can never reach the ECF sums.
+//! * **Checkpoint/restore** — [`StreamEngine::checkpoint`] persists the
+//!   complete engine state atomically; [`StreamEngine::restore`] resumes
+//!   from it bit-for-bit (see [`crate::checkpoint`]).
+//!
 //! Lock ordering (deadlock freedom): a worker's ingest takes its own shard
-//! lock, then at most the alert queue lock; the merge takes the horizon
-//! lock first and then shard locks one at a time, never while an ingest
-//! lock is held by the same thread. No path acquires the horizon lock while
-//! holding a shard lock.
+//! lock, then at most the alert queue lock; the merge and the checkpoint
+//! builder take the horizon lock first and then shard locks one at a time,
+//! never while an ingest lock is held by the same thread. Shard recovery
+//! clones the last merged snapshot out of its mutex *before* taking the
+//! shard lock. No path acquires the horizon lock while holding a shard
+//! lock.
 
+use crate::checkpoint::{self, EngineCheckpoint, ShardCheckpoint, SnapshotEntry};
 use crate::config::{EngineConfig, NoveltyBaseline};
-use crate::report::{EngineReport, NoveltyAlert, ShardStats};
-use crossbeam::channel::{bounded, Sender, TrySendError};
+use crate::report::{EngineReport, HealthStatus, NoveltyAlert, ShardStats};
+use crate::validate::{
+    self, BackpressurePolicy, PointFault, Quarantine, QuarantinedPoint, ValidationPolicy,
+};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 use umicro::macrocluster::macro_cluster_ecfs;
 use umicro::{
-    compare_windows, DecayedUMicro, Ecf, EvolutionReport, HorizonAnalyzer, MacroClustering,
-    MicroCluster, OnlineClusterer, UMicro,
+    compare_windows, ClustererState, DecayedUMicro, Ecf, EvolutionReport, HorizonAnalyzer,
+    MacroClustering, MicroCluster, OnlineClusterer, UMicro,
 };
 use ustream_common::{P2Quantile, Result, UStreamError, UncertainPoint};
-use ustream_snapshot::{merge_namespaced, namespaced_id, ClusterSetSnapshot};
+use ustream_snapshot::{
+    merge_namespaced, namespaced_id, shard_of_id, ClusterSetSnapshot, SHARD_ID_BITS,
+};
 
 /// The boxed clusterer type each shard runs by default.
 pub type DynClusterer = Box<dyn OnlineClusterer<Summary = Ecf>>;
+
+/// The factory shards are (re)built from — invoked at startup and again
+/// whenever a panicked worker respawns its clusterer.
+type ClustererFactory = Box<dyn Fn(usize) -> DynClusterer + Send + Sync>;
 
 enum Command {
     Point(Box<UncertainPoint>),
@@ -121,19 +152,45 @@ struct ShardCounters {
 struct ShardHandle {
     state: Mutex<ShardState>,
     counters: ShardCounters,
+    /// Times the worker was respawned after a panic.
+    restarts: AtomicU64,
+    /// Payload of the most recent worker panic.
+    last_panic: Mutex<Option<String>>,
+    /// Whether the worker thread is currently running.
+    alive: AtomicBool,
 }
 
 /// State shared by all shards and the query API.
 struct Global {
     config: EngineConfig,
+    /// Rebuilds a shard's clusterer (startup and post-panic recovery).
+    factory: ClustererFactory,
     /// Global records-processed ordinal; drives the merge cadence.
     processed: AtomicU64,
     last_tick: AtomicU64,
     alerts_raised: AtomicU64,
     merges: AtomicU64,
     merge_nanos: AtomicU64,
+    /// Round-robin router cursor (here rather than on the engine so a
+    /// checkpoint built from a worker thread can capture it).
+    router: AtomicU64,
+    /// Raised before shutdown commands go out, so a worker that panics
+    /// while draining its final commands does not try to respawn.
+    shutting_down: AtomicBool,
     horizons: Mutex<HorizonAnalyzer>,
     alerts: Mutex<VecDeque<NoveltyAlert>>,
+    /// The most recent globally merged cluster set — the seed a respawned
+    /// shard restores its slice from.
+    last_merge: Mutex<Option<ClusterSetSnapshot<Ecf>>>,
+    quarantine: Mutex<Quarantine>,
+    rejected: AtomicU64,
+    clamped: AtomicU64,
+    backpressure_dropped: AtomicU64,
+    checkpoints_written: AtomicU64,
+    /// Highest `processed / checkpoint_every` epoch already checkpointed
+    /// (so concurrent workers write each auto-checkpoint exactly once).
+    checkpoint_epoch: AtomicU64,
+    last_checkpoint_error: Mutex<Option<String>>,
 }
 
 /// Clusters one record under an already-held shard lock, maintaining the
@@ -258,10 +315,11 @@ fn ingest_batch(
     }
 }
 
-/// Folds every shard's cluster set into one namespaced global snapshot and
-/// files it in the pyramidal store. Serialised on the horizon lock; shard
-/// locks are taken one at a time, so ingestion on other shards stalls only
-/// for its own shard's brief snapshot.
+/// Folds every shard's cluster set into one namespaced global snapshot,
+/// files it in the pyramidal store and retains it as the recovery seed.
+/// Serialised on the horizon lock; shard locks are taken one at a time, so
+/// ingestion on other shards stalls only for its own shard's brief
+/// snapshot.
 fn merge_and_record(global: &Global, shards: &[Arc<ShardHandle>]) {
     let started = Instant::now();
     let mut horizons = global.horizons.lock();
@@ -272,34 +330,255 @@ fn merge_and_record(global: &Global, shards: &[Arc<ShardHandle>]) {
             .enumerate()
             .map(|(i, h)| (i, h.state.lock().alg.snapshot_at(now))),
     );
-    horizons.record_snapshot(now, merged);
+    horizons.record_snapshot(now, merged.clone());
     drop(horizons);
+    *global.last_merge.lock() = Some(merged);
     global.merges.fetch_add(1, Ordering::Relaxed);
     global
         .merge_nanos
         .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
 }
 
+/// Renders a panic payload into something a [`ShardStats::last_panic`]
+/// reader can act on.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Rebuilds shard `idx`'s clusterer after a panic, seeding it with the
+/// shard's slice of the last globally merged snapshot so already-merged
+/// history is not lost. Returns `false` when recovery is impossible (the
+/// factory itself panicked) — the worker then stays down.
+fn recover_shard(global: &Global, shards: &[Arc<ShardHandle>], idx: usize) -> bool {
+    // The factory is caller-supplied code: it gets the same panic fence as
+    // the ingest loop, because a respawn that dies must not kill the engine.
+    let fresh = || catch_unwind(AssertUnwindSafe(|| (global.factory)(idx))).ok();
+    let Some(mut alg) = fresh() else {
+        return false;
+    };
+
+    // Clone the seed out before touching the shard lock (lock ordering).
+    let seed = global.last_merge.lock().clone();
+    if let Some(merged) = seed {
+        let mask = (1u64 << SHARD_ID_BITS) - 1;
+        let mut ids = Vec::new();
+        let mut summaries = Vec::new();
+        for (gid, ecf) in &merged.clusters {
+            if shard_of_id(*gid) == idx {
+                ids.push(gid & mask);
+                summaries.push(ecf.clone());
+            }
+        }
+        let state = ClustererState {
+            next_id: ids.iter().max().map_or(0, |m| m + 1),
+            ids,
+            summaries,
+            points_processed: shards[idx].counters.processed.load(Ordering::Relaxed),
+            since_refresh: 0,
+            // Empty → the importer recomputes global variances from the
+            // summaries.
+            variances: Vec::new(),
+            last_seen: global.last_tick.load(Ordering::Relaxed),
+        };
+        if state.validate().is_ok() && alg.import_state(&state).is_err() {
+            // A failed import may leave the clusterer half-seeded; fall
+            // back to a pristine instance (history stays queryable through
+            // the pyramidal store either way).
+            match fresh() {
+                Some(a) => alg = a,
+                None => return false,
+            }
+        }
+    }
+
+    let mut st = shards[idx].state.lock();
+    st.alg = alg;
+    // The baseline may have been poisoned by whatever caused the panic;
+    // restart its warm-up.
+    st.novelty = NoveltyMonitor::new(&global.config);
+    true
+}
+
+#[cfg(feature = "failpoints")]
+fn fire_worker_failpoints() {
+    if crate::failpoints::should_fire(crate::failpoints::CHANNEL_STALL) {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    if crate::failpoints::should_fire(crate::failpoints::SHARD_WORKER_PANIC) {
+        panic!("injected shard worker panic");
+    }
+}
+
+/// Drains shard `idx`'s command channel until shutdown or disconnect.
+/// Runs inside the supervisor's panic fence; a panic here consumes the
+/// in-flight command (it is already out of the channel), so recovery loses
+/// at most that one record or batch.
+fn drain_commands(
+    rx: &Receiver<Command>,
+    global: &Global,
+    all_shards: &[Arc<ShardHandle>],
+    idx: usize,
+) {
+    let own = &all_shards[idx];
+    for cmd in rx.iter() {
+        match cmd {
+            Command::Point(p) => {
+                #[cfg(feature = "failpoints")]
+                fire_worker_failpoints();
+                if ingest(global, own, idx, &p) {
+                    merge_and_record(global, all_shards);
+                }
+                maybe_auto_checkpoint(global, all_shards);
+            }
+            Command::Batch(points) => {
+                #[cfg(feature = "failpoints")]
+                fire_worker_failpoints();
+                ingest_batch(global, own, idx, &points, all_shards);
+                maybe_auto_checkpoint(global, all_shards);
+            }
+            Command::Flush(reply) => {
+                // Everything routed to this shard before the flush has
+                // been drained by now.
+                let _ = reply.send(());
+            }
+            Command::Shutdown => return,
+        }
+    }
+}
+
+/// A shard worker's whole life: drain commands, survive panics, respawn
+/// the clusterer, and mark the handle dead on the way out.
+fn shard_worker(
+    rx: Receiver<Command>,
+    global: Arc<Global>,
+    all_shards: Vec<Arc<ShardHandle>>,
+    idx: usize,
+) {
+    loop {
+        match catch_unwind(AssertUnwindSafe(|| {
+            drain_commands(&rx, &global, &all_shards, idx)
+        })) {
+            Ok(()) => break,
+            Err(payload) => {
+                let own = &all_shards[idx];
+                *own.last_panic.lock() = Some(panic_message(payload));
+                own.restarts.fetch_add(1, Ordering::Relaxed);
+                if global.shutting_down.load(Ordering::Acquire) {
+                    break;
+                }
+                if !recover_shard(&global, &all_shards, idx) {
+                    break;
+                }
+            }
+        }
+    }
+    all_shards[idx].alive.store(false, Ordering::Release);
+}
+
+/// Writes an automatic checkpoint when the stream has crossed into a new
+/// `checkpoint_every` epoch. Exactly one worker wins each epoch; a failed
+/// write is recorded in [`EngineReport::last_checkpoint_error`] and the
+/// engine keeps running.
+fn maybe_auto_checkpoint(global: &Global, shards: &[Arc<ShardHandle>]) {
+    let (Some(every), Some(path)) = (
+        global.config.checkpoint_every,
+        global.config.checkpoint_path.as_deref(),
+    ) else {
+        return;
+    };
+    let epoch = global.processed.load(Ordering::Relaxed) / every;
+    if epoch == 0 {
+        return;
+    }
+    let prev = global.checkpoint_epoch.load(Ordering::Relaxed);
+    if prev >= epoch
+        || global
+            .checkpoint_epoch
+            .compare_exchange(prev, epoch, Ordering::AcqRel, Ordering::Relaxed)
+            .is_err()
+    {
+        return;
+    }
+    match build_checkpoint(global, shards).and_then(|ck| checkpoint::write_atomic(path, &ck)) {
+        Ok(()) => {
+            global.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(e) => {
+            *global.last_checkpoint_error.lock() = Some(e.to_string());
+        }
+    }
+}
+
+/// Captures the complete engine state. Takes the horizon lock first and
+/// then shard locks one at a time — the same order as the merge — so a
+/// concurrent merge cannot interleave half its shards into the capture.
+fn build_checkpoint(global: &Global, shards: &[Arc<ShardHandle>]) -> Result<EngineCheckpoint> {
+    let horizons = global.horizons.lock();
+    let snapshots: Vec<SnapshotEntry> = horizons
+        .store()
+        .iter_chronological()
+        .map(|s| SnapshotEntry {
+            time: s.time,
+            clusters: s.data.clone(),
+        })
+        .collect();
+    let mut shard_ckpts = Vec::with_capacity(shards.len());
+    for shard in shards {
+        let st = shard.state.lock();
+        let state = st.alg.export_state().ok_or_else(|| {
+            UStreamError::Checkpoint("shard clusterer does not support state export".into())
+        })?;
+        shard_ckpts.push(ShardCheckpoint {
+            state,
+            created: st.created,
+            evicted: st.evicted,
+            processed: shard.counters.processed.load(Ordering::Relaxed),
+            alerts: shard.counters.alerts.load(Ordering::Relaxed),
+        });
+    }
+    drop(horizons);
+    Ok(EngineCheckpoint {
+        config: global.config.clone(),
+        shards: shard_ckpts,
+        snapshots,
+        points_processed: global.processed.load(Ordering::Relaxed),
+        last_tick: global.last_tick.load(Ordering::Relaxed),
+        alerts_raised: global.alerts_raised.load(Ordering::Relaxed),
+        merges: global.merges.load(Ordering::Relaxed),
+        router: global.router.load(Ordering::Relaxed),
+    })
+}
+
 /// Why a [`StreamEngine::try_push`] could not enqueue; the record is handed
-/// back in both variants.
+/// back in every variant.
 #[derive(Debug)]
 pub enum TryPushError {
     /// Every shard channel is at capacity (backpressure).
     Full(UncertainPoint),
     /// The engine has shut down.
     Stopped(UncertainPoint),
+    /// The record failed validation under [`ValidationPolicy::Reject`] (or
+    /// was unrepairable under [`ValidationPolicy::Clamp`]); the string says
+    /// why.
+    Invalid(UncertainPoint, String),
 }
 
 impl TryPushError {
     /// Recovers the record that could not be enqueued.
     pub fn into_inner(self) -> UncertainPoint {
         match self {
-            TryPushError::Full(p) | TryPushError::Stopped(p) => p,
+            TryPushError::Full(p) | TryPushError::Stopped(p) | TryPushError::Invalid(p, _) => p,
         }
     }
 
     /// Whether the failure was backpressure (retry later) rather than
-    /// shutdown (permanent).
+    /// shutdown or rejection (permanent).
     pub fn is_full(&self) -> bool {
         matches!(self, TryPushError::Full(_))
     }
@@ -310,11 +589,22 @@ impl std::fmt::Display for TryPushError {
         match self {
             TryPushError::Full(_) => f.write_str("all shard channels are full"),
             TryPushError::Stopped(_) => f.write_str("engine workers have stopped"),
+            TryPushError::Invalid(_, reason) => write!(f, "invalid record: {reason}"),
         }
     }
 }
 
 impl std::error::Error for TryPushError {}
+
+/// What producer-side validation decided about a record.
+enum Admit {
+    /// Valid (possibly repaired) — enqueue it.
+    Enqueue(UncertainPoint),
+    /// Diverted into quarantine; the push still succeeds.
+    Consumed,
+    /// Refused; the point and its fault travel back to the producer.
+    Rejected(UncertainPoint, PointFault),
+}
 
 /// The embeddable analytics engine. See the crate docs for an example.
 ///
@@ -326,7 +616,6 @@ pub struct StreamEngine {
     shards: Vec<Arc<ShardHandle>>,
     global: Arc<Global>,
     workers: Mutex<Vec<JoinHandle<()>>>,
-    router: AtomicU64,
     started: Instant,
 }
 
@@ -334,7 +623,12 @@ impl StreamEngine {
     /// Starts the shard workers with the default UMicro clusterers (decayed
     /// when `config.decay_half_life` is set), each holding an even share of
     /// the global `n_micro` budget.
-    pub fn start(config: EngineConfig) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// [`UStreamError::Io`] when a worker thread cannot be spawned (the
+    /// already-started workers are shut down cleanly first).
+    pub fn start(config: EngineConfig) -> Result<Self> {
         let mut shard_umicro = config.umicro.clone();
         shard_umicro.n_micro = config.shard_n_micro();
         let decay = config.decay_half_life;
@@ -348,20 +642,38 @@ impl StreamEngine {
 
     /// Starts the shard workers with caller-supplied clusterers — any
     /// [`OnlineClusterer`] over ECF summaries. The factory is invoked once
-    /// per shard index; it is responsible for sizing each shard's budget.
+    /// per shard index at startup (and again for a shard whose worker
+    /// respawns after a panic); it is responsible for sizing each shard's
+    /// budget.
+    ///
+    /// # Errors
+    ///
+    /// [`UStreamError::Io`] when a worker thread cannot be spawned.
     pub fn start_with(
         config: EngineConfig,
-        mut clusterer: impl FnMut(usize) -> DynClusterer,
-    ) -> Self {
+        clusterer: impl Fn(usize) -> DynClusterer + Send + Sync + 'static,
+    ) -> Result<Self> {
         let n_shards = config.shards.max(1);
+        let quarantine_capacity = config.quarantine_capacity;
         let global = Arc::new(Global {
+            factory: Box::new(clusterer),
             processed: AtomicU64::new(0),
             last_tick: AtomicU64::new(0),
             alerts_raised: AtomicU64::new(0),
             merges: AtomicU64::new(0),
             merge_nanos: AtomicU64::new(0),
+            router: AtomicU64::new(0),
+            shutting_down: AtomicBool::new(false),
             horizons: Mutex::new(HorizonAnalyzer::new(config.pyramid)),
             alerts: Mutex::new(VecDeque::new()),
+            last_merge: Mutex::new(None),
+            quarantine: Mutex::new(Quarantine::new(quarantine_capacity)),
+            rejected: AtomicU64::new(0),
+            clamped: AtomicU64::new(0),
+            backpressure_dropped: AtomicU64::new(0),
+            checkpoints_written: AtomicU64::new(0),
+            checkpoint_epoch: AtomicU64::new(0),
+            last_checkpoint_error: Mutex::new(None),
             config,
         });
 
@@ -369,86 +681,251 @@ impl StreamEngine {
             .map(|i| {
                 Arc::new(ShardHandle {
                     state: Mutex::new(ShardState {
-                        alg: clusterer(i),
+                        alg: (global.factory)(i),
                         created: 0,
                         evicted: 0,
                         novelty: NoveltyMonitor::new(&global.config),
                     }),
                     counters: ShardCounters::default(),
+                    restarts: AtomicU64::new(0),
+                    last_panic: Mutex::new(None),
+                    alive: AtomicBool::new(true),
                 })
             })
             .collect();
 
-        let mut txs = Vec::with_capacity(n_shards);
+        let mut txs: Vec<Sender<Command>> = Vec::with_capacity(n_shards);
         let mut workers = Vec::with_capacity(n_shards);
         for i in 0..n_shards {
             let (tx, rx) = bounded::<Command>(global.config.channel_capacity);
-            let global = Arc::clone(&global);
+            let global_for_worker = Arc::clone(&global);
             let all_shards = shards.clone();
-            let handle = std::thread::Builder::new()
+            let spawned = std::thread::Builder::new()
                 .name(format!("ustream-shard-{i}"))
-                .spawn(move || {
-                    let own = &all_shards[i];
-                    for cmd in rx {
-                        match cmd {
-                            Command::Point(p) => {
-                                if ingest(&global, own, i, &p) {
-                                    merge_and_record(&global, &all_shards);
-                                }
-                            }
-                            Command::Batch(points) => {
-                                ingest_batch(&global, own, i, &points, &all_shards);
-                            }
-                            Command::Flush(reply) => {
-                                // Everything routed to this shard before the
-                                // flush has been drained by now.
-                                let _ = reply.send(());
-                            }
-                            Command::Shutdown => break,
-                        }
+                .spawn(move || shard_worker(rx, global_for_worker, all_shards, i));
+            match spawned {
+                Ok(handle) => {
+                    txs.push(tx);
+                    workers.push(handle);
+                }
+                Err(e) => {
+                    // Unwind: stop the workers already running, then report.
+                    global.shutting_down.store(true, Ordering::Release);
+                    for tx in &txs {
+                        let _ = tx.send(Command::Shutdown);
                     }
-                })
-                .expect("spawn engine shard worker");
-            txs.push(tx);
-            workers.push(handle);
+                    for handle in workers {
+                        let _ = handle.join();
+                    }
+                    return Err(UStreamError::Io(e));
+                }
+            }
         }
 
-        Self {
+        Ok(Self {
             txs,
             shards,
             global,
             workers: Mutex::new(workers),
-            router: AtomicU64::new(0),
             started: Instant::now(),
+        })
+    }
+
+    /// Restores an engine from a checkpoint written by
+    /// [`Self::checkpoint`], using the default UMicro clusterers. The
+    /// restored engine reproduces `horizon_clusters` and `micro_clusters`
+    /// exactly as they were at checkpoint time and continues the stream
+    /// bit-for-bit identically to an uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// [`UStreamError::Io`] when the file cannot be read,
+    /// [`UStreamError::Checkpoint`] when it is corrupt, truncated, from an
+    /// unsupported version, or structurally inconsistent.
+    pub fn restore(path: &str) -> Result<Self> {
+        let ck = checkpoint::read(path)?;
+        let engine = Self::start(ck.config.clone())?;
+        engine.apply_checkpoint(&ck)?;
+        Ok(engine)
+    }
+
+    /// [`Self::restore`] with a caller-supplied clusterer factory (the
+    /// counterpart of [`Self::start_with`]). The factory-built clusterers
+    /// must support [`OnlineClusterer::import_state`].
+    pub fn restore_with(
+        path: &str,
+        clusterer: impl Fn(usize) -> DynClusterer + Send + Sync + 'static,
+    ) -> Result<Self> {
+        let ck = checkpoint::read(path)?;
+        let engine = Self::start_with(ck.config.clone(), clusterer)?;
+        engine.apply_checkpoint(&ck)?;
+        Ok(engine)
+    }
+
+    /// Loads checkpoint state into a freshly started (idle) engine.
+    fn apply_checkpoint(&self, ck: &EngineCheckpoint) -> Result<()> {
+        for (i, sc) in ck.shards.iter().enumerate() {
+            let shard = &self.shards[i];
+            {
+                let mut st = shard.state.lock();
+                st.alg.import_state(&sc.state)?;
+                st.created = sc.created;
+                st.evicted = sc.evicted;
+            }
+            shard
+                .counters
+                .processed
+                .store(sc.processed, Ordering::Relaxed);
+            shard
+                .counters
+                .enqueued
+                .store(sc.processed, Ordering::Relaxed);
+            shard.counters.alerts.store(sc.alerts, Ordering::Relaxed);
         }
+        {
+            let mut horizons = self.global.horizons.lock();
+            for entry in &ck.snapshots {
+                horizons.record_snapshot(entry.time, entry.clusters.clone());
+            }
+        }
+        if let Some(last) = ck.snapshots.last() {
+            *self.global.last_merge.lock() = Some(last.clusters.clone());
+        }
+        self.global
+            .processed
+            .store(ck.points_processed, Ordering::Relaxed);
+        self.global.last_tick.store(ck.last_tick, Ordering::Relaxed);
+        self.global
+            .alerts_raised
+            .store(ck.alerts_raised, Ordering::Relaxed);
+        self.global.merges.store(ck.merges, Ordering::Relaxed);
+        self.global.router.store(ck.router, Ordering::Relaxed);
+        if let Some(every) = self.global.config.checkpoint_every {
+            self.global
+                .checkpoint_epoch
+                .store(ck.points_processed / every, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Persists the complete engine state to `path` atomically (via a
+    /// `.tmp` file renamed into place). Flushes the shard channels first so
+    /// the capture reflects every record pushed before the call; producers
+    /// pushing *concurrently* with the call should quiesce for an exact
+    /// cut.
+    ///
+    /// # Errors
+    ///
+    /// [`UStreamError::Checkpoint`] when a shard's clusterer does not
+    /// support state export; [`UStreamError::Io`] on write failure.
+    pub fn checkpoint(&self, path: &str) -> Result<()> {
+        self.flush();
+        let ck = build_checkpoint(&self.global, &self.shards)?;
+        checkpoint::write_atomic(path, &ck)
     }
 
     /// The next shard index in round-robin order.
     fn route(&self) -> usize {
-        (self.router.fetch_add(1, Ordering::Relaxed) % self.txs.len() as u64) as usize
+        (self.global.router.fetch_add(1, Ordering::Relaxed) % self.txs.len() as u64) as usize
     }
 
-    /// Enqueues one record for clustering (blocks only on backpressure).
+    /// Runs the configured validation over one record.
+    fn admit(&self, point: UncertainPoint) -> Admit {
+        let Some(policy) = self.global.config.validation else {
+            return Admit::Enqueue(point);
+        };
+        let clock = self
+            .global
+            .config
+            .monotone_timestamps
+            .then(|| self.global.last_tick.load(Ordering::Relaxed));
+        match validate::check_point(&point, self.global.config.umicro.dims, clock) {
+            Ok(()) => Admit::Enqueue(point),
+            Err(fault) => match policy {
+                ValidationPolicy::Clamp if fault.clampable() => {
+                    self.global.clamped.fetch_add(1, Ordering::Relaxed);
+                    Admit::Enqueue(validate::clamp_point(&point, clock))
+                }
+                ValidationPolicy::Quarantine => {
+                    self.global.quarantine.lock().admit(point, &fault);
+                    Admit::Consumed
+                }
+                _ => {
+                    self.global.rejected.fetch_add(1, Ordering::Relaxed);
+                    Admit::Rejected(point, fault)
+                }
+            },
+        }
+    }
+
+    /// Enqueues one record for clustering.
     ///
-    /// Errors with [`UStreamError::EngineStopped`] after shutdown instead of
-    /// panicking; the record is dropped in that case — use
+    /// The record first passes the configured [`ValidationPolicy`]; a
+    /// rejected record comes back as [`UStreamError::InvalidPoint`], a
+    /// quarantined one succeeds without being clustered. What happens when
+    /// every shard channel is full depends on the [`BackpressurePolicy`]:
+    /// `Block` waits (the default), `DropNewest` drops and counts the
+    /// record, `Error` returns [`UStreamError::Backpressure`].
+    ///
+    /// Errors with [`UStreamError::EngineStopped`] after shutdown instead
+    /// of panicking; the record is dropped in that case — use
     /// [`Self::try_push`] when the caller needs the record back.
     pub fn push(&self, point: UncertainPoint) -> Result<()> {
-        let s = self.route();
-        self.txs[s]
-            .send(Command::Point(Box::new(point)))
-            .map_err(|_| UStreamError::EngineStopped)?;
-        self.shards[s]
-            .counters
-            .enqueued
-            .fetch_add(1, Ordering::Relaxed);
-        Ok(())
+        #[cfg(feature = "failpoints")]
+        let point = crate::failpoints::maybe_poison(point);
+        match self.admit(point) {
+            Admit::Consumed => Ok(()),
+            Admit::Rejected(_, fault) => Err(UStreamError::InvalidPoint(fault.to_string())),
+            Admit::Enqueue(point) => self.dispatch_point(point),
+        }
     }
 
-    /// Non-blocking push: tries every shard once (starting at the round-robin
-    /// cursor) and hands the record back if all channels are full or the
-    /// engine has stopped.
+    /// Routes one already-validated record under the backpressure policy.
+    fn dispatch_point(&self, point: UncertainPoint) -> Result<()> {
+        match self.global.config.backpressure {
+            BackpressurePolicy::Block => {
+                let s = self.route();
+                self.txs[s]
+                    .send(Command::Point(Box::new(point)))
+                    .map_err(|_| UStreamError::EngineStopped)?;
+                self.shards[s]
+                    .counters
+                    .enqueued
+                    .fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            BackpressurePolicy::DropNewest => match self.try_enqueue(point) {
+                Ok(()) => Ok(()),
+                Err(TryPushError::Full(_)) => {
+                    self.global
+                        .backpressure_dropped
+                        .fetch_add(1, Ordering::Relaxed);
+                    Ok(())
+                }
+                Err(_) => Err(UStreamError::EngineStopped),
+            },
+            BackpressurePolicy::Error => match self.try_enqueue(point) {
+                Ok(()) => Ok(()),
+                Err(TryPushError::Full(_)) => Err(UStreamError::Backpressure),
+                Err(_) => Err(UStreamError::EngineStopped),
+            },
+        }
+    }
+
+    /// Non-blocking push: tries every shard once (starting at the
+    /// round-robin cursor) and hands the record back if it fails
+    /// validation, all channels are full, or the engine has stopped.
     pub fn try_push(&self, point: UncertainPoint) -> std::result::Result<(), TryPushError> {
+        #[cfg(feature = "failpoints")]
+        let point = crate::failpoints::maybe_poison(point);
+        match self.admit(point) {
+            Admit::Consumed => Ok(()),
+            Admit::Rejected(point, fault) => Err(TryPushError::Invalid(point, fault.to_string())),
+            Admit::Enqueue(point) => self.try_enqueue(point),
+        }
+    }
+
+    fn try_enqueue(&self, point: UncertainPoint) -> std::result::Result<(), TryPushError> {
         let n = self.txs.len();
         let start = self.route();
         let mut cmd = Command::Point(Box::new(point));
@@ -474,26 +951,109 @@ impl StreamEngine {
     fn unwrap_point(cmd: Command) -> UncertainPoint {
         match cmd {
             Command::Point(p) => *p,
-            _ => unreachable!("only points travel through try_push"),
+            _ => unreachable!("only points travel through try_enqueue"),
         }
     }
 
     /// Batch push: splits the slice into one contiguous chunk per shard and
-    /// enqueues each chunk in a single channel hop — amortising the per-record
-    /// routing and channel cost for bulk producers.
+    /// enqueues each chunk in a single channel hop — amortising the
+    /// per-record routing and channel cost for bulk producers.
+    ///
+    /// Validation is atomic per call: if any record is rejected under the
+    /// active policy (or is unrepairable under `Clamp`), *nothing* is
+    /// enqueued and the first fault comes back as
+    /// [`UStreamError::InvalidPoint`]. Quarantined records are diverted and
+    /// the rest of the batch proceeds. Under
+    /// [`BackpressurePolicy::DropNewest`] a full shard drops its whole
+    /// chunk (counted per record).
     pub fn push_slice(&self, points: &[UncertainPoint]) -> Result<()> {
         if points.is_empty() {
             return Ok(());
         }
+        let admitted: Vec<UncertainPoint> = match self.global.config.validation {
+            None => points.to_vec(),
+            Some(policy) => {
+                let clock = self
+                    .global
+                    .config
+                    .monotone_timestamps
+                    .then(|| self.global.last_tick.load(Ordering::Relaxed));
+                let dims = self.global.config.umicro.dims;
+                let mut admitted = Vec::with_capacity(points.len());
+                let mut quarantined: Vec<(UncertainPoint, PointFault)> = Vec::new();
+                let mut first_fault: Option<PointFault> = None;
+                let mut reject_count = 0u64;
+                let mut clamp_count = 0u64;
+                for p in points {
+                    match validate::check_point(p, dims, clock) {
+                        Ok(()) => admitted.push(p.clone()),
+                        Err(fault) => match policy {
+                            ValidationPolicy::Clamp if fault.clampable() => {
+                                clamp_count += 1;
+                                admitted.push(validate::clamp_point(p, clock));
+                            }
+                            ValidationPolicy::Quarantine => quarantined.push((p.clone(), fault)),
+                            _ => {
+                                reject_count += 1;
+                                first_fault.get_or_insert(fault);
+                            }
+                        },
+                    }
+                }
+                if let Some(fault) = first_fault {
+                    self.global
+                        .rejected
+                        .fetch_add(reject_count, Ordering::Relaxed);
+                    return Err(UStreamError::InvalidPoint(fault.to_string()));
+                }
+                self.global
+                    .clamped
+                    .fetch_add(clamp_count, Ordering::Relaxed);
+                if !quarantined.is_empty() {
+                    let mut q = self.global.quarantine.lock();
+                    for (p, fault) in quarantined {
+                        q.admit(p, &fault);
+                    }
+                }
+                admitted
+            }
+        };
+        if admitted.is_empty() {
+            return Ok(());
+        }
+
         let n = self.txs.len();
-        let chunk = points.len().div_ceil(n);
+        let chunk = admitted.len().div_ceil(n);
         let start = self.route();
-        for (off, part) in points.chunks(chunk).enumerate() {
+        for (off, part) in admitted.chunks(chunk).enumerate() {
             let s = (start + off) % n;
             let len = part.len() as u64;
-            self.txs[s]
-                .send(Command::Batch(part.to_vec()))
-                .map_err(|_| UStreamError::EngineStopped)?;
+            match self.global.config.backpressure {
+                BackpressurePolicy::Block => {
+                    self.txs[s]
+                        .send(Command::Batch(part.to_vec()))
+                        .map_err(|_| UStreamError::EngineStopped)?;
+                }
+                BackpressurePolicy::DropNewest => match self.txs[s]
+                    .try_send(Command::Batch(part.to_vec()))
+                {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(_)) => {
+                        self.global
+                            .backpressure_dropped
+                            .fetch_add(len, Ordering::Relaxed);
+                        continue;
+                    }
+                    Err(TrySendError::Disconnected(_)) => return Err(UStreamError::EngineStopped),
+                },
+                BackpressurePolicy::Error => match self.txs[s]
+                    .try_send(Command::Batch(part.to_vec()))
+                {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(_)) => return Err(UStreamError::Backpressure),
+                    Err(TrySendError::Disconnected(_)) => return Err(UStreamError::EngineStopped),
+                },
+            }
             self.shards[s]
                 .counters
                 .enqueued
@@ -503,7 +1063,7 @@ impl StreamEngine {
     }
 
     /// Blocks until every previously pushed record has been clustered on
-    /// every shard.
+    /// every shard. Shards whose worker is permanently down are skipped.
     pub fn flush(&self) {
         let replies: Vec<_> = self
             .txs
@@ -526,6 +1086,11 @@ impl StreamEngine {
     /// Number of shard workers.
     pub fn shards(&self) -> usize {
         self.txs.len()
+    }
+
+    /// Drains the quarantine buffer for inspection, oldest first.
+    pub fn drain_quarantine(&self) -> Vec<QuarantinedPoint> {
+        self.global.quarantine.lock().drain()
     }
 
     /// Snapshot of the live micro-clusters across all shards, with
@@ -611,18 +1176,27 @@ impl StreamEngine {
 
     fn report(&self) -> EngineReport {
         let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
+        let shutting = self.global.shutting_down.load(Ordering::Acquire);
         let mut live_clusters = 0;
         let mut created = 0;
         let mut evicted = 0;
+        let mut total_restarts = 0;
+        let mut dead = 0;
         let mut per_shard = Vec::with_capacity(self.shards.len());
         for (i, shard) in self.shards.iter().enumerate() {
             let st = shard.state.lock();
             let processed = shard.counters.processed.load(Ordering::Relaxed);
             let enqueued = shard.counters.enqueued.load(Ordering::Relaxed);
             let live = st.alg.num_clusters();
+            let restarts = shard.restarts.load(Ordering::Relaxed);
+            let alive = shard.alive.load(Ordering::Acquire);
             live_clusters += live;
             created += st.created;
             evicted += st.evicted;
+            total_restarts += restarts;
+            if !alive {
+                dead += 1;
+            }
             per_shard.push(ShardStats {
                 shard: i,
                 processed,
@@ -630,10 +1204,21 @@ impl StreamEngine {
                 live_clusters: live,
                 alerts_raised: shard.counters.alerts.load(Ordering::Relaxed),
                 points_per_sec: processed as f64 / elapsed,
+                restarts,
+                last_panic: shard.last_panic.lock().clone(),
+                alive,
             });
         }
+        let health = if !shutting && dead == self.shards.len() {
+            HealthStatus::Failed
+        } else if total_restarts > 0 || (!shutting && dead > 0) {
+            HealthStatus::Degraded
+        } else {
+            HealthStatus::Healthy
+        };
         let merges = self.global.merges.load(Ordering::Relaxed);
         let merge_nanos = self.global.merge_nanos.load(Ordering::Relaxed);
+        let quarantine = self.global.quarantine.lock();
         EngineReport {
             points_processed: self.global.processed.load(Ordering::Relaxed),
             live_clusters,
@@ -648,6 +1233,14 @@ impl StreamEngine {
             } else {
                 0.0
             },
+            health,
+            points_rejected: self.global.rejected.load(Ordering::Relaxed),
+            points_clamped: self.global.clamped.load(Ordering::Relaxed),
+            points_quarantined: quarantine.admitted(),
+            quarantine_dropped: quarantine.dropped(),
+            backpressure_dropped: self.global.backpressure_dropped.load(Ordering::Relaxed),
+            checkpoints_written: self.global.checkpoints_written.load(Ordering::Relaxed),
+            last_checkpoint_error: self.global.last_checkpoint_error.lock().clone(),
             per_shard,
         }
     }
@@ -655,6 +1248,7 @@ impl StreamEngine {
     /// Stops the workers and returns the final accounting. Subsequent calls
     /// return the report of the already-stopped engine.
     pub fn shutdown(&self) -> EngineReport {
+        self.global.shutting_down.store(true, Ordering::Release);
         for tx in &self.txs {
             let _ = tx.send(Command::Shutdown);
         }
@@ -667,6 +1261,7 @@ impl StreamEngine {
 
 impl Drop for StreamEngine {
     fn drop(&mut self) {
+        self.global.shutting_down.store(true, Ordering::Release);
         for tx in &self.txs {
             let _ = tx.send(Command::Shutdown);
         }
@@ -679,7 +1274,7 @@ impl Drop for StreamEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use umicro::UMicroConfig;
+    use umicro::{InsertOutcome, UMicroConfig};
     use ustream_common::Timestamp;
 
     fn pt(x: f64, y: f64, t: Timestamp) -> UncertainPoint {
@@ -687,7 +1282,7 @@ mod tests {
     }
 
     fn engine(n_micro: usize) -> StreamEngine {
-        StreamEngine::start(EngineConfig::new(UMicroConfig::new(n_micro, 2).unwrap()))
+        StreamEngine::start(EngineConfig::new(UMicroConfig::new(n_micro, 2).unwrap())).unwrap()
     }
 
     #[test]
@@ -704,6 +1299,8 @@ mod tests {
         assert_eq!(report.points_processed, 500);
         assert_eq!(report.last_tick, 500);
         assert!(report.snapshots_retained > 0);
+        assert_eq!(report.health, HealthStatus::Healthy);
+        assert_eq!(report.points_rejected, 0);
     }
 
     #[test]
@@ -771,7 +1368,8 @@ mod tests {
     fn novelty_alert_fires_on_outlier() {
         let e = StreamEngine::start(
             EngineConfig::new(UMicroConfig::new(8, 2).unwrap()).with_novelty_factor(Some(4.0)),
-        );
+        )
+        .unwrap();
         // Stable traffic, then one wild outlier.
         for t in 1..=400u64 {
             let x = (t % 7) as f64 * 0.1;
@@ -797,7 +1395,8 @@ mod tests {
             EngineConfig::new(UMicroConfig::new(8, 2).unwrap())
                 .with_novelty_factor(Some(4.0))
                 .with_novelty_quantile(0.95),
-        );
+        )
+        .unwrap();
         for t in 1..=400u64 {
             let x = (t % 7) as f64 * 0.1;
             e.push(pt(x, -x, t)).unwrap();
@@ -836,7 +1435,8 @@ mod tests {
             EngineConfig::new(UMicroConfig::new(8, 2).unwrap())
                 .with_decay_half_life(200.0)
                 .with_snapshot_every(8),
-        );
+        )
+        .unwrap();
         for t in 1..=300u64 {
             e.push(pt((t % 3) as f64, 0.0, t)).unwrap();
         }
@@ -901,7 +1501,8 @@ mod tests {
             EngineConfig::new(UMicroConfig::new(16, 2).unwrap())
                 .with_shards(4)
                 .with_snapshot_every(64),
-        );
+        )
+        .unwrap();
         assert_eq!(e.shards(), 4);
         for t in 1..=2_000u64 {
             let x = if t % 2 == 0 { 0.0 } else { 40.0 };
@@ -916,6 +1517,7 @@ mod tests {
         for s in &report.per_shard {
             assert_eq!(s.processed, 500, "shard {} uneven: {s:?}", s.shard);
             assert_eq!(s.queue_depth, 0);
+            assert_eq!(s.restarts, 0);
         }
         assert!(report.merges >= 2_000 / 64);
         assert!(report.mean_merge_micros > 0.0);
@@ -927,7 +1529,8 @@ mod tests {
             EngineConfig::new(UMicroConfig::new(8, 2).unwrap())
                 .with_shards(2)
                 .with_snapshot_every(32),
-        );
+        )
+        .unwrap();
         for t in 1..=400u64 {
             let x = if t % 2 == 0 { 0.0 } else { 25.0 };
             e.push(pt(x, -x, t)).unwrap();
@@ -954,7 +1557,8 @@ mod tests {
             EngineConfig::new(UMicroConfig::new(64, 2).unwrap())
                 .with_shards(4)
                 .with_snapshot_every(100),
-        );
+        )
+        .unwrap();
         for t in 1..=1_000u64 {
             e.push(pt((t % 5) as f64, (t % 3) as f64, t)).unwrap();
         }
@@ -977,7 +1581,8 @@ mod tests {
             EngineConfig::new(UMicroConfig::new(8, 2).unwrap())
                 .with_shards(2)
                 .with_snapshot_every(50),
-        );
+        )
+        .unwrap();
         let batch: Vec<UncertainPoint> = (1..=600u64).map(|t| pt((t % 4) as f64, 0.0, t)).collect();
         e.push_slice(&batch).unwrap();
         e.flush();
@@ -992,7 +1597,8 @@ mod tests {
     fn try_push_hands_point_back_when_full() {
         let e = StreamEngine::start(
             EngineConfig::new(UMicroConfig::new(4, 2).unwrap()).with_snapshot_every(1_000),
-        );
+        )
+        .unwrap();
         // The success path, then the deterministic Stopped path with the
         // record handed back intact.
         assert!(e.try_push(pt(0.0, 0.0, 1)).is_ok());
@@ -1019,12 +1625,367 @@ mod tests {
         };
         let e = StreamEngine::start_with(config, move |_i| {
             Box::new(UMicro::new(shard_cfg.clone())) as DynClusterer
-        });
+        })
+        .unwrap();
         for t in 1..=100u64 {
             e.push(pt((t % 2) as f64 * 10.0, 0.0, t)).unwrap();
         }
         e.flush();
         assert_eq!(e.points_processed(), 100);
         e.shutdown();
+    }
+
+    // ---- validation / quarantine ----------------------------------------
+
+    #[test]
+    fn reject_policy_refuses_nan_points() {
+        let e = engine(8); // default policy: Reject
+        match e.push(pt(f64::NAN, 0.0, 1)) {
+            Err(UStreamError::InvalidPoint(msg)) => {
+                assert!(msg.contains("non-finite"), "unexpected message: {msg}");
+            }
+            other => panic!("NaN push should be rejected, got {other:?}"),
+        }
+        // try_push hands the record back with the reason.
+        match e.try_push(pt(f64::INFINITY, 0.0, 2)) {
+            Err(TryPushError::Invalid(p, reason)) => {
+                assert!(p.values()[0].is_infinite());
+                assert!(reason.contains("non-finite"));
+            }
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+        e.flush();
+        let report = e.stats();
+        assert_eq!(report.points_rejected, 2);
+        assert_eq!(report.points_processed, 0);
+        e.shutdown();
+    }
+
+    #[test]
+    fn clamp_policy_repairs_nan_points() {
+        let e = StreamEngine::start(
+            EngineConfig::new(UMicroConfig::new(4, 2).unwrap())
+                .with_validation(Some(ValidationPolicy::Clamp)),
+        )
+        .unwrap();
+        e.push(pt(f64::NAN, 5.0, 1)).unwrap();
+        e.push(pt(1.0, 5.0, 2)).unwrap();
+        e.flush();
+        let report = e.stats();
+        assert_eq!(report.points_clamped, 1);
+        assert_eq!(report.points_processed, 2);
+        // The clamped coordinate entered as 0.0 — everything stays finite.
+        for c in e.micro_clusters() {
+            let centroid = ustream_common::AdditiveFeature::centroid(&c.ecf);
+            assert!(centroid.iter().all(|v| v.is_finite()), "{centroid:?}");
+        }
+        e.shutdown();
+    }
+
+    #[test]
+    fn clamp_policy_still_rejects_dimension_mismatch() {
+        let e = StreamEngine::start(
+            EngineConfig::new(UMicroConfig::new(4, 2).unwrap())
+                .with_validation(Some(ValidationPolicy::Clamp)),
+        )
+        .unwrap();
+        let skinny = UncertainPoint::new(vec![1.0], vec![0.1], 1, None);
+        assert!(matches!(e.push(skinny), Err(UStreamError::InvalidPoint(_))));
+        assert_eq!(e.stats().points_rejected, 1);
+        e.shutdown();
+    }
+
+    #[test]
+    fn quarantine_policy_diverts_and_counts() {
+        let e = StreamEngine::start(
+            EngineConfig::new(UMicroConfig::new(4, 2).unwrap())
+                .with_validation(Some(ValidationPolicy::Quarantine))
+                .with_quarantine_capacity(4),
+        )
+        .unwrap();
+        e.push(pt(f64::NAN, 0.0, 1)).unwrap(); // diverted, not an error
+        e.push(pt(1.0, 1.0, 2)).unwrap();
+        e.flush();
+        let report = e.stats();
+        assert_eq!(report.points_quarantined, 1);
+        assert_eq!(report.points_processed, 1);
+        let held = e.drain_quarantine();
+        assert_eq!(held.len(), 1);
+        assert!(held[0].fault.contains("non-finite"), "{}", held[0].fault);
+        assert!(held[0].point.values()[0].is_nan());
+        assert!(e.drain_quarantine().is_empty());
+        e.shutdown();
+    }
+
+    #[test]
+    fn push_slice_rejects_batches_atomically() {
+        let e = engine(8); // Reject policy
+        let batch = vec![pt(0.0, 0.0, 1), pt(f64::NAN, 0.0, 2), pt(1.0, 1.0, 3)];
+        assert!(matches!(
+            e.push_slice(&batch),
+            Err(UStreamError::InvalidPoint(_))
+        ));
+        e.flush();
+        // Nothing from the poisoned batch was enqueued.
+        assert_eq!(e.points_processed(), 0);
+        assert_eq!(e.stats().points_rejected, 1);
+        e.shutdown();
+    }
+
+    #[test]
+    fn monotone_timestamps_enforced_when_asked() {
+        let e = StreamEngine::start(
+            EngineConfig::new(UMicroConfig::new(4, 2).unwrap()).with_monotone_timestamps(true),
+        )
+        .unwrap();
+        e.push(pt(0.0, 0.0, 100)).unwrap();
+        e.flush();
+        match e.push(pt(0.0, 0.0, 5)) {
+            Err(UStreamError::InvalidPoint(msg)) => {
+                assert!(msg.contains("behind the engine clock"), "{msg}");
+            }
+            other => panic!("stale timestamp should be rejected, got {other:?}"),
+        }
+        e.shutdown();
+    }
+
+    // ---- supervision -----------------------------------------------------
+
+    /// A clusterer that panics on a sentinel record — exercises the worker
+    /// supervision without the failpoints feature.
+    struct Panicky {
+        inner: DynClusterer,
+    }
+
+    impl OnlineClusterer for Panicky {
+        type Summary = Ecf;
+
+        fn insert(&mut self, p: &UncertainPoint) -> InsertOutcome {
+            assert!(p.values()[0] < 600.0, "sentinel poison record");
+            self.inner.insert(p)
+        }
+
+        fn micro_clusters(&self) -> Vec<(u64, Ecf)> {
+            self.inner.micro_clusters()
+        }
+
+        fn num_clusters(&self) -> usize {
+            self.inner.num_clusters()
+        }
+
+        fn points_processed(&self) -> u64 {
+            self.inner.points_processed()
+        }
+
+        fn isolation(&self, point: &UncertainPoint) -> Option<f64> {
+            self.inner.isolation(point)
+        }
+
+        fn snapshot_at(&mut self, now: Timestamp) -> ClusterSetSnapshot<Ecf> {
+            self.inner.snapshot_at(now)
+        }
+
+        fn macro_cluster(&mut self, k: usize, seed: u64) -> MacroClustering {
+            self.inner.macro_cluster(k, seed)
+        }
+
+        fn export_state(&self) -> Option<ClustererState<Ecf>> {
+            self.inner.export_state()
+        }
+
+        fn import_state(&mut self, state: &ClustererState<Ecf>) -> Result<()> {
+            self.inner.import_state(state)
+        }
+    }
+
+    #[test]
+    fn worker_panic_respawns_and_reports_degraded() {
+        let config = EngineConfig::new(UMicroConfig::new(8, 2).unwrap()).with_snapshot_every(8);
+        let shard_cfg = {
+            let mut c = config.umicro.clone();
+            c.n_micro = config.shard_n_micro();
+            c
+        };
+        let e = StreamEngine::start_with(config, move |_i| {
+            Box::new(Panicky {
+                inner: Box::new(UMicro::new(shard_cfg.clone())),
+            }) as DynClusterer
+        })
+        .unwrap();
+
+        for t in 1..=64u64 {
+            e.push(pt((t % 2) as f64, 0.0, t)).unwrap();
+        }
+        e.flush();
+        assert_eq!(e.stats().health, HealthStatus::Healthy);
+        let clusters_before = e.micro_clusters().len();
+        assert!(clusters_before > 0);
+
+        // The sentinel makes the worker panic mid-insert; the supervisor
+        // respawns it seeded from the last merge and keeps draining.
+        e.push(pt(666.0, 0.0, 65)).unwrap();
+        for t in 66..=128u64 {
+            e.push(pt((t % 2) as f64, 0.0, t)).unwrap();
+        }
+        e.flush(); // barrier replies only after the respawned worker drains
+
+        let report = e.stats();
+        assert_eq!(report.health, HealthStatus::Degraded);
+        assert_eq!(report.per_shard[0].restarts, 1);
+        assert!(report.per_shard[0].alive);
+        assert!(
+            report.per_shard[0]
+                .last_panic
+                .as_deref()
+                .unwrap_or("")
+                .contains("sentinel"),
+            "panic payload lost: {:?}",
+            report.per_shard[0].last_panic
+        );
+        // The respawned shard was reseeded from the merged history and kept
+        // clustering: the merged view still holds clusters and ingestion
+        // continued past the poison record.
+        assert!(!e.micro_clusters().is_empty());
+        // 64 + 1 poison + 63 tail; the poison record was counted before the
+        // insert panicked (it is the at-most-one lost record).
+        assert_eq!(e.points_processed(), 128);
+        let final_report = e.shutdown();
+        assert_eq!(final_report.health, HealthStatus::Degraded);
+    }
+
+    // ---- checkpoint / restore -------------------------------------------
+
+    fn temp_ckpt_path(tag: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("ustream-engine-{tag}-{}.ckpt", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trip_is_exact() {
+        let path = temp_ckpt_path("roundtrip");
+        let config = EngineConfig::new(UMicroConfig::new(8, 2).unwrap()).with_snapshot_every(16);
+        let e = StreamEngine::start(config).unwrap();
+        for t in 1..=256u64 {
+            let x = if t % 2 == 0 { 0.0 } else { 30.0 };
+            e.push(pt(x, -x, t)).unwrap();
+        }
+        e.flush();
+        e.checkpoint(&path).unwrap();
+
+        let r = StreamEngine::restore(&path).unwrap();
+        assert_eq!(r.points_processed(), e.points_processed());
+        let (mut a, mut b) = (e.micro_clusters(), r.micro_clusters());
+        a.sort_by_key(|c| c.id);
+        b.sort_by_key(|c| c.id);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.ecf, y.ecf, "ECF of cluster {} diverged", x.id);
+        }
+        // Horizon queries resolve identically from the replayed store.
+        let ha = e.horizon_clusters(64).unwrap();
+        let hb = r.horizon_clusters(64).unwrap();
+        assert_eq!(ha.clusters, hb.clusters);
+
+        // Continuation: both engines see the same tail and stay identical.
+        for t in 257..=320u64 {
+            let p = pt((t % 3) as f64, (t % 5) as f64, t);
+            e.push(p.clone()).unwrap();
+            r.push(p).unwrap();
+        }
+        e.flush();
+        r.flush();
+        let (mut a, mut b) = (e.micro_clusters(), r.micro_clusters());
+        a.sort_by_key(|c| c.id);
+        b.sort_by_key(|c| c.id);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(
+                x.ecf, y.ecf,
+                "post-restore continuation diverged at {}",
+                x.id
+            );
+        }
+        e.shutdown();
+        r.shutdown();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn auto_checkpoint_writes_periodically() {
+        let path = temp_ckpt_path("auto");
+        let e = StreamEngine::start(
+            EngineConfig::new(UMicroConfig::new(4, 2).unwrap())
+                .with_snapshot_every(8)
+                .with_auto_checkpoint(50, path.clone()),
+        )
+        .unwrap();
+        for t in 1..=200u64 {
+            e.push(pt((t % 2) as f64, 0.0, t)).unwrap();
+        }
+        e.flush();
+        let report = e.stats();
+        assert!(
+            report.checkpoints_written >= 1,
+            "no auto checkpoint: {report:?}"
+        );
+        assert_eq!(report.last_checkpoint_error, None);
+        // The written file restores.
+        let r = StreamEngine::restore(&path).unwrap();
+        assert!(r.points_processed() >= 50);
+        e.shutdown();
+        r.shutdown();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn restore_of_corrupt_file_errors() {
+        let path = temp_ckpt_path("corrupt");
+        std::fs::write(&path, b"USTREAMCKPT 1 4 0000000000000000\nzzzz").unwrap();
+        match StreamEngine::restore(&path) {
+            Err(UStreamError::Checkpoint(msg)) => {
+                assert!(msg.contains("checksum"), "{msg}");
+            }
+            Err(other) => panic!("wrong error kind: {other:?}"),
+            Ok(_) => panic!("corrupt checkpoint must fail cleanly"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sharded_checkpoint_restores_all_shards() {
+        let path = temp_ckpt_path("sharded");
+        let e = StreamEngine::start(
+            EngineConfig::new(UMicroConfig::new(16, 2).unwrap())
+                .with_shards(4)
+                .with_snapshot_every(32),
+        )
+        .unwrap();
+        for t in 1..=512u64 {
+            let x = if t % 2 == 0 { 0.0 } else { 40.0 };
+            e.push(pt(x, x, t)).unwrap();
+        }
+        e.flush();
+        e.checkpoint(&path).unwrap();
+        let r = StreamEngine::restore(&path).unwrap();
+        assert_eq!(r.shards(), 4);
+        assert_eq!(r.points_processed(), 512);
+        let report = r.stats();
+        for s in &report.per_shard {
+            assert_eq!(s.processed, 128, "shard {} lost records", s.shard);
+        }
+        let (mut a, mut b) = (e.micro_clusters(), r.micro_clusters());
+        a.sort_by_key(|c| c.id);
+        b.sort_by_key(|c| c.id);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!((x.id, &x.ecf), (y.id, &y.ecf));
+        }
+        e.shutdown();
+        r.shutdown();
+        let _ = std::fs::remove_file(&path);
     }
 }

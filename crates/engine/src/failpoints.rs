@@ -1,0 +1,132 @@
+//! Fault-injection failpoints for robustness testing.
+//!
+//! Only compiled under the `failpoints` cargo feature — production builds
+//! carry zero overhead (the hooks in the engine are `#[cfg]`-gated out).
+//! Tests arm a named failpoint with a fire count; each engine pass through
+//! the hook consumes one firing:
+//!
+//! ```
+//! # #[cfg(feature = "failpoints")] {
+//! use ustream_engine::failpoints;
+//! failpoints::arm(failpoints::SHARD_WORKER_PANIC, 1);
+//! // ... the next record a shard worker dequeues makes it panic ...
+//! failpoints::reset_all();
+//! # }
+//! ```
+//!
+//! The registry is process-global, so tests that arm failpoints must not run
+//! concurrently with tests that assume clean behaviour — the fault-injection
+//! suite lives in its own integration-test binary for exactly that reason.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Panic inside a shard worker just before it clusters the next record.
+pub const SHARD_WORKER_PANIC: &str = "shard-worker-panic";
+/// Flip one byte of the checkpoint payload after checksumming, so the file
+/// on disk is corrupt but structurally plausible.
+pub const CHECKPOINT_CORRUPT: &str = "checkpoint-corrupt";
+/// Stall a shard worker for 50 ms before it processes the next record,
+/// simulating a slow consumer backing up its channel.
+pub const CHANNEL_STALL: &str = "channel-stall";
+/// Overwrite the first coordinate of the next pushed point with NaN before
+/// validation, simulating a poisoned producer.
+pub const INJECT_NAN: &str = "inject-nan";
+
+fn registry() -> &'static Mutex<HashMap<String, u64>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, u64>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Arms `name` to fire `count` times.
+pub fn arm(name: &str, count: u64) {
+    registry().lock().insert(name.to_string(), count);
+}
+
+/// Disarms `name` (a no-op if it was never armed).
+pub fn disarm(name: &str) {
+    registry().lock().remove(name);
+}
+
+/// Disarms every failpoint.
+pub fn reset_all() {
+    registry().lock().clear();
+}
+
+/// Remaining fire count of `name` (0 when disarmed).
+pub fn remaining(name: &str) -> u64 {
+    registry().lock().get(name).copied().unwrap_or(0)
+}
+
+/// Consumes one firing of `name`. Returns `true` — and decrements the
+/// count — while the failpoint is armed with a positive count.
+pub fn should_fire(name: &str) -> bool {
+    let mut reg = registry().lock();
+    match reg.get_mut(name) {
+        Some(count) if *count > 0 => {
+            *count -= 1;
+            if *count == 0 {
+                reg.remove(name);
+            }
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Replaces the first coordinate with NaN when [`INJECT_NAN`] fires;
+/// otherwise hands the point back unchanged.
+pub fn maybe_poison(point: ustream_common::UncertainPoint) -> ustream_common::UncertainPoint {
+    if !should_fire(INJECT_NAN) {
+        return point;
+    }
+    let mut values = point.values().to_vec();
+    if let Some(v) = values.first_mut() {
+        *v = f64::NAN;
+    }
+    ustream_common::UncertainPoint::new(
+        values,
+        point.errors().to_vec(),
+        point.timestamp(),
+        point.label(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fire_counts_are_consumed() {
+        reset_all();
+        arm("test-fp", 2);
+        assert_eq!(remaining("test-fp"), 2);
+        assert!(should_fire("test-fp"));
+        assert!(should_fire("test-fp"));
+        assert!(!should_fire("test-fp"));
+        assert_eq!(remaining("test-fp"), 0);
+    }
+
+    #[test]
+    fn disarm_and_unknown_names() {
+        reset_all();
+        assert!(!should_fire("never-armed"));
+        arm("test-fp-2", 100);
+        disarm("test-fp-2");
+        assert!(!should_fire("test-fp-2"));
+    }
+
+    #[test]
+    fn poison_injects_nan_only_when_armed() {
+        reset_all();
+        let p = ustream_common::UncertainPoint::new(vec![1.0, 2.0], vec![0.1, 0.1], 3, None);
+        let clean = maybe_poison(p.clone());
+        assert_eq!(clean.values(), &[1.0, 2.0]);
+        arm(INJECT_NAN, 1);
+        let poisoned = maybe_poison(p);
+        assert!(poisoned.values()[0].is_nan());
+        assert_eq!(poisoned.values()[1], 2.0);
+        assert_eq!(poisoned.timestamp(), 3);
+    }
+}

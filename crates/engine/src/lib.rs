@@ -27,13 +27,21 @@
 //! [`umicro::OnlineClusterer`], so the same engine can drive UMicro, the
 //! decayed variant, or any custom implementation ([`StreamEngine::start_with`]).
 //!
+//! The engine is built to stay up: shard workers are **supervised**
+//! (a panicking worker is respawned and reseeded from the last merged
+//! snapshot, surfaced via [`EngineReport::health`]), malformed records are
+//! **validated** at the producer boundary ([`ValidationPolicy`] decides
+//! whether they are rejected, repaired or quarantined), and the complete
+//! engine state can be **checkpointed** atomically and restored bit-for-bit
+//! ([`StreamEngine::checkpoint`] / [`StreamEngine::restore`]).
+//!
 //! ```
 //! use ustream_engine::{EngineConfig, StreamEngine};
 //! use umicro::UMicroConfig;
 //! use ustream_common::UncertainPoint;
 //!
 //! let config = EngineConfig::new(UMicroConfig::new(16, 2).unwrap()).with_shards(2);
-//! let engine = StreamEngine::start(config);
+//! let engine = StreamEngine::start(config).expect("engine workers spawn");
 //! for t in 1..=100u64 {
 //!     let x = if t % 2 == 0 { 0.0 } else { 8.0 };
 //!     engine
@@ -49,10 +57,20 @@
 //! assert_eq!(report.per_shard.len(), 2);
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod checkpoint;
 mod config;
 mod engine;
+#[cfg(feature = "failpoints")]
+pub mod failpoints;
 mod report;
+mod validate;
 
+pub use checkpoint::EngineCheckpoint;
 pub use config::{EngineConfig, NoveltyBaseline};
 pub use engine::{DynClusterer, StreamEngine, TryPushError};
-pub use report::{EngineReport, NoveltyAlert, ShardStats};
+pub use report::{EngineReport, HealthStatus, NoveltyAlert, ShardStats};
+pub use validate::{
+    BackpressurePolicy, PointFault, Quarantine, QuarantinedPoint, ValidationPolicy,
+};

@@ -1,6 +1,32 @@
 //! Alert and shutdown-report types.
 
+use std::fmt;
 use ustream_common::Timestamp;
+
+/// Aggregate health of the engine's shard workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthStatus {
+    /// Every shard worker is alive and none has ever been restarted.
+    Healthy,
+    /// The engine is serving queries and ingesting, but at least one worker
+    /// has panicked: it was either respawned (losing at most the points
+    /// queued plus clustered since the last merge on that shard) or is
+    /// permanently down while the remaining shards carry the stream.
+    Degraded,
+    /// Every shard worker is dead and ingestion is impossible. Horizon
+    /// queries over already-merged history still work.
+    Failed,
+}
+
+impl fmt::Display for HealthStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Healthy => write!(f, "healthy"),
+            Self::Degraded => write!(f, "degraded"),
+            Self::Failed => write!(f, "failed"),
+        }
+    }
+}
 
 /// A record flagged as unlike anything the clustering currently knows.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,6 +58,13 @@ pub struct ShardStats {
     pub alerts_raised: u64,
     /// Clustered records per second of engine wall-clock.
     pub points_per_sec: f64,
+    /// Times this shard's worker was respawned after a panic.
+    pub restarts: u64,
+    /// Panic payload of the most recent worker panic, if any.
+    pub last_panic: Option<String>,
+    /// Whether the worker thread is currently running. `false` after
+    /// shutdown, or when the worker died and could not be respawned.
+    pub alive: bool,
 }
 
 /// Final accounting returned by [`crate::StreamEngine::shutdown`].
@@ -56,6 +89,32 @@ pub struct EngineReport {
     /// Mean wall-clock cost of one merge, in microseconds (0 when no merge
     /// has run).
     pub mean_merge_micros: f64,
+    /// Aggregate worker health (see [`HealthStatus`]).
+    pub health: HealthStatus,
+    /// Points refused under [`ValidationPolicy::Reject`] or because their
+    /// dimensionality never matched.
+    ///
+    /// [`ValidationPolicy::Reject`]: crate::ValidationPolicy::Reject
+    pub points_rejected: u64,
+    /// Points repaired under [`ValidationPolicy::Clamp`].
+    ///
+    /// [`ValidationPolicy::Clamp`]: crate::ValidationPolicy::Clamp
+    pub points_clamped: u64,
+    /// Points diverted under [`ValidationPolicy::Quarantine`] (including
+    /// ones the bounded buffer has since dropped).
+    ///
+    /// [`ValidationPolicy::Quarantine`]: crate::ValidationPolicy::Quarantine
+    pub points_quarantined: u64,
+    /// Quarantined points evicted because the buffer overflowed.
+    pub quarantine_dropped: u64,
+    /// Points dropped under [`BackpressurePolicy::DropNewest`].
+    ///
+    /// [`BackpressurePolicy::DropNewest`]: crate::BackpressurePolicy::DropNewest
+    pub backpressure_dropped: u64,
+    /// Automatic checkpoints written successfully.
+    pub checkpoints_written: u64,
+    /// The most recent auto-checkpoint failure, if any.
+    pub last_checkpoint_error: Option<String>,
     /// Per-shard breakdown (one entry per shard worker).
     pub per_shard: Vec<ShardStats>,
 }

@@ -86,7 +86,17 @@ pub fn read_stream<R: Read>(reader: R) -> Result<VecStream> {
         }
         let mut errors = Vec::with_capacity(dims);
         for f in &fields[2 + dims..] {
-            errors.push(parse_f64(f, "error")?);
+            let psi = parse_f64(f, "error")?;
+            // Validate here (rather than letting the UncertainPoint
+            // constructor assert) so a malformed row is a recoverable
+            // Dataset error naming its line, not a panic.
+            if !psi.is_finite() || psi < 0.0 {
+                return Err(UStreamError::Dataset(format!(
+                    "line {}: error magnitude must be finite and non-negative, got {psi}",
+                    lineno + 2
+                )));
+            }
+            errors.push(psi);
         }
         points.push(UncertainPoint::new(values, errors, t, label));
     }

@@ -26,7 +26,8 @@ fn engine_processes_generated_workload() {
     let engine = StreamEngine::start(
         EngineConfig::new(UMicroConfig::new(40, dims).unwrap())
             .with_pyramid(PyramidConfig::new(2, 6).unwrap()),
-    );
+    )
+    .expect("engine starts");
     for p in points {
         engine.push(p).expect("engine accepts records");
     }
@@ -46,9 +47,10 @@ fn engine_processes_generated_workload() {
 #[test]
 fn engine_multi_producer_totals_are_exact() {
     let (points, dims) = noisy_points(6_000, 9);
-    let engine = Arc::new(StreamEngine::start(EngineConfig::new(
-        UMicroConfig::new(30, dims).unwrap(),
-    )));
+    let engine = Arc::new(
+        StreamEngine::start(EngineConfig::new(UMicroConfig::new(30, dims).unwrap()))
+            .expect("engine starts"),
+    );
     let chunks: Vec<Vec<UncertainPoint>> = points.chunks(1_500).map(<[_]>::to_vec).collect();
     let mut handles = Vec::new();
     for chunk in chunks {
@@ -93,7 +95,8 @@ fn engine_detects_regime_change_on_real_profile() {
         EngineConfig::new(UMicroConfig::new(40, dims).unwrap())
             .with_novelty_factor(Some(6.0))
             .with_novelty_quantile(0.99),
-    );
+    )
+    .expect("engine starts");
     for p in points {
         engine.push(p).expect("engine accepts records");
     }
@@ -124,7 +127,8 @@ fn decayed_engine_forgets_old_regimes_in_horizon_queries() {
     let dims = 2;
     let engine = StreamEngine::start(
         EngineConfig::new(UMicroConfig::new(16, dims).unwrap()).with_decay_half_life(512.0),
-    );
+    )
+    .expect("engine starts");
     for t in 1..=4_096u64 {
         let x = if t <= 3_072 { 0.0 } else { 64.0 };
         engine

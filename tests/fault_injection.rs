@@ -1,0 +1,198 @@
+//! Fault-injection suite: drives the engine through injected worker
+//! panics, corrupted checkpoints, poisoned producers and stalled channels
+//! via the `failpoints` feature:
+//!
+//! ```text
+//! cargo test --features failpoints --test fault_injection
+//! ```
+//!
+//! The failpoint registry is process-global, so every test here grabs one
+//! shared lock — the suite is effectively serial.
+
+#![cfg(feature = "failpoints")]
+
+use std::sync::Mutex;
+use umicro::UMicroConfig;
+use ustream_common::{UStreamError, UncertainPoint};
+use ustream_engine::{
+    failpoints, BackpressurePolicy, EngineConfig, HealthStatus, StreamEngine, ValidationPolicy,
+};
+
+static FAILPOINT_LOCK: Mutex<()> = Mutex::new(());
+
+fn pt(x: f64, y: f64, t: u64) -> UncertainPoint {
+    UncertainPoint::new(vec![x, y], vec![0.3, 0.3], t, None)
+}
+
+fn temp_path(tag: &str) -> String {
+    std::env::temp_dir()
+        .join(format!("ustream-fi-{tag}-{}.ckpt", std::process::id()))
+        .to_string_lossy()
+        .into_owned()
+}
+
+#[test]
+fn injected_worker_panic_degrades_without_losing_merged_clusters() {
+    let _guard = FAILPOINT_LOCK.lock().unwrap();
+    failpoints::reset_all();
+
+    let e = StreamEngine::start(
+        EngineConfig::new(UMicroConfig::new(8, 2).unwrap()).with_snapshot_every(8),
+    )
+    .unwrap();
+    for t in 1..=64u64 {
+        e.push(pt((t % 2) as f64 * 10.0, 0.0, t)).unwrap();
+    }
+    e.flush();
+    let clusters_before = e.micro_clusters();
+    assert!(!clusters_before.is_empty());
+    assert_eq!(e.stats().health, HealthStatus::Healthy);
+
+    // The next record the worker dequeues makes it panic; the record is
+    // consumed (the documented at-most-one loss).
+    failpoints::arm(failpoints::SHARD_WORKER_PANIC, 1);
+    e.push(pt(1.0, 1.0, 65)).unwrap();
+    for t in 66..=128u64 {
+        e.push(pt((t % 2) as f64 * 10.0, 0.0, t)).unwrap();
+    }
+    e.flush(); // barrier only replies once the respawned worker drained
+
+    let report = e.stats();
+    assert_eq!(report.health, HealthStatus::Degraded);
+    assert_eq!(report.per_shard[0].restarts, 1);
+    assert!(report.per_shard[0].alive, "worker must have respawned");
+    assert!(
+        report.per_shard[0]
+            .last_panic
+            .as_deref()
+            .unwrap_or("")
+            .contains("injected shard worker panic"),
+        "panic payload lost: {:?}",
+        report.per_shard[0].last_panic
+    );
+    // Exactly the in-flight record was lost...
+    assert_eq!(report.points_processed, 127);
+    // ...and the merged cluster history survived: the reseeded worker kept
+    // clustering into the same id space and queries still resolve.
+    let clusters_after = e.micro_clusters();
+    assert!(!clusters_after.is_empty());
+    let total: f64 = clusters_after
+        .iter()
+        .map(|c| ustream_common::AdditiveFeature::count(&c.ecf))
+        .sum();
+    assert!(total > 0.0);
+    assert!(e.horizon_clusters(32).is_ok());
+
+    failpoints::reset_all();
+    e.shutdown();
+}
+
+#[test]
+fn corrupted_checkpoint_fails_restore_cleanly() {
+    let _guard = FAILPOINT_LOCK.lock().unwrap();
+    failpoints::reset_all();
+    let path = temp_path("corrupt");
+
+    let e = StreamEngine::start(
+        EngineConfig::new(UMicroConfig::new(8, 2).unwrap()).with_snapshot_every(16),
+    )
+    .unwrap();
+    for t in 1..=128u64 {
+        e.push(pt((t % 3) as f64, (t % 5) as f64, t)).unwrap();
+    }
+    e.flush();
+
+    // The failpoint flips one payload byte *after* the header checksum is
+    // computed: the file is structurally plausible but corrupt.
+    failpoints::arm(failpoints::CHECKPOINT_CORRUPT, 1);
+    e.checkpoint(&path).unwrap();
+
+    match StreamEngine::restore(&path) {
+        Err(UStreamError::Checkpoint(msg)) => {
+            assert!(
+                msg.contains("checksum") || msg.contains("payload"),
+                "unhelpful corruption error: {msg}"
+            );
+        }
+        Err(other) => panic!("corruption must map to Checkpoint, got {other:?}"),
+        Ok(_) => panic!("restore of a corrupt checkpoint must fail"),
+    }
+
+    // A clean re-checkpoint of the same engine restores fine.
+    e.checkpoint(&path).unwrap();
+    let r = StreamEngine::restore(&path).unwrap();
+    assert_eq!(r.points_processed(), e.points_processed());
+
+    failpoints::reset_all();
+    e.shutdown();
+    r.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn injected_nan_is_quarantined_with_visible_counter() {
+    let _guard = FAILPOINT_LOCK.lock().unwrap();
+    failpoints::reset_all();
+
+    let e = StreamEngine::start(
+        EngineConfig::new(UMicroConfig::new(4, 2).unwrap())
+            .with_validation(Some(ValidationPolicy::Quarantine)),
+    )
+    .unwrap();
+    // The producer thinks it pushes a clean record; the failpoint poisons
+    // its first coordinate before validation sees it.
+    failpoints::arm(failpoints::INJECT_NAN, 1);
+    e.push(pt(1.0, 2.0, 1)).unwrap();
+    e.push(pt(1.0, 2.0, 2)).unwrap();
+    e.flush();
+
+    let report = e.stats();
+    assert_eq!(report.points_quarantined, 1);
+    assert_eq!(report.points_processed, 1);
+    let held = e.drain_quarantine();
+    assert_eq!(held.len(), 1);
+    assert!(held[0].point.values()[0].is_nan());
+    assert!(
+        held[0].fault.contains("non-finite"),
+        "fault lost: {}",
+        held[0].fault
+    );
+
+    failpoints::reset_all();
+    e.shutdown();
+}
+
+#[test]
+fn stalled_worker_with_drop_newest_sheds_load_instead_of_blocking() {
+    let _guard = FAILPOINT_LOCK.lock().unwrap();
+    failpoints::reset_all();
+
+    let mut config = EngineConfig::new(UMicroConfig::new(4, 2).unwrap())
+        .with_backpressure(BackpressurePolicy::DropNewest)
+        .with_snapshot_every(1_000);
+    config.channel_capacity = 2;
+    let e = StreamEngine::start(config).unwrap();
+
+    // Every record costs the worker an extra 50 ms: the 2-slot channel
+    // fills immediately and DropNewest sheds the rest without blocking the
+    // producer.
+    failpoints::arm(failpoints::CHANNEL_STALL, 1_000);
+    for t in 1..=40u64 {
+        e.push(pt(0.0, 0.0, t)).unwrap();
+    }
+    let report = e.stats();
+    assert!(
+        report.backpressure_dropped > 0,
+        "expected drops under a stalled worker: {report:?}"
+    );
+
+    failpoints::disarm(failpoints::CHANNEL_STALL);
+    e.flush();
+    let report = e.shutdown();
+    assert_eq!(
+        report.points_processed + report.backpressure_dropped,
+        40,
+        "every record is either processed or counted as dropped"
+    );
+    failpoints::reset_all();
+}

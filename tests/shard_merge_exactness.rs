@@ -164,7 +164,7 @@ fn sharded_engine_is_exact_on_syndrift() {
 
     // `push` routes round-robin from a zero cursor, so a single producer
     // reproduces the reference routing exactly.
-    let engine = StreamEngine::start(config);
+    let engine = StreamEngine::start(config).expect("engine starts");
     for p in &points {
         engine.push(p.clone()).expect("engine accepts records");
     }

@@ -5,9 +5,13 @@
 
 use crate::args::{CliError, Flags};
 use crate::commands::load_stream;
+use std::time::Duration;
 use umicro::UMicroConfig;
 use ustream_common::DataStream;
-use ustream_engine::{EngineConfig, StreamEngine, ValidationPolicy};
+use ustream_engine::{
+    EngineConfig, LoadPolicy, LoadStage, SnapshotBudget, StreamEngine, ValidationPolicy,
+    WatchdogConfig,
+};
 use ustream_snapshot::PyramidConfig;
 
 fn parse_validation(s: &str) -> Result<Option<ValidationPolicy>, CliError> {
@@ -38,7 +42,20 @@ pub fn run(flags: &Flags) -> Result<(), CliError> {
     let validation = parse_validation(&flags.get_str("validation", "reject"))?;
     let checkpoint: Option<String> = flags.get_opt("checkpoint")?;
     let checkpoint_every: Option<u64> = flags.get_opt("checkpoint-every")?;
+    let checkpoint_generations: u64 = flags.get("checkpoint-generations", 1)?;
     let resume: Option<String> = flags.get_opt("resume")?;
+    let load_policy = match flags.get_str("load-policy", "off").as_str() {
+        "off" => None,
+        "on" => Some(LoadPolicy::default()),
+        other => {
+            return Err(format!("--load-policy must be on|off (got {other})").into());
+        }
+    };
+    let keep_per_mille: Option<u64> = flags.get_opt("keep-per-mille")?;
+    let watchdog_ms: Option<u64> = flags.get_opt("watchdog")?;
+    let budget_snapshots: Option<usize> = flags.get_opt("snapshot-budget")?;
+    let budget_bytes: Option<u64> = flags.get_opt("snapshot-budget-bytes")?;
+    let drain_timeout: Option<u64> = flags.get_opt("drain-timeout")?;
     if shards == 0 || shards > 1 << 16 {
         return Err(format!("--shards must be in 1..={} (got {shards})", 1u32 << 16).into());
     }
@@ -47,6 +64,18 @@ pub fn run(flags: &Flags) -> Result<(), CliError> {
     }
     if checkpoint_every.is_some() && checkpoint.is_none() {
         return Err("--checkpoint-every needs --checkpoint <path>".into());
+    }
+    if !(1..=64).contains(&checkpoint_generations) {
+        return Err(format!(
+            "--checkpoint-generations must be in 1..=64 (got {checkpoint_generations})"
+        )
+        .into());
+    }
+    if keep_per_mille.is_some_and(|k| !(1..=1000).contains(&k)) {
+        return Err("--keep-per-mille must be in 1..=1000".into());
+    }
+    if keep_per_mille.is_some() && load_policy.is_none() {
+        return Err("--keep-per-mille needs --load-policy on".into());
     }
 
     let stream = load_stream(input)?;
@@ -80,7 +109,30 @@ pub fn run(flags: &Flags) -> Result<(), CliError> {
                 if every == 0 {
                     return Err("--checkpoint-every must be positive".into());
                 }
-                config = config.with_auto_checkpoint(every, path);
+                config = config
+                    .with_auto_checkpoint(every, path)
+                    .with_checkpoint_generations(checkpoint_generations);
+            }
+            if let Some(mut policy) = load_policy {
+                if let Some(keep) = keep_per_mille {
+                    policy.keep_per_mille = keep;
+                }
+                config = config.with_load_policy(policy);
+            }
+            if let Some(ms) = watchdog_ms {
+                if ms == 0 {
+                    return Err("--watchdog must be a positive stall deadline in ms".into());
+                }
+                config = config.with_watchdog(WatchdogConfig {
+                    stall_deadline_ms: ms,
+                    ..WatchdogConfig::default()
+                });
+            }
+            if budget_snapshots.is_some() || budget_bytes.is_some() {
+                config = config.with_snapshot_budget(SnapshotBudget {
+                    max_snapshots: budget_snapshots,
+                    max_bytes: budget_bytes,
+                });
             }
             StreamEngine::start(config).map_err(|e| format!("cannot start engine: {e}"))?
         }
@@ -139,7 +191,22 @@ pub fn run(flags: &Flags) -> Result<(), CliError> {
         }
     }
 
-    let report = engine.shutdown();
+    let report = match drain_timeout {
+        Some(ms) => {
+            let outcome = engine.shutdown_drain(Duration::from_millis(ms));
+            println!(
+                "\ndrain: {} ms ({} the {ms} ms deadline)",
+                outcome.drain_millis,
+                if outcome.deadline_met {
+                    "met"
+                } else {
+                    "MISSED"
+                }
+            );
+            outcome.report
+        }
+        None => engine.shutdown(),
+    };
     println!(
         "\nprocessed {} records to tick {}; {} live micro-clusters, \
          {} snapshots retained",
@@ -157,6 +224,33 @@ pub fn run(flags: &Flags) -> Result<(), CliError> {
     }
     if report.checkpoints_written > 0 {
         println!("auto-checkpoints written: {}", report.checkpoints_written);
+    }
+    if !report.load_transitions.is_empty() || report.load_stage != LoadStage::Normal {
+        println!(
+            "degradation ladder: final stage {}, {} shed, {} sampled out (keep {}‰)",
+            report.load_stage,
+            report.points_shed,
+            report.points_sampled_out,
+            report.sampling_keep_per_mille
+        );
+        for tr in &report.load_transitions {
+            println!(
+                "  {:>8} ms: {} -> {} (pressure {:.2})",
+                tr.at_ms, tr.from, tr.to, tr.pressure
+            );
+        }
+    }
+    if report.stalls_detected > 0 {
+        println!(
+            "watchdog: {} stall(s) detected and rescued",
+            report.stalls_detected
+        );
+    }
+    if report.snapshot_budget_evictions > 0 {
+        println!(
+            "snapshot budget: {} evictions, {} bytes retained, horizon error bound {:.3}",
+            report.snapshot_budget_evictions, report.snapshot_bytes, report.horizon_error_bound
+        );
     }
     if let Some(e) = &report.last_checkpoint_error {
         println!("last checkpoint error: {e}");

@@ -61,7 +61,14 @@ commands:
              --validation reject|clamp|quarantine|off  malformed-record policy (default reject)
              --checkpoint <path>   write engine state after the replay
              --checkpoint-every <u64>  also auto-checkpoint every n records
+             --checkpoint-generations <u64>  rotate auto-checkpoints across n files (default 1)
              --resume <path>       restore engine state before the replay
+             --load-policy on|off  degradation ladder under channel pressure (default off)
+             --keep-per-mille <u64>  sampling admission rate on the ladder (default 500)
+             --watchdog <u64>      stall watchdog deadline in ms (default: off)
+             --snapshot-budget <usize>  cap retained snapshots (default: off)
+             --snapshot-budget-bytes <u64>  cap retained snapshot bytes (default: off)
+             --drain-timeout <u64> graceful drain deadline in ms before shutdown
   inspect    print stream statistics
              --in <path>           input CSV                 (required)
 ";

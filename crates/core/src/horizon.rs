@@ -13,7 +13,9 @@ use crate::algorithm::UMicro;
 use crate::ecf::Ecf;
 use crate::macrocluster::{macro_cluster_ecfs, MacroClustering};
 use ustream_common::{Result, Timestamp};
-use ustream_snapshot::{ClusterSetSnapshot, HorizonTracker, PyramidConfig, SnapshotStore};
+use ustream_snapshot::{
+    BudgetReport, ClusterSetSnapshot, HorizonTracker, PyramidConfig, SnapshotBudget, SnapshotStore,
+};
 
 /// Records UMicro snapshots and answers horizon queries (a thin UMicro-
 /// flavoured wrapper over the feature-generic
@@ -39,6 +41,19 @@ impl HorizonAnalyzer {
     /// The underlying snapshot store (for persistence or inspection).
     pub fn store(&self) -> &SnapshotStore<ClusterSetSnapshot<Ecf>> {
         self.tracker.store()
+    }
+
+    /// Installs a memory budget on the snapshot store; see
+    /// [`SnapshotBudget`]. Horizon queries keep answering under a budget,
+    /// with the error bound inflation reported by [`Self::budget_report`].
+    pub fn set_budget(&mut self, budget: SnapshotBudget) {
+        self.tracker.set_budget(budget);
+    }
+
+    /// Budget accounting of the snapshot store (evictions, retained bytes,
+    /// effective horizon-error bound).
+    pub fn budget_report(&self) -> BudgetReport {
+        self.tracker.budget_report()
     }
 
     /// Records the current state of `alg` as the snapshot for tick `now`.

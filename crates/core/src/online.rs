@@ -106,6 +106,18 @@ pub trait OnlineClusterer: Send {
             "this clusterer does not support state restore".into(),
         ))
     }
+
+    /// Estimated resident bytes of this clusterer's model, for resource
+    /// governance and per-shard reporting. The default charges the inline
+    /// struct plus one summary (and a nominal per-cluster overhead) per
+    /// live micro-cluster; implementations with large auxiliary state
+    /// (kernels, sketches) should override. Must be cheap — the engine
+    /// calls it while holding the shard lock.
+    fn approx_memory_bytes(&self) -> usize {
+        const PER_CLUSTER_OVERHEAD: usize = 64;
+        std::mem::size_of_val(self)
+            + self.num_clusters() * (std::mem::size_of::<Self::Summary>() + PER_CLUSTER_OVERHEAD)
+    }
 }
 
 /// Error-corrected distance from `point` to the nearest of `clusters`,
@@ -260,6 +272,10 @@ impl<T: OnlineClusterer + ?Sized> OnlineClusterer for Box<T> {
     fn import_state(&mut self, state: &ClustererState<Self::Summary>) -> Result<(), UStreamError> {
         (**self).import_state(state)
     }
+
+    fn approx_memory_bytes(&self) -> usize {
+        (**self).approx_memory_bytes()
+    }
 }
 
 #[cfg(test)]
@@ -317,6 +333,15 @@ mod tests {
         OnlineClusterer::insert_batch(&mut batched, &points, &mut batch_out);
         assert_eq!(loop_out, batch_out);
         assert_eq!(looped.num_clusters(), batched.num_clusters());
+    }
+
+    #[test]
+    fn approx_memory_bytes_grows_with_model() {
+        let mut alg = UMicro::new(UMicroConfig::new(8, 2).unwrap());
+        let empty = alg.approx_memory_bytes();
+        drive(&mut alg);
+        assert!(alg.num_clusters() >= 2);
+        assert!(alg.approx_memory_bytes() > empty);
     }
 
     #[test]

@@ -217,6 +217,127 @@ pub fn read(path: &str) -> Result<EngineCheckpoint> {
     decode(&bytes)
 }
 
+// ---- checkpoint generations -------------------------------------------
+//
+// With `EngineConfig::with_checkpoint_generations(n)`, auto-checkpoints
+// rotate through `n` files `<base>.0 … <base>.{n-1}` plus a manifest
+// `<base>.manifest` listing `slot seq` pairs newest-first. A single corrupt
+// write (or a corrupt byte on disk) then costs one generation, not the
+// whole recovery story: [`read_latest`] walks the manifest newest-first and
+// returns the first generation that still decodes, falling back to a slot
+// scan when the manifest itself is missing or unreadable.
+
+/// Slots scanned by [`read_latest`] when no manifest is usable.
+const MAX_SCAN_SLOTS: u64 = 64;
+
+/// On-disk path of rotation slot `slot` under `base`.
+pub fn generation_path(base: &str, slot: u64) -> String {
+    format!("{base}.{slot}")
+}
+
+/// On-disk path of the rotation manifest under `base`.
+pub fn manifest_path(base: &str) -> String {
+    format!("{base}.manifest")
+}
+
+/// `(slot, seq)` entries newest-first, or `None` when the manifest is
+/// missing or malformed (callers then fall back to scanning the slots).
+fn read_manifest(base: &str) -> Option<Vec<(u64, u64)>> {
+    let text = fs::read_to_string(manifest_path(base)).ok()?;
+    let mut entries = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.split_ascii_whitespace();
+        let slot: u64 = fields.next()?.parse().ok()?;
+        let seq: u64 = fields.next()?.parse().ok()?;
+        entries.push((slot, seq));
+    }
+    (!entries.is_empty()).then_some(entries)
+}
+
+fn write_manifest(base: &str, entries: &[(u64, u64)]) -> Result<()> {
+    let mut text = String::new();
+    for (slot, seq) in entries {
+        text.push_str(&format!("{slot} {seq}\n"));
+    }
+    let path = manifest_path(base);
+    let tmp = format!("{path}.tmp");
+    fs::write(&tmp, text)?;
+    fs::rename(&tmp, &path)?;
+    Ok(())
+}
+
+/// Writes checkpoint number `seq` into its rotation slot
+/// (`seq % generations`) and promotes it to the head of the manifest.
+///
+/// The generation file is written atomically first, the manifest second —
+/// a crash between the two leaves a valid file that the slot-scan fallback
+/// of [`read_latest`] still finds.
+pub fn write_rotated(
+    base: &str,
+    generations: u64,
+    seq: u64,
+    ckpt: &EngineCheckpoint,
+) -> Result<()> {
+    let generations = generations.max(1);
+    let slot = seq % generations;
+    write_atomic(&generation_path(base, slot), ckpt)?;
+    let mut entries = read_manifest(base).unwrap_or_default();
+    entries.retain(|(s, _)| *s != slot);
+    entries.insert(0, (slot, seq));
+    entries.truncate(generations as usize);
+    write_manifest(base, &entries)
+}
+
+/// Loads the newest checkpoint generation that still decodes.
+///
+/// Tries the manifest order (newest first); when the manifest is missing
+/// or unusable, scans `<base>.0 … <base>.{63}` and the bare `base` path and
+/// returns the valid checkpoint with the highest `points_processed`. Errors
+/// only when *no* generation decodes — with the decode error of the last
+/// corrupt candidate, so the caller sees why recovery failed.
+pub fn read_latest(base: &str) -> Result<EngineCheckpoint> {
+    if let Some(entries) = read_manifest(base) {
+        for (slot, _seq) in &entries {
+            if let Ok(ck) = read(&generation_path(base, *slot)) {
+                return Ok(ck);
+            }
+        }
+    }
+    let mut best: Option<EngineCheckpoint> = None;
+    let mut last_err: Option<UStreamError> = None;
+    let mut candidates: Vec<String> = (0..MAX_SCAN_SLOTS)
+        .map(|s| generation_path(base, s))
+        .collect();
+    candidates.push(base.to_string());
+    for path in candidates {
+        if !std::path::Path::new(&path).exists() {
+            continue;
+        }
+        match read(&path) {
+            Ok(ck) => {
+                if best
+                    .as_ref()
+                    .is_none_or(|b| ck.points_processed > b.points_processed)
+                {
+                    best = Some(ck);
+                }
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    best.ok_or_else(|| {
+        last_err.unwrap_or_else(|| {
+            UStreamError::Checkpoint(format!(
+                "no checkpoint generation found at {base} (or {base}.N)"
+            ))
+        })
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -350,5 +471,91 @@ mod tests {
     fn missing_file_is_an_io_error() {
         let err = read("/nonexistent/dir/engine.ckpt").unwrap_err();
         assert!(matches!(err, UStreamError::Io(_)));
+    }
+
+    fn temp_base(tag: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("ustream-rot-{tag}-{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    fn cleanup_rotation(base: &str) {
+        for slot in 0..8 {
+            let _ = fs::remove_file(generation_path(base, slot));
+        }
+        let _ = fs::remove_file(manifest_path(base));
+        let _ = fs::remove_file(base);
+    }
+
+    fn ckpt_at(points: u64) -> EngineCheckpoint {
+        let mut ck = tiny_checkpoint();
+        ck.points_processed = points;
+        ck
+    }
+
+    #[test]
+    fn rotation_keeps_n_generations_and_reads_newest() {
+        let base = temp_base("keepn");
+        cleanup_rotation(&base);
+        for seq in 0..6u64 {
+            write_rotated(&base, 3, seq, &ckpt_at(seq * 10)).unwrap();
+        }
+        // Exactly the three slot files exist, plus the manifest.
+        for slot in 0..3 {
+            assert!(std::path::Path::new(&generation_path(&base, slot)).exists());
+        }
+        assert!(!std::path::Path::new(&generation_path(&base, 3)).exists());
+        let back = read_latest(&base).unwrap();
+        assert_eq!(back.points_processed, 50);
+        cleanup_rotation(&base);
+    }
+
+    #[test]
+    fn read_latest_skips_corrupt_newest_generation() {
+        let base = temp_base("skipnew");
+        cleanup_rotation(&base);
+        for seq in 0..3u64 {
+            write_rotated(&base, 3, seq, &ckpt_at(seq * 10)).unwrap();
+        }
+        // Corrupt the newest generation (slot 2 = seq 2) on disk.
+        let newest = generation_path(&base, 2);
+        let mut bytes = fs::read(&newest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        fs::write(&newest, bytes).unwrap();
+        let back = read_latest(&base).unwrap();
+        assert_eq!(back.points_processed, 10, "should fall back to seq 1");
+        cleanup_rotation(&base);
+    }
+
+    #[test]
+    fn read_latest_scans_slots_when_manifest_is_garbage() {
+        let base = temp_base("scan");
+        cleanup_rotation(&base);
+        for seq in 0..3u64 {
+            write_rotated(&base, 3, seq, &ckpt_at(seq * 10)).unwrap();
+        }
+        fs::write(manifest_path(&base), b"not a manifest\n").unwrap();
+        let back = read_latest(&base).unwrap();
+        assert_eq!(back.points_processed, 20);
+        cleanup_rotation(&base);
+    }
+
+    #[test]
+    fn read_latest_falls_back_to_bare_base_path() {
+        let base = temp_base("bare");
+        cleanup_rotation(&base);
+        write_atomic(&base, &ckpt_at(7)).unwrap();
+        let back = read_latest(&base).unwrap();
+        assert_eq!(back.points_processed, 7);
+        cleanup_rotation(&base);
+    }
+
+    #[test]
+    fn read_latest_with_nothing_on_disk_is_an_error() {
+        let base = temp_base("none");
+        cleanup_rotation(&base);
+        assert!(read_latest(&base).is_err());
     }
 }

@@ -1,9 +1,10 @@
 //! Engine configuration.
 
+use crate::load::{LoadPolicy, WatchdogConfig};
 use crate::validate::{BackpressurePolicy, ValidationPolicy};
 use serde::{Deserialize, Serialize};
 use umicro::UMicroConfig;
-use ustream_snapshot::PyramidConfig;
+use ustream_snapshot::{PyramidConfig, SnapshotBudget};
 
 /// How the novelty detector baselines "ordinary" isolation levels.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -17,7 +18,11 @@ pub enum NoveltyBaseline {
 }
 
 /// Configuration of a [`crate::StreamEngine`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `Deserialize` is hand-written (not derived) so configs serialized before
+/// the resilience fields existed — e.g. inside old checkpoints — still
+/// parse, with `checkpoint_generations = 1` and no governor.
+#[derive(Debug, Clone, Serialize)]
 pub struct EngineConfig {
     /// The clustering configuration (budget, dimensionality, similarity,
     /// boundary mode).
@@ -68,6 +73,65 @@ pub struct EngineConfig {
     /// Destination for automatic checkpoints; required when
     /// [`checkpoint_every`](Self::checkpoint_every) is set.
     pub checkpoint_path: Option<String>,
+    /// Number of rotated checkpoint generations. `1` (default) keeps the
+    /// historical single-file behaviour; `n > 1` rotates
+    /// `<path>.0 … <path>.{n-1}` plus a manifest, and restore falls back
+    /// generation by generation past corrupt files.
+    pub checkpoint_generations: u64,
+    /// Degradation ladder driven by channel pressure; `None` (default)
+    /// never degrades. Setting a policy starts the governor thread.
+    pub load_policy: Option<LoadPolicy>,
+    /// Stall watchdog over the shard workers; `None` (default) disables it.
+    /// Setting a config starts the governor thread.
+    pub watchdog: Option<WatchdogConfig>,
+    /// Memory budget for the pyramidal snapshot store; `None` (default)
+    /// retains the full `α^l + 1` per order.
+    pub snapshot_budget: Option<SnapshotBudget>,
+}
+
+impl Deserialize for EngineConfig {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let fields = value
+            .as_obj()
+            .ok_or_else(|| serde::Error::msg("expected object for `EngineConfig`"))?;
+        let get = |name: &str| serde::field(fields, name, "EngineConfig");
+        // Fields added after the first released config format default when
+        // absent, so old checkpoints keep restoring.
+        let opt = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        Ok(Self {
+            umicro: Deserialize::from_value(get("umicro")?)?,
+            pyramid: Deserialize::from_value(get("pyramid")?)?,
+            snapshot_every: Deserialize::from_value(get("snapshot_every")?)?,
+            decay_half_life: Deserialize::from_value(get("decay_half_life")?)?,
+            novelty_factor: Deserialize::from_value(get("novelty_factor")?)?,
+            novelty_baseline: Deserialize::from_value(get("novelty_baseline")?)?,
+            channel_capacity: Deserialize::from_value(get("channel_capacity")?)?,
+            max_alerts: Deserialize::from_value(get("max_alerts")?)?,
+            shards: Deserialize::from_value(get("shards")?)?,
+            validation: Deserialize::from_value(get("validation")?)?,
+            monotone_timestamps: Deserialize::from_value(get("monotone_timestamps")?)?,
+            quarantine_capacity: Deserialize::from_value(get("quarantine_capacity")?)?,
+            backpressure: Deserialize::from_value(get("backpressure")?)?,
+            checkpoint_every: Deserialize::from_value(get("checkpoint_every")?)?,
+            checkpoint_path: Deserialize::from_value(get("checkpoint_path")?)?,
+            checkpoint_generations: match opt("checkpoint_generations") {
+                Some(v) => Deserialize::from_value(v)?,
+                None => 1,
+            },
+            load_policy: match opt("load_policy") {
+                Some(v) => Deserialize::from_value(v)?,
+                None => None,
+            },
+            watchdog: match opt("watchdog") {
+                Some(v) => Deserialize::from_value(v)?,
+                None => None,
+            },
+            snapshot_budget: match opt("snapshot_budget") {
+                Some(v) => Deserialize::from_value(v)?,
+                None => None,
+            },
+        })
+    }
 }
 
 impl EngineConfig {
@@ -90,6 +154,10 @@ impl EngineConfig {
             backpressure: BackpressurePolicy::Block,
             checkpoint_every: None,
             checkpoint_path: None,
+            checkpoint_generations: 1,
+            load_policy: None,
+            watchdog: None,
+            snapshot_budget: None,
         }
     }
 
@@ -124,6 +192,35 @@ impl EngineConfig {
         assert!(every > 0, "checkpoint cadence must be positive");
         self.checkpoint_every = Some(every);
         self.checkpoint_path = Some(path.into());
+        self
+    }
+
+    /// Rotates automatic checkpoints through `generations` files instead
+    /// of overwriting one; see [`crate::checkpoint::write_rotated`].
+    pub fn with_checkpoint_generations(mut self, generations: u64) -> Self {
+        assert!(generations >= 1, "need at least one checkpoint generation");
+        assert!(generations <= 64, "checkpoint generations capped at 64");
+        self.checkpoint_generations = generations;
+        self
+    }
+
+    /// Installs the degradation ladder (validated immediately).
+    pub fn with_load_policy(mut self, policy: LoadPolicy) -> Self {
+        policy.validate();
+        self.load_policy = Some(policy);
+        self
+    }
+
+    /// Installs the stall watchdog (validated immediately).
+    pub fn with_watchdog(mut self, watchdog: WatchdogConfig) -> Self {
+        watchdog.validate();
+        self.watchdog = Some(watchdog);
+        self
+    }
+
+    /// Caps the snapshot store's memory; see [`SnapshotBudget`].
+    pub fn with_snapshot_budget(mut self, budget: SnapshotBudget) -> Self {
+        self.snapshot_budget = Some(budget);
         self
     }
 
@@ -268,6 +365,45 @@ mod tests {
         assert_eq!(c.backpressure, BackpressurePolicy::DropNewest);
         assert_eq!(c.checkpoint_every, Some(1_000));
         assert_eq!(c.checkpoint_path.as_deref(), Some("/tmp/engine.ckpt"));
+    }
+
+    #[test]
+    fn resilience_builders() {
+        let c = base()
+            .with_checkpoint_generations(3)
+            .with_load_policy(LoadPolicy::default())
+            .with_watchdog(WatchdogConfig::default())
+            .with_snapshot_budget(SnapshotBudget::by_snapshots(64));
+        assert_eq!(c.checkpoint_generations, 3);
+        assert!(c.load_policy.is_some());
+        assert!(c.watchdog.is_some());
+        assert_eq!(c.snapshot_budget.unwrap().max_snapshots, Some(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one checkpoint generation")]
+    fn zero_generations_rejected() {
+        let _ = base().with_checkpoint_generations(0);
+    }
+
+    #[test]
+    fn old_configs_without_resilience_fields_still_parse() {
+        // A config serialized before the resilience fields existed must
+        // deserialize with the defaults (generations=1, no governor).
+        let serde::Value::Obj(mut fields) = base().to_value() else {
+            panic!("config must serialize to an object");
+        };
+        fields.retain(|(k, _)| {
+            !matches!(
+                k.as_str(),
+                "checkpoint_generations" | "load_policy" | "watchdog" | "snapshot_budget"
+            )
+        });
+        let back = EngineConfig::from_value(&serde::Value::Obj(fields)).unwrap();
+        assert_eq!(back.checkpoint_generations, 1);
+        assert!(back.load_policy.is_none());
+        assert!(back.watchdog.is_none());
+        assert!(back.snapshot_budget.is_none());
     }
 
     #[test]

@@ -35,16 +35,40 @@
 //!   complete engine state atomically; [`StreamEngine::restore`] resumes
 //!   from it bit-for-bit (see [`crate::checkpoint`]).
 //!
+//! ## Overload resilience
+//!
+//! When a [`WatchdogConfig`] or [`LoadPolicy`] is configured, a *governor*
+//! thread observes the engine from the outside using only the lock-free
+//! per-shard counters — the ingest hot path carries zero extra bookkeeping:
+//!
+//! * **Watchdog** — a shard with a non-empty backlog whose `processed`
+//!   counter has not moved within the stall deadline is flagged stalled
+//!   ([`ShardStats::stalled`], health turns `Degraded`) and, when respawn
+//!   is enabled, gets a *rescue consumer*: an extra worker thread cloned
+//!   onto the same MPMC channel. The wedged worker keeps whatever it is
+//!   stuck on; the rescue drains the backlog behind it (ingestion
+//!   serialises on the shard state lock, so correctness is untouched).
+//! * **Degradation ladder** — sustained channel pressure walks
+//!   [`LoadStage`] rungs: widen the merge cadence, then sample admissions
+//!   uniformly (unbiased up to the recorded keep rate), then shed with a
+//!   count. Pressure clearing walks back down. Every transition is
+//!   timestamped into [`EngineReport::load_transitions`].
+//!
+//! The governor deliberately takes **no shard state locks** — a stalled
+//! worker may be wedged while holding one, and the governor must keep
+//! diagnosing regardless.
+//!
 //! Lock ordering (deadlock freedom): a worker's ingest takes its own shard
 //! lock, then at most the alert queue lock; the merge and the checkpoint
 //! builder take the horizon lock first and then shard locks one at a time,
 //! never while an ingest lock is held by the same thread. Shard recovery
 //! clones the last merged snapshot out of its mutex *before* taking the
 //! shard lock. No path acquires the horizon lock while holding a shard
-//! lock.
+//! lock. The governor takes no shard state locks at all.
 
 use crate::checkpoint::{self, EngineCheckpoint, ShardCheckpoint, SnapshotEntry};
 use crate::config::{EngineConfig, NoveltyBaseline};
+use crate::load::{DrainOutcome, LoadStage, LoadTransition};
 use crate::report::{EngineReport, HealthStatus, NoveltyAlert, ShardStats};
 use crate::validate::{
     self, BackpressurePolicy, PointFault, Quarantine, QuarantinedPoint, ValidationPolicy,
@@ -53,10 +77,10 @@ use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use umicro::macrocluster::macro_cluster_ecfs;
 use umicro::{
     compare_windows, ClustererState, DecayedUMicro, Ecf, EvolutionReport, HorizonAnalyzer,
@@ -158,6 +182,16 @@ struct ShardHandle {
     last_panic: Mutex<Option<String>>,
     /// Whether the worker thread is currently running.
     alive: AtomicBool,
+    /// Consumers ever attached to this shard's channel (the original
+    /// worker plus rescue consumers). Shutdown sends this many `Shutdown`
+    /// commands so every consumer — including a wedged one that later
+    /// wakes — gets one.
+    spawned: AtomicU64,
+    /// Stall events the watchdog charged to this shard.
+    stalls: AtomicU64,
+    /// Whether the watchdog currently considers this shard stalled
+    /// (cleared as soon as the processed counter moves).
+    stalled: AtomicBool,
 }
 
 /// State shared by all shards and the query API.
@@ -191,6 +225,64 @@ struct Global {
     /// (so concurrent workers write each auto-checkpoint exactly once).
     checkpoint_epoch: AtomicU64,
     last_checkpoint_error: Mutex<Option<String>>,
+    /// Engine start instant; degradation transitions are stamped against it.
+    started: Instant,
+    /// Current [`LoadStage`] (compact `as_u8` encoding).
+    load_stage: AtomicU8,
+    load_transitions: Mutex<Vec<LoadTransition>>,
+    /// Points dropped outright in [`LoadStage::Shed`].
+    points_shed: AtomicU64,
+    /// Points dropped by probabilistic admission in [`LoadStage::Sample`].
+    sampled_out: AtomicU64,
+    /// Admission ordinal driving the deterministic sampling gate.
+    admit_seq: AtomicU64,
+    /// The merge/snapshot cadence workers actually honour —
+    /// `snapshot_every` normally, widened on the ladder.
+    merge_every_effective: AtomicU64,
+    /// Admission rate (per mille) the sampling gate applies.
+    keep_per_mille: AtomicU64,
+    /// Stall events detected by the watchdog, across shards.
+    stalls_detected: AtomicU64,
+    /// Raised by [`StreamEngine::shutdown_drain`]: admission refused while
+    /// the channels flush.
+    draining: AtomicBool,
+    /// The report cached by the first shutdown; later shutdowns return it.
+    final_report: Mutex<Option<EngineReport>>,
+    /// Rescue consumers the governor attached (joined at shutdown).
+    extra_workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Global {
+    fn load_stage(&self) -> LoadStage {
+        LoadStage::from_u8(self.load_stage.load(Ordering::Relaxed))
+    }
+
+    /// Installs `stage`: updates the effective merge cadence and sampling
+    /// rate, then publishes the stage itself.
+    fn apply_stage(&self, stage: LoadStage) {
+        let policy = self.config.load_policy.unwrap_or_default();
+        let widen = if stage >= LoadStage::WidenMerge {
+            policy.widen_factor.max(1)
+        } else {
+            1
+        };
+        self.merge_every_effective.store(
+            self.config.snapshot_every.saturating_mul(widen).max(1),
+            Ordering::Relaxed,
+        );
+        self.keep_per_mille
+            .store(policy.keep_per_mille.clamp(1, 1000), Ordering::Relaxed);
+        self.load_stage.store(stage.as_u8(), Ordering::Relaxed);
+    }
+
+    fn record_transition(&self, from: LoadStage, to: LoadStage, pressure: f64) {
+        self.load_transitions.lock().push(LoadTransition {
+            at_ms: self.started.elapsed().as_millis() as u64,
+            from,
+            to,
+            pressure,
+        });
+    }
 }
 
 /// Clusters one record under an already-held shard lock, maintaining the
@@ -257,7 +349,7 @@ fn ingest(global: &Global, shard: &ShardHandle, shard_idx: usize, p: &UncertainP
     }
 
     shard.counters.processed.fetch_add(1, Ordering::Relaxed);
-    position.is_multiple_of(global.config.snapshot_every)
+    position.is_multiple_of(global.merge_every_effective.load(Ordering::Relaxed).max(1))
 }
 
 /// Clusters a routed batch in sub-chunks: one global-ordinal reservation,
@@ -308,7 +400,7 @@ fn ingest_batch(
         }
 
         shard.counters.processed.fetch_add(len, Ordering::Relaxed);
-        let every = global.config.snapshot_every;
+        let every = global.merge_every_effective.load(Ordering::Relaxed).max(1);
         if end / every != start / every {
             merge_and_record(global, all_shards);
         }
@@ -408,7 +500,13 @@ fn recover_shard(global: &Global, shards: &[Arc<ShardHandle>], idx: usize) -> bo
 #[cfg(feature = "failpoints")]
 fn fire_worker_failpoints() {
     if crate::failpoints::should_fire(crate::failpoints::CHANNEL_STALL) {
-        std::thread::sleep(std::time::Duration::from_millis(50));
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    // The armed count is a sleep in milliseconds served whole by exactly
+    // one worker — a deterministic "wedged consumer" for watchdog tests.
+    let hang_ms = crate::failpoints::take(crate::failpoints::WORKER_HANG);
+    if hang_ms > 0 {
+        std::thread::sleep(Duration::from_millis(hang_ms));
     }
     if crate::failpoints::should_fire(crate::failpoints::SHARD_WORKER_PANIC) {
         panic!("injected shard worker panic");
@@ -481,6 +579,133 @@ fn shard_worker(
     all_shards[idx].alive.store(false, Ordering::Release);
 }
 
+/// Attaches a rescue consumer to shard `idx`'s channel: a fresh thread
+/// draining the same MPMC receiver the wedged worker holds. It takes no
+/// shard state lock the governor could be blocked on, and it does not
+/// respawn itself — the original supervisor still owns panic recovery.
+fn spawn_rescue(
+    global: &Arc<Global>,
+    shards: &[Arc<ShardHandle>],
+    rxs: &[Receiver<Command>],
+    idx: usize,
+) {
+    let rx = rxs[idx].clone();
+    let global_for_rescue = Arc::clone(global);
+    let all_shards = shards.to_vec();
+    let spawned = std::thread::Builder::new()
+        .name(format!("ustream-rescue-{idx}"))
+        .spawn(move || {
+            let _ = catch_unwind(AssertUnwindSafe(|| {
+                drain_commands(&rx, &global_for_rescue, &all_shards, idx);
+            }));
+        });
+    if let Ok(handle) = spawned {
+        shards[idx].spawned.fetch_add(1, Ordering::Relaxed);
+        global.extra_workers.lock().push(handle);
+    }
+}
+
+/// Governor-local view of one shard's progress.
+struct WatchState {
+    last_processed: u64,
+    last_change: Instant,
+    last_respawn: Option<Instant>,
+}
+
+/// The governor thread: polls the lock-free shard counters, runs the stall
+/// watchdog and walks the degradation ladder. Exits when the engine starts
+/// shutting down (the shutdown path joins it *before* sending shutdown
+/// commands, so no rescue consumer can appear after the shutdown fan-out
+/// was counted).
+fn governor(global: Arc<Global>, shards: Vec<Arc<ShardHandle>>, rxs: Vec<Receiver<Command>>) {
+    let watchdog = global.config.watchdog;
+    let policy = global.config.load_policy;
+    let poll = Duration::from_millis(watchdog.map_or(20, |w| w.poll_ms.max(1)));
+    let mut watch: Vec<WatchState> = shards
+        .iter()
+        .map(|s| WatchState {
+            last_processed: s.counters.processed.load(Ordering::Relaxed),
+            last_change: Instant::now(),
+            last_respawn: None,
+        })
+        .collect();
+    let mut above = 0u32;
+    let mut below = 0u32;
+    while !global.shutting_down.load(Ordering::Acquire) {
+        std::thread::sleep(poll);
+        if global.shutting_down.load(Ordering::Acquire) {
+            break;
+        }
+
+        if let Some(wd) = watchdog {
+            let deadline = Duration::from_millis(wd.stall_deadline_ms.max(1));
+            for (i, shard) in shards.iter().enumerate() {
+                let processed = shard.counters.processed.load(Ordering::Relaxed);
+                let backlog = shard
+                    .counters
+                    .enqueued
+                    .load(Ordering::Relaxed)
+                    .saturating_sub(processed);
+                let w = &mut watch[i];
+                if processed != w.last_processed {
+                    w.last_processed = processed;
+                    w.last_change = Instant::now();
+                    shard.stalled.store(false, Ordering::Relaxed);
+                } else if backlog > 0 && w.last_change.elapsed() >= deadline {
+                    if !shard.stalled.swap(true, Ordering::Relaxed) {
+                        shard.stalls.fetch_add(1, Ordering::Relaxed);
+                        global.stalls_detected.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // Rate limit: at most one rescue per stall deadline, so
+                    // a long wedge cannot leak an unbounded thread pile.
+                    let may_respawn =
+                        wd.respawn && w.last_respawn.is_none_or(|at| at.elapsed() >= deadline);
+                    if may_respawn {
+                        w.last_respawn = Some(Instant::now());
+                        spawn_rescue(&global, &shards, &rxs, i);
+                    }
+                }
+            }
+        }
+
+        if let Some(p) = policy {
+            let capacity = (global.config.channel_capacity.max(1) * shards.len().max(1)) as f64;
+            let backlog: u64 = shards
+                .iter()
+                .map(|s| {
+                    s.counters
+                        .enqueued
+                        .load(Ordering::Relaxed)
+                        .saturating_sub(s.counters.processed.load(Ordering::Relaxed))
+                })
+                .sum();
+            let pressure = backlog as f64 / capacity;
+            if pressure >= p.high_watermark {
+                above += 1;
+                below = 0;
+            } else if pressure <= p.low_watermark {
+                below += 1;
+                above = 0;
+            } else {
+                above = 0;
+                below = 0;
+            }
+            let stage = global.load_stage();
+            if above >= p.trip_polls && stage != LoadStage::Shed {
+                let to = stage.escalate();
+                global.apply_stage(to);
+                global.record_transition(stage, to, pressure);
+                above = 0;
+            } else if below >= p.clear_polls && stage != LoadStage::Normal {
+                let to = stage.relax();
+                global.apply_stage(to);
+                global.record_transition(stage, to, pressure);
+                below = 0;
+            }
+        }
+    }
+}
+
 /// Writes an automatic checkpoint when the stream has crossed into a new
 /// `checkpoint_every` epoch. Exactly one worker wins each epoch; a failed
 /// write is recorded in [`EngineReport::last_checkpoint_error`] and the
@@ -505,13 +730,25 @@ fn maybe_auto_checkpoint(global: &Global, shards: &[Arc<ShardHandle>]) {
     {
         return;
     }
-    match build_checkpoint(global, shards).and_then(|ck| checkpoint::write_atomic(path, &ck)) {
+    match build_checkpoint(global, shards).and_then(|ck| write_checkpoint(global, path, epoch, &ck))
+    {
         Ok(()) => {
             global.checkpoints_written.fetch_add(1, Ordering::Relaxed);
         }
         Err(e) => {
             *global.last_checkpoint_error.lock() = Some(e.to_string());
         }
+    }
+}
+
+/// Writes one checkpoint under the configured rotation scheme: the bare
+/// path with a single generation, the rotated slot + manifest otherwise.
+fn write_checkpoint(global: &Global, path: &str, seq: u64, ck: &EngineCheckpoint) -> Result<()> {
+    let generations = global.config.checkpoint_generations.max(1);
+    if generations > 1 {
+        checkpoint::write_rotated(path, generations, seq, ck)
+    } else {
+        checkpoint::write_atomic(path, ck)
     }
 }
 
@@ -606,6 +843,17 @@ enum Admit {
     Rejected(UncertainPoint, PointFault),
 }
 
+/// What the degradation ladder decided about a record, ahead of
+/// validation.
+enum Gate {
+    /// Below the sampling rungs — admit.
+    Admit,
+    /// Dropped by the uniform sampling gate (counted, push succeeds).
+    SampledOut,
+    /// Dropped by the shedding rung (counted, push succeeds).
+    Shed,
+}
+
 /// The embeddable analytics engine. See the crate docs for an example.
 ///
 /// All query methods are callable from any thread while ingestion is in
@@ -616,7 +864,7 @@ pub struct StreamEngine {
     shards: Vec<Arc<ShardHandle>>,
     global: Arc<Global>,
     workers: Mutex<Vec<JoinHandle<()>>>,
-    started: Instant,
+    governor: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl StreamEngine {
@@ -655,6 +903,14 @@ impl StreamEngine {
     ) -> Result<Self> {
         let n_shards = config.shards.max(1);
         let quarantine_capacity = config.quarantine_capacity;
+        let mut horizons = HorizonAnalyzer::new(config.pyramid);
+        if let Some(budget) = config.snapshot_budget {
+            horizons.set_budget(budget);
+        }
+        let snapshot_every = config.snapshot_every.max(1);
+        let keep_per_mille = config
+            .load_policy
+            .map_or(1_000, |p| p.keep_per_mille.clamp(1, 1_000));
         let global = Arc::new(Global {
             factory: Box::new(clusterer),
             processed: AtomicU64::new(0),
@@ -664,7 +920,7 @@ impl StreamEngine {
             merge_nanos: AtomicU64::new(0),
             router: AtomicU64::new(0),
             shutting_down: AtomicBool::new(false),
-            horizons: Mutex::new(HorizonAnalyzer::new(config.pyramid)),
+            horizons: Mutex::new(horizons),
             alerts: Mutex::new(VecDeque::new()),
             last_merge: Mutex::new(None),
             quarantine: Mutex::new(Quarantine::new(quarantine_capacity)),
@@ -674,6 +930,18 @@ impl StreamEngine {
             checkpoints_written: AtomicU64::new(0),
             checkpoint_epoch: AtomicU64::new(0),
             last_checkpoint_error: Mutex::new(None),
+            started: Instant::now(),
+            load_stage: AtomicU8::new(LoadStage::Normal.as_u8()),
+            load_transitions: Mutex::new(Vec::new()),
+            points_shed: AtomicU64::new(0),
+            sampled_out: AtomicU64::new(0),
+            admit_seq: AtomicU64::new(0),
+            merge_every_effective: AtomicU64::new(snapshot_every),
+            keep_per_mille: AtomicU64::new(keep_per_mille),
+            stalls_detected: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+            final_report: Mutex::new(None),
+            extra_workers: Mutex::new(Vec::new()),
             config,
         });
 
@@ -690,44 +958,67 @@ impl StreamEngine {
                     restarts: AtomicU64::new(0),
                     last_panic: Mutex::new(None),
                     alive: AtomicBool::new(true),
+                    spawned: AtomicU64::new(1),
+                    stalls: AtomicU64::new(0),
+                    stalled: AtomicBool::new(false),
                 })
             })
             .collect();
 
         let mut txs: Vec<Sender<Command>> = Vec::with_capacity(n_shards);
+        let mut rxs: Vec<Receiver<Command>> = Vec::with_capacity(n_shards);
         let mut workers = Vec::with_capacity(n_shards);
+        let abort = |txs: &[Sender<Command>], workers: Vec<JoinHandle<()>>, e: std::io::Error| {
+            // Unwind: stop the workers already running, then report.
+            global.shutting_down.store(true, Ordering::Release);
+            for tx in txs {
+                let _ = tx.send(Command::Shutdown);
+            }
+            for handle in workers {
+                let _ = handle.join();
+            }
+            UStreamError::Io(e)
+        };
         for i in 0..n_shards {
             let (tx, rx) = bounded::<Command>(global.config.channel_capacity);
             let global_for_worker = Arc::clone(&global);
             let all_shards = shards.clone();
+            let worker_rx = rx.clone();
             let spawned = std::thread::Builder::new()
                 .name(format!("ustream-shard-{i}"))
-                .spawn(move || shard_worker(rx, global_for_worker, all_shards, i));
+                .spawn(move || shard_worker(worker_rx, global_for_worker, all_shards, i));
             match spawned {
                 Ok(handle) => {
                     txs.push(tx);
+                    rxs.push(rx);
                     workers.push(handle);
                 }
-                Err(e) => {
-                    // Unwind: stop the workers already running, then report.
-                    global.shutting_down.store(true, Ordering::Release);
-                    for tx in &txs {
-                        let _ = tx.send(Command::Shutdown);
-                    }
-                    for handle in workers {
-                        let _ = handle.join();
-                    }
-                    return Err(UStreamError::Io(e));
-                }
+                Err(e) => return Err(abort(&txs, workers, e)),
             }
         }
+
+        // The governor exists only when something needs governing.
+        let governor_handle =
+            if global.config.watchdog.is_some() || global.config.load_policy.is_some() {
+                let global_for_gov = Arc::clone(&global);
+                let shards_for_gov = shards.clone();
+                let spawned = std::thread::Builder::new()
+                    .name("ustream-governor".into())
+                    .spawn(move || governor(global_for_gov, shards_for_gov, rxs));
+                match spawned {
+                    Ok(handle) => Some(handle),
+                    Err(e) => return Err(abort(&txs, workers, e)),
+                }
+            } else {
+                None
+            };
 
         Ok(Self {
             txs,
             shards,
             global,
             workers: Mutex::new(workers),
-            started: Instant::now(),
+            governor: Mutex::new(governor_handle),
         })
     }
 
@@ -743,7 +1034,7 @@ impl StreamEngine {
     /// [`UStreamError::Checkpoint`] when it is corrupt, truncated, from an
     /// unsupported version, or structurally inconsistent.
     pub fn restore(path: &str) -> Result<Self> {
-        let ck = checkpoint::read(path)?;
+        let ck = Self::read_checkpoint_with_fallback(path)?;
         let engine = Self::start(ck.config.clone())?;
         engine.apply_checkpoint(&ck)?;
         Ok(engine)
@@ -756,10 +1047,21 @@ impl StreamEngine {
         path: &str,
         clusterer: impl Fn(usize) -> DynClusterer + Send + Sync + 'static,
     ) -> Result<Self> {
-        let ck = checkpoint::read(path)?;
+        let ck = Self::read_checkpoint_with_fallback(path)?;
         let engine = Self::start_with(ck.config.clone(), clusterer)?;
         engine.apply_checkpoint(&ck)?;
         Ok(engine)
+    }
+
+    /// Reads `path` directly, then falls back to the newest readable
+    /// rotation generation (`path.N` + manifest). The *original* error is
+    /// preserved when no generation decodes either, so a plainly corrupt
+    /// single-file checkpoint reports its own corruption.
+    fn read_checkpoint_with_fallback(path: &str) -> Result<EngineCheckpoint> {
+        match checkpoint::read(path) {
+            Ok(ck) => Ok(ck),
+            Err(primary) => checkpoint::read_latest(path).map_err(|_| primary),
+        }
     }
 
     /// Loads checkpoint state into a freshly started (idle) engine.
@@ -829,6 +1131,49 @@ impl StreamEngine {
         (self.global.router.fetch_add(1, Ordering::Relaxed) % self.txs.len() as u64) as usize
     }
 
+    /// Runs the degradation ladder's admission gate over one record.
+    fn gate(&self) -> Gate {
+        match self.global.load_stage() {
+            LoadStage::Normal | LoadStage::WidenMerge => Gate::Admit,
+            LoadStage::Sample => self.sample_gate(),
+            LoadStage::Shed => Gate::Shed,
+        }
+    }
+
+    /// Deterministic uniform sampling: each admission ordinal keeps the
+    /// record iff `seq mod 1000 < keep_per_mille`, so exactly the
+    /// configured fraction is admitted and the drop is unbiased with
+    /// respect to the record's content.
+    fn sample_gate(&self) -> Gate {
+        let seq = self.global.admit_seq.fetch_add(1, Ordering::Relaxed);
+        let keep = self.global.keep_per_mille.load(Ordering::Relaxed);
+        if seq % 1_000 < keep {
+            Gate::Admit
+        } else {
+            Gate::SampledOut
+        }
+    }
+
+    /// Applies the ladder's verdict; `Some(result)` short-circuits the
+    /// push (drop counted as configured), `None` lets the record continue
+    /// into validation.
+    fn apply_gate(&self) -> Option<Result<()>> {
+        if self.global.draining.load(Ordering::Acquire) {
+            return Some(Err(UStreamError::EngineStopped));
+        }
+        match self.gate() {
+            Gate::Admit => None,
+            Gate::SampledOut => {
+                self.global.sampled_out.fetch_add(1, Ordering::Relaxed);
+                Some(Ok(()))
+            }
+            Gate::Shed => {
+                self.global.points_shed.fetch_add(1, Ordering::Relaxed);
+                Some(Ok(()))
+            }
+        }
+    }
+
     /// Runs the configured validation over one record.
     fn admit(&self, point: UncertainPoint) -> Admit {
         let Some(policy) = self.global.config.validation else {
@@ -873,10 +1218,47 @@ impl StreamEngine {
     pub fn push(&self, point: UncertainPoint) -> Result<()> {
         #[cfg(feature = "failpoints")]
         let point = crate::failpoints::maybe_poison(point);
+        if let Some(gated) = self.apply_gate() {
+            return gated;
+        }
         match self.admit(point) {
             Admit::Consumed => Ok(()),
             Admit::Rejected(_, fault) => Err(UStreamError::InvalidPoint(fault.to_string())),
             Admit::Enqueue(point) => self.dispatch_point(point),
+        }
+    }
+
+    /// [`Self::push`] with a backpressure deadline: under a full channel
+    /// the call retries non-blocking enqueues until `deadline` elapses,
+    /// then returns [`UStreamError::Backpressure`] — regardless of the
+    /// configured [`BackpressurePolicy`]. Producers that can tolerate
+    /// bounded latency but not unbounded blocking use this instead of
+    /// `push`.
+    pub fn push_with_timeout(&self, point: UncertainPoint, deadline: Duration) -> Result<()> {
+        #[cfg(feature = "failpoints")]
+        let point = crate::failpoints::maybe_poison(point);
+        if let Some(gated) = self.apply_gate() {
+            return gated;
+        }
+        match self.admit(point) {
+            Admit::Consumed => Ok(()),
+            Admit::Rejected(_, fault) => Err(UStreamError::InvalidPoint(fault.to_string())),
+            Admit::Enqueue(mut point) => {
+                let started = Instant::now();
+                loop {
+                    match self.try_enqueue(point) {
+                        Ok(()) => return Ok(()),
+                        Err(TryPushError::Full(p)) => {
+                            if started.elapsed() >= deadline {
+                                return Err(UStreamError::Backpressure);
+                            }
+                            point = p;
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                        Err(_) => return Err(UStreamError::EngineStopped),
+                    }
+                }
+            }
         }
     }
 
@@ -918,6 +1300,20 @@ impl StreamEngine {
     pub fn try_push(&self, point: UncertainPoint) -> std::result::Result<(), TryPushError> {
         #[cfg(feature = "failpoints")]
         let point = crate::failpoints::maybe_poison(point);
+        if self.global.draining.load(Ordering::Acquire) {
+            return Err(TryPushError::Stopped(point));
+        }
+        match self.gate() {
+            Gate::Admit => {}
+            Gate::SampledOut => {
+                self.global.sampled_out.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+            Gate::Shed => {
+                self.global.points_shed.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+        }
         match self.admit(point) {
             Admit::Consumed => Ok(()),
             Admit::Rejected(point, fault) => Err(TryPushError::Invalid(point, fault.to_string())),
@@ -970,6 +1366,33 @@ impl StreamEngine {
         if points.is_empty() {
             return Ok(());
         }
+        if self.global.draining.load(Ordering::Acquire) {
+            return Err(UStreamError::EngineStopped);
+        }
+        let gated: Vec<UncertainPoint>;
+        let points: &[UncertainPoint] = match self.global.load_stage() {
+            LoadStage::Normal | LoadStage::WidenMerge => points,
+            LoadStage::Shed => {
+                self.global
+                    .points_shed
+                    .fetch_add(points.len() as u64, Ordering::Relaxed);
+                return Ok(());
+            }
+            LoadStage::Sample => {
+                gated = points
+                    .iter()
+                    .filter(|_| matches!(self.sample_gate(), Gate::Admit))
+                    .cloned()
+                    .collect();
+                self.global
+                    .sampled_out
+                    .fetch_add((points.len() - gated.len()) as u64, Ordering::Relaxed);
+                if gated.is_empty() {
+                    return Ok(());
+                }
+                &gated
+            }
+        };
         let admitted: Vec<UncertainPoint> = match self.global.config.validation {
             None => points.to_vec(),
             Some(policy) => {
@@ -1175,13 +1598,14 @@ impl StreamEngine {
     }
 
     fn report(&self) -> EngineReport {
-        let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
+        let elapsed = self.global.started.elapsed().as_secs_f64().max(1e-9);
         let shutting = self.global.shutting_down.load(Ordering::Acquire);
         let mut live_clusters = 0;
         let mut created = 0;
         let mut evicted = 0;
         let mut total_restarts = 0;
         let mut dead = 0;
+        let mut any_stalled = false;
         let mut per_shard = Vec::with_capacity(self.shards.len());
         for (i, shard) in self.shards.iter().enumerate() {
             let st = shard.state.lock();
@@ -1190,6 +1614,7 @@ impl StreamEngine {
             let live = st.alg.num_clusters();
             let restarts = shard.restarts.load(Ordering::Relaxed);
             let alive = shard.alive.load(Ordering::Acquire);
+            let stalled = shard.stalled.load(Ordering::Relaxed);
             live_clusters += live;
             created += st.created;
             evicted += st.evicted;
@@ -1197,6 +1622,7 @@ impl StreamEngine {
             if !alive {
                 dead += 1;
             }
+            any_stalled |= stalled;
             per_shard.push(ShardStats {
                 shard: i,
                 processed,
@@ -1207,24 +1633,32 @@ impl StreamEngine {
                 restarts,
                 last_panic: shard.last_panic.lock().clone(),
                 alive,
+                stalls: shard.stalls.load(Ordering::Relaxed),
+                stalled,
+                clusterer_bytes: st.alg.approx_memory_bytes(),
             });
         }
         let health = if !shutting && dead == self.shards.len() {
             HealthStatus::Failed
-        } else if total_restarts > 0 || (!shutting && dead > 0) {
+        } else if total_restarts > 0 || (!shutting && dead > 0) || any_stalled {
             HealthStatus::Degraded
         } else {
             HealthStatus::Healthy
         };
         let merges = self.global.merges.load(Ordering::Relaxed);
         let merge_nanos = self.global.merge_nanos.load(Ordering::Relaxed);
+        let (snapshots_retained, budget) = {
+            let horizons = self.global.horizons.lock();
+            (horizons.store().len(), horizons.budget_report())
+        };
+        let load_stage = self.global.load_stage();
         let quarantine = self.global.quarantine.lock();
         EngineReport {
             points_processed: self.global.processed.load(Ordering::Relaxed),
             live_clusters,
             clusters_created: created,
             clusters_evicted: evicted,
-            snapshots_retained: self.global.horizons.lock().store().len(),
+            snapshots_retained,
             alerts_raised: self.global.alerts_raised.load(Ordering::Relaxed),
             last_tick: self.global.last_tick.load(Ordering::Relaxed),
             merges,
@@ -1241,32 +1675,156 @@ impl StreamEngine {
             backpressure_dropped: self.global.backpressure_dropped.load(Ordering::Relaxed),
             checkpoints_written: self.global.checkpoints_written.load(Ordering::Relaxed),
             last_checkpoint_error: self.global.last_checkpoint_error.lock().clone(),
+            load_stage,
+            load_transitions: self.global.load_transitions.lock().clone(),
+            points_shed: self.global.points_shed.load(Ordering::Relaxed),
+            points_sampled_out: self.global.sampled_out.load(Ordering::Relaxed),
+            sampling_keep_per_mille: if load_stage >= LoadStage::Sample {
+                self.global.keep_per_mille.load(Ordering::Relaxed)
+            } else {
+                1_000
+            },
+            stalls_detected: self.global.stalls_detected.load(Ordering::Relaxed),
+            snapshot_bytes: budget.retained_bytes,
+            snapshot_budget_evictions: budget.evictions,
+            horizon_error_bound: budget.effective_error_bound,
             per_shard,
         }
     }
 
-    /// Stops the workers and returns the final accounting. Subsequent calls
-    /// return the report of the already-stopped engine.
-    pub fn shutdown(&self) -> EngineReport {
+    /// The degradation-ladder rung the engine is currently on.
+    pub fn load_stage(&self) -> LoadStage {
+        self.global.load_stage()
+    }
+
+    /// Forces the engine onto a ladder rung, bypassing the governor's
+    /// hysteresis. Meant for tests, benchmarks, and operators who want
+    /// manual overload control; the governor (if running) will keep walking
+    /// the ladder from here on its own evidence.
+    pub fn force_load_stage(&self, stage: LoadStage) {
+        let from = self.global.load_stage();
+        if from != stage {
+            self.global.apply_stage(stage);
+            self.global
+                .record_transition(from, stage, self.channel_pressure());
+        }
+    }
+
+    /// Mean channel fill fraction across shards (the governor's pressure
+    /// signal).
+    fn channel_pressure(&self) -> f64 {
+        let mut backlog = 0u64;
+        for shard in self.shards.iter() {
+            let enq = shard.counters.enqueued.load(Ordering::Relaxed);
+            let proc = shard.counters.processed.load(Ordering::Relaxed);
+            backlog += enq.saturating_sub(proc);
+        }
+        let capacity =
+            self.global.config.channel_capacity.max(1) as u64 * self.shards.len().max(1) as u64;
+        backlog as f64 / capacity as f64
+    }
+
+    /// Graceful drain: stops admission, flushes every shard channel, runs a
+    /// final merge, writes a final checkpoint (when a checkpoint path is
+    /// configured), then shuts the engine down — reporting whether it all
+    /// fit inside `deadline`.
+    ///
+    /// The flush itself is not interruptible mid-shard, so a wedged worker
+    /// can push the drain past the deadline; `deadline_met` tells the
+    /// caller honestly either way.
+    pub fn shutdown_drain(&self, deadline: Duration) -> DrainOutcome {
+        let started = Instant::now();
+        self.global.draining.store(true, Ordering::Release);
+        let replies: Vec<_> = self
+            .txs
+            .iter()
+            .filter_map(|tx| {
+                let (reply_tx, reply_rx) = bounded(1);
+                tx.send(Command::Flush(reply_tx)).ok().map(|_| reply_rx)
+            })
+            .collect();
+        let mut deadline_met = true;
+        for rx in replies {
+            let left = deadline.saturating_sub(started.elapsed());
+            if rx.recv_timeout(left).is_err() {
+                deadline_met = false;
+            }
+        }
+        merge_and_record(&self.global, &self.shards);
+        if let Some(path) = self.global.config.checkpoint_path.clone() {
+            let seq = self.global.checkpoint_epoch.load(Ordering::Relaxed) + 1;
+            self.global.checkpoint_epoch.store(seq, Ordering::Relaxed);
+            match build_checkpoint(&self.global, &self.shards)
+                .and_then(|ck| write_checkpoint(&self.global, &path, seq, &ck))
+            {
+                Ok(()) => {
+                    self.global
+                        .checkpoints_written
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) => {
+                    *self.global.last_checkpoint_error.lock() = Some(e.to_string());
+                }
+            }
+        }
+        deadline_met &= started.elapsed() <= deadline;
+        let report = self.shutdown();
+        DrainOutcome {
+            deadline_met,
+            drain_millis: started.elapsed().as_millis() as u64,
+            report,
+        }
+    }
+
+    /// Stops every thread the engine owns: governor first (so no rescue
+    /// consumer appears after the per-shard `spawned` counts are read),
+    /// then one `Shutdown` per channel consumer, then joins.
+    fn stop_workers(&self) {
         self.global.shutting_down.store(true, Ordering::Release);
-        for tx in &self.txs {
-            let _ = tx.send(Command::Shutdown);
+        if let Some(handle) = self.governor.lock().take() {
+            let _ = handle.join();
+        }
+        for (i, tx) in self.txs.iter().enumerate() {
+            let consumers = self.shards[i].spawned.load(Ordering::Acquire).max(1);
+            for _ in 0..consumers {
+                let _ = tx.send(Command::Shutdown);
+            }
         }
         for handle in self.workers.lock().drain(..) {
             let _ = handle.join();
         }
-        self.report()
+        for handle in self.global.extra_workers.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    /// Stops the workers and returns the final accounting. Idempotent:
+    /// subsequent calls (and [`Self::stop`]) return the cached report of
+    /// the first shutdown instead of re-sampling a dead engine.
+    pub fn shutdown(&self) -> EngineReport {
+        if let Some(report) = self.global.final_report.lock().clone() {
+            return report;
+        }
+        self.stop_workers();
+        let report = self.report();
+        let mut cache = self.global.final_report.lock();
+        if let Some(existing) = cache.clone() {
+            return existing;
+        }
+        *cache = Some(report.clone());
+        report
+    }
+
+    /// Alias for [`Self::shutdown`], matching the common stop/start naming.
+    pub fn stop(&self) -> EngineReport {
+        self.shutdown()
     }
 }
 
 impl Drop for StreamEngine {
     fn drop(&mut self) {
-        self.global.shutting_down.store(true, Ordering::Release);
-        for tx in &self.txs {
-            let _ = tx.send(Command::Shutdown);
-        }
-        for handle in self.workers.lock().drain(..) {
-            let _ = handle.join();
+        if self.global.final_report.lock().is_none() {
+            self.stop_workers();
         }
     }
 }
@@ -1274,6 +1832,7 @@ impl Drop for StreamEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::load::LoadPolicy;
     use umicro::{InsertOutcome, UMicroConfig};
     use ustream_common::Timestamp;
 
@@ -1477,7 +2036,142 @@ mod tests {
         e.push(pt(0.0, 0.0, 1)).unwrap();
         let a = e.shutdown();
         let b = e.shutdown();
+        let c = e.stop();
         assert_eq!(a.points_processed, b.points_processed);
+        // Regression: the second call must return the *cached* first report,
+        // not re-sample a dead engine (which used to flip per-shard `alive`
+        // accounting and re-send shutdowns into a closed channel).
+        assert_eq!(a.health, b.health);
+        assert_eq!(a.per_shard.len(), b.per_shard.len());
+        for (x, y) in a.per_shard.iter().zip(&b.per_shard) {
+            assert_eq!(x.processed, y.processed);
+            assert_eq!(x.alive, y.alive);
+        }
+        assert_eq!(b.points_processed, c.points_processed);
+        assert_eq!(b.load_stage, c.load_stage);
+    }
+
+    #[test]
+    fn shutdown_drain_flushes_and_reports_deadline() {
+        let e = engine(8);
+        for t in 1..=500u64 {
+            e.push(pt((t % 7) as f64, -((t % 5) as f64), t)).unwrap();
+        }
+        let outcome = e.shutdown_drain(Duration::from_secs(30));
+        assert!(outcome.deadline_met, "generous deadline must be met");
+        assert_eq!(outcome.report.points_processed, 500);
+        // Admission is closed once draining starts.
+        assert!(matches!(
+            e.push(pt(0.0, 0.0, 501)),
+            Err(UStreamError::EngineStopped)
+        ));
+    }
+
+    #[test]
+    fn shutdown_drain_writes_final_checkpoint() {
+        let path = temp_ckpt_path("drain-final");
+        let config = EngineConfig::new(UMicroConfig::new(8, 2).unwrap())
+            .with_snapshot_every(64)
+            .with_auto_checkpoint(1_000_000, &path); // cadence never fires
+        let e = StreamEngine::start(config).unwrap();
+        for t in 1..=200u64 {
+            e.push(pt(1.0, 2.0, t)).unwrap();
+        }
+        let outcome = e.shutdown_drain(Duration::from_secs(30));
+        assert_eq!(outcome.report.checkpoints_written, 1);
+        let restored = StreamEngine::restore(&path).unwrap();
+        assert_eq!(restored.points_processed(), 200);
+        restored.shutdown();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn forced_sampling_keeps_exactly_the_configured_fraction() {
+        let config = EngineConfig::new(UMicroConfig::new(16, 2).unwrap())
+            .with_load_policy(LoadPolicy::default()); // keep_per_mille = 500
+        let e = StreamEngine::start(config).unwrap();
+        e.force_load_stage(LoadStage::Sample);
+        for t in 1..=1_000u64 {
+            e.push(pt((t % 3) as f64, 0.0, t)).unwrap();
+        }
+        e.flush();
+        // Deterministic gate: seq % 1000 < 500 admits exactly half.
+        assert_eq!(e.points_processed(), 500);
+        let report = e.shutdown();
+        assert_eq!(report.points_sampled_out, 500);
+        assert_eq!(report.sampling_keep_per_mille, 500);
+        assert_eq!(report.load_stage, LoadStage::Sample);
+        assert_eq!(report.load_transitions.len(), 1);
+        assert_eq!(report.load_transitions[0].from, LoadStage::Normal);
+        assert_eq!(report.load_transitions[0].to, LoadStage::Sample);
+    }
+
+    #[test]
+    fn forced_shed_drops_and_counts_then_recovers() {
+        let config = EngineConfig::new(UMicroConfig::new(16, 2).unwrap())
+            .with_load_policy(LoadPolicy::default());
+        let e = StreamEngine::start(config).unwrap();
+        for t in 1..=100u64 {
+            e.push(pt(0.0, 0.0, t)).unwrap();
+        }
+        e.force_load_stage(LoadStage::Shed);
+        for t in 101..=200u64 {
+            e.push(pt(0.0, 0.0, t)).unwrap(); // accepted but shed
+        }
+        e.push_slice(&[pt(0.0, 0.0, 201), pt(0.0, 0.0, 202)])
+            .unwrap();
+        e.force_load_stage(LoadStage::Normal);
+        for t in 203..=250u64 {
+            e.push(pt(0.0, 0.0, t)).unwrap();
+        }
+        e.flush();
+        assert_eq!(e.points_processed(), 148);
+        let report = e.shutdown();
+        assert_eq!(report.points_shed, 102);
+        assert_eq!(report.load_stage, LoadStage::Normal);
+        assert_eq!(report.load_transitions.len(), 2);
+        assert_eq!(report.sampling_keep_per_mille, 1_000);
+    }
+
+    #[test]
+    fn push_with_timeout_accepts_when_idle_and_stops_when_down() {
+        let e = engine(8);
+        e.push_with_timeout(pt(1.0, 1.0, 1), Duration::from_millis(100))
+            .unwrap();
+        e.flush();
+        assert_eq!(e.points_processed(), 1);
+        e.shutdown();
+        assert!(matches!(
+            e.push_with_timeout(pt(1.0, 1.0, 2), Duration::from_millis(10)),
+            Err(UStreamError::EngineStopped)
+        ));
+    }
+
+    #[test]
+    fn push_with_timeout_reports_backpressure_on_full_channel() {
+        let mut config = EngineConfig::new(UMicroConfig::new(8, 2).unwrap());
+        config.channel_capacity = 1;
+        let e = StreamEngine::start_with(config, |_shard| -> DynClusterer {
+            Box::new(Sluggish {
+                inner: Box::new(UMicro::new(UMicroConfig::new(8, 2).unwrap())),
+            })
+        })
+        .unwrap();
+        // Saturate: each insert takes ~20ms, capacity 1, so a short deadline
+        // cannot win the enqueue race for long.
+        let mut saw_backpressure = false;
+        for t in 1..=50u64 {
+            match e.push_with_timeout(pt(0.0, 0.0, t), Duration::from_micros(50)) {
+                Ok(()) => {}
+                Err(UStreamError::Backpressure) => {
+                    saw_backpressure = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert!(saw_backpressure, "a 50µs deadline must eventually trip");
+        e.shutdown();
     }
 
     #[test]
@@ -1762,6 +2456,53 @@ mod tests {
 
         fn insert(&mut self, p: &UncertainPoint) -> InsertOutcome {
             assert!(p.values()[0] < 600.0, "sentinel poison record");
+            self.inner.insert(p)
+        }
+
+        fn micro_clusters(&self) -> Vec<(u64, Ecf)> {
+            self.inner.micro_clusters()
+        }
+
+        fn num_clusters(&self) -> usize {
+            self.inner.num_clusters()
+        }
+
+        fn points_processed(&self) -> u64 {
+            self.inner.points_processed()
+        }
+
+        fn isolation(&self, point: &UncertainPoint) -> Option<f64> {
+            self.inner.isolation(point)
+        }
+
+        fn snapshot_at(&mut self, now: Timestamp) -> ClusterSetSnapshot<Ecf> {
+            self.inner.snapshot_at(now)
+        }
+
+        fn macro_cluster(&mut self, k: usize, seed: u64) -> MacroClustering {
+            self.inner.macro_cluster(k, seed)
+        }
+
+        fn export_state(&self) -> Option<ClustererState<Ecf>> {
+            self.inner.export_state()
+        }
+
+        fn import_state(&mut self, state: &ClustererState<Ecf>) -> Result<()> {
+            self.inner.import_state(state)
+        }
+    }
+
+    /// A clusterer whose every insert takes ~20ms — saturates a tiny
+    /// channel so backpressure paths can be exercised deterministically.
+    struct Sluggish {
+        inner: DynClusterer,
+    }
+
+    impl OnlineClusterer for Sluggish {
+        type Summary = Ecf;
+
+        fn insert(&mut self, p: &UncertainPoint) -> InsertOutcome {
+            std::thread::sleep(Duration::from_millis(20));
             self.inner.insert(p)
         }
 

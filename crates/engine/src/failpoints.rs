@@ -30,6 +30,10 @@ pub const CHECKPOINT_CORRUPT: &str = "checkpoint-corrupt";
 /// Stall a shard worker for 50 ms before it processes the next record,
 /// simulating a slow consumer backing up its channel.
 pub const CHANNEL_STALL: &str = "channel-stall";
+/// Hang exactly one shard worker once, for as many milliseconds as the
+/// armed count (consumed whole via [`take`]) — long enough for the
+/// watchdog to flag the stall and attach a rescue consumer.
+pub const WORKER_HANG: &str = "worker-hang";
 /// Overwrite the first coordinate of the next pushed point with NaN before
 /// validation, simulating a poisoned producer.
 pub const INJECT_NAN: &str = "inject-nan";
@@ -57,6 +61,14 @@ pub fn reset_all() {
 /// Remaining fire count of `name` (0 when disarmed).
 pub fn remaining(name: &str) -> u64 {
     registry().lock().get(name).copied().unwrap_or(0)
+}
+
+/// Consumes the *entire* remaining count of `name` at once, disarming it
+/// (0 when not armed). Used by failpoints whose armed count is a magnitude
+/// — e.g. [`WORKER_HANG`], where the count is a sleep in milliseconds that
+/// exactly one thread should serve.
+pub fn take(name: &str) -> u64 {
+    registry().lock().remove(name).unwrap_or(0)
 }
 
 /// Consumes one firing of `name`. Returns `true` — and decrements the
@@ -106,6 +118,15 @@ mod tests {
         assert!(should_fire("test-fp"));
         assert!(!should_fire("test-fp"));
         assert_eq!(remaining("test-fp"), 0);
+    }
+
+    #[test]
+    fn take_consumes_whole_count() {
+        reset_all();
+        arm("test-take", 750);
+        assert_eq!(take("test-take"), 750);
+        assert_eq!(take("test-take"), 0);
+        assert!(!should_fire("test-take"));
     }
 
     #[test]

@@ -64,13 +64,16 @@ mod config;
 mod engine;
 #[cfg(feature = "failpoints")]
 pub mod failpoints;
+mod load;
 mod report;
 mod validate;
 
 pub use checkpoint::EngineCheckpoint;
 pub use config::{EngineConfig, NoveltyBaseline};
 pub use engine::{DynClusterer, StreamEngine, TryPushError};
+pub use load::{DrainOutcome, LoadPolicy, LoadStage, LoadTransition, WatchdogConfig};
 pub use report::{EngineReport, HealthStatus, NoveltyAlert, ShardStats};
+pub use ustream_snapshot::SnapshotBudget;
 pub use validate::{
     BackpressurePolicy, PointFault, Quarantine, QuarantinedPoint, ValidationPolicy,
 };

@@ -1,0 +1,274 @@
+//! Overload governance: the degradation ladder and watchdog knobs.
+//!
+//! Under sustained channel pressure the engine climbs a *degradation
+//! ladder* rather than blocking producers indefinitely or dying by OOM:
+//!
+//! 1. [`LoadStage::Normal`] — every admitted point is clustered, merges run
+//!    on the configured cadence.
+//! 2. [`LoadStage::WidenMerge`] — cross-shard merges and snapshots run
+//!    `widen_factor`× less often, trading horizon-query granularity for
+//!    ingest throughput. No data is lost.
+//! 3. [`LoadStage::Sample`] — uniform probabilistic admission: each point
+//!    is kept with probability `keep_per_mille / 1000`. Because shedding is
+//!    uniform, the ECF statistics stay unbiased up to the known scale
+//!    factor `1000 / keep_per_mille`; the engine records how many points
+//!    were sampled out so callers can rescale counts if they need absolute
+//!    magnitudes.
+//! 4. [`LoadStage::Shed`] — admission control proper: new points are
+//!    counted and dropped. The clustering model stops advancing but the
+//!    engine survives to report, drain, and checkpoint.
+//!
+//! Pressure is the mean channel fill fraction across shards
+//! (`Σ backlog / (shards × channel_capacity)`). The ladder steps up one
+//! stage after `trip_polls` consecutive polls above `high_watermark` and
+//! back down after `clear_polls` consecutive polls below `low_watermark` —
+//! asymmetric hysteresis so a bursty producer doesn't make the engine
+//! oscillate. Every transition is timestamped into the
+//! [`EngineReport`](crate::EngineReport).
+
+use serde::{Deserialize, Serialize};
+
+/// One rung of the degradation ladder; ordered by severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize, Default)]
+pub enum LoadStage {
+    /// Full fidelity: everything admitted is clustered on cadence.
+    #[default]
+    Normal,
+    /// Merges/snapshots run `widen_factor`× less often.
+    WidenMerge,
+    /// Uniform probabilistic admission at `keep_per_mille / 1000`.
+    Sample,
+    /// New points are counted and dropped.
+    Shed,
+}
+
+impl LoadStage {
+    /// Compact encoding for the engine's atomic stage cell.
+    pub(crate) fn as_u8(self) -> u8 {
+        match self {
+            LoadStage::Normal => 0,
+            LoadStage::WidenMerge => 1,
+            LoadStage::Sample => 2,
+            LoadStage::Shed => 3,
+        }
+    }
+
+    /// Inverse of [`Self::as_u8`]; unknown values clamp to `Shed`.
+    pub(crate) fn from_u8(v: u8) -> Self {
+        match v {
+            0 => LoadStage::Normal,
+            1 => LoadStage::WidenMerge,
+            2 => LoadStage::Sample,
+            _ => LoadStage::Shed,
+        }
+    }
+
+    /// The next rung up (saturates at `Shed`).
+    pub(crate) fn escalate(self) -> Self {
+        match self {
+            LoadStage::Normal => LoadStage::WidenMerge,
+            LoadStage::WidenMerge => LoadStage::Sample,
+            _ => LoadStage::Shed,
+        }
+    }
+
+    /// The next rung down (saturates at `Normal`).
+    pub(crate) fn relax(self) -> Self {
+        match self {
+            LoadStage::Shed => LoadStage::Sample,
+            LoadStage::Sample => LoadStage::WidenMerge,
+            _ => LoadStage::Normal,
+        }
+    }
+}
+
+impl std::fmt::Display for LoadStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            LoadStage::Normal => "normal",
+            LoadStage::WidenMerge => "widen-merge",
+            LoadStage::Sample => "sample",
+            LoadStage::Shed => "shed",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Configuration of the degradation ladder. Installing a policy (via
+/// [`EngineConfig::with_load_policy`](crate::EngineConfig::with_load_policy))
+/// starts the governor thread that polls channel pressure and walks the
+/// ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadPolicy {
+    /// Mean channel fill fraction above which polls count towards
+    /// escalation (default 0.8).
+    pub high_watermark: f64,
+    /// Mean channel fill fraction below which polls count towards
+    /// relaxation (default 0.3).
+    pub low_watermark: f64,
+    /// Consecutive polls above `high_watermark` before stepping up
+    /// (default 3).
+    pub trip_polls: u32,
+    /// Consecutive polls below `low_watermark` before stepping down
+    /// (default 5 — slower down than up, by design).
+    pub clear_polls: u32,
+    /// Merge/snapshot cadence multiplier in [`LoadStage::WidenMerge`] and
+    /// above (default 4).
+    pub widen_factor: u64,
+    /// Admission rate in [`LoadStage::Sample`], per mille (default 500 =
+    /// keep half).
+    pub keep_per_mille: u64,
+}
+
+impl Default for LoadPolicy {
+    fn default() -> Self {
+        Self {
+            high_watermark: 0.8,
+            low_watermark: 0.3,
+            trip_polls: 3,
+            clear_polls: 5,
+            widen_factor: 4,
+            keep_per_mille: 500,
+        }
+    }
+}
+
+impl LoadPolicy {
+    /// Panics unless watermarks are ordered in (0, 1], counts positive,
+    /// `widen_factor ≥ 1` and `keep_per_mille` in [1, 1000].
+    pub fn validate(&self) {
+        assert!(
+            self.high_watermark > 0.0 && self.high_watermark <= 1.0,
+            "high_watermark must be in (0, 1]"
+        );
+        assert!(
+            self.low_watermark >= 0.0 && self.low_watermark < self.high_watermark,
+            "low_watermark must be in [0, high_watermark)"
+        );
+        assert!(self.trip_polls > 0, "trip_polls must be positive");
+        assert!(self.clear_polls > 0, "clear_polls must be positive");
+        assert!(self.widen_factor >= 1, "widen_factor must be >= 1");
+        assert!(
+            (1..=1000).contains(&self.keep_per_mille),
+            "keep_per_mille must be in [1, 1000]"
+        );
+    }
+}
+
+/// One timestamped walk of the degradation ladder, kept in order in
+/// [`EngineReport::load_transitions`](crate::EngineReport::load_transitions).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadTransition {
+    /// Milliseconds since the engine started.
+    pub at_ms: u64,
+    /// Stage before the transition.
+    pub from: LoadStage,
+    /// Stage after the transition.
+    pub to: LoadStage,
+    /// Mean channel fill fraction that drove the transition.
+    pub pressure: f64,
+}
+
+/// Watchdog configuration: how long a shard may sit on a non-empty backlog
+/// without progress before it is declared stalled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WatchdogConfig {
+    /// A shard with backlog whose processed counter does not move for this
+    /// long is stalled (default 500 ms).
+    pub stall_deadline_ms: u64,
+    /// Governor poll interval (default 20 ms).
+    pub poll_ms: u64,
+    /// When true (default), a stalled shard gets a *rescue consumer* — an
+    /// extra worker thread attached to the same channel — so the backlog
+    /// drains even while the original worker is wedged.
+    pub respawn: bool,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        Self {
+            stall_deadline_ms: 500,
+            poll_ms: 20,
+            respawn: true,
+        }
+    }
+}
+
+impl WatchdogConfig {
+    /// Panics unless the deadline and poll interval are positive.
+    pub fn validate(&self) {
+        assert!(self.stall_deadline_ms > 0, "stall_deadline_ms must be > 0");
+        assert!(self.poll_ms > 0, "poll_ms must be > 0");
+    }
+}
+
+/// Result of [`StreamEngine::shutdown_drain`](crate::StreamEngine::shutdown_drain).
+#[derive(Debug, Clone)]
+pub struct DrainOutcome {
+    /// Whether the flush + final merge + final checkpoint all completed
+    /// within the caller's deadline.
+    pub deadline_met: bool,
+    /// Wall-clock milliseconds the drain took.
+    pub drain_millis: u64,
+    /// The engine's final report after the drain.
+    pub report: crate::EngineReport,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_orders_and_saturates() {
+        assert!(LoadStage::Normal < LoadStage::WidenMerge);
+        assert!(LoadStage::WidenMerge < LoadStage::Sample);
+        assert!(LoadStage::Sample < LoadStage::Shed);
+        assert_eq!(LoadStage::Shed.escalate(), LoadStage::Shed);
+        assert_eq!(LoadStage::Normal.relax(), LoadStage::Normal);
+        assert_eq!(
+            LoadStage::Normal.escalate().escalate().escalate(),
+            LoadStage::Shed
+        );
+        assert_eq!(LoadStage::Shed.relax().relax().relax(), LoadStage::Normal);
+    }
+
+    #[test]
+    fn stage_u8_round_trip() {
+        for stage in [
+            LoadStage::Normal,
+            LoadStage::WidenMerge,
+            LoadStage::Sample,
+            LoadStage::Shed,
+        ] {
+            assert_eq!(LoadStage::from_u8(stage.as_u8()), stage);
+        }
+        assert_eq!(LoadStage::from_u8(250), LoadStage::Shed);
+    }
+
+    #[test]
+    fn policy_serde_round_trip() {
+        let p = LoadPolicy {
+            keep_per_mille: 250,
+            ..LoadPolicy::default()
+        };
+        p.validate();
+        let back = LoadPolicy::from_value(&p.to_value()).unwrap();
+        assert_eq!(back, p);
+        let w = WatchdogConfig::default();
+        w.validate();
+        let back = WatchdogConfig::from_value(&w.to_value()).unwrap();
+        assert_eq!(back, w);
+        let stage = LoadStage::Sample;
+        assert_eq!(LoadStage::from_value(&stage.to_value()).unwrap(), stage);
+    }
+
+    #[test]
+    #[should_panic(expected = "keep_per_mille")]
+    fn zero_keep_rate_rejected() {
+        LoadPolicy {
+            keep_per_mille: 0,
+            ..LoadPolicy::default()
+        }
+        .validate();
+    }
+}

@@ -1,5 +1,6 @@
 //! Alert and shutdown-report types.
 
+use crate::load::{LoadStage, LoadTransition};
 use std::fmt;
 use ustream_common::Timestamp;
 
@@ -65,6 +66,14 @@ pub struct ShardStats {
     /// Whether the worker thread is currently running. `false` after
     /// shutdown, or when the worker died and could not be respawned.
     pub alive: bool,
+    /// Times the watchdog declared this shard stalled (backlog present,
+    /// no progress within the stall deadline).
+    pub stalls: u64,
+    /// Whether the watchdog currently considers the shard stalled. Clears
+    /// as soon as the processed counter moves again.
+    pub stalled: bool,
+    /// Approximate resident bytes of this shard's clusterer model.
+    pub clusterer_bytes: usize,
 }
 
 /// Final accounting returned by [`crate::StreamEngine::shutdown`].
@@ -115,6 +124,31 @@ pub struct EngineReport {
     pub checkpoints_written: u64,
     /// The most recent auto-checkpoint failure, if any.
     pub last_checkpoint_error: Option<String>,
+    /// Current rung of the degradation ladder (always
+    /// [`LoadStage::Normal`] when no load policy is configured).
+    pub load_stage: LoadStage,
+    /// Every walk of the degradation ladder, in order, timestamped in
+    /// milliseconds since the engine started.
+    pub load_transitions: Vec<LoadTransition>,
+    /// Points dropped outright in [`LoadStage::Shed`].
+    pub points_shed: u64,
+    /// Points dropped by probabilistic admission in [`LoadStage::Sample`].
+    /// Admitted counts can be rescaled by
+    /// `(points_processed + points_sampled_out) / points_processed` when
+    /// absolute magnitudes matter.
+    pub points_sampled_out: u64,
+    /// Admission rate (per mille) in effect while sampling; 1000 otherwise.
+    pub sampling_keep_per_mille: u64,
+    /// Stall events detected by the watchdog, summed across shards.
+    pub stalls_detected: u64,
+    /// Approximate bytes retained by the pyramidal snapshot store.
+    pub snapshot_bytes: u64,
+    /// Snapshots evicted by the memory budget (0 without a budget).
+    pub snapshot_budget_evictions: u64,
+    /// Effective horizon-error bound of the snapshot store: the paper's
+    /// `1/α^(l−1)` when the budget never bit, inflated when eviction
+    /// shortened the rings.
+    pub horizon_error_bound: f64,
     /// Per-shard breakdown (one entry per shard worker).
     pub per_shard: Vec<ShardStats>,
 }

@@ -17,12 +17,14 @@
 //! horizon are discarded, clusters created during the horizon are retained
 //! as-is.
 
+pub mod budget;
 pub mod merge;
 pub mod persist;
 pub mod pyramid;
 pub mod store;
 pub mod tracker;
 
+pub use budget::{BudgetReport, SnapshotBudget};
 pub use merge::{merge_namespaced, namespaced_id, shard_of_id, SHARD_ID_BITS};
 pub use pyramid::{snapshot_order, PyramidConfig};
 pub use store::{ClusterSetSnapshot, SnapshotStore, StoredSnapshot};

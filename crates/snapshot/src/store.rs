@@ -1,10 +1,16 @@
 //! The snapshot store proper, plus keyed cluster-set subtraction.
 
+use crate::budget::{effective_l, error_bound_for, BudgetReport, SnapshotBudget};
 use crate::pyramid::{snapshot_order, PyramidConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use ustream_common::{AdditiveFeature, Result, Timestamp, UStreamError};
+
+/// Default payload measure: free of charge, disables byte accounting.
+fn zero_measure<S>(_: &S) -> usize {
+    0
+}
 
 /// A snapshot stored in the pyramid, tagged with its capture tick and order.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -29,6 +35,17 @@ pub struct SnapshotStore<S> {
     /// `orders[i]` holds snapshots of order `i`, oldest first.
     orders: Vec<VecDeque<StoredSnapshot<S>>>,
     taken: u64,
+    /// Optional memory ceiling; see [`SnapshotBudget`].
+    budget: Option<SnapshotBudget>,
+    /// Estimates payload bytes of one snapshot (for the byte budget).
+    measure: fn(&S) -> usize,
+    /// Running estimate of retained payload bytes under `measure`.
+    total_bytes: u64,
+    /// Snapshots evicted by the budget, beyond pyramid retention.
+    budget_evictions: u64,
+    /// Smallest ring length left behind by a budget eviction, i.e. the
+    /// worst per-order retention the budget has forced so far.
+    worst_trimmed_len: Option<usize>,
 }
 
 impl<S: Clone> SnapshotStore<S> {
@@ -38,6 +55,116 @@ impl<S: Clone> SnapshotStore<S> {
             config,
             orders: Vec::new(),
             taken: 0,
+            budget: None,
+            measure: zero_measure::<S>,
+            total_bytes: 0,
+            budget_evictions: 0,
+            worst_trimmed_len: None,
+        }
+    }
+
+    /// Installs (or replaces) a memory budget.
+    ///
+    /// `measure` estimates the payload bytes of one snapshot; it is applied
+    /// to snapshots already retained so the byte accounting starts correct.
+    /// Enforcement happens on this call and on every later [`record`].
+    ///
+    /// [`record`]: SnapshotStore::record
+    pub fn set_budget(&mut self, budget: SnapshotBudget, measure: fn(&S) -> usize) {
+        self.measure = measure;
+        self.total_bytes = self
+            .orders
+            .iter()
+            .flat_map(|r| r.iter())
+            .map(|s| measure(&s.data) as u64)
+            .sum();
+        self.budget = Some(budget);
+        self.enforce_budget();
+    }
+
+    /// The installed budget, if any.
+    pub fn budget(&self) -> Option<&SnapshotBudget> {
+        self.budget.as_ref()
+    }
+
+    /// Estimated payload bytes currently retained (0 until a budget with a
+    /// byte measure is installed).
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Snapshots evicted by the budget, beyond normal pyramid retention.
+    pub fn budget_evictions(&self) -> u64 {
+        self.budget_evictions
+    }
+
+    /// The horizon-error bound actually in force: the configured
+    /// `1/α^{l−1}` until a budget eviction trims a ring below the pyramid
+    /// capacity, the inflated `1/α^{l_eff−1}` afterwards.
+    pub fn effective_error_bound(&self) -> f64 {
+        match self.worst_trimmed_len {
+            None => self.config.horizon_error_bound(),
+            Some(len) => {
+                let l_eff = effective_l(self.config.alpha, len);
+                error_bound_for(self.config.alpha, l_eff.min(self.config.l))
+                    .max(self.config.horizon_error_bound())
+            }
+        }
+    }
+
+    /// Budget accounting in one view (see [`BudgetReport`]).
+    pub fn budget_report(&self) -> BudgetReport {
+        let configured = self.config.horizon_error_bound();
+        let effective = self.effective_error_bound();
+        BudgetReport {
+            evictions: self.budget_evictions,
+            retained_bytes: self.total_bytes,
+            retained: self.len(),
+            effective_error_bound: effective,
+            error_inflation: effective / configured,
+        }
+    }
+
+    fn over_budget(&self) -> bool {
+        self.budget
+            .as_ref()
+            .is_some_and(|b| b.exceeded_by(self.len(), self.total_bytes))
+    }
+
+    /// Evicts until the budget holds. Victims come from the fullest ring
+    /// (ties toward the lowest order) so orders degrade evenly; rings are
+    /// not emptied while any ring still holds > 1 snapshot, and only when
+    /// every ring is down to its last snapshot does the globally oldest
+    /// one go — the configured ceiling is a hard limit.
+    fn enforce_budget(&mut self) {
+        while self.over_budget() {
+            let mut victim: Option<usize> = None;
+            for (i, ring) in self.orders.iter().enumerate() {
+                if ring.len() > 1 && victim.is_none_or(|v| ring.len() > self.orders[v].len()) {
+                    victim = Some(i);
+                }
+            }
+            let victim = victim.or_else(|| {
+                self.orders
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| !r.is_empty())
+                    .min_by_key(|(_, r)| r.front().map(|s| s.time))
+                    .map(|(i, _)| i)
+            });
+            let Some(idx) = victim else {
+                return; // store empty; nothing left to evict
+            };
+            if let Some(old) = self.orders[idx].pop_front() {
+                self.total_bytes = self
+                    .total_bytes
+                    .saturating_sub((self.measure)(&old.data) as u64);
+                self.budget_evictions += 1;
+                let left = self.orders[idx].len();
+                if self.worst_trimmed_len.is_none_or(|w| left < w) {
+                    self.worst_trimmed_len = Some(left);
+                }
+            }
         }
     }
 
@@ -67,17 +194,22 @@ impl<S: Clone> SnapshotStore<S> {
     /// ticks); the store files the snapshot at order `max{i : α^i | t}` and
     /// enforces per-order retention.
     pub fn record(&mut self, t: Timestamp, data: S) {
+        let bytes = (self.measure)(&data) as u64;
         let order = snapshot_order(t, self.config.alpha);
         let order_idx = order as usize;
         if self.orders.len() <= order_idx {
             self.orders.resize_with(order_idx + 1, VecDeque::new);
         }
+        let measure = self.measure;
+        let mut freed = 0u64;
         let ring = &mut self.orders[order_idx];
         // Monotone capture times within an order; replace on duplicate tick.
         if let Some(last) = ring.back() {
             debug_assert!(last.time <= t, "snapshots must be recorded in order");
             if last.time == t {
-                ring.pop_back();
+                if let Some(old) = ring.pop_back() {
+                    freed += measure(&old.data) as u64;
+                }
             }
         }
         ring.push_back(StoredSnapshot {
@@ -87,9 +219,13 @@ impl<S: Clone> SnapshotStore<S> {
         });
         let cap = self.config.per_order_capacity();
         while ring.len() > cap {
-            ring.pop_front();
+            if let Some(old) = ring.pop_front() {
+                freed += measure(&old.data) as u64;
+            }
         }
+        self.total_bytes = (self.total_bytes + bytes).saturating_sub(freed);
         self.taken += 1;
+        self.enforce_budget();
     }
 
     /// The most recent stored snapshot with `time ≤ t`, across all orders.
@@ -215,6 +351,21 @@ impl<F: AdditiveFeature> ClusterSetSnapshot<F> {
     /// Total point count (or weight) across all captured clusters.
     pub fn total_count(&self) -> f64 {
         self.clusters.values().map(AdditiveFeature::count).sum()
+    }
+
+    /// Estimated resident bytes of this snapshot, suitable as the measure
+    /// for [`SnapshotStore::set_budget`].
+    ///
+    /// Counts the inline feature struct, the map-entry overhead, and the
+    /// per-dimension heap vectors an additive feature typically carries
+    /// (an ECF holds CF1, EF2, and W — three `f64` per dimension). An
+    /// estimate, not an allocator audit: it is monotone in cluster count
+    /// and dimensionality, which is all budget enforcement needs.
+    pub fn approx_bytes(&self) -> usize {
+        const MAP_NODE_OVERHEAD: usize = 48;
+        let per_entry = std::mem::size_of::<u64>() + std::mem::size_of::<F>() + MAP_NODE_OVERHEAD;
+        let heap: usize = self.clusters.values().map(|f| f.dims() * 3 * 8).sum();
+        std::mem::size_of::<Self>() + self.clusters.len() * per_entry + heap
     }
 }
 
@@ -413,5 +564,92 @@ mod tests {
         let current = ClusterSetSnapshot::from_pairs([(1, Toy::new(10.0, 5.0, 100))]);
         let window = current.subtract_past(&past);
         assert!(window.is_empty());
+    }
+
+    #[test]
+    fn snapshot_budget_caps_count() {
+        let mut s = SnapshotStore::new(PyramidConfig::new(2, 4).unwrap());
+        s.set_budget(SnapshotBudget::by_snapshots(20), |_| 0);
+        for t in 1..=10_000u64 {
+            s.record(t, t);
+            assert!(s.len() <= 20, "budget exceeded at t={t}: {}", s.len());
+        }
+        assert!(s.budget_evictions() > 0);
+        // Queries keep working: the newest snapshot is always reachable.
+        assert_eq!(s.find_at_or_before(10_000).unwrap().time, 10_000);
+        assert!(s.horizon_base(10_000, 4).is_ok());
+    }
+
+    #[test]
+    fn snapshot_budget_caps_bytes() {
+        let mut s = SnapshotStore::new(PyramidConfig::new(2, 4).unwrap());
+        // Every payload "costs" 100 bytes; ceiling 1 kB → ≤ 10 snapshots.
+        s.set_budget(SnapshotBudget::by_bytes(1000), |_| 100);
+        for t in 1..=5_000u64 {
+            s.record(t, t);
+            assert!(
+                s.total_bytes() <= 1000,
+                "byte budget exceeded at t={t}: {}",
+                s.total_bytes()
+            );
+        }
+        assert!(s.len() <= 10);
+    }
+
+    #[test]
+    fn budget_eviction_reports_error_inflation() {
+        let cfg = PyramidConfig::new(2, 4).unwrap(); // bound 1/8, cap 17/order
+        let mut s = SnapshotStore::new(cfg);
+        for t in 1..=4096u64 {
+            s.record(t, t);
+        }
+        let unconstrained = s.budget_report();
+        assert_eq!(unconstrained.evictions, 0);
+        assert!((unconstrained.error_inflation - 1.0).abs() < 1e-12);
+        assert!((unconstrained.effective_error_bound - cfg.horizon_error_bound()).abs() < 1e-12);
+
+        // Now squeeze hard: trimming rings below α^l + 1 must inflate the
+        // reported bound (l_eff < l ⇒ bound > 1/8).
+        s.set_budget(SnapshotBudget::by_snapshots(24), |_| 0);
+        let squeezed = s.budget_report();
+        assert!(squeezed.retained <= 24);
+        assert!(squeezed.evictions > 0);
+        assert!(squeezed.effective_error_bound > cfg.horizon_error_bound());
+        assert!(squeezed.error_inflation > 1.0);
+    }
+
+    #[test]
+    fn budget_never_exceeded_even_at_one_per_ring() {
+        // Budget below the number of nonempty rings forces the global-oldest
+        // fallback; the ceiling must still hold and queries still answer.
+        let mut s = SnapshotStore::new(PyramidConfig::new(2, 3).unwrap());
+        s.set_budget(SnapshotBudget::by_snapshots(3), |_| 0);
+        for t in 1..=1024u64 {
+            s.record(t, t);
+            assert!(s.len() <= 3, "t={t}: {}", s.len());
+        }
+        assert!(s.find_at_or_before(1024).is_some());
+    }
+
+    #[test]
+    fn set_budget_accounts_existing_payloads() {
+        let mut s = SnapshotStore::new(PyramidConfig::new(2, 2).unwrap());
+        for t in 1..=8u64 {
+            s.record(t, t);
+        }
+        assert_eq!(s.total_bytes(), 0); // no measure installed yet
+        s.set_budget(SnapshotBudget::by_bytes(u64::MAX), |_| 10);
+        assert_eq!(s.total_bytes(), s.len() as u64 * 10);
+    }
+
+    #[test]
+    fn approx_bytes_scales_with_clusters_and_dims() {
+        let one = ClusterSetSnapshot::from_pairs([(1, Toy::new(1.0, 1.0, 1))]);
+        let two = ClusterSetSnapshot::from_pairs([
+            (1, Toy::new(1.0, 1.0, 1)),
+            (2, Toy::new(2.0, 1.0, 1)),
+        ]);
+        assert!(two.approx_bytes() > one.approx_bytes());
+        assert!(one.approx_bytes() > 0);
     }
 }

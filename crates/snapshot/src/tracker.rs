@@ -7,6 +7,7 @@
 //! uncertain ECF run through the same tracker — the subtractive property is
 //! all it needs.
 
+use crate::budget::{BudgetReport, SnapshotBudget};
 use crate::pyramid::PyramidConfig;
 use crate::store::{ClusterSetSnapshot, SnapshotStore};
 use ustream_common::{AdditiveFeature, Result, Timestamp, UStreamError};
@@ -35,6 +36,18 @@ impl<F: AdditiveFeature> HorizonTracker<F> {
     /// The underlying snapshot store (persistence, inspection).
     pub fn store(&self) -> &SnapshotStore<ClusterSetSnapshot<F>> {
         &self.store
+    }
+
+    /// Installs a memory budget on the underlying store, measured with
+    /// [`ClusterSetSnapshot::approx_bytes`]. See [`SnapshotBudget`].
+    pub fn set_budget(&mut self, budget: SnapshotBudget) {
+        self.store
+            .set_budget(budget, |s: &ClusterSetSnapshot<F>| s.approx_bytes());
+    }
+
+    /// Budget accounting of the underlying store.
+    pub fn budget_report(&self) -> BudgetReport {
+        self.store.budget_report()
     }
 
     /// Records the cluster set active at tick `now`.

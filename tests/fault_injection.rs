@@ -12,10 +12,12 @@
 #![cfg(feature = "failpoints")]
 
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 use umicro::UMicroConfig;
 use ustream_common::{UStreamError, UncertainPoint};
 use ustream_engine::{
     failpoints, BackpressurePolicy, EngineConfig, HealthStatus, StreamEngine, ValidationPolicy,
+    WatchdogConfig,
 };
 
 static FAILPOINT_LOCK: Mutex<()> = Mutex::new(());
@@ -194,5 +196,206 @@ fn stalled_worker_with_drop_newest_sheds_load_instead_of_blocking() {
         40,
         "every record is either processed or counted as dropped"
     );
+    failpoints::reset_all();
+}
+
+/// Spins until `cond` holds or `deadline` elapses; returns whether it held.
+fn wait_until(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    cond()
+}
+
+#[test]
+fn watchdog_detects_wedged_worker_and_rescue_drains_backlog() {
+    let _guard = FAILPOINT_LOCK.lock().unwrap();
+    failpoints::reset_all();
+
+    let e = StreamEngine::start(
+        EngineConfig::new(UMicroConfig::new(8, 2).unwrap())
+            .with_snapshot_every(1_000)
+            .with_watchdog(WatchdogConfig {
+                stall_deadline_ms: 100,
+                poll_ms: 10,
+                respawn: true,
+            }),
+    )
+    .unwrap();
+
+    // The first record the worker dequeues costs it a 2 s sleep — far past
+    // the 100 ms stall deadline — while 200 more records pile up behind it.
+    failpoints::arm(failpoints::WORKER_HANG, 2_000);
+    for t in 1..=201u64 {
+        e.push(pt((t % 4) as f64, 0.0, t)).unwrap();
+    }
+
+    // The watchdog must flag the stall well within the hang window...
+    assert!(
+        wait_until(Duration::from_secs(1), || e.stats().stalls_detected >= 1),
+        "watchdog never flagged the wedged worker: {:?}",
+        e.stats()
+    );
+    assert_eq!(e.stats().health, HealthStatus::Degraded);
+
+    // ...and the rescue consumer drains the backlog while the original
+    // worker is still asleep (2 s hang vs 200 records of ordinary work).
+    assert!(
+        wait_until(Duration::from_millis(1_500), || e.points_processed() >= 200),
+        "rescue consumer never drained the backlog: processed {}",
+        e.points_processed()
+    );
+
+    // Once the wedged worker wakes and finishes its record, nothing is lost.
+    assert!(
+        wait_until(Duration::from_secs(3), || e.points_processed() == 201),
+        "hung record lost: processed {}",
+        e.points_processed()
+    );
+    let report = e.shutdown();
+    assert_eq!(report.points_processed, 201);
+    assert!(report.stalls_detected >= 1);
+    assert!(report.per_shard[0].stalls >= 1);
+    failpoints::reset_all();
+}
+
+#[test]
+fn restore_falls_back_to_oldest_surviving_generation() {
+    let _guard = FAILPOINT_LOCK.lock().unwrap();
+    failpoints::reset_all();
+    let base = temp_path("generations");
+
+    let e = StreamEngine::start(
+        EngineConfig::new(UMicroConfig::new(8, 2).unwrap())
+            .with_snapshot_every(16)
+            .with_auto_checkpoint(32, &base)
+            .with_checkpoint_generations(3),
+    )
+    .unwrap();
+    for t in 1..=96u64 {
+        e.push(pt((t % 3) as f64 * 5.0, (t % 5) as f64, t)).unwrap();
+    }
+    e.flush();
+    let report = e.shutdown();
+    assert_eq!(report.checkpoints_written, 3, "epochs 1..=3 must rotate");
+
+    // Generations land in slots seq % 3: epoch 1 → .1, 2 → .2, 3 → .0.
+    // Corrupt every generation except the *oldest* (epoch 1 in slot 1).
+    for slot in [0u64, 2] {
+        let path = format!("{base}.{slot}");
+        let mut bytes = std::fs::read(&path).expect("generation file exists");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+    }
+
+    // Restore walks the manifest newest-first, rejects both corrupt
+    // generations on their checksums, and lands on epoch 1.
+    let r = StreamEngine::restore(&base).unwrap();
+    assert_eq!(r.points_processed(), 32, "must restore the epoch-1 state");
+
+    // The stream continues from the restored state.
+    for t in 97..=160u64 {
+        r.push(pt((t % 3) as f64 * 5.0, (t % 5) as f64, t)).unwrap();
+    }
+    r.flush();
+    assert_eq!(r.points_processed(), 32 + 64);
+    assert!(r.horizon_clusters(16).is_ok());
+    r.shutdown();
+
+    for suffix in ["0", "1", "2", "manifest"] {
+        let _ = std::fs::remove_file(format!("{base}.{suffix}"));
+    }
+    failpoints::reset_all();
+}
+
+#[test]
+fn restore_with_every_generation_corrupt_is_a_clean_error() {
+    let _guard = FAILPOINT_LOCK.lock().unwrap();
+    failpoints::reset_all();
+    let base = temp_path("generations-all-bad");
+
+    let e = StreamEngine::start(
+        EngineConfig::new(UMicroConfig::new(4, 2).unwrap())
+            .with_auto_checkpoint(16, &base)
+            .with_checkpoint_generations(2),
+    )
+    .unwrap();
+    for t in 1..=32u64 {
+        e.push(pt(1.0, 1.0, t)).unwrap();
+    }
+    e.flush();
+    e.shutdown();
+
+    for slot in [0u64, 1] {
+        let path = format!("{base}.{slot}");
+        if let Ok(mut bytes) = std::fs::read(&path) {
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0xFF;
+            std::fs::write(&path, &bytes).unwrap();
+        }
+    }
+    assert!(
+        StreamEngine::restore(&base).is_err(),
+        "all-corrupt generations must surface an error, not a silent reset"
+    );
+
+    for suffix in ["0", "1", "manifest"] {
+        let _ = std::fs::remove_file(format!("{base}.{suffix}"));
+    }
+    failpoints::reset_all();
+}
+
+/// Bounded soak: repeated stall → watchdog rescue → recovery rounds under
+/// sustained load. CI runs this under a hard `timeout`; each round is
+/// sized so the whole test stays in the low seconds.
+#[test]
+fn soak_repeated_stalls_recover_without_losing_records() {
+    let _guard = FAILPOINT_LOCK.lock().unwrap();
+    failpoints::reset_all();
+
+    let e = StreamEngine::start(
+        EngineConfig::new(UMicroConfig::new(8, 2).unwrap())
+            .with_snapshot_every(500)
+            .with_watchdog(WatchdogConfig {
+                stall_deadline_ms: 50,
+                poll_ms: 5,
+                respawn: true,
+            }),
+    )
+    .unwrap();
+
+    let mut pushed = 0u64;
+    for round in 0..3u64 {
+        // Wedge one consumer for 400 ms, then keep the stream coming.
+        failpoints::arm(failpoints::WORKER_HANG, 400);
+        for i in 0..300u64 {
+            let t = round * 301 + i + 1;
+            e.push(pt((t % 4) as f64, -((t % 3) as f64), t)).unwrap();
+            pushed += 1;
+        }
+        assert!(
+            wait_until(Duration::from_secs(2), || {
+                e.stats().stalls_detected > round
+            }),
+            "round {round}: stall never detected"
+        );
+        // Between rounds the engine must fully catch up: the backlog is
+        // drained by the rescue consumer even while the worker sleeps.
+        assert!(
+            wait_until(Duration::from_secs(3), || e.points_processed() == pushed),
+            "round {round}: lost records — processed {} of {pushed}",
+            e.points_processed()
+        );
+    }
+
+    let report = e.shutdown();
+    assert_eq!(report.points_processed, pushed);
+    assert!(report.stalls_detected >= 3);
+    assert!(report.last_checkpoint_error.is_none());
     failpoints::reset_all();
 }

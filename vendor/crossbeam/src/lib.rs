@@ -1,33 +1,66 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Only [`channel`] is provided — bounded/unbounded MPSC channels with the
-//! crossbeam surface (`send`, `try_send`, `recv`, iteration), backed by
-//! `std::sync::mpsc`. Unlike real crossbeam the receiver is single-consumer,
-//! which is all this workspace's engine topology (one receiver per worker
-//! thread) requires.
+//! Only [`channel`] is provided — bounded/unbounded MPMC channels with the
+//! crossbeam surface (`send`, `try_send`, `recv`, iteration), backed by a
+//! `Mutex<VecDeque>` + two condvars. Like real crossbeam both halves are
+//! cloneable: multiple producers feed multiple consumers, which is what the
+//! engine's watchdog needs to attach a replacement worker to a stalled
+//! shard's channel.
 
 pub mod channel {
+    use std::collections::VecDeque;
     use std::fmt;
-    use std::sync::mpsc;
-    use std::time::Duration;
+    use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+    use std::time::{Duration, Instant};
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        cap: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        /// Signalled when a message is queued or the last sender leaves.
+        not_empty: Condvar,
+        /// Signalled when a slot frees up or the last receiver leaves.
+        not_full: Condvar,
+    }
+
+    impl<T> Shared<T> {
+        /// Locks the queue; a panic while the lock was held (workers run
+        /// under `catch_unwind`) must not wedge the channel, so poisoning
+        /// is stripped.
+        fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+            self.inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+        }
+    }
 
     /// The sending half; cheap to clone, shareable across threads.
     pub struct Sender<T> {
-        inner: Flavor<T>,
-    }
-
-    enum Flavor<T> {
-        Bounded(mpsc::SyncSender<T>),
-        Unbounded(mpsc::Sender<T>),
+        shared: Arc<Shared<T>>,
     }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            let inner = match &self.inner {
-                Flavor::Bounded(s) => Flavor::Bounded(s.clone()),
-                Flavor::Unbounded(s) => Flavor::Unbounded(s.clone()),
-            };
-            Self { inner }
+            self.shared.lock().senders += 1;
+            Self {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.lock();
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                drop(inner);
+                self.shared.not_empty.notify_all();
+            }
         }
     }
 
@@ -39,30 +72,68 @@ pub mod channel {
 
     impl<T> Sender<T> {
         /// Sends `msg`, blocking while a bounded channel is full. Fails only
-        /// when the receiver is gone, handing the message back.
+        /// when every receiver is gone, handing the message back.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
-            match &self.inner {
-                Flavor::Bounded(s) => s.send(msg).map_err(|e| SendError(e.0)),
-                Flavor::Unbounded(s) => s.send(msg).map_err(|e| SendError(e.0)),
+            let mut inner = self.shared.lock();
+            loop {
+                if inner.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                if inner.cap.is_none_or(|cap| inner.queue.len() < cap) {
+                    inner.queue.push_back(msg);
+                    drop(inner);
+                    self.shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                inner = self
+                    .shared
+                    .not_full
+                    .wait(inner)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         }
 
         /// Non-blocking send: fails immediately when the channel is full or
         /// disconnected, handing the message back either way.
         pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
-            match &self.inner {
-                Flavor::Bounded(s) => s.try_send(msg).map_err(|e| match e {
-                    mpsc::TrySendError::Full(m) => TrySendError::Full(m),
-                    mpsc::TrySendError::Disconnected(m) => TrySendError::Disconnected(m),
-                }),
-                Flavor::Unbounded(s) => s.send(msg).map_err(|e| TrySendError::Disconnected(e.0)),
+            let mut inner = self.shared.lock();
+            if inner.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if inner.cap.is_some_and(|cap| inner.queue.len() >= cap) {
+                return Err(TrySendError::Full(msg));
+            }
+            inner.queue.push_back(msg);
+            drop(inner);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    /// The receiving half; cloneable — clones share one queue, each message
+    /// is delivered to exactly one receiver.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.lock().receivers += 1;
+            Self {
+                shared: Arc::clone(&self.shared),
             }
         }
     }
 
-    /// The receiving half (single consumer in this stand-in).
-    pub struct Receiver<T> {
-        inner: mpsc::Receiver<T>,
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.lock();
+            inner.receivers -= 1;
+            if inner.receivers == 0 {
+                drop(inner);
+                self.shared.not_full.notify_all();
+            }
+        }
     }
 
     impl<T> fmt::Debug for Receiver<T> {
@@ -72,75 +143,152 @@ pub mod channel {
     }
 
     impl<T> Receiver<T> {
-        /// Blocks until a message arrives or all senders are gone.
+        /// Blocks until a message arrives or all senders are gone (the
+        /// queue is drained either way before disconnect is reported).
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.inner.recv().map_err(|_| RecvError)
+            let mut inner = self.shared.lock();
+            loop {
+                if let Some(msg) = inner.queue.pop_front() {
+                    drop(inner);
+                    self.shared.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self
+                    .shared
+                    .not_empty
+                    .wait(inner)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
         }
 
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.inner.try_recv().map_err(|e| match e {
-                mpsc::TryRecvError::Empty => TryRecvError::Empty,
-                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
-            })
+            let mut inner = self.shared.lock();
+            if let Some(msg) = inner.queue.pop_front() {
+                drop(inner);
+                self.shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if inner.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
         }
 
         /// Blocks up to `timeout` for a message.
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-            self.inner.recv_timeout(timeout).map_err(|e| match e {
-                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
-                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
-            })
+            let deadline = Instant::now() + timeout;
+            let mut inner = self.shared.lock();
+            loop {
+                if let Some(msg) = inner.queue.pop_front() {
+                    drop(inner);
+                    self.shared.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                let Some(remaining) = deadline
+                    .checked_duration_since(now)
+                    .filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, _timed_out) = self
+                    .shared
+                    .not_empty
+                    .wait_timeout(inner, remaining)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                inner = guard;
+            }
         }
 
         /// A blocking iterator over received messages; ends when all senders
-        /// are dropped.
-        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
-            self.inner.iter()
+        /// are dropped and the queue is drained.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    /// Borrowing message iterator (see [`Receiver::iter`]).
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    /// Owning message iterator.
+    pub struct IntoIter<T> {
+        rx: Receiver<T>,
+    }
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
         }
     }
 
     impl<T> IntoIterator for Receiver<T> {
         type Item = T;
-        type IntoIter = mpsc::IntoIter<T>;
+        type IntoIter = IntoIter<T>;
 
         fn into_iter(self) -> Self::IntoIter {
-            self.inner.into_iter()
+            IntoIter { rx: self }
         }
     }
 
     impl<'a, T> IntoIterator for &'a Receiver<T> {
         type Item = T;
-        type IntoIter = mpsc::Iter<'a, T>;
+        type IntoIter = Iter<'a, T>;
 
         fn into_iter(self) -> Self::IntoIter {
-            self.inner.iter()
+            self.iter()
         }
+    }
+
+    fn with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                cap,
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
     }
 
     /// A channel holding at most `cap` in-flight messages.
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = mpsc::sync_channel(cap);
-        (
-            Sender {
-                inner: Flavor::Bounded(tx),
-            },
-            Receiver { inner: rx },
-        )
+        with_cap(Some(cap))
     }
 
     /// A channel with no capacity bound.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = mpsc::channel();
-        (
-            Sender {
-                inner: Flavor::Unbounded(tx),
-            },
-            Receiver { inner: rx },
-        )
+        with_cap(None)
     }
 
-    /// The receiver disconnected; the unsent message is handed back.
+    /// Every receiver disconnected; the unsent message is handed back.
     #[derive(Clone, Copy, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
 
@@ -163,7 +311,7 @@ pub mod channel {
     pub enum TrySendError<T> {
         /// The bounded channel is at capacity.
         Full(T),
-        /// The receiver is gone.
+        /// Every receiver is gone.
         Disconnected(T),
     }
 
@@ -266,6 +414,7 @@ pub mod channel {
 #[cfg(test)]
 mod tests {
     use super::channel::{bounded, unbounded, TrySendError};
+    use std::time::Duration;
 
     #[test]
     fn bounded_round_trip_and_iteration() {
@@ -316,5 +465,43 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(got.len(), 100);
+    }
+
+    #[test]
+    fn cloned_receivers_partition_the_stream() {
+        // MPMC: two consumers drain one channel; every message is delivered
+        // exactly once.
+        let (tx, rx) = bounded(4);
+        let rx2 = rx.clone();
+        let a = std::thread::spawn(move || rx.into_iter().collect::<Vec<i32>>());
+        let b = std::thread::spawn(move || rx2.into_iter().collect::<Vec<i32>>());
+        for i in 0..200 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut got = a.join().unwrap();
+        got.extend(b.join().unwrap());
+        got.sort_unstable();
+        assert_eq!(got, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = bounded::<i32>(2);
+        assert!(rx.recv_timeout(Duration::from_millis(10)).is_err());
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(100)).unwrap(), 9);
+    }
+
+    #[test]
+    fn blocked_send_wakes_when_receivers_vanish() {
+        // A sender stuck on a full channel must error out (not hang) when
+        // the last receiver goes away — shutdown paths rely on this.
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let sender = std::thread::spawn(move || tx.send(2));
+        std::thread::sleep(Duration::from_millis(20));
+        drop(rx);
+        assert!(sender.join().unwrap().is_err());
     }
 }

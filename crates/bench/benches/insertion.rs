@@ -31,7 +31,8 @@ fn bench_insertion(c: &mut Criterion) {
 
     group.bench_function("umicro_corrected", |b| {
         b.iter(|| {
-            let mut alg = UMicro::new(UMicroConfig::new(N_MICRO, DIMS).unwrap());
+            let mut alg =
+                UMicro::new(UMicroConfig::new(N_MICRO, DIMS).expect("valid UMicro config"));
             for p in &pts {
                 black_box(alg.insert(p));
             }
@@ -41,7 +42,8 @@ fn bench_insertion(c: &mut Criterion) {
 
     group.bench_function("umicro_corrected_scalar_path", |b| {
         b.iter(|| {
-            let mut alg = UMicro::new(UMicroConfig::new(N_MICRO, DIMS).unwrap());
+            let mut alg =
+                UMicro::new(UMicroConfig::new(N_MICRO, DIMS).expect("valid UMicro config"));
             alg.set_kernel_enabled(false);
             for p in &pts {
                 black_box(alg.insert(p));
@@ -52,7 +54,8 @@ fn bench_insertion(c: &mut Criterion) {
 
     group.bench_function("umicro_corrected_batched", |b| {
         b.iter(|| {
-            let mut alg = UMicro::new(UMicroConfig::new(N_MICRO, DIMS).unwrap());
+            let mut alg =
+                UMicro::new(UMicroConfig::new(N_MICRO, DIMS).expect("valid UMicro config"));
             let mut out = Vec::with_capacity(256);
             for chunk in pts.chunks(256) {
                 out.clear();
@@ -67,7 +70,7 @@ fn bench_insertion(c: &mut Criterion) {
         b.iter(|| {
             let mut alg = UMicro::new(
                 UMicroConfig::new(N_MICRO, DIMS)
-                    .unwrap()
+                    .expect("valid UMicro config")
                     .with_boundary_mode(BoundaryMode::UncertainRadius),
             );
             for p in &pts {
@@ -81,7 +84,7 @@ fn bench_insertion(c: &mut Criterion) {
         b.iter(|| {
             let mut alg = UMicro::new(
                 UMicroConfig::new(N_MICRO, DIMS)
-                    .unwrap()
+                    .expect("valid UMicro config")
                     .with_expected_distance(),
             );
             for p in &pts {
@@ -93,7 +96,9 @@ fn bench_insertion(c: &mut Criterion) {
 
     group.bench_function("clustream", |b| {
         b.iter(|| {
-            let mut alg = CluStream::new(CluStreamConfig::new(N_MICRO, DIMS).unwrap());
+            let mut alg = CluStream::new(
+                CluStreamConfig::new(N_MICRO, DIMS).expect("valid CluStream config"),
+            );
             for p in &pts {
                 black_box(alg.insert(p));
             }
@@ -103,7 +108,9 @@ fn bench_insertion(c: &mut Criterion) {
 
     group.bench_function("stream_kmeans", |b| {
         b.iter(|| {
-            let mut alg = StreamKMeans::new(StreamKMeansConfig::new(10, 500, DIMS, 13).unwrap());
+            let mut alg = StreamKMeans::new(
+                StreamKMeansConfig::new(10, 500, DIMS, 13).expect("valid STREAM config"),
+            );
             for p in &pts {
                 alg.insert(p);
             }
@@ -114,7 +121,8 @@ fn bench_insertion(c: &mut Criterion) {
     group.bench_function("denstream", |b| {
         b.iter(|| {
             // Radius tuned to the SynDrift unit-cube scale.
-            let mut alg = DenStream::new(DenStreamConfig::new(DIMS, 1.2).unwrap());
+            let mut alg =
+                DenStream::new(DenStreamConfig::new(DIMS, 1.2).expect("valid DenStream config"));
             for p in &pts {
                 alg.insert(p);
             }
@@ -128,7 +136,7 @@ fn bench_insertion(c: &mut Criterion) {
 fn bench_classifier(c: &mut Criterion) {
     use umicro::MicroClassifier;
     let pts = points();
-    let mut clf = MicroClassifier::new(UMicroConfig::new(20, DIMS).unwrap());
+    let mut clf = MicroClassifier::new(UMicroConfig::new(20, DIMS).expect("valid UMicro config"));
     for p in &pts {
         if p.label().is_some() {
             clf.train_labelled(p);

@@ -35,7 +35,8 @@ fn bench_pipeline(c: &mut Criterion) {
             &pts,
             |b, pts| {
                 b.iter(|| {
-                    let mut alg = UMicro::new(UMicroConfig::new(N_MICRO, dims).unwrap());
+                    let mut alg =
+                        UMicro::new(UMicroConfig::new(N_MICRO, dims).expect("valid UMicro config"));
                     let mut purity = ClusterPurity::new();
                     for p in pts {
                         let out = alg.insert(p);
@@ -53,7 +54,7 @@ fn bench_pipeline(c: &mut Criterion) {
             |b, pts| {
                 b.iter(|| {
                     let mut alg = DecayedUMicro::with_half_life(
-                        UMicroConfig::new(N_MICRO, dims).unwrap(),
+                        UMicroConfig::new(N_MICRO, dims).expect("valid UMicro config"),
                         2_000.0,
                     );
                     for p in pts {

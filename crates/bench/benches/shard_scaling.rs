@@ -30,10 +30,12 @@ fn bench_shard_scaling(c: &mut Criterion) {
     for shards in [1usize, 2, 4, 8] {
         group.bench_function(format!("engine_{shards}_shards"), |b| {
             b.iter(|| {
-                let config = EngineConfig::new(UMicroConfig::new(N_MICRO, DIMS).unwrap())
-                    .with_shards(shards)
-                    .with_snapshot_every(2_048)
-                    .with_novelty_factor(None);
+                let config = EngineConfig::new(
+                    UMicroConfig::new(N_MICRO, DIMS).expect("valid UMicro config"),
+                )
+                .with_shards(shards)
+                .with_snapshot_every(2_048)
+                .with_novelty_factor(None);
                 let engine = StreamEngine::start(config).expect("engine starts");
                 for part in pts.chunks(2_048) {
                     engine.push_slice(part).expect("engine accepts records");

@@ -43,18 +43,27 @@ fn bench_record(c: &mut Criterion) {
 }
 
 fn bench_horizon(c: &mut Criterion) {
-    let mut store = SnapshotStore::new(PyramidConfig::new(2, 6).unwrap());
+    let mut store = SnapshotStore::new(PyramidConfig::new(2, 6).expect("valid pyramid config"));
     for t in 1..=10_000u64 {
         store.record(t, snapshot(20, 100, t));
     }
     let mut group = c.benchmark_group("snapshot_horizon");
     for &h in &[10u64, 100, 1_000] {
         group.bench_with_input(BenchmarkId::new("lookup", h), &h, |b, &h| {
-            b.iter(|| black_box(store.horizon_base(10_000, h).unwrap().time))
+            b.iter(|| {
+                black_box(
+                    store
+                        .horizon_base(10_000, h)
+                        .expect("horizon resolvable in the store")
+                        .time,
+                )
+            })
         });
         group.bench_with_input(BenchmarkId::new("reconstruct", h), &h, |b, &h| {
-            let current = store.find_at_or_before(10_000).unwrap();
-            let base = store.horizon_base(10_000, h).unwrap();
+            let current = store.find_at_or_before(10_000).expect("store is non-empty");
+            let base = store
+                .horizon_base(10_000, h)
+                .expect("horizon resolvable in the store");
             b.iter(|| black_box(current.data.subtract_past(&base.data).len()))
         });
     }

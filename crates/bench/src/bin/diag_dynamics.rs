@@ -30,7 +30,7 @@ fn main() {
     // UMicro
     let mut alg = UMicro::new(
         UMicroConfig::new(cfg.n_micro, profile.dims())
-            .unwrap()
+            .expect("valid UMicro config")
             .with_dimension_counting(cfg.thresh),
     );
     let mut created = 0u64;
@@ -47,15 +47,15 @@ fn main() {
     println!(
         "UMicro:    created={created:6}  live={:3}  whole-stream purity={:.4} weighted={:.4}",
         alg.micro_clusters().len(),
-        purity.purity().unwrap(),
-        purity.weighted_purity().unwrap()
+        purity.purity().expect("points were observed"),
+        purity.weighted_purity().expect("points were observed")
     );
     let mut radii: Vec<f64> = alg
         .micro_clusters()
         .iter()
         .map(|c| c.ecf.uncertain_radius())
         .collect();
-    radii.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    radii.sort_by(f64::total_cmp);
     println!(
         "  radius p10={:.3} p50={:.3} p90={:.3}",
         radii[radii.len() / 10],
@@ -64,7 +64,9 @@ fn main() {
     );
 
     // CluStream
-    let mut alg = CluStream::new(CluStreamConfig::new(cfg.n_micro, profile.dims()).unwrap());
+    let mut alg = CluStream::new(
+        CluStreamConfig::new(cfg.n_micro, profile.dims()).expect("valid CluStream config"),
+    );
     let mut created = 0u64;
     let mut merged = 0u64;
     let mut deleted = 0u64;
@@ -87,7 +89,7 @@ fn main() {
     println!(
         "CluStream: created={created:6}  live={:3}  merged={merged}  deleted={deleted}  purity={:.4} weighted={:.4}",
         alg.micro_clusters().len(),
-        purity.purity().unwrap(),
-        purity.weighted_purity().unwrap()
+        purity.purity().expect("points were observed"),
+        purity.weighted_purity().expect("points were observed")
     );
 }

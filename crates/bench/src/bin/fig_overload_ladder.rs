@@ -55,7 +55,7 @@ struct Report {
 }
 
 fn base_config(n_micro: usize, snapshot_every: u64) -> EngineConfig {
-    EngineConfig::new(UMicroConfig::new(n_micro, DIMS).unwrap())
+    EngineConfig::new(UMicroConfig::new(n_micro, DIMS).expect("valid UMicro config"))
         .with_snapshot_every(snapshot_every)
         .with_novelty_factor(None)
         .with_validation(None)

@@ -56,10 +56,11 @@ fn main() {
     let mut rows: Vec<Vec<f64>> = Vec::new();
     let mut baseline = None;
     for &shards in &shard_counts {
-        let config = EngineConfig::new(UMicroConfig::new(n_micro, DIMS).unwrap())
-            .with_shards(shards)
-            .with_snapshot_every(snapshot_every)
-            .with_novelty_factor(novelty.then_some(8.0));
+        let config =
+            EngineConfig::new(UMicroConfig::new(n_micro, DIMS).expect("valid UMicro config"))
+                .with_shards(shards)
+                .with_snapshot_every(snapshot_every)
+                .with_novelty_factor(novelty.then_some(8.0));
         let engine = StreamEngine::start(config).expect("engine starts");
 
         let started = Instant::now();

@@ -34,7 +34,7 @@ fn run_once(
     snapshot_every: u64,
     validation: Option<ValidationPolicy>,
 ) -> f64 {
-    let config = EngineConfig::new(UMicroConfig::new(n_micro, DIMS).unwrap())
+    let config = EngineConfig::new(UMicroConfig::new(n_micro, DIMS).expect("valid UMicro config"))
         .with_snapshot_every(snapshot_every)
         .with_novelty_factor(None)
         .with_validation(validation);

@@ -100,7 +100,7 @@ pub fn run(flags: &Flags) -> Result<(), CliError> {
                     if let Some(c) = alg.potential_clusters().iter().min_by(|a, b| {
                         let da = ustream_common::point::sq_euclidean(&a.centroid(), p.values());
                         let db = ustream_common::point::sq_euclidean(&b.centroid(), p.values());
-                        da.partial_cmp(&db).unwrap()
+                        da.total_cmp(&db)
                     }) {
                         purity.observe(c.id, l);
                     }

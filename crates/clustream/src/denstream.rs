@@ -190,6 +190,7 @@ pub struct DenStream {
 impl DenStream {
     /// Creates the algorithm.
     pub fn new(config: DenStreamConfig) -> Self {
+        // lint:allow(hot-panic): constructor contract — fails fast at setup, never on the stream path
         config.validate().expect("DenStreamConfig must be valid");
         Self {
             config,
@@ -352,7 +353,7 @@ fn nearest(clusters: &[DensityMicroCluster], values: &[f64]) -> Option<usize> {
         .iter()
         .enumerate()
         .map(|(i, c)| (i, sq_euclidean(&c.centroid(), values)))
-        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .min_by(|a, b| a.1.total_cmp(&b.1))
         .map(|(i, _)| i)
 }
 

@@ -114,6 +114,7 @@ impl CluStream {
     pub fn new(config: CluStreamConfig) -> Self {
         config
             .validate()
+            // lint:allow(hot-panic): constructor contract — fails fast at setup, never on the stream path
             .expect("CluStreamConfig must be validated before use");
         let dims = config.dims;
         Self {
@@ -186,13 +187,15 @@ impl CluStream {
         let (best, d2) = if self.kernel_live() {
             self.kernel
                 .nearest_deterministic(point.values())
+                // lint:allow(hot-panic): insert() seeds a cluster before any nearest scan
                 .expect("non-empty cluster list")
         } else {
             self.clusters
                 .iter()
                 .enumerate()
                 .map(|(i, c)| (i, c.cf.sq_distance_to(point.values())))
-                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                // lint:allow(hot-panic): insert() seeds a cluster before any nearest scan
                 .expect("non-empty cluster list")
         };
 
@@ -354,7 +357,7 @@ impl CluStream {
             .enumerate()
             .filter(|(_, c)| c.id != protect)
             .map(|(i, c)| (i, c.cf.relevance_stamp(self.config.m)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            .min_by(|a, b| a.1.total_cmp(&b.1));
         if let Some((idx, stamp)) = stale {
             if stamp < threshold {
                 let victim = self.clusters.swap_remove(idx);
@@ -374,6 +377,7 @@ impl CluStream {
             let (i, j, _) = self
                 .kernel
                 .closest_pair()
+                // lint:allow(hot-panic): only reached when clusters.len() exceeds the budget (>= 2)
                 .expect("budget overflow implies at least two clusters");
             (i, j)
         } else {

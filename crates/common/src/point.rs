@@ -225,6 +225,7 @@ mod tests {
     #[test]
     fn certain_point_has_zero_errors() {
         let p = UncertainPoint::certain(vec![1.0, 2.0, 3.0], 0, None);
+        // lint:allow(float-eq): zeros are assigned verbatim by certain(), never computed
         assert!(p.errors().iter().all(|e| *e == 0.0));
         assert_eq!(p.error_energy(), 0.0);
     }

@@ -53,8 +53,7 @@ impl P2Quantile {
             self.heights[self.count] = x;
             self.count += 1;
             if self.count == 5 {
-                self.heights
-                    .sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+                self.heights.sort_unstable_by(f64::total_cmp);
             }
             return;
         }
@@ -131,7 +130,7 @@ impl P2Quantile {
         }
         if self.count < 5 {
             let mut buf: Vec<f64> = self.heights[..self.count].to_vec();
-            buf.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+            buf.sort_unstable_by(f64::total_cmp);
             let rank = ((self.count as f64 - 1.0) * self.q).round() as usize;
             return Some(buf[rank.min(self.count - 1)]);
         }
@@ -173,7 +172,7 @@ mod tests {
             est.observe(v);
         }
         let mut sorted = values.clone();
-        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_unstable_by(f64::total_cmp);
         let truth = exact_quantile(&sorted, 0.99);
         let got = est.estimate().unwrap();
         assert!(

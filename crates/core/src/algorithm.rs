@@ -104,6 +104,7 @@ impl UMicro {
     pub fn new(config: UMicroConfig) -> Self {
         config
             .validate()
+            // lint:allow(hot-panic): constructor contract — fails fast at setup, never on the stream path
             .expect("UMicroConfig must be validated before use");
         let dims = config.dims;
         Self {
@@ -505,6 +506,7 @@ impl UMicro {
                             point.errors(),
                             &self.scratch_inv,
                         )
+                        // lint:allow(hot-panic): kernel mirrors self.clusters, checked non-empty above
                         .expect("ranking requires a non-empty cluster set")
                 } else {
                     let mut best = 0usize;

@@ -56,6 +56,7 @@ impl MicroClassifier {
     pub fn new(per_class_config: UMicroConfig) -> Self {
         per_class_config
             .validate()
+            // lint:allow(hot-panic): constructor contract — fails fast at setup, never on the stream path
             .expect("UMicroConfig must be valid");
         Self {
             per_class: BTreeMap::new(),
@@ -81,6 +82,7 @@ impl MicroClassifier {
     pub fn train_labelled(&mut self, point: &UncertainPoint) {
         let label = point
             .label()
+            // lint:allow(hot-panic): documented `# Panics` contract of this entry point
             .expect("train_labelled requires a labelled point");
         self.train(point, label);
     }

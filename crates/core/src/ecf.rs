@@ -80,12 +80,46 @@ impl Ecf {
         if p.timestamp() > self.last_decay {
             self.last_decay = p.timestamp();
         }
+        self.debug_invariants();
     }
 
     /// Dimensionality `d`.
     #[inline]
     pub fn dims(&self) -> usize {
         self.cf1.len()
+    }
+
+    /// Debug-build audit of the ECF invariants every consumer relies on:
+    /// a non-negative weight, finite sums, and non-negative second moments
+    /// (`CF2x_j ≥ 0`, `EF2x_j ≥ 0` — both are sums of squares). Checked at
+    /// every mutation boundary (insert / merge / subtract) so a violation
+    /// is caught where it is introduced, not where it later surfaces as a
+    /// NaN radius or a negative variance.
+    #[inline]
+    fn debug_invariants(&self) {
+        debug_assert!(
+            self.weight >= 0.0 && self.weight.is_finite(),
+            "ECF weight must be finite and non-negative, got {}",
+            self.weight
+        );
+        #[cfg(debug_assertions)]
+        for j in 0..self.cf1.len() {
+            debug_assert!(
+                self.cf1[j].is_finite(),
+                "ECF CF1[{j}] must be finite, got {}",
+                self.cf1[j]
+            );
+            debug_assert!(
+                self.cf2[j].is_finite() && self.cf2[j] >= 0.0,
+                "ECF CF2[{j}] must be finite and non-negative, got {}",
+                self.cf2[j]
+            );
+            debug_assert!(
+                self.ef2[j].is_finite() && self.ef2[j] >= 0.0,
+                "ECF EF2[{j}] must be finite and non-negative, got {}",
+                self.ef2[j]
+            );
+        }
     }
 
     /// Raw number of points ever absorbed (not decayed).
@@ -284,6 +318,7 @@ impl AdditiveFeature for Ecf {
         self.count += other.count;
         self.last_update = self.last_update.max(other.last_update);
         self.last_decay = self.last_decay.max(other.last_decay);
+        self.debug_invariants();
     }
 
     fn subtract(&mut self, other: &Self) {
@@ -297,6 +332,7 @@ impl AdditiveFeature for Ecf {
         }
         self.weight = (self.weight - other.weight).max(0.0);
         self.count = self.count.saturating_sub(other.count);
+        self.debug_invariants();
     }
 
     fn centroid(&self) -> Vec<f64> {
@@ -316,9 +352,10 @@ impl DecayableFeature for Ecf {
     }
 
     fn decay_to(&mut self, now: Timestamp, lambda: f64) {
-        if now <= self.last_decay || lambda == 0.0 {
+        if now <= self.last_decay || lambda <= 0.0 {
             return;
         }
+        // lint:allow(lossy-cast): tick deltas are far below 2^53, exact in f64
         let dt = (now - self.last_decay) as f64;
         self.scale(ustream_common::feature::decay_factor(lambda, dt));
         self.last_decay = now;

@@ -60,20 +60,20 @@ impl KernelRow for Ecf {
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    let mut acc = [0.0f64; 4];
+    let (mut acc0, mut acc1, mut acc2, mut acc3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
     let chunks = a.len() / 4;
     for i in 0..chunks {
-        let (x, y) = (&a[4 * i..4 * i + 4], &b[4 * i..4 * i + 4]);
-        acc[0] += x[0] * y[0];
-        acc[1] += x[1] * y[1];
-        acc[2] += x[2] * y[2];
-        acc[3] += x[3] * y[3];
+        let j = 4 * i;
+        acc0 += a[j] * b[j];
+        acc1 += a[j + 1] * b[j + 1];
+        acc2 += a[j + 2] * b[j + 2];
+        acc3 += a[j + 3] * b[j + 3];
     }
     let mut tail = 0.0;
     for j in 4 * chunks..a.len() {
         tail += a[j] * b[j];
     }
-    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+    (acc0 + acc1) + (acc2 + acc3) + tail
 }
 
 /// The point-side constant of the expected distance:

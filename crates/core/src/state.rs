@@ -64,6 +64,7 @@ impl<S> ClustererState<S> {
         }
         let mut seen = self.ids.clone();
         seen.sort_unstable();
+        // lint:allow(hot-panic): windows(2) yields exactly-2-element slices
         if seen.windows(2).any(|w| w[0] == w[1]) {
             return Err("duplicate cluster ids in state".into());
         }

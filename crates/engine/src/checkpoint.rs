@@ -187,6 +187,7 @@ impl EngineCheckpoint {
                 .validate()
                 .map_err(|e| format!("shard {i} state: {e}"))?;
         }
+        // lint:allow(hot-panic): windows(2) yields exactly-2-element slices
         if self.snapshots.windows(2).any(|w| w[0].time > w[1].time) {
             return Err("snapshots are not chronological".into());
         }

@@ -254,7 +254,7 @@ struct Global {
 
 impl Global {
     fn load_stage(&self) -> LoadStage {
-        LoadStage::from_u8(self.load_stage.load(Ordering::Relaxed))
+        LoadStage::from_u8(self.load_stage.load(Ordering::Relaxed)) // relaxed-ok: stage byte is self-contained; a lagging reader acts one poll late at worst
     }
 
     /// Installs `stage`: updates the effective merge cadence and sampling
@@ -268,11 +268,11 @@ impl Global {
         };
         self.merge_every_effective.store(
             self.config.snapshot_every.saturating_mul(widen).max(1),
-            Ordering::Relaxed,
+            Ordering::Relaxed, // relaxed-ok: statistical read for reports/decisions that tolerate lag
         );
         self.keep_per_mille
-            .store(policy.keep_per_mille.clamp(1, 1000), Ordering::Relaxed);
-        self.load_stage.store(stage.as_u8(), Ordering::Relaxed);
+            .store(policy.keep_per_mille.clamp(1, 1000), Ordering::Relaxed); // relaxed-ok: sampling knob; any recently published value keeps the gate unbiased
+        self.load_stage.store(stage.as_u8(), Ordering::Relaxed); // relaxed-ok: stage byte is self-contained; a lagging reader acts one poll late at worst
     }
 
     fn record_transition(&self, from: LoadStage, to: LoadStage, pressure: f64) {
@@ -315,8 +315,8 @@ fn cluster_one(
         let baseline = st.novelty.baseline_estimate();
         // Warm-up: need a stable baseline before alerting.
         if st.novelty.samples >= 100 && isolation > factor * baseline.max(1e-12) {
-            shard.counters.alerts.fetch_add(1, Ordering::Relaxed);
-            global.alerts_raised.fetch_add(1, Ordering::Relaxed);
+            shard.counters.alerts.fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotone counter; report readers tolerate lag, no acquire pairing
+            global.alerts_raised.fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotone counter; report readers tolerate lag, no acquire pairing
             let mut alerts = global.alerts.lock();
             alerts.push_back(NoveltyAlert {
                 timestamp: p.timestamp(),
@@ -340,15 +340,16 @@ fn cluster_one(
 /// crossed a merge boundary (the caller then runs the merge with no shard
 /// lock held).
 fn ingest(global: &Global, shard: &ShardHandle, shard_idx: usize, p: &UncertainPoint) -> bool {
-    let position = global.processed.fetch_add(1, Ordering::Relaxed) + 1;
-    global.last_tick.fetch_max(p.timestamp(), Ordering::Relaxed);
+    let position = global.processed.fetch_add(1, Ordering::Relaxed) + 1; // relaxed-ok: monotone counter; report readers tolerate lag, no acquire pairing
+    global.last_tick.fetch_max(p.timestamp(), Ordering::Relaxed); // relaxed-ok: monotone watermark; readers tolerate a lagging value
 
     {
         let mut st = shard.state.lock();
         cluster_one(global, shard, shard_idx, &mut st, p, position);
     }
 
-    shard.counters.processed.fetch_add(1, Ordering::Relaxed);
+    shard.counters.processed.fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotone counter; report readers tolerate lag, no acquire pairing
+                                                              // relaxed-ok: merge-cadence knob; a worker may pick up the new cadence one record late
     position.is_multiple_of(global.merge_every_effective.load(Ordering::Relaxed).max(1))
 }
 
@@ -370,10 +371,10 @@ fn ingest_batch(
     let mut outcomes = Vec::with_capacity(cap);
     for chunk in points.chunks(cap) {
         let len = chunk.len() as u64;
-        let start = global.processed.fetch_add(len, Ordering::Relaxed);
+        let start = global.processed.fetch_add(len, Ordering::Relaxed); // relaxed-ok: monotone counter; report readers tolerate lag, no acquire pairing
         let end = start + len;
         if let Some(max_tick) = chunk.iter().map(UncertainPoint::timestamp).max() {
-            global.last_tick.fetch_max(max_tick, Ordering::Relaxed);
+            global.last_tick.fetch_max(max_tick, Ordering::Relaxed); // relaxed-ok: monotone watermark; readers tolerate a lagging value
         }
 
         {
@@ -399,8 +400,8 @@ fn ingest_batch(
             }
         }
 
-        shard.counters.processed.fetch_add(len, Ordering::Relaxed);
-        let every = global.merge_every_effective.load(Ordering::Relaxed).max(1);
+        shard.counters.processed.fetch_add(len, Ordering::Relaxed); // relaxed-ok: monotone counter; report readers tolerate lag, no acquire pairing
+        let every = global.merge_every_effective.load(Ordering::Relaxed).max(1); // relaxed-ok: merge-cadence knob; a worker may pick up the new cadence one record late
         if end / every != start / every {
             merge_and_record(global, all_shards);
         }
@@ -415,7 +416,7 @@ fn ingest_batch(
 fn merge_and_record(global: &Global, shards: &[Arc<ShardHandle>]) {
     let started = Instant::now();
     let mut horizons = global.horizons.lock();
-    let now = global.last_tick.load(Ordering::Relaxed);
+    let now = global.last_tick.load(Ordering::Relaxed); // relaxed-ok: monotone watermark; readers tolerate a lagging value
     let merged = merge_namespaced(
         shards
             .iter()
@@ -425,10 +426,10 @@ fn merge_and_record(global: &Global, shards: &[Arc<ShardHandle>]) {
     horizons.record_snapshot(now, merged.clone());
     drop(horizons);
     *global.last_merge.lock() = Some(merged);
-    global.merges.fetch_add(1, Ordering::Relaxed);
+    global.merges.fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotone counter; report readers tolerate lag, no acquire pairing
     global
         .merge_nanos
-        .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed); // relaxed-ok: monotone duration accumulator; only read for stats
 }
 
 /// Renders a panic payload into something a [`ShardStats::last_panic`]
@@ -471,12 +472,12 @@ fn recover_shard(global: &Global, shards: &[Arc<ShardHandle>], idx: usize) -> bo
             next_id: ids.iter().max().map_or(0, |m| m + 1),
             ids,
             summaries,
-            points_processed: shards[idx].counters.processed.load(Ordering::Relaxed),
+            points_processed: shards[idx].counters.processed.load(Ordering::Relaxed), // relaxed-ok: statistical read for reports/decisions that tolerate lag
             since_refresh: 0,
             // Empty → the importer recomputes global variances from the
             // summaries.
             variances: Vec::new(),
-            last_seen: global.last_tick.load(Ordering::Relaxed),
+            last_seen: global.last_tick.load(Ordering::Relaxed), // relaxed-ok: monotone watermark; readers tolerate a lagging value
         };
         if state.validate().is_ok() && alg.import_state(&state).is_err() {
             // A failed import may leave the clusterer half-seeded; fall
@@ -566,7 +567,7 @@ fn shard_worker(
             Err(payload) => {
                 let own = &all_shards[idx];
                 *own.last_panic.lock() = Some(panic_message(payload));
-                own.restarts.fetch_add(1, Ordering::Relaxed);
+                own.restarts.fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotone counter; report readers tolerate lag, no acquire pairing
                 if global.shutting_down.load(Ordering::Acquire) {
                     break;
                 }
@@ -600,7 +601,7 @@ fn spawn_rescue(
             }));
         });
     if let Ok(handle) = spawned {
-        shards[idx].spawned.fetch_add(1, Ordering::Relaxed);
+        shards[idx].spawned.fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotone counter; report readers tolerate lag, no acquire pairing
         global.extra_workers.lock().push(handle);
     }
 }
@@ -624,7 +625,7 @@ fn governor(global: Arc<Global>, shards: Vec<Arc<ShardHandle>>, rxs: Vec<Receive
     let mut watch: Vec<WatchState> = shards
         .iter()
         .map(|s| WatchState {
-            last_processed: s.counters.processed.load(Ordering::Relaxed),
+            last_processed: s.counters.processed.load(Ordering::Relaxed), // relaxed-ok: statistical read for reports/decisions that tolerate lag
             last_change: Instant::now(),
             last_respawn: None,
         })
@@ -632,6 +633,7 @@ fn governor(global: Arc<Global>, shards: Vec<Arc<ShardHandle>>, rxs: Vec<Receive
     let mut above = 0u32;
     let mut below = 0u32;
     while !global.shutting_down.load(Ordering::Acquire) {
+        // lint:allow(no-sleep): watchdog governor cadence — config-bounded poll off the hot path
         std::thread::sleep(poll);
         if global.shutting_down.load(Ordering::Acquire) {
             break;
@@ -640,21 +642,22 @@ fn governor(global: Arc<Global>, shards: Vec<Arc<ShardHandle>>, rxs: Vec<Receive
         if let Some(wd) = watchdog {
             let deadline = Duration::from_millis(wd.stall_deadline_ms.max(1));
             for (i, shard) in shards.iter().enumerate() {
-                let processed = shard.counters.processed.load(Ordering::Relaxed);
+                let processed = shard.counters.processed.load(Ordering::Relaxed); // relaxed-ok: statistical read for reports/decisions that tolerate lag
                 let backlog = shard
                     .counters
                     .enqueued
-                    .load(Ordering::Relaxed)
+                    .load(Ordering::Relaxed) // relaxed-ok: statistical read for reports/decisions that tolerate lag
                     .saturating_sub(processed);
                 let w = &mut watch[i];
                 if processed != w.last_processed {
                     w.last_processed = processed;
                     w.last_change = Instant::now();
-                    shard.stalled.store(false, Ordering::Relaxed);
+                    shard.stalled.store(false, Ordering::Relaxed); // relaxed-ok: advisory stall flag for reports; rescue correctness does not depend on its timing
                 } else if backlog > 0 && w.last_change.elapsed() >= deadline {
+                    // relaxed-ok: advisory stall flag for reports; rescue correctness does not depend on its timing
                     if !shard.stalled.swap(true, Ordering::Relaxed) {
-                        shard.stalls.fetch_add(1, Ordering::Relaxed);
-                        global.stalls_detected.fetch_add(1, Ordering::Relaxed);
+                        shard.stalls.fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotone counter; report readers tolerate lag, no acquire pairing
+                        global.stalls_detected.fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotone counter; report readers tolerate lag, no acquire pairing
                     }
                     // Rate limit: at most one rescue per stall deadline, so
                     // a long wedge cannot leak an unbounded thread pile.
@@ -673,10 +676,11 @@ fn governor(global: Arc<Global>, shards: Vec<Arc<ShardHandle>>, rxs: Vec<Receive
             let backlog: u64 = shards
                 .iter()
                 .map(|s| {
-                    s.counters
-                        .enqueued
-                        .load(Ordering::Relaxed)
-                        .saturating_sub(s.counters.processed.load(Ordering::Relaxed))
+                    // relaxed-ok: statistical read for reports/decisions that tolerate lag
+                    let enqueued = s.counters.enqueued.load(Ordering::Relaxed);
+                    // relaxed-ok: statistical read for reports/decisions that tolerate lag
+                    let processed = s.counters.processed.load(Ordering::Relaxed);
+                    enqueued.saturating_sub(processed)
                 })
                 .sum();
             let pressure = backlog as f64 / capacity;
@@ -717,15 +721,15 @@ fn maybe_auto_checkpoint(global: &Global, shards: &[Arc<ShardHandle>]) {
     ) else {
         return;
     };
-    let epoch = global.processed.load(Ordering::Relaxed) / every;
+    let epoch = global.processed.load(Ordering::Relaxed) / every; // relaxed-ok: statistical read for reports/decisions that tolerate lag
     if epoch == 0 {
         return;
     }
-    let prev = global.checkpoint_epoch.load(Ordering::Relaxed);
+    let prev = global.checkpoint_epoch.load(Ordering::Relaxed); // relaxed-ok: epoch pre-read; the election CAS re-validates before publishing
     if prev >= epoch
         || global
             .checkpoint_epoch
-            .compare_exchange(prev, epoch, Ordering::AcqRel, Ordering::Relaxed)
+            .compare_exchange(prev, epoch, Ordering::AcqRel, Ordering::Relaxed) // relaxed-ok: CAS failure path only retries with a fresh read; the success edge is AcqRel
             .is_err()
     {
         return;
@@ -733,7 +737,7 @@ fn maybe_auto_checkpoint(global: &Global, shards: &[Arc<ShardHandle>]) {
     match build_checkpoint(global, shards).and_then(|ck| write_checkpoint(global, path, epoch, &ck))
     {
         Ok(()) => {
-            global.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+            global.checkpoints_written.fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotone counter; report readers tolerate lag, no acquire pairing
         }
         Err(e) => {
             *global.last_checkpoint_error.lock() = Some(e.to_string());
@@ -775,8 +779,8 @@ fn build_checkpoint(global: &Global, shards: &[Arc<ShardHandle>]) -> Result<Engi
             state,
             created: st.created,
             evicted: st.evicted,
-            processed: shard.counters.processed.load(Ordering::Relaxed),
-            alerts: shard.counters.alerts.load(Ordering::Relaxed),
+            processed: shard.counters.processed.load(Ordering::Relaxed), // relaxed-ok: statistical read for reports/decisions that tolerate lag
+            alerts: shard.counters.alerts.load(Ordering::Relaxed), // relaxed-ok: statistical read for reports/decisions that tolerate lag
         });
     }
     drop(horizons);
@@ -784,11 +788,11 @@ fn build_checkpoint(global: &Global, shards: &[Arc<ShardHandle>]) -> Result<Engi
         config: global.config.clone(),
         shards: shard_ckpts,
         snapshots,
-        points_processed: global.processed.load(Ordering::Relaxed),
-        last_tick: global.last_tick.load(Ordering::Relaxed),
-        alerts_raised: global.alerts_raised.load(Ordering::Relaxed),
-        merges: global.merges.load(Ordering::Relaxed),
-        router: global.router.load(Ordering::Relaxed),
+        points_processed: global.processed.load(Ordering::Relaxed), // relaxed-ok: statistical read for reports/decisions that tolerate lag
+        last_tick: global.last_tick.load(Ordering::Relaxed), // relaxed-ok: monotone watermark; readers tolerate a lagging value
+        alerts_raised: global.alerts_raised.load(Ordering::Relaxed), // relaxed-ok: statistical read for reports/decisions that tolerate lag
+        merges: global.merges.load(Ordering::Relaxed), // relaxed-ok: statistical read for reports/decisions that tolerate lag
+        router: global.router.load(Ordering::Relaxed), // relaxed-ok: statistical read for reports/decisions that tolerate lag
     })
 }
 
@@ -1077,12 +1081,12 @@ impl StreamEngine {
             shard
                 .counters
                 .processed
-                .store(sc.processed, Ordering::Relaxed);
+                .store(sc.processed, Ordering::Relaxed); // relaxed-ok: independent flag/knob publish; no paired payload needs release
             shard
                 .counters
                 .enqueued
-                .store(sc.processed, Ordering::Relaxed);
-            shard.counters.alerts.store(sc.alerts, Ordering::Relaxed);
+                .store(sc.processed, Ordering::Relaxed); // relaxed-ok: independent flag/knob publish; no paired payload needs release
+            shard.counters.alerts.store(sc.alerts, Ordering::Relaxed); // relaxed-ok: independent flag/knob publish; no paired payload needs release
         }
         {
             let mut horizons = self.global.horizons.lock();
@@ -1095,17 +1099,17 @@ impl StreamEngine {
         }
         self.global
             .processed
-            .store(ck.points_processed, Ordering::Relaxed);
-        self.global.last_tick.store(ck.last_tick, Ordering::Relaxed);
+            .store(ck.points_processed, Ordering::Relaxed); // relaxed-ok: independent flag/knob publish; no paired payload needs release
+        self.global.last_tick.store(ck.last_tick, Ordering::Relaxed); // relaxed-ok: monotone watermark; readers tolerate a lagging value
         self.global
             .alerts_raised
-            .store(ck.alerts_raised, Ordering::Relaxed);
-        self.global.merges.store(ck.merges, Ordering::Relaxed);
-        self.global.router.store(ck.router, Ordering::Relaxed);
+            .store(ck.alerts_raised, Ordering::Relaxed); // relaxed-ok: independent flag/knob publish; no paired payload needs release
+        self.global.merges.store(ck.merges, Ordering::Relaxed); // relaxed-ok: independent flag/knob publish; no paired payload needs release
+        self.global.router.store(ck.router, Ordering::Relaxed); // relaxed-ok: independent flag/knob publish; no paired payload needs release
         if let Some(every) = self.global.config.checkpoint_every {
             self.global
                 .checkpoint_epoch
-                .store(ck.points_processed / every, Ordering::Relaxed);
+                .store(ck.points_processed / every, Ordering::Relaxed); // relaxed-ok: independent flag/knob publish; no paired payload needs release
         }
         Ok(())
     }
@@ -1128,6 +1132,7 @@ impl StreamEngine {
 
     /// The next shard index in round-robin order.
     fn route(&self) -> usize {
+        // relaxed-ok: monotone counter; only uniqueness matters, report readers tolerate lag
         (self.global.router.fetch_add(1, Ordering::Relaxed) % self.txs.len() as u64) as usize
     }
 
@@ -1145,8 +1150,8 @@ impl StreamEngine {
     /// configured fraction is admitted and the drop is unbiased with
     /// respect to the record's content.
     fn sample_gate(&self) -> Gate {
-        let seq = self.global.admit_seq.fetch_add(1, Ordering::Relaxed);
-        let keep = self.global.keep_per_mille.load(Ordering::Relaxed);
+        let seq = self.global.admit_seq.fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotone counter; report readers tolerate lag, no acquire pairing
+        let keep = self.global.keep_per_mille.load(Ordering::Relaxed); // relaxed-ok: sampling knob; any recently published value keeps the gate unbiased
         if seq % 1_000 < keep {
             Gate::Admit
         } else {
@@ -1164,11 +1169,11 @@ impl StreamEngine {
         match self.gate() {
             Gate::Admit => None,
             Gate::SampledOut => {
-                self.global.sampled_out.fetch_add(1, Ordering::Relaxed);
+                self.global.sampled_out.fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotone counter; report readers tolerate lag, no acquire pairing
                 Some(Ok(()))
             }
             Gate::Shed => {
-                self.global.points_shed.fetch_add(1, Ordering::Relaxed);
+                self.global.points_shed.fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotone counter; report readers tolerate lag, no acquire pairing
                 Some(Ok(()))
             }
         }
@@ -1183,12 +1188,12 @@ impl StreamEngine {
             .global
             .config
             .monotone_timestamps
-            .then(|| self.global.last_tick.load(Ordering::Relaxed));
+            .then(|| self.global.last_tick.load(Ordering::Relaxed)); // relaxed-ok: monotone watermark; readers tolerate a lagging value
         match validate::check_point(&point, self.global.config.umicro.dims, clock) {
             Ok(()) => Admit::Enqueue(point),
             Err(fault) => match policy {
                 ValidationPolicy::Clamp if fault.clampable() => {
-                    self.global.clamped.fetch_add(1, Ordering::Relaxed);
+                    self.global.clamped.fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotone counter; report readers tolerate lag, no acquire pairing
                     Admit::Enqueue(validate::clamp_point(&point, clock))
                 }
                 ValidationPolicy::Quarantine => {
@@ -1196,7 +1201,7 @@ impl StreamEngine {
                     Admit::Consumed
                 }
                 _ => {
-                    self.global.rejected.fetch_add(1, Ordering::Relaxed);
+                    self.global.rejected.fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotone counter; report readers tolerate lag, no acquire pairing
                     Admit::Rejected(point, fault)
                 }
             },
@@ -1253,6 +1258,7 @@ impl StreamEngine {
                                 return Err(UStreamError::Backpressure);
                             }
                             point = p;
+                            // lint:allow(no-sleep): bounded backpressure backoff chosen by the caller via push_with_timeout
                             std::thread::sleep(Duration::from_micros(200));
                         }
                         Err(_) => return Err(UStreamError::EngineStopped),
@@ -1273,7 +1279,7 @@ impl StreamEngine {
                 self.shards[s]
                     .counters
                     .enqueued
-                    .fetch_add(1, Ordering::Relaxed);
+                    .fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotone counter; report readers tolerate lag, no acquire pairing
                 Ok(())
             }
             BackpressurePolicy::DropNewest => match self.try_enqueue(point) {
@@ -1281,7 +1287,7 @@ impl StreamEngine {
                 Err(TryPushError::Full(_)) => {
                     self.global
                         .backpressure_dropped
-                        .fetch_add(1, Ordering::Relaxed);
+                        .fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotone counter; report readers tolerate lag, no acquire pairing
                     Ok(())
                 }
                 Err(_) => Err(UStreamError::EngineStopped),
@@ -1306,11 +1312,11 @@ impl StreamEngine {
         match self.gate() {
             Gate::Admit => {}
             Gate::SampledOut => {
-                self.global.sampled_out.fetch_add(1, Ordering::Relaxed);
+                self.global.sampled_out.fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotone counter; report readers tolerate lag, no acquire pairing
                 return Ok(());
             }
             Gate::Shed => {
-                self.global.points_shed.fetch_add(1, Ordering::Relaxed);
+                self.global.points_shed.fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotone counter; report readers tolerate lag, no acquire pairing
                 return Ok(());
             }
         }
@@ -1332,7 +1338,7 @@ impl StreamEngine {
                     self.shards[s]
                         .counters
                         .enqueued
-                        .fetch_add(1, Ordering::Relaxed);
+                        .fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotone counter; report readers tolerate lag, no acquire pairing
                     return Ok(());
                 }
                 Err(TrySendError::Full(c)) => cmd = c,
@@ -1375,7 +1381,7 @@ impl StreamEngine {
             LoadStage::Shed => {
                 self.global
                     .points_shed
-                    .fetch_add(points.len() as u64, Ordering::Relaxed);
+                    .fetch_add(points.len() as u64, Ordering::Relaxed); // relaxed-ok: monotone counter; report readers tolerate lag, no acquire pairing
                 return Ok(());
             }
             LoadStage::Sample => {
@@ -1386,7 +1392,7 @@ impl StreamEngine {
                     .collect();
                 self.global
                     .sampled_out
-                    .fetch_add((points.len() - gated.len()) as u64, Ordering::Relaxed);
+                    .fetch_add((points.len() - gated.len()) as u64, Ordering::Relaxed); // relaxed-ok: monotone counter; report readers tolerate lag, no acquire pairing
                 if gated.is_empty() {
                     return Ok(());
                 }
@@ -1400,7 +1406,7 @@ impl StreamEngine {
                     .global
                     .config
                     .monotone_timestamps
-                    .then(|| self.global.last_tick.load(Ordering::Relaxed));
+                    .then(|| self.global.last_tick.load(Ordering::Relaxed)); // relaxed-ok: monotone watermark; readers tolerate a lagging value
                 let dims = self.global.config.umicro.dims;
                 let mut admitted = Vec::with_capacity(points.len());
                 let mut quarantined: Vec<(UncertainPoint, PointFault)> = Vec::new();
@@ -1426,12 +1432,12 @@ impl StreamEngine {
                 if let Some(fault) = first_fault {
                     self.global
                         .rejected
-                        .fetch_add(reject_count, Ordering::Relaxed);
+                        .fetch_add(reject_count, Ordering::Relaxed); // relaxed-ok: monotone counter; report readers tolerate lag, no acquire pairing
                     return Err(UStreamError::InvalidPoint(fault.to_string()));
                 }
                 self.global
                     .clamped
-                    .fetch_add(clamp_count, Ordering::Relaxed);
+                    .fetch_add(clamp_count, Ordering::Relaxed); // relaxed-ok: monotone counter; report readers tolerate lag, no acquire pairing
                 if !quarantined.is_empty() {
                     let mut q = self.global.quarantine.lock();
                     for (p, fault) in quarantined {
@@ -1464,7 +1470,7 @@ impl StreamEngine {
                     Err(TrySendError::Full(_)) => {
                         self.global
                             .backpressure_dropped
-                            .fetch_add(len, Ordering::Relaxed);
+                            .fetch_add(len, Ordering::Relaxed); // relaxed-ok: monotone counter; report readers tolerate lag, no acquire pairing
                         continue;
                     }
                     Err(TrySendError::Disconnected(_)) => return Err(UStreamError::EngineStopped),
@@ -1480,7 +1486,7 @@ impl StreamEngine {
             self.shards[s]
                 .counters
                 .enqueued
-                .fetch_add(len, Ordering::Relaxed);
+                .fetch_add(len, Ordering::Relaxed); // relaxed-ok: monotone counter; report readers tolerate lag, no acquire pairing
         }
         Ok(())
     }
@@ -1503,7 +1509,7 @@ impl StreamEngine {
 
     /// Records processed so far (across all shards).
     pub fn points_processed(&self) -> u64 {
-        self.global.processed.load(Ordering::Relaxed)
+        self.global.processed.load(Ordering::Relaxed) // relaxed-ok: statistical read for reports/decisions that tolerate lag
     }
 
     /// Number of shard workers.
@@ -1537,9 +1543,10 @@ impl StreamEngine {
         if self.shards.len() == 1 {
             // Single shard: delegate so decayed synchronisation and k-means
             // seeding match the unsharded engine exactly.
+            // lint:allow(hot-panic): guarded by the shards.len() == 1 branch
             return self.shards[0].state.lock().alg.macro_cluster(k, seed);
         }
-        let now = self.global.last_tick.load(Ordering::Relaxed);
+        let now = self.global.last_tick.load(Ordering::Relaxed); // relaxed-ok: monotone watermark; readers tolerate a lagging value
         let mut pairs: Vec<(u64, Ecf)> = Vec::new();
         for (i, shard) in self.shards.iter().enumerate() {
             let snap = shard.state.lock().alg.snapshot_at(now);
@@ -1555,13 +1562,13 @@ impl StreamEngine {
     /// Micro-cluster statistics of the trailing window of `h` ticks,
     /// reconstructed from the merged pyramidal snapshots.
     pub fn horizon_clusters(&self, h: u64) -> Result<ClusterSetSnapshot<Ecf>> {
-        let now = self.global.last_tick.load(Ordering::Relaxed);
+        let now = self.global.last_tick.load(Ordering::Relaxed); // relaxed-ok: monotone watermark; readers tolerate a lagging value
         self.global.horizons.lock().horizon_clusters(now, h)
     }
 
     /// Macro-clusters of the trailing window of `h` ticks.
     pub fn horizon_macro_clusters(&self, h: u64, k: usize, seed: u64) -> Result<MacroClustering> {
-        let now = self.global.last_tick.load(Ordering::Relaxed);
+        let now = self.global.last_tick.load(Ordering::Relaxed); // relaxed-ok: monotone watermark; readers tolerate a lagging value
         self.global
             .horizons
             .lock()
@@ -1571,7 +1578,7 @@ impl StreamEngine {
     /// Evolution between the two most recent windows of `h` ticks each:
     /// `(now − 2h, now − h]` vs `(now − h, now]`.
     pub fn evolution(&self, h: u64, min_weight: f64) -> Result<EvolutionReport> {
-        let now = self.global.last_tick.load(Ordering::Relaxed);
+        let now = self.global.last_tick.load(Ordering::Relaxed); // relaxed-ok: monotone watermark; readers tolerate a lagging value
         let horizons = self.global.horizons.lock();
         let recent = horizons.horizon_clusters(now, h)?;
         let earlier_end = now.saturating_sub(h);
@@ -1609,12 +1616,12 @@ impl StreamEngine {
         let mut per_shard = Vec::with_capacity(self.shards.len());
         for (i, shard) in self.shards.iter().enumerate() {
             let st = shard.state.lock();
-            let processed = shard.counters.processed.load(Ordering::Relaxed);
-            let enqueued = shard.counters.enqueued.load(Ordering::Relaxed);
+            let processed = shard.counters.processed.load(Ordering::Relaxed); // relaxed-ok: statistical read for reports/decisions that tolerate lag
+            let enqueued = shard.counters.enqueued.load(Ordering::Relaxed); // relaxed-ok: statistical read for reports/decisions that tolerate lag
             let live = st.alg.num_clusters();
-            let restarts = shard.restarts.load(Ordering::Relaxed);
+            let restarts = shard.restarts.load(Ordering::Relaxed); // relaxed-ok: statistical read for reports/decisions that tolerate lag
             let alive = shard.alive.load(Ordering::Acquire);
-            let stalled = shard.stalled.load(Ordering::Relaxed);
+            let stalled = shard.stalled.load(Ordering::Relaxed); // relaxed-ok: advisory stall flag for reports; rescue correctness does not depend on its timing
             live_clusters += live;
             created += st.created;
             evicted += st.evicted;
@@ -1628,12 +1635,12 @@ impl StreamEngine {
                 processed,
                 queue_depth: enqueued.saturating_sub(processed),
                 live_clusters: live,
-                alerts_raised: shard.counters.alerts.load(Ordering::Relaxed),
+                alerts_raised: shard.counters.alerts.load(Ordering::Relaxed), // relaxed-ok: statistical read for reports/decisions that tolerate lag
                 points_per_sec: processed as f64 / elapsed,
                 restarts,
                 last_panic: shard.last_panic.lock().clone(),
                 alive,
-                stalls: shard.stalls.load(Ordering::Relaxed),
+                stalls: shard.stalls.load(Ordering::Relaxed), // relaxed-ok: statistical read for reports/decisions that tolerate lag
                 stalled,
                 clusterer_bytes: st.alg.approx_memory_bytes(),
             });
@@ -1645,8 +1652,8 @@ impl StreamEngine {
         } else {
             HealthStatus::Healthy
         };
-        let merges = self.global.merges.load(Ordering::Relaxed);
-        let merge_nanos = self.global.merge_nanos.load(Ordering::Relaxed);
+        let merges = self.global.merges.load(Ordering::Relaxed); // relaxed-ok: statistical read for reports/decisions that tolerate lag
+        let merge_nanos = self.global.merge_nanos.load(Ordering::Relaxed); // relaxed-ok: monotone duration accumulator; only read for stats
         let (snapshots_retained, budget) = {
             let horizons = self.global.horizons.lock();
             (horizons.store().len(), horizons.budget_report())
@@ -1654,13 +1661,13 @@ impl StreamEngine {
         let load_stage = self.global.load_stage();
         let quarantine = self.global.quarantine.lock();
         EngineReport {
-            points_processed: self.global.processed.load(Ordering::Relaxed),
+            points_processed: self.global.processed.load(Ordering::Relaxed), // relaxed-ok: statistical read for reports/decisions that tolerate lag
             live_clusters,
             clusters_created: created,
             clusters_evicted: evicted,
             snapshots_retained,
-            alerts_raised: self.global.alerts_raised.load(Ordering::Relaxed),
-            last_tick: self.global.last_tick.load(Ordering::Relaxed),
+            alerts_raised: self.global.alerts_raised.load(Ordering::Relaxed), // relaxed-ok: statistical read for reports/decisions that tolerate lag
+            last_tick: self.global.last_tick.load(Ordering::Relaxed), // relaxed-ok: monotone watermark; readers tolerate a lagging value
             merges,
             mean_merge_micros: if merges > 0 {
                 merge_nanos as f64 / 1_000.0 / merges as f64
@@ -1668,23 +1675,23 @@ impl StreamEngine {
                 0.0
             },
             health,
-            points_rejected: self.global.rejected.load(Ordering::Relaxed),
-            points_clamped: self.global.clamped.load(Ordering::Relaxed),
+            points_rejected: self.global.rejected.load(Ordering::Relaxed), // relaxed-ok: statistical read for reports/decisions that tolerate lag
+            points_clamped: self.global.clamped.load(Ordering::Relaxed), // relaxed-ok: statistical read for reports/decisions that tolerate lag
             points_quarantined: quarantine.admitted(),
             quarantine_dropped: quarantine.dropped(),
-            backpressure_dropped: self.global.backpressure_dropped.load(Ordering::Relaxed),
-            checkpoints_written: self.global.checkpoints_written.load(Ordering::Relaxed),
+            backpressure_dropped: self.global.backpressure_dropped.load(Ordering::Relaxed), // relaxed-ok: statistical read for reports/decisions that tolerate lag
+            checkpoints_written: self.global.checkpoints_written.load(Ordering::Relaxed), // relaxed-ok: statistical read for reports/decisions that tolerate lag
             last_checkpoint_error: self.global.last_checkpoint_error.lock().clone(),
             load_stage,
             load_transitions: self.global.load_transitions.lock().clone(),
-            points_shed: self.global.points_shed.load(Ordering::Relaxed),
-            points_sampled_out: self.global.sampled_out.load(Ordering::Relaxed),
+            points_shed: self.global.points_shed.load(Ordering::Relaxed), // relaxed-ok: statistical read for reports/decisions that tolerate lag
+            points_sampled_out: self.global.sampled_out.load(Ordering::Relaxed), // relaxed-ok: statistical read for reports/decisions that tolerate lag
             sampling_keep_per_mille: if load_stage >= LoadStage::Sample {
-                self.global.keep_per_mille.load(Ordering::Relaxed)
+                self.global.keep_per_mille.load(Ordering::Relaxed) // relaxed-ok: sampling knob; any recently published value keeps the gate unbiased
             } else {
                 1_000
             },
-            stalls_detected: self.global.stalls_detected.load(Ordering::Relaxed),
+            stalls_detected: self.global.stalls_detected.load(Ordering::Relaxed), // relaxed-ok: statistical read for reports/decisions that tolerate lag
             snapshot_bytes: budget.retained_bytes,
             snapshot_budget_evictions: budget.evictions,
             horizon_error_bound: budget.effective_error_bound,
@@ -1715,8 +1722,8 @@ impl StreamEngine {
     fn channel_pressure(&self) -> f64 {
         let mut backlog = 0u64;
         for shard in self.shards.iter() {
-            let enq = shard.counters.enqueued.load(Ordering::Relaxed);
-            let proc = shard.counters.processed.load(Ordering::Relaxed);
+            let enq = shard.counters.enqueued.load(Ordering::Relaxed); // relaxed-ok: statistical read for reports/decisions that tolerate lag
+            let proc = shard.counters.processed.load(Ordering::Relaxed); // relaxed-ok: statistical read for reports/decisions that tolerate lag
             backlog += enq.saturating_sub(proc);
         }
         let capacity =
@@ -1752,15 +1759,15 @@ impl StreamEngine {
         }
         merge_and_record(&self.global, &self.shards);
         if let Some(path) = self.global.config.checkpoint_path.clone() {
-            let seq = self.global.checkpoint_epoch.load(Ordering::Relaxed) + 1;
-            self.global.checkpoint_epoch.store(seq, Ordering::Relaxed);
+            let seq = self.global.checkpoint_epoch.load(Ordering::Relaxed) + 1; // relaxed-ok: epoch pre-read; the election CAS re-validates before publishing
+            self.global.checkpoint_epoch.store(seq, Ordering::Relaxed); // relaxed-ok: epoch pre-read; the election CAS re-validates before publishing
             match build_checkpoint(&self.global, &self.shards)
                 .and_then(|ck| write_checkpoint(&self.global, &path, seq, &ck))
             {
                 Ok(()) => {
                     self.global
                         .checkpoints_written
-                        .fetch_add(1, Ordering::Relaxed);
+                        .fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotone counter; report readers tolerate lag, no acquire pairing
                 }
                 Err(e) => {
                     *self.global.last_checkpoint_error.lock() = Some(e.to_string());

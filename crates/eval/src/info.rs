@@ -38,7 +38,7 @@ pub fn normalized_mutual_information(table: &ContingencyTable) -> Option<f64> {
 
     let h_cluster = entropy(cluster_totals.values().copied());
     let h_class = entropy(class_totals.values().copied());
-    if h_cluster + h_class == 0.0 {
+    if h_cluster + h_class <= 0.0 {
         // One cluster and one class: trivially perfect agreement.
         return Some(1.0);
     }

@@ -42,6 +42,7 @@ pub fn kmeans_pp_seeds<R: Rng>(
     let first = sample_weighted_index(&weights, rng);
     seeds.push(points[first].values.clone());
 
+    // lint:allow(hot-panic): seeds is non-empty — first seed pushed on the previous line
     let mut d2: Vec<f64> = points.iter().map(|p| p.sq_distance_to(&seeds[0])).collect();
     while seeds.len() < k {
         let scores: Vec<f64> = d2.iter().zip(&weights).map(|(d, w)| d * w).collect();

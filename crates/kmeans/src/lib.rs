@@ -90,6 +90,7 @@ pub fn kmeans(points: &[DeterministicPoint], config: &KMeansConfig) -> KMeansRes
             iterations: 0,
         };
     }
+    // lint:allow(hot-panic): the empty-input case returned early above
     let d = points[0].dims();
     debug_assert!(points.iter().all(|p| p.dims() == d));
     let k = config.k.min(points.len());
@@ -128,7 +129,7 @@ pub fn kmeans(points: &[DeterministicPoint], config: &KMeansConfig) -> KMeansRes
                     .max_by(|(i, p), (j, q)| {
                         let di = p.weight * p.sq_distance_to(&centroids[assignments[*i]]);
                         let dj = q.weight * q.sq_distance_to(&centroids[assignments[*j]]);
-                        di.partial_cmp(&dj).unwrap()
+                        di.total_cmp(&dj)
                     })
                 {
                     movement +=

@@ -1,0 +1,367 @@
+//! Per-file analysis context shared by every rule.
+//!
+//! A [`FileCtx`] bundles the token stream with the structural facts rules
+//! need but should not each recompute:
+//!
+//! * which line ranges are *test code* (`#[cfg(test)]` modules, `#[test]` /
+//!   `#[bench]` items, or a path under `tests/`, `benches/`, `examples/`),
+//! * which line ranges are *failpoint code* (`#[cfg(feature =
+//!   "failpoints")]` items — deliberate fault injection is exempt from the
+//!   hot-path rules it exists to exercise),
+//! * inline suppressions (`// lint:allow(rule-id): reason`) and whether
+//!   each carries the mandatory reason string.
+
+use crate::lexer::{lex, TokKind, Token};
+
+/// An inclusive 1-indexed line range.
+pub type LineSpan = (u32, u32);
+
+/// An inline `lint:allow` annotation.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// 1-indexed line the comment sits on. A suppression covers findings on
+    /// its own line (trailing comment) and on the following line
+    /// (standalone comment above the offending statement).
+    pub line: u32,
+    /// Rule ids listed inside `lint:allow(...)`.
+    pub rules: Vec<String>,
+    /// Whether a non-empty reason string follows the closing paren. A
+    /// reason-less suppression does not suppress anything — it is itself
+    /// reported by the `suppression` meta-rule.
+    pub has_reason: bool,
+}
+
+/// Everything a rule needs to know about one source file.
+#[derive(Debug)]
+pub struct FileCtx {
+    /// Workspace-relative path with `/` separators (e.g.
+    /// `crates/core/src/ecf.rs`).
+    pub path: String,
+    /// Full token stream, comments included.
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of non-comment ("significant") tokens.
+    pub sig: Vec<usize>,
+    /// Raw source lines, for adjacency checks (justification comments).
+    pub lines: Vec<String>,
+    /// Whole file is test/bench/example code by path.
+    pub is_test_file: bool,
+    /// Inclusive line ranges under `#[cfg(test)]` / `#[test]` / `#[bench]`.
+    pub test_spans: Vec<(u32, u32)>,
+    /// Inclusive line ranges under `#[cfg(feature = "failpoints")]`.
+    pub failpoint_spans: Vec<(u32, u32)>,
+    /// Parsed `lint:allow` annotations.
+    pub suppressions: Vec<Suppression>,
+}
+
+impl FileCtx {
+    /// Builds the context for `path` from raw source text.
+    pub fn new(path: &str, src: &str) -> Self {
+        let tokens = lex(src);
+        let sig: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_comment())
+            .map(|(i, _)| i)
+            .collect();
+        let lines: Vec<String> = src.lines().map(|l| l.to_string()).collect();
+        let norm = path.replace('\\', "/");
+        let is_test_file = ["tests/", "benches/", "examples/"]
+            .iter()
+            .any(|d| norm.starts_with(d) || norm.contains(&format!("/{d}")));
+        let (test_spans, failpoint_spans) = attribute_spans(&tokens, &sig);
+        let suppressions = parse_suppressions(&tokens);
+        Self {
+            path: norm,
+            tokens,
+            sig,
+            lines,
+            is_test_file,
+            test_spans,
+            failpoint_spans,
+            suppressions,
+        }
+    }
+
+    /// The crate this file belongs to (`crates/<name>/...`), if any.
+    pub fn crate_name(&self) -> Option<&str> {
+        let rest = self.path.strip_prefix("crates/")?;
+        rest.split('/').next()
+    }
+
+    /// True when `line` is test code — by path or by enclosing span.
+    pub fn in_test(&self, line: u32) -> bool {
+        self.is_test_file || self.test_spans.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// True when `line` is inside a failpoints-gated item.
+    pub fn in_failpoint(&self, line: u32) -> bool {
+        self.path.ends_with("failpoints.rs")
+            || self
+                .failpoint_spans
+                .iter()
+                .any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// True when a finding of `rule` at `line` is covered by a well-formed
+    /// suppression (same line or the line directly above).
+    pub fn suppressed(&self, rule: &str, line: u32) -> bool {
+        self.suppressions.iter().any(|s| {
+            s.has_reason
+                && (s.line == line || s.line + 1 == line)
+                && s.rules.iter().any(|r| r == rule)
+        })
+    }
+
+    /// The raw text of `line` (1-indexed); empty for out-of-range.
+    pub fn line_text(&self, line: u32) -> &str {
+        self.lines
+            .get(line as usize - 1)
+            .map(|s| s.as_str())
+            .unwrap_or("")
+    }
+}
+
+/// Scans the token stream for outer attributes and computes the line spans
+/// of the items they gate. Returns `(test_spans, failpoint_spans)`.
+fn attribute_spans(tokens: &[Token], sig: &[usize]) -> (Vec<LineSpan>, Vec<LineSpan>) {
+    let mut test_spans = Vec::new();
+    let mut failpoint_spans = Vec::new();
+    let mut k = 0usize;
+    while k < sig.len() {
+        let t = &tokens[sig[k]];
+        if t.op() != Some("#") {
+            k += 1;
+            continue;
+        }
+        // Inner attributes (`#![...]`) scope the whole file; the only one
+        // this workspace uses is lint configuration, so skip them.
+        let mut j = k + 1;
+        let inner = j < sig.len() && tokens[sig[j]].op() == Some("!");
+        if inner {
+            j += 1;
+        }
+        if j >= sig.len() || tokens[sig[j]].op() != Some("[") {
+            k += 1;
+            continue;
+        }
+        let attr_start_line = t.line;
+        // Collect the attribute body up to the matching `]`.
+        let mut depth = 0i32;
+        let mut idents: Vec<String> = Vec::new();
+        let mut strings: Vec<String> = Vec::new();
+        while j < sig.len() {
+            let tok = &tokens[sig[j]];
+            match &tok.kind {
+                TokKind::Op(o) if o == "[" => depth += 1,
+                TokKind::Op(o) if o == "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokKind::Ident(s) => idents.push(s.clone()),
+                TokKind::Str(s) => strings.push(s.clone()),
+                _ => {}
+            }
+            j += 1;
+        }
+        if inner {
+            k = j + 1;
+            continue;
+        }
+        let first = idents.first().map(|s| s.as_str()).unwrap_or("");
+        // `cfg(not(test))` gates *production* code; treating it as a test
+        // span would silently exempt hot paths, so `not` disqualifies.
+        let is_test_attr = matches!(first, "test" | "bench")
+            || (first == "cfg"
+                && idents.iter().any(|s| s == "test" || s == "bench")
+                && !idents.iter().any(|s| s == "not"))
+            || (!matches!(first, "cfg" | "cfg_attr") && idents.last().is_some_and(|s| s == "test"));
+        let is_failpoint_attr = first == "cfg"
+            && idents.iter().any(|s| s == "feature")
+            && strings.iter().any(|s| s.contains("failpoints"));
+        if !is_test_attr && !is_failpoint_attr {
+            k = j + 1;
+            continue;
+        }
+        // Find the gated item: skip trailing attributes / doc comments,
+        // then scan to the item's `{ ... }` body or terminating `;`.
+        let mut m = j + 1;
+        // Skip further outer attributes.
+        while m < sig.len() && tokens[sig[m]].op() == Some("#") {
+            let mut d = 0i32;
+            let mut n = m + 1;
+            while n < sig.len() {
+                match tokens[sig[n]].op() {
+                    Some("[") => d += 1,
+                    Some("]") => {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                n += 1;
+            }
+            m = n + 1;
+        }
+        let mut end_line = attr_start_line;
+        let mut brace_depth = 0i32;
+        let mut entered = false;
+        while m < sig.len() {
+            let tok = &tokens[sig[m]];
+            match tok.op() {
+                Some(";") if !entered => {
+                    end_line = tok.line;
+                    break;
+                }
+                Some("{") => {
+                    entered = true;
+                    brace_depth += 1;
+                }
+                Some("}") if entered => {
+                    brace_depth -= 1;
+                    if brace_depth == 0 {
+                        end_line = tok.line;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            m += 1;
+        }
+        let span = (attr_start_line, end_line.max(attr_start_line));
+        if is_test_attr {
+            test_spans.push(span);
+        } else {
+            failpoint_spans.push(span);
+        }
+        k = j + 1;
+    }
+    (test_spans, failpoint_spans)
+}
+
+/// Extracts `lint:allow(rule[, rule...]): reason` annotations from comment
+/// tokens. The reason — everything after the colon — must be non-empty.
+/// Doc comments are prose *about* the mechanism, never the mechanism
+/// itself, and are skipped.
+fn parse_suppressions(tokens: &[Token]) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for t in tokens {
+        if t.is_doc_comment() {
+            continue;
+        }
+        let text = match &t.kind {
+            TokKind::LineComment(s) | TokKind::BlockComment(s) => s,
+            _ => continue,
+        };
+        let Some(pos) = text.find("lint:allow(") else {
+            continue;
+        };
+        let rest = &text[pos + "lint:allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            out.push(Suppression {
+                line: t.line,
+                rules: Vec::new(),
+                has_reason: false,
+            });
+            continue;
+        };
+        let rules: Vec<String> = rest[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let tail = rest[close + 1..].trim_start();
+        let has_reason = tail
+            .strip_prefix(':')
+            .is_some_and(|r| r.trim().trim_end_matches("*/").trim().len() >= 3);
+        out.push(Suppression {
+            line: t.line,
+            rules,
+            has_reason,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_mod_span() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\n";
+        let ctx = FileCtx::new("crates/core/src/x.rs", src);
+        assert!(!ctx.in_test(1));
+        assert!(ctx.in_test(2));
+        assert!(ctx.in_test(4));
+        assert!(ctx.in_test(5));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_span() {
+        let src = "#[cfg(not(test))]\nfn prod() { body(); }\n";
+        let ctx = FileCtx::new("crates/core/src/x.rs", src);
+        assert!(!ctx.in_test(2));
+    }
+
+    #[test]
+    fn test_attr_fn_span() {
+        let src = "#[test]\nfn check() {\n    assert!(true);\n}\nfn prod() {}\n";
+        let ctx = FileCtx::new("crates/core/src/x.rs", src);
+        assert!(ctx.in_test(3));
+        assert!(!ctx.in_test(5));
+    }
+
+    #[test]
+    fn failpoint_fn_span() {
+        let src = "#[cfg(feature = \"failpoints\")]\nfn inject() {\n    fire();\n}\n";
+        let ctx = FileCtx::new("crates/engine/src/engine.rs", src);
+        assert!(ctx.in_failpoint(3));
+        assert!(!ctx.in_test(3));
+    }
+
+    #[test]
+    fn path_classification() {
+        assert!(FileCtx::new("tests/foo.rs", "").is_test_file);
+        assert!(FileCtx::new("crates/bench/benches/b.rs", "").is_test_file);
+        assert!(FileCtx::new("examples/e.rs", "").is_test_file);
+        let ctx = FileCtx::new("crates/engine/src/engine.rs", "");
+        assert!(!ctx.is_test_file);
+        assert_eq!(ctx.crate_name(), Some("engine"));
+    }
+
+    #[test]
+    fn suppression_with_reason() {
+        let src = "// lint:allow(hot-panic): checked non-empty above\nfoo.unwrap();\n";
+        let ctx = FileCtx::new("crates/core/src/x.rs", src);
+        assert!(ctx.suppressed("hot-panic", 2));
+        assert!(!ctx.suppressed("float-eq", 2));
+    }
+
+    #[test]
+    fn suppression_without_reason_is_inert() {
+        let src = "// lint:allow(hot-panic)\nfoo.unwrap();\n";
+        let ctx = FileCtx::new("crates/core/src/x.rs", src);
+        assert!(!ctx.suppressed("hot-panic", 2));
+        assert_eq!(ctx.suppressions.len(), 1);
+        assert!(!ctx.suppressions[0].has_reason);
+    }
+
+    #[test]
+    fn trailing_suppression_covers_its_own_line() {
+        let src = "foo.unwrap(); // lint:allow(hot-panic): invariant: set in new()\n";
+        let ctx = FileCtx::new("crates/core/src/x.rs", src);
+        assert!(ctx.suppressed("hot-panic", 1));
+    }
+
+    #[test]
+    fn multi_rule_suppression() {
+        let src = "// lint:allow(hot-panic, nan-ord): fixture data is finite\nx();\n";
+        let ctx = FileCtx::new("crates/core/src/x.rs", src);
+        assert!(ctx.suppressed("hot-panic", 2));
+        assert!(ctx.suppressed("nan-ord", 2));
+    }
+}

@@ -1,0 +1,135 @@
+//! Diagnostics: the [`Finding`] record and its text / JSON renderings.
+
+use std::fmt::Write as _;
+
+/// One diagnostic produced by a rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-indexed line.
+    pub line: u32,
+    /// 1-indexed column.
+    pub col: u32,
+    /// Stable rule id (e.g. `hot-panic`); also the id accepted by
+    /// `lint:allow(...)`.
+    pub rule: &'static str,
+    /// What was found, specific to the site.
+    pub message: String,
+    /// How to fix it (or how to suppress it with a reason).
+    pub hint: &'static str,
+}
+
+impl Finding {
+    /// `file:line:col [rule] message` followed by an indented hint.
+    pub fn render_text(&self) -> String {
+        format!(
+            "{}:{}:{} [{}] {}\n    hint: {}",
+            self.path, self.line, self.col, self.rule, self.message, self.hint
+        )
+    }
+}
+
+/// Renders findings as a single human-readable report.
+pub fn render_report(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let _ = writeln!(out, "{}", f.render_text());
+    }
+    let _ = writeln!(
+        out,
+        "ustream-lint: {} finding{}",
+        findings.len(),
+        if findings.len() == 1 { "" } else { "s" }
+    );
+    out
+}
+
+/// Renders findings as a JSON document for CI artifacts:
+/// `{"findings": [...], "count": N}`.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"path\": {}, \"line\": {}, \"col\": {}, \"rule\": {}, \"message\": {}, \"hint\": {}}}",
+            json_str(&f.path),
+            f.line,
+            f.col,
+            json_str(f.rule),
+            json_str(&f.message),
+            json_str(f.hint)
+        );
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    let _ = write!(out, "],\n  \"count\": {}\n}}\n", findings.len());
+    out
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Finding {
+        Finding {
+            path: "crates/core/src/x.rs".into(),
+            line: 3,
+            col: 7,
+            rule: "hot-panic",
+            message: "`.unwrap()` on a hot path".into(),
+            hint: "handle the None/Err case",
+        }
+    }
+
+    #[test]
+    fn text_has_location_and_rule() {
+        let t = sample().render_text();
+        assert!(t.contains("crates/core/src/x.rs:3:7"));
+        assert!(t.contains("[hot-panic]"));
+        assert!(t.contains("hint:"));
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let j = render_json(&[sample()]);
+        assert!(j.contains("\"count\": 1"));
+        assert!(j.contains("\"rule\": \"hot-panic\""));
+        // Escaping: a message with quotes must not break the document.
+        let mut f = sample();
+        f.message = "a \"quoted\" thing\n".into();
+        let j = render_json(&[f]);
+        assert!(j.contains("a \\\"quoted\\\" thing\\n"));
+    }
+
+    #[test]
+    fn empty_report_counts_zero() {
+        assert!(render_json(&[]).contains("\"count\": 0"));
+        assert!(render_report(&[]).contains("0 findings"));
+    }
+}

@@ -1,0 +1,575 @@
+//! A string/char/comment-aware Rust tokenizer.
+//!
+//! `ustream-lint` deliberately does not parse Rust — a full grammar would
+//! need an external parser crate, and the workspace policy is vendored-only
+//! dependencies. The rules in [`crate::rules`] only need a *faithful token
+//! stream*: one where `unwrap` inside a string literal, a `==` inside a doc
+//! comment, or a `'a` lifetime masquerading as a char literal can never
+//! produce a false diagnostic. The lexer therefore handles, precisely:
+//!
+//! * line comments, nested block comments, and doc comments (kept as tokens
+//!   so rules can see suppressions and `relaxed-ok:` justifications),
+//! * string / raw string / byte string / C string literals with escapes,
+//! * char literals vs. lifetimes (`'x'` vs. `'x`),
+//! * numeric literals, including float detection, tuple-index fields
+//!   (`pair.0.1` never lexes `0.1` as a float), and suffixes,
+//! * multi-char operators (`==`, `!=`, `::`, `->`, `..=`, …) as single
+//!   tokens so rules can match them without reassembling punctuation.
+//!
+//! Every token carries a 1-indexed `line` / `col` for diagnostics.
+
+/// What a single token is. Comment variants keep their raw text (including
+/// the `//` / `/*` sigils) so rules can inspect suppression annotations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `unwrap`, `Ordering`, …).
+    Ident(String),
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// An integer literal (any base), raw text preserved.
+    Int(String),
+    /// A float literal (has a decimal point, exponent, or `f32`/`f64`
+    /// suffix), raw text preserved.
+    Float(String),
+    /// A string literal of any flavour; raw source text preserved so rules
+    /// can look inside attribute strings like `feature = "failpoints"`.
+    Str(String),
+    /// A char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// An operator or punctuation token; multi-char operators arrive as one
+    /// token (`"=="`, `"::"`, `"->"`, …).
+    Op(String),
+    /// A `//`-style comment, raw text preserved (`///` and `//!` doc
+    /// comments included — check the prefix).
+    LineComment(String),
+    /// A `/* */`-style comment (nesting handled), raw text preserved.
+    BlockComment(String),
+}
+
+/// One lexed token with its 1-indexed source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token's kind and payload.
+    pub kind: TokKind,
+    /// 1-indexed source line of the token's first character.
+    pub line: u32,
+    /// 1-indexed column (in chars) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// The identifier text if this token is an [`TokKind::Ident`].
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The operator text if this token is an [`TokKind::Op`].
+    pub fn op(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Op(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// True when the token is a comment (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokKind::LineComment(_) | TokKind::BlockComment(_)
+        )
+    }
+
+    /// True when the token is a doc comment (`///`, `//!`, `/**`, `/*!`).
+    pub fn is_doc_comment(&self) -> bool {
+        match &self.kind {
+            TokKind::LineComment(s) => s.starts_with("///") || s.starts_with("//!"),
+            TokKind::BlockComment(s) => s.starts_with("/**") || s.starts_with("/*!"),
+            _ => false,
+        }
+    }
+}
+
+/// Multi-char operators, longest first so greedy matching is correct.
+const MULTI_OPS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "&&", "||", "::", "..", "->", "=>", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+struct Cursor {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn new(src: &str) -> Self {
+        Self {
+            chars: src.chars().collect(),
+            i: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, off: usize) -> Option<char> {
+        self.chars.get(self.i + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn eat_while(&mut self, buf: &mut String, pred: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek(0) {
+            if pred(c) {
+                buf.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes `src`. The lexer never fails: malformed trailing input
+/// degrades to single-char `Op` tokens, which at worst makes a rule miss —
+/// it can never invent an identifier out of a string or comment.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut out: Vec<Token> = Vec::new();
+    // Tracks whether the previous significant token was a lone `.`, which
+    // puts the lexer in tuple-field position: `p.0.1` is Ident(p) . 0 . 1,
+    // not Ident(p) . Float(0.1).
+    let mut after_dot = false;
+
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && cur.peek(1) == Some('/') {
+            let mut text = String::new();
+            cur.eat_while(&mut text, |c| c != '\n');
+            out.push(Token {
+                kind: TokKind::LineComment(text),
+                line,
+                col,
+            });
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            let mut text = String::new();
+            let mut depth = 0u32;
+            loop {
+                match (cur.peek(0), cur.peek(1)) {
+                    (Some('/'), Some('*')) => {
+                        depth += 1;
+                        text.push('/');
+                        text.push('*');
+                        cur.bump();
+                        cur.bump();
+                    }
+                    (Some('*'), Some('/')) => {
+                        depth -= 1;
+                        text.push('*');
+                        text.push('/');
+                        cur.bump();
+                        cur.bump();
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    (Some(ch), _) => {
+                        text.push(ch);
+                        cur.bump();
+                    }
+                    (None, _) => break,
+                }
+            }
+            out.push(Token {
+                kind: TokKind::BlockComment(text),
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Identifiers — with string-prefix detection (r", br#", b", c", cr").
+        if is_ident_start(c) {
+            let mut name = String::new();
+            cur.eat_while(&mut name, is_ident_continue);
+            let next = cur.peek(0);
+            let raw_capable = matches!(name.as_str(), "r" | "br" | "cr");
+            let plain_capable = matches!(name.as_str(), "b" | "c");
+            if (raw_capable && (next == Some('"') || next == Some('#')))
+                || (plain_capable && next == Some('"'))
+            {
+                if let Some(text) = lex_string_tail(&mut cur, &name, raw_capable) {
+                    out.push(Token {
+                        kind: TokKind::Str(text),
+                        line,
+                        col,
+                    });
+                    after_dot = false;
+                    continue;
+                }
+            }
+            out.push(Token {
+                kind: TokKind::Ident(name),
+                line,
+                col,
+            });
+            after_dot = false;
+            continue;
+        }
+
+        // Plain string literal.
+        if c == '"' {
+            if let Some(text) = lex_string_tail(&mut cur, "", false) {
+                out.push(Token {
+                    kind: TokKind::Str(text),
+                    line,
+                    col,
+                });
+            }
+            after_dot = false;
+            continue;
+        }
+
+        // Char literal or lifetime.
+        if c == '\'' {
+            let is_char = match cur.peek(1) {
+                Some('\\') => true,
+                Some(_) => cur.peek(2) == Some('\''),
+                None => false,
+            };
+            if is_char {
+                cur.bump(); // opening '
+                if cur.peek(0) == Some('\\') {
+                    cur.bump();
+                    cur.bump(); // escape head; \u{..} tails lex harmlessly
+                } else {
+                    cur.bump();
+                }
+                // Consume up to the closing quote (covers \u{...} tails).
+                while let Some(ch) = cur.peek(0) {
+                    cur.bump();
+                    if ch == '\'' {
+                        break;
+                    }
+                }
+                out.push(Token {
+                    kind: TokKind::Char,
+                    line,
+                    col,
+                });
+            } else {
+                cur.bump();
+                let mut name = String::new();
+                cur.eat_while(&mut name, is_ident_continue);
+                out.push(Token {
+                    kind: TokKind::Lifetime,
+                    line,
+                    col,
+                });
+            }
+            after_dot = false;
+            continue;
+        }
+
+        // Numbers.
+        if c.is_ascii_digit() {
+            let kind = lex_number(&mut cur, after_dot);
+            out.push(Token { kind, line, col });
+            after_dot = false;
+            continue;
+        }
+
+        // Operators / punctuation, longest match first.
+        let mut matched = None;
+        for op in MULTI_OPS {
+            let n = op.chars().count();
+            if (0..n).all(|k| cur.peek(k) == op.chars().nth(k)) {
+                matched = Some(*op);
+                break;
+            }
+        }
+        if let Some(op) = matched {
+            for _ in 0..op.chars().count() {
+                cur.bump();
+            }
+            out.push(Token {
+                kind: TokKind::Op(op.to_string()),
+                line,
+                col,
+            });
+            after_dot = false;
+            continue;
+        }
+        cur.bump();
+        after_dot = c == '.';
+        out.push(Token {
+            kind: TokKind::Op(c.to_string()),
+            line,
+            col,
+        });
+    }
+    out
+}
+
+/// Lexes the remainder of a string literal whose prefix (possibly empty)
+/// has already been consumed. `raw` selects raw-string rules (`r#".."#`).
+/// Returns the full literal text including prefix and quotes.
+fn lex_string_tail(cur: &mut Cursor, prefix: &str, raw: bool) -> Option<String> {
+    let mut text = String::from(prefix);
+    if raw {
+        let mut hashes = 0usize;
+        while cur.peek(0) == Some('#') {
+            hashes += 1;
+            text.push('#');
+            cur.bump();
+        }
+        if cur.peek(0) != Some('"') {
+            return None;
+        }
+        text.push('"');
+        cur.bump();
+        loop {
+            let ch = cur.bump()?;
+            text.push(ch);
+            if ch == '"' && (0..hashes).all(|k| cur.peek(k) == Some('#')) {
+                for _ in 0..hashes {
+                    text.push('#');
+                    cur.bump();
+                }
+                return Some(text);
+            }
+        }
+    }
+    // Cooked string: handle escapes.
+    if cur.peek(0) != Some('"') {
+        return None;
+    }
+    text.push('"');
+    cur.bump();
+    loop {
+        let ch = cur.bump()?;
+        text.push(ch);
+        match ch {
+            '\\' => {
+                if let Some(esc) = cur.bump() {
+                    text.push(esc);
+                }
+            }
+            '"' => return Some(text),
+            _ => {}
+        }
+    }
+}
+
+/// Lexes a numeric literal. In tuple-field position (`after_dot`) only bare
+/// digits are consumed so `p.0.1` yields two integer fields.
+fn lex_number(cur: &mut Cursor, after_dot: bool) -> TokKind {
+    let mut text = String::new();
+    if after_dot {
+        cur.eat_while(&mut text, |c| c.is_ascii_digit());
+        return TokKind::Int(text);
+    }
+    // Radix prefixes.
+    if cur.peek(0) == Some('0') && matches!(cur.peek(1), Some('x' | 'o' | 'b')) {
+        text.push('0');
+        cur.bump();
+        let radix = cur.bump().unwrap_or('x');
+        text.push(radix);
+        cur.eat_while(&mut text, |c| c.is_ascii_hexdigit() || c == '_');
+        // Integer suffix (u8..usize).
+        cur.eat_while(&mut text, is_ident_continue);
+        return TokKind::Int(text);
+    }
+    cur.eat_while(&mut text, |c| c.is_ascii_digit() || c == '_');
+    let mut is_float = false;
+    if cur.peek(0) == Some('.') {
+        match cur.peek(1) {
+            Some(d) if d.is_ascii_digit() => {
+                is_float = true;
+                text.push('.');
+                cur.bump();
+                cur.eat_while(&mut text, |c| c.is_ascii_digit() || c == '_');
+            }
+            Some('.') => {}                    // range: 1..n
+            Some(d) if is_ident_start(d) => {} // method call: 1.max(..)
+            _ => {
+                // Trailing-dot float: `1.`
+                is_float = true;
+                text.push('.');
+                cur.bump();
+            }
+        }
+    }
+    if matches!(cur.peek(0), Some('e' | 'E')) {
+        let exp_ok = match cur.peek(1) {
+            Some(d) if d.is_ascii_digit() => true,
+            Some('+' | '-') => matches!(cur.peek(2), Some(d) if d.is_ascii_digit()),
+            _ => false,
+        };
+        if exp_ok {
+            is_float = true;
+            text.push('e');
+            cur.bump();
+            if matches!(cur.peek(0), Some('+' | '-')) {
+                if let Some(s) = cur.bump() {
+                    text.push(s);
+                }
+            }
+            cur.eat_while(&mut text, |c| c.is_ascii_digit() || c == '_');
+        }
+    }
+    // Type suffix: f32/f64 force float, u*/i* keep int.
+    let mut suffix = String::new();
+    cur.eat_while(&mut suffix, is_ident_continue);
+    if suffix.starts_with('f') {
+        is_float = true;
+    }
+    text.push_str(&suffix);
+    if is_float {
+        TokKind::Float(text)
+    } else {
+        TokKind::Int(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_and_ops() {
+        let k = kinds("a.unwrap() == b");
+        assert_eq!(
+            k,
+            vec![
+                TokKind::Ident("a".into()),
+                TokKind::Op(".".into()),
+                TokKind::Ident("unwrap".into()),
+                TokKind::Op("(".into()),
+                TokKind::Op(")".into()),
+                TokKind::Op("==".into()),
+                TokKind::Ident("b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let k = kinds(r#"let s = "a.unwrap() == 1.0";"#);
+        assert!(!k
+            .iter()
+            .any(|t| matches!(t, TokKind::Ident(s) if s == "unwrap")));
+        assert!(!k.iter().any(|t| matches!(t, TokKind::Float(_))));
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let k = kinds(r###"let s = r#"x "inner" y"#; let b = b"bytes"; let c = br#"raw"#;"###);
+        let strs = k.iter().filter(|t| matches!(t, TokKind::Str(_))).count();
+        assert_eq!(strs, 3);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let k = kinds("fn f<'a>(x: &'a u8) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes = k.iter().filter(|t| matches!(t, TokKind::Lifetime)).count();
+        let chars = k.iter().filter(|t| matches!(t, TokKind::Char)).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn tuple_fields_are_not_floats() {
+        let k = kinds("p.0.1");
+        assert_eq!(
+            k,
+            vec![
+                TokKind::Ident("p".into()),
+                TokKind::Op(".".into()),
+                TokKind::Int("0".into()),
+                TokKind::Op(".".into()),
+                TokKind::Int("1".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn float_shapes() {
+        assert_eq!(kinds("1.0"), vec![TokKind::Float("1.0".into())]);
+        assert_eq!(kinds("1e-3"), vec![TokKind::Float("1e-3".into())]);
+        assert_eq!(kinds("2f64"), vec![TokKind::Float("2f64".into())]);
+        assert_eq!(kinds("0xff_u32"), vec![TokKind::Int("0xff_u32".into())]);
+        // `1..n` is a range, `1.max(2)` a method call — both keep the int.
+        assert!(matches!(kinds("1..9")[0], TokKind::Int(_)));
+        assert!(matches!(kinds("1.max(2)")[0], TokKind::Int(_)));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let k = kinds("/* outer /* inner */ still */ x");
+        assert_eq!(k.len(), 2);
+        assert!(matches!(&k[0], TokKind::BlockComment(s) if s.contains("inner")));
+        assert_eq!(k[1], TokKind::Ident("x".into()));
+    }
+
+    #[test]
+    fn doc_comment_detection() {
+        let toks = lex("/// doc\n//! inner\n// plain\nfn f() {}");
+        assert!(toks[0].is_doc_comment());
+        assert!(toks[1].is_doc_comment());
+        assert!(!toks[2].is_doc_comment());
+    }
+
+    #[test]
+    fn positions_are_one_indexed() {
+        let toks = lex("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn multichar_ops_are_single_tokens() {
+        let k = kinds("a ..= b :: c -> d != e");
+        let ops: Vec<_> = k
+            .iter()
+            .filter_map(|t| match t {
+                TokKind::Op(s) => Some(s.as_str().to_string()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ops, vec!["..=", "::", "->", "!="]);
+    }
+}

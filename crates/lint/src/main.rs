@@ -1,0 +1,82 @@
+//! `ustream-lint` binary — `cargo lint` via the alias in
+//! `.cargo/config.toml`.
+//!
+//! ```text
+//! ustream-lint [--format text|json] [--root <dir>] [paths...]
+//! ```
+//!
+//! With no paths, lints every workspace `.rs` file (excluding `target/`,
+//! `vendor/`, and the deliberately-violating rule fixtures). With explicit
+//! paths, lints exactly those — which is how CI asserts the seeded
+//! fixtures still fire. Exits 0 when clean, 1 on any finding, 2 on usage
+//! or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ustream_lint::{find_workspace_root, lint_paths, lint_workspace, render_json, render_report};
+
+fn main() -> ExitCode {
+    let mut format_json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next().as_deref() {
+                Some("json") => format_json = true,
+                Some("text") => format_json = false,
+                other => {
+                    eprintln!("ustream-lint: --format expects `text` or `json`, got {other:?}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("ustream-lint: --root expects a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: ustream-lint [--format text|json] [--root <dir>] [paths...]");
+                return ExitCode::SUCCESS;
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+
+    let root = root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|cwd| find_workspace_root(&cwd))
+    });
+    let Some(root) = root else {
+        eprintln!("ustream-lint: could not locate the workspace root (use --root)");
+        return ExitCode::from(2);
+    };
+
+    let result = if paths.is_empty() {
+        lint_workspace(&root)
+    } else {
+        lint_paths(&root, &paths)
+    };
+    let findings = match result {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("ustream-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if format_json {
+        print!("{}", render_json(&findings));
+    } else {
+        print!("{}", render_report(&findings));
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

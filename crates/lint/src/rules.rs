@@ -1,0 +1,578 @@
+//! The rule set.
+//!
+//! Each rule encodes an invariant the compiler cannot check but the
+//! paper's guarantees rely on (see DESIGN.md §12 for the rationale table):
+//!
+//! | id               | invariant                                             |
+//! |------------------|-------------------------------------------------------|
+//! | `hot-panic`      | no `unwrap`/`expect`/`panic!`/literal-index panics on hot paths |
+//! | `float-eq`       | no bitwise float equality outside epsilon helpers     |
+//! | `nan-ord`        | float ordering must be NaN-total (`total_cmp`)        |
+//! | `relaxed-atomic` | every `Ordering::Relaxed` carries a `// relaxed-ok:` justification |
+//! | `nondet-iter`    | no `HashMap`/`HashSet` on serialization surfaces      |
+//! | `no-sleep`       | no `thread::sleep` outside tests/benches/failpoints   |
+//! | `lossy-cast`     | no bare `as` numeric casts in ECF/kernel arithmetic   |
+//! | `missing-docs`   | public items of `umicro`/`ustream-engine` are documented |
+//! | `suppression`    | every `lint:allow` carries a reason, names real rules |
+//!
+//! Findings are suppressed by `// lint:allow(<rule>): <reason>` on the same
+//! line or the line directly above (`relaxed-atomic` is instead justified
+//! with `// relaxed-ok: <reason>`, keeping the justification greppable).
+
+use crate::context::FileCtx;
+use crate::diag::Finding;
+use crate::lexer::{TokKind, Token};
+
+/// Crates whose non-test code is a hot path: a panic here kills a shard
+/// worker mid-stream (the supervisor recovers, but loses the in-flight
+/// record — so panics must be deliberate, not incidental).
+const HOT_CRATES: &[&str] = &["core", "engine", "snapshot", "clustream", "kmeans"];
+
+/// Files whose output is serialized (reports, checkpoints, BENCH JSON):
+/// iteration order must be deterministic for byte-stable artifacts.
+const SERIAL_SURFACE_FILES: &[&str] = &[
+    "crates/engine/src/report.rs",
+    "crates/engine/src/checkpoint.rs",
+    "crates/snapshot/src/persist.rs",
+];
+const SERIAL_SURFACE_DIRS: &[&str] = &["crates/bench/src/", "crates/cli/src/commands/"];
+
+/// Files implementing ECF / kernel arithmetic, where a silent `as` cast can
+/// round a >2⁵³ count or truncate a float (Property 2.1 additivity depends
+/// on moments staying exact in `f64`).
+const CAST_SCOPED_FILES: &[&str] = &[
+    "crates/core/src/ecf.rs",
+    "crates/core/src/kernel.rs",
+    "crates/core/src/distance.rs",
+];
+
+/// Crates whose public API must be documented (`missing-docs` scope).
+const DOC_CRATES: &[&str] = &["core", "engine"];
+
+/// Every rule id the engine knows; `lint:allow` of anything else is itself
+/// a finding.
+pub const RULE_IDS: &[&str] = &[
+    "hot-panic",
+    "float-eq",
+    "nan-ord",
+    "relaxed-atomic",
+    "nondet-iter",
+    "no-sleep",
+    "lossy-cast",
+    "missing-docs",
+    "suppression",
+];
+
+/// Runs every rule over every file, applies suppressions, and returns the
+/// findings sorted by `(path, line, col, rule)`.
+pub fn run_all(ctxs: &[FileCtx]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for ctx in ctxs {
+        let mut raw = Vec::new();
+        rule_hot_panic(ctx, &mut raw);
+        rule_float_eq(ctx, &mut raw);
+        rule_nan_ord(ctx, &mut raw);
+        rule_relaxed_atomic(ctx, &mut raw);
+        rule_nondet_iter(ctx, &mut raw);
+        rule_no_sleep(ctx, &mut raw);
+        rule_lossy_cast(ctx, &mut raw);
+        rule_missing_docs(ctx, ctxs, &mut raw);
+        raw.retain(|f| !ctx.suppressed(f.rule, f.line));
+        rule_suppression_hygiene(ctx, &mut raw);
+        findings.append(&mut raw);
+    }
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+    findings
+}
+
+/// Significant-token accessor: `tok(ctx, k)` is the `k`-th non-comment
+/// token.
+fn tok(ctx: &FileCtx, k: usize) -> &Token {
+    &ctx.tokens[ctx.sig[k]]
+}
+
+fn ident_at(ctx: &FileCtx, k: usize) -> Option<&str> {
+    ctx.sig.get(k).and_then(|_| tok(ctx, k).ident())
+}
+
+fn op_at(ctx: &FileCtx, k: usize) -> Option<&str> {
+    ctx.sig.get(k).and_then(|_| tok(ctx, k).op())
+}
+
+fn is_op(ctx: &FileCtx, k: usize, s: &str) -> bool {
+    k < ctx.sig.len() && op_at(ctx, k) == Some(s)
+}
+
+/// For an opening `(` at significant index `open`, the index of its
+/// matching `)`.
+fn matching_paren(ctx: &FileCtx, open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for k in open..ctx.sig.len() {
+        match op_at(ctx, k) {
+            Some("(") => depth += 1,
+            Some(")") => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn push(
+    out: &mut Vec<Finding>,
+    ctx: &FileCtx,
+    t: &Token,
+    rule: &'static str,
+    message: String,
+    hint: &'static str,
+) {
+    out.push(Finding {
+        path: ctx.path.clone(),
+        line: t.line,
+        col: t.col,
+        rule,
+        message,
+        hint,
+    });
+}
+
+/// R1 `hot-panic` — `unwrap`/`expect`/`panic!` and indexing by integer
+/// literal in non-test code of hot-path crates.
+fn rule_hot_panic(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    let hot = ctx.crate_name().is_some_and(|c| HOT_CRATES.contains(&c));
+    if !hot || ctx.is_test_file || !ctx.path.contains("/src/") {
+        return;
+    }
+    for k in 0..ctx.sig.len() {
+        let t = tok(ctx, k);
+        if ctx.in_test(t.line) || ctx.in_failpoint(t.line) {
+            continue;
+        }
+        match t.ident() {
+            Some(name @ ("unwrap" | "expect"))
+                if k > 0 && is_op(ctx, k - 1, ".") && is_op(ctx, k + 1, "(") =>
+            {
+                push(
+                    out,
+                    ctx,
+                    t,
+                    "hot-panic",
+                    format!("`.{name}(...)` can panic on a hot path"),
+                    "return a Result, provide a fallback, or suppress with \
+                     `// lint:allow(hot-panic): <why this cannot fail>`",
+                );
+            }
+            Some("panic") if is_op(ctx, k + 1, "!") => {
+                push(
+                    out,
+                    ctx,
+                    t,
+                    "hot-panic",
+                    "`panic!` on a hot path kills the shard worker".to_string(),
+                    "return an error; a panic here costs the in-flight record",
+                );
+            }
+            _ => {}
+        }
+        // Postfix indexing by an integer literal: `xs[0]`.
+        if t.op() == Some("[")
+            && k > 0
+            && matches!(
+                (tok(ctx, k - 1).ident(), op_at(ctx, k - 1)),
+                (Some(_), _) | (_, Some(")" | "]"))
+            )
+            && matches!(tok_kind(ctx, k + 1), Some(TokKind::Int(_)))
+            && is_op(ctx, k + 2, "]")
+        {
+            // `kw[...]` where kw is a keyword can't index; the only such
+            // pattern in practice is attribute-ish code already filtered by
+            // the significant-token shape above.
+            push(
+                out,
+                ctx,
+                t,
+                "hot-panic",
+                "indexing by integer literal can panic on a hot path".to_string(),
+                "use `.first()`/`.get(i)` and handle None, or suppress with a \
+                 reason proving the bound (e.g. fixed-size array)",
+            );
+        }
+    }
+}
+
+fn tok_kind(ctx: &FileCtx, k: usize) -> Option<&TokKind> {
+    ctx.sig.get(k).map(|_| &tok(ctx, k).kind)
+}
+
+/// R2 `float-eq` — bitwise `==`/`!=` against a float literal. (Bitwise
+/// equality on two float *variables* is invisible to a tokenizer; the
+/// literal form is the one that actually appears in practice.)
+fn rule_float_eq(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    for k in 0..ctx.sig.len() {
+        let t = tok(ctx, k);
+        let Some(op @ ("==" | "!=")) = t.op() else {
+            continue;
+        };
+        let prev_float = k > 0 && matches!(tok_kind(ctx, k - 1), Some(TokKind::Float(_)));
+        let next_float = matches!(tok_kind(ctx, k + 1), Some(TokKind::Float(_)));
+        if prev_float || next_float {
+            push(
+                out,
+                ctx,
+                t,
+                "float-eq",
+                format!("float `{op}` literal comparison is not epsilon-safe"),
+                "compare with an epsilon helper (`(a - b).abs() < tol`), test \
+                 a range, or suppress with a reason the value is exact \
+                 (e.g. sentinel assigned, never computed)",
+            );
+        }
+    }
+}
+
+/// R3 `nan-ord` — `partial_cmp(..).unwrap()/expect()` (panics on NaN), and
+/// `sort_by`/`min_by`/`max_by` comparators built on `partial_cmp` without a
+/// NaN-total ordering. The fix is `f64::total_cmp`.
+fn rule_nan_ord(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    let mut unwrap_sites: Vec<usize> = Vec::new();
+    for k in 0..ctx.sig.len() {
+        if ident_at(ctx, k) != Some("partial_cmp") || !is_op(ctx, k + 1, "(") {
+            continue;
+        }
+        let Some(close) = matching_paren(ctx, k + 1) else {
+            continue;
+        };
+        if is_op(ctx, close + 1, ".")
+            && matches!(ident_at(ctx, close + 2), Some("unwrap" | "expect"))
+        {
+            unwrap_sites.push(k);
+            let t = tok(ctx, k);
+            push(
+                out,
+                ctx,
+                t,
+                "nan-ord",
+                "`partial_cmp(..).unwrap()` panics on NaN".to_string(),
+                "use `f64::total_cmp` (NaN-total, never panics)",
+            );
+        }
+    }
+    let sort_fns = ["sort_by", "sort_unstable_by", "min_by", "max_by"];
+    for k in 0..ctx.sig.len() {
+        let Some(name) = ident_at(ctx, k) else {
+            continue;
+        };
+        if !sort_fns.contains(&name) || !is_op(ctx, k + 1, "(") {
+            continue;
+        }
+        let Some(close) = matching_paren(ctx, k + 1) else {
+            continue;
+        };
+        let span_has_partial = (k + 2..close).any(|j| ident_at(ctx, j) == Some("partial_cmp"));
+        let already = unwrap_sites.iter().any(|&s| k < s && s < close);
+        if span_has_partial && !already {
+            let t = tok(ctx, k);
+            push(
+                out,
+                ctx,
+                t,
+                "nan-ord",
+                format!("`{name}` comparator uses `partial_cmp` — NaN breaks total-order contract"),
+                "use `f64::total_cmp`; `unwrap_or(Equal)` silently scrambles \
+                 NaN ranks and violates the sort contract",
+            );
+        }
+    }
+}
+
+/// R4 `relaxed-atomic` — every `Ordering::Relaxed` must carry an adjacent
+/// `// relaxed-ok: <reason>` (same line, or in the comment block directly
+/// above).
+fn rule_relaxed_atomic(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    for k in 0..ctx.sig.len() {
+        if ident_at(ctx, k) != Some("Relaxed") || k == 0 || !is_op(ctx, k - 1, "::") {
+            continue;
+        }
+        let t = tok(ctx, k);
+        if relaxed_justified(ctx, t.line) {
+            continue;
+        }
+        push(
+            out,
+            ctx,
+            t,
+            "relaxed-atomic",
+            "`Ordering::Relaxed` without a `// relaxed-ok:` justification".to_string(),
+            "state why relaxed ordering is sound here (e.g. monotone stats \
+             counter, no cross-thread ordering dependency) in a \
+             `// relaxed-ok:` comment on this line or directly above",
+        );
+    }
+}
+
+fn relaxed_justified(ctx: &FileCtx, line: u32) -> bool {
+    let has = |text: &str| {
+        text.find("relaxed-ok:")
+            .map(|p| &text[p + "relaxed-ok:".len()..])
+            .is_some_and(|tail| tail.trim().trim_end_matches("*/").trim().len() >= 3)
+    };
+    if has(ctx.line_text(line)) {
+        return true;
+    }
+    let mut l = line.saturating_sub(1);
+    while l >= 1 {
+        let text = ctx.line_text(l);
+        let trimmed = text.trim_start();
+        if !trimmed.starts_with("//") {
+            return false;
+        }
+        if has(text) {
+            return true;
+        }
+        l -= 1;
+    }
+    false
+}
+
+/// R5 `nondet-iter` — `HashMap`/`HashSet` on a serialization surface.
+/// Iteration order feeds reports, checkpoints, and BENCH JSON, which must
+/// be byte-stable run to run; use `BTreeMap`/`BTreeSet` or sort first.
+fn rule_nondet_iter(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    let scoped = SERIAL_SURFACE_FILES.contains(&ctx.path.as_str())
+        || SERIAL_SURFACE_DIRS.iter().any(|d| ctx.path.starts_with(d));
+    if !scoped {
+        return;
+    }
+    for k in 0..ctx.sig.len() {
+        let Some(name @ ("HashMap" | "HashSet")) = ident_at(ctx, k) else {
+            continue;
+        };
+        let t = tok(ctx, k);
+        if ctx.in_test(t.line) {
+            continue;
+        }
+        push(
+            out,
+            ctx,
+            t,
+            "nondet-iter",
+            format!("`{name}` on a serialization surface — iteration order is nondeterministic"),
+            "use BTreeMap/BTreeSet, or collect-and-sort before emitting \
+             (then suppress with the sort site as the reason)",
+        );
+    }
+}
+
+/// R6 `no-sleep` — `thread::sleep` outside tests/benches/failpoints. Real
+/// backpressure belongs in the engine's wait primitives; a stray sleep on a
+/// hot path is a hidden throughput cliff.
+fn rule_no_sleep(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if ctx.is_test_file {
+        return;
+    }
+    for k in 2..ctx.sig.len() {
+        if ident_at(ctx, k) != Some("sleep")
+            || !is_op(ctx, k - 1, "::")
+            || ident_at(ctx, k - 2) != Some("thread")
+        {
+            continue;
+        }
+        let t = tok(ctx, k);
+        if ctx.in_test(t.line) || ctx.in_failpoint(t.line) {
+            continue;
+        }
+        push(
+            out,
+            ctx,
+            t,
+            "no-sleep",
+            "`thread::sleep` outside tests/benches/failpoints".to_string(),
+            "use a condvar/channel timeout, or suppress with the cadence \
+             rationale (e.g. watchdog poll interval)",
+        );
+    }
+}
+
+/// R7 `lossy-cast` — bare `as` casts between numeric types inside ECF /
+/// kernel arithmetic files. `u64 as f64` silently rounds above 2⁵³ and
+/// float→int truncates; use `From`/`f64::from` or explicit rounding with a
+/// justified suppression.
+fn rule_lossy_cast(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if !CAST_SCOPED_FILES.contains(&ctx.path.as_str()) {
+        return;
+    }
+    const NUMERIC: &[&str] = &[
+        "f32", "f64", "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64",
+        "i128", "isize",
+    ];
+    for k in 0..ctx.sig.len() {
+        if ident_at(ctx, k) != Some("as") {
+            continue;
+        }
+        let Some(target) = ident_at(ctx, k + 1) else {
+            continue;
+        };
+        if !NUMERIC.contains(&target) {
+            continue;
+        }
+        let t = tok(ctx, k);
+        if ctx.in_test(t.line) {
+            continue;
+        }
+        push(
+            out,
+            ctx,
+            t,
+            "lossy-cast",
+            format!("bare `as {target}` cast in ECF/kernel arithmetic"),
+            "use `From`/`f64::from` for widening, explicit `.round()`/ \
+             `try_from` for narrowing, or suppress with the value-range proof",
+        );
+    }
+}
+
+/// R8 `missing-docs` — public items of `umicro` (crates/core) and
+/// `ustream-engine` (crates/engine) must carry doc comments; `pub mod x;`
+/// is satisfied by a `//!` header inside `x.rs` (checked across files).
+fn rule_missing_docs(ctx: &FileCtx, all: &[FileCtx], out: &mut Vec<Finding>) {
+    let scoped =
+        ctx.crate_name().is_some_and(|c| DOC_CRATES.contains(&c)) && ctx.path.contains("/src/");
+    if !scoped {
+        return;
+    }
+    const ITEM_KWS: &[&str] = &[
+        "fn", "struct", "enum", "trait", "const", "static", "type", "mod", "union",
+    ];
+    const MODIFIERS: &[&str] = &["unsafe", "async", "extern"];
+    for k in 0..ctx.sig.len() {
+        if ident_at(ctx, k) != Some("pub") {
+            continue;
+        }
+        let t = tok(ctx, k);
+        if ctx.in_test(t.line) {
+            continue;
+        }
+        // Restricted visibility (`pub(crate)`, `pub(super)`) is not public
+        // API.
+        if is_op(ctx, k + 1, "(") {
+            continue;
+        }
+        // Scan past modifiers to the item keyword. `const` is both a
+        // modifier (`pub const fn`) and an item keyword (`pub const X`).
+        let mut j = k + 1;
+        while matches!(ident_at(ctx, j), Some(m) if MODIFIERS.contains(&m))
+            || (ident_at(ctx, j) == Some("const") && ident_at(ctx, j + 1) == Some("fn"))
+        {
+            j += 1;
+        }
+        let Some(kw) = ident_at(ctx, j) else {
+            continue;
+        };
+        if !ITEM_KWS.contains(&kw) {
+            continue; // `pub use`, `pub impl`(n/a), etc.
+        }
+        let name = ident_at(ctx, j + 1).unwrap_or("?");
+        if has_doc_above(ctx, ctx.sig[k]) {
+            continue;
+        }
+        // `pub mod x;` — documented when the module file opens with `//!`.
+        if kw == "mod" && is_op(ctx, j + 2, ";") && module_file_has_docs(ctx, all, name) {
+            continue;
+        }
+        push(
+            out,
+            ctx,
+            t,
+            "missing-docs",
+            format!("public {kw} `{name}` has no doc comment"),
+            "add a `///` doc comment — umicro/ustream-engine are the \
+             workspace's public API surface",
+        );
+    }
+}
+
+/// Walks backwards from full-token index `at` over attributes and plain
+/// comments; true when the nearest preceding prose token is a doc comment.
+fn has_doc_above(ctx: &FileCtx, at: usize) -> bool {
+    let mut i = at;
+    while i > 0 {
+        i -= 1;
+        let t = &ctx.tokens[i];
+        if t.is_doc_comment() {
+            return true;
+        }
+        if t.is_comment() {
+            continue;
+        }
+        if t.op() == Some("]") {
+            // Skip the attribute group backwards to its `#`.
+            let mut depth = 1i32;
+            while i > 0 && depth > 0 {
+                i -= 1;
+                match ctx.tokens[i].op() {
+                    Some("]") => depth += 1,
+                    Some("[") => depth -= 1,
+                    _ => {}
+                }
+            }
+            if i > 0 && ctx.tokens[i - 1].op() == Some("#") {
+                i -= 1;
+                continue;
+            }
+            return false;
+        }
+        return false;
+    }
+    false
+}
+
+/// Resolves `pub mod <name>;` against the other files of the run: the
+/// module file (sibling `<name>.rs` or `<name>/mod.rs`) must start with a
+/// `//!` inner doc comment.
+fn module_file_has_docs(ctx: &FileCtx, all: &[FileCtx], name: &str) -> bool {
+    let dir = match ctx.path.rfind('/') {
+        Some(p) => &ctx.path[..p],
+        None => "",
+    };
+    let candidates = [format!("{dir}/{name}.rs"), format!("{dir}/{name}/mod.rs")];
+    all.iter()
+        .filter(|f| candidates.iter().any(|c| &f.path == c))
+        .any(|f| f.tokens.first().is_some_and(|t| t.is_doc_comment()))
+}
+
+/// S0 `suppression` — `lint:allow` hygiene: every annotation must carry a
+/// reason and name known rule ids.
+fn rule_suppression_hygiene(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    for s in &ctx.suppressions {
+        if !s.has_reason {
+            out.push(Finding {
+                path: ctx.path.clone(),
+                line: s.line,
+                col: 1,
+                rule: "suppression",
+                message: "`lint:allow` without a reason string".to_string(),
+                hint: "write `// lint:allow(<rule>): <why this site is safe>` — \
+                       reason-less suppressions do not suppress",
+            });
+        }
+        for r in &s.rules {
+            if !RULE_IDS.contains(&r.as_str()) {
+                out.push(Finding {
+                    path: ctx.path.clone(),
+                    line: s.line,
+                    col: 1,
+                    rule: "suppression",
+                    message: format!("`lint:allow` names unknown rule `{r}`"),
+                    hint: "valid ids: hot-panic, float-eq, nan-ord, relaxed-atomic, \
+                           nondet-iter, no-sleep, lossy-cast, missing-docs",
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,10 @@
+// lossy-cast fixture: bare numeric casts in ECF arithmetic files.
+
+fn bad(n: u64) -> f64 {
+    n as f64
+}
+
+fn suppressed(dt: u64) -> f64 {
+    // lint:allow(lossy-cast): tick deltas are far below 2^53, exact in f64
+    dt as f64
+}

@@ -1,0 +1,22 @@
+// hot-panic fixture: panic sites in non-test code of a hot crate.
+
+fn unwrap_site(o: Option<u8>) -> u8 {
+    o.unwrap()
+}
+
+fn expect_site(r: Result<u8, ()>) -> u8 {
+    r.expect("boom")
+}
+
+fn panic_site() {
+    panic!("unreachable by construction");
+}
+
+fn index_site(v: &[u8]) -> u8 {
+    v[0]
+}
+
+fn suppressed_site(v: &[u8; 4]) -> u8 {
+    // lint:allow(hot-panic): fixed-size array, index statically in bounds
+    v[0]
+}

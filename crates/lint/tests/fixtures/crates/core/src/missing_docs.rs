@@ -1,0 +1,8 @@
+// missing-docs fixture: undocumented public API in a doc-scoped crate.
+
+pub fn undocumented() {}
+
+/// Documented: no finding.
+pub fn documented() {}
+
+pub(crate) fn restricted_visibility_is_exempt() {}

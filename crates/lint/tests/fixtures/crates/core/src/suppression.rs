@@ -1,0 +1,11 @@
+// suppression-hygiene fixture: malformed allows are findings themselves.
+
+fn reasonless(o: Option<u8>) {
+    // lint:allow(hot-panic)
+    o.unwrap();
+}
+
+fn unknown_rule() {
+    // lint:allow(no-such-rule): reason text is present but the id is not
+    let _ = 1;
+}

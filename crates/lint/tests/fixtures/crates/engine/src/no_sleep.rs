@@ -1,0 +1,10 @@
+// no-sleep fixture: blocking sleep outside tests/benches/failpoints.
+
+fn bad() {
+    std::thread::sleep(std::time::Duration::from_millis(5));
+}
+
+fn suppressed() {
+    // lint:allow(no-sleep): watchdog poll cadence, bounded by config
+    std::thread::sleep(std::time::Duration::from_millis(5));
+}

@@ -1,0 +1,16 @@
+// relaxed-atomic fixture: Relaxed ordering without justification.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bad(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+fn justified(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotone stats counter, readers tolerate lag
+}
+
+fn justified_above(c: &AtomicU64) -> u64 {
+    // relaxed-ok: snapshot read of a stats counter, staleness is fine
+    c.load(Ordering::Relaxed)
+}

@@ -1,0 +1,17 @@
+// nondet-iter fixture: hash iteration on a serialization surface.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+fn ordered(xs: &[(u64, f64)]) -> BTreeMap<u64, f64> {
+    xs.iter().copied().collect()
+}
+
+fn bad(xs: &[(u64, f64)]) -> HashMap<u64, f64> {
+    xs.iter().copied().collect()
+}
+
+// lint:allow(nondet-iter): keys are re-sorted before serialization
+fn suppressed_use(m: &HashMap<u64, f64>) -> usize {
+    m.len()
+}

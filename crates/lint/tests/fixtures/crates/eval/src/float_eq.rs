@@ -1,0 +1,14 @@
+// float-eq fixture: exact float comparisons.
+
+fn bad_eq(x: f64) -> bool {
+    x == 1.0
+}
+
+fn bad_ne(x: f64) -> bool {
+    0.5 != x
+}
+
+fn suppressed(x: f64) -> bool {
+    // lint:allow(float-eq): sentinel value assigned verbatim, never computed
+    x == -1.0
+}

@@ -1,0 +1,18 @@
+// nan-ord fixture: NaN-unsound float ordering.
+
+fn bad_sort(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+fn bad_min(v: &[f64]) -> Option<&f64> {
+    v.iter().min_by(|a, b| a.partial_cmp(b).expect("no NaN"))
+}
+
+fn good_sort(v: &mut [f64]) {
+    v.sort_unstable_by(f64::total_cmp);
+}
+
+fn suppressed(v: &mut [f64]) {
+    // lint:allow(nan-ord): inputs validated finite at construction
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

@@ -1,0 +1,141 @@
+//! Seeded-fixture tests: every rule must fire on its deliberately
+//! violating fixture at the expected location, and every well-formed
+//! suppression in the fixtures must hold.
+//!
+//! The fixture tree under `tests/fixtures/` mirrors workspace paths
+//! (`crates/<name>/src/<file>.rs`) so the path-based rule scoping applies
+//! to it exactly as it does to real sources. The workspace walker skips
+//! any directory named `fixtures`, so these files never pollute
+//! `cargo lint` on the repo itself.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use ustream_lint::{lint_workspace, Finding};
+
+fn fixtures_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn fixture_findings() -> Vec<Finding> {
+    // `lint_workspace` rooted *at* the fixture tree: the `fixtures`
+    // exclusion only applies to subdirectory names, never the root.
+    lint_workspace(&fixtures_root()).expect("fixture tree lints")
+}
+
+/// Asserts exactly the expected `(line, rule)` pairs fire in `file`.
+fn assert_file_findings(findings: &[Finding], file: &str, expected: &[(u32, &str)]) {
+    let got: Vec<(u32, &str)> = findings
+        .iter()
+        .filter(|f| f.path.ends_with(file))
+        .map(|f| (f.line, f.rule))
+        .collect();
+    assert_eq!(got, expected, "findings for {file}");
+}
+
+#[test]
+fn hot_panic_fixture_fires_and_suppression_holds() {
+    let f = fixture_findings();
+    assert_file_findings(
+        &f,
+        "crates/core/src/hot_panic.rs",
+        &[
+            (4, "hot-panic"),
+            (8, "hot-panic"),
+            (12, "hot-panic"),
+            (16, "hot-panic"),
+        ],
+    );
+}
+
+#[test]
+fn float_eq_fixture_fires_and_suppression_holds() {
+    let f = fixture_findings();
+    assert_file_findings(
+        &f,
+        "crates/eval/src/float_eq.rs",
+        &[(4, "float-eq"), (8, "float-eq")],
+    );
+}
+
+#[test]
+fn nan_ord_fixture_fires_and_suppression_holds() {
+    let f = fixture_findings();
+    assert_file_findings(
+        &f,
+        "crates/eval/src/nan_ord.rs",
+        &[(4, "nan-ord"), (8, "nan-ord")],
+    );
+}
+
+#[test]
+fn relaxed_atomic_fixture_fires_and_justifications_hold() {
+    let f = fixture_findings();
+    assert_file_findings(&f, "crates/engine/src/relaxed.rs", &[(6, "relaxed-atomic")]);
+}
+
+#[test]
+fn nondet_iter_fixture_fires_and_suppression_holds() {
+    let f = fixture_findings();
+    assert_file_findings(
+        &f,
+        "crates/engine/src/report.rs",
+        &[(4, "nondet-iter"), (10, "nondet-iter")],
+    );
+}
+
+#[test]
+fn no_sleep_fixture_fires_and_suppression_holds() {
+    let f = fixture_findings();
+    assert_file_findings(&f, "crates/engine/src/no_sleep.rs", &[(4, "no-sleep")]);
+}
+
+#[test]
+fn lossy_cast_fixture_fires_and_suppression_holds() {
+    let f = fixture_findings();
+    assert_file_findings(&f, "crates/core/src/ecf.rs", &[(4, "lossy-cast")]);
+}
+
+#[test]
+fn missing_docs_fixture_fires_on_undocumented_only() {
+    let f = fixture_findings();
+    assert_file_findings(
+        &f,
+        "crates/core/src/missing_docs.rs",
+        &[(3, "missing-docs")],
+    );
+}
+
+#[test]
+fn suppression_hygiene_fixture_reports_malformed_allows() {
+    let f = fixture_findings();
+    assert_file_findings(
+        &f,
+        "crates/core/src/suppression.rs",
+        &[(4, "suppression"), (5, "hot-panic"), (9, "suppression")],
+    );
+}
+
+#[test]
+fn every_rule_id_fires_somewhere_in_the_fixture_tree() {
+    let f = fixture_findings();
+    for rule in ustream_lint::rules::RULE_IDS {
+        assert!(
+            f.iter().any(|x| x.rule == *rule),
+            "rule {rule} has no firing fixture"
+        );
+    }
+}
+
+#[test]
+fn binary_exits_nonzero_on_fixtures_with_json_report() {
+    let out = Command::new(env!("CARGO_BIN_EXE_ustream-lint"))
+        .args(["--format", "json", "--root"])
+        .arg(fixtures_root())
+        .output()
+        .expect("ustream-lint runs");
+    assert_eq!(out.status.code(), Some(1), "fixtures must fail the lint");
+    let stdout = String::from_utf8(out.stdout).expect("json output is utf-8");
+    assert!(stdout.contains("\"findings\""), "json envelope: {stdout}");
+    assert!(stdout.contains("hot-panic"), "rule ids present: {stdout}");
+}

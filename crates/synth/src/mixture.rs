@@ -132,9 +132,9 @@ impl MixtureStream {
             .clusters
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.fraction.partial_cmp(&b.1.fraction).unwrap())
+            .max_by(|a, b| a.1.fraction.total_cmp(&b.1.fraction))
             .map(|(i, _)| i)
-            .unwrap();
+            .expect("cluster list asserted non-empty above");
         Self {
             specs: config.clusters,
             cumulative,

@@ -308,10 +308,7 @@ mod tests {
         let fr = class_fractions(s);
         assert_eq!(fr.len(), 7);
         // Class 1 (lodgepole pine) is the largest.
-        let max_class = fr
-            .iter()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap();
+        let max_class = fr.iter().max_by(|a, b| a.1.total_cmp(b.1)).unwrap();
         assert_eq!(*max_class.0, ClassLabel(1));
         assert!((fr[&ClassLabel(1)] - 0.488).abs() < 0.03);
     }

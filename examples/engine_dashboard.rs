@@ -36,6 +36,7 @@ fn main() {
             use rand::{Rng, SeedableRng};
             let mut rng = StdRng::seed_from_u64(100 + producer);
             for i in 0..total_per_producer {
+                // relaxed-ok: shared tick counter only needs uniqueness, not ordering
                 let t = clock.fetch_add(1, Ordering::Relaxed) + 1;
                 // Producers 0-2 are stable plants; producer 3 shifts regime
                 // halfway through.
@@ -53,7 +54,8 @@ fn main() {
                     .map(|(b, e)| {
                         let clean = b + rng.gen_range(-1.0..1.0);
                         let noise: f64 = rand_distr::Distribution::sample(
-                            &rand_distr::Normal::new(0.0, *e).unwrap(),
+                            &rand_distr::Normal::new(0.0, *e)
+                                .expect("finite mean and positive sigma"),
                             &mut rng,
                         );
                         clean + noise

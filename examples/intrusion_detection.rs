@@ -65,7 +65,11 @@ fn inject_zero_day(points: &mut Vec<UncertainPoint>, dims: usize) -> usize {
         .map(|i| {
             let values: Vec<f64> = (0..dims)
                 .map(|j| {
-                    scale + Normal::new(0.0, 5.0).unwrap().sample(&mut rng) * (j % 3 + 1) as f64
+                    scale
+                        + Normal::new(0.0, 5.0)
+                            .expect("finite mean and positive sigma")
+                            .sample(&mut rng)
+                            * (j % 3 + 1) as f64
                 })
                 .collect();
             UncertainPoint::new(

@@ -53,8 +53,12 @@ fn reading(
     let errs = grade.errors();
     let mut values = [0.0; 3];
     for j in 0..3 {
-        let clean = Normal::new(centre[j], spread[j]).unwrap().sample(rng);
-        let noise = Normal::new(0.0, errs[j]).unwrap().sample(rng);
+        let clean = Normal::new(centre[j], spread[j])
+            .expect("finite mean and positive sigma")
+            .sample(rng);
+        let noise = Normal::new(0.0, errs[j])
+            .expect("finite mean and positive sigma")
+            .sample(rng);
         values[j] = clean + noise;
     }
     UncertainPoint::new(values.to_vec(), errs.to_vec(), t, None)

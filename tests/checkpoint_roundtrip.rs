@@ -15,7 +15,7 @@ const DIMS: usize = 2;
 /// Unique checkpoint path per proptest case (cases run in one process).
 fn case_path() -> String {
     static COUNTER: AtomicU64 = AtomicU64::new(0);
-    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed); // relaxed-ok: test-harness counter; thread::join supplies the final synchronisation
     std::env::temp_dir()
         .join(format!("ustream-roundtrip-{}-{n}.ckpt", std::process::id()))
         .to_string_lossy()

@@ -8,7 +8,7 @@ use ustream_common::{AdditiveFeature, UncertainPoint};
 use ustream_synth::{NoisyStream, SynDriftConfig};
 
 fn config(n: usize, d: usize) -> UMicroConfig {
-    UMicroConfig::new(n, d).unwrap()
+    UMicroConfig::new(n, d).expect("valid config")
 }
 
 /// Weighted mean distance of micro-centroids to the nearest truth centre.

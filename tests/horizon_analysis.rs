@@ -10,7 +10,7 @@ use ustream_snapshot::{ClusterSetSnapshot, PyramidConfig, SnapshotStore};
 use ustream_synth::{NoisyStream, SynDriftConfig};
 
 fn drive(len: u64, switch: u64, pyramid: PyramidConfig) -> (UMicro, HorizonAnalyzer) {
-    let mut alg = UMicro::new(UMicroConfig::new(12, 2).unwrap());
+    let mut alg = UMicro::new(UMicroConfig::new(12, 2).expect("valid config"));
     let mut hz = HorizonAnalyzer::new(pyramid);
     for t in 1..=len {
         let x = if t <= switch { 0.0 } else { 50.0 };

@@ -1,0 +1,19 @@
+//! Self-check: the repository must be clean under its own static-analysis
+//! pass. Any new violation of the `ustream-lint` rules (panic in a hot
+//! path, NaN-unsound float ordering, unjustified relaxed atomic, ...)
+//! fails this test with the full diagnostic report, exactly as `cargo
+//! lint` would print it.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let findings = ustream_lint::lint_workspace(root).expect("workspace walk succeeds");
+    assert!(
+        findings.is_empty(),
+        "ustream-lint found {} violation(s):\n{}",
+        findings.len(),
+        ustream_lint::render_report(&findings)
+    );
+}

@@ -21,7 +21,7 @@ fn noisy_syndrift(eta: f64, seed: u64) -> Vec<UncertainPoint> {
 }
 
 fn run_umicro(points: &[UncertainPoint], dims: usize) -> ClusterPurity {
-    let mut alg = UMicro::new(UMicroConfig::new(N_MICRO, dims).unwrap());
+    let mut alg = UMicro::new(UMicroConfig::new(N_MICRO, dims).expect("valid config"));
     let mut purity = ClusterPurity::new();
     for p in points {
         let out = alg.insert(p);
@@ -33,7 +33,7 @@ fn run_umicro(points: &[UncertainPoint], dims: usize) -> ClusterPurity {
 }
 
 fn run_clustream(points: &[UncertainPoint], dims: usize) -> ClusterPurity {
-    let mut alg = CluStream::new(CluStreamConfig::new(N_MICRO, dims).unwrap());
+    let mut alg = CluStream::new(CluStreamConfig::new(N_MICRO, dims).expect("valid config"));
     let mut purity = ClusterPurity::new();
     for p in points {
         let out = alg.insert(p);

@@ -9,7 +9,7 @@ use rand::SeedableRng;
 use std::hint::black_box;
 use umicro::UMicroConfig;
 use ustream_common::UncertainPoint;
-use ustream_engine::{EngineConfig, StreamEngine};
+use ustream_engine::{EngineBuilder, EngineConfig};
 use ustream_synth::{NoisyStream, SynDriftConfig};
 
 const DIMS: usize = 20;
@@ -36,7 +36,9 @@ fn bench_shard_scaling(c: &mut Criterion) {
                 .with_shards(shards)
                 .with_snapshot_every(2_048)
                 .with_novelty_factor(None);
-                let engine = StreamEngine::start(config).expect("engine starts");
+                let engine = EngineBuilder::from_config(config)
+                    .build()
+                    .expect("engine starts");
                 for part in pts.chunks(2_048) {
                     engine.push_slice(part).expect("engine accepts records");
                 }

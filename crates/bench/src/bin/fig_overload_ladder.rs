@@ -28,7 +28,7 @@ use std::time::Instant;
 use umicro::UMicroConfig;
 use ustream_bench::Args;
 use ustream_common::UncertainPoint;
-use ustream_engine::{EngineConfig, LoadStage, StreamEngine, WatchdogConfig};
+use ustream_engine::{EngineBuilder, EngineConfig, LoadStage, WatchdogConfig};
 use ustream_synth::{NoisyStream, SynDriftConfig};
 
 const DIMS: usize = 20;
@@ -68,7 +68,9 @@ fn run_once(
     stage: Option<LoadStage>,
     batch: usize,
 ) -> (f64, ustream_engine::EngineReport) {
-    let engine = StreamEngine::start(config).expect("engine starts");
+    let engine = EngineBuilder::from_config(config)
+        .build()
+        .expect("engine starts");
     if let Some(stage) = stage {
         engine.force_load_stage(stage);
     }

@@ -1,0 +1,328 @@
+//! Multi-tenant serving throughput and query latency.
+//!
+//! Boots the serving front-end in-process on an ephemeral port, creates
+//! `--tenants` tenants (1 000 by default — the acceptance floor for the
+//! serving PR), and drives them over `--conns` real TCP connections for
+//! `--duration` seconds. Every round interleaves an ingest batch with a
+//! live query (alternating per-tenant stats and horizon-cluster reads), so
+//! the reported p99 covers the query path under concurrent ingest, not an
+//! idle server.
+//!
+//! Latency percentiles are exact — every request is timed and the sorted
+//! vector is indexed, no histogram sketching — and go to
+//! `results/BENCH_serve.json` together with aggregate points/second.
+//!
+//! ```text
+//! cargo run -p ustream-bench --release --bin fig_serve_bench -- \
+//!     --tenants 1000 --conns 8 --duration 10
+//! ```
+//!
+//! `--smoke 1` shrinks the run for CI. `--strict 1` turns the acceptance
+//! checks (all tenants created and serving, non-zero sustained ingest)
+//! into a hard exit code.
+
+use serde::Serialize;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+use ustream_bench::Args;
+use ustream_serve::protocol::{ErrorCode, Request, Response, TenantSpec, WirePoint};
+use ustream_serve::tenant::AdmissionPolicy;
+use ustream_serve::{ServeClient, ServeConfig, Server};
+
+/// splitmix64: deterministic workload synthesis, same recipe as the CLI
+/// load driver.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn batch_for(tenant: usize, tick0: u64, len: usize, dims: usize, seed: u64) -> Vec<WirePoint> {
+    (0..len as u64)
+        .map(|i| {
+            let t = tick0 + i;
+            let values = (0..dims)
+                .map(|d| {
+                    let h = splitmix64(seed ^ ((tenant as u64) << 32) ^ (t << 8) ^ d as u64);
+                    let base = if h & 1 == 0 { 0.0 } else { 8.0 };
+                    base + (h >> 8) as f64 / u64::MAX as f64
+                })
+                .collect();
+            WirePoint {
+                values,
+                errors: vec![0.2; dims],
+                timestamp: t,
+            }
+        })
+        .collect()
+}
+
+#[derive(Default)]
+struct Tally {
+    points: u64,
+    accepted: u64,
+    overloaded: u64,
+    horizon_unavailable: u64,
+    ingest_us: Vec<u64>,
+    query_us: Vec<u64>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn drive(
+    addr: std::net::SocketAddr,
+    tenant_ids: Vec<usize>,
+    spec: TenantSpec,
+    batch: usize,
+    duration: Duration,
+    dims: usize,
+    seed: u64,
+    horizon: u64,
+) -> Result<Tally, String> {
+    let mut client = ServeClient::connect(addr).map_err(|e| e.to_string())?;
+    for &id in &tenant_ids {
+        match client
+            .request(&Request::CreateTenant {
+                name: format!("bench-{id}"),
+                spec: spec.clone(),
+            })
+            .map_err(|e| e.to_string())?
+        {
+            Response::Created => {}
+            other => return Err(format!("create bench-{id}: unexpected {other:?}")),
+        }
+    }
+    let mut tally = Tally::default();
+    let started = Instant::now();
+    let mut round = 0u64;
+    while started.elapsed() < duration {
+        for &id in &tenant_ids {
+            let points = batch_for(id, round * batch as u64 + 1, batch, dims, seed);
+            tally.points += points.len() as u64;
+            let t0 = Instant::now();
+            let resp = client
+                .request(&Request::Ingest {
+                    name: format!("bench-{id}"),
+                    points,
+                })
+                .map_err(|e| e.to_string())?;
+            tally.ingest_us.push(t0.elapsed().as_micros() as u64);
+            match resp {
+                Response::Ingested { accepted, .. } => tally.accepted += accepted,
+                Response::Error {
+                    code: ErrorCode::Overloaded,
+                    ..
+                } => tally.overloaded += 1,
+                other => return Err(format!("ingest bench-{id}: unexpected {other:?}")),
+            }
+
+            // Alternate the two live read paths so the p99 covers both.
+            let query = if (round + id as u64).is_multiple_of(2) {
+                Request::TenantStats {
+                    name: format!("bench-{id}"),
+                }
+            } else {
+                Request::HorizonClusters {
+                    name: format!("bench-{id}"),
+                    horizon,
+                }
+            };
+            let t0 = Instant::now();
+            let resp = client.request(&query).map_err(|e| e.to_string())?;
+            tally.query_us.push(t0.elapsed().as_micros() as u64);
+            match resp {
+                Response::TenantStats { .. } | Response::Clusters { .. } => {}
+                Response::Error {
+                    code: ErrorCode::HorizonUnavailable,
+                    ..
+                } => tally.horizon_unavailable += 1,
+                Response::Error {
+                    code: ErrorCode::Overloaded,
+                    ..
+                } => tally.overloaded += 1,
+                other => return Err(format!("query bench-{id}: unexpected {other:?}")),
+            }
+        }
+        round += 1;
+    }
+    Ok(tally)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: String,
+    tenants: usize,
+    conns: usize,
+    workers: usize,
+    duration_s: f64,
+    batch: usize,
+    dims: usize,
+    points_total: u64,
+    points_accepted: u64,
+    points_per_s: f64,
+    ingest_requests: usize,
+    ingest_p50_us: u64,
+    ingest_p99_us: u64,
+    query_requests: usize,
+    query_p50_us: u64,
+    query_p99_us: u64,
+    overloaded: u64,
+    horizon_unavailable: u64,
+    server_frames: u64,
+    server_jobs_rejected: u64,
+    drained_clean: bool,
+}
+
+fn main() {
+    let args = Args::parse();
+    let smoke: bool = args.get("smoke", 0u8) != 0;
+    let tenants: usize = args.get("tenants", if smoke { 64 } else { 1_000 });
+    let conns: usize = args.get("conns", 8).clamp(1, tenants.max(1));
+    let batch: usize = args.get("batch", 50);
+    let duration_s: u64 = args.get("duration", if smoke { 2 } else { 10 });
+    let dims: usize = args.get("dims", 2);
+    let n_micro: usize = args.get("n-micro", 8);
+    let workers: usize = args.get("workers", 4);
+    let seed: u64 = args.get("seed", 42);
+    let horizon: u64 = args.get("horizon", 512);
+    let strict: bool = args.get("strict", 0u8) != 0;
+
+    eprintln!(
+        "serve bench: {tenants} tenants over {conns} conns, {workers} workers, \
+         batch {batch}, {duration_s}s"
+    );
+
+    let config = ServeConfig {
+        workers,
+        queue_capacity: args.get("queue", 1_024),
+        buckets: 64,
+        admission: AdmissionPolicy::default(),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).expect("server binds an ephemeral port");
+    let addr = server.addr();
+
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..conns {
+        let ids: Vec<usize> = (c..tenants).step_by(conns).collect();
+        let spec = TenantSpec {
+            snapshot_every: 256,
+            ..TenantSpec::new(n_micro, dims)
+        };
+        handles.push(std::thread::spawn(move || {
+            drive(
+                addr,
+                ids,
+                spec,
+                batch,
+                Duration::from_secs(duration_s),
+                dims,
+                seed,
+                horizon,
+            )
+        }));
+    }
+
+    let mut total = Tally::default();
+    let mut failed = Vec::new();
+    for (c, h) in handles.into_iter().enumerate() {
+        match h.join() {
+            Ok(Ok(t)) => {
+                total.points += t.points;
+                total.accepted += t.accepted;
+                total.overloaded += t.overloaded;
+                total.horizon_unavailable += t.horizon_unavailable;
+                total.ingest_us.extend(t.ingest_us);
+                total.query_us.extend(t.query_us);
+            }
+            Ok(Err(e)) => failed.push(format!("conn {c}: {e}")),
+            Err(_) => failed.push(format!("conn {c}: panicked")),
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    let live_tenants = server.stats().tenants;
+    let server_stats = server.stats();
+    let drained = server.shutdown_drain(Duration::from_secs(60)).is_ok();
+
+    total.ingest_us.sort_unstable();
+    total.query_us.sort_unstable();
+    let pps = total.points as f64 / elapsed;
+    let report = Report {
+        bench: "serve".to_string(),
+        tenants,
+        conns,
+        workers,
+        duration_s: elapsed,
+        batch,
+        dims,
+        points_total: total.points,
+        points_accepted: total.accepted,
+        points_per_s: pps,
+        ingest_requests: total.ingest_us.len(),
+        ingest_p50_us: percentile(&total.ingest_us, 0.50),
+        ingest_p99_us: percentile(&total.ingest_us, 0.99),
+        query_requests: total.query_us.len(),
+        query_p50_us: percentile(&total.query_us, 0.50),
+        query_p99_us: percentile(&total.query_us, 0.99),
+        overloaded: total.overloaded,
+        horizon_unavailable: total.horizon_unavailable,
+        server_frames: server_stats.frames,
+        server_jobs_rejected: server_stats.jobs_rejected,
+        drained_clean: drained,
+    };
+
+    eprintln!(
+        "  {:.0} points/s aggregate ({} offered, {} accepted, {} overloaded)",
+        pps, total.points, total.accepted, total.overloaded
+    );
+    eprintln!(
+        "  ingest p50 {}us p99 {}us over {} requests",
+        report.ingest_p50_us, report.ingest_p99_us, report.ingest_requests
+    );
+    eprintln!(
+        "  query  p50 {}us p99 {}us over {} requests",
+        report.query_p50_us, report.query_p99_us, report.query_requests
+    );
+    eprintln!("  live tenants at end of run: {live_tenants}, drained clean: {drained}");
+
+    let out = PathBuf::from("results/BENCH_serve.json");
+    if let Some(parent) = out.parent() {
+        std::fs::create_dir_all(parent).expect("create results dir");
+    }
+    std::fs::write(
+        &out,
+        serde_json::to_string(&report).expect("serialize report"),
+    )
+    .expect("write BENCH_serve.json");
+    eprintln!("wrote {}", out.display());
+
+    let mut problems = failed;
+    if live_tenants != tenants as u64 {
+        problems.push(format!(
+            "expected {tenants} live tenants, server reports {live_tenants}"
+        ));
+    }
+    if total.accepted == 0 {
+        problems.push("no points accepted".to_string());
+    }
+    if !drained {
+        problems.push("server did not drain cleanly".to_string());
+    }
+    if !problems.is_empty() {
+        for p in &problems {
+            eprintln!("FAIL: {p}");
+        }
+        if strict {
+            std::process::exit(1);
+        }
+    }
+}

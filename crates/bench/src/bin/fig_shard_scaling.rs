@@ -22,7 +22,7 @@ use umicro::UMicroConfig;
 use ustream_bench::csv::{print_table, write_csv};
 use ustream_bench::Args;
 use ustream_common::UncertainPoint;
-use ustream_engine::{EngineConfig, StreamEngine};
+use ustream_engine::{EngineBuilder, EngineConfig};
 use ustream_synth::{NoisyStream, SynDriftConfig};
 
 const DIMS: usize = 20;
@@ -61,7 +61,9 @@ fn main() {
                 .with_shards(shards)
                 .with_snapshot_every(snapshot_every)
                 .with_novelty_factor(novelty.then_some(8.0));
-        let engine = StreamEngine::start(config).expect("engine starts");
+        let engine = EngineBuilder::from_config(config)
+            .build()
+            .expect("engine starts");
 
         let started = Instant::now();
         for part in points.chunks(batch) {

@@ -22,7 +22,7 @@ use umicro::UMicroConfig;
 use ustream_bench::csv::{print_table, write_csv};
 use ustream_bench::Args;
 use ustream_common::UncertainPoint;
-use ustream_engine::{EngineConfig, StreamEngine, ValidationPolicy};
+use ustream_engine::{EngineBuilder, EngineConfig, ValidationPolicy};
 use ustream_synth::{NoisyStream, SynDriftConfig};
 
 const DIMS: usize = 20;
@@ -38,7 +38,9 @@ fn run_once(
         .with_snapshot_every(snapshot_every)
         .with_novelty_factor(None)
         .with_validation(validation);
-    let engine = StreamEngine::start(config).expect("engine starts");
+    let engine = EngineBuilder::from_config(config)
+        .build()
+        .expect("engine starts");
     let started = Instant::now();
     for part in points.chunks(batch) {
         engine.push_slice(part).expect("engine accepts records");

@@ -7,7 +7,7 @@ use clustream::{
     CluStream, CluStreamConfig, DenStream, DenStreamConfig, StreamKMeans, StreamKMeansConfig,
 };
 use std::time::Instant;
-use umicro::{UMicro, UMicroConfig};
+use umicro::{ClusterQuery, UMicro, UMicroConfig};
 use ustream_common::{AdditiveFeature, DataStream, UncertainPoint};
 use ustream_eval::{
     adjusted_rand_index, normalized_mutual_information, simplified_silhouette, ClusterPurity,
@@ -65,9 +65,12 @@ pub fn run(flags: &Flags) -> Result<(), CliError> {
                     purity.observe(out.cluster_id, l);
                 }
             }
-            let mac = alg.macro_cluster(k, seed);
+            // The offline phase goes through the unified read API — the
+            // same `ClusterQuery` surface the server and eval suite use.
+            let mac = ClusterQuery::macro_cluster(&mut alg, k, seed);
             print_macro(&mac.centroids, &mac.weights);
             print_macro_quality(&purity, &mac);
+            print_model_vitals(&ClusterQuery::stats(&alg));
             (cluster_summaries_umicro(&alg), purity)
         }
         "clustream" => {
@@ -79,9 +82,10 @@ pub fn run(flags: &Flags) -> Result<(), CliError> {
                     purity.observe(out.cluster_id, l);
                 }
             }
-            let mac = alg.macro_cluster(k, seed);
+            let mac = ClusterQuery::macro_cluster(&mut alg, k, seed);
             print_macro(&mac.centroids, &mac.weights);
             print_macro_quality(&purity, &mac);
+            print_model_vitals(&ClusterQuery::stats(&alg));
             let summaries = alg
                 .micro_clusters()
                 .iter()
@@ -169,6 +173,15 @@ pub fn run(flags: &Flags) -> Result<(), CliError> {
         println!("silhouette (micro-level): {s:.4}");
     }
     Ok(())
+}
+
+fn print_model_vitals(stats: &umicro::QueryStats) {
+    println!(
+        "model: {} points, {} micro-clusters, ~{} KiB resident",
+        stats.points_processed,
+        stats.num_clusters,
+        stats.approx_memory_bytes / 1024
+    );
 }
 
 fn cluster_summaries_umicro(alg: &UMicro) -> Vec<ClusterSummary> {

@@ -1,0 +1,238 @@
+//! `ustream drive` — multi-tenant load driver for a running `ustream
+//! serve` instance.
+//!
+//! Opens `--conns` connections, partitions `--tenants` simulated tenants
+//! across them round-robin, and streams deterministic batches at the
+//! server, interleaving a stats query per tenant per round so both the
+//! ingest and query paths are exercised. Prints aggregate points/second
+//! and exact (sorted, not estimated) p50/p99 per-request latencies, and
+//! exits non-zero if any connection hits a transport error — which is
+//! what the CI smoke job asserts on.
+
+use crate::args::{CliError, Flags};
+use std::time::{Duration, Instant};
+use ustream_serve::protocol::{ErrorCode, Request, Response, TenantSpec, WirePoint};
+use ustream_serve::ServeClient;
+
+/// splitmix64 — deterministic workload synthesis without an RNG dep here.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One worker's tally, merged by the main thread.
+#[derive(Default)]
+struct DriveTally {
+    points_offered: u64,
+    accepted: u64,
+    dropped: u64,
+    overloaded: u64,
+    ingest_us: Vec<u64>,
+    query_us: Vec<u64>,
+}
+
+fn batch_for(tenant: usize, tick0: u64, len: usize, dims: usize, seed: u64) -> Vec<WirePoint> {
+    (0..len as u64)
+        .map(|i| {
+            let t = tick0 + i;
+            let values = (0..dims)
+                .map(|d| {
+                    let h = splitmix64(seed ^ (tenant as u64) << 32 ^ t << 8 ^ d as u64);
+                    // Two well-separated modes per tenant so clustering has
+                    // structure to find.
+                    let base = if h & 1 == 0 { 0.0 } else { 8.0 };
+                    base + (h >> 8) as f64 / u64::MAX as f64
+                })
+                .collect();
+            WirePoint {
+                values,
+                errors: vec![0.2; dims],
+                timestamp: t,
+            }
+        })
+        .collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn drive_conn(
+    addr: &str,
+    names: &[(usize, String)],
+    spec: &TenantSpec,
+    batch: usize,
+    rounds: u64,
+    duration: Option<Duration>,
+    dims: usize,
+    seed: u64,
+) -> Result<DriveTally, CliError> {
+    let mut client = ServeClient::connect(addr)?;
+    let mut tally = DriveTally::default();
+    for (_, name) in names {
+        match client.request(&Request::CreateTenant {
+            name: name.clone(),
+            spec: spec.clone(),
+        })? {
+            Response::Created => {}
+            // A rerun against a live server finds its tenants already there.
+            Response::Error {
+                code: ErrorCode::TenantExists,
+                ..
+            } => {}
+            Response::Error { code, message } => {
+                return Err(format!("create {name}: [{code}] {message}").into())
+            }
+            other => return Err(format!("create {name}: unexpected {other:?}").into()),
+        }
+    }
+    let started = Instant::now();
+    let mut round = 0u64;
+    'outer: loop {
+        match duration {
+            Some(d) => {
+                if started.elapsed() >= d {
+                    break 'outer;
+                }
+            }
+            None => {
+                if round >= rounds {
+                    break 'outer;
+                }
+            }
+        }
+        for (idx, name) in names {
+            let points = batch_for(*idx, round * batch as u64 + 1, batch, dims, seed);
+            tally.points_offered += points.len() as u64;
+            let t0 = Instant::now();
+            let resp = client.request(&Request::Ingest {
+                name: name.clone(),
+                points,
+            })?;
+            tally.ingest_us.push(t0.elapsed().as_micros() as u64);
+            match resp {
+                Response::Ingested {
+                    accepted,
+                    sampled_out,
+                    shed,
+                    rejected,
+                    ..
+                } => {
+                    tally.accepted += accepted;
+                    tally.dropped += sampled_out + shed + rejected;
+                }
+                Response::Error {
+                    code: ErrorCode::Overloaded,
+                    ..
+                } => tally.overloaded += 1,
+                Response::Error { code, message } => {
+                    return Err(format!("ingest {name}: [{code}] {message}").into())
+                }
+                other => return Err(format!("ingest {name}: unexpected {other:?}").into()),
+            }
+            let t0 = Instant::now();
+            let resp = client.request(&Request::TenantStats { name: name.clone() })?;
+            tally.query_us.push(t0.elapsed().as_micros() as u64);
+            match resp {
+                Response::TenantStats { .. } => {}
+                Response::Error {
+                    code: ErrorCode::Overloaded,
+                    ..
+                } => tally.overloaded += 1,
+                Response::Error { code, message } => {
+                    return Err(format!("stats {name}: [{code}] {message}").into())
+                }
+                other => return Err(format!("stats {name}: unexpected {other:?}").into()),
+            }
+        }
+        round += 1;
+    }
+    Ok(tally)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+pub fn run(flags: &Flags) -> Result<(), CliError> {
+    let addr = flags.require("addr")?.to_string();
+    let tenants = flags.get("tenants", 100usize)?.max(1);
+    let conns = flags.get("conns", 4usize)?.max(1).min(tenants);
+    let batch = flags.get("batch", 100usize)?.max(1);
+    let rounds = flags.get("batches", 10u64)?;
+    let duration = flags.get_opt::<u64>("duration")?.map(Duration::from_secs);
+    let dims = flags.get("dims", 2usize)?.max(1);
+    let n_micro = flags.get("n-micro", 16usize)?.max(1);
+    let seed = flags.get("seed", 42u64)?;
+    let spec = TenantSpec {
+        snapshot_every: flags.get("snapshot-every", 256u64)?,
+        ..TenantSpec::new(n_micro, dims)
+    };
+
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..conns {
+        let names: Vec<(usize, String)> = (c..tenants)
+            .step_by(conns)
+            .map(|i| (i, format!("drive-{i}")))
+            .collect();
+        let addr = addr.clone();
+        let spec = spec.clone();
+        handles.push(std::thread::spawn(move || {
+            drive_conn(&addr, &names, &spec, batch, rounds, duration, dims, seed)
+                .map_err(|e| e.to_string())
+        }));
+    }
+
+    let mut total = DriveTally::default();
+    let mut failures = Vec::new();
+    for (c, handle) in handles.into_iter().enumerate() {
+        match handle.join() {
+            Ok(Ok(t)) => {
+                total.points_offered += t.points_offered;
+                total.accepted += t.accepted;
+                total.dropped += t.dropped;
+                total.overloaded += t.overloaded;
+                total.ingest_us.extend(t.ingest_us);
+                total.query_us.extend(t.query_us);
+            }
+            Ok(Err(e)) => failures.push(format!("conn {c}: {e}")),
+            Err(_) => failures.push(format!("conn {c}: worker panicked")),
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+
+    total.ingest_us.sort_unstable();
+    total.query_us.sort_unstable();
+    let pps = if elapsed > 0.0 {
+        total.points_offered as f64 / elapsed
+    } else {
+        0.0
+    };
+    println!(
+        "drive: {} tenants over {} conns, {} points in {:.1}s ({:.0} points/s)",
+        tenants, conns, total.points_offered, elapsed, pps
+    );
+    println!(
+        "  ingest: accepted {} dropped {} overloaded {}; latency p50 {}us p99 {}us",
+        total.accepted,
+        total.dropped,
+        total.overloaded,
+        percentile(&total.ingest_us, 0.50),
+        percentile(&total.ingest_us, 0.99),
+    );
+    println!(
+        "  query:  {} requests; latency p50 {}us p99 {}us",
+        total.query_us.len(),
+        percentile(&total.query_us, 0.50),
+        percentile(&total.query_us, 0.99),
+    );
+
+    if !failures.is_empty() {
+        return Err(failures.join("; ").into());
+    }
+    Ok(())
+}

@@ -2,10 +2,12 @@
 
 pub mod classify;
 pub mod cluster;
+pub mod drive;
 pub mod evolve;
 pub mod generate;
 pub mod horizon;
 pub mod inspect;
+pub mod serve;
 pub mod stream;
 
 use crate::args::CliError;

@@ -1,0 +1,70 @@
+//! `ustream serve` — boot the multi-tenant serving front-end.
+//!
+//! Binds a TCP listener (port 0 for an ephemeral port), prints the bound
+//! address on stdout — scripts and the CI smoke job parse that line — and
+//! then supervises the server until either `--duration` elapses or a
+//! client sends a wire `shutdown` request. Exit is always a graceful
+//! drain: stop accepting, finish queued work, flush a final snapshot per
+//! tenant, write the final `USRVMAP` checkpoint when `--checkpoint` is
+//! set. A drain that outlives `--drain-timeout` exits non-zero with the
+//! typed deadline error.
+
+use crate::args::{CliError, Flags};
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+use ustream_serve::tenant::AdmissionPolicy;
+use ustream_serve::{ServeConfig, Server};
+
+pub fn run(flags: &Flags) -> Result<(), CliError> {
+    let addr = flags.get_str("addr", "127.0.0.1:7171");
+    let mut config = ServeConfig {
+        workers: flags.get("workers", 4usize)?,
+        queue_capacity: flags.get("queue", 256usize)?,
+        buckets: flags.get("buckets", 16usize)?,
+        governor_poll_ms: flags.get("governor-ms", 100u64)?,
+        checkpoint_path: flags.get_opt::<PathBuf>("checkpoint")?,
+        restore_path: flags.get_opt::<PathBuf>("restore")?,
+        ..ServeConfig::default()
+    };
+    config.admission = AdmissionPolicy {
+        quota_points_per_sec: flags.get("quota", 1_000_000u64)?,
+        ..AdmissionPolicy::default()
+    };
+    let duration = flags.get_opt::<u64>("duration")?.map(Duration::from_secs);
+    let drain_timeout = Duration::from_millis(flags.get("drain-timeout", 10_000u64)?);
+
+    let server = Server::bind(addr.as_str(), config)?;
+    println!("listening on {}", server.addr());
+    println!(
+        "workers={} queue={} buckets={} quota={}pps",
+        server.stats().workers,
+        server.stats().queue_capacity,
+        flags.get("buckets", 16usize)?,
+        flags.get("quota", 1_000_000u64)?,
+    );
+    std::io::stdout().flush().ok();
+
+    let started = Instant::now();
+    loop {
+        if server.shutdown_requested() {
+            eprintln!("shutdown requested over the wire; draining");
+            break;
+        }
+        if let Some(d) = duration {
+            if started.elapsed() >= d {
+                eprintln!("--duration elapsed; draining");
+                break;
+            }
+        }
+        // lint:allow(no-sleep): host supervision loop only polls exit conditions
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    let stats = server.shutdown_drain(drain_timeout)?;
+    println!(
+        "drained clean: {} tenants, {} frames, {} points, {} jobs rejected",
+        stats.tenants, stats.frames, stats.points, stats.jobs_rejected
+    );
+    Ok(())
+}

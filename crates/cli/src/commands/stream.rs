@@ -9,8 +9,8 @@ use std::time::Duration;
 use umicro::UMicroConfig;
 use ustream_common::DataStream;
 use ustream_engine::{
-    EngineConfig, LoadPolicy, LoadStage, SnapshotBudget, StreamEngine, ValidationPolicy,
-    WatchdogConfig,
+    ClusterQuery, EngineBuilder, EngineConfig, LoadPolicy, LoadStage, SnapshotBudget, StreamEngine,
+    ValidationPolicy, WatchdogConfig,
 };
 use ustream_snapshot::PyramidConfig;
 
@@ -82,7 +82,7 @@ pub fn run(flags: &Flags) -> Result<(), CliError> {
     let dims = stream.dims();
     let points: Vec<_> = stream.collect();
 
-    let engine = match resume {
+    let mut engine = match resume {
         Some(ref path) => {
             // The checkpoint carries the full engine configuration; the
             // clustering flags are ignored on resume.
@@ -134,7 +134,9 @@ pub fn run(flags: &Flags) -> Result<(), CliError> {
                     max_bytes: budget_bytes,
                 });
             }
-            StreamEngine::start(config).map_err(|e| format!("cannot start engine: {e}"))?
+            EngineBuilder::from_config(config)
+                .build()
+                .map_err(|e| format!("cannot start engine: {e}"))?
         }
     };
     for part in points.chunks(batch) {
@@ -150,7 +152,9 @@ pub fn run(flags: &Flags) -> Result<(), CliError> {
         println!("checkpoint written to {path}");
     }
 
-    let mac = engine.macro_clusters(k, seed);
+    // All read-side queries below go through the unified `ClusterQuery`
+    // surface — the same API the serving front-end answers over the wire.
+    let mac = ClusterQuery::macro_cluster(&mut engine, k, seed);
     println!("macro-clusters (k = {k}):");
     for (i, (c, w)) in mac.centroids.iter().zip(&mac.weights).enumerate() {
         let head: Vec<String> = c.iter().take(5).map(|v| format!("{v:.3}")).collect();
@@ -162,7 +166,7 @@ pub fn run(flags: &Flags) -> Result<(), CliError> {
     }
 
     if let Some(h) = horizon {
-        match engine.horizon_clusters(h) {
+        match ClusterQuery::horizon_clusters(&mut engine, h) {
             Ok(window) => println!(
                 "\nwindow (last {h} ticks): {} micro-clusters, {:.0} points",
                 window.len(),

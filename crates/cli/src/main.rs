@@ -69,6 +69,27 @@ commands:
              --snapshot-budget <usize>  cap retained snapshots (default: off)
              --snapshot-budget-bytes <u64>  cap retained snapshot bytes (default: off)
              --drain-timeout <u64> graceful drain deadline in ms before shutdown
+  serve      boot the multi-tenant serving front-end (USRV protocol)
+             --addr <host:port>    bind address; port 0 = ephemeral (default 127.0.0.1:7171)
+             --workers <usize>     request worker threads    (default 4)
+             --queue <usize>       request queue bound       (default 256)
+             --buckets <usize>     tenant-map lock shards    (default 16)
+             --quota <u64>         per-tenant points/sec quota (default 1000000)
+             --governor-ms <u64>   admission governor poll interval (default 100)
+             --checkpoint <path>   USRVMAP tenant-map checkpoint target
+             --restore <path>      restore the tenant map at boot
+             --duration <u64>      serve for n seconds, then drain (default: until shutdown)
+             --drain-timeout <u64> graceful drain deadline in ms (default 10000)
+  drive      multi-tenant load driver against a running serve instance
+             --addr <host:port>    server address            (required)
+             --tenants <usize>     simulated tenants         (default 100)
+             --conns <usize>       client connections        (default 4)
+             --batch <usize>       points per ingest batch   (default 100)
+             --batches <u64>       rounds per tenant         (default 10)
+             --duration <u64>      drive for n seconds instead of a round count
+             --dims <usize>        point dimensionality      (default 2)
+             --n-micro <usize>     per-tenant micro-cluster budget (default 16)
+             --seed <u64>          workload seed             (default 42)
   inspect    print stream statistics
              --in <path>           input CSV                 (required)
 ";
@@ -113,6 +134,8 @@ fn main() -> ExitCode {
         "horizon" => commands::horizon::run(&flags),
         "evolve" => commands::evolve::run(&flags),
         "stream" => commands::stream::run(&flags),
+        "serve" => commands::serve::run(&flags),
+        "drive" => commands::drive::run(&flags),
         "inspect" => commands::inspect::run(&flags),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");

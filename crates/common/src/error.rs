@@ -41,6 +41,16 @@ pub enum UStreamError {
     /// The engine's ingestion channels are full and the active backpressure
     /// policy surfaces overload to the producer instead of blocking.
     Backpressure,
+    /// A bounded-wait operation (`push_with_timeout`, `shutdown_drain`, a
+    /// deadline-wrapped socket read/write) ran out of time. Unlike
+    /// [`UStreamError::Backpressure`] — which reports instantaneous channel
+    /// fullness and is always worth retrying — a deadline miss means the
+    /// caller's own time budget is spent; retrying only makes sense against
+    /// a fresh deadline.
+    DeadlineExceeded {
+        /// How long the operation waited before giving up, in milliseconds.
+        waited_ms: u64,
+    },
     /// A checkpoint file is malformed, truncated, corrupted (checksum
     /// mismatch), or has an unsupported version.
     Checkpoint(String),
@@ -68,6 +78,9 @@ impl fmt::Display for UStreamError {
             UStreamError::InvalidPoint(msg) => write!(f, "invalid point: {msg}"),
             UStreamError::Backpressure => {
                 write!(f, "engine ingestion channels are full (backpressure)")
+            }
+            UStreamError::DeadlineExceeded { waited_ms } => {
+                write!(f, "deadline exceeded after {waited_ms} ms")
             }
             UStreamError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
         }
@@ -121,6 +134,12 @@ mod tests {
         assert!(matches!(e, UStreamError::Io(_)));
         use std::error::Error;
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn display_deadline_exceeded() {
+        let e = UStreamError::DeadlineExceeded { waited_ms: 250 };
+        assert_eq!(e.to_string(), "deadline exceeded after 250 ms");
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod horizon;
 pub mod kernel;
 pub mod macrocluster;
 pub mod online;
+pub mod query;
 pub mod similarity;
 pub mod state;
 
@@ -66,4 +67,5 @@ pub use horizon::HorizonAnalyzer;
 pub use kernel::{ClusterKernel, KernelRow};
 pub use macrocluster::MacroClustering;
 pub use online::OnlineClusterer;
+pub use query::{ClusterQuery, QueryStats};
 pub use state::ClustererState;

@@ -84,7 +84,7 @@ use std::time::{Duration, Instant};
 use umicro::macrocluster::macro_cluster_ecfs;
 use umicro::{
     compare_windows, ClustererState, DecayedUMicro, Ecf, EvolutionReport, HorizonAnalyzer,
-    MacroClustering, MicroCluster, OnlineClusterer, UMicro,
+    MacroClustering, MicroCluster, OnlineClusterer, QueryStats, UMicro,
 };
 use ustream_common::{P2Quantile, Result, UStreamError, UncertainPoint};
 use ustream_snapshot::{
@@ -880,16 +880,12 @@ impl StreamEngine {
     ///
     /// [`UStreamError::Io`] when a worker thread cannot be spawned (the
     /// already-started workers are shut down cleanly first).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use EngineBuilder::new(umicro).build() — one builder replaces the start/start_with constructor zoo"
+    )]
     pub fn start(config: EngineConfig) -> Result<Self> {
-        let mut shard_umicro = config.umicro.clone();
-        shard_umicro.n_micro = config.shard_n_micro();
-        let decay = config.decay_half_life;
-        Self::start_with(config, move |_shard| -> DynClusterer {
-            match decay {
-                Some(hl) => Box::new(DecayedUMicro::with_half_life(shard_umicro.clone(), hl)),
-                None => Box::new(UMicro::new(shard_umicro.clone())),
-            }
-        })
+        Self::launch_default(config)
     }
 
     /// Starts the shard workers with caller-supplied clusterers — any
@@ -901,7 +897,37 @@ impl StreamEngine {
     /// # Errors
     ///
     /// [`UStreamError::Io`] when a worker thread cannot be spawned.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use EngineBuilder::new(umicro).build_with(factory) — one builder replaces the start/start_with constructor zoo"
+    )]
     pub fn start_with(
+        config: EngineConfig,
+        clusterer: impl Fn(usize) -> DynClusterer + Send + Sync + 'static,
+    ) -> Result<Self> {
+        Self::launch(config, clusterer)
+    }
+
+    /// [`Self::launch`] with the default UMicro clusterers (decayed when
+    /// `config.decay_half_life` is set), each holding an even share of the
+    /// global `n_micro` budget.
+    pub(crate) fn launch_default(config: EngineConfig) -> Result<Self> {
+        let mut shard_umicro = config.umicro.clone();
+        shard_umicro.n_micro = config.shard_n_micro();
+        let decay = config.decay_half_life;
+        Self::launch(config, move |_shard| -> DynClusterer {
+            match decay {
+                Some(hl) => Box::new(DecayedUMicro::with_half_life(shard_umicro.clone(), hl)),
+                None => Box::new(UMicro::new(shard_umicro.clone())),
+            }
+        })
+    }
+
+    /// The real engine startup: spawns shard workers (and the governor when
+    /// configured) for a validated configuration. Reached through
+    /// [`EngineBuilder`](crate::EngineBuilder) and the deprecated
+    /// `start`/`start_with` wrappers.
+    pub(crate) fn launch(
         config: EngineConfig,
         clusterer: impl Fn(usize) -> DynClusterer + Send + Sync + 'static,
     ) -> Result<Self> {
@@ -1039,7 +1065,7 @@ impl StreamEngine {
     /// unsupported version, or structurally inconsistent.
     pub fn restore(path: &str) -> Result<Self> {
         let ck = Self::read_checkpoint_with_fallback(path)?;
-        let engine = Self::start(ck.config.clone())?;
+        let engine = Self::launch_default(ck.config.clone())?;
         engine.apply_checkpoint(&ck)?;
         Ok(engine)
     }
@@ -1052,7 +1078,7 @@ impl StreamEngine {
         clusterer: impl Fn(usize) -> DynClusterer + Send + Sync + 'static,
     ) -> Result<Self> {
         let ck = Self::read_checkpoint_with_fallback(path)?;
-        let engine = Self::start_with(ck.config.clone(), clusterer)?;
+        let engine = Self::launch(ck.config.clone(), clusterer)?;
         engine.apply_checkpoint(&ck)?;
         Ok(engine)
     }
@@ -1235,10 +1261,13 @@ impl StreamEngine {
 
     /// [`Self::push`] with a backpressure deadline: under a full channel
     /// the call retries non-blocking enqueues until `deadline` elapses,
-    /// then returns [`UStreamError::Backpressure`] — regardless of the
+    /// then returns [`UStreamError::DeadlineExceeded`] — regardless of the
     /// configured [`BackpressurePolicy`]. Producers that can tolerate
     /// bounded latency but not unbounded blocking use this instead of
-    /// `push`.
+    /// `push`. The typed deadline error lets callers (the serving
+    /// front-end in particular) distinguish "my time budget ran out"
+    /// (retry against a fresh deadline, or fail the request) from the
+    /// instantaneous [`UStreamError::Backpressure`] signal (retry soon).
     pub fn push_with_timeout(&self, point: UncertainPoint, deadline: Duration) -> Result<()> {
         #[cfg(feature = "failpoints")]
         let point = crate::failpoints::maybe_poison(point);
@@ -1254,8 +1283,11 @@ impl StreamEngine {
                     match self.try_enqueue(point) {
                         Ok(()) => return Ok(()),
                         Err(TryPushError::Full(p)) => {
-                            if started.elapsed() >= deadline {
-                                return Err(UStreamError::Backpressure);
+                            let waited = started.elapsed();
+                            if waited >= deadline {
+                                return Err(UStreamError::DeadlineExceeded {
+                                    waited_ms: waited.as_millis() as u64,
+                                });
                             }
                             point = p;
                             // lint:allow(no-sleep): bounded backpressure backoff chosen by the caller via push_with_timeout
@@ -1828,6 +1860,49 @@ impl StreamEngine {
     }
 }
 
+/// The unified read API over the whole sharded engine. Unlike the blanket
+/// impl for plain clusterers, `horizon_clusters` here is pyramid-exact:
+/// it answers by snapshot subtraction over the merged store, so a horizon
+/// of `h` really means the trailing `h` ticks. `export_state` is `None` —
+/// a sharded engine's portable state is the [`EngineCheckpoint`] (shard
+/// states plus the snapshot store), written via [`StreamEngine::checkpoint`],
+/// not a single flat [`ClustererState`].
+///
+/// `ClusterQuery` is referenced by path rather than imported: bringing it
+/// into scope alongside [`OnlineClusterer`] would make every
+/// `alg.macro_cluster(..)` call in this module ambiguous (both traits
+/// expose the method, one via blanket impl).
+impl umicro::ClusterQuery for StreamEngine {
+    type Summary = Ecf;
+
+    fn horizon_clusters(&mut self, horizon: u64) -> Result<ClusterSetSnapshot<Ecf>> {
+        StreamEngine::horizon_clusters(self, horizon)
+    }
+
+    fn macro_cluster(&mut self, k: usize, seed: u64) -> MacroClustering {
+        StreamEngine::macro_clusters(self, k, seed)
+    }
+
+    fn stats(&self) -> QueryStats {
+        let mut num_clusters = 0usize;
+        let mut bytes = 0usize;
+        for shard in self.shards.iter() {
+            let st = shard.state.lock();
+            num_clusters += st.alg.num_clusters();
+            bytes += st.alg.approx_memory_bytes();
+        }
+        QueryStats {
+            points_processed: self.points_processed(),
+            num_clusters,
+            approx_memory_bytes: bytes,
+        }
+    }
+
+    fn export_state(&self) -> Option<ClustererState<Ecf>> {
+        None
+    }
+}
+
 impl Drop for StreamEngine {
     fn drop(&mut self) {
         if self.global.final_report.lock().is_none() {
@@ -1839,6 +1914,7 @@ impl Drop for StreamEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::EngineBuilder;
     use crate::load::LoadPolicy;
     use umicro::{InsertOutcome, UMicroConfig};
     use ustream_common::Timestamp;
@@ -1848,7 +1924,9 @@ mod tests {
     }
 
     fn engine(n_micro: usize) -> StreamEngine {
-        StreamEngine::start(EngineConfig::new(UMicroConfig::new(n_micro, 2).unwrap())).unwrap()
+        EngineBuilder::from_config(EngineConfig::new(UMicroConfig::new(n_micro, 2).unwrap()))
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -1932,9 +2010,10 @@ mod tests {
 
     #[test]
     fn novelty_alert_fires_on_outlier() {
-        let e = StreamEngine::start(
+        let e = EngineBuilder::from_config(
             EngineConfig::new(UMicroConfig::new(8, 2).unwrap()).with_novelty_factor(Some(4.0)),
         )
+        .build()
         .unwrap();
         // Stable traffic, then one wild outlier.
         for t in 1..=400u64 {
@@ -1957,11 +2036,12 @@ mod tests {
 
     #[test]
     fn quantile_baseline_novelty_alerting() {
-        let e = StreamEngine::start(
+        let e = EngineBuilder::from_config(
             EngineConfig::new(UMicroConfig::new(8, 2).unwrap())
                 .with_novelty_factor(Some(4.0))
                 .with_novelty_quantile(0.95),
         )
+        .build()
         .unwrap();
         for t in 1..=400u64 {
             let x = (t % 7) as f64 * 0.1;
@@ -1997,11 +2077,12 @@ mod tests {
 
     #[test]
     fn decayed_engine_runs() {
-        let e = StreamEngine::start(
+        let e = EngineBuilder::from_config(
             EngineConfig::new(UMicroConfig::new(8, 2).unwrap())
                 .with_decay_half_life(200.0)
                 .with_snapshot_every(8),
         )
+        .build()
         .unwrap();
         for t in 1..=300u64 {
             e.push(pt((t % 3) as f64, 0.0, t)).unwrap();
@@ -2080,7 +2161,7 @@ mod tests {
         let config = EngineConfig::new(UMicroConfig::new(8, 2).unwrap())
             .with_snapshot_every(64)
             .with_auto_checkpoint(1_000_000, &path); // cadence never fires
-        let e = StreamEngine::start(config).unwrap();
+        let e = EngineBuilder::from_config(config).build().unwrap();
         for t in 1..=200u64 {
             e.push(pt(1.0, 2.0, t)).unwrap();
         }
@@ -2096,7 +2177,7 @@ mod tests {
     fn forced_sampling_keeps_exactly_the_configured_fraction() {
         let config = EngineConfig::new(UMicroConfig::new(16, 2).unwrap())
             .with_load_policy(LoadPolicy::default()); // keep_per_mille = 500
-        let e = StreamEngine::start(config).unwrap();
+        let e = EngineBuilder::from_config(config).build().unwrap();
         e.force_load_stage(LoadStage::Sample);
         for t in 1..=1_000u64 {
             e.push(pt((t % 3) as f64, 0.0, t)).unwrap();
@@ -2117,7 +2198,7 @@ mod tests {
     fn forced_shed_drops_and_counts_then_recovers() {
         let config = EngineConfig::new(UMicroConfig::new(16, 2).unwrap())
             .with_load_policy(LoadPolicy::default());
-        let e = StreamEngine::start(config).unwrap();
+        let e = EngineBuilder::from_config(config).build().unwrap();
         for t in 1..=100u64 {
             e.push(pt(0.0, 0.0, t)).unwrap();
         }
@@ -2155,29 +2236,30 @@ mod tests {
     }
 
     #[test]
-    fn push_with_timeout_reports_backpressure_on_full_channel() {
+    fn push_with_timeout_reports_deadline_exceeded_on_full_channel() {
         let mut config = EngineConfig::new(UMicroConfig::new(8, 2).unwrap());
         config.channel_capacity = 1;
-        let e = StreamEngine::start_with(config, |_shard| -> DynClusterer {
-            Box::new(Sluggish {
-                inner: Box::new(UMicro::new(UMicroConfig::new(8, 2).unwrap())),
+        let e = EngineBuilder::from_config(config)
+            .build_with(|_shard| -> DynClusterer {
+                Box::new(Sluggish {
+                    inner: Box::new(UMicro::new(UMicroConfig::new(8, 2).unwrap())),
+                })
             })
-        })
-        .unwrap();
+            .unwrap();
         // Saturate: each insert takes ~20ms, capacity 1, so a short deadline
         // cannot win the enqueue race for long.
-        let mut saw_backpressure = false;
+        let mut saw_deadline = false;
         for t in 1..=50u64 {
             match e.push_with_timeout(pt(0.0, 0.0, t), Duration::from_micros(50)) {
                 Ok(()) => {}
-                Err(UStreamError::Backpressure) => {
-                    saw_backpressure = true;
+                Err(UStreamError::DeadlineExceeded { .. }) => {
+                    saw_deadline = true;
                     break;
                 }
                 Err(other) => panic!("unexpected error: {other}"),
             }
         }
-        assert!(saw_backpressure, "a 50µs deadline must eventually trip");
+        assert!(saw_deadline, "a 50µs deadline must eventually trip");
         e.shutdown();
     }
 
@@ -2198,11 +2280,12 @@ mod tests {
 
     #[test]
     fn sharded_engine_processes_everything() {
-        let e = StreamEngine::start(
+        let e = EngineBuilder::from_config(
             EngineConfig::new(UMicroConfig::new(16, 2).unwrap())
                 .with_shards(4)
                 .with_snapshot_every(64),
         )
+        .build()
         .unwrap();
         assert_eq!(e.shards(), 4);
         for t in 1..=2_000u64 {
@@ -2226,11 +2309,12 @@ mod tests {
 
     #[test]
     fn sharded_ids_are_namespaced_and_disjoint() {
-        let e = StreamEngine::start(
+        let e = EngineBuilder::from_config(
             EngineConfig::new(UMicroConfig::new(8, 2).unwrap())
                 .with_shards(2)
                 .with_snapshot_every(32),
         )
+        .build()
         .unwrap();
         for t in 1..=400u64 {
             let x = if t % 2 == 0 { 0.0 } else { 25.0 };
@@ -2254,11 +2338,12 @@ mod tests {
     fn sharded_merge_preserves_total_weight() {
         // Exactness of the shard merge: with a budget large enough that no
         // shard evicts, the merged live view carries every clustered point.
-        let e = StreamEngine::start(
+        let e = EngineBuilder::from_config(
             EngineConfig::new(UMicroConfig::new(64, 2).unwrap())
                 .with_shards(4)
                 .with_snapshot_every(100),
         )
+        .build()
         .unwrap();
         for t in 1..=1_000u64 {
             e.push(pt((t % 5) as f64, (t % 3) as f64, t)).unwrap();
@@ -2278,11 +2363,12 @@ mod tests {
 
     #[test]
     fn push_slice_batches_across_shards() {
-        let e = StreamEngine::start(
+        let e = EngineBuilder::from_config(
             EngineConfig::new(UMicroConfig::new(8, 2).unwrap())
                 .with_shards(2)
                 .with_snapshot_every(50),
         )
+        .build()
         .unwrap();
         let batch: Vec<UncertainPoint> = (1..=600u64).map(|t| pt((t % 4) as f64, 0.0, t)).collect();
         e.push_slice(&batch).unwrap();
@@ -2296,9 +2382,10 @@ mod tests {
 
     #[test]
     fn try_push_hands_point_back_when_full() {
-        let e = StreamEngine::start(
+        let e = EngineBuilder::from_config(
             EngineConfig::new(UMicroConfig::new(4, 2).unwrap()).with_snapshot_every(1_000),
         )
+        .build()
         .unwrap();
         // The success path, then the deterministic Stopped path with the
         // record handed back intact.
@@ -2324,10 +2411,9 @@ mod tests {
             c.n_micro = config.shard_n_micro();
             c
         };
-        let e = StreamEngine::start_with(config, move |_i| {
-            Box::new(UMicro::new(shard_cfg.clone())) as DynClusterer
-        })
-        .unwrap();
+        let e = EngineBuilder::from_config(config)
+            .build_with(move |_i| Box::new(UMicro::new(shard_cfg.clone())) as DynClusterer)
+            .unwrap();
         for t in 1..=100u64 {
             e.push(pt((t % 2) as f64 * 10.0, 0.0, t)).unwrap();
         }
@@ -2364,10 +2450,11 @@ mod tests {
 
     #[test]
     fn clamp_policy_repairs_nan_points() {
-        let e = StreamEngine::start(
+        let e = EngineBuilder::from_config(
             EngineConfig::new(UMicroConfig::new(4, 2).unwrap())
                 .with_validation(Some(ValidationPolicy::Clamp)),
         )
+        .build()
         .unwrap();
         e.push(pt(f64::NAN, 5.0, 1)).unwrap();
         e.push(pt(1.0, 5.0, 2)).unwrap();
@@ -2385,10 +2472,11 @@ mod tests {
 
     #[test]
     fn clamp_policy_still_rejects_dimension_mismatch() {
-        let e = StreamEngine::start(
+        let e = EngineBuilder::from_config(
             EngineConfig::new(UMicroConfig::new(4, 2).unwrap())
                 .with_validation(Some(ValidationPolicy::Clamp)),
         )
+        .build()
         .unwrap();
         let skinny = UncertainPoint::new(vec![1.0], vec![0.1], 1, None);
         assert!(matches!(e.push(skinny), Err(UStreamError::InvalidPoint(_))));
@@ -2398,11 +2486,12 @@ mod tests {
 
     #[test]
     fn quarantine_policy_diverts_and_counts() {
-        let e = StreamEngine::start(
+        let e = EngineBuilder::from_config(
             EngineConfig::new(UMicroConfig::new(4, 2).unwrap())
                 .with_validation(Some(ValidationPolicy::Quarantine))
                 .with_quarantine_capacity(4),
         )
+        .build()
         .unwrap();
         e.push(pt(f64::NAN, 0.0, 1)).unwrap(); // diverted, not an error
         e.push(pt(1.0, 1.0, 2)).unwrap();
@@ -2435,9 +2524,10 @@ mod tests {
 
     #[test]
     fn monotone_timestamps_enforced_when_asked() {
-        let e = StreamEngine::start(
+        let e = EngineBuilder::from_config(
             EngineConfig::new(UMicroConfig::new(4, 2).unwrap()).with_monotone_timestamps(true),
         )
+        .build()
         .unwrap();
         e.push(pt(0.0, 0.0, 100)).unwrap();
         e.flush();
@@ -2554,12 +2644,13 @@ mod tests {
             c.n_micro = config.shard_n_micro();
             c
         };
-        let e = StreamEngine::start_with(config, move |_i| {
-            Box::new(Panicky {
-                inner: Box::new(UMicro::new(shard_cfg.clone())),
-            }) as DynClusterer
-        })
-        .unwrap();
+        let e = EngineBuilder::from_config(config)
+            .build_with(move |_i| {
+                Box::new(Panicky {
+                    inner: Box::new(UMicro::new(shard_cfg.clone())),
+                }) as DynClusterer
+            })
+            .unwrap();
 
         for t in 1..=64u64 {
             e.push(pt((t % 2) as f64, 0.0, t)).unwrap();
@@ -2614,7 +2705,7 @@ mod tests {
     fn checkpoint_restore_round_trip_is_exact() {
         let path = temp_ckpt_path("roundtrip");
         let config = EngineConfig::new(UMicroConfig::new(8, 2).unwrap()).with_snapshot_every(16);
-        let e = StreamEngine::start(config).unwrap();
+        let e = EngineBuilder::from_config(config).build().unwrap();
         for t in 1..=256u64 {
             let x = if t % 2 == 0 { 0.0 } else { 30.0 };
             e.push(pt(x, -x, t)).unwrap();
@@ -2665,11 +2756,12 @@ mod tests {
     #[test]
     fn auto_checkpoint_writes_periodically() {
         let path = temp_ckpt_path("auto");
-        let e = StreamEngine::start(
+        let e = EngineBuilder::from_config(
             EngineConfig::new(UMicroConfig::new(4, 2).unwrap())
                 .with_snapshot_every(8)
                 .with_auto_checkpoint(50, path.clone()),
         )
+        .build()
         .unwrap();
         for t in 1..=200u64 {
             e.push(pt((t % 2) as f64, 0.0, t)).unwrap();
@@ -2706,11 +2798,12 @@ mod tests {
     #[test]
     fn sharded_checkpoint_restores_all_shards() {
         let path = temp_ckpt_path("sharded");
-        let e = StreamEngine::start(
+        let e = EngineBuilder::from_config(
             EngineConfig::new(UMicroConfig::new(16, 2).unwrap())
                 .with_shards(4)
                 .with_snapshot_every(32),
         )
+        .build()
         .unwrap();
         for t in 1..=512u64 {
             let x = if t % 2 == 0 { 0.0 } else { 40.0 };

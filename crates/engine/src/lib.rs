@@ -25,7 +25,7 @@
 //! the global snapshot view *exact*, so horizon and evolution queries are
 //! unchanged by sharding. Every shard clusterer is a boxed
 //! [`umicro::OnlineClusterer`], so the same engine can drive UMicro, the
-//! decayed variant, or any custom implementation ([`StreamEngine::start_with`]).
+//! decayed variant, or any custom implementation ([`EngineBuilder::build_with`]).
 //!
 //! The engine is built to stay up: shard workers are **supervised**
 //! (a panicking worker is respawned and reseeded from the last merged
@@ -36,12 +36,14 @@
 //! ([`StreamEngine::checkpoint`] / [`StreamEngine::restore`]).
 //!
 //! ```
-//! use ustream_engine::{EngineConfig, StreamEngine};
+//! use ustream_engine::EngineBuilder;
 //! use umicro::UMicroConfig;
 //! use ustream_common::UncertainPoint;
 //!
-//! let config = EngineConfig::new(UMicroConfig::new(16, 2).unwrap()).with_shards(2);
-//! let engine = StreamEngine::start(config).expect("engine workers spawn");
+//! let engine = EngineBuilder::new(UMicroConfig::new(16, 2).unwrap())
+//!     .shards(2)
+//!     .build()
+//!     .expect("engine workers spawn");
 //! for t in 1..=100u64 {
 //!     let x = if t % 2 == 0 { 0.0 } else { 8.0 };
 //!     engine
@@ -59,6 +61,7 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+mod builder;
 pub mod checkpoint;
 mod config;
 mod engine;
@@ -68,11 +71,13 @@ mod load;
 mod report;
 mod validate;
 
+pub use builder::EngineBuilder;
 pub use checkpoint::EngineCheckpoint;
 pub use config::{EngineConfig, NoveltyBaseline};
 pub use engine::{DynClusterer, StreamEngine, TryPushError};
 pub use load::{DrainOutcome, LoadPolicy, LoadStage, LoadTransition, WatchdogConfig};
 pub use report::{EngineReport, HealthStatus, NoveltyAlert, ShardStats};
+pub use umicro::{ClusterQuery, QueryStats};
 pub use ustream_snapshot::SnapshotBudget;
 pub use validate::{
     BackpressurePolicy, PointFault, Quarantine, QuarantinedPoint, ValidationPolicy,

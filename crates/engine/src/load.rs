@@ -43,8 +43,10 @@ pub enum LoadStage {
 }
 
 impl LoadStage {
-    /// Compact encoding for the engine's atomic stage cell.
-    pub(crate) fn as_u8(self) -> u8 {
+    /// Compact encoding for an atomic stage cell (the engine's governor and
+    /// the serving front-end's per-tenant admission state both store stages
+    /// this way).
+    pub fn as_u8(self) -> u8 {
         match self {
             LoadStage::Normal => 0,
             LoadStage::WidenMerge => 1,
@@ -54,7 +56,7 @@ impl LoadStage {
     }
 
     /// Inverse of [`Self::as_u8`]; unknown values clamp to `Shed`.
-    pub(crate) fn from_u8(v: u8) -> Self {
+    pub fn from_u8(v: u8) -> Self {
         match v {
             0 => LoadStage::Normal,
             1 => LoadStage::WidenMerge,
@@ -64,7 +66,7 @@ impl LoadStage {
     }
 
     /// The next rung up (saturates at `Shed`).
-    pub(crate) fn escalate(self) -> Self {
+    pub fn escalate(self) -> Self {
         match self {
             LoadStage::Normal => LoadStage::WidenMerge,
             LoadStage::WidenMerge => LoadStage::Sample,
@@ -73,7 +75,7 @@ impl LoadStage {
     }
 
     /// The next rung down (saturates at `Normal`).
-    pub(crate) fn relax(self) -> Self {
+    pub fn relax(self) -> Self {
         match self {
             LoadStage::Shed => LoadStage::Sample,
             LoadStage::Sample => LoadStage::WidenMerge,
@@ -212,6 +214,24 @@ pub struct DrainOutcome {
     pub drain_millis: u64,
     /// The engine's final report after the drain.
     pub report: crate::EngineReport,
+}
+
+impl DrainOutcome {
+    /// The drain as a typed result: `Ok(report)` when the deadline was
+    /// met, [`UStreamError::DeadlineExceeded`](ustream_common::UStreamError::DeadlineExceeded)
+    /// carrying the actual drain time otherwise. Lets callers that treat a
+    /// late drain as an error (the serving front-end, CI smoke checks)
+    /// propagate it with `?` instead of inspecting the `deadline_met` flag,
+    /// and keeps the failure distinguishable from generic backpressure.
+    pub fn into_result(self) -> Result<crate::EngineReport, ustream_common::UStreamError> {
+        if self.deadline_met {
+            Ok(self.report)
+        } else {
+            Err(ustream_common::UStreamError::DeadlineExceeded {
+                waited_ms: self.drain_millis,
+            })
+        }
+    }
 }
 
 #[cfg(test)]

@@ -13,6 +13,7 @@
 //! | `no-sleep`       | no `thread::sleep` outside tests/benches/failpoints   |
 //! | `lossy-cast`     | no bare `as` numeric casts in ECF/kernel arithmetic   |
 //! | `missing-docs`   | public items of `umicro`/`ustream-engine` are documented |
+//! | `blocking-io`    | raw blocking socket I/O in `crates/serve` goes through the deadline funnel |
 //! | `suppression`    | every `lint:allow` carries a reason, names real rules |
 //!
 //! Findings are suppressed by `// lint:allow(<rule>): <reason>` on the same
@@ -60,6 +61,7 @@ pub const RULE_IDS: &[&str] = &[
     "no-sleep",
     "lossy-cast",
     "missing-docs",
+    "blocking-io",
     "suppression",
 ];
 
@@ -77,6 +79,7 @@ pub fn run_all(ctxs: &[FileCtx]) -> Vec<Finding> {
         rule_no_sleep(ctx, &mut raw);
         rule_lossy_cast(ctx, &mut raw);
         rule_missing_docs(ctx, ctxs, &mut raw);
+        rule_blocking_io(ctx, &mut raw);
         raw.retain(|f| !ctx.suppressed(f.rule, f.line));
         rule_suppression_hygiene(ctx, &mut raw);
         findings.append(&mut raw);
@@ -546,6 +549,45 @@ fn module_file_has_docs(ctx: &FileCtx, all: &[FileCtx], name: &str) -> bool {
         .any(|f| f.tokens.first().is_some_and(|t| t.is_doc_comment()))
 }
 
+/// The one file in `crates/serve` sanctioned to call blocking socket
+/// primitives: it arms the socket's OS read/write timeouts before every
+/// operation, so a stalled peer costs a bounded deadline, not a wedged
+/// connection thread.
+const BLOCKING_IO_FUNNEL: &str = "crates/serve/src/io.rs";
+
+/// R9 `blocking-io` — raw blocking I/O calls (`read_exact`, `write_all`,
+/// `read_to_end`, `read_to_string`) in `crates/serve` outside the
+/// deadline-wrapped funnel. Without a socket timeout armed, any of these
+/// blocks a connection thread for as long as the peer cares to stall —
+/// the serving front-end's per-tenant isolation guarantees die there.
+fn rule_blocking_io(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if !ctx.path.starts_with("crates/serve/src/") || ctx.path == BLOCKING_IO_FUNNEL {
+        return;
+    }
+    const BLOCKING: &[&str] = &["read_exact", "write_all", "read_to_end", "read_to_string"];
+    for k in 1..ctx.sig.len() {
+        let Some(name) = ident_at(ctx, k) else {
+            continue;
+        };
+        if !BLOCKING.contains(&name) || !is_op(ctx, k - 1, ".") {
+            continue;
+        }
+        let t = tok(ctx, k);
+        if ctx.in_test(t.line) {
+            continue;
+        }
+        push(
+            out,
+            ctx,
+            t,
+            "blocking-io",
+            format!("raw blocking `{name}` outside the deadline-wrapped I/O funnel"),
+            "route through serve's io::read_frame/write_frame (socket \
+             timeouts armed), or suppress with the deadline proof",
+        );
+    }
+}
+
 /// S0 `suppression` — `lint:allow` hygiene: every annotation must carry a
 /// reason and name known rule ids.
 fn rule_suppression_hygiene(ctx: &FileCtx, out: &mut Vec<Finding>) {
@@ -570,7 +612,7 @@ fn rule_suppression_hygiene(ctx: &FileCtx, out: &mut Vec<Finding>) {
                     rule: "suppression",
                     message: format!("`lint:allow` names unknown rule `{r}`"),
                     hint: "valid ids: hot-panic, float-eq, nan-ord, relaxed-atomic, \
-                           nondet-iter, no-sleep, lossy-cast, missing-docs",
+                           nondet-iter, no-sleep, lossy-cast, missing-docs, blocking-io",
                 });
             }
         }

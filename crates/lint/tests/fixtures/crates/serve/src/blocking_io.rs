@@ -1,0 +1,24 @@
+// blocking-io fixture: raw blocking socket I/O outside the deadline funnel.
+
+fn bad_read(stream: &mut std::net::TcpStream) {
+    let mut buf = [0u8; 4];
+    stream.read_exact(&mut buf).ok();
+    stream.write_all(&buf).ok();
+}
+
+fn bad_drain(stream: &mut std::net::TcpStream) {
+    let mut all = Vec::new();
+    stream.read_to_end(&mut all).ok();
+}
+
+fn suppressed(stream: &mut std::net::TcpStream) {
+    // lint:allow(blocking-io): caller armed a write timeout two frames up
+    stream.write_all(b"x").ok();
+}
+
+#[cfg(test)]
+mod tests {
+    fn in_tests_is_fine(stream: &mut std::net::TcpStream) {
+        stream.write_all(b"x").ok();
+    }
+}

@@ -1,0 +1,9 @@
+//! blocking-io funnel fixture: `io.rs` itself is the sanctioned site —
+//! it arms socket timeouts before every blocking call, so the rule must
+//! not fire here.
+
+fn funnel(stream: &mut std::net::TcpStream) {
+    let mut buf = [0u8; 4];
+    stream.read_exact(&mut buf).ok();
+    stream.write_all(&buf).ok();
+}

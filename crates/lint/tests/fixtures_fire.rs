@@ -107,6 +107,18 @@ fn missing_docs_fixture_fires_on_undocumented_only() {
 }
 
 #[test]
+fn blocking_io_fixture_fires_outside_the_funnel_only() {
+    let f = fixture_findings();
+    assert_file_findings(
+        &f,
+        "crates/serve/src/blocking_io.rs",
+        &[(5, "blocking-io"), (6, "blocking-io"), (11, "blocking-io")],
+    );
+    // The deadline-wrapped funnel itself is exempt.
+    assert_file_findings(&f, "crates/serve/src/io.rs", &[]);
+}
+
+#[test]
 fn suppression_hygiene_fixture_reports_malformed_allows() {
     let f = fixture_findings();
     assert_file_findings(

@@ -1,0 +1,150 @@
+//! Blocking client for the serving protocol.
+//!
+//! One [`ServeClient`] wraps one TCP connection. Requests are strictly
+//! request/response (the server answers in order), so the client is a
+//! thin frame-codec wrapper plus typed convenience helpers. The CLI's
+//! load driver and the serving benchmark both drive the server through
+//! this type, so the protocol's only consumers go through one code path.
+
+use crate::io::{read_frame, write_frame};
+use crate::protocol::{
+    decode_response, encode_request, ErrorCode, Request, Response, TenantSpec, WirePoint,
+    WireServerStats, WireTenantStats, DEFAULT_MAX_FRAME_BYTES,
+};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+use ustream_common::{Result, UStreamError};
+
+/// A connected protocol client.
+pub struct ServeClient {
+    stream: TcpStream,
+    max_frame_bytes: usize,
+    deadline: Duration,
+}
+
+/// Turns a typed wire error into a `UStreamError` for helpers that
+/// promise a decoded payload.
+fn wire_error(code: ErrorCode, message: String) -> UStreamError {
+    UStreamError::Serde(format!("server error [{code}]: {message}"))
+}
+
+impl ServeClient {
+    /// Connects with the default 30 s I/O deadline and 8 MiB frame bound.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self> {
+        Self::connect_with(addr, Duration::from_secs(30), DEFAULT_MAX_FRAME_BYTES)
+    }
+
+    /// Connects with explicit per-operation deadline and frame bound.
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        deadline: Duration,
+        max_frame_bytes: usize,
+    ) -> Result<Self> {
+        let stream = TcpStream::connect(addr).map_err(UStreamError::Io)?;
+        stream.set_nodelay(true).map_err(UStreamError::Io)?;
+        Ok(Self {
+            stream,
+            max_frame_bytes,
+            deadline,
+        })
+    }
+
+    /// Sends one request and waits for its response.
+    pub fn request(&mut self, req: &Request) -> Result<Response> {
+        let frame = encode_request(req, self.max_frame_bytes).map_err(UStreamError::from)?;
+        write_frame(&mut self.stream, &frame, self.deadline)?;
+        let payload = read_frame(&mut self.stream, self.max_frame_bytes, self.deadline)?
+            .ok_or_else(|| {
+                UStreamError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection before replying",
+                ))
+            })?;
+        decode_response(&payload).map_err(UStreamError::from)
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<()> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            Response::Error { code, message } => Err(wire_error(code, message)),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// Creates a tenant.
+    pub fn create_tenant(&mut self, name: &str, spec: TenantSpec) -> Result<()> {
+        match self.request(&Request::CreateTenant {
+            name: name.to_string(),
+            spec,
+        })? {
+            Response::Created => Ok(()),
+            Response::Error { code, message } => Err(wire_error(code, message)),
+            other => Err(unexpected("Created", &other)),
+        }
+    }
+
+    /// Removes a tenant and all its state.
+    pub fn remove_tenant(&mut self, name: &str) -> Result<()> {
+        match self.request(&Request::RemoveTenant {
+            name: name.to_string(),
+        })? {
+            Response::Removed => Ok(()),
+            Response::Error { code, message } => Err(wire_error(code, message)),
+            other => Err(unexpected("Removed", &other)),
+        }
+    }
+
+    /// Ingests a batch; returns `(accepted, dropped)` where `dropped`
+    /// counts sampled + shed + rejected records.
+    pub fn ingest(&mut self, name: &str, points: Vec<WirePoint>) -> Result<(u64, u64)> {
+        match self.request(&Request::Ingest {
+            name: name.to_string(),
+            points,
+        })? {
+            Response::Ingested {
+                accepted,
+                sampled_out,
+                shed,
+                rejected,
+                ..
+            } => Ok((accepted, sampled_out + shed + rejected)),
+            Response::Error { code, message } => Err(wire_error(code, message)),
+            other => Err(unexpected("Ingested", &other)),
+        }
+    }
+
+    /// Per-tenant statistics.
+    pub fn tenant_stats(&mut self, name: &str) -> Result<WireTenantStats> {
+        match self.request(&Request::TenantStats {
+            name: name.to_string(),
+        })? {
+            Response::TenantStats { stats } => Ok(stats),
+            Response::Error { code, message } => Err(wire_error(code, message)),
+            other => Err(unexpected("TenantStats", &other)),
+        }
+    }
+
+    /// Aggregate server statistics.
+    pub fn server_stats(&mut self) -> Result<WireServerStats> {
+        match self.request(&Request::ServerStats)? {
+            Response::ServerStats { stats } => Ok(stats),
+            Response::Error { code, message } => Err(wire_error(code, message)),
+            other => Err(unexpected("ServerStats", &other)),
+        }
+    }
+
+    /// Asks the server host to shut down (the server finishes in-flight
+    /// work first).
+    pub fn shutdown(&mut self) -> Result<()> {
+        match self.request(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            Response::Error { code, message } => Err(wire_error(code, message)),
+            other => Err(unexpected("ShuttingDown", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> UStreamError {
+    UStreamError::Serde(format!("expected {wanted} response, got {got:?}"))
+}

@@ -1,0 +1,178 @@
+//! Deadline-wrapped socket I/O — the *only* module allowed to touch the
+//! blocking read/write primitives.
+//!
+//! Every read and write in the serving front-end goes through
+//! [`read_frame`] / [`write_frame`], which arm the socket's OS-level
+//! read/write timeouts before touching the stream. A peer that stalls
+//! mid-frame therefore costs at most the configured deadline, surfaced as
+//! [`UStreamError::DeadlineExceeded`] — never a wedged connection thread.
+//! The repo's `blocking-io` lint rule enforces the funnel: raw
+//! `read_exact`/`write_all` calls anywhere else in `crates/serve` are
+//! findings.
+
+use crate::protocol::{parse_header, verify_payload, FrameError, HEADER_LEN};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+use ustream_common::UStreamError;
+
+/// Maps a timed-out socket operation to the typed deadline error; other
+/// I/O failures pass through as [`UStreamError::Io`].
+fn map_io(e: std::io::Error, started: Instant) -> UStreamError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+            UStreamError::DeadlineExceeded {
+                waited_ms: started.elapsed().as_millis() as u64,
+            }
+        }
+        _ => UStreamError::Io(e),
+    }
+}
+
+/// Fills `buf` completely from the stream.
+///
+/// Returns `Ok(false)` when the peer closed the connection cleanly before
+/// the *first* byte (the normal end of a session); a close mid-buffer is a
+/// truncated frame and comes back as an error. This is a hand-rolled loop
+/// rather than `read_exact` because `read_exact` cannot distinguish those
+/// two cases.
+fn read_full(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    started: Instant,
+) -> Result<bool, UStreamError> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(false);
+                }
+                return Err(FrameError::Truncated {
+                    needed: buf.len(),
+                    have: filled,
+                }
+                .into());
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(map_io(e, started)),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads one complete frame, enforcing `deadline` via the socket's read
+/// timeout and `max` via the header's length bound.
+///
+/// Returns `Ok(None)` on a clean peer close at a frame boundary.
+pub fn read_frame(
+    stream: &mut TcpStream,
+    max: usize,
+    deadline: Duration,
+) -> Result<Option<Vec<u8>>, UStreamError> {
+    let started = Instant::now();
+    stream
+        .set_read_timeout(Some(deadline))
+        .map_err(UStreamError::Io)?;
+    let mut header = [0u8; HEADER_LEN];
+    if !read_full(stream, &mut header, started)? {
+        return Ok(None);
+    }
+    let parsed = parse_header(&header, max).map_err(UStreamError::from)?;
+    let mut payload = vec![0u8; parsed.payload_len];
+    if !read_full(stream, &mut payload, started)? {
+        return Err(UStreamError::from(FrameError::Truncated {
+            needed: parsed.payload_len,
+            have: 0,
+        }));
+    }
+    verify_payload(&parsed, &payload).map_err(UStreamError::from)?;
+    Ok(Some(payload))
+}
+
+/// Writes one pre-encoded frame, enforcing `deadline` via the socket's
+/// write timeout.
+pub fn write_frame(
+    stream: &mut TcpStream,
+    frame: &[u8],
+    deadline: Duration,
+) -> Result<(), UStreamError> {
+    let started = Instant::now();
+    stream
+        .set_write_timeout(Some(deadline))
+        .map_err(UStreamError::Io)?;
+    let mut written = 0usize;
+    while written < frame.len() {
+        match stream.write(&frame[written..]) {
+            Ok(0) => {
+                return Err(UStreamError::Io(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "peer stopped accepting bytes mid-frame",
+                )))
+            }
+            Ok(n) => written += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(map_io(e, started)),
+        }
+    }
+    stream.flush().map_err(|e| map_io(e, started))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::encode_frame;
+    use std::net::TcpListener;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn frame_crosses_a_real_socket() {
+        let (mut client, mut server) = pair();
+        let frame = encode_frame(b"payload bytes", 1024).unwrap();
+        write_frame(&mut client, &frame, Duration::from_secs(5)).unwrap();
+        let got = read_frame(&mut server, 1024, Duration::from_secs(5))
+            .unwrap()
+            .unwrap();
+        assert_eq!(got, b"payload bytes");
+    }
+
+    #[test]
+    fn clean_close_reads_as_none() {
+        let (client, mut server) = pair();
+        drop(client);
+        assert!(read_frame(&mut server, 1024, Duration::from_secs(5))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn close_mid_frame_is_a_truncation_error() {
+        let (mut client, mut server) = pair();
+        let frame = encode_frame(b"abcdefgh", 1024).unwrap();
+        use std::io::Write as _;
+        client.write_all(&frame[..frame.len() - 3]).unwrap();
+        drop(client);
+        let err = read_frame(&mut server, 1024, Duration::from_secs(5)).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn stalled_peer_hits_the_deadline() {
+        let (_client, mut server) = pair();
+        let started = Instant::now();
+        let err = read_frame(&mut server, 1024, Duration::from_millis(50)).unwrap_err();
+        assert!(
+            matches!(err, UStreamError::DeadlineExceeded { .. }),
+            "{err}"
+        );
+        assert!(started.elapsed() < Duration::from_secs(5));
+    }
+}

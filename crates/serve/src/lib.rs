@@ -1,0 +1,68 @@
+//! Multi-tenant serving front-end for uncertain-stream clustering.
+//!
+//! This crate puts a network face on the workspace's clustering engine:
+//! many independent tenants — each with its own [`umicro`] clusterer,
+//! pyramidal snapshot store and degradation-ladder rung — multiplexed
+//! over one TCP listener and a bounded worker pool.
+//!
+//! The pieces, bottom-up:
+//!
+//! - [`protocol`] — the `USRV` length-prefixed binary frame (same
+//!   fnv1a64 checksum discipline as the engine's `USTREAMCKPT` files)
+//!   and the serde request/response types of the unified query API:
+//!   ingest batch, horizon clusters, on-demand macro-clustering,
+//!   per-tenant stats and health.
+//! - [`io`] — deadline-wrapped socket reads/writes; the only module
+//!   allowed to touch blocking I/O primitives (the repo's `blocking-io`
+//!   lint rule enforces this).
+//! - [`tenant`] — per-tenant state: clusterer, horizon analyzer with
+//!   snapshot budget, and per-tenant admission control that reuses the
+//!   engine's [`ustream_engine::LoadStage`] ladder, so one hot tenant
+//!   degrades itself instead of starving its neighbours.
+//! - [`registry`] — the sharded tenant map with an atomic whole-map
+//!   `USRVMAP` checkpoint (tmp + rename, all buckets locked).
+//! - [`server`] — acceptor, MPMC worker pool, and the governor thread
+//!   that walks each tenant's ladder against its ingest quota.
+//! - [`client`] — the blocking client the CLI load driver and the
+//!   serving benchmark drive the server with.
+//!
+//! Quick start (in-process):
+//!
+//! ```
+//! use ustream_serve::{Server, ServeConfig, ServeClient, TenantSpec, WirePoint};
+//! use std::time::Duration;
+//!
+//! let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+//! let mut client = ServeClient::connect(server.addr()).unwrap();
+//! client.create_tenant("acme", TenantSpec::new(16, 2)).unwrap();
+//! let batch: Vec<WirePoint> = (1..=64)
+//!     .map(|t| WirePoint {
+//!         values: vec![t as f64, -(t as f64)],
+//!         errors: vec![0.1, 0.1],
+//!         timestamp: t,
+//!     })
+//!     .collect();
+//! let (accepted, _dropped) = client.ingest("acme", batch).unwrap();
+//! assert_eq!(accepted, 64);
+//! let stats = client.tenant_stats("acme").unwrap();
+//! assert_eq!(stats.points_processed, 64);
+//! drop(client);
+//! server.shutdown_drain(Duration::from_secs(10)).unwrap();
+//! ```
+
+pub mod client;
+pub mod io;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+pub mod tenant;
+
+pub use client::ServeClient;
+pub use protocol::{
+    decode_frame, decode_request, decode_response, encode_frame, encode_request, encode_response,
+    ErrorCode, FrameError, Request, Response, TenantSpec, WireCluster, WirePoint, WireServerStats,
+    WireTenantStats, DEFAULT_MAX_FRAME_BYTES,
+};
+pub use registry::{RegistryError, TenantRegistry};
+pub use server::{ServeConfig, Server};
+pub use tenant::{AdmissionPolicy, IngestOutcome, Tenant, TenantCheckpoint};

@@ -1,0 +1,678 @@
+//! The wire protocol: length-prefixed, checksummed frames carrying JSON
+//! request/response payloads.
+//!
+//! ## Frame layout
+//!
+//! Every message on the wire is one frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"USRV"
+//! 4       1     version (this build speaks 1)
+//! 5       1     flags (reserved, must be 0)
+//! 6       4     payload length, u32 little-endian
+//! 10      8     FNV-1a 64 checksum of the payload, u64 little-endian
+//! 18      n     payload: one JSON-encoded Request or Response
+//! ```
+//!
+//! The checksum is the same [`fnv1a64`] the engine's checkpoint file format
+//! uses — corruption *detection*, not authentication. The length field is
+//! bounded by the receiver's configured maximum before any allocation
+//! happens, so a hostile or corrupt length prefix cannot OOM the server.
+//! Every malformed-frame condition decodes to a typed [`FrameError`];
+//! nothing in this module panics on wire input.
+
+use serde::{Deserialize, Serialize};
+use ustream_engine::checkpoint::fnv1a64;
+
+/// Magic bytes opening every frame.
+pub const FRAME_MAGIC: [u8; 4] = *b"USRV";
+/// Protocol version written and accepted by this build.
+pub const PROTOCOL_VERSION: u8 = 1;
+/// Fixed frame-header size in bytes.
+pub const HEADER_LEN: usize = 18;
+/// Default ceiling on payload bytes; configurable per server/client.
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 8 * 1024 * 1024;
+
+/// Everything that can be wrong with a frame, as data — the connection
+/// loop maps these to error responses or disconnects without panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The first four bytes were not [`FRAME_MAGIC`].
+    BadMagic([u8; 4]),
+    /// The version byte names a protocol this build does not speak.
+    BadVersion(u8),
+    /// The flags byte carried bits this build does not understand.
+    BadFlags(u8),
+    /// The declared payload length exceeds the configured ceiling.
+    Oversized {
+        /// Length the header declared.
+        declared: usize,
+        /// The receiver's ceiling.
+        max: usize,
+    },
+    /// Fewer bytes were available than the header (or its declared
+    /// payload) requires.
+    Truncated {
+        /// Bytes needed to finish the header or payload.
+        needed: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// The payload checksum did not match the header.
+    Checksum {
+        /// Checksum the header declared.
+        declared: u64,
+        /// Checksum of the payload as received.
+        actual: u64,
+    },
+    /// The payload was not valid JSON for the expected message type.
+    Payload(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            FrameError::BadVersion(v) => {
+                write!(f, "unsupported protocol version {v} (this build speaks {PROTOCOL_VERSION})")
+            }
+            FrameError::BadFlags(b) => write!(f, "unsupported frame flags {b:#04x}"),
+            FrameError::Oversized { declared, max } => {
+                write!(f, "frame declares {declared} payload bytes, ceiling is {max}")
+            }
+            FrameError::Truncated { needed, have } => {
+                write!(f, "frame truncated: need {needed} bytes, have {have}")
+            }
+            FrameError::Checksum { declared, actual } => write!(
+                f,
+                "payload checksum mismatch: header says {declared:016x}, payload hashes to {actual:016x}"
+            ),
+            FrameError::Payload(msg) => write!(f, "malformed payload: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<FrameError> for ustream_common::UStreamError {
+    fn from(e: FrameError) -> Self {
+        ustream_common::UStreamError::Serde(format!("wire frame: {e}"))
+    }
+}
+
+/// A parsed frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Declared payload length in bytes (already bounded by the ceiling).
+    pub payload_len: usize,
+    /// Declared FNV-1a 64 checksum of the payload.
+    pub checksum: u64,
+}
+
+/// Parses and validates the fixed-size header; `max` bounds the declared
+/// payload length before the caller allocates anything.
+pub fn parse_header(bytes: &[u8], max: usize) -> Result<FrameHeader, FrameError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(FrameError::Truncated {
+            needed: HEADER_LEN,
+            have: bytes.len(),
+        });
+    }
+    let mut magic = [0u8; 4];
+    magic.copy_from_slice(&bytes[..4]);
+    if magic != FRAME_MAGIC {
+        return Err(FrameError::BadMagic(magic));
+    }
+    if bytes[4] != PROTOCOL_VERSION {
+        return Err(FrameError::BadVersion(bytes[4]));
+    }
+    if bytes[5] != 0 {
+        return Err(FrameError::BadFlags(bytes[5]));
+    }
+    let mut len = [0u8; 4];
+    len.copy_from_slice(&bytes[6..10]);
+    let payload_len = u32::from_le_bytes(len) as usize;
+    if payload_len > max {
+        return Err(FrameError::Oversized {
+            declared: payload_len,
+            max,
+        });
+    }
+    let mut sum = [0u8; 8];
+    sum.copy_from_slice(&bytes[10..18]);
+    Ok(FrameHeader {
+        payload_len,
+        checksum: u64::from_le_bytes(sum),
+    })
+}
+
+/// Verifies a received payload against its parsed header.
+pub fn verify_payload(header: &FrameHeader, payload: &[u8]) -> Result<(), FrameError> {
+    if payload.len() != header.payload_len {
+        return Err(FrameError::Truncated {
+            needed: header.payload_len,
+            have: payload.len(),
+        });
+    }
+    let actual = fnv1a64(payload);
+    if actual != header.checksum {
+        return Err(FrameError::Checksum {
+            declared: header.checksum,
+            actual,
+        });
+    }
+    Ok(())
+}
+
+/// Wraps a payload into one complete frame (header + payload bytes).
+pub fn encode_frame(payload: &[u8], max: usize) -> Result<Vec<u8>, FrameError> {
+    if payload.len() > max || payload.len() > u32::MAX as usize {
+        return Err(FrameError::Oversized {
+            declared: payload.len(),
+            max: max.min(u32::MAX as usize),
+        });
+    }
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&FRAME_MAGIC);
+    out.push(PROTOCOL_VERSION);
+    out.push(0); // flags
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    Ok(out)
+}
+
+/// Decodes one complete frame from a contiguous buffer, returning the
+/// verified payload bytes. The single entry point the fuzz tests hammer:
+/// any byte soup must come back as a [`FrameError`], never a panic.
+pub fn decode_frame(bytes: &[u8], max: usize) -> Result<&[u8], FrameError> {
+    let header = parse_header(bytes, max)?;
+    let payload = &bytes[HEADER_LEN..];
+    verify_payload(&header, payload)?;
+    Ok(payload)
+}
+
+/// One uncertain record on the wire: instantiated values plus the
+/// per-dimension error standard deviations `ψ(X)` and the arrival tick.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WirePoint {
+    /// The observed attribute values.
+    pub values: Vec<f64>,
+    /// The error standard deviations; must be finite and non-negative.
+    pub errors: Vec<f64>,
+    /// Arrival tick on the tenant's stream clock.
+    pub timestamp: u64,
+}
+
+impl WirePoint {
+    /// Validates and converts into an [`ustream_common::UncertainPoint`].
+    ///
+    /// The constructor over there *panics* on malformed error vectors —
+    /// appropriate for in-process generator bugs, fatal for a network
+    /// server — so every check happens here first and malformed records
+    /// come back as `Err` strings the server maps to an error response.
+    pub fn into_point(self) -> Result<ustream_common::UncertainPoint, String> {
+        if self.values.is_empty() {
+            return Err("point has no dimensions".into());
+        }
+        if self.values.len() != self.errors.len() {
+            return Err(format!(
+                "value/error dimensionality mismatch: {} vs {}",
+                self.values.len(),
+                self.errors.len()
+            ));
+        }
+        if !self.values.iter().all(|v| v.is_finite()) {
+            return Err("non-finite attribute value".into());
+        }
+        if !self.errors.iter().all(|e| e.is_finite() && *e >= 0.0) {
+            return Err("error standard deviations must be finite and non-negative".into());
+        }
+        Ok(ustream_common::UncertainPoint::new(
+            self.values,
+            self.errors,
+            self.timestamp,
+            None,
+        ))
+    }
+}
+
+/// Per-tenant clustering configuration supplied at tenant creation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantSpec {
+    /// Micro-cluster budget for this tenant's clusterer.
+    pub n_micro: usize,
+    /// Dimensionality every ingested point must match.
+    pub dims: usize,
+    /// Half-life for the decayed UMicro variant; `None` runs undecayed.
+    pub decay_half_life: Option<f64>,
+    /// Ticks between pyramidal snapshots of the tenant's cluster set.
+    pub snapshot_every: u64,
+    /// Pyramid base α.
+    pub alpha: u64,
+    /// Pyramid order count l.
+    pub l: u32,
+    /// Snapshot-count ceiling for the tenant's pyramid (budget).
+    pub max_snapshots: Option<usize>,
+    /// Snapshot-byte ceiling for the tenant's pyramid (budget).
+    pub max_snapshot_bytes: Option<u64>,
+}
+
+impl TenantSpec {
+    /// A spec with the workspace's default snapshot geometry (α = 2,
+    /// l = 6, snapshot every 256 ticks, no budget, undecayed).
+    pub fn new(n_micro: usize, dims: usize) -> Self {
+        Self {
+            n_micro,
+            dims,
+            decay_half_life: None,
+            snapshot_every: 256,
+            alpha: 2,
+            l: 6,
+            max_snapshots: None,
+            max_snapshot_bytes: None,
+        }
+    }
+}
+
+/// Every operation a client can ask of the server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Liveness probe; answered with [`Response::Pong`].
+    Ping,
+    /// Creates a tenant with its own clusterer and pyramid.
+    CreateTenant {
+        /// Tenant name (the multiplexing key; must be unique).
+        name: String,
+        /// Clustering configuration for the tenant.
+        spec: TenantSpec,
+    },
+    /// Removes a tenant and drops its state.
+    RemoveTenant {
+        /// Tenant to remove.
+        name: String,
+    },
+    /// Appends a batch of records to a tenant's stream.
+    Ingest {
+        /// Target tenant.
+        name: String,
+        /// Records in arrival order.
+        points: Vec<WirePoint>,
+    },
+    /// Micro-clusters of the trailing window `(now − horizon, now]`.
+    HorizonClusters {
+        /// Target tenant.
+        name: String,
+        /// Window length in stream ticks.
+        horizon: u64,
+    },
+    /// On-demand offline macro-clustering of the live micro-clusters.
+    MacroCluster {
+        /// Target tenant.
+        name: String,
+        /// Number of macro-clusters.
+        k: usize,
+        /// k-means seed, for reproducible answers.
+        seed: u64,
+    },
+    /// Per-tenant health and accounting.
+    TenantStats {
+        /// Target tenant.
+        name: String,
+    },
+    /// Whole-server accounting.
+    ServerStats,
+    /// Writes an atomic checkpoint of the entire tenant map to the
+    /// server's configured checkpoint path.
+    Checkpoint,
+    /// Asks the server to stop accepting work and drain.
+    Shutdown,
+}
+
+/// Machine-readable error class carried by [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorCode {
+    /// The named tenant does not exist.
+    NoSuchTenant,
+    /// A tenant with that name already exists.
+    TenantExists,
+    /// The request was structurally invalid (bad spec, bad frame payload).
+    InvalidRequest,
+    /// No stored snapshot covers the requested horizon.
+    HorizonUnavailable,
+    /// A record failed validation and was rejected.
+    InvalidPoint,
+    /// The server's worker queue is full; retry with backoff.
+    Overloaded,
+    /// The tenant's admission ladder is at `Shed`; the batch was dropped.
+    Shed,
+    /// The operation missed its deadline.
+    Deadline,
+    /// Anything else; the message carries details.
+    Internal,
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ErrorCode::NoSuchTenant => "no-such-tenant",
+            ErrorCode::TenantExists => "tenant-exists",
+            ErrorCode::InvalidRequest => "invalid-request",
+            ErrorCode::HorizonUnavailable => "horizon-unavailable",
+            ErrorCode::InvalidPoint => "invalid-point",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Shed => "shed",
+            ErrorCode::Deadline => "deadline",
+            ErrorCode::Internal => "internal",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One micro-cluster in a query answer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireCluster {
+    /// Stable cluster id.
+    pub id: u64,
+    /// Cluster centroid.
+    pub centroid: Vec<f64>,
+    /// Point count (or decayed weight) of the cluster.
+    pub weight: f64,
+}
+
+/// Per-tenant statistics and admission state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireTenantStats {
+    /// Points absorbed into the tenant's model.
+    pub points_processed: u64,
+    /// Live micro-clusters.
+    pub num_clusters: usize,
+    /// Estimated resident bytes of the tenant's model.
+    pub approx_memory_bytes: u64,
+    /// Admission-ladder stage (`LoadStage::as_u8` encoding).
+    pub stage: u8,
+    /// Records accepted at admission (before validation).
+    pub accepted: u64,
+    /// Records dropped by `Sample`-stage probabilistic admission.
+    pub sampled_out: u64,
+    /// Records dropped by `Shed`-stage admission control.
+    pub shed: u64,
+    /// Records rejected by validation (NaN values, bad ψ, wrong dims).
+    pub rejected: u64,
+    /// Snapshots currently retained in the tenant's pyramid.
+    pub snapshots_retained: usize,
+    /// Latest stream tick the tenant has observed.
+    pub last_tick: u64,
+}
+
+/// Whole-server statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireServerStats {
+    /// Live tenants.
+    pub tenants: u64,
+    /// Frames successfully decoded since boot.
+    pub frames: u64,
+    /// Points accepted across all tenants since boot.
+    pub points: u64,
+    /// Requests bounced with `Overloaded` (worker queue full).
+    pub jobs_rejected: u64,
+    /// Worker threads executing requests.
+    pub workers: usize,
+    /// Capacity of the bounded worker queue.
+    pub queue_capacity: usize,
+}
+
+/// Every answer the server can give.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// The tenant was created.
+    Created,
+    /// The tenant was removed.
+    Removed,
+    /// Ingest accounting for one batch.
+    Ingested {
+        /// Records absorbed into the model.
+        accepted: u64,
+        /// Records dropped by `Sample`-stage admission.
+        sampled_out: u64,
+        /// Records dropped by `Shed`-stage admission.
+        shed: u64,
+        /// Records rejected by validation.
+        rejected: u64,
+        /// The tenant's admission stage after the batch
+        /// (`LoadStage::as_u8` encoding).
+        stage: u8,
+    },
+    /// Micro-clusters of a horizon window.
+    Clusters {
+        /// The window's micro-clusters.
+        clusters: Vec<WireCluster>,
+        /// Total weight across the window.
+        total_weight: f64,
+    },
+    /// A macro-clustering.
+    Macro {
+        /// Macro-cluster centroids (`k × d`).
+        centroids: Vec<Vec<f64>>,
+        /// Total micro-cluster weight under each centroid.
+        weights: Vec<f64>,
+        /// Weighted SSQ of micro-centroids about their macro centroids.
+        ssq: f64,
+    },
+    /// Per-tenant statistics.
+    TenantStats {
+        /// The statistics.
+        stats: WireTenantStats,
+    },
+    /// Whole-server statistics.
+    ServerStats {
+        /// The statistics.
+        stats: WireServerStats,
+    },
+    /// A checkpoint was written.
+    CheckpointWritten {
+        /// Bytes in the checkpoint file.
+        bytes: u64,
+    },
+    /// The server acknowledged a shutdown request and is draining.
+    ShuttingDown,
+    /// The request failed.
+    Error {
+        /// Machine-readable error class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Serialises a request into a complete frame.
+pub fn encode_request(req: &Request, max: usize) -> Result<Vec<u8>, FrameError> {
+    let json = serde_json::to_string(req).map_err(|e| FrameError::Payload(e.to_string()))?;
+    encode_frame(json.as_bytes(), max)
+}
+
+/// Parses a verified frame payload as a request.
+pub fn decode_request(payload: &[u8]) -> Result<Request, FrameError> {
+    let text = std::str::from_utf8(payload).map_err(|_| FrameError::Payload("not UTF-8".into()))?;
+    serde_json::from_str(text).map_err(|e| FrameError::Payload(e.to_string()))
+}
+
+/// Serialises a response into a complete frame.
+pub fn encode_response(resp: &Response, max: usize) -> Result<Vec<u8>, FrameError> {
+    let json = serde_json::to_string(resp).map_err(|e| FrameError::Payload(e.to_string()))?;
+    encode_frame(json.as_bytes(), max)
+}
+
+/// Parses a verified frame payload as a response.
+pub fn decode_response(payload: &[u8]) -> Result<Response, FrameError> {
+    let text = std::str::from_utf8(payload).map_err(|_| FrameError::Payload("not UTF-8".into()))?;
+    serde_json::from_str(text).map_err(|e| FrameError::Payload(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let payload = b"{\"Ping\":null}";
+        let frame = encode_frame(payload, DEFAULT_MAX_FRAME_BYTES).unwrap();
+        assert_eq!(frame.len(), HEADER_LEN + payload.len());
+        let back = decode_frame(&frame, DEFAULT_MAX_FRAME_BYTES).unwrap();
+        assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn truncated_header_and_payload_are_typed_errors() {
+        let frame = encode_frame(b"abcdef", 1024).unwrap();
+        for cut in 0..frame.len() {
+            let err = decode_frame(&frame[..cut], 1024).unwrap_err();
+            assert!(
+                matches!(err, FrameError::Truncated { .. }),
+                "cut {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut frame = encode_frame(b"x", 1024).unwrap();
+        frame[0] = b'Z';
+        assert!(matches!(
+            decode_frame(&frame, 1024).unwrap_err(),
+            FrameError::BadMagic(_)
+        ));
+    }
+
+    #[test]
+    fn bad_version_and_flags_detected() {
+        let mut frame = encode_frame(b"x", 1024).unwrap();
+        frame[4] = 9;
+        assert_eq!(
+            decode_frame(&frame, 1024).unwrap_err(),
+            FrameError::BadVersion(9)
+        );
+        let mut frame = encode_frame(b"x", 1024).unwrap();
+        frame[5] = 0x80;
+        assert_eq!(
+            decode_frame(&frame, 1024).unwrap_err(),
+            FrameError::BadFlags(0x80)
+        );
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_allocation() {
+        let mut frame = encode_frame(b"x", 1024).unwrap();
+        frame[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&frame, 1024).unwrap_err(),
+            FrameError::Oversized { max: 1024, .. }
+        ));
+        // Encoding refuses over-limit payloads symmetrically.
+        assert!(matches!(
+            encode_frame(&[0u8; 32], 16).unwrap_err(),
+            FrameError::Oversized {
+                declared: 32,
+                max: 16
+            }
+        ));
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        let mut frame = encode_frame(b"hello world", 1024).unwrap();
+        let last = frame.len() - 1;
+        frame[last] ^= 0x01;
+        assert!(matches!(
+            decode_frame(&frame, 1024).unwrap_err(),
+            FrameError::Checksum { .. }
+        ));
+    }
+
+    #[test]
+    fn request_and_response_round_trip_through_frames() {
+        let req = Request::Ingest {
+            name: "acme".into(),
+            points: vec![WirePoint {
+                values: vec![1.0, 2.0],
+                errors: vec![0.1, 0.2],
+                timestamp: 7,
+            }],
+        };
+        let frame = encode_request(&req, DEFAULT_MAX_FRAME_BYTES).unwrap();
+        let payload = decode_frame(&frame, DEFAULT_MAX_FRAME_BYTES).unwrap();
+        assert_eq!(decode_request(payload).unwrap(), req);
+
+        let resp = Response::Ingested {
+            accepted: 1,
+            sampled_out: 0,
+            shed: 0,
+            rejected: 0,
+            stage: 0,
+        };
+        let frame = encode_response(&resp, DEFAULT_MAX_FRAME_BYTES).unwrap();
+        let payload = decode_frame(&frame, DEFAULT_MAX_FRAME_BYTES).unwrap();
+        assert_eq!(decode_response(payload).unwrap(), resp);
+    }
+
+    #[test]
+    fn malformed_json_payload_is_an_error_not_a_panic() {
+        let frame = encode_frame(b"{not json", 1024).unwrap();
+        let payload = decode_frame(&frame, 1024).unwrap();
+        assert!(matches!(
+            decode_request(payload).unwrap_err(),
+            FrameError::Payload(_)
+        ));
+        let frame = encode_frame(&[0xff, 0xfe], 1024).unwrap();
+        let payload = decode_frame(&frame, 1024).unwrap();
+        assert!(matches!(
+            decode_request(payload).unwrap_err(),
+            FrameError::Payload(_)
+        ));
+    }
+
+    #[test]
+    fn wire_point_validation_rejects_what_the_constructor_panics_on() {
+        let bad_psi = WirePoint {
+            values: vec![1.0],
+            errors: vec![-0.5],
+            timestamp: 1,
+        };
+        assert!(bad_psi.into_point().is_err());
+        let mismatched = WirePoint {
+            values: vec![1.0, 2.0],
+            errors: vec![0.1],
+            timestamp: 1,
+        };
+        assert!(mismatched.into_point().is_err());
+        let nan = WirePoint {
+            values: vec![f64::NAN],
+            errors: vec![0.1],
+            timestamp: 1,
+        };
+        assert!(nan.into_point().is_err());
+        let empty = WirePoint {
+            values: vec![],
+            errors: vec![],
+            timestamp: 1,
+        };
+        assert!(empty.into_point().is_err());
+        let good = WirePoint {
+            values: vec![1.0, 2.0],
+            errors: vec![0.1, 0.0],
+            timestamp: 3,
+        };
+        let p = good.into_point().unwrap();
+        assert_eq!(p.timestamp(), 3);
+        assert_eq!(p.dims(), 2);
+    }
+
+    #[test]
+    fn error_code_display_is_kebab() {
+        assert_eq!(ErrorCode::NoSuchTenant.to_string(), "no-such-tenant");
+        assert_eq!(ErrorCode::Overloaded.to_string(), "overloaded");
+    }
+}

@@ -1,0 +1,412 @@
+//! The multi-tenant registry: a sharded map of named [`Tenant`]s with an
+//! atomic whole-map checkpoint.
+//!
+//! Tenants are spread across lock buckets by `fnv1a64(name)` — the same
+//! hash the engine's checkpoint format uses — so unrelated tenants never
+//! contend on one mutex. The checkpoint locks *every* bucket in index
+//! order (a fixed total order, so concurrent checkpoints cannot deadlock),
+//! serialises the full tenant map in one pass, and lands it via the
+//! workspace's tmp-then-rename idiom under a `USRVMAP` header with the
+//! shared fnv1a64 payload checksum. A restore therefore sees either the
+//! whole tenant map at a single instant or nothing — never a torn subset.
+
+use crate::protocol::TenantSpec;
+use crate::tenant::{AdmissionPolicy, Tenant, TenantCheckpoint};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::Path;
+use std::sync::{Mutex, MutexGuard};
+use ustream_common::{Result, UStreamError};
+use ustream_engine::checkpoint::fnv1a64;
+use ustream_engine::LoadStage;
+
+/// Header magic for the tenant-map checkpoint file. Same scheme as the
+/// engine's `USTREAMCKPT`: ASCII header line, then a JSON payload guarded
+/// by an fnv1a64 checksum.
+pub const MAP_MAGIC: &str = "USRVMAP";
+/// Tenant-map checkpoint format version.
+pub const MAP_VERSION: u32 = 1;
+
+/// Why a registry operation could not be applied; the server maps these to
+/// wire error codes.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// The named tenant does not exist.
+    NoSuchTenant,
+    /// A tenant with that name already exists.
+    TenantExists,
+    /// The tenant spec was invalid (typed cause attached).
+    Invalid(UStreamError),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::NoSuchTenant => write!(f, "no such tenant"),
+            RegistryError::TenantExists => write!(f, "tenant already exists"),
+            RegistryError::Invalid(e) => write!(f, "invalid tenant spec: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+type Bucket = Mutex<BTreeMap<String, Tenant>>;
+
+/// Sharded map of named tenants plus the admission policy they all run
+/// under.
+pub struct TenantRegistry {
+    buckets: Vec<Bucket>,
+    policy: AdmissionPolicy,
+}
+
+/// Recovers a bucket guard even if a worker panicked while holding the
+/// lock: the map of tenants stays serviceable (a poisoned tenant's own
+/// state was built from per-record validated inputs, so it is still
+/// structurally sound).
+fn lock(bucket: &Bucket) -> MutexGuard<'_, BTreeMap<String, Tenant>> {
+    match bucket.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl TenantRegistry {
+    /// Creates an empty registry with `buckets` lock shards (minimum 1).
+    pub fn new(buckets: usize, policy: AdmissionPolicy) -> Result<Self> {
+        if let Some(problem) = policy.problem() {
+            return Err(UStreamError::InvalidConfig(problem));
+        }
+        let n = buckets.max(1);
+        Ok(Self {
+            buckets: (0..n).map(|_| Mutex::new(BTreeMap::new())).collect(),
+            policy,
+        })
+    }
+
+    /// The admission policy every tenant runs under.
+    pub fn policy(&self) -> &AdmissionPolicy {
+        &self.policy
+    }
+
+    fn bucket_for(&self, name: &str) -> &Bucket {
+        let idx = (fnv1a64(name.as_bytes()) % self.buckets.len() as u64) as usize;
+        &self.buckets[idx]
+    }
+
+    /// Creates a tenant; fails if the name is taken or the spec invalid.
+    pub fn create(&self, name: &str, spec: TenantSpec) -> std::result::Result<(), RegistryError> {
+        let mut bucket = lock(self.bucket_for(name));
+        if bucket.contains_key(name) {
+            return Err(RegistryError::TenantExists);
+        }
+        let tenant = Tenant::new(spec).map_err(RegistryError::Invalid)?;
+        bucket.insert(name.to_string(), tenant);
+        Ok(())
+    }
+
+    /// Removes a tenant, dropping all its state. Returns `false` when no
+    /// tenant had that name.
+    pub fn remove(&self, name: &str) -> bool {
+        lock(self.bucket_for(name)).remove(name).is_some()
+    }
+
+    /// Runs `f` against the named tenant under its bucket lock.
+    pub fn with_tenant<R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&mut Tenant) -> R,
+    ) -> std::result::Result<R, RegistryError> {
+        let mut bucket = lock(self.bucket_for(name));
+        match bucket.get_mut(name) {
+            Some(tenant) => Ok(f(tenant)),
+            None => Err(RegistryError::NoSuchTenant),
+        }
+    }
+
+    /// Number of live tenants.
+    pub fn len(&self) -> usize {
+        self.buckets.iter().map(|b| lock(b).len()).sum()
+    }
+
+    /// Whether the registry holds no tenants.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.iter().all(|b| lock(b).is_empty())
+    }
+
+    /// One governor sweep: polls every tenant's ingest rate against the
+    /// quota and walks its ladder. Returns the stage transitions that
+    /// fired, by tenant name.
+    pub fn governor_sweep(&self, elapsed_secs: f64) -> Vec<(String, LoadStage, LoadStage, f64)> {
+        let mut transitions = Vec::new();
+        for bucket in &self.buckets {
+            let mut guard = lock(bucket);
+            for (name, tenant) in guard.iter_mut() {
+                if let Some((from, to, pressure)) = tenant.governor_poll(elapsed_secs, &self.policy)
+                {
+                    transitions.push((name.clone(), from, to, pressure));
+                }
+            }
+        }
+        transitions
+    }
+
+    /// Flushes a final pyramid snapshot for every tenant (drain path).
+    pub fn flush_all(&self) {
+        for bucket in &self.buckets {
+            for tenant in lock(bucket).values_mut() {
+                tenant.flush_snapshot();
+            }
+        }
+    }
+
+    /// Locks all buckets in index order (a fixed total order, so two
+    /// concurrent checkpoints cannot deadlock) and returns the guards.
+    fn lock_all(&self) -> Vec<MutexGuard<'_, BTreeMap<String, Tenant>>> {
+        self.buckets.iter().map(lock).collect()
+    }
+
+    /// Serialises the entire tenant map at one instant.
+    fn export_all(&self) -> Result<RegistryCheckpoint> {
+        let guards = self.lock_all();
+        let mut tenants = Vec::new();
+        for guard in &guards {
+            for (name, tenant) in guard.iter() {
+                tenants.push(tenant.export(name)?);
+            }
+        }
+        // Bucket count is a runtime knob, not state: sort so the file is
+        // byte-stable regardless of sharding.
+        tenants.sort_by(|a, b| a.name.cmp(&b.name));
+        Ok(RegistryCheckpoint {
+            version: MAP_VERSION,
+            tenants,
+        })
+    }
+
+    /// Writes an atomic whole-map checkpoint to `path` (tmp + rename).
+    /// Returns the file size in bytes.
+    pub fn checkpoint(&self, path: &Path) -> Result<u64> {
+        let ckpt = self.export_all()?;
+        let bytes = encode_map(&ckpt)?;
+        let tmp = path.with_extension("tmp");
+        let mut file = std::fs::File::create(&tmp).map_err(UStreamError::Io)?;
+        // lint:allow(blocking-io): local checkpoint file, not a socket — no peer can stall it
+        file.write_all(&bytes).map_err(UStreamError::Io)?;
+        file.sync_all().map_err(UStreamError::Io)?;
+        std::fs::rename(&tmp, path).map_err(UStreamError::Io)?;
+        Ok(bytes.len() as u64)
+    }
+
+    /// Rebuilds a registry (same sharding and policy knobs as `new`) from
+    /// a checkpoint file written by [`TenantRegistry::checkpoint`].
+    pub fn restore(path: &Path, buckets: usize, policy: AdmissionPolicy) -> Result<Self> {
+        let bytes = std::fs::read(path).map_err(UStreamError::Io)?;
+        let ckpt = decode_map(&bytes)?;
+        let registry = TenantRegistry::new(buckets, policy)?;
+        for tc in &ckpt.tenants {
+            let tenant = Tenant::restore(tc)?;
+            lock(registry.bucket_for(&tc.name)).insert(tc.name.clone(), tenant);
+        }
+        Ok(registry)
+    }
+}
+
+/// The persisted form of the whole tenant map.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct RegistryCheckpoint {
+    /// Format version ([`MAP_VERSION`]).
+    pub version: u32,
+    /// Every tenant's full state, sorted by name.
+    pub tenants: Vec<TenantCheckpoint>,
+}
+
+/// Encodes a map checkpoint: `USRVMAP <version> <payload-bytes>
+/// <fnv1a64-hex>\n` followed by the JSON payload.
+pub fn encode_map(ckpt: &RegistryCheckpoint) -> Result<Vec<u8>> {
+    let payload = serde_json::to_string(ckpt).map_err(|e| UStreamError::Serde(e.to_string()))?;
+    let payload = payload.into_bytes();
+    let header = format!(
+        "{MAP_MAGIC} {MAP_VERSION} {} {:016x}\n",
+        payload.len(),
+        fnv1a64(&payload)
+    );
+    let mut out = header.into_bytes();
+    out.extend_from_slice(&payload);
+    Ok(out)
+}
+
+/// Decodes a map checkpoint, verifying magic, version, declared length
+/// and checksum before touching the JSON.
+pub fn decode_map(bytes: &[u8]) -> Result<RegistryCheckpoint> {
+    let nl = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| UStreamError::Checkpoint("map checkpoint: missing header line".into()))?;
+    let header = std::str::from_utf8(&bytes[..nl])
+        .map_err(|_| UStreamError::Checkpoint("map checkpoint: header is not UTF-8".into()))?;
+    let mut parts = header.split_ascii_whitespace();
+    let magic = parts.next().unwrap_or_default();
+    if magic != MAP_MAGIC {
+        return Err(UStreamError::Checkpoint(format!(
+            "map checkpoint: bad magic {magic:?}"
+        )));
+    }
+    let version: u32 = parts
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| UStreamError::Checkpoint("map checkpoint: bad version field".into()))?;
+    if version != MAP_VERSION {
+        return Err(UStreamError::Checkpoint(format!(
+            "map checkpoint: unsupported version {version}"
+        )));
+    }
+    let declared_len: usize = parts
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| UStreamError::Checkpoint("map checkpoint: bad length field".into()))?;
+    let declared_sum = parts
+        .next()
+        .and_then(|v| u64::from_str_radix(v, 16).ok())
+        .ok_or_else(|| UStreamError::Checkpoint("map checkpoint: bad checksum field".into()))?;
+    let payload = &bytes[nl + 1..];
+    if payload.len() != declared_len {
+        return Err(UStreamError::Checkpoint(format!(
+            "map checkpoint: payload is {} bytes, header declared {declared_len}",
+            payload.len()
+        )));
+    }
+    let actual = fnv1a64(payload);
+    if actual != declared_sum {
+        return Err(UStreamError::Checkpoint(format!(
+            "map checkpoint: checksum mismatch (declared {declared_sum:016x}, got {actual:016x})"
+        )));
+    }
+    let json = std::str::from_utf8(payload)
+        .map_err(|_| UStreamError::Checkpoint("map checkpoint: payload is not UTF-8".into()))?;
+    serde_json::from_str(json).map_err(|e| UStreamError::Serde(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::WirePoint;
+
+    fn spec() -> TenantSpec {
+        TenantSpec {
+            snapshot_every: 16,
+            ..TenantSpec::new(6, 2)
+        }
+    }
+
+    fn feed(reg: &TenantRegistry, name: &str, n: u64) {
+        let points: Vec<WirePoint> = (1..=n)
+            .map(|t| WirePoint {
+                values: vec![t as f64 % 7.0, -(t as f64 % 5.0)],
+                errors: vec![0.1, 0.1],
+                timestamp: t,
+            })
+            .collect();
+        reg.with_tenant(name, |t| {
+            let policy = AdmissionPolicy::default();
+            t.ingest(points, &policy)
+        })
+        .unwrap();
+    }
+
+    fn tmp_path(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("usrvmap_{tag}_{}.ckpt", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn create_query_remove_lifecycle() {
+        let reg = TenantRegistry::new(8, AdmissionPolicy::default()).unwrap();
+        assert!(reg.is_empty());
+        reg.create("a", spec()).unwrap();
+        reg.create("b", spec()).unwrap();
+        assert!(matches!(
+            reg.create("a", spec()),
+            Err(RegistryError::TenantExists)
+        ));
+        assert_eq!(reg.len(), 2);
+        feed(&reg, "a", 100);
+        let stats = reg.with_tenant("a", |t| t.stats()).unwrap();
+        assert_eq!(stats.points_processed, 100);
+        assert!(matches!(
+            reg.with_tenant("ghost", |t| t.stats()),
+            Err(RegistryError::NoSuchTenant)
+        ));
+        assert!(reg.remove("a"));
+        assert!(!reg.remove("a"));
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn invalid_spec_is_a_typed_create_failure() {
+        let reg = TenantRegistry::new(4, AdmissionPolicy::default()).unwrap();
+        let mut bad = spec();
+        bad.dims = 0;
+        assert!(matches!(
+            reg.create("x", bad),
+            Err(RegistryError::Invalid(_))
+        ));
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn checkpoint_restores_the_whole_map() {
+        let reg = TenantRegistry::new(4, AdmissionPolicy::default()).unwrap();
+        for name in ["alpha", "beta", "gamma"] {
+            reg.create(name, spec()).unwrap();
+            feed(&reg, name, 200);
+        }
+        let path = tmp_path("roundtrip");
+        let bytes = reg.checkpoint(&path).unwrap();
+        assert!(bytes > 0);
+        // Restore with a *different* bucket count: sharding is a runtime
+        // knob, not persisted state.
+        let back = TenantRegistry::restore(&path, 2, AdmissionPolicy::default()).unwrap();
+        assert_eq!(back.len(), 3);
+        for name in ["alpha", "beta", "gamma"] {
+            let a = reg.with_tenant(name, |t| t.stats()).unwrap();
+            let b = back.with_tenant(name, |t| t.stats()).unwrap();
+            assert_eq!(a, b, "tenant {name} diverged across restore");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_map_checkpoints_are_typed_failures() {
+        let reg = TenantRegistry::new(2, AdmissionPolicy::default()).unwrap();
+        reg.create("only", spec()).unwrap();
+        let good = encode_map(&reg.export_all().unwrap()).unwrap();
+
+        // Flip a payload byte: checksum mismatch.
+        let mut bad = good.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        assert!(decode_map(&bad)
+            .unwrap_err()
+            .to_string()
+            .contains("checksum"));
+
+        // Truncate the payload: length mismatch.
+        let mut short = good.clone();
+        short.truncate(good.len() - 4);
+        assert!(decode_map(&short).is_err());
+
+        // Wrong magic.
+        let mut magic = good.clone();
+        magic[0] = b'X';
+        assert!(decode_map(&magic)
+            .unwrap_err()
+            .to_string()
+            .contains("magic"));
+
+        // No header newline at all.
+        assert!(decode_map(b"USRVMAP 1 4").is_err());
+    }
+}

@@ -1,0 +1,300 @@
+//! Property tests for the serving wire protocol.
+//!
+//! Two families:
+//!
+//! 1. **Round-trip**: every `Request`/`Response` variant, with randomised
+//!    payloads, survives encode → frame → decode bit-for-bit.
+//! 2. **Malformed-frame fuzz**: random bytes, truncations at every cut
+//!    point, single-bit corruption and hostile length prefixes must come
+//!    back as typed `FrameError`s — never a panic, never an allocation
+//!    driven by an unvalidated length. CI runs this alongside the
+//!    fault-injection (failpoints) step.
+
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use ustream_serve::protocol::{
+    decode_frame, decode_request, decode_response, encode_request, encode_response, ErrorCode,
+    FrameError, Request, Response, TenantSpec, WireCluster, WirePoint, WireServerStats,
+    WireTenantStats, DEFAULT_MAX_FRAME_BYTES, HEADER_LEN,
+};
+
+const MAX: usize = DEFAULT_MAX_FRAME_BYTES;
+
+fn arb_name() -> impl Strategy<Value = String> {
+    (0u64..10_000).prop_map(|n| format!("tenant-{n}"))
+}
+
+/// Wire points are *unvalidated* on purpose: mismatched lengths reach the
+/// decoder and must round-trip (validation happens at admission, not in
+/// the codec).
+fn arb_point() -> impl Strategy<Value = WirePoint> {
+    (
+        pvec(-1e6..1e6f64, 1..5),
+        pvec(0.0..100.0f64, 1..5),
+        0u64..1_000_000,
+    )
+        .prop_map(|(values, errors, timestamp)| WirePoint {
+            values,
+            errors,
+            timestamp,
+        })
+}
+
+fn arb_spec() -> impl Strategy<Value = TenantSpec> {
+    (
+        (1usize..64, 1usize..8, 1u64..1000),
+        (2u64..5, 1u32..8, 0u8..8),
+        (0.1..1e4f64, 1usize..100, 1u64..1_000_000),
+    )
+        .prop_map(
+            |((n_micro, dims, snapshot_every), (alpha, l, opts), (hl, max_snaps, max_bytes))| {
+                TenantSpec {
+                    n_micro,
+                    dims,
+                    snapshot_every,
+                    alpha,
+                    l,
+                    decay_half_life: (opts & 1 != 0).then_some(hl),
+                    max_snapshots: (opts & 2 != 0).then_some(max_snaps),
+                    max_snapshot_bytes: (opts & 4 != 0).then_some(max_bytes),
+                }
+            },
+        )
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (
+        (0u8..10, arb_name(), arb_spec()),
+        (pvec(arb_point(), 0..8), 0u64..10_000, 1usize..16),
+        0u64..u64::MAX,
+    )
+        .prop_map(
+            |((idx, name, spec), (points, horizon, k), seed)| match idx {
+                0 => Request::Ping,
+                1 => Request::CreateTenant { name, spec },
+                2 => Request::RemoveTenant { name },
+                3 => Request::Ingest { name, points },
+                4 => Request::HorizonClusters { name, horizon },
+                5 => Request::MacroCluster { name, k, seed },
+                6 => Request::TenantStats { name },
+                7 => Request::ServerStats,
+                8 => Request::Checkpoint,
+                _ => Request::Shutdown,
+            },
+        )
+}
+
+fn arb_cluster() -> impl Strategy<Value = WireCluster> {
+    (0u64..1000, pvec(-1e6..1e6f64, 1..5), 0.0..1e9f64).prop_map(|(id, centroid, weight)| {
+        WireCluster {
+            id,
+            centroid,
+            weight,
+        }
+    })
+}
+
+fn arb_error_code() -> impl Strategy<Value = ErrorCode> {
+    (0u8..9).prop_map(|i| match i {
+        0 => ErrorCode::NoSuchTenant,
+        1 => ErrorCode::TenantExists,
+        2 => ErrorCode::InvalidRequest,
+        3 => ErrorCode::HorizonUnavailable,
+        4 => ErrorCode::InvalidPoint,
+        5 => ErrorCode::Overloaded,
+        6 => ErrorCode::Shed,
+        7 => ErrorCode::Deadline,
+        _ => ErrorCode::Internal,
+    })
+}
+
+fn arb_tenant_stats() -> impl Strategy<Value = WireTenantStats> {
+    (
+        (0u64..1_000_000, 0usize..1000, 0u64..1_000_000_000),
+        (0u8..4, 0u64..1_000_000, 0u64..1_000_000),
+        (0u64..1_000_000, 0u64..1_000_000, 0usize..100),
+        0u64..1_000_000,
+    )
+        .prop_map(
+            |(
+                (points_processed, num_clusters, approx_memory_bytes),
+                (stage, accepted, sampled_out),
+                (shed, rejected, snapshots_retained),
+                last_tick,
+            )| WireTenantStats {
+                points_processed,
+                num_clusters,
+                approx_memory_bytes,
+                stage,
+                accepted,
+                sampled_out,
+                shed,
+                rejected,
+                snapshots_retained,
+                last_tick,
+            },
+        )
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    (
+        (0u8..11, pvec(arb_cluster(), 0..8), arb_tenant_stats()),
+        (
+            pvec(pvec(-1e6..1e6f64, 1..4), 0..6),
+            pvec(0.0..1e9f64, 0..6),
+            0.0..1e12f64,
+        ),
+        (
+            (0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000),
+            arb_error_code(),
+            arb_name(),
+        ),
+    )
+        .prop_map(
+            |((idx, clusters, tstats), (centroids, weights, ssq), ((a, b, c), code, message))| {
+                match idx {
+                    0 => Response::Pong,
+                    1 => Response::Created,
+                    2 => Response::Removed,
+                    3 => Response::Ingested {
+                        accepted: a,
+                        sampled_out: b,
+                        shed: c,
+                        rejected: a.min(b),
+                        stage: (c % 4) as u8,
+                    },
+                    4 => Response::Clusters {
+                        clusters,
+                        total_weight: ssq,
+                    },
+                    5 => Response::Macro {
+                        centroids,
+                        weights,
+                        ssq,
+                    },
+                    6 => Response::TenantStats { stats: tstats },
+                    7 => Response::ServerStats {
+                        stats: WireServerStats {
+                            tenants: a,
+                            frames: b,
+                            points: c,
+                            jobs_rejected: a.min(c),
+                            workers: (b % 64) as usize,
+                            queue_capacity: (c % 4096) as usize,
+                        },
+                    },
+                    8 => Response::CheckpointWritten { bytes: a },
+                    9 => Response::ShuttingDown,
+                    _ => Response::Error { code, message },
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every request variant survives encode → frame → decode exactly.
+    #[test]
+    fn request_round_trip(req in arb_request()) {
+        let frame = encode_request(&req, MAX).unwrap();
+        let payload = decode_frame(&frame, MAX).unwrap();
+        let back = decode_request(payload).unwrap();
+        prop_assert_eq!(back, req);
+    }
+
+    /// Every response variant survives encode → frame → decode exactly —
+    /// including the float payloads (centroids, weights, ssq), which must
+    /// round-trip bit-for-bit through the JSON body.
+    #[test]
+    fn response_round_trip(resp in arb_response()) {
+        let frame = encode_response(&resp, MAX).unwrap();
+        let payload = decode_frame(&frame, MAX).unwrap();
+        let back = decode_response(payload).unwrap();
+        prop_assert_eq!(back, resp);
+    }
+
+    /// Arbitrary byte soup is a typed error (or, vanishingly unlikely, a
+    /// valid frame) — never a panic.
+    #[test]
+    fn random_bytes_never_panic(bytes in pvec((0u16..256).prop_map(|b| b as u8), 0..200)) {
+        let _ = decode_frame(&bytes, MAX);
+    }
+
+    /// A valid frame truncated anywhere strictly before its end is a
+    /// `Truncated` error with honest byte counts.
+    #[test]
+    fn truncation_is_always_detected(req in arb_request(), frac in 0.0..1.0f64) {
+        let frame = encode_request(&req, MAX).unwrap();
+        let cut = ((frame.len() as f64) * frac) as usize;
+        prop_assert!(cut < frame.len());
+        match decode_frame(&frame[..cut], MAX) {
+            Err(FrameError::Truncated { needed, have }) => {
+                prop_assert!(have < needed);
+            }
+            Err(other) => prop_assert!(false, "expected Truncated, got {}", other),
+            Ok(_) => prop_assert!(false, "truncated frame decoded"),
+        }
+    }
+
+    /// Any single-bit flip anywhere in a frame is detected: in the header
+    /// it breaks magic/version/length/checksum parsing, in the payload it
+    /// breaks the fnv1a64 checksum. No flip can yield `Ok`.
+    #[test]
+    fn single_bit_corruption_is_always_detected(
+        req in arb_request(),
+        pos in 0.0..1.0f64,
+        bit in 0u8..8,
+    ) {
+        let mut frame = encode_request(&req, MAX).unwrap();
+        let idx = ((frame.len() as f64) * pos) as usize % frame.len();
+        frame[idx] ^= 1 << bit;
+        prop_assert!(decode_frame(&frame, MAX).is_err(), "flip at {} bit {} decoded", idx, bit);
+    }
+
+    /// A hostile length prefix beyond the frame bound is rejected before
+    /// any allocation, regardless of what follows the header.
+    #[test]
+    fn hostile_length_prefix_is_rejected(declared in 0u64..u64::from(u32::MAX)) {
+        let small_max = 4096usize;
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(b"USRV");
+        header.push(1); // version
+        header.push(0); // flags
+        header.extend_from_slice(&(declared as u32).to_le_bytes());
+        header.extend_from_slice(&0u64.to_le_bytes()); // bogus checksum
+        let res = decode_frame(&header, small_max);
+        if declared as usize > small_max {
+            match res {
+                Err(FrameError::Oversized { declared: d, max }) => {
+                    prop_assert_eq!(d, declared as usize);
+                    prop_assert_eq!(max, small_max);
+                }
+                other => prop_assert!(false, "expected Oversized, got {:?}", other.err()),
+            }
+        } else {
+            // In-bounds length with no payload bytes: truncated, checksum
+            // failure, or (declared == 0 with matching checksum) a decode —
+            // but never a panic.
+            let _ = res;
+        }
+    }
+}
+
+/// Deterministic exhaustive sweep (not property-based): every cut point of
+/// a real frame, byte-by-byte, is a typed error.
+#[test]
+fn exhaustive_cut_points_of_a_real_request() {
+    let req = Request::CreateTenant {
+        name: "edge".into(),
+        spec: TenantSpec::new(16, 3),
+    };
+    let frame = encode_request(&req, MAX).unwrap();
+    for cut in 0..frame.len() {
+        assert!(
+            decode_frame(&frame[..cut], MAX).is_err(),
+            "cut at {cut} decoded"
+        );
+    }
+    assert!(decode_frame(&frame, MAX).is_ok());
+}

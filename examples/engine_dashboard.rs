@@ -23,7 +23,11 @@ fn main() {
         .with_novelty_factor(Some(6.0))
         .with_shards(2)
         .with_snapshot_every(16);
-    let engine = Arc::new(StreamEngine::start(config).expect("engine starts"));
+    let engine = Arc::new(
+        EngineBuilder::from_config(config)
+            .build()
+            .expect("engine starts"),
+    );
     let clock = Arc::new(AtomicU64::new(0));
 
     let total_per_producer = 4_000u64;

@@ -57,7 +57,11 @@ pub mod prelude {
     pub use ustream_common::{
         ClassLabel, DataStream, DeterministicPoint, Timestamp, UncertainPoint, VecStream,
     };
-    pub use ustream_engine::{EngineConfig, StreamEngine};
+    // `ClusterQuery` is deliberately not in the prelude: glob-importing it
+    // alongside `OnlineClusterer` would make `macro_cluster`/`export_state`
+    // calls on boxed clusterers ambiguous. Import it explicitly where the
+    // unified read API is wanted.
+    pub use ustream_engine::{EngineBuilder, EngineConfig, StreamEngine};
     pub use ustream_eval::{ClusterPurity, ProgressionTracker, ThroughputMeter};
     pub use ustream_synth::{DatasetProfile, NoiseModel, SynDriftConfig};
 }

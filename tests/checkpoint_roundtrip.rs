@@ -8,7 +8,7 @@ use proptest::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 use umicro::UMicroConfig;
 use ustream_common::UncertainPoint;
-use ustream_engine::{EngineConfig, StreamEngine};
+use ustream_engine::{EngineBuilder, EngineConfig, StreamEngine};
 
 const DIMS: usize = 2;
 
@@ -65,7 +65,7 @@ proptest! {
         let config = EngineConfig::new(UMicroConfig::new(n_micro, DIMS).unwrap())
             .with_shards(shards)
             .with_snapshot_every(snapshot_every);
-        let e = StreamEngine::start(config).unwrap();
+        let e = EngineBuilder::from_config(config).build().unwrap();
         for p in &points {
             e.push(p.clone()).unwrap();
         }
@@ -113,7 +113,7 @@ proptest! {
         let config = EngineConfig::new(UMicroConfig::new(8, DIMS).unwrap())
             .with_shards(shards)
             .with_snapshot_every(8);
-        let e = StreamEngine::start(config).unwrap();
+        let e = EngineBuilder::from_config(config).build().unwrap();
         for p in &points {
             e.push(p.clone()).unwrap();
         }

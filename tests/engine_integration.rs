@@ -6,7 +6,7 @@ use rand::SeedableRng;
 use std::sync::Arc;
 use umicro::UMicroConfig;
 use ustream_common::{DataStream, UncertainPoint};
-use ustream_engine::{EngineConfig, StreamEngine};
+use ustream_engine::{EngineBuilder, EngineConfig};
 use ustream_snapshot::PyramidConfig;
 use ustream_synth::profiles::forest_cover;
 use ustream_synth::{NoisyStream, SynDriftConfig};
@@ -23,10 +23,11 @@ fn noisy_points(len: usize, seed: u64) -> (Vec<UncertainPoint>, usize) {
 #[test]
 fn engine_processes_generated_workload() {
     let (points, dims) = noisy_points(8_000, 3);
-    let engine = StreamEngine::start(
+    let engine = EngineBuilder::from_config(
         EngineConfig::new(UMicroConfig::new(40, dims).unwrap())
             .with_pyramid(PyramidConfig::new(2, 6).unwrap()),
     )
+    .build()
     .expect("engine starts");
     for p in points {
         engine.push(p).expect("engine accepts records");
@@ -48,7 +49,8 @@ fn engine_processes_generated_workload() {
 fn engine_multi_producer_totals_are_exact() {
     let (points, dims) = noisy_points(6_000, 9);
     let engine = Arc::new(
-        StreamEngine::start(EngineConfig::new(UMicroConfig::new(30, dims).unwrap()))
+        EngineBuilder::from_config(EngineConfig::new(UMicroConfig::new(30, dims).unwrap()))
+            .build()
             .expect("engine starts"),
     );
     let chunks: Vec<Vec<UncertainPoint>> = points.chunks(1_500).map(<[_]>::to_vec).collect();
@@ -91,11 +93,12 @@ fn engine_detects_regime_change_on_real_profile() {
         ));
     }
 
-    let engine = StreamEngine::start(
+    let engine = EngineBuilder::from_config(
         EngineConfig::new(UMicroConfig::new(40, dims).unwrap())
             .with_novelty_factor(Some(6.0))
             .with_novelty_quantile(0.99),
     )
+    .build()
     .expect("engine starts");
     for p in points {
         engine.push(p).expect("engine accepts records");
@@ -125,9 +128,10 @@ fn engine_detects_regime_change_on_real_profile() {
 #[test]
 fn decayed_engine_forgets_old_regimes_in_horizon_queries() {
     let dims = 2;
-    let engine = StreamEngine::start(
+    let engine = EngineBuilder::from_config(
         EngineConfig::new(UMicroConfig::new(16, dims).unwrap()).with_decay_half_life(512.0),
     )
+    .build()
     .expect("engine starts");
     for t in 1..=4_096u64 {
         let x = if t <= 3_072 { 0.0 } else { 64.0 };

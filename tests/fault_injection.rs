@@ -16,8 +16,8 @@ use std::time::{Duration, Instant};
 use umicro::UMicroConfig;
 use ustream_common::{UStreamError, UncertainPoint};
 use ustream_engine::{
-    failpoints, BackpressurePolicy, EngineConfig, HealthStatus, StreamEngine, ValidationPolicy,
-    WatchdogConfig,
+    failpoints, BackpressurePolicy, EngineBuilder, EngineConfig, HealthStatus, StreamEngine,
+    ValidationPolicy, WatchdogConfig,
 };
 
 static FAILPOINT_LOCK: Mutex<()> = Mutex::new(());
@@ -38,9 +38,10 @@ fn injected_worker_panic_degrades_without_losing_merged_clusters() {
     let _guard = FAILPOINT_LOCK.lock().unwrap();
     failpoints::reset_all();
 
-    let e = StreamEngine::start(
+    let e = EngineBuilder::from_config(
         EngineConfig::new(UMicroConfig::new(8, 2).unwrap()).with_snapshot_every(8),
     )
+    .build()
     .unwrap();
     for t in 1..=64u64 {
         e.push(pt((t % 2) as f64 * 10.0, 0.0, t)).unwrap();
@@ -95,9 +96,10 @@ fn corrupted_checkpoint_fails_restore_cleanly() {
     failpoints::reset_all();
     let path = temp_path("corrupt");
 
-    let e = StreamEngine::start(
+    let e = EngineBuilder::from_config(
         EngineConfig::new(UMicroConfig::new(8, 2).unwrap()).with_snapshot_every(16),
     )
+    .build()
     .unwrap();
     for t in 1..=128u64 {
         e.push(pt((t % 3) as f64, (t % 5) as f64, t)).unwrap();
@@ -136,10 +138,11 @@ fn injected_nan_is_quarantined_with_visible_counter() {
     let _guard = FAILPOINT_LOCK.lock().unwrap();
     failpoints::reset_all();
 
-    let e = StreamEngine::start(
+    let e = EngineBuilder::from_config(
         EngineConfig::new(UMicroConfig::new(4, 2).unwrap())
             .with_validation(Some(ValidationPolicy::Quarantine)),
     )
+    .build()
     .unwrap();
     // The producer thinks it pushes a clean record; the failpoint poisons
     // its first coordinate before validation sees it.
@@ -173,7 +176,7 @@ fn stalled_worker_with_drop_newest_sheds_load_instead_of_blocking() {
         .with_backpressure(BackpressurePolicy::DropNewest)
         .with_snapshot_every(1_000);
     config.channel_capacity = 2;
-    let e = StreamEngine::start(config).unwrap();
+    let e = EngineBuilder::from_config(config).build().unwrap();
 
     // Every record costs the worker an extra 50 ms: the 2-slot channel
     // fills immediately and DropNewest sheds the rest without blocking the
@@ -216,7 +219,7 @@ fn watchdog_detects_wedged_worker_and_rescue_drains_backlog() {
     let _guard = FAILPOINT_LOCK.lock().unwrap();
     failpoints::reset_all();
 
-    let e = StreamEngine::start(
+    let e = EngineBuilder::from_config(
         EngineConfig::new(UMicroConfig::new(8, 2).unwrap())
             .with_snapshot_every(1_000)
             .with_watchdog(WatchdogConfig {
@@ -225,6 +228,7 @@ fn watchdog_detects_wedged_worker_and_rescue_drains_backlog() {
                 respawn: true,
             }),
     )
+    .build()
     .unwrap();
 
     // The first record the worker dequeues costs it a 2 s sleep — far past
@@ -269,12 +273,13 @@ fn restore_falls_back_to_oldest_surviving_generation() {
     failpoints::reset_all();
     let base = temp_path("generations");
 
-    let e = StreamEngine::start(
+    let e = EngineBuilder::from_config(
         EngineConfig::new(UMicroConfig::new(8, 2).unwrap())
             .with_snapshot_every(16)
             .with_auto_checkpoint(32, &base)
             .with_checkpoint_generations(3),
     )
+    .build()
     .unwrap();
     for t in 1..=96u64 {
         e.push(pt((t % 3) as f64 * 5.0, (t % 5) as f64, t)).unwrap();
@@ -319,11 +324,12 @@ fn restore_with_every_generation_corrupt_is_a_clean_error() {
     failpoints::reset_all();
     let base = temp_path("generations-all-bad");
 
-    let e = StreamEngine::start(
+    let e = EngineBuilder::from_config(
         EngineConfig::new(UMicroConfig::new(4, 2).unwrap())
             .with_auto_checkpoint(16, &base)
             .with_checkpoint_generations(2),
     )
+    .build()
     .unwrap();
     for t in 1..=32u64 {
         e.push(pt(1.0, 1.0, t)).unwrap();
@@ -358,7 +364,7 @@ fn soak_repeated_stalls_recover_without_losing_records() {
     let _guard = FAILPOINT_LOCK.lock().unwrap();
     failpoints::reset_all();
 
-    let e = StreamEngine::start(
+    let e = EngineBuilder::from_config(
         EngineConfig::new(UMicroConfig::new(8, 2).unwrap())
             .with_snapshot_every(500)
             .with_watchdog(WatchdogConfig {
@@ -367,6 +373,7 @@ fn soak_repeated_stalls_recover_without_losing_records() {
                 respawn: true,
             }),
     )
+    .build()
     .unwrap();
 
     let mut pushed = 0u64;

@@ -10,7 +10,7 @@ use std::sync::Arc;
 use umicro::UMicroConfig;
 use ustream_common::{UStreamError, UncertainPoint};
 use ustream_engine::{
-    BackpressurePolicy, EngineConfig, SnapshotBudget, StreamEngine, ValidationPolicy,
+    BackpressurePolicy, EngineBuilder, EngineConfig, SnapshotBudget, ValidationPolicy,
 };
 
 fn pt(x: f64, y: f64, t: u64) -> UncertainPoint {
@@ -38,12 +38,13 @@ impl Rng {
 #[test]
 fn snapshot_budget_holds_through_a_million_records() {
     let budget = SnapshotBudget::by_snapshots(48);
-    let e = StreamEngine::start(
+    let e = EngineBuilder::from_config(
         EngineConfig::new(UMicroConfig::new(8, 2).unwrap())
             .with_shards(2)
             .with_snapshot_every(64)
             .with_snapshot_budget(budget),
     )
+    .build()
     .unwrap();
 
     let mut rng = Rng(7);
@@ -96,12 +97,13 @@ fn snapshot_budget_holds_through_a_million_records() {
 #[test]
 fn quarantine_counters_survive_concurrent_drain_under_full_ring() {
     let e = Arc::new(
-        StreamEngine::start(
+        EngineBuilder::from_config(
             EngineConfig::new(UMicroConfig::new(8, 2).unwrap())
                 .with_shards(2)
                 .with_validation(Some(ValidationPolicy::Quarantine))
                 .with_quarantine_capacity(8), // tiny ring: constantly full
         )
+        .build()
         .unwrap(),
     );
 
@@ -171,7 +173,7 @@ fn drop_newest_conserves_every_push_under_contention() {
         .with_backpressure(BackpressurePolicy::DropNewest)
         .with_snapshot_every(100_000);
     config.channel_capacity = 2;
-    let e = Arc::new(StreamEngine::start(config).unwrap());
+    let e = Arc::new(EngineBuilder::from_config(config).build().unwrap());
 
     const PRODUCERS: u64 = 8;
     const PER_PRODUCER: u64 = 2_500;
@@ -207,7 +209,7 @@ fn error_policy_conserves_every_push_under_contention() {
         .with_backpressure(BackpressurePolicy::Error)
         .with_snapshot_every(100_000);
     config.channel_capacity = 2;
-    let e = Arc::new(StreamEngine::start(config).unwrap());
+    let e = Arc::new(EngineBuilder::from_config(config).build().unwrap());
 
     const PRODUCERS: u64 = 8;
     const PER_PRODUCER: u64 = 2_500;

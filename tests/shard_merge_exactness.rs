@@ -7,7 +7,7 @@ use proptest::collection::vec as pvec;
 use proptest::prelude::*;
 use umicro::{Ecf, OnlineClusterer, UMicro, UMicroConfig};
 use ustream_common::{AdditiveFeature, UncertainPoint};
-use ustream_engine::{EngineConfig, StreamEngine};
+use ustream_engine::{EngineBuilder, EngineConfig};
 use ustream_eval::ClusterPurity;
 use ustream_snapshot::{merge_namespaced, namespaced_id, shard_of_id};
 use ustream_synth::SynDriftConfig;
@@ -164,7 +164,9 @@ fn sharded_engine_is_exact_on_syndrift() {
 
     // `push` routes round-robin from a zero cursor, so a single producer
     // reproduces the reference routing exactly.
-    let engine = StreamEngine::start(config).expect("engine starts");
+    let engine = EngineBuilder::from_config(config)
+        .build()
+        .expect("engine starts");
     for p in &points {
         engine.push(p.clone()).expect("engine accepts records");
     }

@@ -10,25 +10,28 @@ pub struct Args {
 }
 
 impl Args {
-    /// Parses `--key value` pairs from `std::env::args()`.
+    /// Parses `--key value` pairs from `std::env::args()`. A flag followed
+    /// by another flag (or nothing) is a value-less switch and stores
+    /// `"true"` — `--strict` reads back as `get("strict", false) == true`.
     ///
     /// # Panics
-    /// Panics (with a usage-style message) on stray positional arguments or
-    /// a trailing flag without a value.
+    /// Panics (with a usage-style message) on stray positional arguments.
     pub fn parse() -> Self {
         Self::from_flags(std::env::args().skip(1))
     }
 
     /// Parses from an explicit iterator (tests).
-    pub fn from_flags(mut iter: impl Iterator<Item = String>) -> Self {
+    pub fn from_flags(iter: impl Iterator<Item = String>) -> Self {
         let mut flags = BTreeMap::new();
+        let mut iter = iter.peekable();
         while let Some(arg) = iter.next() {
             let key = arg
                 .strip_prefix("--")
                 .unwrap_or_else(|| panic!("unexpected positional argument: {arg}"));
-            let value = iter
-                .next()
-                .unwrap_or_else(|| panic!("flag --{key} needs a value"));
+            let value = match iter.peek() {
+                Some(v) if !v.starts_with("--") => iter.next().expect("peeked value"),
+                _ => "true".to_string(),
+            };
             flags.insert(key.to_string(), value);
         }
         Self { flags }
@@ -87,9 +90,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "needs a value")]
-    fn missing_value_panics() {
-        let _ = parse("--eta");
+    fn valueless_flags_are_true() {
+        let a = parse("--strict --len 1000");
+        assert!(a.get("strict", false));
+        assert_eq!(a.get("len", 0_usize), 1000);
+        assert!(a.get("tail", true), "absent flag keeps its default");
+        assert!(!parse("--len 5").get("strict", false));
+        assert!(parse("--strict").get("strict", false));
     }
 
     #[test]

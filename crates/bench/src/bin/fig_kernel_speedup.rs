@@ -1,13 +1,22 @@
 //! Measures what the SoA distance kernel buys: single-shard insertion
 //! throughput (points/second) with the kernel disabled (scalar per-cluster
-//! distance loops), enabled (packed centroid/noise matrices with cached
-//! invariants), and enabled with mini-batch insertion, across
+//! distance loops), enabled once per compiled SIMD backend (packed
+//! centroid/noise matrices, runtime-dispatched vector ISA), enabled in
+//! opt-in f32 ranking mode, and enabled with mini-batch insertion, across
 //! dimensionalities and micro-cluster budgets.
 //!
 //! ```text
 //! cargo run -p ustream-bench --release --bin fig_kernel_speedup -- \
-//!     --len 50000 --reps 3
+//!     --len 50000 --reps 3 [--strict]
 //! ```
+//!
+//! `--strict` exits non-zero when the auto-dispatched SIMD kernel fails to
+//! clear 1.5x over the forced-scalar kernel baseline on any sweep point
+//! with `dims >= 8` — the CI regression gate for the vector backends.
+//! Narrower rows are excluded deliberately: at d=5 a row is one 4-lane
+//! chunk plus a tail element, so per-row vector setup costs as much as
+//! the arithmetic it saves and the scalar backend wins — no vector ISA
+//! can help rows the canonical 4-lane reduction already covers.
 //!
 //! Emits `results/BENCH_kernel.json` plus a table on stdout. Run with
 //! `--release`; debug-build rates are meaningless.
@@ -18,6 +27,7 @@ use serde::Serialize;
 use std::hint::black_box;
 use std::path::PathBuf;
 use std::time::Instant;
+use umicro::kernel::simd::{self, Backend};
 use umicro::{UMicro, UMicroConfig};
 use ustream_bench::Args;
 use ustream_common::UncertainPoint;
@@ -27,14 +37,39 @@ use ustream_synth::{NoisyStream, SynDriftConfig};
 /// per-call kernel synchronisation check, small enough to stay cache-warm.
 const BATCH: usize = 256;
 
+/// SIMD-over-scalar-kernel floor enforced by `--strict`.
+const STRICT_FLOOR: f64 = 1.5;
+
+/// `--strict` only gates sweep points at least this wide: below it a row
+/// fits in the canonical four scalar lanes and vector ISAs cannot win.
+const STRICT_MIN_DIMS: usize = 8;
+
+#[derive(Debug, Serialize)]
+struct BackendRow {
+    /// Kernel backend forced for this measurement.
+    backend: String,
+    /// Insertion throughput with the kernel on this backend.
+    kernel_pps: f64,
+    /// Speedup over the kernel-off scalar distance loops.
+    speedup: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct Row {
     dims: usize,
     n_micro: usize,
     scalar_pps: f64,
+    /// One measurement per compiled-and-available SIMD backend.
+    backends: Vec<BackendRow>,
+    /// Auto-dispatched backend (what production runs).
     kernel_pps: f64,
+    /// Auto-dispatched backend with f32 scan + exact f64 re-check.
+    f32_pps: f64,
     batched_pps: f64,
     kernel_speedup: f64,
+    /// Auto-dispatched SIMD kernel over the forced-scalar kernel: the
+    /// pure vector-ISA win, independent of the SoA-layout win.
+    simd_speedup: f64,
     batched_speedup: f64,
 }
 
@@ -44,6 +79,8 @@ struct Report {
     len: usize,
     reps: usize,
     eta: f64,
+    /// Backend the runtime dispatcher picked on this machine.
+    auto_backend: String,
     rows: Vec<Row>,
 }
 
@@ -58,51 +95,85 @@ fn config(n_micro: usize, dims: usize) -> UMicroConfig {
     UMicroConfig::new(n_micro, dims).expect("valid config")
 }
 
+/// Best-of-`reps` insertion throughput with `prepare` applied to each
+/// fresh instance before timing starts.
+fn measure(
+    points: &[UncertainPoint],
+    n_micro: usize,
+    dims: usize,
+    reps: usize,
+    prepare: impl Fn(&mut UMicro),
+) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..reps {
+        let mut alg = UMicro::new(config(n_micro, dims));
+        prepare(&mut alg);
+        let started = Instant::now();
+        for p in points {
+            black_box(alg.insert(p));
+        }
+        let rate = points.len() as f64 / started.elapsed().as_secs_f64().max(1e-9);
+        best = best.max(rate);
+    }
+    best
+}
+
 fn main() {
     let args = Args::parse();
     let len: usize = args.get("len", 50_000);
     let reps: usize = args.get("reps", 3);
     let eta: f64 = args.get("eta", 0.5);
     let seed: u64 = args.get("seed", 11);
+    let strict: bool = args.get("strict", false);
 
     let dims_sweep = [5usize, 20, 50];
     let micro_sweep = [25usize, 100];
+    let auto_backend = simd::force(None).name().to_string();
 
     let mut rows = Vec::new();
+    let mut strict_ok = true;
     println!(
-        "{:>5} {:>8} {:>12} {:>12} {:>12} {:>8} {:>8}",
-        "dims", "n_micro", "scalar_pps", "kernel_pps", "batched_pps", "k_spd", "b_spd"
+        "{:>5} {:>8} {:>12} {:>12} {:>12} {:>12} {:>8} {:>8} {:>8}",
+        "dims",
+        "n_micro",
+        "scalar_pps",
+        "kernel_pps",
+        "f32_pps",
+        "batched_pps",
+        "k_spd",
+        "simd",
+        "b_spd"
     );
     for &dims in &dims_sweep {
         let points = stream(dims, len, eta, seed);
         for &n_micro in &micro_sweep {
-            let scalar_pps = {
-                let mut best = 0.0f64;
-                for _ in 0..reps {
-                    let mut alg = UMicro::new(config(n_micro, dims));
-                    alg.set_kernel_enabled(false);
-                    let started = Instant::now();
-                    for p in &points {
-                        black_box(alg.insert(p));
-                    }
-                    let rate = points.len() as f64 / started.elapsed().as_secs_f64().max(1e-9);
-                    best = best.max(rate);
+            let scalar_pps = measure(&points, n_micro, dims, reps, |alg| {
+                alg.set_kernel_enabled(false);
+            });
+
+            let mut backends = Vec::new();
+            let mut scalar_kernel_pps = f64::NAN;
+            for &backend in Backend::compiled() {
+                if !backend.available() {
+                    continue;
                 }
-                best
-            };
-            let kernel_pps = {
-                let mut best = 0.0f64;
-                for _ in 0..reps {
-                    let mut alg = UMicro::new(config(n_micro, dims));
-                    let started = Instant::now();
-                    for p in &points {
-                        black_box(alg.insert(p));
-                    }
-                    let rate = points.len() as f64 / started.elapsed().as_secs_f64().max(1e-9);
-                    best = best.max(rate);
+                simd::force(Some(backend));
+                let pps = measure(&points, n_micro, dims, reps, |_| {});
+                if backend == Backend::Scalar {
+                    scalar_kernel_pps = pps;
                 }
-                best
-            };
+                backends.push(BackendRow {
+                    backend: backend.name().to_string(),
+                    kernel_pps: pps,
+                    speedup: pps / scalar_pps,
+                });
+            }
+            simd::force(None);
+
+            let kernel_pps = measure(&points, n_micro, dims, reps, |_| {});
+            let f32_pps = measure(&points, n_micro, dims, reps, |alg| {
+                alg.set_f32_rank(true);
+            });
             let batched_pps = {
                 let mut best = 0.0f64;
                 let mut out = Vec::with_capacity(BATCH);
@@ -119,25 +190,46 @@ fn main() {
                 }
                 best
             };
+
+            let simd_speedup = kernel_pps / scalar_kernel_pps;
+            let below_floor = simd_speedup < STRICT_FLOOR || simd_speedup.is_nan();
+            if strict && dims >= STRICT_MIN_DIMS && below_floor {
+                strict_ok = false;
+                eprintln!(
+                    "STRICT: dims={dims} n_micro={n_micro}: auto backend is only \
+                     {simd_speedup:.2}x the scalar-backend kernel (floor {STRICT_FLOOR}x)"
+                );
+            }
             let row = Row {
                 dims,
                 n_micro,
                 scalar_pps,
+                backends,
                 kernel_pps,
+                f32_pps,
                 batched_pps,
                 kernel_speedup: kernel_pps / scalar_pps,
+                simd_speedup,
                 batched_speedup: batched_pps / scalar_pps,
             };
             println!(
-                "{:>5} {:>8} {:>12.0} {:>12.0} {:>12.0} {:>8.2} {:>8.2}",
+                "{:>5} {:>8} {:>12.0} {:>12.0} {:>12.0} {:>12.0} {:>8.2} {:>8.2} {:>8.2}",
                 row.dims,
                 row.n_micro,
                 row.scalar_pps,
                 row.kernel_pps,
+                row.f32_pps,
                 row.batched_pps,
                 row.kernel_speedup,
+                row.simd_speedup,
                 row.batched_speedup
             );
+            for b in &row.backends {
+                println!(
+                    "{:>5} {:>8} {:>12} {:>12.0} {:>12} {:>12} {:>8.2}",
+                    "", "", b.backend, b.kernel_pps, "", "", b.speedup
+                );
+            }
             rows.push(row);
         }
     }
@@ -147,6 +239,7 @@ fn main() {
         len,
         reps,
         eta,
+        auto_backend,
         rows,
     };
     let out = PathBuf::from("results/BENCH_kernel.json");
@@ -159,4 +252,8 @@ fn main() {
     )
     .expect("write BENCH_kernel.json");
     eprintln!("wrote {}", out.display());
+    if strict && !strict_ok {
+        eprintln!("STRICT: SIMD speedup floor violated; failing");
+        std::process::exit(1);
+    }
 }

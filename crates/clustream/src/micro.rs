@@ -150,6 +150,12 @@ impl CluStream {
         self.kernel_stale = true;
     }
 
+    /// Opts the kernel's centroid ranking into the f32 pre-scan mode;
+    /// the winner stays bit-identical to the pure-f64 scan.
+    pub fn set_f32_rank(&mut self, enabled: bool) {
+        self.kernel.set_f32_rank(enabled);
+    }
+
     /// The kernel, synchronised with the live cluster set — rebuilds first
     /// when stale. Row `i` mirrors `micro_clusters()[i]`.
     pub fn kernel_synced(&mut self) -> &ClusterKernel {

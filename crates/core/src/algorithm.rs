@@ -159,6 +159,15 @@ impl UMicro {
         self.kernel_stale = true;
     }
 
+    /// Opts the kernel's expected-distance ranking into (or out of) the
+    /// f32 pre-scan mode. The returned winner and distance stay
+    /// bit-identical to the pure-f64 scan — the pre-scan only prunes
+    /// rows, and every surviving candidate is re-ranked in exact f64 —
+    /// so this is purely a speed/bandwidth knob. Off by default.
+    pub fn set_f32_rank(&mut self, enabled: bool) {
+        self.kernel.set_f32_rank(enabled);
+    }
+
     /// The kernel, synchronised with the live cluster set — rebuilds first
     /// when stale. Row `i` mirrors `micro_clusters()[i]`; parity tests and
     /// diagnostics read cached invariants through this.
@@ -499,32 +508,33 @@ impl UMicro {
                     // Early stream: no variance estimate yet.
                     return self.closest_by_expected_distance(point);
                 }
-                let (best, best_sim) = if self.kernel_live() {
-                    self.kernel
-                        .best_by_dimension_counting(
-                            point.values(),
-                            point.errors(),
-                            &self.scratch_inv,
-                        )
+                if self.kernel_live() {
+                    let fused = self
+                        .kernel
+                        .rank_fused(point.values(), point.errors(), &self.scratch_inv)
                         // lint:allow(hot-panic): kernel mirrors self.clusters, checked non-empty above
-                        .expect("ranking requires a non-empty cluster set")
-                } else {
-                    let mut best = 0usize;
-                    let mut best_sim = f64::NEG_INFINITY;
-                    for (i, c) in self.clusters.iter().enumerate() {
-                        let s = dimension_counting_similarity(point, &c.ecf, &self.global, thresh);
-                        if s > best_sim {
-                            best_sim = s;
-                            best = i;
-                        }
-                    }
-                    (best, best_sim)
-                };
-                if best_sim <= 0.0 {
+                        .expect("ranking requires a non-empty cluster set");
                     // The point earned no credit anywhere (far from all
-                    // clusters on every informative dimension); rank by
-                    // expected distance instead so the boundary test sees
-                    // the genuinely nearest cluster.
+                    // clusters on every informative dimension): fall back
+                    // to expected-distance ranking, whose argmin the fused
+                    // sweep already carries — no second pass over the rows.
+                    return if fused.sim <= 0.0 {
+                        fused.dist_idx
+                    } else {
+                        fused.sim_idx
+                    };
+                }
+                let mut best = 0usize;
+                let mut best_sim = f64::NEG_INFINITY;
+                for (i, c) in self.clusters.iter().enumerate() {
+                    let s = dimension_counting_similarity(point, &c.ecf, &self.global, thresh);
+                    if s > best_sim {
+                        best_sim = s;
+                        best = i;
+                    }
+                }
+                if best_sim <= 0.0 {
+                    // Scalar fallback keeps the explicit second ranking pass.
                     return self.closest_by_expected_distance(point);
                 }
                 best

@@ -114,6 +114,12 @@ impl DecayedUMicro {
         self.inner.set_kernel_enabled(enabled);
     }
 
+    /// Opts ranking into the f32 pre-scan mode; see
+    /// [`UMicro::set_f32_rank`].
+    pub fn set_f32_rank(&mut self, enabled: bool) {
+        self.inner.set_f32_rank(enabled);
+    }
+
     /// The kernel, synchronised with the live cluster set; see
     /// [`UMicro::kernel_synced`]. (Synchronised with the *statistics as
     /// stored* — lazily decayed clusters are mirrored at their own reference

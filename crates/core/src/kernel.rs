@@ -32,6 +32,13 @@
 use crate::distance::sanitize_sq;
 use crate::ecf::Ecf;
 
+/// Explicit SIMD backends (portable lanes, AVX2, AVX-512, NEON) behind
+/// one runtime-dispatch point; every ranking sweep and dot product in
+/// this module routes through it. See the module docs for the backend
+/// matrix and the canonical reduction contract that keeps all backends
+/// bitwise identical.
+pub mod simd;
+
 /// A summary that can publish a kernel row: its centroid, its per-dimension
 /// centroid-noise term (`EF2_j/W²`; zero for deterministic summaries) and
 /// its two boundary radii.
@@ -55,25 +62,13 @@ impl KernelRow for Ecf {
     }
 }
 
-/// Dot product with four independent accumulators — breaks the dependency
-/// chain so the autovectorizer can keep multiple FMA lanes busy.
+/// Dot product on the runtime-dispatched SIMD backend. Every backend —
+/// the canonical scalar path included — uses the same four-lane
+/// reduction with tail elements folded into their `j % 4` lane, so the
+/// result is bitwise identical whichever backend is live.
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    debug_assert_eq!(a.len(), b.len());
-    let (mut acc0, mut acc1, mut acc2, mut acc3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
-    let chunks = a.len() / 4;
-    for i in 0..chunks {
-        let j = 4 * i;
-        acc0 += a[j] * b[j];
-        acc1 += a[j + 1] * b[j + 1];
-        acc2 += a[j + 2] * b[j + 2];
-        acc3 += a[j + 3] * b[j + 3];
-    }
-    let mut tail = 0.0;
-    for j in 4 * chunks..a.len() {
-        tail += a[j] * b[j];
-    }
-    (acc0 + acc1) + (acc2 + acc3) + tail
+    simd::dot(a, b)
 }
 
 /// The point-side constant of the expected distance:
@@ -99,9 +94,35 @@ pub struct ClusterKernel {
     uncertain_radius: Vec<f64>,
     /// Cached error-corrected radii.
     corrected_radius: Vec<f64>,
+    /// f32 mirror of `centroids` for the opt-in single-precision
+    /// pre-ranking pass (maintained on every row write).
+    centroids_f32: Vec<f32>,
+    /// f32 mirror of `self_moment`.
+    self_moment_f32: Vec<f32>,
+    /// Cached `‖c_i‖` — feeds the sound error margin of the f32 pass.
+    row_norm: Vec<f64>,
+    /// Whether expected-distance ranking may pre-scan in f32 (the
+    /// winner is always re-derived in exact canonical f64).
+    f32_rank: bool,
     /// Bumped on every mutation; owners compare against their own model
     /// generation to prove freshness.
     generation: u64,
+}
+
+/// Minimum row count for the f32 pre-ranking pass to pay for itself;
+/// below this the narrowing overhead exceeds the scan savings.
+const F32_RANK_MIN_LEN: usize = 4;
+
+/// Absolute floor of the f32 candidate margin — covers denormal
+/// rounding, which has no relative error bound.
+const F32_RANK_TINY: f64 = 1e-40;
+
+thread_local! {
+    /// Per-thread scratch for the f32 pre-ranking pass (narrowed point
+    /// and score buffer) — keeps the ranking methods `&self` and the
+    /// kernel `Send + Sync` without per-call allocation.
+    static F32_SCRATCH: std::cell::RefCell<(Vec<f32>, Vec<f32>)> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
 }
 
 impl ClusterKernel {
@@ -167,12 +188,29 @@ impl ClusterKernel {
         self.corrected_radius[i]
     }
 
+    /// Opts expected-distance ranking in or out of the f32 pre-scan
+    /// mode. The returned winner and score stay bit-identical to the
+    /// pure-f64 scan either way (see [`simd`] module docs), so this is
+    /// purely a speed/bandwidth knob.
+    pub fn set_f32_rank(&mut self, enabled: bool) {
+        self.f32_rank = enabled;
+    }
+
+    /// Whether the f32 pre-ranking mode is enabled.
+    #[inline]
+    pub fn f32_rank(&self) -> bool {
+        self.f32_rank
+    }
+
     /// Appends a row mirroring a newly created cluster.
     pub fn push<R: KernelRow>(&mut self, row: &R) {
         let d = self.dims;
         self.centroids.resize((self.len + 1) * d, 0.0);
         self.noise.resize((self.len + 1) * d, 0.0);
+        self.centroids_f32.resize((self.len + 1) * d, 0.0);
         self.self_moment.push(0.0);
+        self.self_moment_f32.push(0.0);
+        self.row_norm.push(0.0);
         self.uncertain_radius.push(0.0);
         self.corrected_radius.push(0.0);
         self.len += 1;
@@ -196,11 +234,15 @@ impl ClusterKernel {
             for j in 0..d {
                 self.centroids[i * d + j] = self.centroids[last * d + j];
                 self.noise[i * d + j] = self.noise[last * d + j];
+                self.centroids_f32[i * d + j] = self.centroids_f32[last * d + j];
             }
         }
         self.centroids.truncate(last * d);
         self.noise.truncate(last * d);
+        self.centroids_f32.truncate(last * d);
         self.self_moment.swap_remove(i);
+        self.self_moment_f32.swap_remove(i);
+        self.row_norm.swap_remove(i);
         self.uncertain_radius.swap_remove(i);
         self.corrected_radius.swap_remove(i);
         self.len = last;
@@ -213,14 +255,20 @@ impl ClusterKernel {
         self.len = 0;
         self.centroids.clear();
         self.noise.clear();
+        self.centroids_f32.clear();
         self.self_moment.clear();
+        self.self_moment_f32.clear();
+        self.row_norm.clear();
         self.uncertain_radius.clear();
         self.corrected_radius.clear();
         for row in rows {
             let d = self.dims;
             self.centroids.resize((self.len + 1) * d, 0.0);
             self.noise.resize((self.len + 1) * d, 0.0);
+            self.centroids_f32.resize((self.len + 1) * d, 0.0);
             self.self_moment.push(0.0);
+            self.self_moment_f32.push(0.0);
+            self.row_norm.push(0.0);
             self.uncertain_radius.push(0.0);
             self.corrected_radius.push(0.0);
             self.len += 1;
@@ -234,7 +282,11 @@ impl ClusterKernel {
         let centroid = &mut self.centroids[i * d..(i + 1) * d];
         let noise = &mut self.noise[i * d..(i + 1) * d];
         row.write_row(centroid, noise);
-        self.self_moment[i] = dot(centroid, centroid) + noise.iter().sum::<f64>();
+        let cc = dot(centroid, centroid);
+        self.self_moment[i] = cc + noise.iter().sum::<f64>();
+        self.row_norm[i] = cc.sqrt();
+        simd::narrow_row(&mut self.centroids_f32[i * d..(i + 1) * d], centroid);
+        self.self_moment_f32[i] = simd::narrow(self.self_moment[i]);
         let (u, c) = row.radii();
         self.uncertain_radius[i] = u;
         self.corrected_radius[i] = c;
@@ -256,24 +308,88 @@ impl ClusterKernel {
     }
 
     /// Shared ranking core: minimises `self_moment_i − 2·x·c_i`, the only
-    /// cluster-dependent part of both distances.
+    /// cluster-dependent part of both distances, on the dispatched SIMD
+    /// backend. In f32 mode a single-precision pre-scan prunes the rows
+    /// first; the winner is re-derived in exact canonical f64 either way.
     fn nearest_by_score(&self, values: &[f64]) -> Option<(usize, f64)> {
         debug_assert_eq!(values.len(), self.dims);
         if self.len == 0 {
             return None;
         }
-        let d = self.dims;
-        let mut best = 0usize;
-        let mut best_score = f64::INFINITY;
-        for i in 0..self.len {
-            let c = &self.centroids[i * d..(i + 1) * d];
-            let score = self.self_moment[i] - 2.0 * dot(values, c);
-            if score < best_score {
-                best_score = score;
-                best = i;
+        if self.f32_rank && self.len >= F32_RANK_MIN_LEN {
+            if let Some(hit) = self.nearest_by_score_f32(values) {
+                return Some(hit);
             }
         }
-        Some((best, best_score))
+        Some(simd::rank_min_score(
+            &self.centroids,
+            &self.self_moment,
+            self.dims,
+            values,
+        ))
+    }
+
+    /// f32 pre-scan with exact f64 re-check. Pass 1 fills approximate
+    /// scores in single precision and derives a sound upper bound `U`
+    /// on the exact minimum (`U = min_i s_i + margin_i`, where
+    /// `margin_i` bounds `|s_i − exact_i|` via the f32 rounding slack,
+    /// `‖x‖` and the cached `‖c_i‖`). Pass 2 re-evaluates, in index
+    /// order and with the canonical f64 reduction, exactly the rows
+    /// whose `s_i − margin_i` cannot be proven above `U` — the true
+    /// argmin always survives the cut, so the returned `(index, score)`
+    /// is bit-identical to the pure-f64 scan. Returns `None` (caller
+    /// falls back to the exact scan) when f32 overflow would make the
+    /// bound unsound.
+    fn nearest_by_score_f32(&self, values: &[f64]) -> Option<(usize, f64)> {
+        let d = self.dims;
+        F32_SCRATCH.with(|cell| {
+            let (x32, scores) = &mut *cell.borrow_mut();
+            simd::narrow_into(x32, values);
+            if x32.iter().any(|v| v.is_infinite()) {
+                return None;
+            }
+            scores.clear();
+            scores.resize(self.len, 0.0);
+            simd::fill_scores_f32(&self.centroids_f32, &self.self_moment_f32, d, x32, scores);
+            let slack = simd::f32_rank_slack(d);
+            let norm_x = dot(values, values).sqrt();
+            let mut upper = f64::INFINITY;
+            for (i, s) in scores.iter().enumerate() {
+                let s = f64::from(*s);
+                if s.is_infinite() {
+                    return None;
+                }
+                let hi = s + self.f32_margin(i, slack, norm_x);
+                if hi < upper {
+                    upper = hi;
+                }
+            }
+            let mut best = 0usize;
+            let mut best_score = f64::INFINITY;
+            for (i, s) in scores.iter().enumerate() {
+                let s = f64::from(*s);
+                // Negated comparison: NaN scores stay candidates, so a
+                // poisoned row ranks exactly as in the pure-f64 scan.
+                #[allow(clippy::neg_cmp_op_on_partial_ord)]
+                if !(s - self.f32_margin(i, slack, norm_x) > upper) {
+                    let c = &self.centroids[i * d..(i + 1) * d];
+                    let exact = self.self_moment[i] - 2.0 * dot(values, c);
+                    if exact < best_score {
+                        best_score = exact;
+                        best = i;
+                    }
+                }
+            }
+            Some((best, best_score))
+        })
+    }
+
+    /// Sound bound on `|s_f32 − s_f64|` for row `i`: the relative
+    /// rounding slack scaled by the score's magnitude budget, plus an
+    /// absolute denormal floor.
+    #[inline]
+    fn f32_margin(&self, i: usize, slack: f64, norm_x: f64) -> f64 {
+        slack * (self.self_moment[i].abs() + 2.0 * norm_x * self.row_norm[i]) + F32_RANK_TINY
     }
 
     /// Expected squared distance from a point to cluster `i` (Lemma 2.2),
@@ -297,30 +413,36 @@ impl ClusterKernel {
         errors: &[f64],
         inv_coeff: &[f64],
     ) -> Option<(usize, f64)> {
+        let best = self.rank_fused(values, errors, inv_coeff)?;
+        Some((best.sim_idx, best.sim))
+    }
+
+    /// Fused ranking sweep: one pass over the centroid and noise
+    /// matrices yields *both* the expected-distance argmin (exact
+    /// `E[‖X − Zᵢ‖²]`, a byproduct of the per-dimension similarity
+    /// terms — see [`simd::rank_fused`]) and the dimension-counting
+    /// argmax, so each cluster row is touched once per point. The
+    /// `inv_coeff` sentinel convention matches
+    /// [`ClusterKernel::best_by_dimension_counting`]. `None` when empty.
+    pub fn rank_fused(
+        &self,
+        values: &[f64],
+        errors: &[f64],
+        inv_coeff: &[f64],
+    ) -> Option<simd::FusedBest> {
         debug_assert_eq!(values.len(), self.dims);
         debug_assert_eq!(inv_coeff.len(), self.dims);
         if self.len == 0 {
             return None;
         }
-        let d = self.dims;
-        let mut best = 0usize;
-        let mut best_sim = f64::NEG_INFINITY;
-        for i in 0..self.len {
-            let c = &self.centroids[i * d..(i + 1) * d];
-            let e = &self.noise[i * d..(i + 1) * d];
-            let mut sim = 0.0;
-            for j in 0..d {
-                let diff = values[j] - c[j];
-                let vj = diff * diff + errors[j] * errors[j] + e[j];
-                // NaN (0 · ∞) and −∞ both clamp to 0 under f64::max.
-                sim += (1.0 - vj * inv_coeff[j]).max(0.0);
-            }
-            if sim > best_sim {
-                best_sim = sim;
-                best = i;
-            }
-        }
-        Some((best, best_sim))
+        Some(simd::rank_fused(
+            &self.centroids,
+            &self.noise,
+            self.dims,
+            values,
+            errors,
+            inv_coeff,
+        ))
     }
 
     /// Squared Euclidean distance from cluster `i`'s centroid to the nearest

@@ -1727,6 +1727,7 @@ impl StreamEngine {
             snapshot_bytes: budget.retained_bytes,
             snapshot_budget_evictions: budget.evictions,
             horizon_error_bound: budget.effective_error_bound,
+            kernel_backend: umicro::kernel::simd::active().name(),
             per_shard,
         }
     }

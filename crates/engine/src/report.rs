@@ -149,6 +149,10 @@ pub struct EngineReport {
     /// `1/α^(l−1)` when the budget never bit, inflated when eviction
     /// shortened the rings.
     pub horizon_error_bound: f64,
+    /// Name of the kernel SIMD backend live in this process (`scalar`,
+    /// `portable`, `avx2`, `avx512`, `neon`) — operators use this to
+    /// confirm which compute path production is actually on.
+    pub kernel_backend: &'static str,
     /// Per-shard breakdown (one entry per shard worker).
     pub per_shard: Vec<ShardStats>,
 }

@@ -14,6 +14,7 @@
 //! | `lossy-cast`     | no bare `as` numeric casts in ECF/kernel arithmetic   |
 //! | `missing-docs`   | public items of `umicro`/`ustream-engine` are documented |
 //! | `blocking-io`    | raw blocking socket I/O in `crates/serve` goes through the deadline funnel |
+//! | `safety-comment` | `unsafe` stays inside `kernel::simd`, every site carries `// SAFETY:` |
 //! | `suppression`    | every `lint:allow` carries a reason, names real rules |
 //!
 //! Findings are suppressed by `// lint:allow(<rule>): <reason>` on the same
@@ -50,6 +51,12 @@ const CAST_SCOPED_FILES: &[&str] = &[
 /// Crates whose public API must be documented (`missing-docs` scope).
 const DOC_CRATES: &[&str] = &["core", "engine"];
 
+/// The only files sanctioned to contain `unsafe` at all: the SIMD kernel
+/// module whose inner `#![allow(unsafe_code)]` is the workspace's single
+/// exemption from `deny(unsafe_code)`. Anywhere else, `unsafe` is a
+/// finding regardless of justification.
+const UNSAFE_SANCTIONED: &[&str] = &["crates/core/src/kernel/simd.rs"];
+
 /// Every rule id the engine knows; `lint:allow` of anything else is itself
 /// a finding.
 pub const RULE_IDS: &[&str] = &[
@@ -62,6 +69,7 @@ pub const RULE_IDS: &[&str] = &[
     "lossy-cast",
     "missing-docs",
     "blocking-io",
+    "safety-comment",
     "suppression",
 ];
 
@@ -80,6 +88,7 @@ pub fn run_all(ctxs: &[FileCtx]) -> Vec<Finding> {
         rule_lossy_cast(ctx, &mut raw);
         rule_missing_docs(ctx, ctxs, &mut raw);
         rule_blocking_io(ctx, &mut raw);
+        rule_safety_comment(ctx, &mut raw);
         raw.retain(|f| !ctx.suppressed(f.rule, f.line));
         rule_suppression_hygiene(ctx, &mut raw);
         findings.append(&mut raw);
@@ -320,9 +329,18 @@ fn rule_relaxed_atomic(ctx: &FileCtx, out: &mut Vec<Finding>) {
 }
 
 fn relaxed_justified(ctx: &FileCtx, line: u32) -> bool {
+    comment_justified(ctx, line, "relaxed-ok:")
+}
+
+/// True when `needle` followed by a non-trivial reason (≥ 3 chars) appears
+/// on `line` or in the contiguous run of `//` comment or `#[…]` attribute
+/// lines directly above it. Attributes are walked through because they
+/// legally sit between a justification and the item it blesses
+/// (`// SAFETY:` above `#[target_feature]` above an `unsafe fn`).
+fn comment_justified(ctx: &FileCtx, line: u32, needle: &str) -> bool {
     let has = |text: &str| {
-        text.find("relaxed-ok:")
-            .map(|p| &text[p + "relaxed-ok:".len()..])
+        text.find(needle)
+            .map(|p| &text[p + needle.len()..])
             .is_some_and(|tail| tail.trim().trim_end_matches("*/").trim().len() >= 3)
     };
     if has(ctx.line_text(line)) {
@@ -332,7 +350,7 @@ fn relaxed_justified(ctx: &FileCtx, line: u32) -> bool {
     while l >= 1 {
         let text = ctx.line_text(l);
         let trimmed = text.trim_start();
-        if !trimmed.starts_with("//") {
+        if !trimmed.starts_with("//") && !trimmed.starts_with("#[") {
             return false;
         }
         if has(text) {
@@ -588,6 +606,52 @@ fn rule_blocking_io(ctx: &FileCtx, out: &mut Vec<Finding>) {
     }
 }
 
+/// R9 `safety-comment` — `unsafe` is confined to the sanctioned
+/// `kernel::simd` module, and every occurrence there must carry an
+/// adjacent `// SAFETY:` justification (same line, or in the comment /
+/// attribute block directly above). The workspace denies `unsafe_code`,
+/// so the compiler already rejects stray `unsafe` — this rule makes the
+/// sanction list itself auditable and keeps the soundness argument next
+/// to every site inside the one module that is exempt.
+fn rule_safety_comment(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    let sanctioned = UNSAFE_SANCTIONED.contains(&ctx.path.as_str());
+    for k in 0..ctx.sig.len() {
+        if ident_at(ctx, k) != Some("unsafe") {
+            continue;
+        }
+        let t = tok(ctx, k);
+        if ctx.in_test(t.line) {
+            continue;
+        }
+        if !sanctioned {
+            push(
+                out,
+                ctx,
+                t,
+                "safety-comment",
+                "`unsafe` outside the sanctioned `kernel::simd` module".to_string(),
+                "the workspace denies unsafe_code; route intrinsics through \
+                 core's kernel::simd dispatch layer instead of opening a \
+                 second unsafe surface",
+            );
+            continue;
+        }
+        if comment_justified(ctx, t.line, "SAFETY:") {
+            continue;
+        }
+        push(
+            out,
+            ctx,
+            t,
+            "safety-comment",
+            "`unsafe` without an adjacent `// SAFETY:` justification".to_string(),
+            "state the invariant that makes this sound (CPU feature verified \
+             by the dispatch guard, in-bounds pointer arithmetic, …) in a \
+             `// SAFETY:` comment on this line or directly above",
+        );
+    }
+}
+
 /// S0 `suppression` — `lint:allow` hygiene: every annotation must carry a
 /// reason and name known rule ids.
 fn rule_suppression_hygiene(ctx: &FileCtx, out: &mut Vec<Finding>) {
@@ -612,7 +676,8 @@ fn rule_suppression_hygiene(ctx: &FileCtx, out: &mut Vec<Finding>) {
                     rule: "suppression",
                     message: format!("`lint:allow` names unknown rule `{r}`"),
                     hint: "valid ids: hot-panic, float-eq, nan-ord, relaxed-atomic, \
-                           nondet-iter, no-sleep, lossy-cast, missing-docs, blocking-io",
+                           nondet-iter, no-sleep, lossy-cast, missing-docs, blocking-io, \
+                           safety-comment",
                 });
             }
         }

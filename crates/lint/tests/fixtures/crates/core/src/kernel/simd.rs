@@ -1,0 +1,17 @@
+// safety-comment fixture: inside the sanctioned module, every `unsafe`
+// must still carry a `// SAFETY:` justification.
+
+fn justified() -> i32 {
+    // SAFETY: the dispatch guard verified the CPU feature before this call.
+    unsafe { helper() }
+}
+
+// SAFETY: caller must ensure the relevant CPU feature is available.
+#[inline]
+unsafe fn helper() -> i32 {
+    7
+}
+
+fn bare() -> i32 {
+    unsafe { helper() }
+}

@@ -1,0 +1,7 @@
+// safety-comment fixture: `unsafe` outside the sanctioned kernel::simd
+// module fires even when a SAFETY comment is present.
+
+fn rogue(p: *const u8) -> u8 {
+    // SAFETY: non-null by construction — irrelevant, wrong module.
+    unsafe { *p }
+}

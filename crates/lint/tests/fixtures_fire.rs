@@ -119,6 +119,24 @@ fn blocking_io_fixture_fires_outside_the_funnel_only() {
 }
 
 #[test]
+fn safety_comment_fixture_fires_on_bare_and_rogue_unsafe() {
+    let f = fixture_findings();
+    // Sanctioned module: justified sites pass (including through an
+    // attribute line), the bare block fires.
+    assert_file_findings(
+        &f,
+        "crates/core/src/kernel/simd.rs",
+        &[(16, "safety-comment")],
+    );
+    // Outside the sanctioned module the SAFETY comment does not help.
+    assert_file_findings(
+        &f,
+        "crates/engine/src/unsafe_rogue.rs",
+        &[(6, "safety-comment")],
+    );
+}
+
+#[test]
 fn suppression_hygiene_fixture_reports_malformed_allows() {
     let f = fixture_findings();
     assert_file_findings(

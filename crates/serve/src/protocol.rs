@@ -421,6 +421,10 @@ pub struct WireServerStats {
     pub workers: usize,
     /// Capacity of the bounded worker queue.
     pub queue_capacity: usize,
+    /// Name of the kernel SIMD backend live in the serving process
+    /// (`scalar`, `portable`, `avx2`, `avx512`, `neon`) — lets operators
+    /// confirm which compute path production traffic is on.
+    pub kernel_backend: String,
 }
 
 /// Every answer the server can give.

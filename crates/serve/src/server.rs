@@ -149,6 +149,7 @@ impl ServerState {
             jobs_rejected: self.jobs_rejected.load(Ordering::Relaxed),
             workers: self.config.workers,
             queue_capacity: self.config.queue_capacity,
+            kernel_backend: umicro::kernel::simd::active().name().to_string(),
         }
     }
 

@@ -181,6 +181,11 @@ fn arb_response() -> impl Strategy<Value = Response> {
                             jobs_rejected: a.min(c),
                             workers: (b % 64) as usize,
                             queue_capacity: (c % 4096) as usize,
+                            kernel_backend: if a % 2 == 0 {
+                                String::from("scalar")
+                            } else {
+                                String::from("avx2")
+                            },
                         },
                     },
                     8 => Response::CheckpointWritten { bytes: a },

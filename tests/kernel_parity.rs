@@ -9,11 +9,30 @@ use clustream::{CluStream, CluStreamConfig};
 use proptest::collection::vec as pvec;
 use proptest::prelude::*;
 use umicro::distance::expected_sq_distance;
+use umicro::kernel::simd::{self, Backend};
 use umicro::{DecayedUMicro, UMicro, UMicroConfig};
 use ustream_common::UncertainPoint;
 
 const DIMS: usize = 3;
 const REL_TOL: f64 = 1e-9;
+
+/// Every backend this binary can exercise on the host CPU (always at
+/// least Scalar and Portable).
+fn compiled_available() -> Vec<Backend> {
+    Backend::compiled()
+        .iter()
+        .copied()
+        .filter(|b| b.available())
+        .collect()
+}
+
+/// Awkward dimensionalities around every backend's lane width: 1, 3,
+/// 4 ± 1, 8 ± 1, and a long tail.
+const AWKWARD_DIMS: [usize; 8] = [1, 3, 4, 5, 7, 8, 9, 17];
+
+fn arb_awkward_dims() -> impl Strategy<Value = usize> {
+    (0usize..AWKWARD_DIMS.len()).prop_map(|i| AWKWARD_DIMS[i])
+}
 
 fn arb_point() -> impl Strategy<Value = UncertainPoint> {
     (
@@ -30,6 +49,21 @@ fn arb_points(min: usize, max: usize) -> impl Strategy<Value = Vec<UncertainPoin
 
 fn close(a: f64, b: f64) -> bool {
     (a - b).abs() <= REL_TOL * a.abs().max(b.abs()).max(1.0)
+}
+
+/// splitmix64 → uniform f64 in `[0, 1)`: deterministic matrix data from a
+/// proptest-drawn seed without deep tuple-strategy nesting.
+fn unit(state: &mut u64) -> f64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn fill(state: &mut u64, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..n).map(|_| lo + (hi - lo) * unit(state)).collect()
 }
 
 proptest! {
@@ -176,6 +210,115 @@ proptest! {
             prop_assert!(close(kd, min_scalar),
                 "nearest distance: kernel {kd} vs scalar min {min_scalar}");
             prop_assert!(close(scalar[idx], min_scalar));
+        }
+    }
+
+    /// Every compiled-and-available SIMD backend produces the *bitwise*
+    /// identical dot product as the canonical scalar reduction on lengths
+    /// straddling every lane width (tails of 1–3 elements included).
+    #[test]
+    fn dot_bitwise_identical_across_backends(n in 1usize..20, seed in 0u64..u64::MAX) {
+        let mut s = seed;
+        let a = fill(&mut s, n, -1e6, 1e6);
+        let b = fill(&mut s, n, -1e6, 1e6);
+        let want = simd::dot_with(Backend::Scalar, &a, &b).to_bits();
+        for backend in compiled_available() {
+            let got = simd::dot_with(backend, &a, &b).to_bits();
+            prop_assert_eq!(got, want, "backend {}", backend.name());
+        }
+    }
+
+    /// Every backend agrees bitwise with scalar on both halves of the
+    /// fused sweep — winner indices AND winner scores — over awkward
+    /// dimensionalities, with every third similarity coefficient forced
+    /// infinite (the dead-dimension sentinel the sweep must skip).
+    #[test]
+    fn rank_bitwise_identical_across_backends(
+        dims in arb_awkward_dims(),
+        rows in 1usize..9,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut s = seed;
+        let centroids = fill(&mut s, dims * rows, -100.0, 100.0);
+        let noise = fill(&mut s, dims * rows, 0.0, 10.0);
+        let sm = fill(&mut s, rows, -50.0, 5000.0);
+        let x = fill(&mut s, dims, -100.0, 100.0);
+        let errs = fill(&mut s, dims, 0.1, 10.0);
+        let inv: Vec<f64> = fill(&mut s, dims, 0.5, 50.0).iter().enumerate()
+            .map(|(j, &v)| if j % 3 == 2 { f64::INFINITY } else { v })
+            .collect();
+        let want_min = simd::rank_min_score_with(Backend::Scalar, &centroids, &sm, dims, &x);
+        let want_fused =
+            simd::rank_fused_with(Backend::Scalar, &centroids, &noise, dims, &x, &errs, &inv);
+        for backend in compiled_available() {
+            let got = simd::rank_min_score_with(backend, &centroids, &sm, dims, &x);
+            prop_assert_eq!(got.0, want_min.0, "rank_min idx on {}", backend.name());
+            prop_assert_eq!(got.1.to_bits(), want_min.1.to_bits(),
+                "rank_min score on {}", backend.name());
+            let gf =
+                simd::rank_fused_with(backend, &centroids, &noise, dims, &x, &errs, &inv);
+            prop_assert_eq!(gf.dist_idx, want_fused.dist_idx, "dist idx on {}", backend.name());
+            prop_assert_eq!(gf.dist_score.to_bits(), want_fused.dist_score.to_bits(),
+                "dist score on {}", backend.name());
+            prop_assert_eq!(gf.sim_idx, want_fused.sim_idx, "sim idx on {}", backend.name());
+            prop_assert_eq!(gf.sim.to_bits(), want_fused.sim.to_bits(),
+                "sim on {}", backend.name());
+        }
+    }
+
+    /// NaN-poisoned centroid rows must never win the ranking, and every
+    /// backend must agree bitwise on what does win despite the poison.
+    #[test]
+    fn nan_rows_never_win_and_backends_agree(
+        dims in arb_awkward_dims(),
+        rows in 2usize..8,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut s = seed;
+        let mut centroids = fill(&mut s, dims * rows, -100.0, 100.0);
+        let noise = fill(&mut s, dims * rows, 0.0, 10.0);
+        let sm = fill(&mut s, rows, -50.0, 5000.0);
+        let x = fill(&mut s, dims, -100.0, 100.0);
+        let errs = fill(&mut s, dims, 0.1, 10.0);
+        let inv = fill(&mut s, dims, 0.5, 50.0);
+        let poison = (seed as usize) % rows;
+        for v in &mut centroids[poison * dims..(poison + 1) * dims] {
+            *v = f64::NAN;
+        }
+        let want = simd::rank_min_score_with(Backend::Scalar, &centroids, &sm, dims, &x);
+        // rows >= 2, so some finite row exists and the NaN row cannot win.
+        prop_assert!(rows < 2 || want.0 != poison || want.1.is_finite());
+        let want_fused =
+            simd::rank_fused_with(Backend::Scalar, &centroids, &noise, dims, &x, &errs, &inv);
+        for backend in compiled_available() {
+            let got = simd::rank_min_score_with(backend, &centroids, &sm, dims, &x);
+            prop_assert_eq!(got.0, want.0, "rank_min idx on {}", backend.name());
+            prop_assert_eq!(got.1.to_bits(), want.1.to_bits(),
+                "rank_min score on {}", backend.name());
+            let gf =
+                simd::rank_fused_with(backend, &centroids, &noise, dims, &x, &errs, &inv);
+            prop_assert_eq!(gf.dist_idx, want_fused.dist_idx, "dist idx on {}", backend.name());
+            prop_assert_eq!(gf.sim_idx, want_fused.sim_idx, "sim idx on {}", backend.name());
+        }
+    }
+
+    /// Opt-in f32 ranking (single-precision scan, exact-f64 re-check of
+    /// surviving candidates) must follow the *bit-identical* insertion
+    /// trajectory: same outcomes, same ids, same CF1 moments.
+    #[test]
+    fn umicro_f32_rank_trajectory_identical(stream in arb_points(4, 60)) {
+        let mut exact = UMicro::new(UMicroConfig::new(4, DIMS).unwrap());
+        let mut fast = UMicro::new(UMicroConfig::new(4, DIMS).unwrap());
+        fast.set_f32_rank(true);
+        for p in &stream {
+            let a = exact.insert(p);
+            let b = fast.insert(p);
+            prop_assert_eq!(a, b, "diverged at t={}", p.timestamp());
+        }
+        prop_assert_eq!(exact.micro_clusters().len(), fast.micro_clusters().len());
+        for (x, y) in exact.micro_clusters().iter().zip(fast.micro_clusters()) {
+            prop_assert_eq!(x.id, y.id);
+            prop_assert_eq!(x.ecf.cf1(), y.ecf.cf1());
         }
     }
 

@@ -1,0 +1,247 @@
+//! Bytes-on-wire of the distributed tier: ECF delta shipping versus
+//! forwarding every raw point to the coordinator.
+//!
+//! Boots a real coordinator on an ephemeral port, attaches `--sites`
+//! sites, and drives a deterministic interleaved stream through them over
+//! TCP. The delta cost is what the sites actually wrote to their sockets
+//! (USRV header + JSON payload, retries and duplicates included). The
+//! raw-forwarding baseline frames the *same* point batches with the same
+//! codec at the same cadence — batched per epoch, which flatters the
+//! baseline relative to per-point forwarding.
+//!
+//! The run double-checks exactness on the side: the coordinator's merged
+//! per-site maps must equal the per-shard maps of a single engine fed the
+//! interleaved stream, bit for bit.
+//!
+//! ```text
+//! cargo run -p ustream-bench --release --bin fig_distrib_bench -- \
+//!     --sites 4 --points 20000 --dims 8
+//! ```
+//!
+//! Output goes to `results/BENCH_distrib.json`. `--smoke 1` shrinks the
+//! run for CI; `--strict 1` exits non-zero unless the run is exact and
+//! delta bytes are at most 10% of the raw baseline.
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::Duration;
+use umicro::{Ecf, UMicroConfig};
+use ustream_bench::Args;
+use ustream_common::backoff::splitmix64;
+use ustream_common::UncertainPoint;
+use ustream_distrib::{Coordinator, CoordinatorConfig, Site, SiteConfig};
+use ustream_engine::EngineBuilder;
+use ustream_serve::protocol::encode_message;
+use ustream_snapshot::{shard_of_id, SHARD_ID_BITS};
+
+const LOCAL_MASK: u64 = (1u64 << SHARD_ID_BITS) - 1;
+
+/// Deterministic stream: a few drifting centres plus noise.
+fn point(t: u64, dims: usize, seed: u64) -> UncertainPoint {
+    let values = (0..dims)
+        .map(|d| {
+            let r = splitmix64(seed ^ t.wrapping_mul(0x9e37_79b9) ^ ((d as u64) << 32));
+            let centre = ((r >> 8) % 5) as f64 * 12.0;
+            let drift = (t as f64) * 1e-4;
+            let noise = (r & 0xffff) as f64 / 65_536.0 - 0.5;
+            centre + drift + noise
+        })
+        .collect();
+    UncertainPoint::new(values, vec![0.3; dims], t, None)
+}
+
+/// What raw-point forwarding would put on the wire: the same sub-streams,
+/// framed with the same codec, batched at the same epoch cadence.
+#[derive(Serialize)]
+struct RawPoint {
+    v: Vec<f64>,
+    e: Vec<f64>,
+    t: u64,
+}
+
+#[derive(Serialize)]
+struct RawBatch {
+    site: u64,
+    seq: u64,
+    points: Vec<RawPoint>,
+}
+
+fn raw_forwarding_bytes(points: &[UncertainPoint], n_sites: usize, delta_every: usize) -> u64 {
+    let mut total = 0u64;
+    for site in 0..n_sites {
+        let sub: Vec<&UncertainPoint> = points.iter().skip(site).step_by(n_sites).collect();
+        for (e, chunk) in sub.chunks(delta_every).enumerate() {
+            let batch = RawBatch {
+                site: site as u64,
+                seq: e as u64 + 1,
+                points: chunk
+                    .iter()
+                    .map(|p| RawPoint {
+                        v: p.values().to_vec(),
+                        e: p.errors().to_vec(),
+                        t: p.timestamp(),
+                    })
+                    .collect(),
+            };
+            let frame =
+                encode_message(&batch, usize::MAX >> 1).expect("raw batch frames like a delta");
+            total += frame.len() as u64;
+        }
+    }
+    total
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: String,
+    sites: usize,
+    points: usize,
+    dims: usize,
+    n_micro_per_site: usize,
+    delta_every: usize,
+    delta_bytes: u64,
+    delta_frames: u64,
+    raw_bytes: u64,
+    bytes_ratio: f64,
+    delta_bytes_per_point: f64,
+    raw_bytes_per_point: f64,
+    epochs_applied: u64,
+    duplicates_dropped: u64,
+    gaps_nacked: u64,
+    frames_rejected: u64,
+    exact: bool,
+}
+
+fn main() {
+    let args = Args::parse();
+    let smoke: bool = args.get("smoke", 0u8) != 0;
+    let n_sites: usize = args.get("sites", 4);
+    let n_points: usize = args.get("points", if smoke { 6_000 } else { 20_000 });
+    let dims: usize = args.get("dims", 8);
+    let n_micro: usize = args.get("n-micro", if smoke { 16 } else { 64 });
+    let delta_every: usize = args.get("delta-every", (n_points / n_sites.max(1) / 2).max(1));
+    let seed: u64 = args.get("seed", 42);
+    let strict: bool = args.get("strict", 0u8) != 0;
+
+    eprintln!(
+        "distrib bench: {n_sites} sites, {n_points} points, {dims} dims, \
+         {n_micro} micro/site, epoch every {delta_every}"
+    );
+
+    let points: Vec<_> = (1..=n_points as u64)
+        .map(|t| point(t, dims, seed))
+        .collect();
+
+    // Single-node ground truth (budget scaled so each shard matches one
+    // site's clusterer exactly).
+    let reference = EngineBuilder::new(
+        UMicroConfig::new(n_micro * n_sites, dims).expect("valid reference config"),
+    )
+    .shards(n_sites)
+    .build()
+    .expect("reference engine boots");
+    for p in &points {
+        reference.push(p.clone()).expect("reference ingest");
+    }
+    reference.flush();
+    let mut expected: Vec<BTreeMap<u64, Ecf>> = vec![BTreeMap::new(); n_sites];
+    for mc in reference.micro_clusters() {
+        expected[shard_of_id(mc.id)].insert(mc.id & LOCAL_MASK, mc.ecf);
+    }
+    reference.shutdown();
+
+    // The distributed run, over real sockets.
+    let coord =
+        Coordinator::bind("127.0.0.1:0", CoordinatorConfig::default()).expect("coordinator binds");
+    let addr = coord.addr().to_string();
+    let mut sites: Vec<Site> = (0..n_sites)
+        .map(|i| {
+            let engine =
+                EngineBuilder::new(UMicroConfig::new(n_micro, dims).expect("valid site config"))
+                    .shards(1)
+                    .build()
+                    .expect("site engine boots");
+            let mut cfg = SiteConfig::new(i as u64, &addr);
+            cfg.delta_every = delta_every as u64;
+            cfg.io_deadline = Duration::from_secs(30);
+            Site::attach(engine, cfg).expect("site attaches")
+        })
+        .collect();
+    for (k, p) in points.iter().enumerate() {
+        sites[k % n_sites].push(p.clone()).expect("site ingest");
+    }
+    let mut delta_bytes = 0u64;
+    let mut delta_frames = 0u64;
+    for site in sites {
+        let s = site.finish().expect("final sync");
+        delta_bytes += s.bytes_sent;
+        delta_frames += s.frames_sent;
+    }
+
+    let exact = (0..n_sites).all(|i| coord.site_clusters(i as u64) == expected[i]);
+    let stats = coord.stats();
+    coord.shutdown();
+
+    let raw_bytes = raw_forwarding_bytes(&points, n_sites, delta_every);
+    let ratio = delta_bytes as f64 / raw_bytes.max(1) as f64;
+    let report = Report {
+        bench: "distrib".to_string(),
+        sites: n_sites,
+        points: n_points,
+        dims,
+        n_micro_per_site: n_micro,
+        delta_every,
+        delta_bytes,
+        delta_frames,
+        raw_bytes,
+        bytes_ratio: ratio,
+        delta_bytes_per_point: delta_bytes as f64 / n_points as f64,
+        raw_bytes_per_point: raw_bytes as f64 / n_points as f64,
+        epochs_applied: stats.epochs_applied,
+        duplicates_dropped: stats.duplicates_dropped,
+        gaps_nacked: stats.gaps_nacked,
+        frames_rejected: stats.frames_rejected,
+        exact,
+    };
+
+    eprintln!(
+        "  delta shipping: {} bytes in {} frames ({:.1} B/point)",
+        delta_bytes, delta_frames, report.delta_bytes_per_point
+    );
+    eprintln!(
+        "  raw forwarding: {} bytes ({:.1} B/point)",
+        raw_bytes, report.raw_bytes_per_point
+    );
+    eprintln!("  ratio: {:.2}% of raw, exact: {exact}", ratio * 100.0);
+
+    let out = PathBuf::from("results/BENCH_distrib.json");
+    if let Some(parent) = out.parent() {
+        std::fs::create_dir_all(parent).expect("create results dir");
+    }
+    std::fs::write(
+        &out,
+        serde_json::to_string(&report).expect("serialize report"),
+    )
+    .expect("write BENCH_distrib.json");
+    eprintln!("wrote {}", out.display());
+
+    let mut problems = Vec::new();
+    if !exact {
+        problems.push("coordinator state diverged from the single-node run".to_string());
+    }
+    if ratio > 0.10 {
+        problems.push(format!(
+            "delta shipping used {:.2}% of raw-forwarding bytes (gate: 10%)",
+            ratio * 100.0
+        ));
+    }
+    if !problems.is_empty() {
+        for p in &problems {
+            eprintln!("FAIL: {p}");
+        }
+        if strict {
+            std::process::exit(1);
+        }
+    }
+}

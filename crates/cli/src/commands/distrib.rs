@@ -1,0 +1,153 @@
+//! `ustream distrib-coord` / `ustream distrib-site` — the fault-tolerant
+//! distributed tier from the command line.
+//!
+//! `distrib-coord` binds the coordinator, prints the bound address on
+//! stdout (scripts parse that line, same contract as `ustream serve`) and
+//! supervises it, printing a liveness report every `--stats-every`
+//! seconds until `--duration` elapses (or forever).
+//!
+//! `distrib-site` replays a stream CSV through a local engine wrapped in a
+//! [`Site`]: ECF deltas ship to the coordinator every `--delta-every`
+//! records with bounded-backoff retry, rotated checkpoints cover crashes,
+//! and `--resume` picks up from the newest readable checkpoint generation
+//! — the replay skips the records that state already covers, so nothing
+//! is double-counted after a respawn.
+
+use crate::args::{CliError, Flags};
+use crate::commands::load_stream;
+use std::time::Duration;
+use umicro::UMicroConfig;
+use ustream_common::DataStream;
+use ustream_distrib::{
+    CheckpointPolicy, Coordinator, CoordinatorConfig, RetryPolicy, Site, SiteConfig,
+};
+use ustream_engine::EngineBuilder;
+
+/// Runs `distrib-coord`.
+pub fn run_coord(flags: &Flags) -> Result<(), CliError> {
+    let addr = flags.get_str("addr", "127.0.0.1:7272");
+    let cfg = CoordinatorConfig {
+        suspicion_timeout: Duration::from_millis(flags.get("suspicion-ms", 10_000u64)?),
+        snapshot_every_epochs: flags.get("snapshot-epochs", 4u64)?,
+        ..CoordinatorConfig::default()
+    };
+    let duration = flags.get_opt::<u64>("duration")?.map(Duration::from_secs);
+    let stats_every = Duration::from_secs(flags.get("stats-every", 10u64)?.max(1));
+
+    let coord = Coordinator::bind(addr.as_str(), cfg)?;
+    println!("listening on {}", coord.addr());
+
+    let started = std::time::Instant::now();
+    let mut last_report = std::time::Instant::now();
+    loop {
+        // lint:allow(no-sleep): coordinator supervision cadence, bounded per tick
+        std::thread::sleep(Duration::from_millis(200));
+        if started.elapsed() >= duration.unwrap_or(Duration::MAX) {
+            break;
+        }
+        if last_report.elapsed() >= stats_every {
+            last_report = std::time::Instant::now();
+            let s = coord.stats();
+            if !s.sites.is_empty() {
+                let suspects = s.sites.iter().filter(|h| h.suspect).count();
+                println!(
+                    "sites={} suspects={} epochs={} dups={} gaps={} rejected={} clusters={} points={}",
+                    s.sites.len(),
+                    suspects,
+                    s.epochs_applied,
+                    s.duplicates_dropped,
+                    s.gaps_nacked,
+                    s.frames_rejected,
+                    s.global_clusters,
+                    s.total_points,
+                );
+            }
+        }
+    }
+    let final_stats = coord.shutdown();
+    println!(
+        "final: sites={} epochs={} dups={} gaps={} rejected={} clusters={} points={}",
+        final_stats.sites.len(),
+        final_stats.epochs_applied,
+        final_stats.duplicates_dropped,
+        final_stats.gaps_nacked,
+        final_stats.frames_rejected,
+        final_stats.global_clusters,
+        final_stats.total_points,
+    );
+    Ok(())
+}
+
+/// Runs `distrib-site`.
+pub fn run_site(flags: &Flags) -> Result<(), CliError> {
+    let input = flags.require("in")?.to_string();
+    let coord_addr = flags.require("coord")?.to_string();
+    let site_id: u64 = flags.get("site", 0u64)?;
+    let n_micro: usize = flags.get("n-micro", 100)?;
+    let shards: usize = flags.get("shards", 1)?;
+    let delta_every: u64 = flags.get("delta-every", 256u64)?;
+    let deadline_ms: u64 = flags.get("deadline-ms", 5_000u64)?;
+    let retries: u32 = flags.get("retries", 5u32)?;
+    let checkpoint: Option<String> = flags.get_opt("checkpoint")?;
+    let checkpoint_every: u64 = flags.get("checkpoint-every", 10_000u64)?;
+    let generations: u64 = flags.get("checkpoint-generations", 3u64)?;
+    let resume: bool = flags.get("resume", 0u8)? != 0;
+    if resume && checkpoint.is_none() {
+        return Err("--resume requires --checkpoint <base>".into());
+    }
+
+    let stream = load_stream(&input)?;
+    let dims = stream.dims();
+    if dims == 0 {
+        return Err(format!("{input}: empty stream").into());
+    }
+
+    let mut cfg = SiteConfig::new(site_id, &coord_addr);
+    cfg.delta_every = delta_every;
+    cfg.io_deadline = Duration::from_millis(deadline_ms);
+    cfg.retry = RetryPolicy {
+        max_attempts: retries,
+        ..RetryPolicy::default()
+    };
+    cfg.checkpoint = checkpoint.map(|base| CheckpointPolicy {
+        base,
+        generations,
+        every_points: checkpoint_every,
+    });
+
+    let (mut site, skip) = if resume {
+        let (site, covered) = Site::resume(cfg)?;
+        println!("resumed site {site_id}: checkpoint covers {covered} records");
+        (site, covered)
+    } else {
+        let engine =
+            EngineBuilder::new(UMicroConfig::new(n_micro, dims).map_err(|e| e.to_string())?)
+                .shards(shards)
+                .build()?;
+        (Site::attach(engine, cfg)?, 0)
+    };
+
+    let started = std::time::Instant::now();
+    for point in stream.skip(skip as usize) {
+        site.push(point)?;
+    }
+    let stats = site.finish()?;
+    let secs = started.elapsed().as_secs_f64().max(1e-9);
+    println!(
+        "site {site_id}: {} records in {:.2}s ({:.0} rec/s)",
+        stats.points,
+        secs,
+        (stats.points.saturating_sub(skip)) as f64 / secs,
+    );
+    println!(
+        "epochs={} resyncs={} retries={} sync-failures={} checkpoints={} wire={}B in {} frames",
+        stats.epochs_acked,
+        stats.full_resyncs,
+        stats.send_retries,
+        stats.sync_failures,
+        stats.checkpoints_written,
+        stats.bytes_sent,
+        stats.frames_sent,
+    );
+    Ok(())
+}

@@ -2,6 +2,7 @@
 
 pub mod classify;
 pub mod cluster;
+pub mod distrib;
 pub mod drive;
 pub mod evolve;
 pub mod generate;

@@ -90,6 +90,26 @@ commands:
              --dims <usize>        point dimensionality      (default 2)
              --n-micro <usize>     per-tenant micro-cluster budget (default 16)
              --seed <u64>          workload seed             (default 42)
+  distrib-coord  boot the distributed-tier coordinator (exact ECF delta merge)
+             --addr <host:port>    bind address; port 0 = ephemeral (default 127.0.0.1:7272)
+             --suspicion-ms <u64>  flag sites silent longer than this (default 10000)
+             --snapshot-epochs <u64>  pyramidal snapshot cadence in epochs (default 4)
+             --stats-every <u64>   liveness report interval in seconds (default 10)
+             --duration <u64>      run for n seconds, then report and exit (default: forever)
+  distrib-site   replay a stream CSV as one distributed site
+             --in <path>           input CSV                 (required)
+             --coord <host:port>   coordinator address       (required)
+             --site <u64>          site id, unique per coordinator (default 0)
+             --n-micro <usize>     micro-cluster budget      (default 100)
+             --shards <usize>      local ingestion shards    (default 1)
+             --delta-every <u64>   records between delta epochs (default 256)
+             --deadline-ms <u64>   per-operation socket deadline (default 5000)
+             --retries <u32>       ship retries before an epoch rides the next (default 5)
+             --checkpoint <base>   rotate engine checkpoints at <base>.N
+             --checkpoint-every <u64>  records between checkpoints (default 10000)
+             --checkpoint-generations <u64>  rotation slots (default 3)
+             --resume 1            restore from the newest checkpoint generation and
+                                   skip the records it covers (full resync on reconnect)
   inspect    print stream statistics
              --in <path>           input CSV                 (required)
 ";
@@ -136,6 +156,8 @@ fn main() -> ExitCode {
         "stream" => commands::stream::run(&flags),
         "serve" => commands::serve::run(&flags),
         "drive" => commands::drive::run(&flags),
+        "distrib-coord" => commands::distrib::run_coord(&flags),
+        "distrib-site" => commands::distrib::run_site(&flags),
         "inspect" => commands::inspect::run(&flags),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");

@@ -1,0 +1,145 @@
+//! Bounded exponential backoff with deterministic jitter.
+//!
+//! Shared by every transport in the workspace that retries over a lossy
+//! boundary — the serve client's reconnect path and the distributed tier's
+//! delta shipper both use this exact policy so their retry behaviour is
+//! tunable (and testable) in one place.
+//!
+//! The delay for attempt `n` (0-based) is `base · 2^n`, capped at `cap`,
+//! then jittered into `[delay/2, delay]` so a fleet of sites that lost the
+//! same coordinator does not reconnect in lockstep. Jitter is derived from
+//! a caller-supplied seed via splitmix64, never from wall-clock entropy, so
+//! fault-injection tests replay identically.
+
+use std::time::Duration;
+
+/// splitmix64 — the workspace's standard cheap deterministic hash.
+/// Public here so callers that need a seed-derived stream of pseudo-random
+/// words (jitter, sampling) share one implementation.
+#[must_use]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Exponential backoff schedule with a hard cap and deterministic jitter.
+///
+/// The struct only *computes* delays; sleeping is the caller's decision
+/// (and happens inside that caller's sanctioned wait point), which keeps
+/// this crate free of blocking calls.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base_ms: u64,
+    cap_ms: u64,
+    attempt: u32,
+    state: u64,
+}
+
+impl Backoff {
+    /// A schedule starting at `base_ms`, doubling per attempt, capped at
+    /// `cap_ms`. `seed` drives the jitter stream; equal seeds replay equal
+    /// schedules. A `base_ms` of 0 yields all-zero delays (useful in tests).
+    #[must_use]
+    pub fn new(base_ms: u64, cap_ms: u64, seed: u64) -> Self {
+        Self {
+            base_ms,
+            cap_ms: cap_ms.max(base_ms),
+            attempt: 0,
+            state: seed,
+        }
+    }
+
+    /// Number of delays handed out so far.
+    #[must_use]
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Restart the schedule from the first attempt (jitter stream keeps
+    /// advancing, so a reset does not replay the same delays).
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+
+    /// The delay to wait before the next retry, advancing the schedule.
+    pub fn next_delay(&mut self) -> Duration {
+        let shift = self.attempt.min(32);
+        self.attempt = self.attempt.saturating_add(1);
+        let raw = self.base_ms.saturating_mul(1u64 << shift);
+        let capped = raw.min(self.cap_ms);
+        self.state = splitmix64(self.state);
+        // Jitter into [capped/2, capped]: never longer than the cap, never
+        // so short the exponential shape is lost.
+        let half = capped / 2;
+        let jittered = if half == 0 {
+            capped
+        } else {
+            half + self.state % (capped - half + 1)
+        };
+        Duration::from_millis(jittered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_grow_and_cap() {
+        let mut b = Backoff::new(10, 80, 42);
+        let mut prev_cap = 0u64;
+        for _ in 0..8 {
+            let d = b.next_delay().as_millis() as u64;
+            assert!(d <= 80, "delay {d} must respect the cap");
+            prev_cap = prev_cap.max(d);
+        }
+        // After enough doublings the schedule saturates near the cap.
+        assert!(prev_cap >= 40, "jittered delays must approach the cap");
+    }
+
+    #[test]
+    fn jitter_stays_in_half_open_band() {
+        let mut b = Backoff::new(100, 1000, 7);
+        let d0 = b.next_delay().as_millis() as u64;
+        assert!((50..=100).contains(&d0), "first delay {d0} outside band");
+    }
+
+    #[test]
+    fn equal_seeds_replay_equal_schedules() {
+        let mut a = Backoff::new(5, 500, 99);
+        let mut b = Backoff::new(5, 500, 99);
+        for _ in 0..6 {
+            assert_eq!(a.next_delay(), b.next_delay());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Backoff::new(64, 4096, 1);
+        let mut b = Backoff::new(64, 4096, 2);
+        let same = (0..6).filter(|_| a.next_delay() == b.next_delay()).count();
+        assert!(same < 6, "independent seeds should not replay identically");
+    }
+
+    #[test]
+    fn zero_base_is_all_zero() {
+        let mut b = Backoff::new(0, 0, 3);
+        for _ in 0..4 {
+            assert_eq!(b.next_delay(), Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn reset_restarts_the_exponential() {
+        let mut b = Backoff::new(10, 10_000, 11);
+        for _ in 0..5 {
+            let _ = b.next_delay();
+        }
+        b.reset();
+        assert_eq!(b.attempts(), 0);
+        let d = b.next_delay().as_millis() as u64;
+        assert!(d <= 10, "post-reset delay {d} must be back at the base");
+    }
+}

@@ -54,6 +54,15 @@ pub enum UStreamError {
     /// A checkpoint file is malformed, truncated, corrupted (checksum
     /// mismatch), or has an unsupported version.
     Checkpoint(String),
+    /// A bounded retry loop (reconnecting client, delta shipper) exhausted
+    /// its attempt budget without one success. Carries the terminal failure
+    /// so callers can distinguish "peer gone" from "peer rejecting".
+    RetriesExhausted {
+        /// How many attempts were made before giving up.
+        attempts: u32,
+        /// Rendering of the error from the final attempt.
+        last_error: String,
+    },
 }
 
 impl fmt::Display for UStreamError {
@@ -83,6 +92,15 @@ impl fmt::Display for UStreamError {
                 write!(f, "deadline exceeded after {waited_ms} ms")
             }
             UStreamError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            UStreamError::RetriesExhausted {
+                attempts,
+                last_error,
+            } => {
+                write!(
+                    f,
+                    "retries exhausted after {attempts} attempts: {last_error}"
+                )
+            }
         }
     }
 }
@@ -140,6 +158,18 @@ mod tests {
     fn display_deadline_exceeded() {
         let e = UStreamError::DeadlineExceeded { waited_ms: 250 };
         assert_eq!(e.to_string(), "deadline exceeded after 250 ms");
+    }
+
+    #[test]
+    fn display_retries_exhausted() {
+        let e = UStreamError::RetriesExhausted {
+            attempts: 4,
+            last_error: "connection refused".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "retries exhausted after 4 attempts: connection refused"
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! `(X_i, ψ(X_i))` where `X_i` is a `d`-dimensional record and `ψ_j(X_i)` is
 //! the standard deviation of the error on dimension `j`.
 
+pub mod backoff;
 pub mod error;
 pub mod feature;
 pub mod label;
@@ -19,6 +20,7 @@ pub mod stats;
 pub mod stream;
 pub mod time;
 
+pub use backoff::Backoff;
 pub use error::UStreamError;
 pub use feature::{AdditiveFeature, DecayableFeature};
 pub use label::ClassLabel;

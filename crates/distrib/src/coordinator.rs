@@ -1,0 +1,584 @@
+//! The merging coordinator: accepts delta frames from sites, applies them
+//! idempotently, and maintains the merged global micro-cluster view plus a
+//! pyramidal horizon store over it.
+//!
+//! ## Idempotent application
+//!
+//! Per site the coordinator tracks `last_applied`, the highest contiguous
+//! epoch it has merged. A frame with `seq <= last_applied` is a duplicate
+//! — a retransmit race, a [`reordered`](ustream_engine::failpoints)
+//! delivery, or a replay after a lost ack — and is *dropped, never
+//! re-merged*; the coordinator re-acks so the sender unblocks. A frame
+//! with `seq > last_applied + 1` means the coordinator is missing state
+//! (typically its own restart) and is nacked with the expected sequence;
+//! the site answers with a `full` resync frame. Only `seq ==
+//! last_applied + 1` mutates state, and because deltas carry replace
+//! semantics, even a hypothetical double-apply would be harmless.
+//!
+//! ## Liveness
+//!
+//! Each applied-or-acked frame stamps the site's `last_heard` instant; a
+//! site silent longer than the configured suspicion timeout is reported
+//! `suspect` in [`CoordStats`] — detection is the coordinator's job,
+//! recovery (respawn + checkpoint replay) is the site runner's.
+
+use crate::io::{read_frame, write_frame};
+use crate::protocol::{
+    decode_site_request, encode_coord_response, global_cluster_id, CoordResponse, CoordStats,
+    DeltaFrame, SiteHealth, SiteRequest, MAX_SITES,
+};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use umicro::Ecf;
+use ustream_common::{Result, UStreamError};
+use ustream_snapshot::{ClusterSetSnapshot, HorizonTracker, PyramidConfig};
+
+/// Coordinator tuning knobs.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Per-operation socket deadline.
+    pub io_deadline: Duration,
+    /// Largest accepted/emitted frame.
+    pub max_frame_bytes: usize,
+    /// A site silent for longer than this is reported `suspect`.
+    pub suspicion_timeout: Duration,
+    /// Pyramidal geometry of the horizon store over the merged view.
+    pub pyramid: PyramidConfig,
+    /// Record a merged snapshot into the horizon store every this many
+    /// applied epochs (0 disables recording).
+    pub snapshot_every_epochs: u64,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        Self {
+            io_deadline: Duration::from_secs(30),
+            max_frame_bytes: crate::protocol::DEFAULT_MAX_FRAME_BYTES,
+            suspicion_timeout: Duration::from_secs(10),
+            pyramid: PyramidConfig::default(),
+            snapshot_every_epochs: 4,
+        }
+    }
+}
+
+/// What the coordinator holds for one site.
+#[derive(Debug)]
+struct SiteView {
+    last_applied: u64,
+    clusters: BTreeMap<u64, Ecf>,
+    points: u64,
+    last_tick: u64,
+    last_heard: Instant,
+}
+
+impl SiteView {
+    fn new() -> Self {
+        Self {
+            last_applied: 0,
+            clusters: BTreeMap::new(),
+            points: 0,
+            last_tick: 0,
+            last_heard: Instant::now(),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    epochs_applied: AtomicU64,
+    duplicates_dropped: AtomicU64,
+    gaps_nacked: AtomicU64,
+    frames_rejected: AtomicU64,
+    frames_received: AtomicU64,
+    bytes_received: AtomicU64,
+}
+
+struct Inner {
+    cfg: CoordinatorConfig,
+    sites: Mutex<BTreeMap<u64, SiteView>>,
+    horizons: Mutex<HorizonTracker<Ecf>>,
+    counters: Counters,
+    stopping: AtomicBool,
+}
+
+/// A running coordinator: TCP acceptor plus merged state.
+pub struct Coordinator {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl Coordinator {
+    /// Binds `addr` and starts accepting site sessions.
+    pub fn bind<A: ToSocketAddrs>(addr: A, cfg: CoordinatorConfig) -> Result<Self> {
+        let listener = TcpListener::bind(addr).map_err(UStreamError::Io)?;
+        let local = listener.local_addr().map_err(UStreamError::Io)?;
+        listener.set_nonblocking(true).map_err(UStreamError::Io)?;
+        let inner = Arc::new(Inner {
+            horizons: Mutex::new(HorizonTracker::new(cfg.pyramid)),
+            cfg,
+            sites: Mutex::new(BTreeMap::new()),
+            counters: Counters::default(),
+            stopping: AtomicBool::new(false),
+        });
+        let acceptor = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("udistrib-coord".into())
+                .spawn(move || run_acceptor(&listener, &inner))
+                .map_err(|e| UStreamError::Io(std::io::Error::other(e.to_string())))?
+        };
+        Ok(Self {
+            inner,
+            addr: local,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Counters and per-site health.
+    pub fn stats(&self) -> CoordStats {
+        self.inner.stats()
+    }
+
+    /// The merged global micro-cluster map (site-namespaced ids).
+    pub fn global_clusters(&self) -> BTreeMap<u64, Ecf> {
+        self.inner.global_clusters()
+    }
+
+    /// One site's micro-clusters as last applied (site-local ids).
+    pub fn site_clusters(&self, site: u64) -> BTreeMap<u64, Ecf> {
+        self.inner
+            .sites
+            .lock()
+            .get(&site)
+            .map(|v| v.clusters.clone())
+            .unwrap_or_default()
+    }
+
+    /// `last_applied` for `site` (0 when unknown).
+    pub fn last_applied(&self, site: u64) -> u64 {
+        self.inner
+            .sites
+            .lock()
+            .get(&site)
+            .map_or(0, |v| v.last_applied)
+    }
+
+    /// Merged clusters over the trailing window `(now − h, now]`, served
+    /// from the pyramidal store.
+    pub fn horizon_clusters(&self, h: u64) -> Result<ClusterSetSnapshot<Ecf>> {
+        let now = self
+            .inner
+            .sites
+            .lock()
+            .values()
+            .map(|v| v.last_tick)
+            .max()
+            .unwrap_or(0);
+        self.inner.horizons.lock().horizon_clusters(now, h)
+    }
+
+    /// Stops accepting, joins the acceptor, and returns final stats.
+    pub fn shutdown(mut self) -> CoordStats {
+        self.stop();
+        self.inner.stats()
+    }
+
+    fn stop(&mut self) {
+        self.inner.stopping.store(true, Ordering::Relaxed); // relaxed-ok: stop flag; acceptor re-polls within ms
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Coordinator {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl Inner {
+    /// The epoch/ack state machine (see module docs). Pure state
+    /// transition — transport-free, so unit tests drive it directly.
+    fn apply_delta(&self, frame: DeltaFrame) -> CoordResponse {
+        if frame.site >= MAX_SITES {
+            return CoordResponse::Error {
+                message: format!("site id {} out of range (max {MAX_SITES})", frame.site),
+            };
+        }
+        let mut sites = self.sites.lock();
+        let view = sites.entry(frame.site).or_insert_with(SiteView::new);
+        view.last_heard = Instant::now();
+        if frame.seq <= view.last_applied {
+            // Duplicate or reordered epoch: drop, never re-merge, re-ack
+            // so the sender can make progress.
+            self.counters
+                .duplicates_dropped
+                .fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats counter; readers tolerate lag
+            return CoordResponse::DeltaAck {
+                site: frame.site,
+                applied: view.last_applied,
+            };
+        }
+        if frame.seq > view.last_applied + 1 && !frame.full {
+            // Gap: the coordinator is missing epochs (it restarted, or an
+            // earlier ack was fabricated). Ask for a full resync.
+            self.counters.gaps_nacked.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats counter; readers tolerate lag
+            return CoordResponse::DeltaNack {
+                site: frame.site,
+                expected: view.last_applied + 1,
+            };
+        }
+        if frame.full {
+            view.clusters.clear();
+        }
+        for (id, ecf) in frame.updates {
+            view.clusters.insert(id, ecf);
+        }
+        for id in &frame.removes {
+            view.clusters.remove(id);
+        }
+        view.points = frame.points;
+        view.last_tick = view.last_tick.max(frame.last_tick);
+        view.last_applied = frame.seq;
+        let site = frame.site;
+        let applied = frame.seq;
+        drop(sites);
+
+        let epochs = self.counters.epochs_applied.fetch_add(1, Ordering::Relaxed) + 1; // relaxed-ok: stats counter; readers tolerate lag
+        let every = self.cfg.snapshot_every_epochs;
+        if every > 0 && epochs.is_multiple_of(every) {
+            self.record_snapshot();
+        }
+        CoordResponse::DeltaAck { site, applied }
+    }
+
+    fn global_clusters(&self) -> BTreeMap<u64, Ecf> {
+        let sites = self.sites.lock();
+        let mut merged = BTreeMap::new();
+        for (site, view) in sites.iter() {
+            for (local, ecf) in &view.clusters {
+                merged.insert(global_cluster_id(*site, *local), ecf.clone());
+            }
+        }
+        merged
+    }
+
+    fn record_snapshot(&self) {
+        let (now, merged) = {
+            let sites = self.sites.lock();
+            let now = sites.values().map(|v| v.last_tick).max().unwrap_or(0);
+            let mut merged = BTreeMap::new();
+            for (site, view) in sites.iter() {
+                for (local, ecf) in &view.clusters {
+                    merged.insert(global_cluster_id(*site, *local), ecf.clone());
+                }
+            }
+            (now, merged)
+        };
+        if now == 0 {
+            return;
+        }
+        let snap = ClusterSetSnapshot { clusters: merged };
+        self.horizons.lock().record_snapshot(now, snap);
+    }
+
+    fn stats(&self) -> CoordStats {
+        let sites = self.sites.lock();
+        let mut health = Vec::with_capacity(sites.len());
+        let mut total_points = 0u64;
+        let mut global_clusters = 0u64;
+        for (site, view) in sites.iter() {
+            let silent = view.last_heard.elapsed();
+            health.push(SiteHealth {
+                site: *site,
+                last_applied: view.last_applied,
+                points: view.points,
+                last_tick: view.last_tick,
+                last_heard_ms: silent.as_millis() as u64,
+                suspect: silent > self.cfg.suspicion_timeout,
+            });
+            total_points += view.points;
+            global_clusters += view.clusters.len() as u64;
+        }
+        CoordStats {
+            sites: health,
+            epochs_applied: self.counters.epochs_applied.load(Ordering::Relaxed), // relaxed-ok: stats counter; readers tolerate lag
+            duplicates_dropped: self.counters.duplicates_dropped.load(Ordering::Relaxed), // relaxed-ok: stats counter; readers tolerate lag
+            gaps_nacked: self.counters.gaps_nacked.load(Ordering::Relaxed), // relaxed-ok: stats counter; readers tolerate lag
+            frames_rejected: self.counters.frames_rejected.load(Ordering::Relaxed), // relaxed-ok: stats counter; readers tolerate lag
+            frames_received: self.counters.frames_received.load(Ordering::Relaxed), // relaxed-ok: stats counter; readers tolerate lag
+            bytes_received: self.counters.bytes_received.load(Ordering::Relaxed), // relaxed-ok: stats counter; readers tolerate lag
+            global_clusters,
+            total_points,
+        }
+    }
+
+    fn handle(&self, req: SiteRequest) -> CoordResponse {
+        match req {
+            SiteRequest::Hello { site } => {
+                let mut sites = self.sites.lock();
+                let view = sites.entry(site).or_insert_with(SiteView::new);
+                view.last_heard = Instant::now();
+                CoordResponse::HelloAck {
+                    last_applied: view.last_applied,
+                }
+            }
+            SiteRequest::Delta { frame } => self.apply_delta(frame),
+            SiteRequest::Stats => CoordResponse::Stats {
+                stats: self.stats(),
+            },
+            SiteRequest::GlobalClusters => CoordResponse::Clusters {
+                clusters: self.global_clusters(),
+            },
+            SiteRequest::SiteClusters { site } => CoordResponse::Clusters {
+                clusters: self
+                    .sites
+                    .lock()
+                    .get(&site)
+                    .map(|v| v.clusters.clone())
+                    .unwrap_or_default(),
+            },
+        }
+    }
+}
+
+/// Non-blocking accept with a short poll so the stop flag is honoured
+/// within milliseconds (same pattern as the serving front-end).
+fn run_acceptor(listener: &TcpListener, inner: &Arc<Inner>) {
+    // relaxed-ok: stop flag; re-polled every few ms
+    while !inner.stopping.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let inner = Arc::clone(inner);
+                let _ = std::thread::Builder::new()
+                    .name("udistrib-conn".into())
+                    .spawn(move || run_conn(stream, &inner));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                // lint:allow(no-sleep): non-blocking accept poll, keeps shutdown latency ~5 ms
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => {
+                // lint:allow(no-sleep): accept-error backoff
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+/// Per-connection loop: strictly sequential request/response. A frame the
+/// codec rejects (bad checksum, oversized, malformed payload) poisons the
+/// stream's framing, so the connection answers with an error and closes;
+/// the site's retry redials cleanly.
+fn run_conn(mut stream: TcpStream, inner: &Arc<Inner>) {
+    let deadline = inner.cfg.io_deadline;
+    let max = inner.cfg.max_frame_bytes;
+    // relaxed-ok: stop flag; checked between frames
+    while !inner.stopping.load(Ordering::Relaxed) {
+        let payload = match read_frame(&mut stream, max, deadline) {
+            Ok(Some(p)) => p,
+            Ok(None) => return, // clean close
+            Err(_) => {
+                inner
+                    .counters
+                    .frames_rejected
+                    .fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats counter; readers tolerate lag
+                let resp = CoordResponse::Error {
+                    message: "unreadable frame (checksum, size, or deadline); reconnect".into(),
+                };
+                if let Ok(frame) = encode_coord_response(&resp, max) {
+                    let _ = write_frame(&mut stream, &frame, deadline);
+                }
+                return;
+            }
+        };
+        inner
+            .counters
+            .frames_received
+            .fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats counter; readers tolerate lag
+        inner.counters.bytes_received.fetch_add(
+            (payload.len() + ustream_serve::protocol::HEADER_LEN) as u64,
+            Ordering::Relaxed, // relaxed-ok: stats counter; readers tolerate lag
+        );
+        let resp = match decode_site_request(&payload) {
+            Ok(req) => inner.handle(req),
+            Err(e) => {
+                inner
+                    .counters
+                    .frames_rejected
+                    .fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats counter; readers tolerate lag
+                CoordResponse::Error {
+                    message: format!("malformed request: {e}"),
+                }
+            }
+        };
+        let frame = match encode_coord_response(&resp, max) {
+            Ok(f) => f,
+            Err(_) => return,
+        };
+        if write_frame(&mut stream, &frame, deadline).is_err() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ustream_common::UncertainPoint;
+
+    fn inner() -> Inner {
+        Inner {
+            cfg: CoordinatorConfig {
+                snapshot_every_epochs: 1,
+                ..CoordinatorConfig::default()
+            },
+            sites: Mutex::new(BTreeMap::new()),
+            horizons: Mutex::new(HorizonTracker::with_defaults()),
+            counters: Counters::default(),
+            stopping: AtomicBool::new(false),
+        }
+    }
+
+    fn ecf(x: f64, t: u64) -> Ecf {
+        Ecf::from_point(&UncertainPoint::new(vec![x, 0.0], vec![0.1, 0.1], t, None))
+    }
+
+    fn delta(site: u64, seq: u64, full: bool, ids: &[(u64, f64)], removes: &[u64]) -> DeltaFrame {
+        DeltaFrame {
+            site,
+            seq,
+            full,
+            updates: ids.iter().map(|(id, x)| (*id, ecf(*x, seq))).collect(),
+            removes: removes.to_vec(),
+            points: seq * 10,
+            last_tick: seq,
+        }
+    }
+
+    #[test]
+    fn in_order_epochs_apply_and_ack() {
+        let c = inner();
+        let r1 = c.apply_delta(delta(1, 1, false, &[(5, 1.0)], &[]));
+        assert!(matches!(r1, CoordResponse::DeltaAck { applied: 1, .. }));
+        let r2 = c.apply_delta(delta(1, 2, false, &[(6, 2.0)], &[5]));
+        assert!(matches!(r2, CoordResponse::DeltaAck { applied: 2, .. }));
+        let sites = c.sites.lock();
+        let view = sites.get(&1).unwrap();
+        assert_eq!(view.last_applied, 2);
+        assert!(view.clusters.contains_key(&6) && !view.clusters.contains_key(&5));
+    }
+
+    #[test]
+    fn duplicates_are_dropped_never_remerged() {
+        let c = inner();
+        let first = delta(1, 1, false, &[(5, 1.0)], &[]);
+        c.apply_delta(first.clone());
+        // The duplicate carries *different* content for the same epoch; if
+        // the coordinator re-merged it, cluster 9 would appear.
+        let forged = delta(1, 1, false, &[(9, 9.0)], &[5]);
+        let r = c.apply_delta(forged);
+        assert!(matches!(r, CoordResponse::DeltaAck { applied: 1, .. }));
+        let sites = c.sites.lock();
+        let view = sites.get(&1).unwrap();
+        assert!(view.clusters.contains_key(&5), "original epoch must stand");
+        assert!(!view.clusters.contains_key(&9), "duplicate must not merge");
+        drop(sites);
+        assert_eq!(c.stats().duplicates_dropped, 1);
+    }
+
+    #[test]
+    fn gaps_are_nacked_with_the_expected_seq() {
+        let c = inner();
+        c.apply_delta(delta(1, 1, false, &[(5, 1.0)], &[]));
+        let r = c.apply_delta(delta(1, 5, false, &[(6, 2.0)], &[]));
+        assert!(
+            matches!(r, CoordResponse::DeltaNack { expected: 2, .. }),
+            "{r:?}"
+        );
+        assert_eq!(c.stats().gaps_nacked, 1);
+        // A full frame at the gap seq resyncs and is accepted.
+        let r = c.apply_delta(delta(1, 5, true, &[(6, 2.0)], &[]));
+        assert!(matches!(r, CoordResponse::DeltaAck { applied: 5, .. }));
+        let sites = c.sites.lock();
+        let view = sites.get(&1).unwrap();
+        assert_eq!(view.clusters.len(), 1);
+        assert!(view.clusters.contains_key(&6), "full frame replaces map");
+    }
+
+    #[test]
+    fn full_frames_replace_the_whole_site_view() {
+        let c = inner();
+        c.apply_delta(delta(2, 1, false, &[(1, 1.0), (2, 2.0)], &[]));
+        c.apply_delta(delta(2, 2, true, &[(3, 3.0)], &[]));
+        let sites = c.sites.lock();
+        let view = sites.get(&2).unwrap();
+        assert_eq!(view.clusters.len(), 1);
+        assert!(view.clusters.contains_key(&3));
+    }
+
+    #[test]
+    fn global_view_namespaces_sites_disjointly() {
+        let c = inner();
+        c.apply_delta(delta(0, 1, false, &[(7, 1.0)], &[]));
+        c.apply_delta(delta(1, 1, false, &[(7, 2.0)], &[]));
+        let merged = c.global_clusters();
+        assert_eq!(
+            merged.len(),
+            2,
+            "same local id on two sites must not collide"
+        );
+    }
+
+    #[test]
+    fn hello_reports_last_applied() {
+        let c = inner();
+        c.apply_delta(delta(3, 1, false, &[(1, 1.0)], &[]));
+        match c.handle(SiteRequest::Hello { site: 3 }) {
+            CoordResponse::HelloAck { last_applied } => assert_eq!(last_applied, 1),
+            other => panic!("wrong response: {other:?}"),
+        }
+        match c.handle(SiteRequest::Hello { site: 99 }) {
+            CoordResponse::HelloAck { last_applied } => assert_eq!(last_applied, 0),
+            other => panic!("wrong response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn suspicion_flags_silent_sites() {
+        let c = Inner {
+            cfg: CoordinatorConfig {
+                suspicion_timeout: Duration::from_millis(0),
+                ..CoordinatorConfig::default()
+            },
+            sites: Mutex::new(BTreeMap::new()),
+            horizons: Mutex::new(HorizonTracker::with_defaults()),
+            counters: Counters::default(),
+            stopping: AtomicBool::new(false),
+        };
+        c.apply_delta(delta(1, 1, false, &[(1, 1.0)], &[]));
+        // lint:allow(no-sleep): let the 0 ms suspicion timeout elapse
+        std::thread::sleep(Duration::from_millis(5));
+        let stats = c.stats();
+        assert!(stats.sites[0].suspect, "silent site must turn suspect");
+    }
+
+    #[test]
+    fn out_of_range_site_is_an_error() {
+        let c = inner();
+        let r = c.apply_delta(delta(MAX_SITES, 1, false, &[(1, 1.0)], &[]));
+        assert!(matches!(r, CoordResponse::Error { .. }));
+    }
+}

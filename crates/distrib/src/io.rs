@@ -1,0 +1,361 @@
+//! Deadline-armed transport funnel of the distributed tier — the *only*
+//! distrib module allowed to touch socket read/write primitives (the
+//! `net-funnel` lint rule enforces this, same discipline as
+//! `serve/src/io.rs`).
+//!
+//! All raw frame I/O delegates to the serving front-end's deadline-wrapped
+//! [`ustream_serve::io::read_frame`] / [`ustream_serve::io::write_frame`],
+//! so a stalled peer costs at most the configured deadline. What this
+//! module adds is the *hostile-network seam*: under the `failpoints`
+//! feature every outbound frame passes the injection ladder
+//! (partition → delay → corrupt → drop → duplicate → reorder) before any
+//! byte reaches the socket, which is how the chaos suite drives the
+//! transport through every failure the protocol claims to survive.
+
+use std::net::TcpStream;
+use std::time::Duration;
+use ustream_common::{Result, UStreamError};
+
+// Re-exported so the coordinator's connection loop reads and writes
+// through the distrib funnel by name.
+pub use ustream_serve::io::{read_frame, write_frame};
+
+#[cfg(feature = "failpoints")]
+use ustream_engine::failpoints;
+
+/// Wire counters of one [`Transport`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TransportStats {
+    /// Frames actually written to the socket (duplicates included,
+    /// dropped frames excluded).
+    pub frames_sent: u64,
+    /// Bytes actually written to the socket.
+    pub bytes_sent: u64,
+    /// Frames received and verified.
+    pub frames_received: u64,
+    /// Bytes received (header + payload of verified frames).
+    pub bytes_received: u64,
+    /// Send attempts that failed (including injected partitions).
+    pub send_failures: u64,
+    /// Dial attempts that failed.
+    pub connect_failures: u64,
+}
+
+/// One site's connection to the coordinator: lazy dial, deadline-armed
+/// frame I/O, fault-injection seam, and byte accounting.
+#[derive(Debug)]
+pub struct Transport {
+    addr: String,
+    /// Only the failpoint partition check reads this today; it stays in
+    /// the struct so per-site faults have an identity to key on.
+    #[cfg_attr(not(feature = "failpoints"), allow(dead_code))]
+    site: u64,
+    deadline: Duration,
+    max_frame_bytes: usize,
+    stream: Option<TcpStream>,
+    /// Frame held back by an armed [`failpoints::NET_REORDER`]; emitted
+    /// after the next frame so the two cross on the wire.
+    #[cfg_attr(not(feature = "failpoints"), allow(dead_code))]
+    held: Option<Vec<u8>>,
+    stats: TransportStats,
+}
+
+impl Transport {
+    /// A disconnected transport for `site` dialing `addr`; the first
+    /// [`Self::send`] or [`Self::recv`] dials.
+    pub fn new(addr: &str, site: u64, deadline: Duration, max_frame_bytes: usize) -> Self {
+        Self {
+            addr: addr.to_string(),
+            site,
+            deadline,
+            max_frame_bytes,
+            stream: None,
+            held: None,
+            stats: TransportStats::default(),
+        }
+    }
+
+    /// Wire counters so far.
+    pub fn stats(&self) -> TransportStats {
+        self.stats
+    }
+
+    /// Whether a connection is currently open (it may still be dead —
+    /// only the next I/O finds out).
+    pub fn is_connected(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    /// Drops the connection (and any reorder-held frame, which died with
+    /// the link it was bound for).
+    pub fn disconnect(&mut self) {
+        self.stream = None;
+        self.held = None;
+    }
+
+    /// Dials the coordinator if not already connected.
+    pub fn connect(&mut self) -> Result<()> {
+        if self.stream.is_some() {
+            return Ok(());
+        }
+        match TcpStream::connect(&self.addr) {
+            Ok(stream) => {
+                stream.set_nodelay(true).map_err(UStreamError::Io)?;
+                self.stream = Some(stream);
+                Ok(())
+            }
+            Err(e) => {
+                self.stats.connect_failures += 1;
+                Err(UStreamError::Io(e))
+            }
+        }
+    }
+
+    /// Sends one pre-encoded frame through the fault-injection ladder.
+    ///
+    /// On any failure the connection is dropped so the caller's retry
+    /// starts from a clean dial.
+    pub fn send(&mut self, frame: &[u8]) -> Result<()> {
+        match self.send_inner(frame) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.stats.send_failures += 1;
+                self.disconnect();
+                Err(e)
+            }
+        }
+    }
+
+    fn send_inner(&mut self, frame: &[u8]) -> Result<()> {
+        #[cfg(feature = "failpoints")]
+        {
+            if failpoints::should_fire(&failpoints::net_partition(self.site)) {
+                return Err(UStreamError::Io(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionReset,
+                    "injected network partition",
+                )));
+            }
+            if failpoints::should_fire(failpoints::NET_DELAY) {
+                // lint:allow(no-sleep): injected link-congestion delay (failpoints only)
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+        self.connect()?;
+
+        let mut outgoing: Vec<Vec<u8>> = Vec::with_capacity(2);
+        #[allow(unused_mut)]
+        let mut current = frame.to_vec();
+        #[cfg(feature = "failpoints")]
+        {
+            if failpoints::should_fire(failpoints::NET_CORRUPT) {
+                if let Some(last) = current.last_mut() {
+                    *last ^= 0x40;
+                }
+            }
+            if failpoints::should_fire(failpoints::NET_DROP) {
+                // The frame vanishes; a reorder-held predecessor stays
+                // held for the next send that actually goes out.
+            } else if failpoints::should_fire(failpoints::NET_REORDER) {
+                // Hold this frame until the next send; an already-held
+                // frame cannot wait behind two successors, so it goes out
+                // now (still reordered relative to `current`).
+                if let Some(prev) = self.held.take() {
+                    outgoing.push(prev);
+                }
+                self.held = Some(current);
+            } else {
+                outgoing.push(current.clone());
+                if let Some(prev) = self.held.take() {
+                    outgoing.push(prev);
+                }
+                if failpoints::should_fire(failpoints::NET_DUP) {
+                    outgoing.push(current);
+                }
+            }
+        }
+        #[cfg(not(feature = "failpoints"))]
+        outgoing.push(current);
+
+        let Some(stream) = self.stream.as_mut() else {
+            return Err(disconnected());
+        };
+        for f in &outgoing {
+            write_frame(stream, f, self.deadline)?;
+            self.stats.frames_sent += 1;
+            self.stats.bytes_sent += f.len() as u64;
+        }
+        Ok(())
+    }
+
+    /// Receives one verified frame payload; `Ok(None)` on a clean peer
+    /// close at a frame boundary. Failures drop the connection.
+    pub fn recv(&mut self) -> Result<Option<Vec<u8>>> {
+        self.connect()?;
+        let Some(stream) = self.stream.as_mut() else {
+            return Err(disconnected());
+        };
+        match read_frame(stream, self.max_frame_bytes, self.deadline) {
+            Ok(Some(payload)) => {
+                self.stats.frames_received += 1;
+                self.stats.bytes_received +=
+                    (payload.len() + ustream_serve::protocol::HEADER_LEN) as u64;
+                Ok(Some(payload))
+            }
+            Ok(None) => {
+                self.disconnect();
+                Ok(None)
+            }
+            Err(e) => {
+                self.disconnect();
+                Err(e)
+            }
+        }
+    }
+}
+
+/// `connect()` succeeded but the slot is empty — unreachable in practice,
+/// reported as a plain I/O error rather than a panic.
+fn disconnected() -> UStreamError {
+    UStreamError::Io(std::io::Error::new(
+        std::io::ErrorKind::NotConnected,
+        "transport is not connected",
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use ustream_serve::protocol::encode_frame;
+
+    fn listener() -> (TcpListener, String) {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = l.local_addr().unwrap().to_string();
+        (l, addr)
+    }
+
+    #[test]
+    fn frames_flow_and_are_counted() {
+        let (l, addr) = listener();
+        let mut t = Transport::new(&addr, 0, Duration::from_secs(5), 1024);
+        let frame = encode_frame(b"hello", 1024).unwrap();
+        t.send(&frame).unwrap();
+        let (mut server, _) = l.accept().unwrap();
+        let got = read_frame(&mut server, 1024, Duration::from_secs(5))
+            .unwrap()
+            .unwrap();
+        assert_eq!(got, b"hello");
+        assert_eq!(t.stats().frames_sent, 1);
+        assert_eq!(t.stats().bytes_sent, frame.len() as u64);
+    }
+
+    #[test]
+    fn failed_dial_is_counted_and_typed() {
+        // Bind-then-drop guarantees a dead port.
+        let (l, addr) = listener();
+        drop(l);
+        let mut t = Transport::new(&addr, 0, Duration::from_millis(200), 1024);
+        let frame = encode_frame(b"x", 1024).unwrap();
+        assert!(matches!(t.send(&frame), Err(UStreamError::Io(_))));
+        assert_eq!(t.stats().connect_failures, 1);
+        assert_eq!(t.stats().send_failures, 1);
+        assert!(!t.is_connected());
+    }
+
+    #[cfg(feature = "failpoints")]
+    mod faulted {
+        use super::*;
+        use ustream_engine::failpoints;
+
+        /// The failpoint registry is process-global; serialise the tests
+        /// that touch it.
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+        fn recv_all(l: &TcpListener, n: usize) -> Vec<Vec<u8>> {
+            let (mut server, _) = l.accept().unwrap();
+            (0..n)
+                .map(|_| {
+                    read_frame(&mut server, 1024, Duration::from_secs(5))
+                        .unwrap()
+                        .unwrap()
+                })
+                .collect()
+        }
+
+        #[test]
+        fn drop_fault_pretends_success_without_bytes() {
+            let _g = LOCK.lock().unwrap();
+            failpoints::reset_all();
+            let (l, addr) = listener();
+            let mut t = Transport::new(&addr, 0, Duration::from_secs(5), 1024);
+            failpoints::arm(failpoints::NET_DROP, 1);
+            t.send(&encode_frame(b"lost", 1024).unwrap()).unwrap();
+            assert_eq!(t.stats().frames_sent, 0);
+            t.send(&encode_frame(b"kept", 1024).unwrap()).unwrap();
+            let got = recv_all(&l, 1);
+            assert_eq!(got[0], b"kept");
+            failpoints::reset_all();
+        }
+
+        #[test]
+        fn dup_fault_writes_the_frame_twice() {
+            let _g = LOCK.lock().unwrap();
+            failpoints::reset_all();
+            let (l, addr) = listener();
+            let mut t = Transport::new(&addr, 0, Duration::from_secs(5), 1024);
+            failpoints::arm(failpoints::NET_DUP, 1);
+            t.send(&encode_frame(b"twin", 1024).unwrap()).unwrap();
+            let got = recv_all(&l, 2);
+            assert_eq!(got[0], b"twin");
+            assert_eq!(got[1], b"twin");
+            assert_eq!(t.stats().frames_sent, 2);
+            failpoints::reset_all();
+        }
+
+        #[test]
+        fn reorder_fault_swaps_adjacent_frames() {
+            let _g = LOCK.lock().unwrap();
+            failpoints::reset_all();
+            let (l, addr) = listener();
+            let mut t = Transport::new(&addr, 0, Duration::from_secs(5), 1024);
+            failpoints::arm(failpoints::NET_REORDER, 1);
+            t.send(&encode_frame(b"first", 1024).unwrap()).unwrap();
+            t.send(&encode_frame(b"second", 1024).unwrap()).unwrap();
+            let got = recv_all(&l, 2);
+            assert_eq!(got[0], b"second");
+            assert_eq!(got[1], b"first");
+            failpoints::reset_all();
+        }
+
+        #[test]
+        fn corrupt_fault_breaks_the_checksum() {
+            let _g = LOCK.lock().unwrap();
+            failpoints::reset_all();
+            let (l, addr) = listener();
+            let mut t = Transport::new(&addr, 0, Duration::from_secs(5), 1024);
+            failpoints::arm(failpoints::NET_CORRUPT, 1);
+            t.send(&encode_frame(b"mangled", 1024).unwrap()).unwrap();
+            let (mut server, _) = l.accept().unwrap();
+            let err = read_frame(&mut server, 1024, Duration::from_secs(5)).unwrap_err();
+            assert!(err.to_string().contains("checksum"), "{err}");
+            failpoints::reset_all();
+        }
+
+        #[test]
+        fn partition_fails_only_the_armed_site() {
+            let _g = LOCK.lock().unwrap();
+            failpoints::reset_all();
+            let (l, addr) = listener();
+            let mut site0 = Transport::new(&addr, 0, Duration::from_secs(5), 1024);
+            let mut site1 = Transport::new(&addr, 1, Duration::from_secs(5), 1024);
+            failpoints::arm(&failpoints::net_partition(0), 1);
+            let frame = encode_frame(b"p", 1024).unwrap();
+            assert!(site0.send(&frame).is_err(), "partitioned site must fail");
+            site1.send(&frame).unwrap();
+            // The partition healed (count consumed): site 0 gets through.
+            site0.send(&frame).unwrap();
+            let _ = l;
+            failpoints::reset_all();
+        }
+    }
+}

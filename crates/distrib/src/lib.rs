@@ -1,0 +1,45 @@
+//! Fault-tolerant distributed tier: exact multi-node ECF delta shipping.
+//!
+//! The ECF summaries this workspace clusters with are additive (Property
+//! 2.1 of the source paper), so a multi-node deployment can be *exact*:
+//! each [`Site`] runs the full sharded [`ustream_engine::StreamEngine`]
+//! over its sub-stream and periodically ships the micro-clusters that
+//! changed since its last acknowledged epoch; the [`Coordinator`] holds a
+//! per-site replica of those maps and merges them — bit-for-bit equal to
+//! what a single engine over the interleaved stream would hold, because
+//! deltas carry whole ECFs (replace semantics) rather than increments.
+//!
+//! The tier is built to survive a hostile network and crashing sites:
+//!
+//! * every frame is length-prefixed and checksummed (the serving tier's
+//!   USRV codec); corrupt bytes are rejected, counted, and retried;
+//! * epochs are sequence-numbered per site; duplicates are dropped and
+//!   re-acked (never re-merged), gaps are nacked and answered with a
+//!   `full` resync frame;
+//! * shipping uses bounded retry with exponential backoff and jitter
+//!   ([`ustream_common::Backoff`]); a partition exhausts the budget and
+//!   the site keeps clustering — dirty state rides the next epoch;
+//! * sites rotate engine checkpoints between records; a respawned site
+//!   restores the newest readable generation, re-feeds its sub-stream
+//!   tail, learns the coordinator's `last_applied` in the hello
+//!   handshake, and resyncs with a full frame — no double-count, no gap;
+//! * the coordinator tracks per-site liveness and flags sites silent
+//!   longer than a configurable suspicion timeout.
+//!
+//! Under `--features failpoints` the transport routes every send through
+//! the engine's failpoint registry (`net-drop`, `net-dup`, `net-reorder`,
+//! `net-corrupt`, `net-delay`, `net-partition-site-N`), which is how the
+//! chaos tests drive deterministic fault schedules.
+
+pub mod coordinator;
+pub mod io;
+pub mod protocol;
+pub mod site;
+
+pub use coordinator::{Coordinator, CoordinatorConfig};
+pub use io::{Transport, TransportStats};
+pub use protocol::{
+    global_cluster_id, site_of_global, CoordResponse, CoordStats, DeltaFrame, SiteHealth,
+    SiteRequest, MAX_SITES, SITE_ID_SHIFT,
+};
+pub use site::{CheckpointPolicy, RetryPolicy, Site, SiteConfig, SiteStats};

@@ -1,0 +1,417 @@
+//! Exactness under a hostile network: dropped, duplicated, reordered,
+//! corrupted and delayed frames, per-site partitions, and a site that
+//! crashes mid-stream and replays from its rotated checkpoint — after all
+//! of it, the coordinator's per-site maps must still equal, bit for bit,
+//! the per-shard maps of a single engine fed the interleaved stream.
+//!
+//! The failpoint registry is process-global, so every test here serialises
+//! on one lock and resets the registry on entry and exit.
+
+#![cfg(feature = "failpoints")]
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+use umicro::{Ecf, UMicroConfig};
+use ustream_common::backoff::splitmix64;
+use ustream_common::UncertainPoint;
+use ustream_distrib::{
+    CheckpointPolicy, Coordinator, CoordinatorConfig, RetryPolicy, Site, SiteConfig,
+};
+use ustream_engine::{failpoints, EngineBuilder, StreamEngine};
+use ustream_snapshot::{shard_of_id, SHARD_ID_BITS};
+
+const LOCAL_MASK: u64 = (1u64 << SHARD_ID_BITS) - 1;
+
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn point(t: u64, dims: usize, seed: u64) -> UncertainPoint {
+    let values = (0..dims)
+        .map(|d| {
+            let r = splitmix64(seed ^ t.wrapping_mul(0x9e37_79b9) ^ ((d as u64) << 32));
+            let centre = ((r >> 8) % 4) as f64 * 10.0;
+            let noise = (r & 0xffff) as f64 / 65_536.0 - 0.5;
+            centre + noise
+        })
+        .collect();
+    UncertainPoint::new(values, vec![0.3; dims], t, None)
+}
+
+fn site_engine(n_micro: usize, dims: usize) -> StreamEngine {
+    EngineBuilder::new(UMicroConfig::new(n_micro, dims).expect("valid site config"))
+        .shards(1)
+        .build()
+        .expect("site engine boots")
+}
+
+fn reference_maps(
+    points: &[UncertainPoint],
+    n_sites: usize,
+    n_micro: usize,
+    dims: usize,
+) -> Vec<BTreeMap<u64, Ecf>> {
+    let engine = EngineBuilder::new(
+        UMicroConfig::new(n_micro * n_sites, dims).expect("valid reference config"),
+    )
+    .shards(n_sites)
+    .build()
+    .expect("reference engine boots");
+    for p in points {
+        engine.push(p.clone()).expect("reference ingest");
+    }
+    engine.flush();
+    let mut maps = vec![BTreeMap::new(); n_sites];
+    for mc in engine.micro_clusters() {
+        maps[shard_of_id(mc.id)].insert(mc.id & LOCAL_MASK, mc.ecf);
+    }
+    engine.shutdown();
+    maps
+}
+
+/// Short deadlines and fast retries so dropped frames cost milliseconds,
+/// not the default 5 s read deadline.
+fn fast_cfg(site: u64, addr: &str, delta_every: u64) -> SiteConfig {
+    let mut cfg = SiteConfig::new(site, addr);
+    cfg.delta_every = delta_every;
+    cfg.io_deadline = Duration::from_millis(400);
+    cfg.retry = RetryPolicy {
+        max_attempts: 8,
+        base_backoff_ms: 2,
+        max_backoff_ms: 40,
+        seed: 0xc4a05,
+    };
+    cfg
+}
+
+fn temp_base(tag: &str) -> String {
+    std::env::temp_dir()
+        .join(format!("ustream-distrib-{tag}-{}.ckpt", std::process::id()))
+        .to_string_lossy()
+        .into_owned()
+}
+
+fn cleanup_ckpt(base: &str) {
+    for suffix in ["manifest", "0", "1", "2", "3", "tmp"] {
+        let _ = std::fs::remove_file(format!("{base}.{suffix}"));
+    }
+}
+
+fn assert_exact(coord: &Coordinator, reference: &[BTreeMap<u64, Ecf>]) {
+    for (i, expected) in reference.iter().enumerate() {
+        let got = coord.site_clusters(i as u64);
+        assert_eq!(&got, expected, "site {i} diverged from shard {i}");
+    }
+}
+
+#[test]
+fn duplicated_frames_never_double_count() {
+    let _g = FAULT_LOCK.lock().unwrap();
+    failpoints::reset_all();
+    let (n_sites, n_micro, dims) = (2usize, 6usize, 2usize);
+    let points: Vec<_> = (1..=240u64).map(|t| point(t, dims, 21)).collect();
+    let reference = reference_maps(&points, n_sites, n_micro, dims);
+
+    let coord = Coordinator::bind("127.0.0.1:0", CoordinatorConfig::default()).unwrap();
+    let addr = coord.addr().to_string();
+    let mut sites: Vec<Site> = (0..n_sites)
+        .map(|i| Site::attach(site_engine(n_micro, dims), fast_cfg(i as u64, &addr, 20)).unwrap())
+        .collect();
+
+    // Every epoch either side of this arming ships twice on the wire.
+    failpoints::arm(failpoints::NET_DUP, 6);
+    for (k, p) in points.iter().enumerate() {
+        sites[k % n_sites].push(p.clone()).unwrap();
+    }
+    failpoints::reset_all();
+    for site in sites {
+        site.finish().unwrap();
+    }
+
+    let stats = coord.stats();
+    assert!(
+        stats.duplicates_dropped > 0,
+        "the dup fault must actually reach the coordinator"
+    );
+    assert_exact(&coord, &reference);
+    coord.shutdown();
+}
+
+#[test]
+fn corrupt_and_dropped_frames_are_retried_to_exactness() {
+    let _g = FAULT_LOCK.lock().unwrap();
+    failpoints::reset_all();
+    let (n_sites, n_micro, dims) = (2usize, 6usize, 2usize);
+    let points: Vec<_> = (1..=200u64).map(|t| point(t, dims, 33)).collect();
+    let reference = reference_maps(&points, n_sites, n_micro, dims);
+
+    let coord = Coordinator::bind("127.0.0.1:0", CoordinatorConfig::default()).unwrap();
+    let addr = coord.addr().to_string();
+    let mut sites: Vec<Site> = (0..n_sites)
+        .map(|i| Site::attach(site_engine(n_micro, dims), fast_cfg(i as u64, &addr, 25)).unwrap())
+        .collect();
+
+    // Staggered arming: an armed drop would swallow the corrupted frame
+    // before it reached the wire (the injection ladder corrupts first,
+    // then drops), so corruption runs alone in the first half.
+    failpoints::arm(failpoints::NET_CORRUPT, 2);
+    failpoints::arm(failpoints::NET_DELAY, 2);
+    for (k, p) in points.iter().take(points.len() / 2).enumerate() {
+        sites[k % n_sites].push(p.clone()).unwrap();
+    }
+    failpoints::arm(failpoints::NET_DROP, 2);
+    failpoints::arm(failpoints::NET_REORDER, 1);
+    for (k, p) in points.iter().enumerate().skip(points.len() / 2) {
+        sites[k % n_sites].push(p.clone()).unwrap();
+    }
+    failpoints::reset_all();
+    let site_stats: Vec<_> = sites.into_iter().map(|s| s.finish().unwrap()).collect();
+
+    assert!(
+        site_stats.iter().any(|s| s.send_retries > 0),
+        "faults must force at least one retry"
+    );
+    let stats = coord.stats();
+    assert!(
+        stats.frames_rejected > 0,
+        "the corrupt fault must be rejected at the codec"
+    );
+    assert_exact(&coord, &reference);
+    coord.shutdown();
+}
+
+#[test]
+fn a_partitioned_site_heals_and_converges() {
+    let _g = FAULT_LOCK.lock().unwrap();
+    failpoints::reset_all();
+    let (n_sites, n_micro, dims) = (2usize, 6usize, 2usize);
+    let points: Vec<_> = (1..=240u64).map(|t| point(t, dims, 55)).collect();
+    let reference = reference_maps(&points, n_sites, n_micro, dims);
+
+    let coord = Coordinator::bind("127.0.0.1:0", CoordinatorConfig::default()).unwrap();
+    let addr = coord.addr().to_string();
+    let mut sites: Vec<Site> = (0..n_sites)
+        .map(|i| Site::attach(site_engine(n_micro, dims), fast_cfg(i as u64, &addr, 20)).unwrap())
+        .collect();
+
+    // More partition firings than one sync's retry budget: site 0's sync
+    // exhausts its retries, keeps clustering, and ships later.
+    failpoints::arm(&failpoints::net_partition(0), 12);
+    for (k, p) in points.iter().enumerate() {
+        sites[k % n_sites].push(p.clone()).unwrap();
+    }
+    failpoints::reset_all();
+    let site_stats: Vec<_> = sites.into_iter().map(|s| s.finish().unwrap()).collect();
+
+    assert!(
+        site_stats[0].sync_failures > 0,
+        "the partition must exhaust at least one sync's retries"
+    );
+    assert_eq!(site_stats[1].sync_failures, 0, "site 1 is unaffected");
+    assert_exact(&coord, &reference);
+    coord.shutdown();
+}
+
+#[test]
+fn a_crashed_site_replays_from_its_checkpoint_without_double_counting() {
+    let _g = FAULT_LOCK.lock().unwrap();
+    failpoints::reset_all();
+    let (n_sites, n_micro, dims) = (2usize, 6usize, 2usize);
+    let points: Vec<_> = (1..=300u64).map(|t| point(t, dims, 77)).collect();
+    let reference = reference_maps(&points, n_sites, n_micro, dims);
+    let base = temp_base("crash-replay");
+    cleanup_ckpt(&base);
+
+    let coord = Coordinator::bind("127.0.0.1:0", CoordinatorConfig::default()).unwrap();
+    let addr = coord.addr().to_string();
+
+    let ckpt = CheckpointPolicy {
+        base: base.clone(),
+        generations: 3,
+        every_points: 40,
+    };
+    let mut cfg0 = fast_cfg(0, &addr, 30);
+    cfg0.checkpoint = Some(ckpt.clone());
+    let mut site0 = Site::attach(site_engine(n_micro, dims), cfg0.clone()).unwrap();
+    let mut site1 = Site::attach(site_engine(n_micro, dims), fast_cfg(1, &addr, 30)).unwrap();
+
+    let site0_points: Vec<_> = points.iter().step_by(n_sites).cloned().collect();
+    let site1_points: Vec<_> = points.iter().skip(1).step_by(n_sites).cloned().collect();
+
+    // Site 0 crashes after 110 of its 150 records — past two checkpoints
+    // (40, 80) and past acked epochs the checkpoint does not cover.
+    for p in &site0_points[..110] {
+        site0.push(p.clone()).unwrap();
+    }
+    let applied_before_crash = coord.last_applied(0);
+    assert!(
+        applied_before_crash > 0,
+        "epochs must land before the crash"
+    );
+    drop(site0);
+
+    // Respawn: restore the newest readable generation, learn how much of
+    // the sub-stream it covers, re-feed the tail. No double-count, no gap.
+    let (mut site0, covered) = Site::resume(cfg0).unwrap();
+    assert!(
+        (80..=110).contains(&covered),
+        "restored state must sit between the last checkpoint and the crash (got {covered})"
+    );
+    for p in &site0_points[covered as usize..] {
+        site0.push(p.clone()).unwrap();
+    }
+
+    for p in &site1_points {
+        site1.push(p.clone()).unwrap();
+    }
+
+    let s0 = site0.finish().unwrap();
+    site1.finish().unwrap();
+    assert!(
+        s0.full_resyncs > 0 || applied_before_crash == 0,
+        "the respawned site must have resynced with a full frame"
+    );
+    assert_exact(&coord, &reference);
+    let stats = coord.stats();
+    assert_eq!(stats.total_points, points.len() as u64);
+    coord.shutdown();
+    cleanup_ckpt(&base);
+}
+
+mod prop {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// One randomised fault entry: arm `kind` with `count` firings after
+    /// the `at`-th record of the interleaved stream.
+    #[derive(Debug, Clone)]
+    struct FaultArm {
+        at: usize,
+        kind: usize,
+        count: u64,
+    }
+
+    fn fault_name(kind: usize, n_sites: usize) -> String {
+        match kind {
+            0 => failpoints::NET_DROP.to_string(),
+            1 => failpoints::NET_DUP.to_string(),
+            2 => failpoints::NET_REORDER.to_string(),
+            3 => failpoints::NET_CORRUPT.to_string(),
+            4 => failpoints::NET_DELAY.to_string(),
+            k => failpoints::net_partition(((k - 5) % n_sites) as u64),
+        }
+    }
+
+    fn arms() -> impl Strategy<Value = Vec<FaultArm>> {
+        proptest::collection::vec(
+            (0usize..400, 0usize..7, 1u64..4).prop_map(|(at, kind, count)| FaultArm {
+                at,
+                kind,
+                count,
+            }),
+            0..6,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// The headline guarantee: for random streams, site counts, fault
+        /// schedules and an optional site-0 crash-and-replay, the
+        /// coordinator ends bit-for-bit equal to the single-node run.
+        #[test]
+        fn coordinator_is_exact_under_random_faults(
+            seed in 0u64..1_000_000,
+            n_sites in 1usize..4,
+            n_points in 150usize..400,
+            dims in 2usize..4,
+            delta_every in (0usize..3).prop_map(|i| [16u64, 32, 64][i]),
+            schedule in arms(),
+            crash in (0u8..2).prop_map(|b| b == 1),
+        ) {
+            let _g = FAULT_LOCK.lock().unwrap();
+            failpoints::reset_all();
+            let n_micro = 6usize;
+            let points: Vec<_> = (1..=n_points as u64).map(|t| point(t, dims, seed)).collect();
+            let reference = reference_maps(&points, n_sites, n_micro, dims);
+            let base = temp_base(&format!("prop-{seed}"));
+            cleanup_ckpt(&base);
+
+            let coord = Coordinator::bind("127.0.0.1:0", CoordinatorConfig::default()).unwrap();
+            let addr = coord.addr().to_string();
+            let every_points = 50u64;
+            let mut sites: Vec<Option<Site>> = (0..n_sites)
+                .map(|i| {
+                    let mut cfg = fast_cfg(i as u64, &addr, delta_every);
+                    if i == 0 {
+                        cfg.checkpoint = Some(CheckpointPolicy {
+                            base: base.clone(),
+                            generations: 3,
+                            every_points,
+                        });
+                    }
+                    Some(Site::attach(site_engine(n_micro, dims), cfg).unwrap())
+                })
+                .collect();
+
+            // Site 0 crashes a little past the midpoint, if it will have a
+            // checkpoint to come back from.
+            let site0_total = points.len().div_ceil(n_sites);
+            let crash_at = (site0_total * 7 / 10).max(1);
+            let do_crash = crash && (crash_at as u64) > every_points;
+
+            let mut fed0 = 0usize;
+            for (k, p) in points.iter().enumerate() {
+                for f in &schedule {
+                    if f.at == k {
+                        failpoints::arm(&fault_name(f.kind, n_sites), f.count);
+                    }
+                }
+                let i = k % n_sites;
+                if let Some(site) = sites[i].as_mut() {
+                    site.push(p.clone()).unwrap();
+                }
+                if i == 0 {
+                    fed0 += 1;
+                    if do_crash && fed0 == crash_at && sites[0].is_some() {
+                        sites[0] = None; // crash: no finish, no final sync
+                    }
+                }
+            }
+
+            if do_crash {
+                // Respawn site 0 with the network healed for its
+                // handshake, then re-feed its tail.
+                failpoints::reset_all();
+                let mut cfg = fast_cfg(0, &addr, delta_every);
+                cfg.checkpoint = Some(CheckpointPolicy {
+                    base: base.clone(),
+                    generations: 3,
+                    every_points,
+                });
+                let (mut site0, covered) = Site::resume(cfg).unwrap();
+                let site0_points: Vec<_> =
+                    points.iter().step_by(n_sites).cloned().collect();
+                prop_assert!((covered as usize) <= crash_at);
+                for p in &site0_points[covered as usize..] {
+                    site0.push(p.clone()).unwrap();
+                }
+                sites[0] = Some(site0);
+            }
+
+            // Heal the network and drain the final epochs.
+            failpoints::reset_all();
+            for site in sites.into_iter().flatten() {
+                site.finish().unwrap();
+            }
+
+            for (i, expected) in reference.iter().enumerate() {
+                let got = coord.site_clusters(i as u64);
+                prop_assert_eq!(&got, expected, "site {} diverged", i);
+            }
+            let stats = coord.stats();
+            prop_assert_eq!(stats.total_points, points.len() as u64);
+            coord.shutdown();
+            cleanup_ckpt(&base);
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Clean-network exactness: after a distributed run over TCP, the
+//! coordinator's per-site maps equal — bit for bit — the per-shard maps of
+//! a single sharded engine fed the same interleaved stream.
+//!
+//! Both deployments route records identically (site `i` receives the
+//! records a single `n`-shard engine would round-robin to shard `i`, in
+//! the same order), clustering is deterministic per shard, and deltas ship
+//! whole ECFs (replace semantics), so equality is exact — no tolerance.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+use umicro::{Ecf, UMicroConfig};
+use ustream_common::backoff::splitmix64;
+use ustream_common::UncertainPoint;
+use ustream_distrib::{Coordinator, CoordinatorConfig, Site, SiteConfig};
+use ustream_engine::{EngineBuilder, StreamEngine};
+use ustream_snapshot::{shard_of_id, SHARD_ID_BITS};
+
+const LOCAL_MASK: u64 = (1u64 << SHARD_ID_BITS) - 1;
+
+/// Deterministic stream: a handful of well-separated centres plus noise.
+fn point(t: u64, dims: usize, seed: u64) -> UncertainPoint {
+    let values = (0..dims)
+        .map(|d| {
+            let r = splitmix64(seed ^ t.wrapping_mul(0x9e37_79b9) ^ ((d as u64) << 32));
+            let centre = ((r >> 8) % 4) as f64 * 10.0;
+            let noise = (r & 0xffff) as f64 / 65_536.0 - 0.5;
+            centre + noise
+        })
+        .collect();
+    UncertainPoint::new(values, vec![0.3; dims], t, None)
+}
+
+fn site_engine(n_micro: usize, dims: usize) -> StreamEngine {
+    EngineBuilder::new(UMicroConfig::new(n_micro, dims).expect("valid site config"))
+        .shards(1)
+        .build()
+        .expect("site engine boots")
+}
+
+/// The single-node ground truth: one engine with `n_sites` shards over the
+/// interleaved stream; returns each shard's local-id cluster map.
+fn reference_maps(
+    points: &[UncertainPoint],
+    n_sites: usize,
+    n_micro: usize,
+    dims: usize,
+) -> Vec<BTreeMap<u64, Ecf>> {
+    // The engine splits its budget across shards (`shard_n_micro`), so
+    // matching an `n_micro`-per-site deployment takes `n_micro * n_sites`.
+    let engine = EngineBuilder::new(
+        UMicroConfig::new(n_micro * n_sites, dims).expect("valid reference config"),
+    )
+    .shards(n_sites)
+    .build()
+    .expect("reference engine boots");
+    for p in points {
+        engine.push(p.clone()).expect("reference ingest");
+    }
+    engine.flush();
+    let mut maps = vec![BTreeMap::new(); n_sites];
+    for mc in engine.micro_clusters() {
+        maps[shard_of_id(mc.id)].insert(mc.id & LOCAL_MASK, mc.ecf);
+    }
+    engine.shutdown();
+    maps
+}
+
+fn run_distributed(
+    points: &[UncertainPoint],
+    n_sites: usize,
+    n_micro: usize,
+    dims: usize,
+    delta_every: u64,
+) -> (Coordinator, Vec<ustream_distrib::SiteStats>) {
+    let coord =
+        Coordinator::bind("127.0.0.1:0", CoordinatorConfig::default()).expect("coordinator binds");
+    let addr = coord.addr().to_string();
+    let mut sites: Vec<Site> = (0..n_sites)
+        .map(|i| {
+            let mut cfg = SiteConfig::new(i as u64, &addr);
+            cfg.delta_every = delta_every;
+            cfg.io_deadline = Duration::from_secs(10);
+            Site::attach(site_engine(n_micro, dims), cfg).expect("site attaches")
+        })
+        .collect();
+    for (k, p) in points.iter().enumerate() {
+        sites[k % n_sites].push(p.clone()).expect("site ingest");
+    }
+    let stats = sites
+        .into_iter()
+        .map(|s| s.finish().expect("final sync"))
+        .collect::<Vec<_>>();
+    (coord, stats)
+}
+
+#[test]
+fn distributed_run_matches_single_node_bit_for_bit() {
+    let (n_sites, n_micro, dims) = (4usize, 8usize, 3usize);
+    let points: Vec<_> = (1..=800u64).map(|t| point(t, dims, 42)).collect();
+    let reference = reference_maps(&points, n_sites, n_micro, dims);
+
+    let (coord, site_stats) = run_distributed(&points, n_sites, n_micro, dims, 64);
+    for (i, expected) in reference.iter().enumerate() {
+        let got = coord.site_clusters(i as u64);
+        assert_eq!(&got, expected, "site {i} diverged from shard {i}");
+    }
+
+    let stats = coord.stats();
+    assert_eq!(stats.total_points, 800);
+    assert_eq!(stats.duplicates_dropped, 0);
+    assert_eq!(stats.gaps_nacked, 0);
+    assert_eq!(stats.frames_rejected, 0);
+    for s in &site_stats {
+        assert_eq!(s.sync_failures, 0);
+        assert_eq!(s.send_retries, 0);
+    }
+
+    // The merged global view is the disjoint union of the per-site maps.
+    let global = coord.global_clusters();
+    let expected_total: usize = reference.iter().map(BTreeMap::len).sum();
+    assert_eq!(global.len(), expected_total);
+    coord.shutdown();
+}
+
+#[test]
+fn a_single_site_round_trips_every_cluster() {
+    let (n_micro, dims) = (6usize, 2usize);
+    let points: Vec<_> = (1..=300u64).map(|t| point(t, dims, 7)).collect();
+    let reference = reference_maps(&points, 1, n_micro, dims);
+
+    let (coord, _) = run_distributed(&points, 1, n_micro, dims, 50);
+    assert_eq!(coord.site_clusters(0), reference[0]);
+    coord.shutdown();
+}
+
+#[test]
+fn deltas_ship_only_changed_clusters_after_the_first_epoch() {
+    // A stream that settles: later epochs touch few clusters, so epochs
+    // past the first must not re-ship the whole map.
+    let dims = 2usize;
+    let coord = Coordinator::bind("127.0.0.1:0", CoordinatorConfig::default()).unwrap();
+    let addr = coord.addr().to_string();
+    let mut cfg = SiteConfig::new(0, &addr);
+    cfg.delta_every = u64::MAX; // manual syncs only
+    let mut site = Site::attach(site_engine(8, dims), cfg).unwrap();
+
+    for t in 1..=200u64 {
+        site.push(point(t, dims, 11)).unwrap();
+    }
+    site.sync().unwrap();
+    let after_first = site.stats().bytes_sent;
+
+    // One more record lands in exactly one existing cluster.
+    site.push(point(201, dims, 11)).unwrap();
+    site.sync().unwrap();
+    let second_epoch = site.stats().bytes_sent - after_first;
+    assert!(
+        second_epoch < after_first / 2,
+        "incremental epoch shipped {second_epoch} bytes vs {after_first} for the full map"
+    );
+
+    // Nothing changed: no frame at all.
+    let frames_before = site.stats().frames_sent;
+    site.sync().unwrap();
+    assert_eq!(site.stats().frames_sent, frames_before);
+    coord.shutdown();
+}
+
+#[test]
+fn coordinator_tracks_liveness_and_horizons() {
+    let dims = 2usize;
+    let ccfg = CoordinatorConfig {
+        snapshot_every_epochs: 1,
+        ..CoordinatorConfig::default()
+    };
+    let coord = Coordinator::bind("127.0.0.1:0", ccfg).unwrap();
+    let addr = coord.addr().to_string();
+    let mut cfg = SiteConfig::new(3, &addr);
+    cfg.delta_every = 32;
+    let mut site = Site::attach(site_engine(8, dims), cfg).unwrap();
+    for t in 1..=128u64 {
+        site.push(point(t, dims, 5)).unwrap();
+    }
+    site.finish().unwrap();
+
+    let stats = coord.stats();
+    assert_eq!(stats.sites.len(), 1);
+    assert_eq!(stats.sites[0].site, 3);
+    assert!(!stats.sites[0].suspect);
+    assert_eq!(stats.sites[0].points, 128);
+
+    // Pyramidal snapshots were recorded; a horizon inside the covered
+    // span resolves (epochs landed at ticks 32, 64, 96, 128).
+    let horizon = coord.horizon_clusters(64).unwrap();
+    assert!(!horizon.clusters.is_empty());
+    coord.shutdown();
+}

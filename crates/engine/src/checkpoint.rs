@@ -531,6 +531,24 @@ mod tests {
     }
 
     #[test]
+    fn read_latest_skips_newest_generation_truncated_mid_header() {
+        let base = temp_base("midheader");
+        cleanup_rotation(&base);
+        for seq in 0..3u64 {
+            write_rotated(&base, 3, seq, &ckpt_at(seq * 10)).unwrap();
+        }
+        // A crash mid-write can leave the newest slot cut off inside the
+        // header itself — shorter than the magic, no newline, nothing to
+        // checksum. That must cost one generation, not the recovery.
+        let newest = generation_path(&base, 2);
+        let bytes = fs::read(&newest).unwrap();
+        fs::write(&newest, &bytes[..7]).unwrap();
+        let back = read_latest(&base).unwrap();
+        assert_eq!(back.points_processed, 10, "should fall back to seq 1");
+        cleanup_rotation(&base);
+    }
+
+    #[test]
     fn read_latest_scans_slots_when_manifest_is_garbage() {
         let base = temp_base("scan");
         cleanup_rotation(&base);

@@ -1070,6 +1070,24 @@ impl StreamEngine {
         Ok(engine)
     }
 
+    /// Restores from the newest readable rotation generation under `base`
+    /// (`base.N` + manifest), skipping any generation that is corrupt or
+    /// truncated. This is the replay hook the distributed tier uses: a
+    /// respawned site restores its engine here, reads
+    /// [`Self::points_processed`] to learn the exact stream prefix the
+    /// checkpoint covers, and re-feeds its sub-stream from that ordinal.
+    ///
+    /// # Errors
+    ///
+    /// [`UStreamError::Checkpoint`] / [`UStreamError::Io`] when no
+    /// generation under `base` decodes.
+    pub fn restore_latest(base: &str) -> Result<Self> {
+        let ck = checkpoint::read_latest(base)?;
+        let engine = Self::launch_default(ck.config.clone())?;
+        engine.apply_checkpoint(&ck)?;
+        Ok(engine)
+    }
+
     /// [`Self::restore`] with a caller-supplied clusterer factory (the
     /// counterpart of [`Self::start_with`]). The factory-built clusterers
     /// must support [`OnlineClusterer::import_state`].
@@ -1154,6 +1172,21 @@ impl StreamEngine {
         self.flush();
         let ck = build_checkpoint(&self.global, &self.shards)?;
         checkpoint::write_atomic(path, &ck)
+    }
+
+    /// [`Self::checkpoint`] into rotation slot `seq % generations` under
+    /// `base`, promoting it in the manifest — the caller-driven counterpart
+    /// of auto-checkpoint rotation. Distributed sites call this between
+    /// records so each generation is an exact prefix cut of their
+    /// sub-stream, which is what makes crash replay gap-free.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Self::checkpoint`].
+    pub fn checkpoint_rotated(&self, base: &str, generations: u64, seq: u64) -> Result<()> {
+        self.flush();
+        let ck = build_checkpoint(&self.global, &self.shards)?;
+        checkpoint::write_rotated(base, generations, seq, &ck)
     }
 
     /// The next shard index in round-robin order.

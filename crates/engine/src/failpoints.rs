@@ -37,15 +37,50 @@ pub const WORKER_HANG: &str = "worker-hang";
 /// Overwrite the first coordinate of the next pushed point with NaN before
 /// validation, simulating a poisoned producer.
 pub const INJECT_NAN: &str = "inject-nan";
+/// Silently discard the next outbound distrib frame: the transport reports
+/// success without writing a byte, so the sender only learns from the
+/// missing ack.
+pub const NET_DROP: &str = "net-drop";
+/// Write the next outbound distrib frame twice back-to-back, simulating a
+/// retransmit race that delivers a duplicate epoch.
+pub const NET_DUP: &str = "net-dup";
+/// Hold the next outbound distrib frame and emit it *after* the following
+/// frame, delivering the two epochs out of order.
+pub const NET_REORDER: &str = "net-reorder";
+/// Flip one payload byte of the next outbound distrib frame after the
+/// checksum is computed, so the receiver sees a structurally plausible but
+/// corrupt frame.
+pub const NET_CORRUPT: &str = "net-corrupt";
+/// Delay the next outbound distrib frame by 25 ms per firing before it is
+/// written, simulating link congestion.
+pub const NET_DELAY: &str = "net-delay";
+
+/// Per-site partition failpoint name: while armed, every send attempt from
+/// that site fails immediately, as if the link to the coordinator were cut.
+/// The armed count is the number of attempts that fail before the
+/// partition heals.
+#[must_use]
+pub fn net_partition(site: u64) -> String {
+    format!("net-partition-site-{site}")
+}
 
 fn registry() -> &'static Mutex<HashMap<String, u64>> {
     static REGISTRY: OnceLock<Mutex<HashMap<String, u64>>> = OnceLock::new();
     REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
-/// Arms `name` to fire `count` times.
-pub fn arm(name: &str, count: u64) {
-    registry().lock().insert(name.to_string(), count);
+/// Arms `name` to fire `count` more times and returns the count that was
+/// already pending. Re-arming is *additive*: two tests (or two layers of
+/// one test) that each arm the same point stack their budgets instead of
+/// the second silently erasing the first. Callers that want the old
+/// replace semantics can `disarm` first; the returned previous count makes
+/// that decision — and leak detection across tests — explicit.
+pub fn arm(name: &str, count: u64) -> u64 {
+    let mut reg = registry().lock();
+    let slot = reg.entry(name.to_string()).or_insert(0);
+    let previous = *slot;
+    *slot = slot.saturating_add(count);
+    previous
 }
 
 /// Disarms `name` (a no-op if it was never armed).
@@ -118,6 +153,23 @@ mod tests {
         assert!(should_fire("test-fp"));
         assert!(!should_fire("test-fp"));
         assert_eq!(remaining("test-fp"), 0);
+    }
+
+    #[test]
+    fn rearming_is_additive_and_reports_previous() {
+        reset_all();
+        assert_eq!(arm("test-additive", 2), 0);
+        assert_eq!(arm("test-additive", 3), 2);
+        assert_eq!(remaining("test-additive"), 5);
+        disarm("test-additive");
+        assert_eq!(arm("test-additive", 1), 0);
+        reset_all();
+    }
+
+    #[test]
+    fn partition_names_are_per_site() {
+        assert_eq!(net_partition(0), "net-partition-site-0");
+        assert_ne!(net_partition(1), net_partition(2));
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! | `lossy-cast`     | no bare `as` numeric casts in ECF/kernel arithmetic   |
 //! | `missing-docs`   | public items of `umicro`/`ustream-engine` are documented |
 //! | `blocking-io`    | raw blocking socket I/O in `crates/serve` goes through the deadline funnel |
+//! | `net-funnel`     | `std::net` reads/writes in the networked crates stay inside the deadline-armed io funnels |
 //! | `safety-comment` | `unsafe` stays inside `kernel::simd`, every site carries `// SAFETY:` |
 //! | `suppression`    | every `lint:allow` carries a reason, names real rules |
 //!
@@ -69,6 +70,7 @@ pub const RULE_IDS: &[&str] = &[
     "lossy-cast",
     "missing-docs",
     "blocking-io",
+    "net-funnel",
     "safety-comment",
     "suppression",
 ];
@@ -88,6 +90,7 @@ pub fn run_all(ctxs: &[FileCtx]) -> Vec<Finding> {
         rule_lossy_cast(ctx, &mut raw);
         rule_missing_docs(ctx, ctxs, &mut raw);
         rule_blocking_io(ctx, &mut raw);
+        rule_net_funnel(ctx, &mut raw);
         rule_safety_comment(ctx, &mut raw);
         raw.retain(|f| !ctx.suppressed(f.rule, f.line));
         rule_suppression_hygiene(ctx, &mut raw);
@@ -606,6 +609,68 @@ fn rule_blocking_io(ctx: &FileCtx, out: &mut Vec<Finding>) {
     }
 }
 
+/// The deadline-armed socket funnels: the only files in the networked
+/// crates sanctioned to touch a `std::net` stream directly. Both arm the
+/// socket's OS read/write timeouts before every operation, so no call
+/// can outlive its deadline.
+const NET_FUNNELS: &[&str] = &["crates/serve/src/io.rs", "crates/distrib/src/io.rs"];
+
+/// The crates that speak `std::net`: the scope of `net-funnel`.
+const NET_CRATES: &[&str] = &["crates/serve/src/", "crates/distrib/src/"];
+
+/// R10 `net-funnel` — socket reads/writes in the networked crates outside
+/// the deadline-armed io funnels. `blocking-io` polices the named
+/// blocking helpers in `crates/serve`; this rule closes the rest of the
+/// surface: bare `.read(..)` / `.write(..)` / `.peek(..)` calls in any
+/// file that handles `TcpStream`/`TcpListener`, plus the blocking helper
+/// family in `crates/distrib`. A socket touched outside the funnel has
+/// no timeout armed, so a stalled peer (or a `NET_DELAY` failpoint that
+/// never lifts) wedges the thread — exactly the hang the distributed
+/// tier's liveness tracking is supposed to bound.
+fn rule_net_funnel(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if !NET_CRATES.iter().any(|d| ctx.path.starts_with(d))
+        || NET_FUNNELS.contains(&ctx.path.as_str())
+    {
+        return;
+    }
+    // Only files handling raw sockets are in scope: `.read(..)` on a
+    // BufReader over a checkpoint file has no peer to stall on.
+    if !ctx
+        .lines
+        .iter()
+        .any(|l| l.contains("TcpStream") || l.contains("TcpListener"))
+    {
+        return;
+    }
+    const RAW: &[&str] = &["read", "write", "peek"];
+    const BLOCKING: &[&str] = &["read_exact", "write_all", "read_to_end", "read_to_string"];
+    let in_distrib = ctx.path.starts_with("crates/distrib/src/");
+    for k in 1..ctx.sig.len() {
+        let Some(name) = ident_at(ctx, k) else {
+            continue;
+        };
+        // In serve the blocking helper family is already `blocking-io`'s
+        // beat; reporting it here too would double-count one defect.
+        let in_scope = RAW.contains(&name) || (in_distrib && BLOCKING.contains(&name));
+        if !in_scope || !is_op(ctx, k - 1, ".") || !is_op(ctx, k + 1, "(") {
+            continue;
+        }
+        let t = tok(ctx, k);
+        if ctx.in_test(t.line) {
+            continue;
+        }
+        push(
+            out,
+            ctx,
+            t,
+            "net-funnel",
+            format!("socket `{name}` outside a deadline-armed io funnel"),
+            "route through serve's or distrib's io module (socket timeouts \
+             armed before every call), or suppress with the deadline proof",
+        );
+    }
+}
+
 /// R9 `safety-comment` — `unsafe` is confined to the sanctioned
 /// `kernel::simd` module, and every occurrence there must carry an
 /// adjacent `// SAFETY:` justification (same line, or in the comment /
@@ -677,7 +742,7 @@ fn rule_suppression_hygiene(ctx: &FileCtx, out: &mut Vec<Finding>) {
                     message: format!("`lint:allow` names unknown rule `{r}`"),
                     hint: "valid ids: hot-panic, float-eq, nan-ord, relaxed-atomic, \
                            nondet-iter, no-sleep, lossy-cast, missing-docs, blocking-io, \
-                           safety-comment",
+                           net-funnel, safety-comment",
                 });
             }
         }

@@ -1,0 +1,7 @@
+// net-funnel gate fixture: no socket type in sight, so a `.read(..)` on
+// a plain byte reader is out of scope and must not fire.
+
+fn drain(reader: &mut impl std::io::Read) {
+    let mut buf = [0u8; 4];
+    reader.read(&mut buf).ok();
+}

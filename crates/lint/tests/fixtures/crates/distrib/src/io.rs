@@ -1,0 +1,10 @@
+//! net-funnel fixture: `distrib/src/io.rs` is a sanctioned funnel — it
+//! arms socket timeouts before every call, so neither `net-funnel` nor
+//! `blocking-io` may fire here.
+
+fn funnel(stream: &mut std::net::TcpStream) {
+    let mut buf = [0u8; 4];
+    stream.read(&mut buf).ok();
+    stream.write(&buf).ok();
+    stream.read_exact(&mut buf).ok();
+}

@@ -1,0 +1,25 @@
+// net-funnel fixture: raw socket I/O in the distrib crate outside the funnel.
+
+fn bad_raw(stream: &mut std::net::TcpStream) {
+    let mut buf = [0u8; 4];
+    stream.read(&mut buf).ok();
+    stream.write(&buf).ok();
+    stream.peek(&mut buf).ok();
+}
+
+fn bad_blocking(stream: &mut std::net::TcpStream) {
+    let mut buf = [0u8; 4];
+    stream.read_exact(&mut buf).ok();
+}
+
+fn suppressed(stream: &mut std::net::TcpStream) {
+    // lint:allow(net-funnel): probe socket armed a read timeout one line up
+    stream.read(&mut [0u8; 1]).ok();
+}
+
+#[cfg(test)]
+mod tests {
+    fn in_tests_is_fine(stream: &mut std::net::TcpStream) {
+        stream.write(b"x").ok();
+    }
+}

@@ -1,0 +1,8 @@
+// net-funnel fixture: a bare socket peek in serve, outside the funnel.
+// (`blocking-io` only knows the named blocking helpers — this is the gap
+// `net-funnel` closes.)
+
+fn probe(stream: &mut std::net::TcpStream) {
+    let mut buf = [0u8; 1];
+    stream.peek(&mut buf).ok();
+}

@@ -119,6 +119,29 @@ fn blocking_io_fixture_fires_outside_the_funnel_only() {
 }
 
 #[test]
+fn net_funnel_fixture_fires_outside_the_funnels_only() {
+    let f = fixture_findings();
+    // Raw reads/writes/peeks plus the blocking family, all in distrib;
+    // the suppressed site and the `#[cfg(test)]` block stay quiet.
+    assert_file_findings(
+        &f,
+        "crates/distrib/src/net_funnel.rs",
+        &[
+            (5, "net-funnel"),
+            (6, "net-funnel"),
+            (7, "net-funnel"),
+            (12, "net-funnel"),
+        ],
+    );
+    // A bare peek in serve is net-funnel's beat, not blocking-io's.
+    assert_file_findings(&f, "crates/serve/src/net_funnel.rs", &[(7, "net-funnel")]);
+    // The distrib funnel itself is exempt from both socket rules.
+    assert_file_findings(&f, "crates/distrib/src/io.rs", &[]);
+    // Without a TcpStream in the file, `.read(..)` is out of scope.
+    assert_file_findings(&f, "crates/distrib/src/codec.rs", &[]);
+}
+
+#[test]
 fn safety_comment_fixture_fires_on_bare_and_rogue_unsafe() {
     let f = fixture_findings();
     // Sanctioned module: justified sites pass (including through an

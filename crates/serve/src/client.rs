@@ -11,15 +11,49 @@ use crate::protocol::{
     decode_response, encode_request, ErrorCode, Request, Response, TenantSpec, WirePoint,
     WireServerStats, WireTenantStats, DEFAULT_MAX_FRAME_BYTES,
 };
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
-use ustream_common::{Result, UStreamError};
+use ustream_common::{Backoff, Result, UStreamError};
+
+/// Bounded reconnect-with-backoff policy for *idempotent* requests.
+///
+/// When a transport failure (socket error, deadline miss, peer close)
+/// interrupts an idempotent request — `ping`, `tenant_stats`,
+/// `server_stats` — the client redials the server and resends, up to
+/// `max_attempts` reconnects with jittered exponential backoff between
+/// them (the same [`Backoff`] schedule the distrib transport uses).
+/// Non-idempotent requests (`ingest`, tenant create/remove, `shutdown`)
+/// never retry: a resend after an ambiguous failure could double-apply.
+#[derive(Debug, Clone)]
+pub struct ReconnectPolicy {
+    /// Reconnect attempts after the initial failure before giving up.
+    pub max_attempts: u32,
+    /// First backoff delay, in milliseconds.
+    pub base_backoff_ms: u64,
+    /// Backoff cap, in milliseconds.
+    pub max_backoff_ms: u64,
+    /// Jitter seed; equal seeds replay equal schedules.
+    pub seed: u64,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            base_backoff_ms: 50,
+            max_backoff_ms: 2_000,
+            seed: 0x5eed,
+        }
+    }
+}
 
 /// A connected protocol client.
 pub struct ServeClient {
     stream: TcpStream,
+    peer: SocketAddr,
     max_frame_bytes: usize,
     deadline: Duration,
+    reconnect: Option<ReconnectPolicy>,
 }
 
 /// Turns a typed wire error into a `UStreamError` for helpers that
@@ -42,11 +76,25 @@ impl ServeClient {
     ) -> Result<Self> {
         let stream = TcpStream::connect(addr).map_err(UStreamError::Io)?;
         stream.set_nodelay(true).map_err(UStreamError::Io)?;
+        let peer = stream.peer_addr().map_err(UStreamError::Io)?;
         Ok(Self {
             stream,
+            peer,
             max_frame_bytes,
             deadline,
+            reconnect: None,
         })
+    }
+
+    /// Enables bounded reconnect-with-backoff for idempotent requests.
+    pub fn with_reconnect(mut self, policy: ReconnectPolicy) -> Self {
+        self.reconnect = Some(policy);
+        self
+    }
+
+    /// Sets or clears the reconnect policy on an existing client.
+    pub fn set_reconnect(&mut self, policy: Option<ReconnectPolicy>) {
+        self.reconnect = policy;
     }
 
     /// Sends one request and waits for its response.
@@ -63,9 +111,55 @@ impl ServeClient {
         decode_response(&payload).map_err(UStreamError::from)
     }
 
-    /// Liveness probe.
+    /// A transport failure means the request may or may not have reached
+    /// the server — only protocol-level errors are definitive answers.
+    fn is_transport_error(e: &UStreamError) -> bool {
+        matches!(
+            e,
+            UStreamError::Io(_) | UStreamError::DeadlineExceeded { .. }
+        )
+    }
+
+    /// [`Self::request`] plus the reconnect policy, for requests that are
+    /// safe to resend after an ambiguous transport failure.
+    fn request_idempotent(&mut self, req: &Request) -> Result<Response> {
+        let mut last = match self.request(req) {
+            Ok(r) => return Ok(r),
+            Err(e) if Self::is_transport_error(&e) => e,
+            Err(e) => return Err(e),
+        };
+        let Some(policy) = self.reconnect.clone() else {
+            return Err(last);
+        };
+        let mut backoff = Backoff::new(policy.base_backoff_ms, policy.max_backoff_ms, policy.seed);
+        for _ in 0..policy.max_attempts {
+            // lint:allow(no-sleep): bounded, jittered backoff between reconnect attempts
+            std::thread::sleep(backoff.next_delay());
+            match TcpStream::connect(self.peer) {
+                Ok(stream) => {
+                    if let Err(e) = stream.set_nodelay(true) {
+                        last = UStreamError::Io(e);
+                        continue;
+                    }
+                    self.stream = stream;
+                    match self.request(req) {
+                        Ok(r) => return Ok(r),
+                        Err(e) if Self::is_transport_error(&e) => last = e,
+                        Err(e) => return Err(e),
+                    }
+                }
+                Err(e) => last = UStreamError::Io(e),
+            }
+        }
+        Err(UStreamError::RetriesExhausted {
+            attempts: policy.max_attempts + 1,
+            last_error: last.to_string(),
+        })
+    }
+
+    /// Liveness probe (idempotent: retries under the reconnect policy).
     pub fn ping(&mut self) -> Result<()> {
-        match self.request(&Request::Ping)? {
+        match self.request_idempotent(&Request::Ping)? {
             Response::Pong => Ok(()),
             Response::Error { code, message } => Err(wire_error(code, message)),
             other => Err(unexpected("Pong", &other)),
@@ -114,9 +208,10 @@ impl ServeClient {
         }
     }
 
-    /// Per-tenant statistics.
+    /// Per-tenant statistics (idempotent: retries under the reconnect
+    /// policy).
     pub fn tenant_stats(&mut self, name: &str) -> Result<WireTenantStats> {
-        match self.request(&Request::TenantStats {
+        match self.request_idempotent(&Request::TenantStats {
             name: name.to_string(),
         })? {
             Response::TenantStats { stats } => Ok(stats),
@@ -125,9 +220,10 @@ impl ServeClient {
         }
     }
 
-    /// Aggregate server statistics.
+    /// Aggregate server statistics (idempotent: retries under the
+    /// reconnect policy).
     pub fn server_stats(&mut self) -> Result<WireServerStats> {
-        match self.request(&Request::ServerStats)? {
+        match self.request_idempotent(&Request::ServerStats)? {
             Response::ServerStats { stats } => Ok(stats),
             Response::Error { code, message } => Err(wire_error(code, message)),
             other => Err(unexpected("ServerStats", &other)),

@@ -57,11 +57,11 @@ pub mod registry;
 pub mod server;
 pub mod tenant;
 
-pub use client::ServeClient;
+pub use client::{ReconnectPolicy, ServeClient};
 pub use protocol::{
-    decode_frame, decode_request, decode_response, encode_frame, encode_request, encode_response,
-    ErrorCode, FrameError, Request, Response, TenantSpec, WireCluster, WirePoint, WireServerStats,
-    WireTenantStats, DEFAULT_MAX_FRAME_BYTES,
+    decode_frame, decode_message, decode_request, decode_response, encode_frame, encode_message,
+    encode_request, encode_response, ErrorCode, FrameError, Request, Response, TenantSpec,
+    WireCluster, WirePoint, WireServerStats, WireTenantStats, DEFAULT_MAX_FRAME_BYTES,
 };
 pub use registry::{RegistryError, TenantRegistry};
 pub use server::{ServeConfig, Server};

@@ -492,28 +492,41 @@ pub enum Response {
     },
 }
 
+/// Serialises any serde message into a complete USRV frame — the shared
+/// codec entry point. The serving front-end's requests/responses and the
+/// distributed tier's delta frames (`ustream-distrib`) all go through this
+/// pair, so the length-prefix + fnv1a64 checksum discipline is enforced in
+/// exactly one place.
+pub fn encode_message<T: serde::Serialize>(msg: &T, max: usize) -> Result<Vec<u8>, FrameError> {
+    let json = serde_json::to_string(msg).map_err(|e| FrameError::Payload(e.to_string()))?;
+    encode_frame(json.as_bytes(), max)
+}
+
+/// Parses a verified frame payload as a typed serde message (the inverse
+/// of [`encode_message`]).
+pub fn decode_message<T: serde::de::DeserializeOwned>(payload: &[u8]) -> Result<T, FrameError> {
+    let text = std::str::from_utf8(payload).map_err(|_| FrameError::Payload("not UTF-8".into()))?;
+    serde_json::from_str(text).map_err(|e| FrameError::Payload(e.to_string()))
+}
+
 /// Serialises a request into a complete frame.
 pub fn encode_request(req: &Request, max: usize) -> Result<Vec<u8>, FrameError> {
-    let json = serde_json::to_string(req).map_err(|e| FrameError::Payload(e.to_string()))?;
-    encode_frame(json.as_bytes(), max)
+    encode_message(req, max)
 }
 
 /// Parses a verified frame payload as a request.
 pub fn decode_request(payload: &[u8]) -> Result<Request, FrameError> {
-    let text = std::str::from_utf8(payload).map_err(|_| FrameError::Payload("not UTF-8".into()))?;
-    serde_json::from_str(text).map_err(|e| FrameError::Payload(e.to_string()))
+    decode_message(payload)
 }
 
 /// Serialises a response into a complete frame.
 pub fn encode_response(resp: &Response, max: usize) -> Result<Vec<u8>, FrameError> {
-    let json = serde_json::to_string(resp).map_err(|e| FrameError::Payload(e.to_string()))?;
-    encode_frame(json.as_bytes(), max)
+    encode_message(resp, max)
 }
 
 /// Parses a verified frame payload as a response.
 pub fn decode_response(payload: &[u8]) -> Result<Response, FrameError> {
-    let text = std::str::from_utf8(payload).map_err(|_| FrameError::Payload("not UTF-8".into()))?;
-    serde_json::from_str(text).map_err(|e| FrameError::Payload(e.to_string()))
+    decode_message(payload)
 }
 
 #[cfg(test)]

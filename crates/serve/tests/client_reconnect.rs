@@ -1,0 +1,118 @@
+//! Reconnect-with-backoff behaviour of [`ServeClient`]: idempotent
+//! requests survive a dropped connection, retries are bounded with a typed
+//! terminal error, and non-idempotent requests never resend.
+
+use std::net::TcpListener;
+use std::time::Duration;
+use ustream_common::UStreamError;
+use ustream_serve::io::{read_frame, write_frame};
+use ustream_serve::{
+    decode_request, encode_response, ReconnectPolicy, Request, Response, ServeClient, WirePoint,
+    DEFAULT_MAX_FRAME_BYTES,
+};
+
+/// A zero-delay policy so tests never actually sleep.
+fn instant_policy(max_attempts: u32) -> ReconnectPolicy {
+    ReconnectPolicy {
+        max_attempts,
+        base_backoff_ms: 0,
+        max_backoff_ms: 0,
+        seed: 1,
+    }
+}
+
+#[test]
+fn idempotent_request_survives_a_dropped_connection() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        // First session: accept and slam the door before replying.
+        let (first, _) = listener.accept().unwrap();
+        drop(first);
+        // Second session: answer one ping properly.
+        let (mut second, _) = listener.accept().unwrap();
+        let payload = read_frame(&mut second, DEFAULT_MAX_FRAME_BYTES, Duration::from_secs(5))
+            .unwrap()
+            .expect("reconnected client must resend the request");
+        assert!(matches!(decode_request(&payload).unwrap(), Request::Ping));
+        let frame = encode_response(&Response::Pong, DEFAULT_MAX_FRAME_BYTES).unwrap();
+        write_frame(&mut second, &frame, Duration::from_secs(5)).unwrap();
+    });
+
+    let mut client =
+        ServeClient::connect_with(addr, Duration::from_secs(5), DEFAULT_MAX_FRAME_BYTES)
+            .unwrap()
+            .with_reconnect(instant_policy(3));
+    client.ping().expect("ping must succeed via reconnect");
+    server.join().unwrap();
+}
+
+#[test]
+fn exhausted_retries_surface_a_typed_error() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let (mut client, accepted) = {
+        let client = ServeClient::connect_with(addr, Duration::from_millis(300), 1024)
+            .unwrap()
+            .with_reconnect(instant_policy(2));
+        let (accepted, _) = listener.accept().unwrap();
+        (client, accepted)
+    };
+    // Kill the server side entirely: the live connection dies and every
+    // reconnect lands on a closed listener.
+    drop(accepted);
+    drop(listener);
+
+    match client.ping() {
+        Err(UStreamError::RetriesExhausted {
+            attempts,
+            last_error,
+        }) => {
+            assert_eq!(attempts, 3, "initial try + 2 reconnects");
+            assert!(!last_error.is_empty());
+        }
+        other => panic!("expected RetriesExhausted, got {other:?}"),
+    }
+}
+
+#[test]
+fn without_a_policy_failures_pass_through_untyped() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let mut client = ServeClient::connect_with(addr, Duration::from_millis(300), 1024).unwrap();
+    let (accepted, _) = listener.accept().unwrap();
+    drop(accepted);
+    drop(listener);
+    assert!(
+        matches!(
+            client.ping(),
+            Err(UStreamError::Io(_)) | Err(UStreamError::DeadlineExceeded { .. })
+        ),
+        "no policy means no RetriesExhausted wrapper"
+    );
+}
+
+#[test]
+fn non_idempotent_requests_never_retry() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let mut client = ServeClient::connect_with(addr, Duration::from_millis(300), 1024)
+        .unwrap()
+        .with_reconnect(instant_policy(3));
+    let (accepted, _) = listener.accept().unwrap();
+    drop(accepted);
+    drop(listener);
+
+    let point = WirePoint {
+        values: vec![1.0],
+        errors: vec![0.1],
+        timestamp: 1,
+    };
+    match client.ingest("t", vec![point]) {
+        Err(UStreamError::RetriesExhausted { .. }) => {
+            panic!("ingest is not idempotent and must not be retried")
+        }
+        Err(_) => {}
+        Ok(_) => panic!("ingest against a dead server cannot succeed"),
+    }
+}

@@ -53,7 +53,7 @@ fn injected_worker_panic_degrades_without_losing_merged_clusters() {
 
     // The next record the worker dequeues makes it panic; the record is
     // consumed (the documented at-most-one loss).
-    failpoints::arm(failpoints::SHARD_WORKER_PANIC, 1);
+    assert_eq!(failpoints::arm(failpoints::SHARD_WORKER_PANIC, 1), 0);
     e.push(pt(1.0, 1.0, 65)).unwrap();
     for t in 66..=128u64 {
         e.push(pt((t % 2) as f64 * 10.0, 0.0, t)).unwrap();
@@ -108,7 +108,7 @@ fn corrupted_checkpoint_fails_restore_cleanly() {
 
     // The failpoint flips one payload byte *after* the header checksum is
     // computed: the file is structurally plausible but corrupt.
-    failpoints::arm(failpoints::CHECKPOINT_CORRUPT, 1);
+    assert_eq!(failpoints::arm(failpoints::CHECKPOINT_CORRUPT, 1), 0);
     e.checkpoint(&path).unwrap();
 
     match StreamEngine::restore(&path) {
@@ -146,7 +146,7 @@ fn injected_nan_is_quarantined_with_visible_counter() {
     .unwrap();
     // The producer thinks it pushes a clean record; the failpoint poisons
     // its first coordinate before validation sees it.
-    failpoints::arm(failpoints::INJECT_NAN, 1);
+    assert_eq!(failpoints::arm(failpoints::INJECT_NAN, 1), 0);
     e.push(pt(1.0, 2.0, 1)).unwrap();
     e.push(pt(1.0, 2.0, 2)).unwrap();
     e.flush();
@@ -181,7 +181,7 @@ fn stalled_worker_with_drop_newest_sheds_load_instead_of_blocking() {
     // Every record costs the worker an extra 50 ms: the 2-slot channel
     // fills immediately and DropNewest sheds the rest without blocking the
     // producer.
-    failpoints::arm(failpoints::CHANNEL_STALL, 1_000);
+    assert_eq!(failpoints::arm(failpoints::CHANNEL_STALL, 1_000), 0);
     for t in 1..=40u64 {
         e.push(pt(0.0, 0.0, t)).unwrap();
     }
@@ -233,7 +233,7 @@ fn watchdog_detects_wedged_worker_and_rescue_drains_backlog() {
 
     // The first record the worker dequeues costs it a 2 s sleep — far past
     // the 100 ms stall deadline — while 200 more records pile up behind it.
-    failpoints::arm(failpoints::WORKER_HANG, 2_000);
+    assert_eq!(failpoints::arm(failpoints::WORKER_HANG, 2_000), 0);
     for t in 1..=201u64 {
         e.push(pt((t % 4) as f64, 0.0, t)).unwrap();
     }
@@ -319,6 +319,60 @@ fn restore_falls_back_to_oldest_surviving_generation() {
 }
 
 #[test]
+fn restore_falls_back_when_newest_generation_is_truncated_mid_header() {
+    let _guard = FAILPOINT_LOCK.lock().unwrap();
+    failpoints::reset_all();
+    let base = temp_path("generations-truncated");
+
+    let e = EngineBuilder::from_config(
+        EngineConfig::new(UMicroConfig::new(8, 2).unwrap())
+            .with_snapshot_every(16)
+            .with_auto_checkpoint(32, &base)
+            .with_checkpoint_generations(3),
+    )
+    .build()
+    .unwrap();
+    for t in 1..=96u64 {
+        e.push(pt((t % 3) as f64 * 5.0, (t % 5) as f64, t)).unwrap();
+    }
+    e.flush();
+    let report = e.shutdown();
+    assert_eq!(report.checkpoints_written, 3, "epochs 1..=3 must rotate");
+
+    // Epoch 3 landed in slot 0 (seq % 3). A crash mid-write can leave the
+    // newest slot cut off *inside the ASCII header* — not just a bad
+    // payload checksum, but a file too short to even parse. Truncate it to
+    // 7 bytes, mid-magic.
+    let newest = format!("{base}.0");
+    let bytes = std::fs::read(&newest).expect("newest generation exists");
+    assert!(bytes.len() > 7);
+    std::fs::write(&newest, &bytes[..7]).unwrap();
+
+    // Restore must reject the truncated header and fall back to the prior
+    // generation (epoch 2, slot 2, 64 points) — not error out, not reset.
+    let r = StreamEngine::restore(&base).unwrap();
+    assert_eq!(
+        r.points_processed(),
+        64,
+        "must fall back to the prior generation's epoch-2 state"
+    );
+
+    // The stream continues from the fallback state.
+    for t in 97..=128u64 {
+        r.push(pt((t % 3) as f64 * 5.0, (t % 5) as f64, t)).unwrap();
+    }
+    r.flush();
+    assert_eq!(r.points_processed(), 64 + 32);
+    assert!(r.horizon_clusters(16).is_ok());
+    r.shutdown();
+
+    for suffix in ["0", "1", "2", "manifest"] {
+        let _ = std::fs::remove_file(format!("{base}.{suffix}"));
+    }
+    failpoints::reset_all();
+}
+
+#[test]
 fn restore_with_every_generation_corrupt_is_a_clean_error() {
     let _guard = FAILPOINT_LOCK.lock().unwrap();
     failpoints::reset_all();
@@ -379,7 +433,14 @@ fn soak_repeated_stalls_recover_without_losing_records() {
     let mut pushed = 0u64;
     for round in 0..3u64 {
         // Wedge one consumer for 400 ms, then keep the stream coming.
-        failpoints::arm(failpoints::WORKER_HANG, 400);
+        // `arm` is additive since the re-arm fix, so assert the previous
+        // round's hang budget was fully consumed instead of silently
+        // relying on the old overwrite to mask a leak.
+        assert_eq!(
+            failpoints::arm(failpoints::WORKER_HANG, 400),
+            0,
+            "round {round}: prior hang budget leaked into this round"
+        );
         for i in 0..300u64 {
             let t = round * 301 + i + 1;
             e.push(pt((t % 4) as f64, -((t % 3) as f64), t)).unwrap();

@@ -18,9 +18,14 @@
 //!     --sites 4 --points 20000 --dims 8
 //! ```
 //!
+//! The run also prices a coordinator kill: half the stream, kill, restart
+//! via the WAL-replay path and again cold (full-resync fallback), and
+//! measure what the sites spend on the wire after each failover.
+//!
 //! Output goes to `results/BENCH_distrib.json`. `--smoke 1` shrinks the
-//! run for CI; `--strict 1` exits non-zero unless the run is exact and
-//! delta bytes are at most 10% of the raw baseline.
+//! run for CI; `--strict 1` exits non-zero unless every run is exact,
+//! delta bytes are at most 10% of the raw baseline, and the WAL-replay
+//! recovery is strictly cheaper than the full-resync fallback.
 
 use serde::Serialize;
 use std::collections::BTreeMap;
@@ -30,7 +35,7 @@ use umicro::{Ecf, UMicroConfig};
 use ustream_bench::Args;
 use ustream_common::backoff::splitmix64;
 use ustream_common::UncertainPoint;
-use ustream_distrib::{Coordinator, CoordinatorConfig, Site, SiteConfig};
+use ustream_distrib::{Coordinator, CoordinatorConfig, DurabilityPolicy, Site, SiteConfig};
 use ustream_engine::EngineBuilder;
 use ustream_serve::protocol::encode_message;
 use ustream_snapshot::{shard_of_id, SHARD_ID_BITS};
@@ -92,6 +97,117 @@ fn raw_forwarding_bytes(points: &[UncertainPoint], n_sites: usize, delta_every: 
     total
 }
 
+/// What one coordinator-kill-and-restart costs the sites in phase-2 wire
+/// bytes, for one of the two restart paths.
+struct RecoveryOutcome {
+    phase2_bytes: u64,
+    exact: bool,
+    wal_records_replayed: u64,
+}
+
+/// One coordinator-kill scenario: the stream, the fleet shape, the
+/// durable base path, and the per-shard reference the finished run must
+/// equal. Shared verbatim by the two restart paths.
+struct RecoveryScenario<'a> {
+    points: &'a [UncertainPoint],
+    n_sites: usize,
+    n_micro: usize,
+    dims: usize,
+    delta_every: usize,
+    expected: &'a [BTreeMap<u64, Ecf>],
+    base: &'a str,
+}
+
+/// Feeds half the stream, kills the coordinator, restarts it either via
+/// `resume` (WAL-replay path) or cold (full-resync fallback), fails the
+/// sites over to the new port and finishes the stream. Returns the wire
+/// bytes the sites spent *after* the failover — the recovery cost the
+/// tentpole bounds.
+fn recovery_run(sc: &RecoveryScenario<'_>, resume: bool) -> RecoveryOutcome {
+    let RecoveryScenario {
+        points,
+        n_sites,
+        n_micro,
+        dims,
+        delta_every,
+        expected,
+        base,
+    } = *sc;
+    let cleanup = || {
+        for suffix in ["manifest", "0", "1", "2", "3", "tmp", "wal"] {
+            let _ = std::fs::remove_file(format!("{base}.{suffix}"));
+        }
+    };
+    cleanup();
+    let durable = |snapshot_every_epochs: u64| CoordinatorConfig {
+        durability: Some(DurabilityPolicy {
+            base: base.to_string(),
+            generations: 3,
+            snapshot_every_epochs,
+        }),
+        ..CoordinatorConfig::default()
+    };
+    // A lazy snapshot cadence keeps a WAL tail alive at the kill, so the
+    // replay path is actually exercised rather than loading a snapshot
+    // that already covers everything.
+    let coord = Coordinator::bind("127.0.0.1:0", durable(64)).expect("coordinator binds");
+    let addr = coord.addr().to_string();
+    let mut sites: Vec<Site> = (0..n_sites)
+        .map(|i| {
+            let engine =
+                EngineBuilder::new(UMicroConfig::new(n_micro, dims).expect("valid site config"))
+                    .shards(1)
+                    .build()
+                    .expect("site engine boots");
+            let mut cfg = SiteConfig::new(i as u64, &addr);
+            cfg.delta_every = delta_every as u64;
+            cfg.io_deadline = Duration::from_secs(30);
+            Site::attach(engine, cfg).expect("site attaches")
+        })
+        .collect();
+
+    let half = points.len() / 2;
+    for (k, p) in points.iter().take(half).enumerate() {
+        sites[k % n_sites].push(p.clone()).expect("site ingest");
+    }
+    for site in sites.iter_mut() {
+        site.sync().expect("pre-kill sync");
+    }
+    let before: u64 = sites.iter().map(|s| s.stats().bytes_sent).sum();
+    coord.kill();
+
+    let coord = if resume {
+        Coordinator::resume("127.0.0.1:0", durable(64)).expect("coordinator resumes")
+    } else {
+        // Cold restart: the durable state is ignored, every site reships
+        // its whole map — the fallback the WAL path is measured against.
+        Coordinator::bind("127.0.0.1:0", CoordinatorConfig::default()).expect("coordinator binds")
+    };
+    let addr2 = coord.addr().to_string();
+    let wal_records_replayed = coord
+        .stats()
+        .recovery
+        .map_or(0, |r| r.wal_records_replayed);
+    for site in sites.iter_mut() {
+        site.repoint(&addr2).expect("site failover");
+    }
+    for (k, p) in points.iter().enumerate().skip(half) {
+        sites[k % n_sites].push(p.clone()).expect("site ingest");
+    }
+    let mut after = 0u64;
+    for site in sites {
+        after += site.finish().expect("final sync").bytes_sent;
+    }
+    let exact = (0..n_sites).all(|i| coord.site_clusters(i as u64) == expected[i]);
+    coord.shutdown();
+    cleanup();
+    RecoveryOutcome {
+        phase2_bytes: after - before,
+        exact,
+        wal_records_replayed,
+    }
+}
+
 #[derive(Serialize)]
 struct Report {
     bench: String,
@@ -111,6 +227,12 @@ struct Report {
     gaps_nacked: u64,
     frames_rejected: u64,
     exact: bool,
+    recovery_replay_bytes: u64,
+    recovery_resync_bytes: u64,
+    recovery_ratio: f64,
+    recovery_replay_exact: bool,
+    recovery_resync_exact: bool,
+    wal_records_replayed: u64,
 }
 
 fn main() {
@@ -183,6 +305,31 @@ fn main() {
     let stats = coord.stats();
     coord.shutdown();
 
+    // Recovery cost: the same half-stream kill, restarted once through
+    // the WAL-replay path and once cold (full resync). Epochs here are
+    // smaller than the per-site cluster budget, so a delta touches a
+    // strict subset of the map and the full-resync reship actually costs
+    // something — with coarse epochs every cluster changes every epoch
+    // and the two paths would be indistinguishable.
+    let recovery_delta_every = (n_micro / 4).max(1);
+    let base = std::env::temp_dir()
+        .join(format!("ustream-bench-coord-{}.snap", std::process::id()))
+        .to_string_lossy()
+        .into_owned();
+    let scenario = RecoveryScenario {
+        points: &points,
+        n_sites,
+        n_micro,
+        dims,
+        delta_every: recovery_delta_every,
+        expected: &expected,
+        base: &base,
+    };
+    eprintln!("  recovery: replaying WAL after a coordinator kill...");
+    let replay = recovery_run(&scenario, true);
+    eprintln!("  recovery: cold restart (full-resync fallback)...");
+    let resync = recovery_run(&scenario, false);
+
     let raw_bytes = raw_forwarding_bytes(&points, n_sites, delta_every);
     let ratio = delta_bytes as f64 / raw_bytes.max(1) as f64;
     let report = Report {
@@ -203,6 +350,12 @@ fn main() {
         gaps_nacked: stats.gaps_nacked,
         frames_rejected: stats.frames_rejected,
         exact,
+        recovery_replay_bytes: replay.phase2_bytes,
+        recovery_resync_bytes: resync.phase2_bytes,
+        recovery_ratio: replay.phase2_bytes as f64 / resync.phase2_bytes.max(1) as f64,
+        recovery_replay_exact: replay.exact,
+        recovery_resync_exact: resync.exact,
+        wal_records_replayed: replay.wal_records_replayed,
     };
 
     eprintln!(
@@ -214,6 +367,16 @@ fn main() {
         raw_bytes, report.raw_bytes_per_point
     );
     eprintln!("  ratio: {:.2}% of raw, exact: {exact}", ratio * 100.0);
+    eprintln!(
+        "  recovery after kill: WAL replay {}B (exact: {}, {} records replayed) \
+         vs full resync {}B (exact: {}) — {:.1}% of the fallback",
+        replay.phase2_bytes,
+        replay.exact,
+        replay.wal_records_replayed,
+        resync.phase2_bytes,
+        resync.exact,
+        report.recovery_ratio * 100.0,
+    );
 
     let out = PathBuf::from("results/BENCH_distrib.json");
     if let Some(parent) = out.parent() {
@@ -234,6 +397,18 @@ fn main() {
         problems.push(format!(
             "delta shipping used {:.2}% of raw-forwarding bytes (gate: 10%)",
             ratio * 100.0
+        ));
+    }
+    if !replay.exact {
+        problems.push("WAL-replay recovery diverged from the single-node run".to_string());
+    }
+    if !resync.exact {
+        problems.push("full-resync recovery diverged from the single-node run".to_string());
+    }
+    if replay.phase2_bytes >= resync.phase2_bytes {
+        problems.push(format!(
+            "WAL-replay recovery cost {}B, not below the {}B full-resync fallback",
+            replay.phase2_bytes, resync.phase2_bytes
         ));
     }
     if !problems.is_empty() {

@@ -19,23 +19,48 @@ use std::time::Duration;
 use umicro::UMicroConfig;
 use ustream_common::DataStream;
 use ustream_distrib::{
-    CheckpointPolicy, Coordinator, CoordinatorConfig, RetryPolicy, Site, SiteConfig,
+    CheckpointPolicy, Coordinator, CoordinatorConfig, DurabilityPolicy, RetryPolicy, Site,
+    SiteConfig,
 };
 use ustream_engine::EngineBuilder;
 
 /// Runs `distrib-coord`.
 pub fn run_coord(flags: &Flags) -> Result<(), CliError> {
     let addr = flags.get_str("addr", "127.0.0.1:7272");
+    let wal_base: Option<String> = flags.get_opt("wal")?;
+    let resume: bool = flags.get("resume", 0u8)? != 0;
+    if resume && wal_base.is_none() {
+        return Err("--resume requires --wal <base>".into());
+    }
     let cfg = CoordinatorConfig {
         suspicion_timeout: Duration::from_millis(flags.get("suspicion-ms", 10_000u64)?),
         snapshot_every_epochs: flags.get("snapshot-epochs", 4u64)?,
+        durability: wal_base.map(|base| DurabilityPolicy {
+            base,
+            generations: flags.get("wal-generations", 3u64).unwrap_or(3),
+            snapshot_every_epochs: flags.get("wal-snapshot-epochs", 32u64).unwrap_or(32),
+        }),
         ..CoordinatorConfig::default()
     };
     let duration = flags.get_opt::<u64>("duration")?.map(Duration::from_secs);
     let stats_every = Duration::from_secs(flags.get("stats-every", 10u64)?.max(1));
 
-    let coord = Coordinator::bind(addr.as_str(), cfg)?;
+    let coord = if resume {
+        Coordinator::resume(addr.as_str(), cfg)?
+    } else {
+        Coordinator::bind(addr.as_str(), cfg)?
+    };
     println!("listening on {}", coord.addr());
+    if let Some(rec) = coord.stats().recovery {
+        println!(
+            "resumed: snapshot-epochs={} wal-replayed={} wal-truncated={} wal-dropped={}B corrupt-generations={}",
+            rec.snapshot_epochs,
+            rec.wal_records_replayed,
+            rec.wal_truncated,
+            rec.wal_bytes_dropped,
+            rec.corrupt_generations_skipped,
+        );
+    }
 
     let started = std::time::Instant::now();
     let mut last_report = std::time::Instant::now();
@@ -51,7 +76,7 @@ pub fn run_coord(flags: &Flags) -> Result<(), CliError> {
             if !s.sites.is_empty() {
                 let suspects = s.sites.iter().filter(|h| h.suspect).count();
                 println!(
-                    "sites={} suspects={} epochs={} dups={} gaps={} rejected={} clusters={} points={}",
+                    "sites={} suspects={} epochs={} dups={} gaps={} rejected={} clusters={} points={} wal-records={} wal-bytes={} snapshots={} snapshot-age={}",
                     s.sites.len(),
                     suspects,
                     s.epochs_applied,
@@ -60,7 +85,17 @@ pub fn run_coord(flags: &Flags) -> Result<(), CliError> {
                     s.frames_rejected,
                     s.global_clusters,
                     s.total_points,
+                    s.wal_records,
+                    s.wal_bytes,
+                    s.snapshots_written,
+                    s.last_snapshot_age_epochs,
                 );
+                for h in &s.sites {
+                    println!(
+                        "  site={} applied={} points={} tick={} heard={}ms suspect={}",
+                        h.site, h.last_applied, h.points, h.last_tick, h.last_heard_ms, h.suspect,
+                    );
+                }
             }
         }
     }

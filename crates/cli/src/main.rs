@@ -96,6 +96,10 @@ commands:
              --snapshot-epochs <u64>  pyramidal snapshot cadence in epochs (default 4)
              --stats-every <u64>   liveness report interval in seconds (default 10)
              --duration <u64>      run for n seconds, then report and exit (default: forever)
+             --wal <base>          epoch-commit WAL at <base>.wal, snapshots at <base>.N
+             --resume <0|1>        recover from the newest snapshot + WAL tail (needs --wal)
+             --wal-generations <u64>  snapshot rotation slots (default 3)
+             --wal-snapshot-epochs <u64>  epochs between durable snapshots (default 32)
   distrib-site   replay a stream CSV as one distributed site
              --in <path>           input CSV                 (required)
              --coord <host:port>   coordinator address       (required)

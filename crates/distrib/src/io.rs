@@ -93,6 +93,17 @@ impl Transport {
         self.held = None;
     }
 
+    /// Points the transport at a new coordinator address, dropping any
+    /// open connection — the failover half of coordinator recovery: a
+    /// resumed coordinator typically binds a fresh port (the dead one may
+    /// linger in TIME_WAIT), and the next I/O dials the new address.
+    pub fn set_addr(&mut self, addr: &str) {
+        if addr != self.addr {
+            self.addr = addr.to_string();
+        }
+        self.disconnect();
+    }
+
     /// Dials the coordinator if not already connected.
     pub fn connect(&mut self) -> Result<()> {
         if self.stream.is_some() {

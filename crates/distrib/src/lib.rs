@@ -24,22 +24,36 @@
 //!   tail, learns the coordinator's `last_applied` in the hello
 //!   handshake, and resyncs with a full frame — no double-count, no gap;
 //! * the coordinator tracks per-site liveness and flags sites silent
-//!   longer than a configurable suspicion timeout.
+//!   longer than a configurable suspicion timeout;
+//! * the coordinator itself is durable when given a
+//!   [`DurabilityPolicy`]: every applied epoch is fsynced to an
+//!   epoch-commit WAL *before* the ack (so every acked epoch survives a
+//!   coordinator crash), the full merged state rotates through snapshot
+//!   generations periodically (truncating the WAL), and
+//!   [`Coordinator::resume`] rebuilds from newest-intact-snapshot + WAL
+//!   tail — reconnecting sites ship a bounded delta tail instead of a
+//!   full resync, and [`Site::repoint`] fails them over to the resumed
+//!   coordinator's address.
 //!
 //! Under `--features failpoints` the transport routes every send through
 //! the engine's failpoint registry (`net-drop`, `net-dup`, `net-reorder`,
-//! `net-corrupt`, `net-delay`, `net-partition-site-N`), which is how the
-//! chaos tests drive deterministic fault schedules.
+//! `net-corrupt`, `net-delay`, `net-partition-site-N`), and the
+//! coordinator arms crash points around the WAL commit (`coord-crash-
+//! pre-wal`, `coord-crash-post-wal`, `coord-wal-torn`,
+//! `coord-snapshot-torn`), which is how the chaos tests drive
+//! deterministic fault schedules.
 
 pub mod coordinator;
 pub mod io;
 pub mod protocol;
 pub mod site;
+pub mod wal;
 
-pub use coordinator::{Coordinator, CoordinatorConfig};
+pub use coordinator::{Coordinator, CoordinatorConfig, DurabilityPolicy};
 pub use io::{Transport, TransportStats};
 pub use protocol::{
-    global_cluster_id, site_of_global, CoordResponse, CoordStats, DeltaFrame, SiteHealth,
-    SiteRequest, MAX_SITES, SITE_ID_SHIFT,
+    global_cluster_id, site_of_global, CoordRecovery, CoordResponse, CoordStats, DeltaFrame,
+    SiteHealth, SiteRequest, MAX_SITES, SITE_ID_SHIFT,
 };
 pub use site::{CheckpointPolicy, RetryPolicy, Site, SiteConfig, SiteStats};
+pub use wal::{Wal, WalReplay};

@@ -149,6 +149,25 @@ pub struct SiteHealth {
     pub suspect: bool,
 }
 
+/// What [`crate::Coordinator::resume`] recovered, carried in
+/// [`CoordStats`] so operators can audit a restart after the fact.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoordRecovery {
+    /// Epochs the loaded snapshot generation covered.
+    pub snapshot_epochs: u64,
+    /// Corrupt/unreadable snapshot generations skipped on the way to the
+    /// one that loaded (non-zero means the snapshot directory is rotting).
+    pub corrupt_generations_skipped: u64,
+    /// Intact WAL records replayed on top of the snapshot.
+    pub wal_records_replayed: u64,
+    /// Whether a torn/corrupt WAL tail was found and cut off. A torn tail
+    /// is benign by construction — the record was written before any ack,
+    /// so the epoch it carried was never promised durable.
+    pub wal_truncated: bool,
+    /// Bytes the WAL truncation discarded.
+    pub wal_bytes_dropped: u64,
+}
+
 /// Coordinator counters.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct CoordStats {
@@ -171,6 +190,18 @@ pub struct CoordStats {
     pub global_clusters: u64,
     /// Total records processed across all sites.
     pub total_points: u64,
+    /// Records currently in the epoch-commit WAL (0 when not durable).
+    pub wal_records: u64,
+    /// Bytes currently in the epoch-commit WAL (0 when not durable).
+    pub wal_bytes: u64,
+    /// Durable snapshot generations written since this process started.
+    pub snapshots_written: u64,
+    /// Epochs applied since the last durable snapshot — the recovery
+    /// cost ceiling, in WAL records, if the coordinator died right now.
+    pub last_snapshot_age_epochs: u64,
+    /// Set when this coordinator came up via `--resume`: what the
+    /// recovery found. `None` for fresh starts and non-durable runs.
+    pub recovery: Option<CoordRecovery>,
 }
 
 /// Serialises a site request into a complete USRV frame.

@@ -272,6 +272,30 @@ impl Site {
         }
     }
 
+    /// Fails the site over to a (typically resumed) coordinator at
+    /// `coordinator_addr`: drops the old connection, re-points the
+    /// transport, and re-handshakes. When the coordinator recovered from
+    /// its WAL + snapshot, the handshake's `last_applied` equals
+    /// `acked_seq` and shipping continues with the next delta — no full
+    /// resync; a coordinator that lost state answers behind and the
+    /// normal nack/resync fallback engages.
+    pub fn repoint(&mut self, coordinator_addr: &str) -> Result<()> {
+        self.cfg.coordinator_addr = coordinator_addr.to_string();
+        self.transport.set_addr(coordinator_addr);
+        let before_seq = self.acked_seq;
+        let before_map = std::mem::take(&mut self.acked);
+        self.handshake()?;
+        if self.acked_seq == before_seq && before_seq > 0 {
+            // The coordinator confirmed the exact epoch this session
+            // already had acked — it recovered our state bit-for-bit, so
+            // keep the acked map and skip the full resync the handshake
+            // pessimistically schedules for any non-zero answer.
+            self.acked = before_map;
+            self.pending_full = false;
+        }
+        Ok(())
+    }
+
     /// Pushes one record into the local engine, shipping a delta and/or
     /// writing a checkpoint when their cadences come due.
     ///

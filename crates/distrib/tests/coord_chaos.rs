@@ -1,0 +1,394 @@
+//! Coordinator-kill chaos: the coordinator process "dies" at every armed
+//! crash point — before the WAL append, after it but before the ack,
+//! mid-WAL-write (torn record), and mid-snapshot (torn generation) — and
+//! is resumed on a fresh port. After failover the run must still end
+//! bit-for-bit equal to the single-node reference, including when the
+//! kills are interleaved with the existing network fault arsenal.
+//!
+//! The failpoint registry is process-global, so every test here serialises
+//! on one lock and resets the registry on entry and exit.
+
+#![cfg(feature = "failpoints")]
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+use umicro::{Ecf, UMicroConfig};
+use ustream_common::backoff::splitmix64;
+use ustream_common::UncertainPoint;
+use ustream_distrib::{
+    Coordinator, CoordinatorConfig, CoordRecovery, DurabilityPolicy, RetryPolicy, Site, SiteConfig,
+};
+use ustream_engine::{failpoints, EngineBuilder, StreamEngine};
+use ustream_snapshot::{shard_of_id, SHARD_ID_BITS};
+
+const LOCAL_MASK: u64 = (1u64 << SHARD_ID_BITS) - 1;
+
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn point(t: u64, dims: usize, seed: u64) -> UncertainPoint {
+    let values = (0..dims)
+        .map(|d| {
+            let r = splitmix64(seed ^ t.wrapping_mul(0x9e37_79b9) ^ ((d as u64) << 32));
+            let centre = ((r >> 8) % 4) as f64 * 10.0;
+            let noise = (r & 0xffff) as f64 / 65_536.0 - 0.5;
+            centre + noise
+        })
+        .collect();
+    UncertainPoint::new(values, vec![0.3; dims], t, None)
+}
+
+fn site_engine(n_micro: usize, dims: usize) -> StreamEngine {
+    EngineBuilder::new(UMicroConfig::new(n_micro, dims).expect("valid site config"))
+        .shards(1)
+        .build()
+        .expect("site engine boots")
+}
+
+fn reference_maps(
+    points: &[UncertainPoint],
+    n_sites: usize,
+    n_micro: usize,
+    dims: usize,
+) -> Vec<BTreeMap<u64, Ecf>> {
+    let engine = EngineBuilder::new(
+        UMicroConfig::new(n_micro * n_sites, dims).expect("valid reference config"),
+    )
+    .shards(n_sites)
+    .build()
+    .expect("reference engine boots");
+    for p in points {
+        engine.push(p.clone()).expect("reference ingest");
+    }
+    engine.flush();
+    let mut maps = vec![BTreeMap::new(); n_sites];
+    for mc in engine.micro_clusters() {
+        maps[shard_of_id(mc.id)].insert(mc.id & LOCAL_MASK, mc.ecf);
+    }
+    engine.shutdown();
+    maps
+}
+
+fn fast_cfg(site: u64, addr: &str, delta_every: u64) -> SiteConfig {
+    let mut cfg = SiteConfig::new(site, addr);
+    cfg.delta_every = delta_every;
+    cfg.io_deadline = Duration::from_millis(400);
+    cfg.retry = RetryPolicy {
+        max_attempts: 8,
+        base_backoff_ms: 2,
+        max_backoff_ms: 40,
+        seed: 0xc0_0c4a5,
+    };
+    cfg
+}
+
+fn temp_base(tag: &str) -> String {
+    std::env::temp_dir()
+        .join(format!("ustream-cchaos-{tag}-{}.snap", std::process::id()))
+        .to_string_lossy()
+        .into_owned()
+}
+
+fn cleanup_base(base: &str) {
+    for suffix in ["manifest", "0", "1", "2", "3", "tmp", "wal"] {
+        let _ = std::fs::remove_file(format!("{base}.{suffix}"));
+    }
+}
+
+fn durable_cfg(base: &str, snapshot_every_epochs: u64) -> CoordinatorConfig {
+    CoordinatorConfig {
+        durability: Some(DurabilityPolicy {
+            base: base.to_string(),
+            generations: 3,
+            snapshot_every_epochs,
+        }),
+        ..CoordinatorConfig::default()
+    }
+}
+
+fn assert_exact(coord: &Coordinator, reference: &[BTreeMap<u64, Ecf>]) {
+    for (i, expected) in reference.iter().enumerate() {
+        let got = coord.site_clusters(i as u64);
+        assert_eq!(&got, expected, "site {i} diverged from shard {i}");
+    }
+}
+
+/// Drives one full stream through a crash at `arm_point`, resuming on a
+/// fresh port halfway, and returns the recovery report plus the final
+/// coordinator and site stats for the caller's extra assertions.
+fn crash_and_resume_run(
+    tag: &str,
+    arm_point: &str,
+    snapshot_every_epochs: u64,
+) -> (CoordRecovery, Coordinator, Vec<ustream_distrib::SiteStats>) {
+    let (n_sites, n_micro, dims) = (2usize, 6usize, 2usize);
+    let points: Vec<_> = (1..=260u64).map(|t| point(t, dims, 0x5eed ^ arm_point.len() as u64)).collect();
+    let reference = reference_maps(&points, n_sites, n_micro, dims);
+    let base = temp_base(tag);
+    cleanup_base(&base);
+
+    let coord = Coordinator::bind("127.0.0.1:0", durable_cfg(&base, snapshot_every_epochs)).expect("coordinator binds");
+    let addr = coord.addr().to_string();
+    let mut sites: Vec<Site> = (0..n_sites)
+        .map(|i| Site::attach(site_engine(n_micro, dims), fast_cfg(i as u64, &addr, 16)).expect("site attaches"))
+        .collect();
+
+    // Warm up: land a few clean epochs so the crash interrupts a stream
+    // with durable history, not a cold start.
+    let warm = points.len() / 3;
+    for (k, p) in points.iter().take(warm).enumerate() {
+        sites[k % n_sites].push(p.clone()).expect("site ingest");
+    }
+    for site in sites.iter_mut() {
+        site.sync().expect("warm-up sync");
+    }
+
+    // Arm the crash, then force each site to ship: the first sync fires
+    // the failpoint and the coordinator "dies" mid-request; the rest fail
+    // fast against the dead listener. Sites swallow the failure and keep
+    // their dirty state for the retry after failover.
+    failpoints::arm(arm_point, 1);
+    let two_thirds = 2 * points.len() / 3;
+    for (k, p) in points.iter().enumerate().take(two_thirds).skip(warm) {
+        sites[k % n_sites].push(p.clone()).expect("site ingest");
+    }
+    for site in sites.iter_mut() {
+        let _ = site.sync(); // may fail: the coordinator is crashing
+    }
+    assert_eq!(
+        failpoints::remaining(arm_point),
+        0,
+        "the armed crash point must actually fire"
+    );
+    coord.kill();
+
+    let coord = Coordinator::resume("127.0.0.1:0", durable_cfg(&base, snapshot_every_epochs)).expect("coordinator resumes");
+    let addr2 = coord.addr().to_string();
+    let recovery = coord.stats().recovery.clone().expect("resume reports recovery");
+
+    for site in sites.iter_mut() {
+        site.repoint(&addr2).expect("site failover");
+    }
+    for (k, p) in points.iter().enumerate().skip(two_thirds) {
+        sites[k % n_sites].push(p.clone()).expect("site ingest");
+    }
+    let site_stats: Vec<_> = sites
+        .into_iter()
+        .map(|s| s.finish().expect("final sync"))
+        .collect();
+
+    assert_exact(&coord, &reference);
+    assert_eq!(coord.stats().total_points, points.len() as u64);
+    cleanup_base(&base);
+    (recovery, coord, site_stats)
+}
+
+/// Crash *before* the WAL append: the in-flight epoch was never durable
+/// and never acked, so the site simply retries it after failover — no
+/// full resync, no gap.
+#[test]
+fn crash_before_wal_append_is_retried_without_resync() {
+    let _guard = FAULT_LOCK.lock().unwrap();
+    failpoints::reset_all();
+    let (rec, coord, site_stats) =
+        crash_and_resume_run("pre-wal", failpoints::COORD_CRASH_PRE_WAL, 8);
+    assert!(!rec.wal_truncated, "nothing was mid-write at the crash");
+    let stats = coord.shutdown();
+    assert_eq!(stats.gaps_nacked, 0);
+    for st in &site_stats {
+        assert_eq!(st.full_resyncs, 0, "a never-acked epoch needs no resync");
+    }
+    failpoints::reset_all();
+}
+
+/// Crash *after* the WAL append but before the ack: the epoch is durable
+/// on the coordinator while the site never saw the ack. Recovery replays
+/// it from the WAL and the handshake moves the site past it — applied
+/// exactly once, proven by the bit-for-bit final state.
+#[test]
+fn crash_after_wal_append_applies_the_epoch_exactly_once() {
+    let _guard = FAULT_LOCK.lock().unwrap();
+    failpoints::reset_all();
+    let (rec, coord, _) =
+        crash_and_resume_run("post-wal", failpoints::COORD_CRASH_POST_WAL, 1000);
+    assert!(
+        rec.wal_records_replayed >= 1,
+        "the durable-but-unacked epoch must come back from the WAL"
+    );
+    assert!(!rec.wal_truncated);
+    let stats = coord.shutdown();
+    assert!(
+        stats.epochs_applied >= rec.snapshot_epochs + rec.wal_records_replayed,
+        "recovered epochs stay applied"
+    );
+    failpoints::reset_all();
+}
+
+/// Crash mid-WAL-write: half a record lands. Replay must cut the torn
+/// tail back to the last intact record, and the epoch it carried — never
+/// acked, by the WAL-before-ack ordering — is retried by the site.
+#[test]
+fn torn_wal_write_is_cut_back_and_retried() {
+    let _guard = FAULT_LOCK.lock().unwrap();
+    failpoints::reset_all();
+    let (rec, coord, site_stats) =
+        crash_and_resume_run("torn-wal", failpoints::COORD_WAL_TORN, 1000);
+    assert!(rec.wal_truncated, "the torn tail must be detected");
+    assert!(rec.wal_bytes_dropped > 0, "the half-record must be dropped");
+    let stats = coord.shutdown();
+    assert_eq!(stats.gaps_nacked, 0);
+    for st in &site_stats {
+        assert_eq!(st.full_resyncs, 0, "a torn epoch was never acked, so retry suffices");
+    }
+    failpoints::reset_all();
+}
+
+/// Crash mid-snapshot: a half-written generation lands and the WAL is
+/// *not* truncated. Recovery must skip (and count) the corrupt
+/// generation and rebuild everything from the previous one plus the
+/// intact WAL.
+#[test]
+fn torn_snapshot_is_skipped_and_wal_covers_the_gap() {
+    let _guard = FAULT_LOCK.lock().unwrap();
+    failpoints::reset_all();
+    let (rec, coord, _) =
+        crash_and_resume_run("torn-snap", failpoints::COORD_SNAPSHOT_TORN, 4);
+    assert!(
+        rec.corrupt_generations_skipped >= 1,
+        "the half-written generation must be counted, not silently skipped"
+    );
+    assert!(
+        rec.wal_records_replayed >= 1,
+        "the untruncated WAL must carry the epochs past the last good snapshot"
+    );
+    coord.shutdown();
+    failpoints::reset_all();
+}
+
+mod prop {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// One scheduled network fault: before record `at`, arm failpoint
+    /// `kind` for `count` firings (same arsenal as `chaos.rs`).
+    #[derive(Debug, Clone)]
+    struct FaultArm {
+        at: usize,
+        kind: usize,
+        count: u64,
+    }
+
+    fn fault_name(kind: usize, n_sites: usize) -> String {
+        match kind {
+            0 => failpoints::NET_DROP.to_string(),
+            1 => failpoints::NET_DUP.to_string(),
+            2 => failpoints::NET_REORDER.to_string(),
+            3 => failpoints::NET_CORRUPT.to_string(),
+            4 => failpoints::NET_DELAY.to_string(),
+            k => failpoints::net_partition(((k - 5) % n_sites) as u64),
+        }
+    }
+
+    fn arms() -> impl Strategy<Value = Vec<FaultArm>> {
+        proptest::collection::vec(
+            (0usize..260, 0usize..7, 1u64..4).prop_map(|(at, kind, count)| FaultArm {
+                at,
+                kind,
+                count,
+            }),
+            0..5,
+        )
+    }
+
+    /// Scheduled coordinator kills: before record `at`, crash via `mode`
+    /// (0 = clean kill, 1-4 = one of the crash failpoints fired by a
+    /// forced sync), then resume on a fresh port and fail the sites over.
+    fn kills() -> impl Strategy<Value = Vec<(usize, u8)>> {
+        proptest::collection::vec((20usize..240, 0u8..5), 1..3)
+    }
+
+    fn crash_point(mode: u8) -> &'static str {
+        match mode {
+            1 => failpoints::COORD_CRASH_PRE_WAL,
+            2 => failpoints::COORD_CRASH_POST_WAL,
+            3 => failpoints::COORD_WAL_TORN,
+            _ => failpoints::COORD_SNAPSHOT_TORN,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        /// Random coordinator kills at random stream positions — through
+        /// any of the crash points — mixed with random network faults:
+        /// after every failover the finished run equals the single-node
+        /// reference bit for bit and no record is lost or double-counted.
+        #[test]
+        fn exact_under_random_coordinator_kills_and_network_faults(
+            seed in 0u64..1_000_000,
+            n_sites in 1usize..4,
+            faults in arms(),
+            kill_plan in kills(),
+        ) {
+            let _guard = FAULT_LOCK.lock().unwrap();
+            failpoints::reset_all();
+            let (n_micro, dims) = (5usize, 2usize);
+            let points: Vec<_> = (1..=260u64).map(|t| point(t, dims, seed)).collect();
+            let reference = reference_maps(&points, n_sites, n_micro, dims);
+            let base = temp_base(&format!("prop-{seed}"));
+            cleanup_base(&base);
+
+            let mut kills: Vec<(usize, u8)> = kill_plan;
+            kills.sort_unstable();
+            kills.dedup_by_key(|k| k.0);
+
+            let mut coord =
+                Coordinator::bind("127.0.0.1:0", durable_cfg(&base, 8)).unwrap();
+            let addr = coord.addr().to_string();
+            let mut sites: Vec<Site> = (0..n_sites)
+                .map(|i| {
+                    Site::attach(site_engine(n_micro, dims), fast_cfg(i as u64, &addr, 12))
+                        .unwrap()
+                })
+                .collect();
+
+            for (k, p) in points.iter().enumerate() {
+                for f in faults.iter().filter(|f| f.at == k) {
+                    failpoints::arm(&fault_name(f.kind, n_sites), f.count);
+                }
+                if let Some(&(_, mode)) = kills.iter().find(|kill| kill.0 == k) {
+                    if mode > 0 {
+                        // Crash mid-request: arm the point and force a
+                        // ship so it fires; if nothing was dirty the kill
+                        // below covers it anyway.
+                        failpoints::arm(crash_point(mode), 1);
+                        for site in sites.iter_mut() {
+                            let _ = site.sync();
+                        }
+                    }
+                    coord.kill();
+                    // Clear unfired crash arms (and any stale net faults)
+                    // so the resumed coordinator starts clean.
+                    failpoints::reset_all();
+                    coord = Coordinator::resume("127.0.0.1:0", durable_cfg(&base, 8))
+                        .unwrap();
+                    prop_assert!(coord.stats().recovery.is_some());
+                    let addr2 = coord.addr().to_string();
+                    for site in sites.iter_mut() {
+                        site.repoint(&addr2).expect("site failover");
+                    }
+                }
+                sites[k % n_sites].push(p.clone()).expect("site ingest");
+            }
+            failpoints::reset_all(); // drop partitions so the tails flush
+            for site in sites {
+                site.finish().unwrap();
+            }
+
+            assert_exact(&coord, &reference);
+            let stats = coord.shutdown();
+            prop_assert_eq!(stats.total_points, points.len() as u64);
+            cleanup_base(&base);
+        }
+    }
+}

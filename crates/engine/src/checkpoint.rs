@@ -92,47 +92,69 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     hash
 }
 
-/// Serialises a checkpoint to its on-disk byte form (header + payload).
-pub fn encode(ckpt: &EngineCheckpoint) -> Result<Vec<u8>> {
-    let payload =
-        serde_json::to_string(ckpt).map_err(|e| UStreamError::Checkpoint(e.to_string()))?;
-    let payload = payload.into_bytes();
+/// Frames `payload` under the generic checksummed header:
+/// `<magic> <version> <payload-bytes> <fnv1a64-hex>\n<payload>`.
+///
+/// This is the byte-level codec every durable artifact in the workspace
+/// shares — engine checkpoints here, coordinator snapshots and WAL records
+/// in the distributed tier — so torn-write detection has exactly one
+/// implementation to audit.
+pub fn encode_payload(magic: &str, version: u32, payload: &[u8]) -> Vec<u8> {
     let header = format!(
-        "{MAGIC} {VERSION} {} {:016x}\n",
+        "{magic} {version} {} {:016x}\n",
         payload.len(),
-        fnv1a64(&payload)
+        fnv1a64(payload)
     );
     let mut out = header.into_bytes();
-    out.extend_from_slice(&payload);
-    Ok(out)
+    out.extend_from_slice(payload);
+    out
 }
 
-/// Parses and verifies the on-disk byte form.
+/// Verifies the generic header of [`encode_payload`] and returns the
+/// payload slice. The whole byte slice must be exactly one record; use
+/// [`decode_framed`] for concatenated-record streams (the WAL).
 ///
 /// Every failure mode — wrong magic, unsupported version, truncated file,
-/// checksum mismatch, malformed JSON — comes back as
-/// [`UStreamError::Checkpoint`] with a message saying which check failed.
-pub fn decode(bytes: &[u8]) -> Result<EngineCheckpoint> {
+/// checksum mismatch — comes back as [`UStreamError::Checkpoint`] with a
+/// message saying which check failed.
+pub fn decode_payload<'a>(magic: &str, version: u32, bytes: &'a [u8]) -> Result<&'a [u8]> {
+    let (payload, consumed) = decode_framed(magic, version, bytes)?;
+    if consumed != bytes.len() {
+        return Err(UStreamError::Checkpoint(format!(
+            "{} trailing bytes after the payload",
+            bytes.len() - consumed
+        )));
+    }
+    Ok(payload)
+}
+
+/// Verifies one [`encode_payload`] record at the *head* of `bytes` and
+/// returns `(payload, record_length)`, ignoring whatever follows — later
+/// records of an append-only log. The coordinator WAL replays through
+/// this, so torn-record detection shares the checkpoint codec's checksum
+/// logic instead of re-implementing it.
+pub fn decode_framed<'a>(magic: &str, version: u32, bytes: &'a [u8]) -> Result<(&'a [u8], usize)> {
     let newline = bytes
         .iter()
+        .take(MAX_HEADER_BYTES)
         .position(|b| *b == b'\n')
         .ok_or_else(|| UStreamError::Checkpoint("missing header line".into()))?;
     let header = std::str::from_utf8(&bytes[..newline])
         .map_err(|_| UStreamError::Checkpoint("header is not UTF-8".into()))?;
     let mut fields = header.split_ascii_whitespace();
-    let magic = fields.next().unwrap_or_default();
-    if magic != MAGIC {
+    let got_magic = fields.next().unwrap_or_default();
+    if got_magic != magic {
         return Err(UStreamError::Checkpoint(format!(
-            "bad magic {magic:?} (not a checkpoint file)"
+            "bad magic {got_magic:?} (expected a {magic} file)"
         )));
     }
-    let version: u32 = fields
+    let got_version: u32 = fields
         .next()
         .and_then(|v| v.parse().ok())
         .ok_or_else(|| UStreamError::Checkpoint("unparseable version".into()))?;
-    if version != VERSION {
+    if got_version != version {
         return Err(UStreamError::Checkpoint(format!(
-            "unsupported checkpoint version {version} (this build reads {VERSION})"
+            "unsupported {magic} version {got_version} (this build reads {version})"
         )));
     }
     let declared_len: usize = fields
@@ -144,13 +166,14 @@ pub fn decode(bytes: &[u8]) -> Result<EngineCheckpoint> {
         .and_then(|v| u64::from_str_radix(v, 16).ok())
         .ok_or_else(|| UStreamError::Checkpoint("unparseable checksum".into()))?;
 
-    let payload = &bytes[newline + 1..];
-    if payload.len() != declared_len {
+    let rest = &bytes[newline + 1..];
+    if rest.len() < declared_len {
         return Err(UStreamError::Checkpoint(format!(
             "payload is {} bytes, header declares {declared_len} (truncated write?)",
-            payload.len()
+            rest.len()
         )));
     }
+    let payload = &rest[..declared_len];
     let actual_sum = fnv1a64(payload);
     if actual_sum != declared_sum {
         return Err(UStreamError::Checkpoint(format!(
@@ -158,6 +181,29 @@ pub fn decode(bytes: &[u8]) -> Result<EngineCheckpoint> {
              (file corrupt)"
         )));
     }
+    Ok((payload, newline + 1 + declared_len))
+}
+
+/// Upper bound on a record header's byte length; a header line longer
+/// than this (or binary junk with no newline) is corruption, not a
+/// record. Keeps [`decode_framed`] from scanning megabytes of garbage
+/// for a `\n` that is not there.
+const MAX_HEADER_BYTES: usize = 128;
+
+/// Serialises a checkpoint to its on-disk byte form (header + payload).
+pub fn encode(ckpt: &EngineCheckpoint) -> Result<Vec<u8>> {
+    let payload =
+        serde_json::to_string(ckpt).map_err(|e| UStreamError::Checkpoint(e.to_string()))?;
+    Ok(encode_payload(MAGIC, VERSION, payload.as_bytes()))
+}
+
+/// Parses and verifies the on-disk byte form.
+///
+/// Every failure mode — wrong magic, unsupported version, truncated file,
+/// checksum mismatch, malformed JSON — comes back as
+/// [`UStreamError::Checkpoint`] with a message saying which check failed.
+pub fn decode(bytes: &[u8]) -> Result<EngineCheckpoint> {
+    let payload = decode_payload(MAGIC, VERSION, bytes)?;
     let text = std::str::from_utf8(payload)
         .map_err(|_| UStreamError::Checkpoint("payload is not UTF-8".into()))?;
     let ckpt: EngineCheckpoint = serde_json::from_str(text)
@@ -195,6 +241,16 @@ impl EngineCheckpoint {
     }
 }
 
+/// Writes `bytes` to `path` atomically: the full stream goes to
+/// `<path>.tmp`, which is then renamed over `path`. A crash mid-write
+/// leaves the previous file intact.
+pub fn write_atomic_bytes(path: &str, bytes: &[u8]) -> Result<()> {
+    let tmp = format!("{path}.tmp");
+    fs::write(&tmp, bytes)?;
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
 /// Writes the checkpoint to `path` atomically: the full byte stream goes to
 /// `<path>.tmp`, which is then renamed over `path`.
 pub fn write_atomic(path: &str, ckpt: &EngineCheckpoint) -> Result<()> {
@@ -206,10 +262,7 @@ pub fn write_atomic(path: &str, ckpt: &EngineCheckpoint) -> Result<()> {
             *last ^= 0xFF;
         }
     }
-    let tmp = format!("{path}.tmp");
-    fs::write(&tmp, &bytes)?;
-    fs::rename(&tmp, path)?;
-    Ok(())
+    write_atomic_bytes(path, &bytes)
 }
 
 /// Reads and verifies a checkpoint from `path`.
@@ -286,11 +339,135 @@ pub fn write_rotated(
     let generations = generations.max(1);
     let slot = seq % generations;
     write_atomic(&generation_path(base, slot), ckpt)?;
+    promote_manifest(base, generations, slot, seq)
+}
+
+/// The generic-payload counterpart of [`write_rotated`]: any byte stream
+/// (already framed by its own [`encode_payload`] header) rotates through
+/// the same slot + manifest machinery. The distributed tier's coordinator
+/// snapshots persist through this.
+pub fn write_rotated_bytes(base: &str, generations: u64, seq: u64, bytes: &[u8]) -> Result<()> {
+    let generations = generations.max(1);
+    let slot = seq % generations;
+    write_atomic_bytes(&generation_path(base, slot), bytes)?;
+    promote_manifest(base, generations, slot, seq)
+}
+
+fn promote_manifest(base: &str, generations: u64, slot: u64, seq: u64) -> Result<()> {
     let mut entries = read_manifest(base).unwrap_or_default();
     entries.retain(|(s, _)| *s != slot);
     entries.insert(0, (slot, seq));
     entries.truncate(generations as usize);
     write_manifest(base, &entries)
+}
+
+/// The newest rotation ordinal the manifest records, when it is readable.
+/// A restarted writer continues its rotation from here instead of
+/// clobbering the newest surviving generation with its first write.
+pub fn latest_manifest_seq(base: &str) -> Option<u64> {
+    read_manifest(base).and_then(|entries| entries.iter().map(|(_, seq)| *seq).max())
+}
+
+/// What a [`read_latest`]-style recovery scan had to step over — surfaced
+/// to callers so a silently rotting generation set is visible in stats
+/// instead of being hidden by the fallback succeeding.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GenerationRecovery {
+    /// Candidate generation files that existed but failed to read or
+    /// decode (torn writes, bit rot, version skew). Zero on a clean load.
+    pub corrupt_skipped: u64,
+    /// Whether a readable manifest drove the scan (false = slot scan).
+    pub via_manifest: bool,
+    /// Whether the bare `base` path itself was among the candidates
+    /// examined (the slot-scan fallback checks it; a manifest hit that
+    /// returns early does not).
+    pub scanned_bare: bool,
+    /// The error of the last corrupt candidate, for diagnostics.
+    pub last_error: Option<String>,
+}
+
+/// Loads the newest generation under `base` that `decode` accepts,
+/// counting every candidate that had to be skipped.
+///
+/// Walks the manifest newest-first and returns the first generation that
+/// decodes; when the manifest is missing or unusable (or lists only
+/// corrupt generations), scans `<base>.0 … <base>.{63}` and the bare
+/// `base` path and returns the decodable candidate with the highest
+/// `ordinal`. Returns `None` with the recovery metadata when nothing
+/// decodes — the caller decides whether that is an error.
+pub fn read_latest_with<T>(
+    base: &str,
+    decode: &dyn Fn(&[u8]) -> Result<T>,
+    ordinal: &dyn Fn(&T) -> u64,
+) -> (Option<T>, GenerationRecovery) {
+    fn try_path<T>(
+        path: &str,
+        decode: &dyn Fn(&[u8]) -> Result<T>,
+        rec: &mut GenerationRecovery,
+        failed: &mut std::collections::BTreeSet<String>,
+    ) -> Option<T> {
+        if !std::path::Path::new(path).exists() {
+            return None;
+        }
+        let res = fs::read(path)
+            .map_err(UStreamError::Io)
+            .and_then(|b| decode(&b));
+        match res {
+            Ok(v) => Some(v),
+            Err(e) => {
+                rec.last_error = Some(format!("{path}: {e}"));
+                failed.insert(path.to_string());
+                None
+            }
+        }
+    }
+
+    let mut rec = GenerationRecovery::default();
+    // Distinct corrupt paths: the slot-scan fallback revisits the files the
+    // manifest walk already rejected, and one rotten file is one defect.
+    let mut failed = std::collections::BTreeSet::new();
+    if let Some(entries) = read_manifest(base) {
+        rec.via_manifest = true;
+        for (slot, _seq) in &entries {
+            if let Some(v) = try_path(&generation_path(base, *slot), decode, &mut rec, &mut failed)
+            {
+                rec.corrupt_skipped = failed.len() as u64;
+                return (Some(v), rec);
+            }
+        }
+    }
+    let mut best: Option<T> = None;
+    let mut candidates: Vec<String> = (0..MAX_SCAN_SLOTS)
+        .map(|s| generation_path(base, s))
+        .collect();
+    candidates.push(base.to_string());
+    rec.scanned_bare = true;
+    for path in candidates {
+        if let Some(v) = try_path(&path, decode, &mut rec, &mut failed) {
+            if best.as_ref().is_none_or(|b| ordinal(&v) > ordinal(b)) {
+                best = Some(v);
+            }
+        }
+    }
+    rec.corrupt_skipped = failed.len() as u64;
+    (best, rec)
+}
+
+/// [`read_latest`] plus the recovery metadata: how many corrupt
+/// generations the scan skipped before finding one that decodes.
+pub fn read_latest_traced(base: &str) -> Result<(EngineCheckpoint, GenerationRecovery)> {
+    let (best, rec) = read_latest_with(base, &decode, &|ck: &EngineCheckpoint| {
+        ck.points_processed
+    });
+    match best {
+        Some(ck) => Ok((ck, rec)),
+        None => Err(match rec.last_error {
+            Some(msg) => UStreamError::Checkpoint(msg),
+            None => UStreamError::Checkpoint(format!(
+                "no checkpoint generation found at {base} (or {base}.N)"
+            )),
+        }),
+    }
 }
 
 /// Loads the newest checkpoint generation that still decodes.
@@ -299,44 +476,10 @@ pub fn write_rotated(
 /// or unusable, scans `<base>.0 … <base>.{63}` and the bare `base` path and
 /// returns the valid checkpoint with the highest `points_processed`. Errors
 /// only when *no* generation decodes — with the decode error of the last
-/// corrupt candidate, so the caller sees why recovery failed.
+/// corrupt candidate, so the caller sees why recovery failed. Callers that
+/// should *notice* skipped generations use [`read_latest_traced`].
 pub fn read_latest(base: &str) -> Result<EngineCheckpoint> {
-    if let Some(entries) = read_manifest(base) {
-        for (slot, _seq) in &entries {
-            if let Ok(ck) = read(&generation_path(base, *slot)) {
-                return Ok(ck);
-            }
-        }
-    }
-    let mut best: Option<EngineCheckpoint> = None;
-    let mut last_err: Option<UStreamError> = None;
-    let mut candidates: Vec<String> = (0..MAX_SCAN_SLOTS)
-        .map(|s| generation_path(base, s))
-        .collect();
-    candidates.push(base.to_string());
-    for path in candidates {
-        if !std::path::Path::new(&path).exists() {
-            continue;
-        }
-        match read(&path) {
-            Ok(ck) => {
-                if best
-                    .as_ref()
-                    .is_none_or(|b| ck.points_processed > b.points_processed)
-                {
-                    best = Some(ck);
-                }
-            }
-            Err(e) => last_err = Some(e),
-        }
-    }
-    best.ok_or_else(|| {
-        last_err.unwrap_or_else(|| {
-            UStreamError::Checkpoint(format!(
-                "no checkpoint generation found at {base} (or {base}.N)"
-            ))
-        })
-    })
+    read_latest_traced(base).map(|(ck, _)| ck)
 }
 
 #[cfg(test)]
@@ -422,7 +565,7 @@ mod tests {
         bytes.extend_from_slice(payload);
         let err = decode(&bytes).unwrap_err();
         assert!(
-            err.to_string().contains("unsupported checkpoint version"),
+            err.to_string().contains("unsupported USTREAMCKPT version"),
             "wrong error: {err}"
         );
     }
@@ -576,5 +719,80 @@ mod tests {
         let base = temp_base("none");
         cleanup_rotation(&base);
         assert!(read_latest(&base).is_err());
+    }
+
+    #[test]
+    fn traced_read_counts_skipped_corrupt_generations() {
+        let base = temp_base("traced");
+        cleanup_rotation(&base);
+        for seq in 0..3u64 {
+            write_rotated(&base, 3, seq, &ckpt_at(seq * 10)).unwrap();
+        }
+        let (_, rec) = read_latest_traced(&base).unwrap();
+        assert_eq!(rec.corrupt_skipped, 0, "clean load skips nothing");
+        assert!(rec.via_manifest);
+
+        // Rot the two newest generations (slots 2 and 1).
+        for slot in [2u64, 1] {
+            let path = generation_path(&base, slot);
+            let mut bytes = fs::read(&path).unwrap();
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0x01;
+            fs::write(&path, bytes).unwrap();
+        }
+        let (ck, rec) = read_latest_traced(&base).unwrap();
+        assert_eq!(ck.points_processed, 0, "only seq 0 survives");
+        assert_eq!(rec.corrupt_skipped, 2, "both rotten generations counted");
+        assert!(rec.last_error.is_some());
+        cleanup_rotation(&base);
+    }
+
+    #[test]
+    fn traced_read_does_not_double_count_across_manifest_and_scan() {
+        let base = temp_base("traced-dedup");
+        cleanup_rotation(&base);
+        for seq in 0..2u64 {
+            write_rotated(&base, 2, seq, &ckpt_at(seq * 10)).unwrap();
+        }
+        // Rot every generation: the manifest walk fails each, then the
+        // slot scan revisits the same files. One rotten file, one count.
+        for slot in [0u64, 1] {
+            let path = generation_path(&base, slot);
+            let mut bytes = fs::read(&path).unwrap();
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0x01;
+            fs::write(&path, bytes).unwrap();
+        }
+        let err = read_latest_traced(&base).unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+        let (best, rec) = read_latest_with(&base, &decode, &|ck| ck.points_processed);
+        assert!(best.is_none());
+        assert_eq!(rec.corrupt_skipped, 2, "two files, two counts, no dupes");
+        cleanup_rotation(&base);
+    }
+
+    #[test]
+    fn rotated_bytes_round_trip_through_generic_reader() {
+        let base = temp_base("bytes");
+        cleanup_rotation(&base);
+        for seq in 0..4u64 {
+            let payload = format!("{{\"ord\":{seq}}}");
+            let bytes = encode_payload("UTESTSNAP", 1, payload.as_bytes());
+            write_rotated_bytes(&base, 2, seq, &bytes).unwrap();
+        }
+        assert_eq!(latest_manifest_seq(&base), Some(3));
+        let decode_ord = |bytes: &[u8]| -> Result<u64> {
+            let payload = decode_payload("UTESTSNAP", 1, bytes)?;
+            let text = std::str::from_utf8(payload)
+                .map_err(|_| UStreamError::Checkpoint("not utf-8".into()))?;
+            text.trim_start_matches("{\"ord\":")
+                .trim_end_matches('}')
+                .parse()
+                .map_err(|_| UStreamError::Checkpoint("bad ord".into()))
+        };
+        let (best, rec) = read_latest_with(&base, &decode_ord, &|v| *v);
+        assert_eq!(best, Some(3));
+        assert_eq!(rec.corrupt_skipped, 0);
+        cleanup_rotation(&base);
     }
 }

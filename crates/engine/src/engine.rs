@@ -250,6 +250,12 @@ struct Global {
     final_report: Mutex<Option<EngineReport>>,
     /// Rescue consumers the governor attached (joined at shutdown).
     extra_workers: Mutex<Vec<JoinHandle<()>>>,
+    /// Corrupt/unreadable checkpoint generations skipped while restoring
+    /// this engine. Zero for engines that never restored, or restored from
+    /// the newest generation cleanly. Surfaced in [`EngineReport`] so a
+    /// silently-degrading checkpoint directory shows up in stats rather
+    /// than only in logs nobody reads.
+    restore_corrupt_generations: AtomicU64,
 }
 
 impl Global {
@@ -972,6 +978,7 @@ impl StreamEngine {
             draining: AtomicBool::new(false),
             final_report: Mutex::new(None),
             extra_workers: Mutex::new(Vec::new()),
+            restore_corrupt_generations: AtomicU64::new(0),
             config,
         });
 
@@ -1064,9 +1071,13 @@ impl StreamEngine {
     /// [`UStreamError::Checkpoint`] when it is corrupt, truncated, from an
     /// unsupported version, or structurally inconsistent.
     pub fn restore(path: &str) -> Result<Self> {
-        let ck = Self::read_checkpoint_with_fallback(path)?;
+        let (ck, skipped) = Self::read_checkpoint_with_fallback(path)?;
         let engine = Self::launch_default(ck.config.clone())?;
         engine.apply_checkpoint(&ck)?;
+        engine
+            .global
+            .restore_corrupt_generations
+            .store(skipped, Ordering::Relaxed); // relaxed-ok: set once at restore, read for reports
         Ok(engine)
     }
 
@@ -1082,9 +1093,13 @@ impl StreamEngine {
     /// [`UStreamError::Checkpoint`] / [`UStreamError::Io`] when no
     /// generation under `base` decodes.
     pub fn restore_latest(base: &str) -> Result<Self> {
-        let ck = checkpoint::read_latest(base)?;
+        let (ck, rec) = checkpoint::read_latest_traced(base)?;
         let engine = Self::launch_default(ck.config.clone())?;
         engine.apply_checkpoint(&ck)?;
+        engine
+            .global
+            .restore_corrupt_generations
+            .store(rec.corrupt_skipped, Ordering::Relaxed); // relaxed-ok: set once at restore, read for reports
         Ok(engine)
     }
 
@@ -1095,20 +1110,41 @@ impl StreamEngine {
         path: &str,
         clusterer: impl Fn(usize) -> DynClusterer + Send + Sync + 'static,
     ) -> Result<Self> {
-        let ck = Self::read_checkpoint_with_fallback(path)?;
+        let (ck, skipped) = Self::read_checkpoint_with_fallback(path)?;
         let engine = Self::launch(ck.config.clone(), clusterer)?;
         engine.apply_checkpoint(&ck)?;
+        engine
+            .global
+            .restore_corrupt_generations
+            .store(skipped, Ordering::Relaxed); // relaxed-ok: set once at restore, read for reports
         Ok(engine)
     }
 
     /// Reads `path` directly, then falls back to the newest readable
     /// rotation generation (`path.N` + manifest). The *original* error is
     /// preserved when no generation decodes either, so a plainly corrupt
-    /// single-file checkpoint reports its own corruption.
-    fn read_checkpoint_with_fallback(path: &str) -> Result<EngineCheckpoint> {
+    /// single-file checkpoint reports its own corruption. The second
+    /// return is how many corrupt/unreadable files were skipped on the
+    /// way to the checkpoint that loaded (the bare file counts as one
+    /// when the fallback had to engage).
+    fn read_checkpoint_with_fallback(path: &str) -> Result<(EngineCheckpoint, u64)> {
         match checkpoint::read(path) {
-            Ok(ck) => Ok(ck),
-            Err(primary) => checkpoint::read_latest(path).map_err(|_| primary),
+            Ok(ck) => Ok((ck, 0)),
+            Err(primary) => {
+                // A bare file that exists but failed to decode is itself a
+                // skipped-corrupt generation; a merely-absent bare file is
+                // the normal rotated layout and counts as nothing. When the
+                // rotation scan already examined the bare path it counted
+                // that defect itself.
+                let bare_corrupt = std::fs::metadata(path).is_ok() as u64;
+                match checkpoint::read_latest_traced(path) {
+                    Ok((ck, rec)) => {
+                        let extra = if rec.scanned_bare { 0 } else { bare_corrupt };
+                        Ok((ck, rec.corrupt_skipped + extra))
+                    }
+                    Err(_) => Err(primary),
+                }
+            }
         }
     }
 
@@ -1761,6 +1797,10 @@ impl StreamEngine {
             snapshot_budget_evictions: budget.evictions,
             horizon_error_bound: budget.effective_error_bound,
             kernel_backend: umicro::kernel::simd::active().name(),
+            restore_corrupt_generations: self
+                .global
+                .restore_corrupt_generations
+                .load(Ordering::Relaxed), // relaxed-ok: set once at restore, read for reports
             per_shard,
         }
     }

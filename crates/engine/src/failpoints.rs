@@ -55,6 +55,24 @@ pub const NET_CORRUPT: &str = "net-corrupt";
 /// written, simulating link congestion.
 pub const NET_DELAY: &str = "net-delay";
 
+/// Crash the coordinator *before* the epoch's WAL record is written (and
+/// therefore before any ack): the site sees a dead connection, retries the
+/// same epoch against the resumed coordinator, and nothing was committed.
+pub const COORD_CRASH_PRE_WAL: &str = "coord-crash-pre-wal";
+/// Crash the coordinator *after* the WAL record is durable but *before*
+/// the ack is sent — the classic commit-vs-ack window. The resumed
+/// coordinator must treat the site's retry of the same epoch as a
+/// duplicate (re-ack, never double-apply).
+pub const COORD_CRASH_POST_WAL: &str = "coord-crash-post-wal";
+/// Tear the next coordinator WAL append: write roughly half the record,
+/// then crash. Replay must truncate the WAL at the torn record; the epoch
+/// was never acked, so the site retries it.
+pub const COORD_WAL_TORN: &str = "coord-wal-torn";
+/// Crash the coordinator mid-snapshot: a corrupt generation lands on disk
+/// and the WAL is *not* truncated. Recovery must skip (and count) the
+/// rotten generation and replay the full WAL on top of the previous one.
+pub const COORD_SNAPSHOT_TORN: &str = "coord-snapshot-torn";
+
 /// Per-site partition failpoint name: while armed, every send attempt from
 /// that site fails immediately, as if the link to the coordinator were cut.
 /// The armed count is the number of attempts that fail before the

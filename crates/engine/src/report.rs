@@ -153,6 +153,13 @@ pub struct EngineReport {
     /// `portable`, `avx2`, `avx512`, `neon`) — operators use this to
     /// confirm which compute path production is actually on.
     pub kernel_backend: &'static str,
+    /// Corrupt or unreadable checkpoint generations the restore path had
+    /// to skip when this engine was rebuilt from disk (0 for engines that
+    /// never restored, or restored from the newest generation cleanly).
+    /// Non-zero means the checkpoint directory is rotting while the
+    /// fallback still succeeds — fix the disk before the last good
+    /// generation goes too.
+    pub restore_corrupt_generations: u64,
     /// Per-shard breakdown (one entry per shard worker).
     pub per_shard: Vec<ShardStats>,
 }

@@ -15,6 +15,7 @@
 //! | `missing-docs`   | public items of `umicro`/`ustream-engine` are documented |
 //! | `blocking-io`    | raw blocking socket I/O in `crates/serve` goes through the deadline funnel |
 //! | `net-funnel`     | `std::net` reads/writes in the networked crates stay inside the deadline-armed io funnels |
+//! | `wal-funnel`     | durable-file writes in `crates/distrib` stay inside the fsync-and-checksum WAL funnel |
 //! | `safety-comment` | `unsafe` stays inside `kernel::simd`, every site carries `// SAFETY:` |
 //! | `suppression`    | every `lint:allow` carries a reason, names real rules |
 //!
@@ -71,6 +72,7 @@ pub const RULE_IDS: &[&str] = &[
     "missing-docs",
     "blocking-io",
     "net-funnel",
+    "wal-funnel",
     "safety-comment",
     "suppression",
 ];
@@ -91,6 +93,7 @@ pub fn run_all(ctxs: &[FileCtx]) -> Vec<Finding> {
         rule_missing_docs(ctx, ctxs, &mut raw);
         rule_blocking_io(ctx, &mut raw);
         rule_net_funnel(ctx, &mut raw);
+        rule_wal_funnel(ctx, &mut raw);
         rule_safety_comment(ctx, &mut raw);
         raw.retain(|f| !ctx.suppressed(f.rule, f.line));
         rule_suppression_hygiene(ctx, &mut raw);
@@ -671,6 +674,64 @@ fn rule_net_funnel(ctx: &FileCtx, out: &mut Vec<Finding>) {
     }
 }
 
+/// The fsync-and-checksum durability funnel: the only file in
+/// `crates/distrib` sanctioned to open, fsync, or truncate durable files
+/// directly. Everything else goes through it (or through
+/// `engine::checkpoint`'s atomic writers), so the WAL-before-ack ordering
+/// is auditable in one place.
+const WAL_FUNNELS: &[&str] = &["crates/distrib/src/wal.rs"];
+
+/// R13 `wal-funnel` — durable-file plumbing in `crates/distrib` outside
+/// the WAL funnel. The recovery proof rests on two file-level facts:
+/// every record is fsynced before its ack, and truncation rewinds the
+/// write cursor. Both live in `wal.rs`; a stray `OpenOptions`, `fsync`,
+/// or `set_len` elsewhere in the crate re-opens the torn-write surface
+/// the funnel closed. `engine::checkpoint`'s atomic rotated writers
+/// remain fine to call — this rule polices raw file handles, not the
+/// audited helpers.
+fn rule_wal_funnel(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if !ctx.path.starts_with("crates/distrib/src/") || WAL_FUNNELS.contains(&ctx.path.as_str()) {
+        return;
+    }
+    const METHODS: &[&str] = &["sync_all", "sync_data", "set_len"];
+    for k in 0..ctx.sig.len() {
+        let Some(name) = ident_at(ctx, k) else {
+            continue;
+        };
+        // `OpenOptions` anywhere, `File::create`/`fs::write`/`fs::rename`/
+        // `fs::remove_file` as paths, fsync/truncate as method calls.
+        let hit = name == "OpenOptions"
+            || (k > 0
+                && METHODS.contains(&name)
+                && is_op(ctx, k - 1, ".")
+                && is_op(ctx, k + 1, "("))
+            || (k > 1
+                && is_op(ctx, k - 1, "::")
+                && match ident_at(ctx, k - 2) {
+                    Some("File") => name == "create" || name == "options",
+                    Some("fs") => matches!(name, "write" | "rename" | "remove_file"),
+                    _ => false,
+                });
+        if !hit {
+            continue;
+        }
+        let t = tok(ctx, k);
+        if ctx.in_test(t.line) {
+            continue;
+        }
+        push(
+            out,
+            ctx,
+            t,
+            "wal-funnel",
+            format!("durable-file operation `{name}` outside the WAL funnel"),
+            "route through distrib's wal module (fsync-before-ack and \
+             cursor-safe truncation live there) or engine::checkpoint's \
+             atomic writers, or suppress with the durability proof",
+        );
+    }
+}
+
 /// R9 `safety-comment` — `unsafe` is confined to the sanctioned
 /// `kernel::simd` module, and every occurrence there must carry an
 /// adjacent `// SAFETY:` justification (same line, or in the comment /
@@ -742,7 +803,7 @@ fn rule_suppression_hygiene(ctx: &FileCtx, out: &mut Vec<Finding>) {
                     message: format!("`lint:allow` names unknown rule `{r}`"),
                     hint: "valid ids: hot-panic, float-eq, nan-ord, relaxed-atomic, \
                            nondet-iter, no-sleep, lossy-cast, missing-docs, blocking-io, \
-                           net-funnel, safety-comment",
+                           net-funnel, wal-funnel, safety-comment",
                 });
             }
         }

@@ -1,0 +1,33 @@
+// wal-funnel fixture: durable-file plumbing in distrib outside wal.rs.
+
+fn bad_open(path: &str) {
+    let _f = std::fs::OpenOptions::new().append(true).open(path).ok();
+}
+
+fn bad_fsync(file: &std::fs::File) {
+    file.sync_data().ok();
+    file.sync_all().ok();
+}
+
+fn bad_truncate(file: &std::fs::File) {
+    file.set_len(0).ok();
+}
+
+fn bad_paths(path: &str) {
+    let _ = std::fs::File::create(path);
+    let _ = std::fs::write(path, b"x");
+    let _ = std::fs::rename(path, "other");
+    let _ = std::fs::remove_file(path);
+}
+
+fn suppressed(file: &std::fs::File) {
+    // lint:allow(wal-funnel): read-only probe, no durability ordering at stake
+    file.sync_data().ok();
+}
+
+#[cfg(test)]
+mod tests {
+    fn in_tests_is_fine(path: &str) {
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -142,6 +142,30 @@ fn net_funnel_fixture_fires_outside_the_funnels_only() {
 }
 
 #[test]
+fn wal_funnel_fixture_fires_outside_the_funnel_only() {
+    let f = fixture_findings();
+    // OpenOptions, fsyncs, truncation, and the path-call family, all in
+    // distrib outside wal.rs; the suppressed site and the `#[cfg(test)]`
+    // block stay quiet.
+    assert_file_findings(
+        &f,
+        "crates/distrib/src/wal_rogue.rs",
+        &[
+            (4, "wal-funnel"),
+            (8, "wal-funnel"),
+            (9, "wal-funnel"),
+            (13, "wal-funnel"),
+            (17, "wal-funnel"),
+            (18, "wal-funnel"),
+            (19, "wal-funnel"),
+            (20, "wal-funnel"),
+        ],
+    );
+    // The durability funnel itself is exempt by path.
+    assert_file_findings(&f, "crates/distrib/src/wal.rs", &[]);
+}
+
+#[test]
 fn safety_comment_fixture_fires_on_bare_and_rogue_unsafe() {
     let f = fixture_findings();
     // Sanctioned module: justified sites pass (including through an

@@ -216,6 +216,14 @@ struct Inner {
     /// Lock order: `sites` → `horizons` → `wal` — appends happen under
     /// the `sites` guard so a snapshot that exports state and truncates
     /// the log under that same guard can never lose an acked epoch.
+    ///
+    /// The cost is deliberate: every site's apply serializes behind one
+    /// fsync, so durable-coordinator throughput is O(fsync) across all
+    /// sites. Correctness only needs ack-after-fsync, not
+    /// one-fsync-per-ack — group commit (batch appends under the guard,
+    /// one fsync outside it with a sequence check, then ack the batch) is
+    /// the known escape hatch if multi-site throughput ever outweighs the
+    /// simplicity of this ordering.
     wal: Mutex<Option<Wal>>,
     /// Next rotation ordinal for [`checkpoint::write_rotated_bytes`].
     snapshot_seq: AtomicU64,
@@ -239,10 +247,30 @@ impl Coordinator {
     /// durability policy, starts a fresh WAL (resuming the snapshot
     /// rotation ordinal past any surviving generations); use
     /// [`Self::resume`] to *recover* previous state instead.
+    ///
+    /// # Errors
+    ///
+    /// [`UStreamError::InvalidConfig`] when the durability base already
+    /// holds a non-empty WAL: that tail is the only copy of acked epochs
+    /// a predecessor never snapshotted, and truncating it while its stale
+    /// snapshot generations survive would hand a later [`Self::resume`] a
+    /// mixed-history recovery. The operator must resume or move the WAL
+    /// aside explicitly.
     pub fn bind<A: ToSocketAddrs>(addr: A, cfg: CoordinatorConfig) -> Result<Self> {
         let inner = Inner::new(cfg);
         if let Some(d) = inner.cfg.durability.clone() {
-            *inner.wal.lock() = Some(Wal::create(&d.wal_path())?);
+            let wal_path = d.wal_path();
+            if let Ok(meta) = std::fs::metadata(&wal_path) {
+                if meta.len() > 0 {
+                    return Err(UStreamError::InvalidConfig(format!(
+                        "{wal_path} holds {} bytes of acked epochs a previous coordinator \
+                         never snapshotted; start with --resume to recover them, or move \
+                         the WAL aside to deliberately start fresh",
+                        meta.len()
+                    )));
+                }
+            }
+            *inner.wal.lock() = Some(Wal::create(&wal_path)?);
             let next = checkpoint::latest_manifest_seq(&d.base).map_or(0, |s| s + 1);
             self::store_relaxed(&inner.snapshot_seq, next);
         }

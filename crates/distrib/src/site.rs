@@ -284,7 +284,18 @@ impl Site {
         self.transport.set_addr(coordinator_addr);
         let before_seq = self.acked_seq;
         let before_map = std::mem::take(&mut self.acked);
-        self.handshake()?;
+        if let Err(e) = self.handshake() {
+            // The handshake exhausted its retries without mutating any
+            // session state, so put the shadow map back — losing it here
+            // would make a *later* successful repoint diff against an
+            // empty map and never ship removals of clusters the
+            // coordinator still holds. `pending_full` is a safety net for
+            // callers that ignore this error and keep syncing: a full
+            // frame is always exact, whatever the far end recovered.
+            self.acked = before_map;
+            self.pending_full = true;
+            return Err(e);
+        }
         if self.acked_seq == before_seq && before_seq > 0 {
             // The coordinator confirmed the exact epoch this session
             // already had acked — it recovered our state bit-for-bit, so

@@ -8,7 +8,7 @@ use std::collections::BTreeMap;
 use std::time::Duration;
 use umicro::{Ecf, UMicroConfig};
 use ustream_common::backoff::splitmix64;
-use ustream_common::UncertainPoint;
+use ustream_common::{UStreamError, UncertainPoint};
 use ustream_distrib::{
     wal, Coordinator, CoordinatorConfig, DeltaFrame, DurabilityPolicy, RetryPolicy, Site,
     SiteConfig, Wal,
@@ -291,6 +291,126 @@ fn corrupt_newest_generation_falls_back_and_full_resync_converges() {
         final_stats.iter().any(|s| s.full_resyncs > 0),
         "losing the newest generation must engage the full-resync fallback"
     );
+    coord.shutdown();
+    cleanup_base(&base);
+}
+
+/// A failover attempt that dies mid-handshake must not eat the site's
+/// delta state: the acked shadow map has to survive so a *later*
+/// successful repoint still ships removals of clusters the coordinator
+/// holds. The tiny `n_micro` forces constant eviction churn, so losing
+/// the map would leave ghost clusters in the recovered view and break
+/// the bit-for-bit assertion.
+#[test]
+fn failed_repoint_keeps_removals_flowing() {
+    // Runaway geometric drift: every point lands far outside the
+    // boundary of every retained cluster, so each insert mints a fresh
+    // cluster id and LRU-evicts an old one — removals ship in every
+    // epoch, which is exactly the traffic a lost shadow map can never
+    // reproduce.
+    fn churn_point(t: u64, dims: usize) -> UncertainPoint {
+        let v = 1.5f64.powi(t as i32);
+        UncertainPoint::new(vec![v; dims], vec![0.3; dims], t, None)
+    }
+    let (n_sites, n_micro, dims) = (2usize, 3usize, 2usize);
+    let points: Vec<_> = (1..=300u64).map(|t| churn_point(t, dims)).collect();
+    let reference = reference_maps(&points, n_sites, n_micro, dims);
+    let base = temp_base("repoint-fail");
+    cleanup_base(&base);
+
+    let coord = Coordinator::bind("127.0.0.1:0", durable_cfg(&base, 4)).unwrap();
+    let addr = coord.addr().to_string();
+    let mut sites: Vec<Site> = (0..n_sites)
+        .map(|i| Site::attach(site_engine(n_micro, dims), fast_cfg(i as u64, &addr, 20)).unwrap())
+        .collect();
+
+    let half = points.len() / 2;
+    for (k, p) in points.iter().take(half).enumerate() {
+        sites[k % n_sites].push(p.clone()).unwrap();
+    }
+    for site in sites.iter_mut() {
+        site.sync().unwrap();
+    }
+    coord.kill();
+
+    // Keep clustering through the outage: the churny engines evict
+    // clusters the dead coordinator still holds acked, so the eventual
+    // recovery *must* ship removals for them — exactly what an eaten
+    // shadow map can never do.
+    let two_thirds = 2 * points.len() / 3;
+    for (k, p) in points.iter().enumerate().take(two_thirds).skip(half) {
+        sites[k % n_sites].push(p.clone()).unwrap();
+    }
+
+    let coord = Coordinator::resume("127.0.0.1:0", durable_cfg(&base, 4)).unwrap();
+    let addr2 = coord.addr().to_string();
+    for site in sites.iter_mut() {
+        // First failover attempt targets a dead port and exhausts its
+        // retries; the site must come through with its shadow map intact.
+        let err = site.repoint("127.0.0.1:1").unwrap_err();
+        assert!(
+            matches!(err, UStreamError::RetriesExhausted { .. }),
+            "unexpected repoint failure: {err:?}"
+        );
+        site.repoint(&addr2).unwrap();
+    }
+    for (k, p) in points.iter().enumerate().skip(two_thirds) {
+        sites[k % n_sites].push(p.clone()).unwrap();
+    }
+    let final_stats: Vec<_> = sites.into_iter().map(|s| s.finish().unwrap()).collect();
+
+    assert_exact(&coord, &reference);
+    assert_eq!(coord.stats().total_points, points.len() as u64);
+    for (i, st) in final_stats.iter().enumerate() {
+        assert_eq!(
+            st.full_resyncs, 0,
+            "site {i}: a failed repoint followed by an exact recovery must \
+             not degrade into a full resync"
+        );
+    }
+    coord.shutdown();
+    cleanup_base(&base);
+}
+
+/// A fresh (non-resume) durable start may not destroy a predecessor's
+/// un-snapshotted WAL tail: bind refuses until the operator resumes (or
+/// moves the WAL aside). After a clean shutdown truncates the WAL, a
+/// fresh bind is allowed again.
+#[test]
+fn bind_refuses_non_empty_wal_until_resumed() {
+    let base = temp_base("bind-refuse");
+    cleanup_base(&base);
+    let wal_path = format!("{base}.wal");
+    let mut w = Wal::create(&wal_path).unwrap();
+    w.append(&DeltaFrame {
+        site: 0,
+        seq: 1,
+        full: true,
+        updates: BTreeMap::new(),
+        removes: Vec::new(),
+        points: 0,
+        last_tick: 1,
+    })
+    .unwrap();
+    drop(w);
+
+    let err = match Coordinator::bind("127.0.0.1:0", durable_cfg(&base, 4)) {
+        Err(e) => e,
+        Ok(_) => panic!("bind over a non-empty WAL must refuse"),
+    };
+    assert!(
+        matches!(err, UStreamError::InvalidConfig(_)),
+        "unexpected bind failure: {err:?}"
+    );
+    let replayed = wal::replay(&wal_path).unwrap();
+    assert_eq!(replayed.records, 1, "the refusal must not touch the WAL");
+
+    let coord = Coordinator::resume("127.0.0.1:0", durable_cfg(&base, 4)).unwrap();
+    let rec = coord.stats().recovery.clone().unwrap();
+    assert_eq!(rec.wal_records_replayed, 1);
+    coord.shutdown(); // final snapshot + WAL truncation
+
+    let coord = Coordinator::bind("127.0.0.1:0", durable_cfg(&base, 4)).unwrap();
     coord.shutdown();
     cleanup_base(&base);
 }

@@ -21,8 +21,10 @@
 //! The checksum is FNV-1a (64-bit) over the payload, so any torn or
 //! bit-flipped write is detected at load time and reported as
 //! [`UStreamError::Checkpoint`] — never undefined behaviour, never a
-//! half-restored engine. Writes go to `<path>.tmp` first and are renamed
-//! into place, so a crash mid-write leaves the previous checkpoint intact.
+//! half-restored engine. Writes go to `<path>.tmp` first, are fsynced,
+//! and then renamed into place (with the parent directory synced after),
+//! so a crash mid-write leaves the previous checkpoint intact and a
+//! completed write survives power loss.
 
 use crate::config::EngineConfig;
 use serde::{Deserialize, Serialize};
@@ -241,13 +243,32 @@ impl EngineCheckpoint {
     }
 }
 
-/// Writes `bytes` to `path` atomically: the full stream goes to
-/// `<path>.tmp`, which is then renamed over `path`. A crash mid-write
-/// leaves the previous file intact.
+/// Writes `bytes` to `path` atomically *and durably*: the full stream
+/// goes to `<path>.tmp`, which is fsynced and then renamed over `path`,
+/// followed by an fsync of the parent directory. A crash mid-write leaves
+/// the previous file intact; once this returns, the new file survives
+/// power loss. The durability matters to callers that delete their redo
+/// state when this returns — the coordinator truncates its epoch WAL
+/// right after snapshotting through here, so a snapshot that only lives
+/// in the page cache would silently break the "every acked epoch
+/// survives" invariant.
 pub fn write_atomic_bytes(path: &str, bytes: &[u8]) -> Result<()> {
     let tmp = format!("{path}.tmp");
-    fs::write(&tmp, bytes)?;
+    let mut file = fs::File::create(&tmp)?;
+    std::io::Write::write_all(&mut file, bytes)?;
+    file.sync_all()?;
+    drop(file);
     fs::rename(&tmp, path)?;
+    // The rename itself lives in the directory entry: without syncing the
+    // directory, power loss can roll the whole rename back.
+    #[cfg(unix)]
+    {
+        let parent = std::path::Path::new(path)
+            .parent()
+            .filter(|p| !p.as_os_str().is_empty())
+            .unwrap_or_else(|| std::path::Path::new("."));
+        fs::File::open(parent)?.sync_all()?;
+    }
     Ok(())
 }
 
@@ -317,11 +338,7 @@ fn write_manifest(base: &str, entries: &[(u64, u64)]) -> Result<()> {
     for (slot, seq) in entries {
         text.push_str(&format!("{slot} {seq}\n"));
     }
-    let path = manifest_path(base);
-    let tmp = format!("{path}.tmp");
-    fs::write(&tmp, text)?;
-    fs::rename(&tmp, &path)?;
-    Ok(())
+    write_atomic_bytes(&manifest_path(base), text.as_bytes())
 }
 
 /// Writes checkpoint number `seq` into its rotation slot

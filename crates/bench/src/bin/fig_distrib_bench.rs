@@ -184,10 +184,7 @@ fn recovery_run(sc: &RecoveryScenario<'_>, resume: bool) -> RecoveryOutcome {
         Coordinator::bind("127.0.0.1:0", CoordinatorConfig::default()).expect("coordinator binds")
     };
     let addr2 = coord.addr().to_string();
-    let wal_records_replayed = coord
-        .stats()
-        .recovery
-        .map_or(0, |r| r.wal_records_replayed);
+    let wal_records_replayed = coord.stats().recovery.map_or(0, |r| r.wal_records_replayed);
     for site in sites.iter_mut() {
         site.repoint(&addr2).expect("site failover");
     }

@@ -14,6 +14,7 @@ pub mod backoff;
 pub mod error;
 pub mod feature;
 pub mod label;
+pub mod ordered;
 pub mod point;
 pub mod quantile;
 pub mod stats;

@@ -1,0 +1,445 @@
+//! Rank-ordered locks: the runtime half of the workspace lock discipline.
+//!
+//! The static half lives in `ustream-lint` (`lock-order` /
+//! `blocking-under-lock`), which reasons over token streams and therefore
+//! cannot see through closures invoked under a caller-held lock, guards
+//! moved into collections, or dynamically-chosen lock sets. This module
+//! closes those blind spots at runtime: every [`OrderedMutex`] /
+//! [`OrderedRwLock`] carries a `(rank, index)` position in the canonical
+//! workspace lock order, and — under `cfg(test)` or the `lock-audit`
+//! feature — each thread records the stack of positions it currently
+//! holds. Acquiring a lock whose position does not strictly exceed every
+//! held position panics immediately with the witness stack, turning a
+//! latent deadlock into a deterministic test failure.
+//!
+//! The canonical order (documented in DESIGN.md §12):
+//!
+//! | rank | lock                                      |
+//! |-----:|-------------------------------------------|
+//! |   10 | `serve::bucket` (index = bucket position) |
+//! |   20 | `distrib::sites`                          |
+//! |   30 | `distrib::horizons`                       |
+//! |   40 | `distrib::wal`                            |
+//!
+//! Same-rank locks are ordered by `index`, which is how the serve
+//! registry's lock-all sweep (ascending bucket index) stays legal while
+//! any two buckets taken in the wrong order trip the audit.
+//!
+//! Outside test/audit builds the wrappers compile down to the plain
+//! `parking_lot` primitives plus three dormant fields — no thread-local
+//! traffic, no branches on the lock path.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// Canonical ranks for the workspace lock order. Leave gaps so future
+/// locks can slot between existing ones without renumbering.
+pub mod ranks {
+    /// A tenant-registry bucket in `ustream-serve` (per-bucket `index`).
+    pub const SERVE_BUCKET: u32 = 10;
+    /// The coordinator's site-view map in `ustream-distrib`.
+    pub const DISTRIB_SITES: u32 = 20;
+    /// The coordinator's merged horizon tracker in `ustream-distrib`.
+    pub const DISTRIB_HORIZONS: u32 = 30;
+    /// The coordinator's write-ahead log handle in `ustream-distrib`.
+    pub const DISTRIB_WAL: u32 = 40;
+}
+
+#[cfg(any(test, feature = "lock-audit"))]
+mod audit {
+    use std::cell::RefCell;
+
+    thread_local! {
+        /// Positions this thread currently holds, in acquisition order.
+        static HELD: RefCell<Vec<(u32, u32, &'static str)>> =
+            const { RefCell::new(Vec::new()) };
+    }
+
+    /// Proof of a recorded acquisition; dropping it un-records the hold.
+    /// Guards may be dropped out of acquisition order, so release removes
+    /// the most recent matching entry rather than popping the top.
+    pub struct Token {
+        rank: u32,
+        index: u32,
+        name: &'static str,
+    }
+
+    pub fn acquire(rank: u32, index: u32, name: &'static str) -> Token {
+        HELD.with(|cell| {
+            let mut held = cell.borrow_mut();
+            let ceiling = held.iter().map(|&(r, i, _)| (r, i)).max();
+            if let Some((r, i)) = ceiling {
+                if (rank, index) <= (r, i) {
+                    let stack = held
+                        .iter()
+                        .map(|&(r, i, n)| format!("`{n}` ({r}.{i})"))
+                        .collect::<Vec<_>>()
+                        .join(" -> ");
+                    drop(held); // release the borrow before unwinding
+                    panic!(
+                        "lock-order inversion: thread acquired `{name}` \
+                         ({rank}.{index}) while holding [{stack}]; \
+                         acquisitions must strictly ascend the workspace \
+                         order serve::bucket(10) -> distrib::sites(20) -> \
+                         distrib::horizons(30) -> distrib::wal(40)"
+                    );
+                }
+            }
+            held.push((rank, index, name));
+        });
+        Token { rank, index, name }
+    }
+
+    impl Drop for Token {
+        fn drop(&mut self) {
+            HELD.with(|cell| {
+                let mut held = cell.borrow_mut();
+                if let Some(at) = held
+                    .iter()
+                    .rposition(|&(r, i, n)| r == self.rank && i == self.index && n == self.name)
+                {
+                    held.remove(at);
+                }
+            });
+        }
+    }
+}
+
+/// A [`parking_lot::Mutex`] pinned to a position in the workspace lock
+/// order. `lock()` panics (in audited builds) if this position does not
+/// strictly exceed every lock the calling thread already holds.
+pub struct OrderedMutex<T: ?Sized> {
+    name: &'static str,
+    rank: u32,
+    index: u32,
+    inner: parking_lot::Mutex<T>,
+}
+
+impl<T> OrderedMutex<T> {
+    /// Creates a mutex at `(rank, 0)` in the lock order.
+    pub const fn new(name: &'static str, rank: u32, value: T) -> Self {
+        Self::with_index(name, rank, 0, value)
+    }
+
+    /// Creates a mutex at `(rank, index)` — use a distinct index for each
+    /// member of a same-rank family (e.g. registry buckets).
+    pub const fn with_index(name: &'static str, rank: u32, index: u32, value: T) -> Self {
+        Self {
+            name,
+            rank,
+            index,
+            inner: parking_lot::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the guarded value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> OrderedMutex<T> {
+    /// The human-readable lock name used in audit witnesses.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// This lock's `(rank, index)` position in the workspace order.
+    pub fn position(&self) -> (u32, u32) {
+        (self.rank, self.index)
+    }
+
+    /// Acquires the lock, auditing the acquisition order in
+    /// test / `lock-audit` builds.
+    pub fn lock(&self) -> OrderedMutexGuard<'_, T> {
+        #[cfg(any(test, feature = "lock-audit"))]
+        let token = audit::acquire(self.rank, self.index, self.name);
+        OrderedMutexGuard {
+            inner: self.inner.lock(),
+            #[cfg(any(test, feature = "lock-audit"))]
+            _token: token,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow), so no
+    /// ordering audit applies.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for OrderedMutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OrderedMutex")
+            .field("name", &self.name)
+            .field("rank", &self.rank)
+            .field("index", &self.index)
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+/// RAII guard for [`OrderedMutex`]; releases the audit record on drop.
+pub struct OrderedMutexGuard<'a, T: ?Sized> {
+    inner: parking_lot::MutexGuard<'a, T>,
+    #[cfg(any(test, feature = "lock-audit"))]
+    _token: audit::Token,
+}
+
+impl<T: ?Sized> Deref for OrderedMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for OrderedMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+/// A [`parking_lot::RwLock`] pinned to a position in the workspace lock
+/// order. Read and write guards participate identically in the audit: a
+/// held read guard forbids acquiring any lower-or-equal position.
+pub struct OrderedRwLock<T: ?Sized> {
+    name: &'static str,
+    rank: u32,
+    index: u32,
+    inner: parking_lot::RwLock<T>,
+}
+
+impl<T> OrderedRwLock<T> {
+    /// Creates a lock at `(rank, 0)` in the lock order.
+    pub const fn new(name: &'static str, rank: u32, value: T) -> Self {
+        Self::with_index(name, rank, 0, value)
+    }
+
+    /// Creates a lock at `(rank, index)` in the lock order.
+    pub const fn with_index(name: &'static str, rank: u32, index: u32, value: T) -> Self {
+        Self {
+            name,
+            rank,
+            index,
+            inner: parking_lot::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the guarded value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> OrderedRwLock<T> {
+    /// The human-readable lock name used in audit witnesses.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// This lock's `(rank, index)` position in the workspace order.
+    pub fn position(&self) -> (u32, u32) {
+        (self.rank, self.index)
+    }
+
+    /// Acquires a shared read guard, auditing the acquisition order.
+    pub fn read(&self) -> OrderedReadGuard<'_, T> {
+        #[cfg(any(test, feature = "lock-audit"))]
+        let token = audit::acquire(self.rank, self.index, self.name);
+        OrderedReadGuard {
+            inner: self.inner.read(),
+            #[cfg(any(test, feature = "lock-audit"))]
+            _token: token,
+        }
+    }
+
+    /// Acquires an exclusive write guard, auditing the acquisition order.
+    pub fn write(&self) -> OrderedWriteGuard<'_, T> {
+        #[cfg(any(test, feature = "lock-audit"))]
+        let token = audit::acquire(self.rank, self.index, self.name);
+        OrderedWriteGuard {
+            inner: self.inner.write(),
+            #[cfg(any(test, feature = "lock-audit"))]
+            _token: token,
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for OrderedRwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OrderedRwLock")
+            .field("name", &self.name)
+            .field("rank", &self.rank)
+            .field("index", &self.index)
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+/// Shared read guard for [`OrderedRwLock`].
+pub struct OrderedReadGuard<'a, T: ?Sized> {
+    inner: parking_lot::RwLockReadGuard<'a, T>,
+    #[cfg(any(test, feature = "lock-audit"))]
+    _token: audit::Token,
+}
+
+impl<T: ?Sized> Deref for OrderedReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+/// Exclusive write guard for [`OrderedRwLock`].
+pub struct OrderedWriteGuard<'a, T: ?Sized> {
+    inner: parking_lot::RwLockWriteGuard<'a, T>,
+    #[cfg(any(test, feature = "lock-audit"))]
+    _token: audit::Token,
+}
+
+impl<T: ?Sized> Deref for OrderedWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for OrderedWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ranks;
+    use super::{OrderedMutex, OrderedRwLock};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn ascending_acquisition_is_allowed() {
+        let sites = OrderedMutex::new("distrib::sites", ranks::DISTRIB_SITES, 1);
+        let wal = OrderedMutex::new("distrib::wal", ranks::DISTRIB_WAL, 2);
+        let a = sites.lock();
+        let b = wal.lock();
+        assert_eq!(*a + *b, 3);
+    }
+
+    #[test]
+    fn same_rank_ascending_index_is_allowed() {
+        let b0 = OrderedMutex::with_index("serve::bucket", ranks::SERVE_BUCKET, 0, ());
+        let b1 = OrderedMutex::with_index("serve::bucket", ranks::SERVE_BUCKET, 1, ());
+        let _g0 = b0.lock();
+        let _g1 = b1.lock();
+    }
+
+    #[test]
+    fn inverted_acquisition_panics_with_witness() {
+        let sites = OrderedMutex::new("distrib::sites", ranks::DISTRIB_SITES, ());
+        let wal = OrderedMutex::new("distrib::wal", ranks::DISTRIB_WAL, ());
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            let _w = wal.lock();
+            let _s = sites.lock(); // 20 after 40: inversion
+        }))
+        .expect_err("inverted acquisition must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| String::from("<non-string panic>"));
+        assert!(msg.contains("lock-order inversion"), "got: {msg}");
+        assert!(msg.contains("`distrib::sites` (20.0)"), "got: {msg}");
+        assert!(msg.contains("`distrib::wal` (40.0)"), "got: {msg}");
+    }
+
+    #[test]
+    fn same_rank_descending_index_panics() {
+        let b0 = OrderedMutex::with_index("serve::bucket", ranks::SERVE_BUCKET, 0, ());
+        let b1 = OrderedMutex::with_index("serve::bucket", ranks::SERVE_BUCKET, 1, ());
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            let _g1 = b1.lock();
+            let _g0 = b0.lock();
+        }))
+        .expect_err("descending same-rank index must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| String::from("<non-string panic>"));
+        assert!(msg.contains("(10.1)"), "got: {msg}");
+    }
+
+    #[test]
+    fn reacquiring_the_same_position_panics() {
+        let wal = OrderedMutex::new("distrib::wal", ranks::DISTRIB_WAL, ());
+        let _g = wal.lock();
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            let _again = wal.lock(); // would self-deadlock; audit fires first
+        }))
+        .expect_err("re-entrant acquisition must panic");
+        drop(err);
+    }
+
+    #[test]
+    fn out_of_order_drop_unwinds_the_record() {
+        let sites = OrderedMutex::new("distrib::sites", ranks::DISTRIB_SITES, ());
+        let horizons = OrderedMutex::new("distrib::horizons", ranks::DISTRIB_HORIZONS, ());
+        let wal = OrderedMutex::new("distrib::wal", ranks::DISTRIB_WAL, ());
+        let s = sites.lock();
+        let h = horizons.lock();
+        drop(s); // released before the later acquisition
+        let w = wal.lock();
+        drop(h);
+        drop(w);
+        // All records gone: re-starting from the bottom must be legal.
+        let _s = sites.lock();
+    }
+
+    #[test]
+    fn release_restores_lower_ranks() {
+        let sites = OrderedMutex::new("distrib::sites", ranks::DISTRIB_SITES, ());
+        let wal = OrderedMutex::new("distrib::wal", ranks::DISTRIB_WAL, ());
+        {
+            let _w = wal.lock();
+        }
+        // The wal guard is gone, so rank 20 is reachable again.
+        let _s = sites.lock();
+    }
+
+    #[test]
+    fn rwlock_guards_participate_in_the_order() {
+        let horizons = OrderedRwLock::new("distrib::horizons", ranks::DISTRIB_HORIZONS, 7);
+        let sites = OrderedMutex::new("distrib::sites", ranks::DISTRIB_SITES, ());
+        let r = horizons.read();
+        assert_eq!(*r, 7);
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            let _s = sites.lock(); // 20 under a held 30 read guard
+        }))
+        .expect_err("read guards must pin the order too");
+        drop(err);
+        drop(r);
+        let mut w = horizons.write();
+        *w = 8;
+        assert_eq!(*w, 8);
+    }
+
+    #[test]
+    fn audit_state_is_per_thread() {
+        use std::sync::Arc;
+        let wal = Arc::new(OrderedMutex::new("distrib::wal", ranks::DISTRIB_WAL, ()));
+        let sites = Arc::new(OrderedMutex::new(
+            "distrib::sites",
+            ranks::DISTRIB_SITES,
+            (),
+        ));
+        let _w = wal.lock();
+        // Another thread holds nothing, so it may start from the bottom
+        // even while this thread sits at the top of the order.
+        let (s2, w2) = (Arc::clone(&sites), Arc::clone(&wal));
+        std::thread::spawn(move || {
+            let _s = s2.lock();
+            drop(_s);
+            drop(w2);
+        })
+        .join()
+        .expect("sibling thread must not trip the audit");
+    }
+}

@@ -44,7 +44,6 @@ use crate::protocol::{
     CoordStats, DeltaFrame, SiteHealth, SiteRequest, MAX_SITES,
 };
 use crate::wal::{self, Wal};
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -53,6 +52,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use umicro::Ecf;
+use ustream_common::ordered::{ranks, OrderedMutex};
 use ustream_common::{Result, UStreamError};
 use ustream_engine::checkpoint;
 use ustream_snapshot::{ClusterSetSnapshot, HorizonTracker, PyramidConfig};
@@ -208,8 +208,8 @@ struct Counters {
 
 struct Inner {
     cfg: CoordinatorConfig,
-    sites: Mutex<BTreeMap<u64, SiteView>>,
-    horizons: Mutex<HorizonTracker<Ecf>>,
+    sites: OrderedMutex<BTreeMap<u64, SiteView>>,
+    horizons: OrderedMutex<HorizonTracker<Ecf>>,
     counters: Counters,
     stopping: AtomicBool,
     /// The epoch-commit WAL (`None` without a durability policy).
@@ -224,7 +224,7 @@ struct Inner {
     /// one fsync outside it with a sequence check, then ack the batch) is
     /// the known escape hatch if multi-site throughput ever outweighs the
     /// simplicity of this ordering.
-    wal: Mutex<Option<Wal>>,
+    wal: OrderedMutex<Option<Wal>>,
     /// Next rotation ordinal for [`checkpoint::write_rotated_bytes`].
     snapshot_seq: AtomicU64,
     /// Durable snapshot generations written by this process.
@@ -430,12 +430,16 @@ impl Drop for Coordinator {
 impl Inner {
     fn new(cfg: CoordinatorConfig) -> Self {
         Self {
-            horizons: Mutex::new(HorizonTracker::new(cfg.pyramid)),
+            horizons: OrderedMutex::new(
+                "distrib::horizons",
+                ranks::DISTRIB_HORIZONS,
+                HorizonTracker::new(cfg.pyramid),
+            ),
             cfg,
-            sites: Mutex::new(BTreeMap::new()),
+            sites: OrderedMutex::new("distrib::sites", ranks::DISTRIB_SITES, BTreeMap::new()),
             counters: Counters::default(),
             stopping: AtomicBool::new(false),
-            wal: Mutex::new(None),
+            wal: OrderedMutex::new("distrib::wal", ranks::DISTRIB_WAL, None),
             snapshot_seq: AtomicU64::new(0),
             snapshots_written: AtomicU64::new(0),
             last_snapshot_epoch: AtomicU64::new(0),
@@ -512,6 +516,7 @@ impl Inner {
         // before the ack exists. A failure here is a crash, not an error
         // reply — the record may be torn, so nothing may be promised.
         if let Some(w) = self.wal.lock().as_mut() {
+            // lint:allow(blocking-under-lock): commit point — the fsync must complete under `wal` (and the caller's `sites`) so no ack can precede durability; the stall is the protocol's documented cost
             if w.append(&frame).is_err() {
                 self.crash();
                 return None;
@@ -655,8 +660,10 @@ impl Inner {
                 "torn snapshot write (failpoint)".into(),
             ));
         }
+        // lint:allow(blocking-under-lock): snapshot fsync stays under `sites` deliberately — appends also run under `sites`, so no acked epoch can land between this export and the truncate below
         checkpoint::write_rotated_bytes(&d.base, d.generations, seq, &bytes)?;
         if let Some(w) = self.wal.lock().as_mut() {
+            // lint:allow(blocking-under-lock): WAL truncation is fenced by the same `sites` guard as the snapshot write; releasing first would let an acked epoch vanish
             w.truncate()?;
         }
         self.snapshots_written.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats counter; readers tolerate lag
@@ -720,7 +727,8 @@ impl Inner {
             .map_or((0, 0), |w| (w.records(), w.bytes()));
         let epochs_applied = self.counters.epochs_applied.load(Ordering::Relaxed); // relaxed-ok: stats counter; readers tolerate lag
         let last_snapshot_age_epochs = if self.cfg.durability.is_some() {
-            epochs_applied.saturating_sub(self.last_snapshot_epoch.load(Ordering::Relaxed)) // relaxed-ok: stats counter; readers tolerate lag
+            // relaxed-ok: stats counter; readers tolerate lag
+            epochs_applied.saturating_sub(self.last_snapshot_epoch.load(Ordering::Relaxed))
         } else {
             0
         };
@@ -898,7 +906,9 @@ mod tests {
         let c = inner();
         let r1 = c.apply_delta(delta(1, 1, false, &[(5, 1.0)], &[])).unwrap();
         assert!(matches!(r1, CoordResponse::DeltaAck { applied: 1, .. }));
-        let r2 = c.apply_delta(delta(1, 2, false, &[(6, 2.0)], &[5])).unwrap();
+        let r2 = c
+            .apply_delta(delta(1, 2, false, &[(6, 2.0)], &[5]))
+            .unwrap();
         assert!(matches!(r2, CoordResponse::DeltaAck { applied: 2, .. }));
         let sites = c.sites.lock();
         let view = sites.get(&1).unwrap();
@@ -988,7 +998,6 @@ mod tests {
             ..CoordinatorConfig::default()
         });
         c.apply_delta(delta(1, 1, false, &[(1, 1.0)], &[]));
-        // lint:allow(no-sleep): let the 0 ms suspicion timeout elapse
         std::thread::sleep(Duration::from_millis(5));
         let stats = c.stats();
         assert!(stats.sites[0].suspect, "silent site must turn suspect");
@@ -1031,15 +1040,9 @@ mod tests {
     }
 
     fn arb_ecf() -> impl Strategy<Value = Ecf> {
-        (
-            -100.0f64..100.0,
-            -100.0f64..100.0,
-            0.01f64..5.0,
-            1u64..1000,
-        )
-            .prop_map(|(x, y, e, t)| {
-                Ecf::from_point(&UncertainPoint::new(vec![x, y], vec![e, e * 0.5], t, None))
-            })
+        (-100.0f64..100.0, -100.0f64..100.0, 0.01f64..5.0, 1u64..1000).prop_map(|(x, y, e, t)| {
+            Ecf::from_point(&UncertainPoint::new(vec![x, y], vec![e, e * 0.5], t, None))
+        })
     }
 
     fn arb_snapshot() -> impl Strategy<Value = CoordSnapshot> {
@@ -1057,14 +1060,19 @@ mod tests {
                 last_tick,
                 clusters: kv.into_iter().collect(),
             });
-        let entry = (1u64..10_000, proptest::collection::vec(arb_ecf(), 0..6)).prop_map(
-            |(time, ecfs)| HorizonEntry {
-                time,
-                clusters: ClusterSetSnapshot {
-                    clusters: ecfs.into_iter().enumerate().map(|(i, e)| (i as u64, e)).collect(),
-                },
-            },
-        );
+        let entry =
+            (1u64..10_000, proptest::collection::vec(arb_ecf(), 0..6)).prop_map(|(time, ecfs)| {
+                HorizonEntry {
+                    time,
+                    clusters: ClusterSetSnapshot {
+                        clusters: ecfs
+                            .into_iter()
+                            .enumerate()
+                            .map(|(i, e)| (i as u64, e))
+                            .collect(),
+                    },
+                }
+            });
         (
             0u64..100_000,
             proptest::collection::vec(site, 0..6),

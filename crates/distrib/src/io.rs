@@ -147,7 +147,6 @@ impl Transport {
                 )));
             }
             if failpoints::should_fire(failpoints::NET_DELAY) {
-                // lint:allow(no-sleep): injected link-congestion delay (failpoints only)
                 std::thread::sleep(Duration::from_millis(25));
             }
         }

@@ -17,7 +17,7 @@ use umicro::{Ecf, UMicroConfig};
 use ustream_common::backoff::splitmix64;
 use ustream_common::UncertainPoint;
 use ustream_distrib::{
-    Coordinator, CoordinatorConfig, CoordRecovery, DurabilityPolicy, RetryPolicy, Site, SiteConfig,
+    CoordRecovery, Coordinator, CoordinatorConfig, DurabilityPolicy, RetryPolicy, Site, SiteConfig,
 };
 use ustream_engine::{failpoints, EngineBuilder, StreamEngine};
 use ustream_snapshot::{shard_of_id, SHARD_ID_BITS};
@@ -122,15 +122,21 @@ fn crash_and_resume_run(
     snapshot_every_epochs: u64,
 ) -> (CoordRecovery, Coordinator, Vec<ustream_distrib::SiteStats>) {
     let (n_sites, n_micro, dims) = (2usize, 6usize, 2usize);
-    let points: Vec<_> = (1..=260u64).map(|t| point(t, dims, 0x5eed ^ arm_point.len() as u64)).collect();
+    let points: Vec<_> = (1..=260u64)
+        .map(|t| point(t, dims, 0x5eed ^ arm_point.len() as u64))
+        .collect();
     let reference = reference_maps(&points, n_sites, n_micro, dims);
     let base = temp_base(tag);
     cleanup_base(&base);
 
-    let coord = Coordinator::bind("127.0.0.1:0", durable_cfg(&base, snapshot_every_epochs)).expect("coordinator binds");
+    let coord = Coordinator::bind("127.0.0.1:0", durable_cfg(&base, snapshot_every_epochs))
+        .expect("coordinator binds");
     let addr = coord.addr().to_string();
     let mut sites: Vec<Site> = (0..n_sites)
-        .map(|i| Site::attach(site_engine(n_micro, dims), fast_cfg(i as u64, &addr, 16)).expect("site attaches"))
+        .map(|i| {
+            Site::attach(site_engine(n_micro, dims), fast_cfg(i as u64, &addr, 16))
+                .expect("site attaches")
+        })
         .collect();
 
     // Warm up: land a few clean epochs so the crash interrupts a stream
@@ -162,9 +168,14 @@ fn crash_and_resume_run(
     );
     coord.kill();
 
-    let coord = Coordinator::resume("127.0.0.1:0", durable_cfg(&base, snapshot_every_epochs)).expect("coordinator resumes");
+    let coord = Coordinator::resume("127.0.0.1:0", durable_cfg(&base, snapshot_every_epochs))
+        .expect("coordinator resumes");
     let addr2 = coord.addr().to_string();
-    let recovery = coord.stats().recovery.clone().expect("resume reports recovery");
+    let recovery = coord
+        .stats()
+        .recovery
+        .clone()
+        .expect("resume reports recovery");
 
     for site in sites.iter_mut() {
         site.repoint(&addr2).expect("site failover");
@@ -209,8 +220,7 @@ fn crash_before_wal_append_is_retried_without_resync() {
 fn crash_after_wal_append_applies_the_epoch_exactly_once() {
     let _guard = FAULT_LOCK.lock().unwrap();
     failpoints::reset_all();
-    let (rec, coord, _) =
-        crash_and_resume_run("post-wal", failpoints::COORD_CRASH_POST_WAL, 1000);
+    let (rec, coord, _) = crash_and_resume_run("post-wal", failpoints::COORD_CRASH_POST_WAL, 1000);
     assert!(
         rec.wal_records_replayed >= 1,
         "the durable-but-unacked epoch must come back from the WAL"
@@ -238,7 +248,10 @@ fn torn_wal_write_is_cut_back_and_retried() {
     let stats = coord.shutdown();
     assert_eq!(stats.gaps_nacked, 0);
     for st in &site_stats {
-        assert_eq!(st.full_resyncs, 0, "a torn epoch was never acked, so retry suffices");
+        assert_eq!(
+            st.full_resyncs, 0,
+            "a torn epoch was never acked, so retry suffices"
+        );
     }
     failpoints::reset_all();
 }
@@ -251,8 +264,7 @@ fn torn_wal_write_is_cut_back_and_retried() {
 fn torn_snapshot_is_skipped_and_wal_covers_the_gap() {
     let _guard = FAULT_LOCK.lock().unwrap();
     failpoints::reset_all();
-    let (rec, coord, _) =
-        crash_and_resume_run("torn-snap", failpoints::COORD_SNAPSHOT_TORN, 4);
+    let (rec, coord, _) = crash_and_resume_run("torn-snap", failpoints::COORD_SNAPSHOT_TORN, 4);
     assert!(
         rec.corrupt_generations_skipped >= 1,
         "the half-written generation must be counted, not silently skipped"

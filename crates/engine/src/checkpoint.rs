@@ -473,9 +473,7 @@ pub fn read_latest_with<T>(
 /// [`read_latest`] plus the recovery metadata: how many corrupt
 /// generations the scan skipped before finding one that decodes.
 pub fn read_latest_traced(base: &str) -> Result<(EngineCheckpoint, GenerationRecovery)> {
-    let (best, rec) = read_latest_with(base, &decode, &|ck: &EngineCheckpoint| {
-        ck.points_processed
-    });
+    let (best, rec) = read_latest_with(base, &decode, &|ck: &EngineCheckpoint| ck.points_processed);
     match best {
         Some(ck) => Ok((ck, rec)),
         None => Err(match rec.last_error {

@@ -1894,7 +1894,10 @@ impl StreamEngine {
     /// then one `Shutdown` per channel consumer, then joins.
     fn stop_workers(&self) {
         self.global.shutting_down.store(true, Ordering::Release);
-        if let Some(handle) = self.governor.lock().take() {
+        // Handles are moved out before joining so no handle-registry lock
+        // is held while a thread winds down.
+        let governor = self.governor.lock().take();
+        if let Some(handle) = governor {
             let _ = handle.join();
         }
         for (i, tx) in self.txs.iter().enumerate() {
@@ -1903,10 +1906,12 @@ impl StreamEngine {
                 let _ = tx.send(Command::Shutdown);
             }
         }
-        for handle in self.workers.lock().drain(..) {
+        let workers: Vec<_> = self.workers.lock().drain(..).collect();
+        for handle in workers {
             let _ = handle.join();
         }
-        for handle in self.global.extra_workers.lock().drain(..) {
+        let extra: Vec<_> = self.global.extra_workers.lock().drain(..).collect();
+        for handle in extra {
             let _ = handle.join();
         }
     }

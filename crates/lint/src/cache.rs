@@ -1,0 +1,311 @@
+//! On-disk token-stream cache.
+//!
+//! Lexing dominates lint runtime, and both `cargo lint` and the tier-1
+//! `lint_clean.rs` test lex the same ~150 workspace files per CI run.
+//! This cache persists each file's token stream under
+//! `<root>/target/ustream-lint-cache/`, keyed by `(path, mtime, len)` —
+//! any change to the file invalidates its entry. The format is a compact
+//! custom binary encoding (no serde: the lint crate stays dependency-
+//! free); every load failure of any kind silently falls back to
+//! re-lexing, so a corrupt or stale cache can never change lint results,
+//! only cost the lex it was saving.
+//!
+//! The cache is only engaged when `<root>/target` already exists, so
+//! linting a bare tree (or the fixtures dir in tests) never creates
+//! build-output directories as a side effect.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::time::SystemTime;
+
+use crate::lexer::{TokKind, Token};
+
+/// Cache format version — bump on any encoding change.
+const VERSION: u32 = 1;
+const MAGIC: &[u8; 4] = b"ULC\x01";
+
+/// A file's identity key: decides cache validity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileKey {
+    /// Modification time as (secs, nanos) since the UNIX epoch.
+    pub mtime: (u64, u32),
+    /// File length in bytes.
+    pub len: u64,
+}
+
+impl FileKey {
+    /// Reads the key from filesystem metadata; `None` when the platform
+    /// or filesystem cannot supply it (cache is then skipped).
+    pub fn of(path: &Path) -> Option<FileKey> {
+        let meta = fs::metadata(path).ok()?;
+        let mtime = meta.modified().ok()?;
+        let d = mtime.duration_since(SystemTime::UNIX_EPOCH).ok()?;
+        Some(FileKey {
+            mtime: (d.as_secs(), d.subsec_nanos()),
+            len: meta.len(),
+        })
+    }
+}
+
+/// The cache root for a workspace, or `None` when caching is disabled
+/// (no `target/` directory to hide in).
+pub fn cache_dir(root: &Path) -> Option<PathBuf> {
+    let target = root.join("target");
+    if target.is_dir() {
+        Some(target.join("ustream-lint-cache"))
+    } else {
+        None
+    }
+}
+
+/// FNV-1a 64-bit, for cache file naming (collision-checked by the path
+/// stored in the entry header).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn entry_path(dir: &Path, rel: &str) -> PathBuf {
+    dir.join(format!("{:016x}.tok", fnv1a64(rel.as_bytes())))
+}
+
+/// Loads the cached token stream for `rel` if the entry exists and its
+/// key matches; `None` on any mismatch or decode error.
+pub fn load(dir: &Path, rel: &str, key: FileKey) -> Option<Vec<Token>> {
+    let data = fs::read(entry_path(dir, rel)).ok()?;
+    decode(&data, rel, key)
+}
+
+/// Stores `tokens` for `rel` under `key`. Write errors are swallowed:
+/// the cache is an optimization, never a correctness dependency.
+pub fn store(dir: &Path, rel: &str, key: FileKey, tokens: &[Token]) {
+    if fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let bytes = encode(rel, key, tokens);
+    let tmp = entry_path(dir, rel).with_extension("tmp");
+    let finalp = entry_path(dir, rel);
+    let write = (|| -> io::Result<()> {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.flush()?;
+        fs::rename(&tmp, &finalp)
+    })();
+    if write.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn encode(rel: &str, key: FileKey, tokens: &[Token]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + tokens.len() * 12);
+    out.extend_from_slice(MAGIC);
+    put_u32(&mut out, VERSION);
+    put_str(&mut out, rel);
+    put_u64(&mut out, key.mtime.0);
+    put_u32(&mut out, key.mtime.1);
+    put_u64(&mut out, key.len);
+    put_u32(&mut out, tokens.len() as u32);
+    for t in tokens {
+        let (tag, payload): (u8, Option<&str>) = match &t.kind {
+            TokKind::Ident(s) => (0, Some(s)),
+            TokKind::Lifetime => (1, None),
+            TokKind::Int(s) => (2, Some(s)),
+            TokKind::Float(s) => (3, Some(s)),
+            TokKind::Str(s) => (4, Some(s)),
+            TokKind::Char => (5, None),
+            TokKind::Op(s) => (6, Some(s)),
+            TokKind::LineComment(s) => (7, Some(s)),
+            TokKind::BlockComment(s) => (8, Some(s)),
+        };
+        out.push(tag);
+        put_u32(&mut out, t.line);
+        put_u32(&mut out, t.col);
+        if let Some(s) = payload {
+            put_str(&mut out, s);
+        }
+    }
+    out
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let s = self.data.get(self.pos..end)?;
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        let b = self.take(4)?;
+        Some(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Some(u64::from_le_bytes(a))
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let n = self.u32()? as usize;
+        // Defensive bound: a corrupt length must not trigger a huge
+        // allocation before the slice check catches it.
+        if n > self.data.len() {
+            return None;
+        }
+        let b = self.take(n)?;
+        String::from_utf8(b.to_vec()).ok()
+    }
+}
+
+fn decode(data: &[u8], rel: &str, key: FileKey) -> Option<Vec<Token>> {
+    let mut r = Reader { data, pos: 0 };
+    if r.take(4)? != MAGIC || r.u32()? != VERSION {
+        return None;
+    }
+    if r.str()? != rel {
+        return None;
+    }
+    if (r.u64()?, r.u32()?) != key.mtime || r.u64()? != key.len {
+        return None;
+    }
+    let count = r.u32()? as usize;
+    if count > data.len() {
+        return None;
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let tag = r.u8()?;
+        let line = r.u32()?;
+        let col = r.u32()?;
+        let kind = match tag {
+            0 => TokKind::Ident(r.str()?),
+            1 => TokKind::Lifetime,
+            2 => TokKind::Int(r.str()?),
+            3 => TokKind::Float(r.str()?),
+            4 => TokKind::Str(r.str()?),
+            5 => TokKind::Char,
+            6 => TokKind::Op(r.str()?),
+            7 => TokKind::LineComment(r.str()?),
+            8 => TokKind::BlockComment(r.str()?),
+            _ => return None,
+        };
+        out.push(Token { kind, line, col });
+    }
+    if r.pos != data.len() {
+        return None;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn roundtrip(src: &str) {
+        let toks = lex(src);
+        let key = FileKey {
+            mtime: (1234, 567),
+            len: src.len() as u64,
+        };
+        let bytes = encode("crates/x/src/a.rs", key, &toks);
+        let back = decode(&bytes, "crates/x/src/a.rs", key).expect("decode");
+        assert_eq!(back.len(), toks.len());
+        for (a, b) in back.iter().zip(toks.iter()) {
+            assert_eq!(a.kind, b.kind);
+            assert_eq!((a.line, a.col), (b.line, b.col));
+        }
+    }
+
+    #[test]
+    fn roundtrips_every_token_kind() {
+        roundtrip("fn f<'a>(x: &'a u8) { let s = \"str\"; let c = 'x'; let n = 1.5; let i = 2; } // c\n/* b */ a == b\n");
+    }
+
+    #[test]
+    fn key_mismatch_invalidates() {
+        let toks = lex("fn f() {}");
+        let key = FileKey {
+            mtime: (1, 0),
+            len: 9,
+        };
+        let bytes = encode("a.rs", key, &toks);
+        let stale = FileKey {
+            mtime: (2, 0),
+            len: 9,
+        };
+        assert!(decode(&bytes, "a.rs", stale).is_none());
+        assert!(decode(&bytes, "b.rs", key).is_none());
+    }
+
+    #[test]
+    fn corrupt_data_is_rejected_not_panicking() {
+        let toks = lex("fn f() {}");
+        let key = FileKey {
+            mtime: (1, 0),
+            len: 9,
+        };
+        let mut bytes = encode("a.rs", key, &toks);
+        // Truncations and bit flips must all decode to None.
+        for cut in [0, 3, 10, bytes.len() - 1] {
+            assert!(decode(&bytes[..cut], "a.rs", key).is_none());
+        }
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        assert!(decode(&bytes, "a.rs", key).is_none());
+    }
+
+    #[test]
+    fn store_and_load_via_fs() {
+        let dir =
+            std::env::temp_dir().join(format!("ustream-lint-cache-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let toks = lex("fn f() { g(); }");
+        let key = FileKey {
+            mtime: (42, 7),
+            len: 15,
+        };
+        store(&dir, "crates/x/src/a.rs", key, &toks);
+        let back = load(&dir, "crates/x/src/a.rs", key).expect("load");
+        assert_eq!(back.len(), toks.len());
+        assert!(load(
+            &dir,
+            "crates/x/src/a.rs",
+            FileKey {
+                mtime: (42, 8),
+                len: 15
+            }
+        )
+        .is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

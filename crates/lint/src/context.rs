@@ -56,7 +56,14 @@ pub struct FileCtx {
 impl FileCtx {
     /// Builds the context for `path` from raw source text.
     pub fn new(path: &str, src: &str) -> Self {
-        let tokens = lex(src);
+        Self::from_tokens(path, src, lex(src))
+    }
+
+    /// Builds the context from a pre-lexed token stream (the token cache
+    /// path — see [`crate::cache`]). The tokens MUST be `lex(src)`'s
+    /// output for this exact source; the cache's `(path, mtime, len)`
+    /// key guarantees that.
+    pub fn from_tokens(path: &str, src: &str, tokens: Vec<Token>) -> Self {
         let sig: Vec<usize> = tokens
             .iter()
             .enumerate()

@@ -45,6 +45,24 @@ pub fn render_report(findings: &[Finding]) -> String {
     out
 }
 
+/// Renders findings plus run statistics as a JSON document for CI
+/// artifacts: `{"findings": [...], "count": N, "stats": {...}}`.
+pub fn render_json_with_stats(findings: &[Finding], stats: &crate::RunStats) -> String {
+    let base = render_json(findings);
+    let trimmed = base.trim_end().trim_end_matches('}').trim_end();
+    format!(
+        "{trimmed},\n  \"stats\": {{\"files\": {}, \"rules\": {}, \"findings\": {}, \
+         \"lex_ms\": {}, \"analyze_ms\": {}, \"cache_hits\": {}, \"cache_misses\": {}}}\n}}\n",
+        stats.files,
+        stats.rules,
+        stats.findings,
+        stats.lex_ms,
+        stats.analyze_ms,
+        stats.cache_hits,
+        stats.cache_misses
+    )
+}
+
 /// Renders findings as a JSON document for CI artifacts:
 /// `{"findings": [...], "count": N}`.
 pub fn render_json(findings: &[Finding]) -> String {
@@ -131,5 +149,27 @@ mod tests {
     fn empty_report_counts_zero() {
         assert!(render_json(&[]).contains("\"count\": 0"));
         assert!(render_report(&[]).contains("0 findings"));
+    }
+
+    #[test]
+    fn stats_block_is_appended_and_well_formed() {
+        let stats = crate::RunStats {
+            files: 3,
+            rules: 15,
+            findings: 1,
+            lex_ms: 12,
+            analyze_ms: 34,
+            cache_hits: 2,
+            cache_misses: 1,
+        };
+        let j = render_json_with_stats(&[sample()], &stats);
+        assert!(j.contains("\"count\": 1"));
+        assert!(j.contains("\"stats\": {\"files\": 3"));
+        assert!(j.contains("\"cache_hits\": 2"));
+        assert!(j.trim_end().ends_with('}'));
+        // Braces balance — the splice did not eat or duplicate one.
+        let open = j.matches('{').count();
+        let close = j.matches('}').count();
+        assert_eq!(open, close);
     }
 }

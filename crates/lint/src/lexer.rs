@@ -572,4 +572,66 @@ mod tests {
             .collect();
         assert_eq!(ops, vec!["..=", "::", "->", "!="]);
     }
+
+    #[test]
+    fn raw_strings_with_multiple_hashes() {
+        // r##"..."## may contain a bare `"#` without terminating.
+        let src = "let s = r##\"has \"# inside\"##; done";
+        let k = kinds(src);
+        assert!(
+            matches!(&k[3], TokKind::Str(s) if s.contains("has \"# inside")),
+            "got {:?}",
+            k[3]
+        );
+        assert_eq!(*k.last().unwrap(), TokKind::Ident("done".into()));
+
+        // Hash-count mismatch: r#"..."## closes at the first `"#` and the
+        // trailing `#` lexes as an ordinary op, not part of the string.
+        let k = kinds("r#\"x\"## y");
+        assert!(matches!(&k[0], TokKind::Str(_)));
+        assert_eq!(k[1], TokKind::Op("#".into()));
+        assert_eq!(k[2], TokKind::Ident("y".into()));
+
+        // A raw prefix with hashes but no opening quote is not a string.
+        let k = kinds("r#foo");
+        assert!(!k.iter().any(|t| matches!(t, TokKind::Str(_))));
+    }
+
+    #[test]
+    fn unterminated_constructs_at_eof_do_not_hang() {
+        // Nested block comment truncated mid-nesting: everything to EOF
+        // becomes one comment token.
+        let toks = lex("x /* outer /* inner  ");
+        assert_eq!(toks.len(), 2);
+        assert!(matches!(&toks[1].kind, TokKind::BlockComment(_)));
+
+        // Unterminated cooked string, raw string, and a trailing escape.
+        for src in ["let s = \"never closed", "r##\"open", "b\"half\\"] {
+            let toks = lex(src);
+            assert!(!toks.is_empty(), "lexer dropped everything for {src:?}");
+        }
+    }
+
+    #[test]
+    fn byte_string_escapes() {
+        // An escaped quote must not terminate the byte string, and an
+        // escaped backslash must not hide the real terminator.
+        let k = kinds(r#"let b = b"q:\" bs:\\"; after"#);
+        let strs: Vec<_> = k
+            .iter()
+            .filter_map(|t| match t {
+                TokKind::Str(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs.len(), 1, "tokens: {k:?}");
+        assert!(strs[0].starts_with("b\""));
+        assert_eq!(*k.last().unwrap(), TokKind::Ident("after".into()));
+
+        // Hex/unicode escapes ride along without confusing the scanner.
+        let k = kinds(r#"b"\x00\xff" "u:\u{1F600}" tail"#);
+        let strs = k.iter().filter(|t| matches!(t, TokKind::Str(_))).count();
+        assert_eq!(strs, 2);
+        assert_eq!(*k.last().unwrap(), TokKind::Ident("tail".into()));
+    }
 }

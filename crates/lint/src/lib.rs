@@ -21,17 +21,41 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod context;
 pub mod diag;
 pub mod lexer;
+pub mod locks;
 pub mod rules;
+pub mod tree;
 
 pub use context::FileCtx;
-pub use diag::{render_json, render_report, Finding};
+pub use diag::{render_json, render_json_with_stats, render_report, Finding};
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Timing and cache counters for one lint run, reported in
+/// `--format json` so CI can watch lint cost over time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Files analyzed.
+    pub files: usize,
+    /// Rules the engine ran (length of [`rules::RULE_IDS`]).
+    pub rules: usize,
+    /// Findings after suppression filtering.
+    pub findings: usize,
+    /// Milliseconds spent lexing (cache misses only).
+    pub lex_ms: u128,
+    /// Milliseconds spent in rule analysis.
+    pub analyze_ms: u128,
+    /// Token streams served from the on-disk cache.
+    pub cache_hits: usize,
+    /// Token streams lexed fresh (and cached when possible).
+    pub cache_misses: usize,
+}
 
 /// Directories never linted: build output, vendored stand-ins, VCS
 /// metadata, and the deliberately-violating rule fixtures.
@@ -46,16 +70,29 @@ pub fn analyze_sources(files: &[(String, String)]) -> Vec<Finding> {
 
 /// Lints every `.rs` file under `root` except [`EXCLUDED_DIRS`].
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    Ok(lint_workspace_with_stats(root)?.0)
+}
+
+/// [`lint_workspace`] plus run statistics.
+pub fn lint_workspace_with_stats(root: &Path) -> io::Result<(Vec<Finding>, RunStats)> {
     let mut files = Vec::new();
     collect_rs_files(root, true, &mut files)?;
     files.sort();
-    load_and_analyze(root, &files)
+    run(root, &files, rules::run_all)
 }
 
 /// Lints explicit `paths` (files or directories, recursive) relative to
 /// `root`. Exclusions are *not* applied — this is how the seeded fixture
 /// files are linted on purpose.
 pub fn lint_paths(root: &Path, paths: &[PathBuf]) -> io::Result<Vec<Finding>> {
+    Ok(lint_paths_with_stats(root, paths)?.0)
+}
+
+/// [`lint_paths`] plus run statistics.
+pub fn lint_paths_with_stats(
+    root: &Path,
+    paths: &[PathBuf],
+) -> io::Result<(Vec<Finding>, RunStats)> {
     let mut files = Vec::new();
     for p in paths {
         let abs = if p.is_absolute() {
@@ -70,7 +107,17 @@ pub fn lint_paths(root: &Path, paths: &[PathBuf]) -> io::Result<Vec<Finding>> {
         }
     }
     files.sort();
-    load_and_analyze(root, &files)
+    run(root, &files, rules::run_all)
+}
+
+/// Runs the `--stale-allows` audit over the whole workspace: reports
+/// every suppression annotation whose target line no longer produces the
+/// finding it excuses.
+pub fn stale_allows_workspace(root: &Path) -> io::Result<(Vec<Finding>, RunStats)> {
+    let mut files = Vec::new();
+    collect_rs_files(root, true, &mut files)?;
+    files.sort();
+    run(root, &files, rules::stale_allows)
 }
 
 /// Finds the workspace root by walking up from `start` to the first
@@ -108,8 +155,20 @@ fn collect_rs_files(dir: &Path, apply_exclusions: bool, out: &mut Vec<PathBuf>) 
     Ok(())
 }
 
-fn load_and_analyze(root: &Path, files: &[PathBuf]) -> io::Result<Vec<Finding>> {
-    let mut sources = Vec::with_capacity(files.len());
+/// Loads every file (token cache engaged when `<root>/target` exists),
+/// builds contexts, and applies `analysis` with timing/cache counters.
+fn run(
+    root: &Path,
+    files: &[PathBuf],
+    analysis: fn(&[FileCtx]) -> Vec<Finding>,
+) -> io::Result<(Vec<Finding>, RunStats)> {
+    let cache_dir = cache::cache_dir(root);
+    let mut stats = RunStats {
+        rules: rules::RULE_IDS.len(),
+        ..RunStats::default()
+    };
+    let mut ctxs = Vec::with_capacity(files.len());
+    let mut lex_time = std::time::Duration::ZERO;
     for f in files {
         let rel = f
             .strip_prefix(root)
@@ -117,9 +176,36 @@ fn load_and_analyze(root: &Path, files: &[PathBuf]) -> io::Result<Vec<Finding>> 
             .to_string_lossy()
             .replace('\\', "/");
         let text = fs::read_to_string(f)?;
-        sources.push((rel, text));
+        let key = cache_dir.as_deref().and_then(|_| cache::FileKey::of(f));
+        let cached = match (&cache_dir, key) {
+            (Some(dir), Some(k)) => cache::load(dir, &rel, k),
+            _ => None,
+        };
+        let ctx = match cached {
+            Some(tokens) => {
+                stats.cache_hits += 1;
+                FileCtx::from_tokens(&rel, &text, tokens)
+            }
+            None => {
+                stats.cache_misses += 1;
+                let t0 = Instant::now();
+                let ctx = FileCtx::new(&rel, &text);
+                lex_time += t0.elapsed();
+                if let (Some(dir), Some(k)) = (&cache_dir, key) {
+                    cache::store(dir, &rel, k, &ctx.tokens);
+                }
+                ctx
+            }
+        };
+        ctxs.push(ctx);
     }
-    Ok(analyze_sources(&sources))
+    stats.files = ctxs.len();
+    stats.lex_ms = lex_time.as_millis();
+    let t0 = Instant::now();
+    let findings = analysis(&ctxs);
+    stats.analyze_ms = t0.elapsed().as_millis();
+    stats.findings = findings.len();
+    Ok((findings, stats))
 }
 
 #[cfg(test)]

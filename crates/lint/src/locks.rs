@@ -1,0 +1,1151 @@
+//! Workspace-level concurrency analysis: `lock-order` and
+//! `blocking-under-lock`.
+//!
+//! Unlike the per-file rules, this pass sees every file of the run at
+//! once. On top of the scope layer ([`crate::tree`]) it:
+//!
+//! 1. **Names every lock site.** A nullary `.lock()` / `.read()` /
+//!    `.write()` is an acquisition; the lock's identity is derived from
+//!    the receiver path (`self.inner.sites.lock()` → `distrib::sites`,
+//!    `registry().lock()` → `engine::registry`). Where the heuristic
+//!    names poorly, a `// lock-name: <name>` comment on the acquisition
+//!    line (or directly above) overrides it; a name containing `::` is
+//!    used verbatim, otherwise it is crate-qualified. Same-named fields
+//!    within one crate unify — which is exactly right for sharded locks
+//!    (every serve bucket is the same rank in the discipline).
+//!
+//! 2. **Builds the acquired-while-holding graph.** For each fn the pass
+//!    records which guards are live at every acquisition, call, and
+//!    blocking site (guard liveness from [`crate::tree::guard_live_range`]).
+//!    Calls are resolved within the workspace (same-impl methods, free
+//!    fns, `Type::method`, `module::fn` by file stem, and unique
+//!    method names not shadowed by the std blocklist), and lock/blocking
+//!    *effects* propagate transitively through the call graph. An edge
+//!    `A → B` means "B acquired somewhere while A was held".
+//!
+//! 3. **Reports `lock-order`** for every cycle in that graph (self-loops
+//!    included), with the full cross-file witness path in the message,
+//!    anchored at the first edge's acquisition site. Suppressing the
+//!    inner acquisition line with `lint:allow(lock-order)` removes that
+//!    edge before cycle detection, so one reasoned exemption breaks the
+//!    cycle it participates in.
+//!
+//! 4. **Reports `blocking-under-lock`** when a blocking operation
+//!    (fsync family, blocking reads/writes, channel send/recv, `join()`,
+//!    `thread::sleep`) is reachable — directly or through resolved
+//!    calls — while any guard is live, in non-test, non-failpoint code
+//!    of the concurrent crates (engine / serve / distrib).
+//!
+//! Known static blind spots (the `lock-audit` runtime in
+//! `ustream-common::ordered` covers these dynamically): closures
+//! executed under a lock held by the *caller* of the closure's taker,
+//! guards moved into collections (`guards.push(lock(b))`), and method
+//! calls whose name is ambiguous within the crate.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::context::FileCtx;
+use crate::diag::Finding;
+use crate::tree::{self, Receiver};
+
+/// Crates whose non-test code is in scope for `blocking-under-lock`.
+const BLOCKING_SCOPE: &[&str] = &["engine", "serve", "distrib"];
+
+/// Method names that block unconditionally (any arity).
+const BLOCKING_METHODS: &[&str] = &[
+    "sync_all",
+    "sync_data",
+    "read_exact",
+    "write_all",
+    "read_to_end",
+    "read_to_string",
+    "send",
+    "recv",
+    "recv_timeout",
+];
+
+/// Identifiers that look like calls but are control flow or items.
+const KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "loop", "return", "break", "continue", "in", "as", "let",
+    "else", "move", "ref", "unsafe", "where", "impl", "fn", "use", "pub", "mod", "struct", "enum",
+    "trait", "type", "const", "static", "crate", "super", "dyn", "await", "async", "yield",
+];
+
+/// Method names never resolved to workspace fns when the receiver is not
+/// `self`: they are overwhelmingly std/container methods, and a chance
+/// collision with a workspace fn of the same name would fabricate call
+/// edges.
+const STD_NAMES: &[&str] = &[
+    "abs",
+    "all",
+    "and_then",
+    "any",
+    "as_bytes",
+    "as_mut",
+    "as_ref",
+    "as_slice",
+    "as_str",
+    "ceil",
+    "chain",
+    "clear",
+    "clone",
+    "cloned",
+    "cmp",
+    "collect",
+    "contains",
+    "contains_key",
+    "copied",
+    "count",
+    "default",
+    "drain",
+    "elapsed",
+    "ends_with",
+    "entry",
+    "enumerate",
+    "eq",
+    "err",
+    "expect",
+    "extend",
+    "filter",
+    "find",
+    "first",
+    "flat_map",
+    "floor",
+    "flush",
+    "fmt",
+    "fold",
+    "from",
+    "get",
+    "get_mut",
+    "hash",
+    "insert",
+    "into",
+    "into_iter",
+    "is_empty",
+    "is_err",
+    "is_none",
+    "is_ok",
+    "is_some",
+    "iter",
+    "iter_mut",
+    "keys",
+    "last",
+    "len",
+    "map",
+    "max",
+    "min",
+    "next",
+    "ok",
+    "or_else",
+    "or_insert",
+    "or_insert_with",
+    "parse",
+    "pop",
+    "position",
+    "push",
+    "remove",
+    "replace",
+    "retain",
+    "rev",
+    "round",
+    "sort",
+    "sort_by",
+    "sort_unstable",
+    "split",
+    "splitn",
+    "sqrt",
+    "starts_with",
+    "sum",
+    "take",
+    "to_owned",
+    "to_string",
+    "to_vec",
+    "trim",
+    "try_from",
+    "try_into",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "values",
+    "values_mut",
+    "zip",
+];
+
+fn ident_at(ctx: &FileCtx, k: usize) -> Option<&str> {
+    ctx.sig
+        .get(k)
+        .map(|&i| &ctx.tokens[i])
+        .and_then(|t| t.ident())
+}
+
+fn op_at(ctx: &FileCtx, k: usize) -> Option<&str> {
+    ctx.sig.get(k).map(|&i| &ctx.tokens[i]).and_then(|t| t.op())
+}
+
+/// One guard acquisition (direct `.lock()` family, or inherited from a
+/// guard-returning workspace fn).
+#[derive(Debug, Clone)]
+struct Acq {
+    lock: String,
+    line: u32,
+    col: u32,
+    site: usize,
+    live: (usize, usize),
+    /// Let-binding the guard lives in, when there is one — used to
+    /// recognize method calls *on* the guard (which dereference to the
+    /// protected data and must not be name-resolved).
+    binding: Option<String>,
+}
+
+/// How a call names its target.
+#[derive(Debug, Clone, PartialEq)]
+enum Callee {
+    /// `self.m(..)`.
+    SelfMethod,
+    /// `f(..)`.
+    Free,
+    /// `Seg::m(..)` — `Seg` is a type (uppercase) or module (lowercase).
+    Qualified(String),
+    /// `expr.m(..)` with a non-`self` receiver.
+    Method,
+}
+
+#[derive(Debug, Clone)]
+struct CallSite {
+    name: String,
+    callee: Callee,
+    line: u32,
+    col: u32,
+    site: usize,
+}
+
+#[derive(Debug, Clone)]
+struct BlockSite {
+    op: String,
+    line: u32,
+    col: u32,
+    site: usize,
+}
+
+/// Everything the analysis knows about one non-test fn body.
+#[derive(Debug)]
+struct FnInfo {
+    ctx: usize,
+    krate: String,
+    qual: String,
+    name: String,
+    impl_type: Option<String>,
+    body: (usize, usize),
+    returns_guard: bool,
+    acqs: Vec<Acq>,
+    calls: Vec<CallSite>,
+    blocks: Vec<BlockSite>,
+}
+
+/// Transitive lock / blocking effects of calling a fn.
+#[derive(Debug, Clone, Default)]
+struct Effects {
+    /// Lock name → first witness site.
+    locks: BTreeMap<String, Site>,
+    /// Blocking op → first witness site.
+    blocking: BTreeMap<String, Site>,
+}
+
+#[derive(Debug, Clone)]
+struct Site {
+    path: String,
+    line: u32,
+    via: String,
+}
+
+/// The crate a file belongs to, for lock naming and rule scoping.
+fn crate_of(ctx: &FileCtx) -> String {
+    match ctx.crate_name() {
+        Some(c) => c.to_string(),
+        None => ctx
+            .path
+            .split('/')
+            .next()
+            .unwrap_or("root")
+            .trim_end_matches(".rs")
+            .to_string(),
+    }
+}
+
+/// `// lock-name: <name>` on `line` or the line directly above.
+fn lock_annotation(ctx: &FileCtx, line: u32) -> Option<String> {
+    for l in [line, line.saturating_sub(1)] {
+        if l == 0 {
+            continue;
+        }
+        let text = ctx.line_text(l);
+        if let Some(p) = text.find("lock-name:") {
+            let name = text[p + "lock-name:".len()..]
+                .split_whitespace()
+                .next()
+                .unwrap_or("")
+                .trim_matches('`')
+                .to_string();
+            if !name.is_empty() {
+                return Some(name);
+            }
+        }
+    }
+    None
+}
+
+fn lock_name(ctx: &FileCtx, krate: &str, line: u32, recv: &Receiver) -> String {
+    if let Some(ann) = lock_annotation(ctx, line) {
+        return if ann.contains("::") {
+            ann
+        } else {
+            format!("{krate}::{ann}")
+        };
+    }
+    match recv.key() {
+        Some(seg) => format!("{krate}::{seg}"),
+        None => format!("{krate}::<expr@{}:{line}>", ctx.path),
+    }
+}
+
+/// Collects per-fn facts (acquisitions, calls, blocking sites) for every
+/// non-test fn in the run.
+fn collect_fns(ctxs: &[FileCtx]) -> Vec<FnInfo> {
+    let mut out = Vec::new();
+    for (ci, ctx) in ctxs.iter().enumerate() {
+        if ctx.is_test_file {
+            continue;
+        }
+        let krate = crate_of(ctx);
+        let scopes = tree::fn_scopes(ctx);
+        let tcp = ctx
+            .lines
+            .iter()
+            .any(|l| l.contains("TcpStream") || l.contains("TcpListener"));
+        for (si, f) in scopes.iter().enumerate() {
+            let Some(body) = f.body else { continue };
+            if ctx.in_test(f.line) || ctx.in_failpoint(f.line) {
+                continue;
+            }
+            // Nested fn bodies belong to their own FnInfo; skip their
+            // token ranges while scanning this one.
+            let children: Vec<(usize, usize)> = scopes
+                .iter()
+                .enumerate()
+                .filter(|&(oi, _)| oi != si)
+                .filter_map(|(_, g)| {
+                    g.body
+                        .filter(|&(o, c)| o > body.0 && c < body.1)
+                        .map(|(_, c)| (g.kw, c))
+                })
+                .collect();
+            let qual = match &f.impl_type {
+                Some(t) => format!("{krate}::{t}::{}", f.name),
+                None => format!("{krate}::{}", f.name),
+            };
+            let mut info = FnInfo {
+                ctx: ci,
+                krate: krate.clone(),
+                qual,
+                name: f.name.clone(),
+                impl_type: f.impl_type.clone(),
+                body,
+                returns_guard: f.returns_guard,
+                acqs: Vec::new(),
+                calls: Vec::new(),
+                blocks: Vec::new(),
+            };
+            let mut k = body.0 + 1;
+            while k < body.1 {
+                if let Some(&(_, cend)) = children.iter().find(|&&(s, _)| s == k) {
+                    k = cend + 1;
+                    continue;
+                }
+                let Some(name) = ident_at(ctx, k) else {
+                    k += 1;
+                    continue;
+                };
+                let t = &ctx.tokens[ctx.sig[k]];
+                if ctx.in_test(t.line) || ctx.in_failpoint(t.line) {
+                    k += 1;
+                    continue;
+                }
+                let is_method = k > 0 && op_at(ctx, k - 1) == Some(".");
+                let has_call = op_at(ctx, k + 1) == Some("(");
+                let nullary = has_call && op_at(ctx, k + 2) == Some(")");
+                if is_method && nullary && matches!(name, "lock" | "read" | "write") {
+                    let recv = tree::receiver_before_dot(ctx, k - 1);
+                    let (ls, le, binding, _) = tree::guard_live_range(ctx, k, body);
+                    info.acqs.push(Acq {
+                        lock: lock_name(ctx, &krate, t.line, &recv),
+                        line: t.line,
+                        col: t.col,
+                        site: k,
+                        live: (ls, le),
+                        binding,
+                    });
+                } else if (is_method && has_call && BLOCKING_METHODS.contains(&name))
+                    || (is_method && nullary && name == "join")
+                    || (is_method
+                        && has_call
+                        && !nullary
+                        && matches!(name, "read" | "write")
+                        && tcp)
+                {
+                    info.blocks.push(BlockSite {
+                        op: name.to_string(),
+                        line: t.line,
+                        col: t.col,
+                        site: k,
+                    });
+                } else if name == "sleep"
+                    && k >= 2
+                    && op_at(ctx, k - 1) == Some("::")
+                    && ident_at(ctx, k - 2) == Some("thread")
+                {
+                    info.blocks.push(BlockSite {
+                        op: "thread::sleep".to_string(),
+                        line: t.line,
+                        col: t.col,
+                        site: k,
+                    });
+                } else if has_call && name != "drop" && !KEYWORDS.contains(&name) {
+                    if is_method {
+                        let recv = tree::receiver_before_dot(ctx, k - 1);
+                        let callee = match &recv {
+                            Receiver::Path(p) if p.len() == 1 && p[0] == "self" => {
+                                Some(Callee::SelfMethod)
+                            }
+                            // A method invoked directly on a fresh guard
+                            // (`x.lock().frobnicate()`) dereferences to the
+                            // protected data, whose type is invisible to a
+                            // lexical pass — resolving by bare name would
+                            // misbind to a same-named method on the
+                            // enclosing type. Skip it; the runtime checker
+                            // covers what the callee actually acquires.
+                            Receiver::CallResult(f)
+                                if matches!(f.as_str(), "lock" | "read" | "write") =>
+                            {
+                                None
+                            }
+                            // Same for a call on a live guard *binding*
+                            // (`let g = x.lock(); g.frobnicate()`).
+                            Receiver::Path(p)
+                                if p.len() == 1
+                                    && info.acqs.iter().any(|a| {
+                                        a.binding.as_deref() == Some(p[0].as_str())
+                                            && a.live.0 <= k
+                                            && k <= a.live.1
+                                    }) =>
+                            {
+                                None
+                            }
+                            _ => Some(Callee::Method),
+                        };
+                        if let Some(callee) = callee {
+                            info.calls.push(CallSite {
+                                name: name.to_string(),
+                                callee,
+                                line: t.line,
+                                col: t.col,
+                                site: k,
+                            });
+                        }
+                    } else if k > 0 && op_at(ctx, k - 1) == Some("::") {
+                        let seg = ident_at(ctx, k.wrapping_sub(2)).unwrap_or("").to_string();
+                        info.calls.push(CallSite {
+                            name: name.to_string(),
+                            callee: Callee::Qualified(seg),
+                            line: t.line,
+                            col: t.col,
+                            site: k,
+                        });
+                    } else if !(k > 0 && ident_at(ctx, k - 1) == Some("fn")) {
+                        info.calls.push(CallSite {
+                            name: name.to_string(),
+                            callee: Callee::Free,
+                            line: t.line,
+                            col: t.col,
+                            site: k,
+                        });
+                    }
+                }
+                k += 1;
+            }
+            out.push(info);
+        }
+    }
+    out
+}
+
+/// Call-resolution index over the collected fns.
+struct Index {
+    /// (crate, impl type, name) → fn indices.
+    typed: BTreeMap<(String, String, String), Vec<usize>>,
+    /// (crate, name) → free fns (no impl type).
+    free: BTreeMap<(String, String), Vec<usize>>,
+    /// (crate, name) → methods (any impl type).
+    methods: BTreeMap<(String, String), Vec<usize>>,
+    /// (impl type, name) → fn indices, any crate.
+    by_type: BTreeMap<(String, String), Vec<usize>>,
+    /// (file stem, name) → fn indices, any crate (module-path calls).
+    by_stem: BTreeMap<(String, String), Vec<usize>>,
+}
+
+impl Index {
+    fn build(fns: &[FnInfo], ctxs: &[FileCtx]) -> Self {
+        let mut idx = Index {
+            typed: BTreeMap::new(),
+            free: BTreeMap::new(),
+            methods: BTreeMap::new(),
+            by_type: BTreeMap::new(),
+            by_stem: BTreeMap::new(),
+        };
+        for (i, f) in fns.iter().enumerate() {
+            let stem = ctxs[f.ctx]
+                .path
+                .rsplit('/')
+                .next()
+                .unwrap_or("")
+                .trim_end_matches(".rs")
+                .to_string();
+            idx.by_stem
+                .entry((stem, f.name.clone()))
+                .or_default()
+                .push(i);
+            match &f.impl_type {
+                Some(t) => {
+                    idx.typed
+                        .entry((f.krate.clone(), t.clone(), f.name.clone()))
+                        .or_default()
+                        .push(i);
+                    idx.methods
+                        .entry((f.krate.clone(), f.name.clone()))
+                        .or_default()
+                        .push(i);
+                    idx.by_type
+                        .entry((t.clone(), f.name.clone()))
+                        .or_default()
+                        .push(i);
+                }
+                None => {
+                    idx.free
+                        .entry((f.krate.clone(), f.name.clone()))
+                        .or_default()
+                        .push(i);
+                }
+            }
+        }
+        idx
+    }
+
+    fn unique(v: Option<&Vec<usize>>) -> Option<usize> {
+        match v {
+            Some(list) if list.len() == 1 => Some(list[0]),
+            _ => None,
+        }
+    }
+
+    fn resolve(&self, from: &FnInfo, call: &CallSite) -> Option<usize> {
+        match &call.callee {
+            Callee::SelfMethod => {
+                if let Some(ty) = &from.impl_type {
+                    if let Some(i) = Self::unique(self.typed.get(&(
+                        from.krate.clone(),
+                        ty.clone(),
+                        call.name.clone(),
+                    ))) {
+                        return Some(i);
+                    }
+                }
+                Self::unique(self.methods.get(&(from.krate.clone(), call.name.clone())))
+            }
+            Callee::Free => Self::unique(self.free.get(&(from.krate.clone(), call.name.clone()))),
+            Callee::Qualified(seg) => {
+                let seg = if seg == "Self" {
+                    from.impl_type.clone().unwrap_or_default()
+                } else {
+                    seg.clone()
+                };
+                if seg.chars().next().is_some_and(|c| c.is_uppercase()) {
+                    if let Some(i) = Self::unique(self.typed.get(&(
+                        from.krate.clone(),
+                        seg.clone(),
+                        call.name.clone(),
+                    ))) {
+                        return Some(i);
+                    }
+                    Self::unique(self.by_type.get(&(seg, call.name.clone())))
+                } else {
+                    Self::unique(self.by_stem.get(&(seg, call.name.clone())))
+                }
+            }
+            Callee::Method => {
+                if STD_NAMES.contains(&call.name.as_str()) {
+                    return None;
+                }
+                Self::unique(self.methods.get(&(from.krate.clone(), call.name.clone())))
+            }
+        }
+    }
+}
+
+/// Transitive effects, memoized; recursion cycles contribute nothing on
+/// the back edge (deterministic, and enough for existence of effects).
+fn effects_of(
+    i: usize,
+    fns: &[FnInfo],
+    resolved: &[Vec<Option<usize>>],
+    ctxs: &[FileCtx],
+    memo: &mut Vec<Option<Effects>>,
+    visiting: &mut Vec<bool>,
+) -> Effects {
+    if let Some(e) = &memo[i] {
+        return e.clone();
+    }
+    if visiting[i] {
+        return Effects::default();
+    }
+    visiting[i] = true;
+    let f = &fns[i];
+    let path = ctxs[f.ctx].path.clone();
+    let mut e = Effects::default();
+    for a in &f.acqs {
+        e.locks.entry(a.lock.clone()).or_insert_with(|| Site {
+            path: path.clone(),
+            line: a.line,
+            via: f.qual.clone(),
+        });
+    }
+    for b in &f.blocks {
+        e.blocking.entry(b.op.clone()).or_insert_with(|| Site {
+            path: path.clone(),
+            line: b.line,
+            via: f.qual.clone(),
+        });
+    }
+    for (ci, c) in f.calls.iter().enumerate() {
+        if let Some(g) = resolved[i][ci] {
+            let sub = effects_of(g, fns, resolved, ctxs, memo, visiting);
+            for (l, s) in sub.locks {
+                e.locks.entry(l).or_insert_with(|| Site {
+                    path: s.path.clone(),
+                    line: s.line,
+                    via: format!("{} → {}", c.name, s.via),
+                });
+            }
+            for (op, s) in sub.blocking {
+                e.blocking.entry(op).or_insert_with(|| Site {
+                    path: s.path.clone(),
+                    line: s.line,
+                    via: format!("{} → {}", c.name, s.via),
+                });
+            }
+        }
+    }
+    visiting[i] = false;
+    memo[i] = Some(e.clone());
+    e
+}
+
+#[derive(Debug, Clone)]
+struct Edge {
+    path: String,
+    line: u32,
+    col: u32,
+    note: String,
+}
+
+fn held_at(acqs: &[Acq], site: usize) -> Vec<&Acq> {
+    acqs.iter()
+        .filter(|a| a.live.0 < site && site < a.live.1)
+        .collect()
+}
+
+fn held_names(held: &[&Acq]) -> String {
+    let names: BTreeSet<&str> = held.iter().map(|a| a.lock.as_str()).collect();
+    names
+        .iter()
+        .map(|n| format!("`{n}`"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Shortest cycle from `start` back to itself, via BFS over sorted
+/// successors; `None` when `start` is not on a cycle.
+fn find_cycle(start: &str, adj: &BTreeMap<&str, Vec<&str>>) -> Option<Vec<String>> {
+    let succs = adj.get(start)?;
+    if succs.contains(&start) {
+        return Some(vec![start.to_string(), start.to_string()]);
+    }
+    let mut parent: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut q: VecDeque<&str> = VecDeque::new();
+    for &s in succs {
+        parent.entry(s).or_insert(start);
+        q.push_back(s);
+    }
+    while let Some(n) = q.pop_front() {
+        for &s in adj.get(n).map(|v| v.as_slice()).unwrap_or(&[]) {
+            if s == start {
+                // Reconstruct start → … → n → start.
+                let mut rev = vec![n];
+                let mut cur = n;
+                while cur != start {
+                    cur = parent[cur];
+                    rev.push(cur);
+                }
+                rev.reverse();
+                let mut cycle: Vec<String> = rev.into_iter().map(|s| s.to_string()).collect();
+                cycle.push(start.to_string());
+                return Some(cycle);
+            }
+            if s != start && !parent.contains_key(s) {
+                parent.insert(s, n);
+                q.push_back(s);
+            }
+        }
+    }
+    None
+}
+
+/// The workspace pass. Pushes *raw* findings (pre-suppression) into
+/// `out`; [`crate::rules::run_all`] applies the suppression filter. Edges
+/// whose acquisition line carries a reasoned `lint:allow(lock-order)` are
+/// removed before cycle detection — and re-emitted as raw findings so
+/// `--stale-allows` can tell a load-bearing exemption from a dead one.
+pub(crate) fn rule_locks(ctxs: &[FileCtx], out: &mut Vec<Finding>) {
+    let fns = collect_fns(ctxs);
+    let index = Index::build(&fns, ctxs);
+    let resolved: Vec<Vec<Option<usize>>> = fns
+        .iter()
+        .map(|f| f.calls.iter().map(|c| index.resolve(f, c)).collect())
+        .collect();
+    let mut memo: Vec<Option<Effects>> = vec![None; fns.len()];
+    let mut visiting = vec![false; fns.len()];
+    let effects: Vec<Effects> = (0..fns.len())
+        .map(|i| effects_of(i, &fns, &resolved, ctxs, &mut memo, &mut visiting))
+        .collect();
+
+    // Augment each fn's guard set with guards inherited from
+    // guard-returning workspace fns (`let g = lock(bucket);`).
+    let aug: Vec<Vec<Acq>> = fns
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            let ctx = &ctxs[f.ctx];
+            let mut a = f.acqs.clone();
+            for (ci, c) in f.calls.iter().enumerate() {
+                if let Some(g) = resolved[i][ci] {
+                    if fns[g].returns_guard && !effects[g].locks.is_empty() {
+                        let (ls, le, binding, _) = tree::guard_live_range(ctx, c.site, f.body);
+                        for lock in effects[g].locks.keys() {
+                            a.push(Acq {
+                                lock: lock.clone(),
+                                line: c.line,
+                                col: c.col,
+                                site: c.site,
+                                live: (ls, le),
+                                binding: binding.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+            a.sort_by_key(|x| x.site);
+            a
+        })
+        .collect();
+
+    let mut edges: BTreeMap<(String, String), Edge> = BTreeMap::new();
+    let mut local: Vec<Finding> = Vec::new();
+
+    let add_edge = |edges: &mut BTreeMap<(String, String), Edge>,
+                    local: &mut Vec<Finding>,
+                    ctx: &FileCtx,
+                    from: &str,
+                    to: &str,
+                    line: u32,
+                    col: u32,
+                    note: String| {
+        if ctx.suppressed("lock-order", line) {
+            // Raw finding so --stale-allows sees the exemption is live;
+            // run_all's suppression filter removes it from real output.
+            local.push(Finding {
+                path: ctx.path.clone(),
+                line,
+                col,
+                rule: "lock-order",
+                message: format!("`{to}` acquired while `{from}` held (suppressed edge)"),
+                hint: LOCK_ORDER_HINT,
+            });
+            return;
+        }
+        edges
+            .entry((from.to_string(), to.to_string()))
+            .or_insert(Edge {
+                path: ctx.path.clone(),
+                line,
+                col,
+                note,
+            });
+    };
+
+    for (i, f) in fns.iter().enumerate() {
+        let ctx = &ctxs[f.ctx];
+        let acqs = &aug[i];
+        let in_scope = BLOCKING_SCOPE.contains(&f.krate.as_str());
+
+        // Direct acquisitions while other guards are live.
+        for a in acqs {
+            let held = held_at(acqs, a.site);
+            for h in &held {
+                if h.lock == a.lock && h.site == a.site {
+                    continue;
+                }
+                add_edge(
+                    &mut edges,
+                    &mut local,
+                    ctx,
+                    &h.lock,
+                    &a.lock,
+                    a.line,
+                    a.col,
+                    format!(
+                        "`{}` acquired while `{}` held in {} ({}:{})",
+                        a.lock, h.lock, f.qual, ctx.path, a.line
+                    ),
+                );
+            }
+        }
+
+        // Calls: propagate callee lock effects as edges, callee blocking
+        // effects as findings.
+        for (ci, c) in f.calls.iter().enumerate() {
+            let Some(g) = resolved[i][ci] else { continue };
+            let held = held_at(acqs, c.site);
+            if held.is_empty() {
+                continue;
+            }
+            let eff = &effects[g];
+            for (lock, s) in &eff.locks {
+                for h in &held {
+                    if &h.lock == lock {
+                        continue;
+                    }
+                    add_edge(
+                        &mut edges,
+                        &mut local,
+                        ctx,
+                        &h.lock,
+                        lock,
+                        c.line,
+                        c.col,
+                        format!(
+                            "`{lock}` reached from `{}` while `{}` held in {} ({}:{}; acquired at {}:{})",
+                            c.name, h.lock, f.qual, ctx.path, c.line, s.path, s.line
+                        ),
+                    );
+                }
+            }
+            if in_scope {
+                if let Some((op, s)) = eff.blocking.iter().next() {
+                    local.push(Finding {
+                        path: ctx.path.clone(),
+                        line: c.line,
+                        col: c.col,
+                        rule: "blocking-under-lock",
+                        message: format!(
+                            "`{}` reaches blocking `{op}` ({}:{}) while holding {}",
+                            c.name,
+                            s.path,
+                            s.line,
+                            held_names(&held)
+                        ),
+                        hint: BLOCKING_HINT,
+                    });
+                }
+            }
+        }
+
+        // Direct blocking sites.
+        if in_scope {
+            for b in &f.blocks {
+                let held = held_at(acqs, b.site);
+                if held.is_empty() {
+                    continue;
+                }
+                local.push(Finding {
+                    path: ctx.path.clone(),
+                    line: b.line,
+                    col: b.col,
+                    rule: "blocking-under-lock",
+                    message: format!("blocking `{}` while holding {}", b.op, held_names(&held)),
+                    hint: BLOCKING_HINT,
+                });
+            }
+        }
+    }
+
+    // Cycle detection over the (suppression-filtered) edge set.
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (from, to) in edges.keys() {
+        adj.entry(from.as_str()).or_default().push(to.as_str());
+    }
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    for start in nodes {
+        let Some(cycle) = find_cycle(start, &adj) else {
+            continue;
+        };
+        let mut canon: Vec<String> = cycle[..cycle.len() - 1].to_vec();
+        canon.sort();
+        if !reported.insert(canon) {
+            continue;
+        }
+        let first = &edges[&(cycle[0].clone(), cycle[1].clone())];
+        let chain = cycle
+            .iter()
+            .map(|n| format!("`{n}`"))
+            .collect::<Vec<_>>()
+            .join(" → ");
+        let notes = cycle
+            .windows(2)
+            .map(|w| edges[&(w[0].clone(), w[1].clone())].note.clone())
+            .collect::<Vec<_>>()
+            .join("; ");
+        local.push(Finding {
+            path: first.path.clone(),
+            line: first.line,
+            col: first.col,
+            rule: "lock-order",
+            message: format!("lock-order cycle: {chain} — {notes}"),
+            hint: LOCK_ORDER_HINT,
+        });
+    }
+
+    // Deterministic order + dedup (augmented guards can duplicate edges).
+    local.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule, a.message.as_str()).cmp(&(
+            b.path.as_str(),
+            b.line,
+            b.col,
+            b.rule,
+            b.message.as_str(),
+        ))
+    });
+    local.dedup_by(|a, b| {
+        a.path == b.path
+            && a.line == b.line
+            && a.col == b.col
+            && a.rule == b.rule
+            && a.message == b.message
+    });
+    out.append(&mut local);
+}
+
+const LOCK_ORDER_HINT: &str =
+    "keep acquisitions consistent with the workspace lock order (DESIGN.md §12 \
+     \"Lock discipline\"), restructure to release before re-acquiring, or \
+     suppress the inner acquisition with `// lint:allow(lock-order): <how \
+     the order is enforced instead>` (e.g. index-order sharded locking)";
+
+const BLOCKING_HINT: &str = "hoist the blocking call out of the guarded region (stage state under \
+     the lock, do I/O after the guard drops), or suppress with \
+     `// lint:allow(blocking-under-lock): <why the stall is bounded and \
+     deliberate>`";
+
+#[cfg(test)]
+mod tests {
+    use crate::analyze_sources;
+    use crate::diag::Finding;
+
+    fn findings_for(files: &[(&str, &str)]) -> Vec<Finding> {
+        let owned: Vec<(String, String)> = files
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect();
+        analyze_sources(&owned)
+    }
+
+    fn rules_of(f: &[Finding]) -> Vec<&'static str> {
+        f.iter().map(|x| x.rule).collect()
+    }
+
+    #[test]
+    fn single_file_lock_cycle_fires() {
+        let src = "impl S {\n\
+                   fn fwd(&self) {\n    let a = self.alpha.lock();\n    let _b = self.beta.lock();\n    drop(a);\n}\n\
+                   fn bwd(&self) {\n    let b = self.beta.lock();\n    let _a = self.alpha.lock();\n    drop(b);\n}\n\
+                   }\n";
+        let f = findings_for(&[("crates/distrib/src/x.rs", src)]);
+        assert_eq!(rules_of(&f), vec!["lock-order"]);
+        assert!(f[0].message.contains("distrib::alpha"));
+        assert!(f[0].message.contains("distrib::beta"));
+    }
+
+    #[test]
+    fn two_file_cycle_with_crate_unification() {
+        let a = "impl A {\nfn fwd(&self) {\n    let g = self.alpha.lock();\n    let _h = self.beta.lock();\n    drop(g);\n}\n}\n";
+        let b = "impl B {\nfn bwd(&self) {\n    let g = self.beta.lock();\n    let _h = self.alpha.lock();\n    drop(g);\n}\n}\n";
+        let f = findings_for(&[
+            ("crates/distrib/src/a.rs", a),
+            ("crates/distrib/src/b.rs", b),
+        ]);
+        assert_eq!(rules_of(&f), vec!["lock-order"]);
+        // Reported at the alphabetically-first edge's acquisition site.
+        assert_eq!(f[0].path, "crates/distrib/src/a.rs");
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = "impl S {\nfn one(&self) {\n    let a = self.alpha.lock();\n    let _b = self.beta.lock();\n    drop(a);\n}\n\
+                   fn two(&self) {\n    let a = self.alpha.lock();\n    let _b = self.beta.lock();\n    drop(a);\n}\n}\n";
+        assert!(findings_for(&[("crates/distrib/src/x.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn suppressed_edge_breaks_the_cycle() {
+        let src = "impl S {\n\
+                   fn fwd(&self) {\n    let a = self.alpha.lock();\n    let _b = self.beta.lock();\n    drop(a);\n}\n\
+                   fn bwd(&self) {\n    let b = self.beta.lock();\n    // lint:allow(lock-order): shutdown-only path, fwd cannot run concurrently\n    let _a = self.alpha.lock();\n    drop(b);\n}\n\
+                   }\n";
+        assert!(findings_for(&[("crates/distrib/src/x.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn blocking_under_lock_direct_and_interprocedural() {
+        let src = "impl S {\n\
+                   fn direct(&self) {\n    let g = self.state.lock();\n    self.file.sync_all();\n    drop(g);\n}\n\
+                   fn via(&self) {\n    let g = self.state.lock();\n    self.persist();\n    drop(g);\n}\n\
+                   fn persist(&self) {\n    self.file.sync_all();\n}\n\
+                   }\n";
+        let f = findings_for(&[("crates/serve/src/x.rs", src)]);
+        assert_eq!(
+            rules_of(&f),
+            vec!["blocking-under-lock", "blocking-under-lock"]
+        );
+        assert_eq!(f[0].line, 4); // direct sync_all
+        assert_eq!(f[1].line, 9); // call that reaches it
+        assert!(f[1].message.contains("persist"));
+    }
+
+    #[test]
+    fn guard_dropped_before_blocking_is_clean() {
+        let src = "impl S {\nfn f(&self) {\n    let g = self.state.lock();\n    drop(g);\n    self.file.sync_all();\n}\n}\n";
+        assert!(findings_for(&[("crates/serve/src/x.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn if_let_temporary_guard_is_held() {
+        let src = "impl S {\nfn f(&self) {\n    if let Some(w) = self.wal.lock().as_mut() {\n        w.sync_data();\n    }\n}\n}\n";
+        let f = findings_for(&[("crates/serve/src/x.rs", src)]);
+        assert_eq!(rules_of(&f), vec!["blocking-under-lock"]);
+        assert!(f[0].message.contains("serve::wal"));
+    }
+
+    #[test]
+    fn assignment_place_guard_is_not_held() {
+        let src =
+            "impl S {\nfn f(&self) {\n    *self.wal.lock() = self.file.read_to_end();\n}\n}\n";
+        // RHS evaluates before the place expression locks.
+        let f = findings_for(&[("crates/distrib/src/x.rs", src)]);
+        assert!(!rules_of(&f).contains(&"blocking-under-lock"));
+    }
+
+    #[test]
+    fn out_of_scope_crate_is_exempt_from_blocking() {
+        let src = "impl S {\nfn f(&self) {\n    let g = self.state.lock();\n    self.file.sync_all();\n    drop(g);\n}\n}\n";
+        assert!(findings_for(&[("crates/core/src/x.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn lock_name_annotation_overrides_heuristic() {
+        let src = "impl S {\n\
+                   fn fwd(&self) {\n    let a = self.first.lock(); // lock-name: shared\n    let _b = self.second.lock();\n    drop(a);\n}\n\
+                   fn bwd(&self) {\n    let b = self.second.lock();\n    let _a = self.other.lock(); // lock-name: shared\n    drop(b);\n}\n\
+                   }\n";
+        // `first` and `other` unify under the annotation, closing a cycle
+        // the field heuristic would miss.
+        let f = findings_for(&[("crates/distrib/src/x.rs", src)]);
+        assert_eq!(rules_of(&f), vec!["lock-order"]);
+        assert!(f[0].message.contains("distrib::shared"));
+    }
+
+    #[test]
+    fn guard_returning_helper_transfers_the_lock() {
+        let src = "fn lock(b: &Bucket) -> MutexGuard<'_, u8> {\n    b.lock()\n}\n\
+                   impl S {\nfn f(&self, b: &Bucket) {\n    let g = lock(b);\n    self.file.sync_all();\n    drop(g);\n}\n}\n";
+        let f = findings_for(&[("crates/serve/src/x.rs", src)]);
+        assert_eq!(rules_of(&f), vec!["blocking-under-lock"]);
+        assert!(f[0].message.contains("serve::b"));
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f(s: &S) {\n        let g = s.state.lock();\n        s.file.sync_all();\n        drop(g);\n    }\n}\n";
+        assert!(findings_for(&[("crates/serve/src/x.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn call_on_fresh_guard_is_not_name_resolved() {
+        // `self.horizons.lock().query(h)` dereferences to the protected
+        // store; a same-named method on the enclosing type must not be
+        // misbound into a self-edge (false lock-order cycle).
+        let src = "impl S {\n\
+                   fn query(&self, h: u64) -> u64 {\n    let n = self.sites.lock().len();\n    self.horizons.lock().query(h) + n\n}\n\
+                   fn snap(&self) {\n    let s = self.sites.lock();\n    self.horizons.lock();\n    drop(s);\n}\n\
+                   }\n";
+        assert!(findings_for(&[("crates/distrib/src/x.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn call_on_live_guard_binding_is_not_name_resolved() {
+        // Same for a bound guard: `store.record(..)` is a method on the
+        // data behind `horizons`, not the workspace fn named `record`.
+        let src = "impl S {\n\
+                   fn import(&self) {\n    let mut store = self.horizons.lock();\n    store.record(1);\n    drop(store);\n}\n\
+                   fn record(&self, t: u64) {\n    let s = self.sites.lock();\n    self.horizons.lock();\n    drop(s);\n}\n\
+                   }\n";
+        assert!(findings_for(&[("crates/distrib/src/x.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn plain_if_condition_guard_is_not_held_in_block() {
+        let src = "impl S {\nfn drop_guard(&self) {\n    if self.report.lock().is_none() {\n        self.file.sync_all();\n    }\n}\n}\n";
+        assert!(findings_for(&[("crates/serve/src/x.rs", src)]).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod stmt_boundary_regression {
+    use super::*;
+    use crate::context::FileCtx;
+
+    /// A block-terminated statement (`if .. { .. }`) before an
+    /// acquisition must not absorb it: the guard binding after the block
+    /// gets Binding liveness of its own, so the violation still fires.
+    /// (Regression: `stmt_start` once walked back across the `}`.)
+    #[test]
+    fn guard_after_block_statement_keeps_binding_liveness() {
+        let src = "impl S {\n\
+fn apply(&self) {\n\
+    #[cfg(feature = \"failpoints\")]\n\
+    if fp::should_fire(fp::PRE)\n\
+    {\n\
+        self.crash();\n\
+        return;\n\
+    }\n\
+    let g1 = self.state.lock();\n\
+    self.file.sync_data();\n\
+    drop(g1);\n\
+}\n\
+}\n";
+        let ctx = FileCtx::new("crates/distrib/src/x.rs", src);
+        let mut out = Vec::new();
+        rule_locks(std::slice::from_ref(&ctx), &mut out);
+        let rules: Vec<&str> = out.iter().map(|f| f.rule).collect();
+        assert_eq!(rules, vec!["blocking-under-lock"]);
+        assert_eq!(out[0].line, 10);
+    }
+}

@@ -2,22 +2,29 @@
 //! `.cargo/config.toml`.
 //!
 //! ```text
-//! ustream-lint [--format text|json] [--root <dir>] [paths...]
+//! ustream-lint [--format text|json] [--root <dir>] [--stale-allows] [paths...]
 //! ```
 //!
 //! With no paths, lints every workspace `.rs` file (excluding `target/`,
 //! `vendor/`, and the deliberately-violating rule fixtures). With explicit
 //! paths, lints exactly those — which is how CI asserts the seeded
-//! fixtures still fire. Exits 0 when clean, 1 on any finding, 2 on usage
-//! or I/O errors.
+//! fixtures still fire. `--stale-allows` instead audits suppression
+//! annotations: any `lint:allow` / `relaxed-ok` whose target line no
+//! longer produces the finding it excuses is reported (dead exemptions
+//! rot into false confidence). Exits 0 when clean, 1 on any finding, 2 on
+//! usage or I/O errors.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use ustream_lint::{find_workspace_root, lint_paths, lint_workspace, render_json, render_report};
+use ustream_lint::{
+    find_workspace_root, lint_paths_with_stats, lint_workspace_with_stats, render_json_with_stats,
+    render_report, stale_allows_workspace,
+};
 
 fn main() -> ExitCode {
     let mut format_json = false;
+    let mut stale_mode = false;
     let mut root: Option<PathBuf> = None;
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -38,8 +45,12 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--stale-allows" => stale_mode = true,
             "--help" | "-h" => {
-                eprintln!("usage: ustream-lint [--format text|json] [--root <dir>] [paths...]");
+                eprintln!(
+                    "usage: ustream-lint [--format text|json] [--root <dir>] \
+                     [--stale-allows] [paths...]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => paths.push(PathBuf::from(other)),
@@ -56,13 +67,20 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
 
-    let result = if paths.is_empty() {
-        lint_workspace(&root)
+    let result = if stale_mode {
+        if paths.is_empty() {
+            stale_allows_workspace(&root)
+        } else {
+            eprintln!("ustream-lint: --stale-allows audits the whole workspace; drop the paths");
+            return ExitCode::from(2);
+        }
+    } else if paths.is_empty() {
+        lint_workspace_with_stats(&root)
     } else {
-        lint_paths(&root, &paths)
+        lint_paths_with_stats(&root, &paths)
     };
-    let findings = match result {
-        Ok(f) => f,
+    let (findings, stats) = match result {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("ustream-lint: {e}");
             return ExitCode::from(2);
@@ -70,7 +88,7 @@ fn main() -> ExitCode {
     };
 
     if format_json {
-        print!("{}", render_json(&findings));
+        print!("{}", render_json_with_stats(&findings, &stats));
     } else {
         print!("{}", render_report(&findings));
     }

@@ -74,15 +74,38 @@ pub const RULE_IDS: &[&str] = &[
     "net-funnel",
     "wal-funnel",
     "safety-comment",
+    "lock-order",
+    "blocking-under-lock",
     "suppression",
 ];
 
 /// Runs every rule over every file, applies suppressions, and returns the
 /// findings sorted by `(path, line, col, rule)`.
 pub fn run_all(ctxs: &[FileCtx]) -> Vec<Finding> {
-    let mut findings = Vec::new();
+    let mut findings = raw_all(ctxs);
+    let by_path: std::collections::BTreeMap<&str, &FileCtx> =
+        ctxs.iter().map(|c| (c.path.as_str(), c)).collect();
+    findings.retain(|f| {
+        !by_path
+            .get(f.path.as_str())
+            .is_some_and(|c| c.suppressed(f.rule, f.line))
+    });
     for ctx in ctxs {
-        let mut raw = Vec::new();
+        rule_suppression_hygiene(ctx, &mut findings);
+    }
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+    findings
+}
+
+/// Every rule's findings *before* suppression filtering — the per-file
+/// rules plus the workspace lock analysis. `--stale-allows` compares this
+/// against the suppression set: an exemption with no raw finding at its
+/// target line is dead.
+pub(crate) fn raw_all(ctxs: &[FileCtx]) -> Vec<Finding> {
+    let mut raw = Vec::new();
+    for ctx in ctxs {
         rule_hot_panic(ctx, &mut raw);
         rule_float_eq(ctx, &mut raw);
         rule_nan_ord(ctx, &mut raw);
@@ -95,14 +118,91 @@ pub fn run_all(ctxs: &[FileCtx]) -> Vec<Finding> {
         rule_net_funnel(ctx, &mut raw);
         rule_wal_funnel(ctx, &mut raw);
         rule_safety_comment(ctx, &mut raw);
-        raw.retain(|f| !ctx.suppressed(f.rule, f.line));
-        rule_suppression_hygiene(ctx, &mut raw);
-        findings.append(&mut raw);
     }
-    findings.sort_by(|a, b| {
-        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
-    });
-    findings
+    crate::locks::rule_locks(ctxs, &mut raw);
+    raw
+}
+
+/// `stale-allow` — suppressions whose target line no longer produces the
+/// suppressed finding. Run via `ustream-lint --stale-allows`; not part of
+/// the normal rule set (and deliberately not suppressible: a stale allow
+/// is fixed by deleting it, not annotating it).
+pub fn stale_allows(ctxs: &[FileCtx]) -> Vec<Finding> {
+    let raw = raw_all(ctxs);
+    let mut out = Vec::new();
+    for ctx in ctxs {
+        // An allow naming rule R is live iff a raw finding of R lands on
+        // the annotation's line or the line below (its coverage span).
+        for s in &ctx.suppressions {
+            if !s.has_reason {
+                continue; // reason-less allows are `suppression`'s beat
+            }
+            for r in &s.rules {
+                if !RULE_IDS.contains(&r.as_str()) {
+                    continue; // unknown ids are `suppression`'s beat
+                }
+                let live = raw.iter().any(|f| {
+                    f.rule == r.as_str()
+                        && f.path == ctx.path
+                        && (f.line == s.line || f.line == s.line + 1)
+                });
+                if !live {
+                    out.push(Finding {
+                        path: ctx.path.clone(),
+                        line: s.line,
+                        col: 1,
+                        rule: "stale-allow",
+                        message: format!(
+                            "`lint:allow({r})` no longer suppresses anything on this line"
+                        ),
+                        hint: "the code it excused changed or moved — delete the annotation",
+                    });
+                }
+            }
+        }
+        // A relaxed-ordering justification is live iff an
+        // `Ordering::Relaxed` token sits on its line or the line below
+        // (the same coverage the rule grants).
+        for (ti, t) in ctx.tokens.iter().enumerate() {
+            if t.is_doc_comment() {
+                continue;
+            }
+            let text = match &t.kind {
+                TokKind::LineComment(s) | TokKind::BlockComment(s) => s,
+                _ => continue,
+            };
+            if !text.contains("relaxed-ok:") {
+                continue;
+            }
+            let line = ctx.tokens[ti].line;
+            let live = ctx.sig.iter().any(|&i| {
+                let tok = &ctx.tokens[i];
+                tok.ident() == Some("Relaxed") && (tok.line == line || tok.line == line + 1)
+            });
+            // A justification inside a contiguous comment block above the
+            // site is also live: the rule walks comment blocks upward.
+            let live = live
+                || ctx.sig.iter().any(|&i| {
+                    let tok = &ctx.tokens[i];
+                    tok.ident() == Some("Relaxed")
+                        && relaxed_justified(ctx, tok.line)
+                        && (line < tok.line && tok.line - line <= 6)
+                });
+            if !live {
+                out.push(Finding {
+                    path: ctx.path.clone(),
+                    line,
+                    col: t.col,
+                    rule: "stale-allow",
+                    message: "`relaxed-ok:` with no `Ordering::Relaxed` nearby".to_string(),
+                    hint: "the atomic it justified changed or moved — delete the annotation",
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| (a.path.as_str(), a.line, a.col).cmp(&(b.path.as_str(), b.line, b.col)));
+    out.dedup_by(|a, b| a.path == b.path && a.line == b.line && a.message == b.message);
+    out
 }
 
 /// Significant-token accessor: `tok(ctx, k)` is the `k`-th non-comment
@@ -803,7 +903,8 @@ fn rule_suppression_hygiene(ctx: &FileCtx, out: &mut Vec<Finding>) {
                     message: format!("`lint:allow` names unknown rule `{r}`"),
                     hint: "valid ids: hot-panic, float-eq, nan-ord, relaxed-atomic, \
                            nondet-iter, no-sleep, lossy-cast, missing-docs, blocking-io, \
-                           net-funnel, wal-funnel, safety-comment",
+                           net-funnel, wal-funnel, safety-comment, lock-order, \
+                           blocking-under-lock",
                 });
             }
         }

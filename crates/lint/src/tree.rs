@@ -1,0 +1,720 @@
+//! Token-tree / scope recovery: the middle layer between the lexer and
+//! the workspace analyses.
+//!
+//! The per-file rules in [`crate::rules`] get by on flat token scans, but
+//! the concurrency rules ([`crate::locks`]) need *structure*: which `fn`
+//! a token belongs to, where that fn's body ends, which `impl` block it
+//! sits in (so `self.method()` calls can be resolved), and — the load-
+//! bearing part — how long a `MutexGuard`/`RwLock` guard obtained by
+//! `.lock()` / `.read()` / `.write()` stays live. This module recovers
+//! all of that from the token stream alone, by brace/paren matching: no
+//! external parser, consistent with the workspace's vendored-only policy.
+//!
+//! Guard liveness follows Rust's drop rules closely enough for analysis:
+//!
+//! * `let g = x.lock();` — live until the end of the enclosing block, or
+//!   an explicit `drop(g)`;
+//! * `if let` / `while let` / `for` / `match` over an acquisition — the
+//!   temporary lives through the attached block (`if let Some(w) =
+//!   self.wal.lock().as_mut() { ... }` holds the lock across the body);
+//! * `*x.lock() = rhs;` — the place expression is evaluated *after* the
+//!   right-hand side, so nothing on the RHS runs under the guard;
+//! * any other temporary — live to the end of its statement.
+
+use crate::context::FileCtx;
+use crate::lexer::TokKind;
+
+/// One `fn` item recovered from the token stream.
+#[derive(Debug)]
+pub struct FnScope {
+    /// The fn's simple name.
+    pub name: String,
+    /// Enclosing `impl` type, when inside an `impl` block (`Inner` for
+    /// `impl Inner { fn apply_delta... }`) — trait impls resolve to the
+    /// implementing type (`impl Drop for Coordinator` → `Coordinator`).
+    pub impl_type: Option<String>,
+    /// Significant-token index of the `fn` keyword.
+    pub kw: usize,
+    /// Significant-token range of the body: `(open_brace, close_brace)`,
+    /// `None` for bodyless trait declarations.
+    pub body: Option<(usize, usize)>,
+    /// 1-indexed line of the `fn` keyword.
+    pub line: u32,
+    /// Whether the return type mentions a guard type (`MutexGuard`,
+    /// `RwLockReadGuard`, …) — callers of such a fn inherit its locks.
+    pub returns_guard: bool,
+}
+
+fn op_at(ctx: &FileCtx, k: usize) -> Option<&str> {
+    ctx.sig.get(k).map(|&i| &ctx.tokens[i]).and_then(|t| t.op())
+}
+
+fn ident_at(ctx: &FileCtx, k: usize) -> Option<&str> {
+    ctx.sig
+        .get(k)
+        .map(|&i| &ctx.tokens[i])
+        .and_then(|t| t.ident())
+}
+
+/// How many `>` closes an operator token contributes to angle-bracket
+/// depth (`>>` in `Vec<Vec<T>>` lexes as one token).
+fn angle_delta(op: &str) -> i32 {
+    match op {
+        "<" => 1,
+        "<<" => 2,
+        ">" => -1,
+        ">>" => -2,
+        _ => 0,
+    }
+}
+
+/// Finds the matching close brace for the open brace at significant index
+/// `open`. Returns the index of the `}`, or the last token on unbalanced
+/// input (the lexer never invents braces, so this only happens on
+/// truncated files).
+pub fn matching_brace(ctx: &FileCtx, open: usize) -> usize {
+    let mut depth = 0i32;
+    for k in open..ctx.sig.len() {
+        match op_at(ctx, k) {
+            Some("{") => depth += 1,
+            Some("}") => {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+            _ => {}
+        }
+    }
+    ctx.sig.len().saturating_sub(1)
+}
+
+/// Recovers every `fn` item in the file, with its enclosing impl type and
+/// body extent.
+pub fn fn_scopes(ctx: &FileCtx) -> Vec<FnScope> {
+    let mut out = Vec::new();
+    // (impl type, body close index) stack entries, innermost last.
+    let mut impls: Vec<(Option<String>, usize)> = Vec::new();
+    let mut k = 0usize;
+    while k < ctx.sig.len() {
+        impls.retain(|&(_, end)| k <= end);
+        match ident_at(ctx, k) {
+            Some("impl") => {
+                if let Some((ty, open)) = parse_impl_header(ctx, k) {
+                    let close = matching_brace(ctx, open);
+                    impls.push((ty, close));
+                    k = open + 1;
+                    continue;
+                }
+                k += 1;
+            }
+            Some("fn") => {
+                let Some(name) = ident_at(ctx, k + 1) else {
+                    k += 1;
+                    continue;
+                };
+                let (body, returns_guard) = parse_fn_signature(ctx, k + 2);
+                let line = ctx.tokens[ctx.sig[k]].line;
+                let impl_type = impls.last().and_then(|(t, _)| t.clone());
+                let next = match body {
+                    Some((open, close)) => {
+                        out.push(FnScope {
+                            name: name.to_string(),
+                            impl_type,
+                            kw: k,
+                            body: Some((open, close)),
+                            line,
+                            returns_guard,
+                        });
+                        // Scan *into* the body so nested fns are found too
+                        // (their tokens also belong to the outer body; the
+                        // lock analysis tolerates that overlap).
+                        open + 1
+                    }
+                    None => {
+                        out.push(FnScope {
+                            name: name.to_string(),
+                            impl_type,
+                            kw: k,
+                            body: None,
+                            line,
+                            returns_guard,
+                        });
+                        k + 2
+                    }
+                };
+                k = next;
+            }
+            _ => k += 1,
+        }
+    }
+    out
+}
+
+/// Parses an `impl` header starting at the `impl` keyword: returns the
+/// implementing type's simple name and the index of the body's `{`.
+fn parse_impl_header(ctx: &FileCtx, k: usize) -> Option<(Option<String>, usize)> {
+    let mut angle = 0i32;
+    let mut last_ident: Option<String> = None;
+    let mut j = k + 1;
+    while j < ctx.sig.len() {
+        if let Some(op) = op_at(ctx, j) {
+            let d = angle_delta(op);
+            if d != 0 {
+                angle += d;
+                j += 1;
+                continue;
+            }
+            if angle <= 0 {
+                match op {
+                    "{" => return Some((last_ident, j)),
+                    ";" => return None, // `impl Trait for T;` does not exist; bail safely
+                    _ => {}
+                }
+            }
+        } else if angle <= 0 {
+            match ident_at(ctx, j) {
+                // `impl Trait for Type`: the type after `for` wins.
+                Some("for") => last_ident = None,
+                Some("where") => {
+                    // Type name is settled; skip to the body brace.
+                    while j < ctx.sig.len() && op_at(ctx, j) != Some("{") {
+                        j += 1;
+                    }
+                    continue;
+                }
+                Some(name) => last_ident = Some(name.to_string()),
+                None => {}
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Scans a fn signature starting just past the name: returns the body
+/// range (or `None` for `;`-terminated declarations) and whether the
+/// return type names a guard.
+fn parse_fn_signature(ctx: &FileCtx, start: usize) -> (Option<(usize, usize)>, bool) {
+    let mut angle = 0i32;
+    let mut paren = 0i32;
+    let mut after_arrow = false;
+    let mut returns_guard = false;
+    let mut j = start;
+    while j < ctx.sig.len() {
+        if let Some(op) = op_at(ctx, j) {
+            let d = angle_delta(op);
+            if d != 0 {
+                angle += d;
+            } else {
+                match op {
+                    "(" | "[" => paren += 1,
+                    ")" | "]" => paren -= 1,
+                    "->" if paren == 0 => after_arrow = true,
+                    "{" if paren == 0 && angle <= 0 => {
+                        let close = matching_brace(ctx, j);
+                        return (Some((j, close)), returns_guard);
+                    }
+                    ";" if paren == 0 && angle <= 0 => return (None, returns_guard),
+                    _ => {}
+                }
+            }
+        } else if after_arrow {
+            if let Some(name) = ident_at(ctx, j) {
+                if name.contains("Guard") {
+                    returns_guard = true;
+                }
+            }
+        }
+        j += 1;
+    }
+    (None, returns_guard)
+}
+
+/// What a guard-producing receiver looked like.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Receiver {
+    /// A field/static path, segments in source order (`self.inner.sites`
+    /// → `["self", "inner", "sites"]`).
+    Path(Vec<String>),
+    /// The result of a call (`registry().lock()` → `"registry"`).
+    CallResult(String),
+    /// Unrecognized shape (complex expression).
+    Opaque,
+}
+
+impl Receiver {
+    /// The naming segment: the last path segment, or the called fn.
+    pub fn key(&self) -> Option<&str> {
+        match self {
+            Receiver::Path(segs) => segs.last().map(|s| s.as_str()),
+            Receiver::CallResult(f) => Some(f.as_str()),
+            Receiver::Opaque => None,
+        }
+    }
+}
+
+/// Walks backwards from the significant index of a `.` to recover the
+/// receiver expression in front of it.
+pub fn receiver_before_dot(ctx: &FileCtx, dot: usize) -> Receiver {
+    let mut segs: Vec<String> = Vec::new();
+    let mut j = dot; // index of the `.`
+    loop {
+        if j == 0 {
+            break;
+        }
+        let prev = j - 1;
+        if let Some(name) = ident_at(ctx, prev) {
+            segs.push(name.to_string());
+            // Continue only through `.` / `::` chains.
+            if prev >= 1 && matches!(op_at(ctx, prev - 1), Some("." | "::")) {
+                j = prev - 1;
+                continue;
+            }
+            break;
+        }
+        if op_at(ctx, prev) == Some(")") {
+            // Call result: find the matching `(` backwards, then the name.
+            let mut depth = 0i32;
+            let mut i = prev;
+            loop {
+                match op_at(ctx, i) {
+                    Some(")") => depth += 1,
+                    Some("(") => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                if i == 0 {
+                    return Receiver::Opaque;
+                }
+                i -= 1;
+            }
+            if i >= 1 {
+                if let Some(f) = ident_at(ctx, i - 1) {
+                    return Receiver::CallResult(f.to_string());
+                }
+            }
+            return Receiver::Opaque;
+        }
+        break;
+    }
+    if segs.is_empty() {
+        Receiver::Opaque
+    } else {
+        segs.reverse();
+        Receiver::Path(segs)
+    }
+}
+
+/// Finds the significant index where the statement containing `at`
+/// starts, scanning backwards to the nearest `;`, `{`, or `}` at nesting
+/// depth zero (relative to `at`). `floor` bounds the scan (fn body open).
+pub fn stmt_start(ctx: &FileCtx, at: usize, floor: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = at;
+    while j > floor {
+        let prev = j - 1;
+        match op_at(ctx, prev) {
+            // A `}` at depth 0 going backwards closes the *previous*
+            // statement (block-terminated, like `if .. { .. }`), so the
+            // statement containing `at` starts here.
+            Some("}") if depth == 0 => return j,
+            Some(")" | "]" | "}") => depth += 1,
+            Some("(" | "[" | "{") => {
+                depth -= 1;
+                if depth < 0 {
+                    return j;
+                }
+            }
+            Some(";") if depth == 0 => return j,
+            _ => {}
+        }
+        j = prev;
+    }
+    floor + 1
+}
+
+/// The end (exclusive upper significant index) of the statement
+/// containing `at`: the next `;` at depth 0, or the end of the enclosing
+/// block.
+pub fn stmt_end(ctx: &FileCtx, at: usize, ceil: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = at;
+    while j < ceil {
+        match op_at(ctx, j) {
+            Some("(" | "[" | "{") => depth += 1,
+            Some(")" | "]" | "}") => {
+                depth -= 1;
+                if depth < 0 {
+                    return j;
+                }
+            }
+            Some(";") if depth == 0 => return j,
+            _ => {}
+        }
+        j += 1;
+    }
+    ceil
+}
+
+/// The end of the enclosing block: the `}` whose matching `{` opened
+/// before `at`. `ceil` is the fn body close.
+pub fn enclosing_block_end(ctx: &FileCtx, at: usize, ceil: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = at;
+    while j < ceil {
+        match op_at(ctx, j) {
+            Some("{") => depth += 1,
+            Some("}") => {
+                depth -= 1;
+                if depth < 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    ceil
+}
+
+/// For a control-flow statement (`if` / `while` / `for` / `match`)
+/// starting before `at`, the end of the block attached to the condition:
+/// the matching `}` of the first `{` at paren-depth 0 after `at`.
+pub fn construct_end(ctx: &FileCtx, at: usize, ceil: usize) -> usize {
+    let mut paren = 0i32;
+    let mut j = at;
+    while j < ceil {
+        match op_at(ctx, j) {
+            Some("(" | "[") => paren += 1,
+            Some(")" | "]") => paren -= 1,
+            Some("{") if paren == 0 => return matching_brace(ctx, j).min(ceil),
+            Some(";") if paren == 0 => return j, // no block (e.g. `while cond;`? safety net)
+            _ => {}
+        }
+        j += 1;
+    }
+    ceil
+}
+
+/// How a guard's liveness was derived (kept on the site for diagnostics
+/// and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Liveness {
+    /// `let g = ...;` — live to block end (or `drop(g)`).
+    Binding,
+    /// Temporary inside `if let` / `while let` / `for` / `match` — live
+    /// through the attached block.
+    Construct,
+    /// Plain temporary — live to the end of the statement.
+    Statement,
+    /// Place expression left of `=` — effectively empty (RHS runs first).
+    AssignPlace,
+}
+
+/// Computes the live significant-index range for a guard produced at
+/// `acq` (the index of the producing call's method/fn name token), given
+/// the fn body `(open, close)`. Returns `(start, end, bound_var,
+/// liveness)`; `end` is inclusive-exclusive against token indices in
+/// `[start, end)` being "under the guard".
+pub fn guard_live_range(
+    ctx: &FileCtx,
+    acq: usize,
+    body: (usize, usize),
+) -> (usize, usize, Option<String>, Liveness) {
+    let (open, close) = body;
+    let start_of_stmt = stmt_start(ctx, acq, open);
+    // Assignment place: a top-level `=` after the acquisition within the
+    // statement means the guard is only the store destination.
+    {
+        let send = stmt_end(ctx, acq, close);
+        let mut depth = 0i32;
+        for j in acq..send {
+            match op_at(ctx, j) {
+                Some("(" | "[" | "{") => depth += 1,
+                Some(")" | "]" | "}") => depth -= 1,
+                Some("=") if depth == 0 => {
+                    return (acq, acq, None, Liveness::AssignPlace);
+                }
+                _ => {}
+            }
+        }
+    }
+    match ident_at(ctx, start_of_stmt) {
+        Some("let") => {
+            // `let [mut] var = <acquisition>;` — bound guard when the
+            // acquisition chain ends the initializer; a longer postfix
+            // chain (`.lock().len()`) consumes the guard in-statement.
+            let mut v = start_of_stmt + 1;
+            if ident_at(ctx, v) == Some("mut") {
+                v += 1;
+            }
+            let var = ident_at(ctx, v).map(|s| s.to_string());
+            let simple_pattern = var.is_some() && matches!(op_at(ctx, v + 1), Some("=" | ":"));
+            let send = stmt_end(ctx, acq, close);
+            // The producing call's argument list: `name ( ... )`.
+            let chain_cont = {
+                let mut j = acq + 1;
+                if op_at(ctx, j) == Some("(") {
+                    let mut depth = 0i32;
+                    while j < send {
+                        match op_at(ctx, j) {
+                            Some("(") => depth += 1,
+                            Some(")") => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                }
+                matches!(op_at(ctx, j + 1), Some(".") | Some("?"))
+            };
+            if chain_cont {
+                return (acq, send, None, Liveness::Statement);
+            }
+            let mut end = enclosing_block_end(ctx, acq, close);
+            if simple_pattern {
+                if let Some(var_name) = &var {
+                    // Explicit `drop(var)` truncates liveness.
+                    let mut j = acq;
+                    while j + 2 < end {
+                        if ident_at(ctx, j) == Some("drop")
+                            && op_at(ctx, j + 1) == Some("(")
+                            && ident_at(ctx, j + 2) == Some(var_name.as_str())
+                            && op_at(ctx, j + 3) == Some(")")
+                        {
+                            end = j;
+                            break;
+                        }
+                        j += 1;
+                    }
+                }
+            }
+            (acq, end, var.filter(|_| simple_pattern), Liveness::Binding)
+        }
+        Some(kw @ ("if" | "while" | "for" | "match")) => {
+            // `if let` / `while let` / `match` / `for` scrutinee
+            // temporaries live through the attached block. A *plain*
+            // `if cond` / `while cond` drops its condition temporaries
+            // once the condition evaluates to a bool, before the block
+            // runs — the guard is condition-scoped only.
+            let is_let = ident_at(ctx, start_of_stmt + 1) == Some("let");
+            if matches!(kw, "if" | "while") && !is_let {
+                // Live until the block opens (the end of the condition);
+                // braces inside parenthesized closures don't count.
+                let mut j = acq;
+                let mut paren = 0i32;
+                while j < close {
+                    match op_at(ctx, j) {
+                        Some("(" | "[") => paren += 1,
+                        Some(")" | "]") => paren -= 1,
+                        Some("{") if paren == 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                (acq, j, None, Liveness::Statement)
+            } else {
+                let end = construct_end(ctx, acq, close);
+                (acq, end, None, Liveness::Construct)
+            }
+        }
+        _ => {
+            let end = stmt_end(ctx, acq, close);
+            (acq, end, None, Liveness::Statement)
+        }
+    }
+}
+
+/// True when the significant token at `k` is an identifier immediately
+/// followed by `(` — a call shape.
+pub fn is_call(ctx: &FileCtx, k: usize) -> bool {
+    ident_at(ctx, k).is_some() && op_at(ctx, k + 1) == Some("(")
+}
+
+/// True when the call at `k` has an empty argument list (`name()`).
+pub fn is_nullary_call(ctx: &FileCtx, k: usize) -> bool {
+    is_call(ctx, k) && op_at(ctx, k + 2) == Some(")")
+}
+
+/// The kind payload at significant index `k`, if in range.
+pub fn kind_at(ctx: &FileCtx, k: usize) -> Option<&TokKind> {
+    ctx.sig.get(k).map(|&i| &ctx.tokens[i].kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(src: &str) -> FileCtx {
+        FileCtx::new("crates/engine/src/x.rs", src)
+    }
+
+    #[test]
+    fn fn_scopes_with_impl_types() {
+        let src = "impl Inner {\n    fn apply(&self) { body(); }\n}\n\
+                   impl Drop for Coordinator {\n    fn drop(&mut self) {}\n}\n\
+                   fn free() {}\n";
+        let c = ctx(src);
+        let fns = fn_scopes(&c);
+        let names: Vec<(Option<&str>, &str)> = fns
+            .iter()
+            .map(|f| (f.impl_type.as_deref(), f.name.as_str()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                (Some("Inner"), "apply"),
+                (Some("Coordinator"), "drop"),
+                (None, "free"),
+            ]
+        );
+        assert!(fns.iter().all(|f| f.body.is_some()));
+    }
+
+    #[test]
+    fn generic_impl_and_where_clause() {
+        let src = "impl<T: Clone> Registry<T> where T: Send {\n    fn get(&self) {}\n}\n";
+        let fns = fn_scopes(&ctx(src));
+        assert_eq!(fns[0].impl_type.as_deref(), Some("Registry"));
+    }
+
+    #[test]
+    fn guard_returning_signature() {
+        let src = "fn lock(b: &Bucket) -> MutexGuard<'_, u8> { b.lock() }\n\
+                   fn lock_all(&self) -> Vec<MutexGuard<'_, u8>> { v() }\n\
+                   fn plain(&self) -> u8 { 0 }\n";
+        let fns = fn_scopes(&ctx(src));
+        assert!(fns[0].returns_guard);
+        assert!(fns[1].returns_guard);
+        assert!(!fns[2].returns_guard);
+    }
+
+    #[test]
+    fn receiver_paths() {
+        let src = "fn f(&self) { self.inner.sites.lock(); registry().lock(); b.lock(); }\n";
+        let c = ctx(src);
+        // Find each `lock` ident's significant index.
+        let locks: Vec<usize> = (0..c.sig.len())
+            .filter(|&k| {
+                c.sig
+                    .get(k)
+                    .map(|&i| c.tokens[i].ident() == Some("lock"))
+                    .unwrap_or(false)
+            })
+            .collect();
+        assert_eq!(
+            receiver_before_dot(&c, locks[0] - 1),
+            Receiver::Path(vec!["self".into(), "inner".into(), "sites".into()])
+        );
+        assert_eq!(
+            receiver_before_dot(&c, locks[1] - 1),
+            Receiver::CallResult("registry".into())
+        );
+        assert_eq!(
+            receiver_before_dot(&c, locks[2] - 1),
+            Receiver::Path(vec!["b".into()])
+        );
+    }
+
+    fn lock_idx(c: &FileCtx, nth: usize) -> usize {
+        (0..c.sig.len())
+            .filter(|&k| {
+                c.sig
+                    .get(k)
+                    .map(|&i| c.tokens[i].ident() == Some("lock"))
+                    .unwrap_or(false)
+            })
+            .nth(nth)
+            .expect("lock token")
+    }
+
+    #[test]
+    fn binding_guard_lives_to_block_end_or_drop() {
+        let src = "fn f(&self) {\n    let sites = self.sites.lock();\n    use_it();\n    drop(sites);\n    after();\n}\n";
+        let c = ctx(src);
+        let fns = fn_scopes(&c);
+        let body = fns[0].body.unwrap();
+        let acq = lock_idx(&c, 0);
+        let (start, end, var, live) = guard_live_range(&c, acq, body);
+        assert_eq!(live, Liveness::Binding);
+        assert_eq!(var.as_deref(), Some("sites"));
+        // `use_it` is inside the range, `after` is not.
+        let use_it = (start..end).any(|k| ident_at(&c, k) == Some("use_it"));
+        let after = (start..end).any(|k| ident_at(&c, k) == Some("after"));
+        assert!(use_it && !after);
+    }
+
+    #[test]
+    fn if_let_temporary_lives_through_block() {
+        let src = "fn f(&self) {\n    if let Some(w) = self.wal.lock().as_mut() {\n        w.append();\n    }\n    after();\n}\n";
+        let c = ctx(src);
+        let body = fn_scopes(&c)[0].body.unwrap();
+        let acq = lock_idx(&c, 0);
+        let (start, end, _, live) = guard_live_range(&c, acq, body);
+        assert_eq!(live, Liveness::Construct);
+        let append = (start..end).any(|k| ident_at(&c, k) == Some("append"));
+        let after = (start..end).any(|k| ident_at(&c, k) == Some("after"));
+        assert!(append && !after);
+    }
+
+    #[test]
+    fn plain_if_condition_temp_drops_before_the_block() {
+        // Unlike `if let`, a plain `if` evaluates its condition to a bool
+        // and drops the temporaries before the block runs.
+        let src =
+            "fn f(&self) {\n    if self.report.lock().is_none() {\n        heavy();\n    }\n}\n";
+        let c = ctx(src);
+        let body = fn_scopes(&c)[0].body.unwrap();
+        let acq = lock_idx(&c, 0);
+        let (start, end, _, live) = guard_live_range(&c, acq, body);
+        assert_eq!(live, Liveness::Statement);
+        let heavy = (start..end).any(|k| ident_at(&c, k) == Some("heavy"));
+        assert!(!heavy);
+    }
+
+    #[test]
+    fn chained_let_is_statement_lived() {
+        let src = "fn f(&self) {\n    let n = self.sites.lock().len();\n    after();\n}\n";
+        let c = ctx(src);
+        let body = fn_scopes(&c)[0].body.unwrap();
+        let acq = lock_idx(&c, 0);
+        let (start, end, var, live) = guard_live_range(&c, acq, body);
+        assert_eq!(live, Liveness::Statement);
+        assert!(var.is_none());
+        let after = (start..end).any(|k| ident_at(&c, k) == Some("after"));
+        assert!(!after);
+    }
+
+    #[test]
+    fn assignment_place_is_not_held_over_rhs() {
+        let src = "fn f(&self) {\n    *self.wal.lock() = Some(Wal::create(path));\n}\n";
+        let c = ctx(src);
+        let body = fn_scopes(&c)[0].body.unwrap();
+        let acq = lock_idx(&c, 0);
+        let (start, end, _, live) = guard_live_range(&c, acq, body);
+        assert_eq!(live, Liveness::AssignPlace);
+        assert_eq!(start, end);
+    }
+
+    #[test]
+    fn plain_temporary_is_statement_lived() {
+        let src = "fn f(&self) {\n    self.horizons.lock().record(now);\n    after();\n}\n";
+        let c = ctx(src);
+        let body = fn_scopes(&c)[0].body.unwrap();
+        let acq = lock_idx(&c, 0);
+        let (start, end, _, live) = guard_live_range(&c, acq, body);
+        assert_eq!(live, Liveness::Statement);
+        let record = (start..end).any(|k| ident_at(&c, k) == Some("record"));
+        let after = (start..end).any(|k| ident_at(&c, k) == Some("after"));
+        assert!(record && !after);
+    }
+}

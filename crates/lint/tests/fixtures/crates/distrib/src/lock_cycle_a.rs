@@ -1,0 +1,10 @@
+//! Fixture: forward half of a two-file lock-order cycle. This file
+//! takes `alpha` then `beta`; `lock_cycle_b.rs` takes them in the
+//! opposite order, closing the cycle across files.
+
+/// Documented order: alpha before beta.
+pub fn forward(s: &State) {
+    let a = s.alpha.lock();
+    let _b = s.beta.lock();
+    drop(a);
+}

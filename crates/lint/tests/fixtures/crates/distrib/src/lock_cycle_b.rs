@@ -1,0 +1,9 @@
+//! Fixture: backward half of a two-file lock-order cycle — takes
+//! `beta` then `alpha`, inverting `lock_cycle_a.rs`.
+
+/// Inverted order: beta before alpha. Deadlocks against `forward`.
+pub fn backward(s: &State) {
+    let b = s.beta.lock();
+    let _a = s.alpha.lock();
+    drop(b);
+}

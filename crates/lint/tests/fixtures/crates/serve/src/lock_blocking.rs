@@ -1,0 +1,45 @@
+//! Fixture: blocking calls while a guard is live — direct,
+//! interprocedural, and through an `if let` temporary — plus a
+//! reasoned suppression and a guard-dropped-clean control.
+
+impl Store {
+    /// Direct: fsync while `state` is held.
+    pub fn persist_direct(&self) {
+        let g = self.state.lock();
+        self.file.sync_all();
+        drop(g);
+    }
+
+    /// Interprocedural: the callee reaches the fsync.
+    pub fn persist_via(&self) {
+        let g = self.state.lock();
+        self.flush_inner();
+        drop(g);
+    }
+
+    fn flush_inner(&self) {
+        self.file.sync_all();
+    }
+
+    /// Temporary guard: live through the attached block.
+    pub fn swap_wal(&self) {
+        if let Some(w) = self.wal.lock().as_mut() {
+            w.sync_data();
+        }
+    }
+
+    /// Suppressed: the exemption carries its reason.
+    pub fn persist_allowed(&self) {
+        let g = self.state.lock();
+        // lint:allow(blocking-under-lock): fixture — fsync-in-commit is the documented exception
+        self.file.sync_all();
+        drop(g);
+    }
+
+    /// Clean: the guard is dropped before the fsync.
+    pub fn persist_clean(&self) {
+        let g = self.state.lock();
+        drop(g);
+        self.file.sync_all();
+    }
+}

@@ -184,6 +184,50 @@ fn safety_comment_fixture_fires_on_bare_and_rogue_unsafe() {
 }
 
 #[test]
+fn lock_order_fixture_fires_with_cross_file_witness() {
+    let f = fixture_findings();
+    // The cycle is reported once, at the inner acquisition of its
+    // alphabetically-first edge; the witness names both files.
+    assert_file_findings(
+        &f,
+        "crates/distrib/src/lock_cycle_a.rs",
+        &[(8, "lock-order")],
+    );
+    assert_file_findings(&f, "crates/distrib/src/lock_cycle_b.rs", &[]);
+    let cycle = f
+        .iter()
+        .find(|x| x.rule == "lock-order")
+        .expect("cycle finding");
+    assert!(cycle.message.contains("distrib::alpha"));
+    assert!(cycle
+        .message
+        .contains("crates/distrib/src/lock_cycle_b.rs:7"));
+}
+
+#[test]
+fn blocking_under_lock_fixture_fires_direct_and_via_calls() {
+    let f = fixture_findings();
+    // Direct fsync, an interprocedural reach, and an `if let` temporary
+    // guard all fire; the reasoned suppression and the dropped-guard
+    // control stay quiet.
+    assert_file_findings(
+        &f,
+        "crates/serve/src/lock_blocking.rs",
+        &[
+            (9, "blocking-under-lock"),
+            (16, "blocking-under-lock"),
+            (27, "blocking-under-lock"),
+        ],
+    );
+    let via = f
+        .iter()
+        .find(|x| x.line == 16 && x.rule == "blocking-under-lock")
+        .expect("interprocedural finding");
+    assert!(via.message.contains("flush_inner"));
+    assert!(via.message.contains("lock_blocking.rs:21"));
+}
+
+#[test]
 fn suppression_hygiene_fixture_reports_malformed_allows() {
     let f = fixture_findings();
     assert_file_findings(

@@ -16,7 +16,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::path::Path;
-use std::sync::{Mutex, MutexGuard};
+use ustream_common::ordered::{ranks, OrderedMutex, OrderedMutexGuard};
 use ustream_common::{Result, UStreamError};
 use ustream_engine::checkpoint::fnv1a64;
 use ustream_engine::LoadStage;
@@ -52,24 +52,20 @@ impl std::fmt::Display for RegistryError {
 
 impl std::error::Error for RegistryError {}
 
-type Bucket = Mutex<BTreeMap<String, Tenant>>;
+/// One lock shard. [`OrderedMutex`] pins every bucket at rank
+/// [`ranks::SERVE_BUCKET`] with its bucket position as the index, so the
+/// checkpoint's index-order sweep is provably legal while any out-of-order
+/// pair of bucket acquisitions panics under the lock audit. The backing
+/// primitive does not poison: a worker that panics mid-update leaves the
+/// map serviceable (its tenant state was built from per-record validated
+/// inputs, so it is still structurally sound).
+type Bucket = OrderedMutex<BTreeMap<String, Tenant>>;
 
 /// Sharded map of named tenants plus the admission policy they all run
 /// under.
 pub struct TenantRegistry {
     buckets: Vec<Bucket>,
     policy: AdmissionPolicy,
-}
-
-/// Recovers a bucket guard even if a worker panicked while holding the
-/// lock: the map of tenants stays serviceable (a poisoned tenant's own
-/// state was built from per-record validated inputs, so it is still
-/// structurally sound).
-fn lock(bucket: &Bucket) -> MutexGuard<'_, BTreeMap<String, Tenant>> {
-    match bucket.lock() {
-        Ok(g) => g,
-        Err(poisoned) => poisoned.into_inner(),
-    }
 }
 
 impl TenantRegistry {
@@ -80,7 +76,16 @@ impl TenantRegistry {
         }
         let n = buckets.max(1);
         Ok(Self {
-            buckets: (0..n).map(|_| Mutex::new(BTreeMap::new())).collect(),
+            buckets: (0..n)
+                .map(|i| {
+                    Bucket::with_index(
+                        "serve::bucket",
+                        ranks::SERVE_BUCKET,
+                        i as u32,
+                        BTreeMap::new(),
+                    )
+                })
+                .collect(),
             policy,
         })
     }
@@ -97,7 +102,7 @@ impl TenantRegistry {
 
     /// Creates a tenant; fails if the name is taken or the spec invalid.
     pub fn create(&self, name: &str, spec: TenantSpec) -> std::result::Result<(), RegistryError> {
-        let mut bucket = lock(self.bucket_for(name));
+        let mut bucket = self.bucket_for(name).lock();
         if bucket.contains_key(name) {
             return Err(RegistryError::TenantExists);
         }
@@ -109,7 +114,7 @@ impl TenantRegistry {
     /// Removes a tenant, dropping all its state. Returns `false` when no
     /// tenant had that name.
     pub fn remove(&self, name: &str) -> bool {
-        lock(self.bucket_for(name)).remove(name).is_some()
+        self.bucket_for(name).lock().remove(name).is_some()
     }
 
     /// Runs `f` against the named tenant under its bucket lock.
@@ -118,7 +123,7 @@ impl TenantRegistry {
         name: &str,
         f: impl FnOnce(&mut Tenant) -> R,
     ) -> std::result::Result<R, RegistryError> {
-        let mut bucket = lock(self.bucket_for(name));
+        let mut bucket = self.bucket_for(name).lock();
         match bucket.get_mut(name) {
             Some(tenant) => Ok(f(tenant)),
             None => Err(RegistryError::NoSuchTenant),
@@ -127,12 +132,12 @@ impl TenantRegistry {
 
     /// Number of live tenants.
     pub fn len(&self) -> usize {
-        self.buckets.iter().map(|b| lock(b).len()).sum()
+        self.buckets.iter().map(|b| b.lock().len()).sum()
     }
 
     /// Whether the registry holds no tenants.
     pub fn is_empty(&self) -> bool {
-        self.buckets.iter().all(|b| lock(b).is_empty())
+        self.buckets.iter().all(|b| b.lock().is_empty())
     }
 
     /// One governor sweep: polls every tenant's ingest rate against the
@@ -141,7 +146,7 @@ impl TenantRegistry {
     pub fn governor_sweep(&self, elapsed_secs: f64) -> Vec<(String, LoadStage, LoadStage, f64)> {
         let mut transitions = Vec::new();
         for bucket in &self.buckets {
-            let mut guard = lock(bucket);
+            let mut guard = bucket.lock();
             for (name, tenant) in guard.iter_mut() {
                 if let Some((from, to, pressure)) = tenant.governor_poll(elapsed_secs, &self.policy)
                 {
@@ -155,7 +160,7 @@ impl TenantRegistry {
     /// Flushes a final pyramid snapshot for every tenant (drain path).
     pub fn flush_all(&self) {
         for bucket in &self.buckets {
-            for tenant in lock(bucket).values_mut() {
+            for tenant in bucket.lock().values_mut() {
                 tenant.flush_snapshot();
             }
         }
@@ -163,8 +168,8 @@ impl TenantRegistry {
 
     /// Locks all buckets in index order (a fixed total order, so two
     /// concurrent checkpoints cannot deadlock) and returns the guards.
-    fn lock_all(&self) -> Vec<MutexGuard<'_, BTreeMap<String, Tenant>>> {
-        self.buckets.iter().map(lock).collect()
+    fn lock_all(&self) -> Vec<OrderedMutexGuard<'_, BTreeMap<String, Tenant>>> {
+        self.buckets.iter().map(Bucket::lock).collect()
     }
 
     /// Serialises the entire tenant map at one instant.
@@ -207,7 +212,10 @@ impl TenantRegistry {
         let registry = TenantRegistry::new(buckets, policy)?;
         for tc in &ckpt.tenants {
             let tenant = Tenant::restore(tc)?;
-            lock(registry.bucket_for(&tc.name)).insert(tc.name.clone(), tenant);
+            registry
+                .bucket_for(&tc.name)
+                .lock()
+                .insert(tc.name.clone(), tenant);
         }
         Ok(registry)
     }
